@@ -1,0 +1,257 @@
+//! The static load-sharing model of Section 3.1: a fixed-point solution of
+//! utilizations, contention/abort probabilities, and response times for a
+//! given shipping probability `p_ship`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::SystemParams;
+use crate::response::{response_times, ContentionInputs, FlowRates, HoldTimes, ResponseEstimate};
+
+/// Converged solution of the static model at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticSolution {
+    /// Per-site arrival rate (transactions/second).
+    pub lambda_site: f64,
+    /// Probability of shipping an incoming class A transaction.
+    pub p_ship: f64,
+    /// `true` when both CPUs are below saturation (ρ < 1).
+    pub feasible: bool,
+    /// Local-site CPU utilization.
+    pub rho_local: f64,
+    /// Central-complex CPU utilization.
+    pub rho_central: f64,
+    /// Converged response-time estimate.
+    pub estimate: ResponseEstimate,
+    /// Mean response time over all transactions (class A and B), weighted
+    /// by routing shares; infinite when infeasible.
+    pub mean_response: f64,
+    /// Converged steady-state flow rates.
+    pub rates: FlowRates,
+}
+
+/// CPU utilizations implied by the flow rates and rerun expectations.
+fn utilizations(
+    params: &SystemParams,
+    lambda_site: f64,
+    p_ship: f64,
+    e_rr_l: f64,
+    e_rr_c: f64,
+) -> (f64, f64) {
+    let n = params.n_sites as f64;
+    let lam_a_loc = lambda_site * params.p_local * (1.0 - p_ship);
+    let lam_ship = lambda_site * params.p_local * p_ship;
+    let lam_b = lambda_site * (1.0 - params.p_local);
+    let lam_cen_site = lam_ship + lam_b;
+    let ds_b = params.expected_auth_sites_class_b();
+
+    // Authentication targets: shipped class A transactions authenticate only
+    // at their source site; class B at every master site of their locks.
+    // Every re-execution repeats the authentication.
+    let auth_rate_site = (lam_ship + lam_b * ds_b) * (1.0 + e_rr_c);
+    // One commit message per successful authentication.
+    let commit_rate_site = lam_ship + lam_b * ds_b;
+
+    // Shipped and class B transactions pay their terminal message handling
+    // at the ORIGIN site before being forwarded.
+    let local_work = lam_a_loc * (params.exec_instr() + e_rr_l * params.rerun_instr())
+        + lam_a_loc * params.async_update_instr
+        + lam_cen_site * (params.ship_origin_instr + params.ship_msg_instr)
+        + auth_rate_site * params.auth_instr
+        + commit_rate_site * params.async_update_instr;
+    let rho_local = local_work / params.local_mips;
+
+    let central_work =
+        n * lam_cen_site * (params.central_exec_instr() + e_rr_c * params.rerun_instr())
+            + n * auth_rate_site * params.auth_instr
+            + n * lam_a_loc * params.async_update_instr;
+    let rho_central = central_work / params.central_capacity();
+
+    (rho_local, rho_central)
+}
+
+/// Solves the static model at per-site rate `lambda_site` and shipping
+/// probability `p_ship` by damped fixed-point iteration.
+///
+/// # Panics
+///
+/// Panics if `params` fail validation, `lambda_site` is not positive and
+/// finite, or `p_ship` is outside `[0, 1]`.
+#[must_use]
+pub fn solve_static(params: &SystemParams, lambda_site: f64, p_ship: f64) -> StaticSolution {
+    params.validate().expect("invalid system parameters");
+    assert!(
+        lambda_site > 0.0 && lambda_site.is_finite(),
+        "lambda_site must be positive and finite, got {lambda_site}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p_ship),
+        "p_ship must be in [0, 1], got {p_ship}"
+    );
+
+    let lam_a_loc = lambda_site * params.p_local * (1.0 - p_ship);
+    let lam_cen_db = lambda_site * (1.0 - params.p_local + params.p_local * p_ship);
+
+    let mut e_rr_l = 0.0;
+    let mut e_rr_c = 0.0;
+    let mut holds = HoldTimes::nominal(params);
+    let mut est = response_times(params, 0.0, 0.0, &ContentionInputs::default(), &holds);
+    let mut rho = (0.0, 0.0);
+    let mut rates = FlowRates::default();
+    let mut last_r = f64::INFINITY;
+
+    for _ in 0..120 {
+        rho = utilizations(params, lambda_site, p_ship, e_rr_l, e_rr_c);
+        rates = FlowRates {
+            local_new_site: lam_a_loc,
+            local_rerun_site: lam_a_loc * e_rr_l,
+            central_new_db: lam_cen_db,
+            central_rerun_db: lam_cen_db * e_rr_c,
+            local_commit_site: lam_a_loc,
+        };
+        let c = ContentionInputs::from_rates(params, &rates, &holds);
+        est = response_times(params, rho.0, rho.1, &c, &holds);
+
+        // Damped feedback of rerun expectations and lock spans.
+        e_rr_l = 0.5 * e_rr_l + 0.5 * est.expected_local_reruns();
+        e_rr_c = 0.5 * e_rr_c + 0.5 * est.expected_central_reruns();
+        holds = HoldTimes {
+            beta_l: 0.5 * holds.beta_l + 0.5 * est.holds.beta_l,
+            gamma_l: 0.5 * holds.gamma_l + 0.5 * est.holds.gamma_l,
+            beta_c: 0.5 * holds.beta_c + 0.5 * est.holds.beta_c,
+            gamma_c: 0.5 * holds.gamma_c + 0.5 * est.holds.gamma_c,
+        };
+
+        let r = est.r_local + est.r_central;
+        if (r - last_r).abs() < 1e-9 * last_r.max(1.0) {
+            break;
+        }
+        last_r = r;
+    }
+
+    let feasible = rho.0 < 1.0 && rho.1 < 1.0;
+    let local_share = params.p_local * (1.0 - p_ship);
+    let central_share = 1.0 - local_share;
+    let mean_response = if feasible {
+        local_share * est.r_local + central_share * est.r_central
+    } else {
+        f64::INFINITY
+    };
+
+    StaticSolution {
+        lambda_site,
+        p_ship,
+        feasible,
+        rho_local: rho.0,
+        rho_central: rho.1,
+        estimate: est,
+        mean_response,
+        rates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SystemParams {
+        SystemParams::paper_default()
+    }
+
+    #[test]
+    fn low_load_is_feasible_and_near_nominal() {
+        let p = params();
+        let sol = solve_static(&p, 0.2, 0.0);
+        assert!(sol.feasible);
+        assert!(sol.rho_local < 0.25);
+        assert!(sol.estimate.r_local < 1.5 * p.nominal_local_response());
+        assert!(sol.mean_response.is_finite());
+    }
+
+    #[test]
+    fn overload_is_infeasible() {
+        let p = params();
+        // 4 tps/site of class A kept local: 3.0 * 0.67s = saturated.
+        let sol = solve_static(&p, 4.0, 0.0);
+        assert!(!sol.feasible);
+        assert!(sol.mean_response.is_infinite());
+        assert!(sol.rho_local >= 1.0);
+    }
+
+    #[test]
+    fn shipping_relieves_local_saturation() {
+        let p = params();
+        let kept = solve_static(&p, 2.3, 0.0);
+        let shipped = solve_static(&p, 2.3, 0.6);
+        assert!(!kept.feasible);
+        assert!(
+            shipped.feasible,
+            "rho_l={}, rho_c={}",
+            shipped.rho_local, shipped.rho_central
+        );
+        assert!(shipped.rho_local < kept.rho_local);
+    }
+
+    #[test]
+    fn full_shipping_loads_central_only_with_class_a_work() {
+        let p = params();
+        let sol = solve_static(&p, 1.0, 1.0);
+        assert!(sol.feasible);
+        // Locals still pay message handling but no class A execution.
+        assert!(sol.rho_local < 0.3, "rho_local = {}", sol.rho_local);
+        assert!(sol.rho_central > sol.rho_local);
+        assert_eq!(sol.rates.local_new_site, 0.0);
+    }
+
+    #[test]
+    fn mean_response_grows_with_load() {
+        let p = params();
+        let r1 = solve_static(&p, 0.5, 0.2).mean_response;
+        let r2 = solve_static(&p, 1.0, 0.2).mean_response;
+        let r3 = solve_static(&p, 1.5, 0.2).mean_response;
+        assert!(r1 < r2 && r2 < r3, "{r1} {r2} {r3}");
+    }
+
+    #[test]
+    fn rerun_rates_are_consistent_with_abort_probs() {
+        let p = params();
+        let sol = solve_static(&p, 2.0, 0.4);
+        assert!(sol.feasible);
+        let expected = sol.rates.local_new_site * sol.estimate.expected_local_reruns();
+        assert!((sol.rates.local_rerun_site - expected).abs() < 0.05 * expected.max(1e-6));
+    }
+
+    #[test]
+    fn aborts_increase_with_shipping_volume() {
+        let p = params();
+        let low = solve_static(&p, 1.2, 0.1);
+        let high = solve_static(&p, 1.2, 0.6);
+        // More central transactions touching replicated data => more
+        // local-central collisions.
+        assert!(
+            high.estimate.p_abort_local_first >= low.estimate.p_abort_local_first,
+            "{} vs {}",
+            high.estimate.p_abort_local_first,
+            low.estimate.p_abort_local_first
+        );
+    }
+
+    #[test]
+    fn solution_is_deterministic() {
+        let p = params();
+        let a = solve_static(&p, 1.7, 0.33);
+        let b = solve_static(&p, 1.7, 0.33);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_ship")]
+    fn invalid_p_ship_panics() {
+        let _ = solve_static(&params(), 1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda_site")]
+    fn invalid_rate_panics() {
+        let _ = solve_static(&params(), 0.0, 0.5);
+    }
+}

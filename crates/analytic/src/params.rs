@@ -1,0 +1,312 @@
+//! System parameters shared by the analytic model and the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical and workload parameters of the hybrid system, following
+/// Sections 3 and 4.1 of the paper.
+///
+/// Pathlengths are in instructions, times in seconds, speeds in
+/// instructions per second. The paper gives: 10 database calls per
+/// transaction at 30K instructions per call, 150K instructions per
+/// transaction for message processing and transaction initiation, a
+/// 15-MIPS central complex, 1-MIPS local sites, and 0.2 s (or 0.5 s)
+/// communications delay. Quantities the paper leaves implicit (per-I/O CPU
+/// overhead, I/O latencies, protocol-message pathlengths) are exposed as
+/// parameters with defaults calibrated so that the no-load-sharing knee
+/// lands near the paper's ~20 transactions/second (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    /// Number of distributed sites. Paper: 10.
+    pub n_sites: usize,
+    /// Global lock space size. Paper: 32 768.
+    pub lockspace: f64,
+    /// Locks (database calls) per transaction. Paper: 10.
+    pub locks_per_txn: f64,
+    /// Fraction of class A (purely local) transactions. Paper: 0.75.
+    pub p_local: f64,
+    /// Local-site CPU speed, instructions/second. Paper: 1 MIPS.
+    pub local_mips: f64,
+    /// Central-complex CPU speed per server, instructions/second.
+    /// Paper: 15 MIPS.
+    pub central_mips: f64,
+    /// Number of identical processors in the central complex sharing one
+    /// queue. The paper's "central computing complex" is modelled as one
+    /// 15-MIPS server by default; the multiprocessor ablation splits the
+    /// same aggregate capacity across several slower servers.
+    pub central_servers: usize,
+    /// One-way communications delay, seconds. Paper: 0.2 (also 0.5).
+    pub comm_delay: f64,
+    /// Message processing + transaction initiation pathlength. Paper: 150K.
+    pub init_instr: f64,
+    /// Database-call pathlength. Paper: 30K per call.
+    pub db_call_instr: f64,
+    /// CPU overhead per I/O operation (calibration; see DESIGN.md).
+    pub io_overhead_instr: f64,
+    /// Pathlength to send or apply one asynchronous update message.
+    pub async_update_instr: f64,
+    /// Pathlength to process one authentication message at a site.
+    pub auth_instr: f64,
+    /// Pathlength at the origin site to forward a transaction to the
+    /// central complex and deliver its reply.
+    pub ship_msg_instr: f64,
+    /// Portion of `init_instr` (terminal message handling) that always runs
+    /// at the origin site, even for shipped and class B transactions; the
+    /// rest of the initiation runs where the transaction executes.
+    pub ship_origin_instr: f64,
+    /// Initial (setup) I/O latency before any lock is held, seconds.
+    pub setup_io: f64,
+    /// I/O latency per database call, seconds.
+    pub io_per_call: f64,
+}
+
+impl SystemParams {
+    /// The paper's base configuration (Section 4.1) with calibrated
+    /// defaults for the parameters it leaves implicit.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SystemParams {
+            n_sites: 10,
+            lockspace: 32.0 * 1024.0,
+            locks_per_txn: 10.0,
+            p_local: 0.75,
+            local_mips: 1.0e6,
+            central_mips: 15.0e6,
+            central_servers: 1,
+            comm_delay: 0.2,
+            init_instr: 150_000.0,
+            db_call_instr: 30_000.0,
+            io_overhead_instr: 20_000.0,
+            async_update_instr: 10_000.0,
+            auth_instr: 10_000.0,
+            ship_msg_instr: 20_000.0,
+            ship_origin_instr: 50_000.0,
+            setup_io: 0.05,
+            io_per_call: 0.025,
+        }
+    }
+
+    /// Validates parameter consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_sites == 0 {
+            return Err("n_sites must be positive".into());
+        }
+        if self.lockspace <= 0.0 {
+            return Err("lockspace must be positive".into());
+        }
+        if self.locks_per_txn <= 0.0 {
+            return Err("locks_per_txn must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.p_local) {
+            return Err("p_local must be in [0, 1]".into());
+        }
+        if self.local_mips <= 0.0 || self.central_mips <= 0.0 {
+            return Err("MIPS ratings must be positive".into());
+        }
+        if self.central_servers == 0 {
+            return Err("central_servers must be positive".into());
+        }
+        if self.comm_delay < 0.0 {
+            return Err("comm_delay must be non-negative".into());
+        }
+        for (name, v) in [
+            ("init_instr", self.init_instr),
+            ("db_call_instr", self.db_call_instr),
+            ("io_overhead_instr", self.io_overhead_instr),
+            ("async_update_instr", self.async_update_instr),
+            ("auth_instr", self.auth_instr),
+            ("ship_msg_instr", self.ship_msg_instr),
+            ("ship_origin_instr", self.ship_origin_instr),
+            ("setup_io", self.setup_io),
+            ("io_per_call", self.io_per_call),
+        ] {
+            if v < 0.0 || !v.is_finite() {
+                return Err(format!("{name} must be non-negative and finite"));
+            }
+        }
+        if self.ship_origin_instr > self.init_instr {
+            return Err("ship_origin_instr cannot exceed init_instr".into());
+        }
+        Ok(())
+    }
+
+    /// Size of each site's slice of the lock space.
+    #[must_use]
+    pub fn slice(&self) -> f64 {
+        self.lockspace / self.n_sites as f64
+    }
+
+    /// Instructions executed by a first-run transaction: initiation, all
+    /// database calls, and the CPU overhead of the setup I/O plus one I/O
+    /// per call.
+    #[must_use]
+    pub fn exec_instr(&self) -> f64 {
+        self.init_instr
+            + self.locks_per_txn * self.db_call_instr
+            + (self.locks_per_txn + 1.0) * self.io_overhead_instr
+    }
+
+    /// Instructions executed by a re-run: only the database calls. The data
+    /// is found in memory ("a transaction that is re-run after an abort is
+    /// modeled to find all data referenced in its main memory"), so there is
+    /// no I/O overhead, and the input message is not re-processed.
+    #[must_use]
+    pub fn rerun_instr(&self) -> f64 {
+        self.locks_per_txn * self.db_call_instr
+    }
+
+    /// Instructions a shipped or class B transaction executes at the
+    /// central complex: everything except the terminal message handling,
+    /// which runs at the *origin* site (user terminals connect to the
+    /// distributed systems, not to the central complex).
+    #[must_use]
+    pub fn central_exec_instr(&self) -> f64 {
+        self.exec_instr() - self.ship_origin_instr
+    }
+
+    /// Total I/O latency of a first run (setup + per-call).
+    #[must_use]
+    pub fn total_io(&self) -> f64 {
+        self.setup_io + self.locks_per_txn * self.io_per_call
+    }
+
+    /// Zero-load response time of a class A transaction run at its local
+    /// site: I/O plus unexpanded CPU.
+    #[must_use]
+    pub fn nominal_local_response(&self) -> f64 {
+        self.total_io() + self.exec_instr() / self.local_mips
+    }
+
+    /// Zero-load response time of a shipped or class B transaction: input
+    /// ship, central execution, authentication round trip, and the
+    /// commit/reply message — four one-way delays in total.
+    #[must_use]
+    pub fn nominal_central_response(&self) -> f64 {
+        4.0 * self.comm_delay
+            + self.total_io()
+            + self.ship_origin_instr / self.local_mips
+            + self.central_exec_instr() / self.central_mips
+    }
+
+    /// Aggregate central processing capacity, instructions/second.
+    #[must_use]
+    pub fn central_capacity(&self) -> f64 {
+        self.central_mips * self.central_servers as f64
+    }
+
+    /// Expected number of distinct master sites contacted by a class B
+    /// transaction's authentication phase, with `locks_per_txn` locks
+    /// uniform over `n_sites` slices.
+    #[must_use]
+    pub fn expected_auth_sites_class_b(&self) -> f64 {
+        let n = self.n_sites as f64;
+        n * (1.0 - (1.0 - 1.0 / n).powf(self.locks_per_txn))
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        SystemParams::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let p = SystemParams::paper_default();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.slice(), 3276.8);
+    }
+
+    #[test]
+    fn pathlength_totals() {
+        let p = SystemParams::paper_default();
+        // 150K + 10*30K + 11*20K = 670K
+        assert_eq!(p.exec_instr(), 670_000.0);
+        assert_eq!(p.rerun_instr(), 300_000.0);
+        assert_eq!(p.central_exec_instr(), 620_000.0);
+        assert_eq!(p.total_io(), 0.3);
+    }
+
+    #[test]
+    fn nominal_responses_reflect_speed_and_delay() {
+        let p = SystemParams::paper_default();
+        assert!((p.nominal_local_response() - 0.97).abs() < 1e-9);
+        // 0.8 comm + 0.3 io + 50K/1M at the origin + 620K/15M at central
+        assert!(
+            (p.nominal_central_response() - (0.8 + 0.3 + 0.05 + 620_000.0 / 15.0e6)).abs() < 1e-9
+        );
+        assert!(p.nominal_central_response() > p.nominal_local_response());
+    }
+
+    #[test]
+    fn auth_fanout_between_one_and_n() {
+        let p = SystemParams::paper_default();
+        let ds = p.expected_auth_sites_class_b();
+        assert!(ds > 1.0 && ds < 10.0, "ds = {ds}");
+        assert!((ds - 6.51).abs() < 0.1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let base = SystemParams::paper_default();
+        assert!(SystemParams { n_sites: 0, ..base }.validate().is_err());
+        assert!(SystemParams {
+            lockspace: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(SystemParams {
+            p_local: -0.1,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(SystemParams {
+            local_mips: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(SystemParams {
+            central_servers: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(SystemParams {
+            comm_delay: -1.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(SystemParams {
+            setup_io: f64::NAN,
+            ..base
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn central_capacity_scales_with_servers() {
+        let p = SystemParams {
+            central_servers: 3,
+            central_mips: 5.0e6,
+            ..SystemParams::paper_default()
+        };
+        assert_eq!(p.central_capacity(), 15.0e6);
+    }
+
+    #[test]
+    fn default_trait_matches_paper() {
+        assert_eq!(SystemParams::default(), SystemParams::paper_default());
+    }
+}

@@ -1,0 +1,189 @@
+//! Residual-time order probabilities for abort attribution.
+//!
+//! When a local and a central transaction collide on a lock, the protocol
+//! aborts the **local** transaction if it is still running when the central
+//! transaction's authentication message reaches the local site, and the
+//! **central** transaction otherwise (its lock is invalidated by the local
+//! commit's asynchronous update).
+//!
+//! Following Section 3.1 of the paper, at the instant of a collision:
+//!
+//! * the *requester*'s residual time is uniform on `[0, a]` (lock requests
+//!   are spread uniformly over the run), and
+//! * the *holder*'s residual time has density proportional to `(b − x)` on
+//!   `[0, b]` (a collision is more likely the more locks are held, i.e.
+//!   the further along the holder is),
+//!
+//! and the central side's authentication arrives one communications delay
+//! `d` after the central transaction finishes executing.
+
+/// Density of the holder residual: `f(x) = 2(b − x) / b²` on `[0, b]`.
+fn holder_density(b: f64, x: f64) -> f64 {
+    if b <= 0.0 || x < 0.0 || x > b {
+        0.0
+    } else {
+        2.0 * (b - x) / (b * b)
+    }
+}
+
+/// `P(U > x)` for `U` uniform on `[0, a]`.
+fn uniform_survival(a: f64, x: f64) -> f64 {
+    if a <= 0.0 {
+        return 0.0;
+    }
+    ((a - x) / a).clamp(0.0, 1.0)
+}
+
+/// `P(H > x)` for the holder residual on `[0, b]`: `(1 - x/b)²`.
+fn holder_survival(b: f64, x: f64) -> f64 {
+    if b <= 0.0 {
+        return 0.0;
+    }
+    let t = (1.0 - x / b).clamp(0.0, 1.0);
+    t * t
+}
+
+const STEPS: usize = 400;
+
+/// Collision type 1 — a **local requester** hits a lock held by a
+/// **central holder**: probability that the local transaction outlives the
+/// central transaction's authentication arrival, i.e.
+/// `P(L > X + d)` with `L ~ U[0, local_span]` and `X` holder-distributed on
+/// `[0, central_span]`.
+///
+/// This is the probability that the *local* transaction is the victim.
+#[must_use]
+pub fn p_local_loses_as_requester(local_span: f64, central_span: f64, d: f64) -> f64 {
+    integrate_holder(central_span, |x| uniform_survival(local_span, x + d))
+}
+
+/// Collision type 2 — a **central requester** hits a lock held by a
+/// **local holder**: probability that the local transaction outlives the
+/// central transaction's authentication arrival, i.e. `P(H > X + d)` with
+/// `H` holder-distributed on `[0, local_span]` and `X ~ U[0, central_span]`.
+///
+/// This is the probability that the *local* transaction is the victim.
+#[must_use]
+pub fn p_local_loses_as_holder(local_span: f64, central_span: f64, d: f64) -> f64 {
+    integrate_uniform(central_span, |x| holder_survival(local_span, x + d))
+}
+
+/// Integrates `g(x)` against the holder density on `[0, b]` (midpoint rule).
+fn integrate_holder(b: f64, g: impl Fn(f64) -> f64) -> f64 {
+    if b <= 0.0 {
+        // Degenerate holder: finishes immediately; survival evaluated at d.
+        return g(0.0);
+    }
+    let h = b / STEPS as f64;
+    let mut acc = 0.0;
+    for i in 0..STEPS {
+        let x = (i as f64 + 0.5) * h;
+        acc += holder_density(b, x) * g(x) * h;
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// Integrates `g(x)` against `U[0, b]` (midpoint rule).
+fn integrate_uniform(b: f64, g: impl Fn(f64) -> f64) -> f64 {
+    if b <= 0.0 {
+        return g(0.0);
+    }
+    let h = b / STEPS as f64;
+    let mut acc = 0.0;
+    for i in 0..STEPS {
+        let x = (i as f64 + 0.5) * h;
+        acc += g(x) * h / b;
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        for &(a, b, d) in &[
+            (1.0, 1.0, 0.0),
+            (0.5, 2.0, 0.2),
+            (3.0, 0.1, 0.5),
+            (0.0, 1.0, 0.2),
+            (1.0, 0.0, 0.2),
+        ] {
+            for p in [
+                p_local_loses_as_requester(a, b, d),
+                p_local_loses_as_holder(a, b, d),
+            ] {
+                assert!((0.0..=1.0).contains(&p), "p = {p} for ({a}, {b}, {d})");
+            }
+        }
+    }
+
+    #[test]
+    fn large_delay_protects_local() {
+        // With a huge authentication delay the local transaction always
+        // commits first, so it never loses.
+        assert_eq!(p_local_loses_as_requester(1.0, 1.0, 100.0), 0.0);
+        assert_eq!(p_local_loses_as_holder(1.0, 1.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn longer_local_span_loses_more() {
+        let short = p_local_loses_as_requester(0.5, 1.0, 0.1);
+        let long = p_local_loses_as_requester(5.0, 1.0, 0.1);
+        assert!(long > short, "{long} vs {short}");
+
+        let short_h = p_local_loses_as_holder(0.5, 1.0, 0.1);
+        let long_h = p_local_loses_as_holder(5.0, 1.0, 0.1);
+        assert!(long_h > short_h);
+    }
+
+    #[test]
+    fn delay_is_monotone_decreasing() {
+        let mut last = 1.0;
+        for i in 0..10 {
+            let d = f64::from(i) * 0.1;
+            let p = p_local_loses_as_requester(1.0, 1.0, d);
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn zero_local_span_never_loses() {
+        // A local transaction that finishes instantly always wins the race.
+        assert_eq!(p_local_loses_as_requester(0.0, 1.0, 0.0), 0.0);
+        assert_eq!(p_local_loses_as_holder(0.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_central_span_zero_delay_analytic_value() {
+        // Central finishes instantly with d = 0: requester case reduces to
+        // P(U[0,a] > 0) = 1.
+        let p = p_local_loses_as_requester(1.0, 0.0, 0.0);
+        assert!((p - 1.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn symmetric_spans_zero_delay_closed_form() {
+        // Type 1, a = b = 1, d = 0:
+        // P = ∫ 2(1-x) (1-x) dx = 2/3.
+        let p = p_local_loses_as_requester(1.0, 1.0, 0.0);
+        assert!((p - 2.0 / 3.0).abs() < 1e-3, "p = {p}");
+        // Type 2, a = b = 1, d = 0: P = ∫ (1-x)^2 dx = 1/3.
+        let p2 = p_local_loses_as_holder(1.0, 1.0, 0.0);
+        assert!((p2 - 1.0 / 3.0).abs() < 1e-3, "p2 = {p2}");
+    }
+
+    #[test]
+    fn survival_functions_behave() {
+        assert_eq!(uniform_survival(2.0, 0.0), 1.0);
+        assert_eq!(uniform_survival(2.0, 2.0), 0.0);
+        assert_eq!(uniform_survival(2.0, 1.0), 0.5);
+        assert_eq!(holder_survival(2.0, 0.0), 1.0);
+        assert_eq!(holder_survival(2.0, 2.0), 0.0);
+        assert!((holder_survival(2.0, 1.0) - 0.25).abs() < 1e-12);
+        assert_eq!(holder_density(0.0, 0.5), 0.0);
+        assert_eq!(holder_density(1.0, 2.0), 0.0);
+    }
+}

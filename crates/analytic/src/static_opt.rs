@@ -1,0 +1,132 @@
+//! The optimal static (probabilistic) load-sharing policy: pick the
+//! shipping probability that minimizes the model's mean response time.
+
+use crate::model::{solve_static, StaticSolution};
+use crate::params::SystemParams;
+
+/// Result of the static optimization at one arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticOptimum {
+    /// The minimizing shipping probability.
+    pub p_ship: f64,
+    /// The model solution at that probability.
+    pub solution: StaticSolution,
+}
+
+/// Finds the shipping probability in `[0, 1]` (on a grid of `grid + 1`
+/// points) minimizing the mean response time at per-site rate
+/// `lambda_site`.
+///
+/// When no probability yields a feasible system (both CPUs below
+/// saturation), returns the probability that minimizes the larger of the
+/// two utilizations — the least-overloaded operating point.
+///
+/// # Panics
+///
+/// Panics if `grid` is zero or the model inputs are invalid (see
+/// [`solve_static`]).
+#[must_use]
+pub fn optimal_static_ship(params: &SystemParams, lambda_site: f64, grid: usize) -> StaticOptimum {
+    assert!(grid > 0, "grid must have at least one interval");
+    let mut best: Option<StaticOptimum> = None;
+    let mut least_overloaded: Option<StaticOptimum> = None;
+    for i in 0..=grid {
+        let p = i as f64 / grid as f64;
+        let sol = solve_static(params, lambda_site, p);
+        let cand = StaticOptimum {
+            p_ship: p,
+            solution: sol,
+        };
+        if sol.feasible {
+            let better = best.is_none_or(|b| sol.mean_response < b.solution.mean_response);
+            if better {
+                best = Some(cand);
+            }
+        }
+        let max_rho = sol.rho_local.max(sol.rho_central);
+        let less = least_overloaded
+            .is_none_or(|b| max_rho < b.solution.rho_local.max(b.solution.rho_central));
+        if less {
+            least_overloaded = Some(cand);
+        }
+    }
+    best.or(least_overloaded).expect("grid is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SystemParams {
+        SystemParams::paper_default()
+    }
+
+    #[test]
+    fn tiny_load_ships_nothing() {
+        // "The static load sharing ships no transactions for small
+        // transaction rates (less than 5 transactions per second)".
+        let opt = optimal_static_ship(&params(), 0.1, 50);
+        assert_eq!(opt.p_ship, 0.0, "p_ship = {}", opt.p_ship);
+    }
+
+    #[test]
+    fn moderate_overload_ships_some() {
+        // Past the local knee the optimum ships a real fraction.
+        let opt = optimal_static_ship(&params(), 2.2, 50);
+        assert!(opt.p_ship > 0.05, "p_ship = {}", opt.p_ship);
+        assert!(opt.p_ship < 0.95, "p_ship = {}", opt.p_ship);
+        assert!(opt.solution.feasible);
+    }
+
+    #[test]
+    fn ship_fraction_grows_then_capacity_runs_out() {
+        let p = params();
+        let p1 = optimal_static_ship(&p, 1.2, 50).p_ship;
+        let p2 = optimal_static_ship(&p, 1.8, 50).p_ship;
+        assert!(p2 >= p1, "{p1} -> {p2}");
+    }
+
+    #[test]
+    fn larger_delay_ships_less_at_moderate_load() {
+        let near = params();
+        let far = SystemParams {
+            comm_delay: 0.5,
+            ..params()
+        };
+        let opt_near = optimal_static_ship(&near, 2.0, 50);
+        let opt_far = optimal_static_ship(&far, 2.0, 50);
+        assert!(
+            opt_far.p_ship <= opt_near.p_ship,
+            "far {} vs near {}",
+            opt_far.p_ship,
+            opt_near.p_ship
+        );
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_least_overloaded() {
+        // An absurd rate saturates everything; we still get an answer.
+        let opt = optimal_static_ship(&params(), 50.0, 20);
+        assert!(!opt.solution.feasible);
+        assert!(opt.solution.mean_response.is_infinite());
+        assert!((0.0..=1.0).contains(&opt.p_ship));
+    }
+
+    #[test]
+    fn optimum_beats_endpoints() {
+        let p = params();
+        let opt = optimal_static_ship(&p, 2.2, 50);
+        let keep = solve_static(&p, 2.2, 0.0);
+        let ship_all = solve_static(&p, 2.2, 1.0);
+        assert!(opt.solution.mean_response <= keep.mean_response);
+        assert!(opt.solution.mean_response <= ship_all.mean_response);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid")]
+    fn zero_grid_panics() {
+        let _ = optimal_static_ship(&params(), 1.0, 0);
+    }
+
+    use crate::model::solve_static;
+}

@@ -1,0 +1,136 @@
+//! CLI: regenerate the paper's figures.
+//!
+//! ```text
+//! figures <experiment|all> [--quick] [--out DIR]
+//! ```
+//!
+//! Experiments: fig4_1 fig4_2 fig4_3 fig4_4 fig4_5 fig4_6 fig4_7
+//! analytic_check ablation_state ablation_batch ablation_mips
+//! ablation_sites ablation_ploc ablation_lockspace.
+//!
+//! Each figure is printed as a text table and written as CSV to the output
+//! directory (default `results/`).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hls_bench::{
+    ablation_batch, ablation_lockspace, ablation_mips, ablation_ploc, ablation_remote_calls,
+    ablation_servers, ablation_sites, ablation_smoothing, ablation_state, analytic_check, fig4_1,
+    fig4_2, fig4_3, fig4_4, fig4_5, fig4_6, fig4_7, oscillation_trace, variance_check, Figure,
+    Profile,
+};
+
+type Generator = fn(&Profile) -> Figure;
+
+const EXPERIMENTS: &[(&str, Generator)] = &[
+    ("fig4_1", fig4_1),
+    ("fig4_2", fig4_2),
+    ("fig4_3", fig4_3),
+    ("fig4_4", fig4_4),
+    ("fig4_5", fig4_5),
+    ("fig4_6", fig4_6),
+    ("fig4_7", fig4_7),
+    ("analytic_check", analytic_check),
+    ("ablation_state", ablation_state),
+    ("ablation_batch", ablation_batch),
+    ("ablation_mips", ablation_mips),
+    ("ablation_sites", ablation_sites),
+    ("ablation_ploc", ablation_ploc),
+    ("ablation_lockspace", ablation_lockspace),
+    ("ablation_smoothing", ablation_smoothing),
+    ("ablation_servers", ablation_servers),
+    ("oscillation_trace", oscillation_trace),
+    ("variance_check", variance_check),
+    ("ablation_remote_calls", ablation_remote_calls),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = PathBuf::from(dir),
+                    None => {
+                        eprintln!("--out requires a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            name if which.is_none() => which = Some(name.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let Some(which) = which else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+
+    let profile = if quick {
+        Profile::quick()
+    } else {
+        Profile::full()
+    };
+    let selected: Vec<&(&str, Generator)> = if which == "all" {
+        EXPERIMENTS.iter().collect()
+    } else {
+        match EXPERIMENTS.iter().find(|(name, _)| *name == which) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("unknown experiment: {which}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    for (name, generate) in selected {
+        eprintln!("generating {name}...");
+        let fig = generate(&profile);
+        println!("{}", fig.render_text());
+        let csv_path = out_dir.join(format!("{name}.csv"));
+        if let Err(e) = fs::write(&csv_path, fig.to_csv()) {
+            eprintln!("cannot write {}: {e}", csv_path.display());
+            return ExitCode::FAILURE;
+        }
+        let svg_path = out_dir.join(format!("{name}.svg"));
+        if let Err(e) = fs::write(&svg_path, fig.to_svg()) {
+            eprintln!("cannot write {}: {e}", svg_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} and {}", csv_path.display(), svg_path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    eprintln!("usage: figures <experiment|all> [--quick] [--out DIR]");
+    eprintln!("experiments:");
+    for (name, _) in EXPERIMENTS {
+        eprintln!("  {name}");
+    }
+}

@@ -1,0 +1,773 @@
+//! One generator per paper figure (Section 4) plus model validation and
+//! ablations.
+//!
+//! Every generator takes a [`Profile`] controlling sweep density and
+//! simulation horizon, so the same code serves quick smoke tests and the
+//! full reproduction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hls_analytic::solve_static;
+use hls_core::{
+    optimal_static_spec, replicate, run_simulation, HybridSystem, RouterSpec, RunMetrics,
+    SystemConfig, UtilizationEstimator,
+};
+use hls_sim::Accumulator;
+
+use crate::report::{Figure, Series};
+
+/// Maps `f` over `items` on all available cores (simulation points are
+/// independent), preserving order.
+fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock().expect("no panics hold this lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+/// Mean response for reporting: a collapsed run that completed nothing in
+/// the measurement window renders as a missing point, not 0.0.
+fn report_rt(m: &RunMetrics) -> f64 {
+    if m.completions == 0 {
+        f64::INFINITY
+    } else {
+        m.mean_response
+    }
+}
+
+/// Sweep density and simulation horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Total arrival rates (tps) for throughput sweeps.
+    pub rates: Vec<f64>,
+    /// Simulated seconds per point.
+    pub sim_time: f64,
+    /// Warm-up seconds per point.
+    pub warmup: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Profile {
+    /// The full reproduction profile.
+    #[must_use]
+    pub fn full() -> Self {
+        Profile {
+            rates: vec![
+                4.0, 8.0, 12.0, 16.0, 18.0, 20.0, 22.0, 24.0, 26.0, 28.0, 30.0,
+            ],
+            sim_time: 400.0,
+            warmup: 80.0,
+            seed: 42,
+        }
+    }
+
+    /// A fast smoke-test profile.
+    #[must_use]
+    pub fn quick() -> Self {
+        Profile {
+            rates: vec![8.0, 16.0, 22.0],
+            sim_time: 90.0,
+            warmup: 15.0,
+            seed: 42,
+        }
+    }
+
+    fn base(&self, comm_delay: f64) -> SystemConfig {
+        SystemConfig::paper_default()
+            .with_horizon(self.sim_time, self.warmup)
+            .with_seed(self.seed)
+            .with_comm_delay(comm_delay)
+    }
+}
+
+/// The paper's best dynamic strategy: minimize the average response time,
+/// with utilization from the number of transactions in system (curve F).
+#[must_use]
+pub fn best_dynamic() -> RouterSpec {
+    RouterSpec::MinAverage {
+        estimator: UtilizationEstimator::NumInSystem,
+    }
+}
+
+/// A named policy for sweeps; `OptimalStatic` re-optimizes per rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Policy {
+    Fixed(RouterSpec),
+    OptimalStatic,
+}
+
+fn run_policy(cfg: &SystemConfig, policy: Policy) -> RunMetrics {
+    let spec = match policy {
+        Policy::Fixed(spec) => spec,
+        Policy::OptimalStatic => optimal_static_spec(cfg),
+    };
+    run_simulation(cfg.clone(), spec).expect("valid configuration")
+}
+
+/// Sweeps policies over the profile's rates (in parallel — every point is
+/// an independent simulation) and reports `y_of` against `x_of`.
+fn sweep(
+    profile: &Profile,
+    comm_delay: f64,
+    policies: &[(&str, Policy)],
+    x_of: impl Fn(f64, &RunMetrics) -> f64,
+    y_of: impl Fn(&RunMetrics) -> f64 + Sync,
+    fig: &mut Figure,
+) {
+    let tasks: Vec<(usize, f64, Policy)> = policies
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, &(_, policy))| profile.rates.iter().map(move |&r| (pi, r, policy)))
+        .collect();
+    let metrics = parallel_map(&tasks, |&(_, rate, policy)| {
+        let cfg = profile.base(comm_delay).with_total_rate(rate);
+        run_policy(&cfg, policy)
+    });
+    for (pi, &(label, _)) in policies.iter().enumerate() {
+        let points = tasks
+            .iter()
+            .zip(&metrics)
+            .filter(|((tpi, _, _), _)| *tpi == pi)
+            .map(|(&(_, rate, _), m)| (x_of(rate, m), y_of(m)))
+            .collect();
+        fig.push(Series::new(label, points));
+    }
+}
+
+fn rt_figure(
+    id: &str,
+    title: &str,
+    profile: &Profile,
+    comm_delay: f64,
+    policies: &[(&str, Policy)],
+) -> Figure {
+    // The x axis is the offered rate so all curves share grid points;
+    // below saturation the measured throughput equals the offered rate,
+    // and at saturation the exploding response time marks the knee.
+    let mut fig = Figure::new(id, title, "offered rate (tps)", "mean response time (s)");
+    sweep(
+        profile,
+        comm_delay,
+        policies,
+        |rate, _| rate,
+        report_rt,
+        &mut fig,
+    );
+    fig
+}
+
+fn shipped_figure(
+    id: &str,
+    title: &str,
+    profile: &Profile,
+    comm_delay: f64,
+    policies: &[(&str, Policy)],
+) -> Figure {
+    let mut fig = Figure::new(
+        id,
+        title,
+        "offered rate (tps)",
+        "fraction of class A shipped",
+    );
+    sweep(
+        profile,
+        comm_delay,
+        policies,
+        |rate, _| rate,
+        |m| m.shipped_fraction,
+        &mut fig,
+    );
+    fig
+}
+
+/// Figure 4.1: mean response time vs throughput for no load sharing,
+/// optimal static sharing, and the best dynamic strategy (0.2 s delay).
+#[must_use]
+pub fn fig4_1(profile: &Profile) -> Figure {
+    rt_figure(
+        "fig4_1",
+        "Response time vs throughput: none / static / best dynamic (d=0.2s)",
+        profile,
+        0.2,
+        &[
+            ("no-sharing", Policy::Fixed(RouterSpec::NoSharing)),
+            ("static-opt", Policy::OptimalStatic),
+            ("best-dynamic", Policy::Fixed(best_dynamic())),
+        ],
+    )
+}
+
+/// Figure 4.2: the six dynamic schemes, curves A–F (0.2 s delay).
+#[must_use]
+pub fn fig4_2(profile: &Profile) -> Figure {
+    rt_figure(
+        "fig4_2",
+        "Dynamic schemes A-F: response time vs throughput (d=0.2s)",
+        profile,
+        0.2,
+        &dynamic_curves(),
+    )
+}
+
+fn dynamic_curves() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("A:measured-rt", Policy::Fixed(RouterSpec::MeasuredResponse)),
+        ("B:queue-len", Policy::Fixed(RouterSpec::QueueLength)),
+        (
+            "C:min-inc(q)",
+            Policy::Fixed(RouterSpec::MinIncoming {
+                estimator: UtilizationEstimator::QueueLength,
+            }),
+        ),
+        (
+            "D:min-inc(n)",
+            Policy::Fixed(RouterSpec::MinIncoming {
+                estimator: UtilizationEstimator::NumInSystem,
+            }),
+        ),
+        (
+            "E:min-avg(q)",
+            Policy::Fixed(RouterSpec::MinAverage {
+                estimator: UtilizationEstimator::QueueLength,
+            }),
+        ),
+        ("F:min-avg(n)", Policy::Fixed(best_dynamic())),
+    ]
+}
+
+/// Figure 4.3: fraction of class A transactions shipped vs offered rate
+/// (0.2 s delay).
+#[must_use]
+pub fn fig4_3(profile: &Profile) -> Figure {
+    let mut policies = vec![("static-opt", Policy::OptimalStatic)];
+    policies.extend(dynamic_curves());
+    shipped_figure(
+        "fig4_3",
+        "Fraction of class A shipped vs offered rate (d=0.2s)",
+        profile,
+        0.2,
+        &policies,
+    )
+}
+
+/// Figure 4.4: the tuned utilization-threshold heuristic,
+/// θ ∈ {0, −0.1, −0.2, −0.3}, against the best dynamic strategy (0.2 s).
+#[must_use]
+pub fn fig4_4(profile: &Profile) -> Figure {
+    rt_figure(
+        "fig4_4",
+        "Threshold heuristic tuning (d=0.2s)",
+        profile,
+        0.2,
+        &[
+            (
+                "thresh+0.0",
+                Policy::Fixed(RouterSpec::UtilizationThreshold { threshold: 0.0 }),
+            ),
+            (
+                "thresh-0.1",
+                Policy::Fixed(RouterSpec::UtilizationThreshold { threshold: -0.1 }),
+            ),
+            (
+                "thresh-0.2",
+                Policy::Fixed(RouterSpec::UtilizationThreshold { threshold: -0.2 }),
+            ),
+            (
+                "thresh-0.3",
+                Policy::Fixed(RouterSpec::UtilizationThreshold { threshold: -0.3 }),
+            ),
+            ("best-dynamic", Policy::Fixed(best_dynamic())),
+        ],
+    )
+}
+
+/// Figure 4.5: as 4.1/4.2 but with a 0.5 s communications delay.
+#[must_use]
+pub fn fig4_5(profile: &Profile) -> Figure {
+    rt_figure(
+        "fig4_5",
+        "Response time vs throughput at larger delay (d=0.5s)",
+        profile,
+        0.5,
+        &[
+            ("no-sharing", Policy::Fixed(RouterSpec::NoSharing)),
+            ("static-opt", Policy::OptimalStatic),
+            ("B:queue-len", Policy::Fixed(RouterSpec::QueueLength)),
+            (
+                "D:min-inc(n)",
+                Policy::Fixed(RouterSpec::MinIncoming {
+                    estimator: UtilizationEstimator::NumInSystem,
+                }),
+            ),
+            ("F:min-avg(n)", Policy::Fixed(best_dynamic())),
+        ],
+    )
+}
+
+/// Figure 4.6: fraction shipped vs rate at 0.5 s delay (the static curve
+/// shows a point of inflection).
+#[must_use]
+pub fn fig4_6(profile: &Profile) -> Figure {
+    let mut policies = vec![("static-opt", Policy::OptimalStatic)];
+    policies.extend(dynamic_curves());
+    shipped_figure(
+        "fig4_6",
+        "Fraction of class A shipped vs offered rate (d=0.5s)",
+        profile,
+        0.5,
+        &policies,
+    )
+}
+
+/// Figure 4.7: threshold tuning at 0.5 s delay, θ ∈ {0, +0.1, +0.2, −0.1},
+/// against the best dynamic strategy.
+#[must_use]
+pub fn fig4_7(profile: &Profile) -> Figure {
+    rt_figure(
+        "fig4_7",
+        "Threshold heuristic tuning at larger delay (d=0.5s)",
+        profile,
+        0.5,
+        &[
+            (
+                "thresh+0.0",
+                Policy::Fixed(RouterSpec::UtilizationThreshold { threshold: 0.0 }),
+            ),
+            (
+                "thresh+0.1",
+                Policy::Fixed(RouterSpec::UtilizationThreshold { threshold: 0.1 }),
+            ),
+            (
+                "thresh+0.2",
+                Policy::Fixed(RouterSpec::UtilizationThreshold { threshold: 0.2 }),
+            ),
+            (
+                "thresh-0.1",
+                Policy::Fixed(RouterSpec::UtilizationThreshold { threshold: -0.1 }),
+            ),
+            ("best-dynamic", Policy::Fixed(best_dynamic())),
+        ],
+    )
+}
+
+/// Model validation: the Section 3.1 analytic prediction vs simulation,
+/// sweeping the static shipping probability at two fixed rates.
+#[must_use]
+pub fn analytic_check(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "analytic_check",
+        "Static model vs simulation: mean RT vs p_ship",
+        "p_ship",
+        "mean response time (s)",
+    );
+    let p_ships = [0.0, 0.2, 0.4, 0.6, 0.8];
+    for &rate in &[12.0, 20.0] {
+        let lam_site = rate / 10.0;
+        let mut model = Vec::new();
+        let mut sim = Vec::new();
+        for &p in &p_ships {
+            let sol = solve_static(&SystemConfig::paper_default().params, lam_site, p);
+            model.push((p, sol.mean_response));
+            let cfg = profile.base(0.2).with_total_rate(rate);
+            let m =
+                run_simulation(cfg, RouterSpec::Static { p_ship: p }).expect("valid configuration");
+            sim.push((p, m.mean_response));
+        }
+        fig.push(Series::new(format!("model@{rate:.0}tps"), model));
+        fig.push(Series::new(format!("sim@{rate:.0}tps"), sim));
+    }
+    fig
+}
+
+/// Ablation: delayed central-state snapshots vs instantaneous ("ideal")
+/// state for the best dynamic strategy and the queue-length heuristic.
+#[must_use]
+pub fn ablation_state(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "ablation_state",
+        "Delayed vs instantaneous central state",
+        "offered rate (tps)",
+        "mean response time (s)",
+    );
+    for (label, spec) in [
+        ("best-delayed", best_dynamic()),
+        ("queue-delayed", RouterSpec::QueueLength),
+    ] {
+        let mut delayed = Vec::new();
+        let mut ideal = Vec::new();
+        for &rate in &profile.rates {
+            let cfg = profile.base(0.2).with_total_rate(rate);
+            delayed.push((
+                rate,
+                report_rt(&run_simulation(cfg.clone(), spec).expect("valid")),
+            ));
+            let mut icfg = cfg;
+            icfg.instantaneous_state = true;
+            ideal.push((rate, report_rt(&run_simulation(icfg, spec).expect("valid"))));
+        }
+        fig.push(Series::new(label, delayed));
+        fig.push(Series::new(label.replace("delayed", "ideal"), ideal));
+    }
+    fig
+}
+
+/// Ablation: asynchronous-update batching windows; reports messages per
+/// committed transaction.
+#[must_use]
+pub fn ablation_batch(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "ablation_batch",
+        "Async update batching: messages per completion",
+        "offered rate (tps)",
+        "messages per completion",
+    );
+    for (label, window) in [
+        ("no-batch", None),
+        ("batch-0.2s", Some(0.2)),
+        ("batch-1.0s", Some(1.0)),
+    ] {
+        let mut points = Vec::new();
+        for &rate in &profile.rates {
+            let mut cfg = profile.base(0.2).with_total_rate(rate);
+            cfg.async_batch_window = window;
+            // A static policy keeps routing independent of snapshot traffic,
+            // isolating the batching effect.
+            let m = run_simulation(cfg, RouterSpec::Static { p_ship: 0.3 }).expect("valid");
+            points.push((rate, m.messages as f64 / m.completions.max(1) as f64));
+        }
+        fig.push(Series::new(label, points));
+    }
+    fig
+}
+
+/// Ablation: central MIPS rating.
+#[must_use]
+pub fn ablation_mips(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "ablation_mips",
+        "Effect of central MIPS on the best dynamic strategy",
+        "offered rate (tps)",
+        "mean response time (s)",
+    );
+    for mips in [5.0e6, 10.0e6, 15.0e6, 30.0e6] {
+        let mut points = Vec::new();
+        for &rate in &profile.rates {
+            let mut cfg = profile.base(0.2).with_total_rate(rate);
+            cfg.params.central_mips = mips;
+            let m = run_simulation(cfg, best_dynamic()).expect("valid");
+            points.push((rate, report_rt(&m)));
+        }
+        fig.push(Series::new(format!("central-{}MIPS", mips / 1e6), points));
+    }
+    fig
+}
+
+/// Ablation: number of local sites at a fixed per-site rate.
+#[must_use]
+pub fn ablation_sites(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "ablation_sites",
+        "Effect of the number of sites (per-site rate 1.8 tps)",
+        "number of sites",
+        "mean response time (s)",
+    );
+    for (label, spec) in [
+        ("best-dynamic", best_dynamic()),
+        ("queue-len", RouterSpec::QueueLength),
+    ] {
+        let mut points = Vec::new();
+        for n in [4usize, 8, 10, 16, 20] {
+            let mut cfg = profile.base(0.2).with_site_rate(1.8);
+            cfg.params.n_sites = n;
+            let m = run_simulation(cfg, spec).expect("valid");
+            points.push((n as f64, report_rt(&m)));
+        }
+        fig.push(Series::new(label, points));
+    }
+    fig
+}
+
+/// Ablation: fraction of class A (local) transactions.
+#[must_use]
+pub fn ablation_ploc(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "ablation_ploc",
+        "Effect of the class A fraction on the best dynamic strategy",
+        "offered rate (tps)",
+        "mean response time (s)",
+    );
+    for p_local in [0.5, 0.75, 0.9] {
+        let mut points = Vec::new();
+        for &rate in &profile.rates {
+            let mut cfg = profile.base(0.2).with_total_rate(rate);
+            cfg.params.p_local = p_local;
+            let m = run_simulation(cfg, best_dynamic()).expect("valid");
+            points.push((rate, report_rt(&m)));
+        }
+        fig.push(Series::new(format!("p_local={p_local}"), points));
+    }
+    fig
+}
+
+/// Ablation (extension): transaction shipping vs remote function calls
+/// for class B — the alternative the paper flags but does not analyze
+/// ("potentially, these transactions could be run at a local site, making
+/// remote function calls to the central site"). Reproduces the intro's
+/// [DIAS87] claim: with ~10 remote calls per transaction, function
+/// shipping loses badly.
+#[must_use]
+pub fn ablation_remote_calls(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "ablation_remote_calls",
+        "Class B execution: ship whole transaction vs remote function calls",
+        "offered rate (tps)",
+        "mean class B response time (s)",
+    );
+    for (label, mode) in [
+        ("ship-whole", hls_core::ClassBMode::ShipWhole),
+        ("remote-calls", hls_core::ClassBMode::RemoteCalls),
+    ] {
+        let metrics = parallel_map(&profile.rates, |&rate| {
+            let mut cfg = profile.base(0.2).with_total_rate(rate);
+            cfg.class_b_mode = mode;
+            run_simulation(cfg, best_dynamic()).expect("valid")
+        });
+        let points = profile
+            .rates
+            .iter()
+            .zip(&metrics)
+            .map(|(&rate, m)| {
+                let y = match m.mean_response_class_b {
+                    Some(rt) if m.completions > 0 => rt,
+                    _ => f64::INFINITY,
+                };
+                (rate, y)
+            })
+            .collect();
+        fig.push(Series::new(label, points));
+    }
+    fig
+}
+
+/// Diagnostic: run-to-run variance of the headline measurement — mean
+/// response of the best dynamic strategy across five seeds, reported as
+/// the mean and the 95% CI half-width at each rate.
+#[must_use]
+pub fn variance_check(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "variance_check",
+        "Seed-to-seed variability of the best dynamic strategy (5 seeds)",
+        "offered rate (tps)",
+        "mean response time (s)",
+    );
+    let runs_per_rate: Vec<Vec<RunMetrics>> = parallel_map(&profile.rates, |&rate| {
+        let cfg = profile.base(0.2).with_total_rate(rate);
+        replicate(&cfg, best_dynamic(), 5).expect("valid")
+    });
+    let mut mean_series = Vec::new();
+    let mut half_series = Vec::new();
+    for (&rate, runs) in profile.rates.iter().zip(&runs_per_rate) {
+        let acc: Accumulator = runs.iter().map(|m| m.mean_response).collect();
+        // 95% half-width with t(4) = 2.776 for 5 replications.
+        let half = 2.776 * acc.std_dev() / (runs.len() as f64).sqrt();
+        mean_series.push((rate, acc.mean()));
+        half_series.push((rate, half));
+    }
+    fig.push(Series::new("mean-of-5-seeds", mean_series));
+    fig.push(Series::new("ci95-half-width", half_series));
+    fig
+}
+
+/// Diagnostic (extension): the routing-oscillation time series behind the
+/// Figure 4.5 stability note — central CPU queue over time at 28 tps and
+/// 0.5 s delay, with delayed snapshots vs instantaneous state.
+#[must_use]
+pub fn oscillation_trace(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "oscillation_trace",
+        "Central queue over time at 28 tps, d=0.5s: herding on stale state",
+        "time (s)",
+        "central CPU queue length",
+    );
+    for (label, ideal) in [("delayed", false), ("ideal", true)] {
+        let mut cfg = profile
+            .base(0.5)
+            .with_total_rate(28.0)
+            .with_horizon(profile.sim_time, profile.warmup);
+        cfg.instantaneous_state = ideal;
+        let (_, samples) = HybridSystem::new(cfg, best_dynamic())
+            .expect("valid")
+            .run_sampled(2.0);
+        fig.push(Series::new(
+            format!("{label}:q_central"),
+            samples.iter().map(|p| (p.at, p.q_central as f64)).collect(),
+        ));
+        fig.push(Series::new(
+            format!("{label}:q_local"),
+            samples.iter().map(|p| (p.at, p.q_local_mean)).collect(),
+        ));
+    }
+    fig
+}
+
+/// Ablation (extension): the central "computing complex" as a
+/// multiprocessor — the same 15-MIPS aggregate capacity as one fast
+/// server, or split across several slower ones (classic M/M/k trade-off:
+/// more servers, longer per-transaction service).
+#[must_use]
+pub fn ablation_servers(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "ablation_servers",
+        "Central complex: 1 fast server vs k slower servers (equal capacity)",
+        "offered rate (tps)",
+        "mean response time (s)",
+    );
+    for (servers, mips) in [(1usize, 15.0e6), (3, 5.0e6), (5, 3.0e6)] {
+        let mut points = Vec::new();
+        for &rate in &profile.rates {
+            let mut cfg = profile.base(0.2).with_total_rate(rate);
+            cfg.params.central_servers = servers;
+            cfg.params.central_mips = mips;
+            let m = run_simulation(cfg, best_dynamic()).expect("valid");
+            points.push((rate, report_rt(&m)));
+        }
+        fig.push(Series::new(
+            format!("{servers}x{}MIPS", mips / 1.0e6),
+            points,
+        ));
+    }
+    fig
+}
+
+/// Ablation (extension): smoothed (probabilistic) min-average routing vs
+/// the paper's deterministic version, at the large 0.5 s delay where
+/// deterministic routing herds on stale snapshots near the capacity limit.
+#[must_use]
+pub fn ablation_smoothing(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "ablation_smoothing",
+        "Deterministic vs smoothed min-average at d=0.5s",
+        "offered rate (tps)",
+        "mean response time (s)",
+    );
+    let policies: Vec<(&str, Policy)> = vec![
+        ("F:min-avg(n)", Policy::Fixed(best_dynamic())),
+        (
+            "smoothed-0.1",
+            Policy::Fixed(RouterSpec::SmoothedMinAverage {
+                estimator: UtilizationEstimator::NumInSystem,
+                scale: 0.1,
+            }),
+        ),
+        (
+            "smoothed-0.3",
+            Policy::Fixed(RouterSpec::SmoothedMinAverage {
+                estimator: UtilizationEstimator::NumInSystem,
+                scale: 0.3,
+            }),
+        ),
+    ];
+    sweep(profile, 0.5, &policies, |rate, _| rate, report_rt, &mut fig);
+    fig
+}
+
+/// Ablation: lock-space size (data contention level); contention-aware
+/// routing vs the contention-blind queue-length heuristic.
+#[must_use]
+pub fn ablation_lockspace(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "ablation_lockspace",
+        "Effect of data contention (lock-space size), rate 20 tps",
+        "lock space size",
+        "mean response time (s)",
+    );
+    for (label, spec) in [
+        ("best-dynamic", best_dynamic()),
+        ("queue-len", RouterSpec::QueueLength),
+    ] {
+        let mut points = Vec::new();
+        for lockspace in [1024.0, 2048.0, 4096.0, 8192.0, 32768.0] {
+            let mut cfg = profile.base(0.2).with_total_rate(20.0);
+            cfg.params.lockspace = lockspace;
+            let m = run_simulation(cfg, spec).expect("valid");
+            points.push((lockspace, report_rt(&m)));
+        }
+        fig.push(Series::new(label, points));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profile_is_small() {
+        let q = Profile::quick();
+        let f = Profile::full();
+        assert!(q.rates.len() < f.rates.len());
+        assert!(q.sim_time < f.sim_time);
+    }
+
+    #[test]
+    fn fig4_1_quick_has_three_series() {
+        let fig = fig4_1(&Profile::quick());
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), Profile::quick().rates.len());
+        }
+    }
+
+    #[test]
+    fn fig4_3_fractions_are_probabilities() {
+        let fig = fig4_3(&Profile::quick());
+        for s in &fig.series {
+            for &(_, y) in &s.points {
+                assert!((0.0..=1.0).contains(&y), "{}: {y}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_check_has_model_and_sim_pairs() {
+        let fig = analytic_check(&Profile::quick());
+        assert_eq!(fig.series.len(), 4);
+        assert!(fig.series.iter().any(|s| s.label.starts_with("model@")));
+        assert!(fig.series.iter().any(|s| s.label.starts_with("sim@")));
+    }
+
+    #[test]
+    fn batching_ablation_reduces_messages() {
+        let fig = ablation_batch(&Profile::quick());
+        let no_batch = &fig.series[0];
+        let batched = &fig.series[2];
+        for (&(_, a), &(_, b)) in no_batch.points.iter().zip(&batched.points) {
+            assert!(b <= a, "batching increased messages: {b} > {a}");
+        }
+    }
+}

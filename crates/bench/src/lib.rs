@@ -1,0 +1,28 @@
+//! # hls-bench — figure-regeneration harness
+//!
+//! Regenerates every figure of the paper's evaluation (Section 4) from the
+//! `hls-core` simulator, plus the model-validation and ablation studies
+//! described in DESIGN.md. The `figures` binary renders each figure as an
+//! aligned text table and a CSV file.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hls_bench::{fig4_1, Profile};
+//!
+//! let fig = fig4_1(&Profile::quick());
+//! println!("{}", fig.render_text());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod figures;
+mod report;
+
+pub use figures::{
+    ablation_batch, ablation_lockspace, ablation_mips, ablation_ploc, ablation_remote_calls,
+    ablation_servers, ablation_sites, ablation_smoothing, ablation_state, analytic_check, fig4_1,
+    fig4_2, fig4_3, fig4_4, fig4_5, fig4_6, fig4_7, oscillation_trace, variance_check, Profile,
+};
+pub use report::{Figure, Series};

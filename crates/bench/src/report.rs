@@ -1,0 +1,448 @@
+//! Figure data structures and rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One curve of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (e.g. a routing-policy name).
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A reproduced figure: labelled curves over a shared x axis.
+///
+/// # Examples
+///
+/// ```
+/// use hls_bench::{Figure, Series};
+///
+/// let mut fig = Figure::new("fig4_1", "Response time", "rate", "seconds");
+/// fig.push(Series::new("no-sharing", vec![(10.0, 1.5), (20.0, 42.0)]));
+/// assert!(fig.render_text().contains("no-sharing"));
+/// assert!(fig.to_csv().starts_with("rate,no-sharing"));
+/// assert!(fig.to_svg().starts_with("<svg"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier matching the paper (e.g. `"fig4_1"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a curve.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// All distinct x values across series, sorted.
+    #[must_use]
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Renders the figure as an aligned text table, one row per x value and
+    /// one column per series.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = writeln!(out, "   ({} vs {})", self.y_label, self.x_label);
+        let width = self
+            .series
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let _ = write!(out, "{:>10} ", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>w$} ", s.label, w = width);
+        }
+        let _ = writeln!(out);
+        for x in self.x_values() {
+            let _ = write!(out, "{x:>10.2} ");
+            for s in &self.series {
+                let y = s
+                    .points
+                    .iter()
+                    .find(|&&(px, _)| (px - x).abs() < 1e-9)
+                    .map(|&(_, y)| y);
+                match y {
+                    Some(y) if y.is_finite() => {
+                        let _ = write!(out, "{y:>w$.3} ", w = width);
+                    }
+                    _ => {
+                        let _ = write!(out, "{:>w$} ", "-", w = width);
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the figure as CSV: `x,<label1>,<label2>,...`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.x_label));
+        for s in &self.series {
+            let _ = write!(out, ",{}", csv_escape(&s.label));
+        }
+        let _ = writeln!(out);
+        for x in self.x_values() {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                let y = s
+                    .points
+                    .iter()
+                    .find(|&&(px, _)| (px - x).abs() < 1e-9)
+                    .map(|&(_, y)| y);
+                match y {
+                    Some(y) if y.is_finite() => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    _ => {
+                        let _ = write!(out, ",");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+impl Figure {
+    /// Renders the figure as a standalone SVG line chart (linear axes,
+    /// automatic ranges, legend). Non-finite points are skipped, breaking
+    /// the polyline — saturated operating points show as gaps, as in the
+    /// text rendering.
+    #[must_use]
+    pub fn to_svg(&self) -> String {
+        use std::fmt::Write as _;
+
+        const W: f64 = 760.0;
+        const H: f64 = 480.0;
+        const ML: f64 = 70.0; // margins
+        const MR: f64 = 180.0;
+        const MT: f64 = 50.0;
+        const MB: f64 = 55.0;
+        const COLORS: [&str; 8] = [
+            "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+        ];
+
+        let finite: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|&(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        let (x_min, x_max) = bounds(finite.iter().map(|&(x, _)| x));
+        let (y_min, y_max) = bounds(finite.iter().map(|&(_, y)| y));
+        let x_span = (x_max - x_min).max(1e-9);
+        let y_span = (y_max - y_min).max(1e-9);
+        let sx = |x: f64| ML + (x - x_min) / x_span * (W - ML - MR);
+        let sy = |y: f64| H - MB - (y - y_min) / y_span * (H - MT - MB);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+             viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\" font-size=\"12\">"
+        );
+        let _ = writeln!(out, "<rect width=\"{W}\" height=\"{H}\" fill=\"white\"/>");
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"24\" font-size=\"15\" font-weight=\"bold\">{}</text>",
+            ML,
+            xml_escape(&self.title)
+        );
+
+        // Axes.
+        let _ = writeln!(
+            out,
+            "<line x1=\"{ML}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"black\"/>",
+            H - MB,
+            W - MR
+        );
+        let _ = writeln!(
+            out,
+            "<line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{}\" stroke=\"black\"/>",
+            H - MB
+        );
+        for i in 0..=5 {
+            let fx = x_min + x_span * f64::from(i) / 5.0;
+            let fy = y_min + y_span * f64::from(i) / 5.0;
+            let _ = writeln!(
+                out,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+                sx(fx),
+                H - MB + 18.0,
+                fmt_tick(fx)
+            );
+            let _ = writeln!(
+                out,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>",
+                ML - 6.0,
+                sy(fy) + 4.0,
+                fmt_tick(fy)
+            );
+            let _ = writeln!(
+                out,
+                "<line x1=\"{ML}\" y1=\"{0:.1}\" x2=\"{1}\" y2=\"{0:.1}\" \
+                 stroke=\"#dddddd\"/>",
+                sy(fy),
+                W - MR
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            (ML + W - MR) / 2.0,
+            H - 12.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"16\" y=\"{:.1}\" transform=\"rotate(-90 16 {0:.1})\" \
+             text-anchor=\"middle\">{1}</text>",
+            (MT + H - MB) / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Series.
+        for (i, series) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let mut d = String::new();
+            let mut pen_down = false;
+            for &(x, y) in &series.points {
+                if x.is_finite() && y.is_finite() {
+                    let cmd = if pen_down { 'L' } else { 'M' };
+                    let _ = write!(d, "{cmd}{:.1},{:.1} ", sx(x), sy(y));
+                    pen_down = true;
+                } else {
+                    pen_down = false;
+                }
+            }
+            if !d.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "<path d=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>",
+                    d.trim_end()
+                );
+            }
+            for &(x, y) in &series.points {
+                if x.is_finite() && y.is_finite() {
+                    let _ = writeln!(
+                        out,
+                        "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>",
+                        sx(x),
+                        sy(y)
+                    );
+                }
+            }
+            // Legend entry.
+            let ly = MT + 18.0 * i as f64;
+            let _ = writeln!(
+                out,
+                "<line x1=\"{0:.1}\" y1=\"{ly:.1}\" x2=\"{1:.1}\" y2=\"{ly:.1}\" \
+                 stroke=\"{color}\" stroke-width=\"2\"/>",
+                W - MR + 10.0,
+                W - MR + 34.0
+            );
+            let _ = writeln!(
+                out,
+                "<text x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+                W - MR + 40.0,
+                ly + 4.0,
+                xml_escape(&series.label)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo > hi {
+        (0.0, 1.0)
+    } else if lo == hi {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        let mut f = Figure::new("fig_test", "Test", "x", "y");
+        f.push(Series::new("a", vec![(1.0, 2.0), (2.0, 3.0)]));
+        f.push(Series::new("b", vec![(1.0, 5.0), (3.0, 7.0)]));
+        f
+    }
+
+    #[test]
+    fn x_values_union_sorted_dedup() {
+        assert_eq!(fig().x_values(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn text_render_contains_all_labels() {
+        let t = fig().render_text();
+        assert!(t.contains("fig_test"));
+        assert!(t.contains(" a "));
+        assert!(t.contains(" b "));
+        // Missing point rendered as '-'.
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = fig().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "x,a,b");
+        assert_eq!(lines.next().unwrap(), "1,2,5");
+        assert_eq!(lines.next().unwrap(), "2,3,");
+        assert_eq!(lines.next().unwrap(), "3,,7");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("a\"b"), "\"a\"\"b\"");
+        assert_eq!(csv_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn svg_contains_all_series_and_axes() {
+        let svg = fig().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains(">a<"));
+        assert!(svg.contains(">b<"));
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains(">x<") || svg.contains(">x</text>"));
+    }
+
+    #[test]
+    fn svg_skips_non_finite_points() {
+        let mut f = Figure::new("f", "t", "x", "y");
+        f.push(Series::new(
+            "s",
+            vec![(1.0, 1.0), (2.0, f64::INFINITY), (3.0, 3.0)],
+        ));
+        let svg = f.to_svg();
+        // Two pen-down segments (M...M), no NaN/inf coordinates.
+        assert!(!svg.contains("inf"));
+        assert!(!svg.contains("NaN"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn svg_escapes_xml_characters() {
+        let mut f = Figure::new("f", "a < b & c", "x", "y");
+        f.push(Series::new("s", vec![(0.0, 0.0)]));
+        let svg = f.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn svg_handles_single_point_and_empty() {
+        let mut f = Figure::new("f", "t", "x", "y");
+        f.push(Series::new("s", vec![(1.0, 2.0)]));
+        let svg = f.to_svg();
+        assert!(svg.contains("<circle"));
+        let empty = Figure::new("e", "t", "x", "y").to_svg();
+        assert!(empty.starts_with("<svg"));
+    }
+
+    #[test]
+    fn infinite_values_render_as_missing() {
+        let mut f = Figure::new("f", "t", "x", "y");
+        f.push(Series::new("s", vec![(1.0, f64::INFINITY)]));
+        assert!(f.render_text().contains('-'));
+        assert!(f.to_csv().lines().nth(1).unwrap().ends_with(','));
+    }
+}

@@ -1,0 +1,65 @@
+//! Reproduction regression tests: the paper's qualitative *shapes* checked
+//! programmatically on the quick profile, so a refactor that silently
+//! breaks the reproduction fails CI.
+
+use hls_bench::{fig4_1, fig4_2, fig4_3, Figure, Profile};
+
+fn series_y(fig: &Figure, label: &str) -> Vec<f64> {
+    fig.series
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("missing series {label}"))
+        .points
+        .iter()
+        .map(|&(_, y)| y)
+        .collect()
+}
+
+#[test]
+fn fig4_1_ordering_holds() {
+    let fig = fig4_1(&Profile::quick());
+    let none = series_y(&fig, "no-sharing");
+    let stat = series_y(&fig, "static-opt");
+    let best = series_y(&fig, "best-dynamic");
+    for i in 0..none.len() {
+        assert!(
+            best[i] <= stat[i] * 1.02,
+            "point {i}: best {} vs static {}",
+            best[i],
+            stat[i]
+        );
+        assert!(
+            stat[i] <= none[i] * 1.02,
+            "point {i}: static {} vs none {}",
+            stat[i],
+            none[i]
+        );
+    }
+    // No-sharing explodes at the highest rate (past its ~20 tps knee).
+    assert!(none.last().unwrap() > &10.0);
+    assert!(best.last().unwrap() < &3.0);
+}
+
+#[test]
+fn fig4_2_measured_rt_is_worst_and_min_average_best() {
+    let fig = fig4_2(&Profile::quick());
+    let a = series_y(&fig, "A:measured-rt");
+    let f = series_y(&fig, "F:min-avg(n)");
+    let b = series_y(&fig, "B:queue-len");
+    // At the highest quick-profile rate the paper's ordering holds.
+    let last = a.len() - 1;
+    assert!(f[last] < b[last], "F {} vs B {}", f[last], b[last]);
+    assert!(b[last] < a[last], "B {} vs A {}", b[last], a[last]);
+}
+
+#[test]
+fn fig4_3_static_ships_more_than_dynamics_and_a_most() {
+    let fig = fig4_3(&Profile::quick());
+    let stat = series_y(&fig, "static-opt");
+    let a = series_y(&fig, "A:measured-rt");
+    let b = series_y(&fig, "B:queue-len");
+    for i in 1..stat.len() {
+        assert!(a[i] > stat[i], "A ships less than static at point {i}");
+        assert!(b[i] < stat[i], "B ships more than static at point {i}");
+    }
+}

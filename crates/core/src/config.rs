@@ -1,0 +1,299 @@
+//! Simulation configuration.
+
+use hls_analytic::SystemParams;
+use hls_workload::{RateProfile, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// How class B (non-local data) transactions are executed.
+///
+/// The paper ships them whole to the central complex, noting:
+/// "potentially, these transactions could be run at a local site, making
+/// remote function calls to the central site to obtain required data;
+/// however, we do not analyze this possibility here." [`ClassBMode::RemoteCalls`]
+/// implements that unanalyzed alternative: the transaction stays at its
+/// origin and performs one central round trip per database call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ClassBMode {
+    /// Ship the whole transaction to the central complex (the paper).
+    #[default]
+    ShipWhole,
+    /// Run at the origin with one remote function call per database call.
+    RemoteCalls,
+}
+
+/// Which transaction is aborted to break a deadlock cycle.
+///
+/// The paper aborts the transaction whose lock request closed the cycle
+/// ("in the case of a contention that leads into a deadlock the
+/// transaction is aborted"); the alternatives are classic DBMS victim
+/// policies provided as extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DeadlockVictim {
+    /// Abort the requester that closed the cycle (the paper's rule).
+    #[default]
+    Requester,
+    /// Abort the youngest (most recently arrived) cycle member.
+    Youngest,
+    /// Abort the cycle member holding the fewest locks (least work lost).
+    FewestLocks,
+}
+
+/// Full configuration of a hybrid-system simulation run.
+///
+/// Combines the physical parameters shared with the analytic model
+/// ([`SystemParams`]), the workload description, and simulation controls.
+///
+/// # Examples
+///
+/// ```
+/// use hls_core::SystemConfig;
+///
+/// let cfg = SystemConfig::paper_default()
+///     .with_total_rate(20.0)
+///     .with_seed(7);
+/// assert_eq!(cfg.params.n_sites, 10);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Physical parameters (sites, MIPS, delays, pathlengths, I/O times).
+    pub params: SystemParams,
+    /// Fraction of lock requests made in exclusive mode (see
+    /// [`WorkloadSpec::write_fraction`]).
+    pub write_fraction: f64,
+    /// Per-site arrival-rate profile. All sites share the profile unless
+    /// [`SystemConfig::site_profiles`] is set.
+    pub arrival_profile: RateProfile,
+    /// Optional per-site profiles (length must equal `params.n_sites`);
+    /// overrides `arrival_profile` for heterogeneous-load scenarios.
+    pub site_profiles: Option<Vec<RateProfile>>,
+    /// Simulated duration, seconds.
+    pub sim_time: f64,
+    /// Warm-up period discarded from statistics, seconds.
+    pub warmup: f64,
+    /// Master random seed.
+    pub seed: u64,
+    /// When `true`, routers observe the central state instantaneously
+    /// instead of via snapshots piggybacked on protocol messages (the
+    /// paper's "ideal case" ablation).
+    pub instantaneous_state: bool,
+    /// When set, asynchronous updates are buffered per site and flushed
+    /// every `window` seconds in one batched message ("these asynchronous
+    /// messages may also be batched to reduce the overheads involved").
+    pub async_batch_window: Option<f64>,
+    /// Deadlock victim-selection policy.
+    pub deadlock_victim: DeadlockVictim,
+    /// Execution mode for class B transactions.
+    pub class_b_mode: ClassBMode,
+}
+
+impl SystemConfig {
+    /// The paper's Section 4.1 configuration at a placeholder rate of
+    /// 1 transaction/second/site; set the rate with
+    /// [`SystemConfig::with_total_rate`] or
+    /// [`SystemConfig::with_site_rate`].
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            params: SystemParams::paper_default(),
+            write_fraction: 1.0,
+            arrival_profile: RateProfile::Constant(1.0),
+            site_profiles: None,
+            sim_time: 400.0,
+            warmup: 80.0,
+            seed: 42,
+            instantaneous_state: false,
+            async_batch_window: None,
+            deadlock_victim: DeadlockVictim::default(),
+            class_b_mode: ClassBMode::default(),
+        }
+    }
+
+    /// Sets the per-site arrival rate (transactions/second).
+    #[must_use]
+    pub fn with_site_rate(mut self, rate: f64) -> Self {
+        self.arrival_profile = RateProfile::Constant(rate);
+        self
+    }
+
+    /// Sets the total arrival rate summed over all sites.
+    #[must_use]
+    pub fn with_total_rate(self, total: f64) -> Self {
+        let n = self.params.n_sites as f64;
+        self.with_site_rate(total / n)
+    }
+
+    /// Sets the master random seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the simulated duration and warm-up.
+    #[must_use]
+    pub fn with_horizon(mut self, sim_time: f64, warmup: f64) -> Self {
+        self.sim_time = sim_time;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the one-way communications delay.
+    #[must_use]
+    pub fn with_comm_delay(mut self, delay: f64) -> Self {
+        self.params.comm_delay = delay;
+        self
+    }
+
+    /// The workload specification implied by this configuration.
+    #[must_use]
+    pub fn workload_spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            n_sites: self.params.n_sites,
+            lockspace: self.params.lockspace as u32,
+            locks_per_txn: self.params.locks_per_txn as usize,
+            p_local: self.params.p_local,
+            write_fraction: self.write_fraction,
+        }
+    }
+
+    /// Mean per-site arrival rate (over the profile period).
+    #[must_use]
+    pub fn mean_site_rate(&self) -> f64 {
+        match &self.site_profiles {
+            Some(profiles) => {
+                profiles.iter().map(RateProfile::mean_rate).sum::<f64>()
+                    / profiles.len().max(1) as f64
+            }
+            None => self.arrival_profile.mean_rate(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.params.validate()?;
+        self.workload_spec().validate()?;
+        if self.sim_time <= 0.0 {
+            return Err("sim_time must be positive".into());
+        }
+        if self.warmup < 0.0 || self.warmup >= self.sim_time {
+            return Err("warmup must be in [0, sim_time)".into());
+        }
+        if let Some(profiles) = &self.site_profiles {
+            if profiles.len() != self.params.n_sites {
+                return Err(format!(
+                    "site_profiles has {} entries for {} sites",
+                    profiles.len(),
+                    self.params.n_sites
+                ));
+            }
+            for p in profiles {
+                if p.max_rate() <= 0.0 {
+                    return Err("every site profile needs a positive peak rate".into());
+                }
+            }
+        } else if self.arrival_profile.max_rate() <= 0.0 {
+            return Err("arrival profile needs a positive peak rate".into());
+        }
+        if let Some(w) = self.async_batch_window {
+            if w <= 0.0 || !w.is_finite() {
+                return Err("async_batch_window must be positive and finite".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        assert!(SystemConfig::paper_default().validate().is_ok());
+        assert_eq!(SystemConfig::default(), SystemConfig::paper_default());
+    }
+
+    #[test]
+    fn total_rate_divides_across_sites() {
+        let cfg = SystemConfig::paper_default().with_total_rate(25.0);
+        assert!((cfg.mean_site_rate() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let cfg = SystemConfig::paper_default()
+            .with_seed(9)
+            .with_horizon(100.0, 10.0)
+            .with_comm_delay(0.5);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.sim_time, 100.0);
+        assert_eq!(cfg.warmup, 10.0);
+        assert_eq!(cfg.params.comm_delay, 0.5);
+    }
+
+    #[test]
+    fn workload_spec_mirrors_params() {
+        let spec = SystemConfig::paper_default().workload_spec();
+        assert_eq!(spec.n_sites, 10);
+        assert_eq!(spec.lockspace, 32 * 1024);
+        assert_eq!(spec.locks_per_txn, 10);
+        assert_eq!(spec.p_local, 0.75);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let base = SystemConfig::paper_default();
+        let mut c = base.clone();
+        c.sim_time = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.warmup = c.sim_time;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.site_profiles = Some(vec![RateProfile::Constant(1.0); 3]);
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.async_batch_window = Some(0.0);
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.arrival_profile = RateProfile::Constant(0.0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_class_b_mode_ships_whole() {
+        assert_eq!(ClassBMode::default(), ClassBMode::ShipWhole);
+    }
+
+    #[test]
+    fn default_victim_is_requester() {
+        assert_eq!(DeadlockVictim::default(), DeadlockVictim::Requester);
+        assert_eq!(
+            SystemConfig::paper_default().deadlock_victim,
+            DeadlockVictim::Requester
+        );
+    }
+
+    #[test]
+    fn per_site_profiles_mean() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.site_profiles = Some(
+            (0..10)
+                .map(|i| RateProfile::Constant(f64::from(i % 2) + 1.0))
+                .collect(),
+        );
+        assert!((cfg.mean_site_rate() - 1.5).abs() < 1e-12);
+        assert!(cfg.validate().is_ok());
+    }
+}

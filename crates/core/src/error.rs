@@ -1,0 +1,49 @@
+//! Error type for simulator construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was rejected.
+///
+/// Produced by [`HybridSystem::new`](crate::HybridSystem::new) and
+/// [`run_simulation`](crate::run_simulation); the message names the first
+/// violated constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// The violated constraint.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl Error for ConfigError {}
+
+impl From<String> for ConfigError {
+    fn from(msg: String) -> Self {
+        ConfigError(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_the_constraint() {
+        let e = ConfigError::from("p_local must be in [0, 1]".to_string());
+        assert_eq!(e.message(), "p_local must be in [0, 1]");
+        assert!(e.to_string().contains("invalid configuration"));
+        // It is a std error usable behind dyn Error.
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.source().is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Experiment helpers: rate sweeps, replication, and the
+//! analytically-optimal static policy.
+
+use hls_analytic::optimal_static_ship;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SystemConfig;
+use crate::error::ConfigError;
+use crate::metrics::RunMetrics;
+use crate::router::RouterSpec;
+use crate::system::run_simulation;
+
+/// One point of a throughput sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Total offered arrival rate (transactions/second, summed over sites).
+    pub total_rate: f64,
+    /// Measured metrics at that rate.
+    pub metrics: RunMetrics,
+}
+
+/// The static policy the paper compares against: the shipping probability
+/// chosen by the Section 3.1 analytic model for this configuration's rate.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+#[must_use]
+pub fn optimal_static_spec(cfg: &SystemConfig) -> RouterSpec {
+    cfg.validate().expect("invalid configuration");
+    let opt = optimal_static_ship(&cfg.params, cfg.mean_site_rate(), 50);
+    RouterSpec::Static { p_ship: opt.p_ship }
+}
+
+/// Runs `router` across `total_rates`, returning one sweep point per rate.
+/// For [`RouterSpec::Static`] policies pass the result of
+/// [`optimal_static_spec`] per rate instead (the optimum depends on the
+/// rate); use [`sweep_rates_static`] for that.
+///
+/// # Errors
+///
+/// Returns the first configuration validation error.
+pub fn sweep_rates(
+    base: &SystemConfig,
+    router: RouterSpec,
+    total_rates: &[f64],
+) -> Result<Vec<SweepPoint>, ConfigError> {
+    total_rates
+        .iter()
+        .map(|&rate| {
+            let cfg = base.clone().with_total_rate(rate);
+            Ok(SweepPoint {
+                total_rate: rate,
+                metrics: run_simulation(cfg, router)?,
+            })
+        })
+        .collect()
+}
+
+/// Runs the *optimal static* policy across `total_rates`, re-optimizing the
+/// shipping probability at each rate as the paper does.
+///
+/// # Errors
+///
+/// Returns the first configuration validation error.
+pub fn sweep_rates_static(
+    base: &SystemConfig,
+    total_rates: &[f64],
+) -> Result<Vec<SweepPoint>, ConfigError> {
+    total_rates
+        .iter()
+        .map(|&rate| {
+            let cfg = base.clone().with_total_rate(rate);
+            let spec = optimal_static_spec(&cfg);
+            Ok(SweepPoint {
+                total_rate: rate,
+                metrics: run_simulation(cfg, spec)?,
+            })
+        })
+        .collect()
+}
+
+/// Runs the same experiment under `n_seeds` different seeds (derived from
+/// the base seed) and returns all results, for confidence estimation.
+///
+/// # Errors
+///
+/// Returns the first configuration validation error.
+pub fn replicate(
+    base: &SystemConfig,
+    router: RouterSpec,
+    n_seeds: u64,
+) -> Result<Vec<RunMetrics>, ConfigError> {
+    (0..n_seeds)
+        .map(|k| {
+            run_simulation(
+                base.clone().with_seed(base.seed.wrapping_add(k * 7919)),
+                router,
+            )
+        })
+        .collect()
+}
+
+/// Mean of a metric across replications.
+#[must_use]
+pub fn mean_over(runs: &[RunMetrics], f: impl Fn(&RunMetrics) -> f64) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter().map(f).sum::<f64>() / runs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> SystemConfig {
+        SystemConfig::paper_default()
+            .with_total_rate(8.0)
+            .with_horizon(60.0, 10.0)
+    }
+
+    #[test]
+    fn optimal_static_depends_on_rate() {
+        let low = optimal_static_spec(&SystemConfig::paper_default().with_total_rate(1.0));
+        let high = optimal_static_spec(&SystemConfig::paper_default().with_total_rate(20.0));
+        let RouterSpec::Static { p_ship: p_low } = low else {
+            panic!("expected static spec")
+        };
+        let RouterSpec::Static { p_ship: p_high } = high else {
+            panic!("expected static spec")
+        };
+        assert!(p_low < p_high, "{p_low} vs {p_high}");
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_rate() {
+        let pts = sweep_rates(&quick_cfg(), RouterSpec::QueueLength, &[5.0, 10.0]).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].total_rate, 5.0);
+        assert!(pts[0].metrics.completions > 0);
+        assert!(pts[1].metrics.throughput > pts[0].metrics.throughput);
+    }
+
+    #[test]
+    fn static_sweep_runs() {
+        let pts = sweep_rates_static(&quick_cfg(), &[6.0]).unwrap();
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].metrics.completions > 0);
+    }
+
+    #[test]
+    fn replications_differ_but_agree_roughly() {
+        let runs = replicate(&quick_cfg(), RouterSpec::NoSharing, 3).unwrap();
+        assert_eq!(runs.len(), 3);
+        let mean = mean_over(&runs, |m| m.mean_response);
+        for r in &runs {
+            assert!((r.mean_response - mean).abs() / mean < 0.5);
+        }
+        // Different seeds give different samples.
+        assert!(runs[0].mean_response != runs[1].mean_response);
+    }
+
+    #[test]
+    fn mean_over_empty_is_zero() {
+        assert_eq!(mean_over(&[], |m| m.mean_response), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! # hls-core — the hybrid DBMS simulator and load-sharing strategies
+//!
+//! Reproduction of Ciciani, Dias & Yu, *Load Sharing in Hybrid
+//! Distributed-Centralized Database Systems* (ICDCS 1988).
+//!
+//! The hybrid architecture connects `N` geographically distributed database
+//! sites to one central computing complex holding a replica of every
+//! partition. Class A transactions (purely local data) may run either at
+//! their local site or at the central complex; class B transactions
+//! (non-local data) always run centrally. This crate provides:
+//!
+//! * [`HybridSystem`] — a deterministic discrete-event simulation of the
+//!   full Section 2 concurrency/coherency protocol (local + central
+//!   locking, asynchronous update propagation with coherence counts,
+//!   invalidation, the authentication phase, deadlock handling),
+//! * [`RouterSpec`] / [`Router`] — all the paper's load-sharing strategies:
+//!   no sharing, optimal static, the measured-response and queue-length
+//!   heuristics, the tuned utilization-threshold heuristic, and the four
+//!   analytic dynamic schemes (minimize incoming / average response, from
+//!   queue lengths / populations),
+//! * [`SystemConfig`] — the paper's Section 4.1 configuration with every
+//!   parameter adjustable,
+//! * [`RunMetrics`] — response times, throughput, shipped fraction, abort
+//!   and utilization measurements.
+//!
+//! # Examples
+//!
+//! Compare no sharing against the paper's best dynamic strategy:
+//!
+//! ```
+//! use hls_analytic::UtilizationEstimator;
+//! use hls_core::{run_simulation, RouterSpec, SystemConfig};
+//!
+//! let cfg = SystemConfig::paper_default()
+//!     .with_total_rate(18.0)
+//!     .with_horizon(80.0, 20.0);
+//! let none = run_simulation(cfg.clone(), RouterSpec::NoSharing)?;
+//! let best = run_simulation(
+//!     cfg,
+//!     RouterSpec::MinAverage { estimator: UtilizationEstimator::NumInSystem },
+//! )?;
+//! assert!(best.completions > 0 && none.completions > 0);
+//! # Ok::<(), hls_core::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod experiment;
+mod metrics;
+mod msg;
+mod router;
+mod system;
+mod trace;
+mod txn;
+
+pub use config::{ClassBMode, DeadlockVictim, SystemConfig};
+pub use error::ConfigError;
+pub use experiment::{
+    mean_over, optimal_static_spec, replicate, sweep_rates, sweep_rates_static, SweepPoint,
+};
+pub use metrics::{AbortCounts, MetricsCollector, RunMetrics};
+pub use msg::{CentralSnapshot, Msg};
+pub use router::{RouteCtx, Router, RouterSpec};
+pub use system::{run_simulation, ConvergenceReport, HybridSystem, SamplePoint};
+pub use trace::{Trace, TraceEvent};
+pub use txn::{Phase, Route, Txn};
+
+// Re-export the pieces users need alongside the simulator.
+pub use hls_analytic::{Observed, SystemParams, UtilizationEstimator};
+pub use hls_workload::{RateProfile, TxnClass, WorkloadSpec};

@@ -1,0 +1,309 @@
+//! Measurement collection and run-level results.
+
+use hls_sim::{Accumulator, BatchMeans, Histogram, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Abort counters, by victim and cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AbortCounts {
+    /// Local class A transactions aborted by a committed shipped/central
+    /// transaction's authentication phase.
+    pub local_invalidated: u64,
+    /// Central transactions aborted because an asynchronous update
+    /// invalidated a lock they held.
+    pub central_invalidated: u64,
+    /// Central transactions re-executed after a coherence-count negative
+    /// acknowledgement in the authentication phase.
+    pub central_neg_ack: u64,
+    /// Local transactions aborted to break a deadlock.
+    pub deadlock_local: u64,
+    /// Central transactions aborted to break a deadlock.
+    pub deadlock_central: u64,
+}
+
+impl AbortCounts {
+    /// Total aborts of all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.local_invalidated
+            + self.central_invalidated
+            + self.central_neg_ack
+            + self.deadlock_local
+            + self.deadlock_central
+    }
+}
+
+/// In-run metrics collector. Observations before the warm-up boundary are
+/// discarded.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    warmup: SimTime,
+    rt_all: BatchMeans,
+    rt_hist: Histogram,
+    rt_local_a: Accumulator,
+    rt_shipped_a: Accumulator,
+    rt_class_b: Accumulator,
+    reruns: Accumulator,
+    lock_wait: Accumulator,
+    arrivals: u64,
+    routed_local_a: u64,
+    routed_shipped_a: u64,
+    pub(crate) aborts: AbortCounts,
+}
+
+impl MetricsCollector {
+    /// Creates a collector that starts measuring at `warmup`.
+    #[must_use]
+    pub fn new(warmup: SimTime) -> Self {
+        MetricsCollector {
+            warmup,
+            rt_all: BatchMeans::new(200),
+            rt_hist: Histogram::new(0.05, 2000), // 0..100 s in 50 ms bins
+            rt_local_a: Accumulator::new(),
+            rt_shipped_a: Accumulator::new(),
+            rt_class_b: Accumulator::new(),
+            reruns: Accumulator::new(),
+            lock_wait: Accumulator::new(),
+            arrivals: 0,
+            routed_local_a: 0,
+            routed_shipped_a: 0,
+            aborts: AbortCounts::default(),
+        }
+    }
+
+    fn measuring(&self, now: SimTime) -> bool {
+        now >= self.warmup
+    }
+
+    /// Records a transaction arrival.
+    pub fn on_arrival(&mut self, now: SimTime) {
+        if self.measuring(now) {
+            self.arrivals += 1;
+        }
+    }
+
+    /// Records the routing decision for a class A transaction.
+    pub fn on_route_class_a(&mut self, now: SimTime, shipped: bool) {
+        if self.measuring(now) {
+            if shipped {
+                self.routed_shipped_a += 1;
+            } else {
+                self.routed_local_a += 1;
+            }
+        }
+    }
+
+    fn record_common(&mut self, now: SimTime, rt: SimDuration, attempts: u32, lock_wait: f64) {
+        self.rt_all.record(rt.as_secs());
+        self.rt_hist.record(rt.as_secs().min(99.9));
+        self.reruns.record(f64::from(attempts));
+        self.lock_wait.record(lock_wait);
+        let _ = now;
+    }
+
+    /// Records completion of a locally run class A transaction.
+    pub fn on_local_a_done(
+        &mut self,
+        now: SimTime,
+        rt: SimDuration,
+        attempts: u32,
+        lock_wait: f64,
+    ) {
+        if self.measuring(now) {
+            self.record_common(now, rt, attempts, lock_wait);
+            self.rt_local_a.record(rt.as_secs());
+        }
+    }
+
+    /// Records completion of a shipped class A transaction.
+    pub fn on_shipped_a_done(
+        &mut self,
+        now: SimTime,
+        rt: SimDuration,
+        attempts: u32,
+        lock_wait: f64,
+    ) {
+        if self.measuring(now) {
+            self.record_common(now, rt, attempts, lock_wait);
+            self.rt_shipped_a.record(rt.as_secs());
+        }
+    }
+
+    /// Records completion of a class B transaction.
+    pub fn on_class_b_done(
+        &mut self,
+        now: SimTime,
+        rt: SimDuration,
+        attempts: u32,
+        lock_wait: f64,
+    ) {
+        if self.measuring(now) {
+            self.record_common(now, rt, attempts, lock_wait);
+            self.rt_class_b.record(rt.as_secs());
+        }
+    }
+
+    /// Records an abort, counted only after warm-up.
+    pub fn on_abort(&mut self, now: SimTime, f: impl FnOnce(&mut AbortCounts)) {
+        if self.measuring(now) {
+            f(&mut self.aborts);
+        }
+    }
+
+    /// Finalizes into run-level metrics over `[warmup, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the warm-up boundary.
+    #[must_use]
+    pub fn finalize(
+        &self,
+        end: SimTime,
+        rho_local: f64,
+        rho_central: f64,
+        messages: u64,
+    ) -> RunMetrics {
+        let window = (end - self.warmup).as_secs();
+        assert!(window > 0.0, "measurement window is empty");
+        let completions = self.rt_all.count();
+        let routed_a = self.routed_local_a + self.routed_shipped_a;
+        RunMetrics {
+            window_secs: window,
+            arrivals: self.arrivals,
+            completions,
+            throughput: completions as f64 / window,
+            mean_response: self.rt_all.mean(),
+            response_ci95: self.rt_all.confidence_interval_95(),
+            p95_response: self.rt_hist.quantile(0.95),
+            mean_response_local_a: mean_of(&self.rt_local_a),
+            mean_response_shipped_a: mean_of(&self.rt_shipped_a),
+            mean_response_class_b: mean_of(&self.rt_class_b),
+            shipped_fraction: if routed_a == 0 {
+                0.0
+            } else {
+                self.routed_shipped_a as f64 / routed_a as f64
+            },
+            mean_reruns: self.reruns.mean(),
+            mean_lock_wait: self.lock_wait.mean(),
+            aborts: self.aborts,
+            rho_local,
+            rho_central,
+            messages,
+            messages_by_kind: Vec::new(),
+        }
+    }
+}
+
+fn mean_of(acc: &Accumulator) -> Option<f64> {
+    (acc.count() > 0).then(|| acc.mean())
+}
+
+/// Results of one simulation run, measured after warm-up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Measurement window length, seconds.
+    pub window_secs: f64,
+    /// Arrivals during the window.
+    pub arrivals: u64,
+    /// Completions during the window.
+    pub completions: u64,
+    /// Completions per second.
+    pub throughput: f64,
+    /// Mean response time over all transactions (class A and B), seconds.
+    pub mean_response: f64,
+    /// 95% confidence interval for the mean response (batch means).
+    pub response_ci95: Option<(f64, f64)>,
+    /// 95th-percentile response time.
+    pub p95_response: Option<f64>,
+    /// Mean response of locally run class A transactions.
+    pub mean_response_local_a: Option<f64>,
+    /// Mean response of shipped class A transactions.
+    pub mean_response_shipped_a: Option<f64>,
+    /// Mean response of class B transactions.
+    pub mean_response_class_b: Option<f64>,
+    /// Fraction of class A transactions shipped to the central site.
+    pub shipped_fraction: f64,
+    /// Mean number of re-runs per completed transaction.
+    pub mean_reruns: f64,
+    /// Mean time a transaction spent blocked on locks, seconds — the
+    /// "wait time for locks" term of the paper's response decomposition.
+    pub mean_lock_wait: f64,
+    /// Abort counters.
+    pub aborts: AbortCounts,
+    /// Mean local-site CPU utilization over the window.
+    pub rho_local: f64,
+    /// Central CPU utilization over the window.
+    pub rho_central: f64,
+    /// Network messages sent during the whole run.
+    pub messages: u64,
+    /// Message counts by protocol-message kind (sorted by kind name).
+    pub messages_by_kind: Vec<(String, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+    fn d(secs: f64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn warmup_observations_are_discarded() {
+        let mut m = MetricsCollector::new(t(10.0));
+        m.on_arrival(t(5.0));
+        m.on_local_a_done(t(5.0), d(1.0), 0, 0.0);
+        m.on_route_class_a(t(5.0), true);
+        m.on_abort(t(5.0), |a| a.deadlock_local += 1);
+        let r = m.finalize(t(20.0), 0.5, 0.2, 7);
+        assert_eq!(r.arrivals, 0);
+        assert_eq!(r.completions, 0);
+        assert_eq!(r.shipped_fraction, 0.0);
+        assert_eq!(r.aborts.total(), 0);
+    }
+
+    #[test]
+    fn post_warmup_observations_are_counted() {
+        let mut m = MetricsCollector::new(t(10.0));
+        m.on_arrival(t(11.0));
+        m.on_arrival(t(12.0));
+        m.on_route_class_a(t(11.0), false);
+        m.on_route_class_a(t(12.0), true);
+        m.on_local_a_done(t(13.0), d(2.0), 0, 0.25);
+        m.on_shipped_a_done(t(14.0), d(4.0), 1, 0.75);
+        let r = m.finalize(t(20.0), 0.5, 0.2, 7);
+        assert_eq!(r.arrivals, 2);
+        assert_eq!(r.completions, 2);
+        assert_eq!(r.mean_response, 3.0);
+        assert_eq!(r.shipped_fraction, 0.5);
+        assert_eq!(r.mean_response_local_a, Some(2.0));
+        assert_eq!(r.mean_response_shipped_a, Some(4.0));
+        assert_eq!(r.mean_response_class_b, None);
+        assert_eq!(r.throughput, 0.2);
+        assert_eq!(r.mean_reruns, 0.5);
+        assert_eq!(r.mean_lock_wait, 0.5);
+        assert_eq!(r.messages, 7);
+    }
+
+    #[test]
+    fn abort_totals_add_up() {
+        let a = AbortCounts {
+            local_invalidated: 1,
+            central_invalidated: 2,
+            central_neg_ack: 3,
+            deadlock_local: 4,
+            deadlock_central: 5,
+        };
+        assert_eq!(a.total(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn empty_window_panics() {
+        let m = MetricsCollector::new(t(10.0));
+        let _ = m.finalize(t(10.0), 0.0, 0.0, 0);
+    }
+}

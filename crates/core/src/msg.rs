@@ -1,0 +1,159 @@
+//! Protocol messages exchanged between the local sites and the central
+//! complex, and the state snapshots piggybacked on them.
+
+use hls_lockmgr::{LockId, LockMode};
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the central complex's state, piggybacked on every message
+/// it sends to a local site. This is the only channel through which
+/// routers learn the central state (unless the "ideal" instantaneous-state
+/// ablation is enabled): "the information of the queue length at the
+/// central site is delayed, and is only updated during authentication of a
+/// centrally running transaction".
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CentralSnapshot {
+    /// CPU queue length, including the job in service.
+    pub q_cpu: usize,
+    /// Transactions resident at the central complex.
+    pub n_txns: usize,
+    /// Lock grants in the central lock table.
+    pub n_locks: usize,
+}
+
+/// Protocol message payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// A class A or B transaction forwarded from its origin site to the
+    /// central complex for execution.
+    ShipTxn {
+        /// The shipped transaction.
+        txn: u64,
+    },
+    /// Asynchronous propagation of a committed local transaction's updates
+    /// to the central replica (possibly batched).
+    AsyncUpdate {
+        /// Originating site.
+        from: usize,
+        /// Updated items with their new write stamps, in commit order.
+        writes: Vec<(LockId, u64)>,
+    },
+    /// Acknowledgement that the central complex applied an asynchronous
+    /// update message; decrements the coherence counts at the origin.
+    AsyncAck {
+        /// The acknowledged lock ids (same multiset as the update).
+        locks: Vec<LockId>,
+    },
+    /// Authentication-phase request: the central/shipped transaction asks a
+    /// master site to verify coherence and grant its locks.
+    AuthRequest {
+        /// The authenticating central transaction.
+        txn: u64,
+        /// Locks mastered at the target site, with requested modes.
+        locks: Vec<(LockId, LockMode)>,
+    },
+    /// A master site's reply to an authentication request.
+    AuthReply {
+        /// The authenticating central transaction.
+        txn: u64,
+        /// `true` when the locks were granted (possibly displacing local
+        /// holders); `false` on a coherence-count negative acknowledgement.
+        positive: bool,
+    },
+    /// Failed authentication: release any locks granted to `txn` at the
+    /// target site.
+    AuthRelease {
+        /// The central transaction whose authentication failed.
+        txn: u64,
+    },
+    /// Successful commit of a central transaction: apply its updates at the
+    /// target site and release its authentication locks.
+    CommitMsg {
+        /// The committing central transaction.
+        txn: u64,
+        /// Updated items mastered at the target site, with write stamps.
+        writes: Vec<(LockId, u64)>,
+    },
+    /// Completion notification delivered to the origin site of a shipped /
+    /// class B transaction; ends its response time.
+    Reply {
+        /// The completed transaction.
+        txn: u64,
+    },
+    /// Remote-function-call request (class B in
+    /// [`ClassBMode::RemoteCalls`](crate::ClassBMode::RemoteCalls) mode):
+    /// execute the transaction's next database call at the central complex.
+    RemoteCallReq {
+        /// The calling transaction.
+        txn: u64,
+    },
+    /// Remote-function-call response: the database call finished; the
+    /// origin may issue the next one.
+    RemoteCallResp {
+        /// The calling transaction.
+        txn: u64,
+    },
+}
+
+impl Msg {
+    /// Short kind tag for traffic accounting.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::ShipTxn { .. } => "ship",
+            Msg::AsyncUpdate { .. } => "async_update",
+            Msg::AsyncAck { .. } => "async_ack",
+            Msg::AuthRequest { .. } => "auth_request",
+            Msg::AuthReply { .. } => "auth_reply",
+            Msg::AuthRelease { .. } => "auth_release",
+            Msg::CommitMsg { .. } => "commit",
+            Msg::Reply { .. } => "reply",
+            Msg::RemoteCallReq { .. } => "remote_call_req",
+            Msg::RemoteCallResp { .. } => "remote_call_resp",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let msgs = [
+            Msg::ShipTxn { txn: 1 },
+            Msg::AsyncUpdate {
+                from: 0,
+                writes: vec![],
+            },
+            Msg::AsyncAck { locks: vec![] },
+            Msg::AuthRequest {
+                txn: 1,
+                locks: vec![],
+            },
+            Msg::AuthReply {
+                txn: 1,
+                positive: true,
+            },
+            Msg::AuthRelease { txn: 1 },
+            Msg::CommitMsg {
+                txn: 1,
+                writes: vec![],
+            },
+            Msg::Reply { txn: 1 },
+            Msg::RemoteCallReq { txn: 1 },
+            Msg::RemoteCallResp { txn: 1 },
+        ];
+        let mut kinds: Vec<&str> = msgs.iter().map(Msg::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn snapshot_default_is_empty() {
+        let s = CentralSnapshot::default();
+        assert_eq!(s.q_cpu, 0);
+        assert_eq!(s.n_txns, 0);
+        assert_eq!(s.n_locks, 0);
+    }
+}

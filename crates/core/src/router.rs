@@ -1,0 +1,585 @@
+//! Load-sharing routing strategies (Section 3.2 plus baselines).
+//!
+//! Every incoming **class A** transaction is offered to the router, which
+//! decides whether to run it at its local site or ship it to the central
+//! complex. Class B transactions always go central and never reach the
+//! router.
+
+use std::fmt;
+
+use hls_analytic::{
+    estimate_route_cases, heuristic_utilizations, Observed, SystemParams, UtilizationEstimator,
+};
+use hls_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::txn::Route;
+
+/// Everything a router may consult when deciding a route.
+#[derive(Debug)]
+pub struct RouteCtx<'a> {
+    /// Decision time.
+    pub now: SimTime,
+    /// The arriving site.
+    pub site: usize,
+    /// Observed state: exact local quantities plus the latest (possibly
+    /// stale) central snapshot.
+    pub obs: Observed,
+    /// Physical system parameters.
+    pub params: &'a SystemParams,
+    /// Dedicated routing RNG stream (used by probabilistic policies).
+    pub rng: &'a mut StdRng,
+}
+
+/// A load-sharing routing policy.
+///
+/// Routers are driven by the simulator: [`Router::decide`] on each class A
+/// arrival, and the completion hooks whenever a class A transaction
+/// finishes (used by the measured-response-time heuristic).
+pub trait Router: fmt::Debug {
+    /// Chooses where the incoming class A transaction runs.
+    fn decide(&mut self, ctx: &mut RouteCtx<'_>) -> Route;
+
+    /// Observes the response time of a class A transaction that ran
+    /// locally at `site`.
+    fn on_local_completion(&mut self, site: usize, response: SimDuration) {
+        let _ = (site, response);
+    }
+
+    /// Observes the response time of a class A transaction shipped from
+    /// `site`.
+    fn on_shipped_completion(&mut self, site: usize, response: SimDuration) {
+        let _ = (site, response);
+    }
+}
+
+/// Serializable router configuration; build the live router with
+/// [`RouterSpec::build`].
+///
+/// # Examples
+///
+/// ```
+/// use hls_core::{RouterSpec, UtilizationEstimator};
+///
+/// let spec = RouterSpec::MinAverage {
+///     estimator: UtilizationEstimator::NumInSystem,
+/// };
+/// assert_eq!(spec.label(), "min-average(n)");
+/// let _router = spec.build(10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RouterSpec {
+    /// Run every class A transaction locally (the no-load-sharing
+    /// baseline of Figure 4.1).
+    NoSharing,
+    /// Ship with fixed probability `p_ship` (static probabilistic load
+    /// sharing; the optimum probability comes from the analytic model).
+    Static {
+        /// Shipping probability in `[0, 1]`.
+        p_ship: f64,
+    },
+    /// Heuristic of Section 3.2.3: ship iff the last shipped class A
+    /// transaction's measured response beat the last locally-run one
+    /// (curve A of Figure 4.2).
+    MeasuredResponse,
+    /// Heuristic of Section 3.2.4, basic form: ship iff the central CPU
+    /// queue is shorter than the local queue (curve B of Figure 4.2).
+    QueueLength,
+    /// Tuned heuristic of Figure 4.4: ship iff
+    /// `ρ_local − ρ_central > threshold` with utilizations estimated from
+    /// queue lengths.
+    UtilizationThreshold {
+        /// The threshold θ (negative values ship even when the local site
+        /// is *less* utilized, exploiting the faster central CPU).
+        threshold: f64,
+    },
+    /// Section 3.2.1: minimize the incoming transaction's estimated
+    /// response time (curves C/D of Figure 4.2).
+    MinIncoming {
+        /// Utilization estimator variant (a) or (b).
+        estimator: UtilizationEstimator,
+    },
+    /// Section 3.2.2: minimize the estimated average response time of all
+    /// transactions in the system (curves E/F of Figure 4.2 — the paper's
+    /// best strategy).
+    MinAverage {
+        /// Utilization estimator variant (a) or (b).
+        estimator: UtilizationEstimator,
+    },
+    /// Extension (not in the paper): the min-average criterion with a
+    /// *probabilistic* decision — the shipping probability follows a
+    /// logistic curve in the estimated advantage, so decisions near the
+    /// indifference point are randomized. This breaks the synchronized
+    /// "herding" that deterministic routers exhibit on stale central-state
+    /// snapshots at large communications delays (see EXPERIMENTS.md,
+    /// Figure 4.5 note).
+    SmoothedMinAverage {
+        /// Utilization estimator variant (a) or (b).
+        estimator: UtilizationEstimator,
+        /// Advantage (seconds of estimated average response) at which the
+        /// shipping probability reaches ~73%; smaller = more decisive.
+        scale: f64,
+    },
+}
+
+impl RouterSpec {
+    /// Instantiates the live router for `n_sites` local sites.
+    #[must_use]
+    pub fn build(&self, n_sites: usize) -> Box<dyn Router> {
+        match *self {
+            RouterSpec::NoSharing => Box::new(NoSharing),
+            RouterSpec::Static { p_ship } => Box::new(StaticShip::new(p_ship)),
+            RouterSpec::MeasuredResponse => Box::new(MeasuredResponse::new(n_sites)),
+            RouterSpec::QueueLength => Box::new(QueueLengthHeuristic),
+            RouterSpec::UtilizationThreshold { threshold } => {
+                Box::new(UtilizationThreshold { threshold })
+            }
+            RouterSpec::MinIncoming { estimator } => Box::new(MinIncoming { estimator }),
+            RouterSpec::MinAverage { estimator } => Box::new(MinAverage { estimator }),
+            RouterSpec::SmoothedMinAverage { estimator, scale } => {
+                Box::new(SmoothedMinAverage::new(estimator, scale))
+            }
+        }
+    }
+
+    /// Short label for reports and figures.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            RouterSpec::NoSharing => "no-sharing".into(),
+            RouterSpec::Static { p_ship } => format!("static(p={p_ship:.2})"),
+            RouterSpec::MeasuredResponse => "measured-rt".into(),
+            RouterSpec::QueueLength => "queue-length".into(),
+            RouterSpec::UtilizationThreshold { threshold } => {
+                format!("threshold({threshold:+.2})")
+            }
+            RouterSpec::MinIncoming { estimator } => match estimator {
+                UtilizationEstimator::QueueLength => "min-incoming(q)".into(),
+                UtilizationEstimator::NumInSystem => "min-incoming(n)".into(),
+            },
+            RouterSpec::MinAverage { estimator } => match estimator {
+                UtilizationEstimator::QueueLength => "min-average(q)".into(),
+                UtilizationEstimator::NumInSystem => "min-average(n)".into(),
+            },
+            RouterSpec::SmoothedMinAverage { estimator, scale } => match estimator {
+                UtilizationEstimator::QueueLength => format!("smoothed(q,{scale})"),
+                UtilizationEstimator::NumInSystem => format!("smoothed(n,{scale})"),
+            },
+        }
+    }
+}
+
+/// No load sharing: class A transactions always run locally.
+#[derive(Debug, Clone, Copy)]
+struct NoSharing;
+
+impl Router for NoSharing {
+    fn decide(&mut self, _ctx: &mut RouteCtx<'_>) -> Route {
+        Route::Local
+    }
+}
+
+/// Static probabilistic load sharing.
+#[derive(Debug, Clone, Copy)]
+struct StaticShip {
+    p_ship: f64,
+}
+
+impl StaticShip {
+    fn new(p_ship: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_ship),
+            "p_ship must be in [0, 1], got {p_ship}"
+        );
+        StaticShip { p_ship }
+    }
+}
+
+impl Router for StaticShip {
+    fn decide(&mut self, ctx: &mut RouteCtx<'_>) -> Route {
+        if ctx.rng.random::<f64>() < self.p_ship {
+            Route::Central
+        } else {
+            Route::Local
+        }
+    }
+}
+
+/// Measured-response-time heuristic (Section 3.2.3).
+///
+/// Optimistic zero initialization: a site with no shipped sample yet treats
+/// shipping as instantaneous, so both options get sampled early.
+#[derive(Debug, Clone)]
+struct MeasuredResponse {
+    last_local: Vec<f64>,
+    last_shipped: Vec<f64>,
+}
+
+impl MeasuredResponse {
+    fn new(n_sites: usize) -> Self {
+        MeasuredResponse {
+            last_local: vec![0.0; n_sites],
+            last_shipped: vec![0.0; n_sites],
+        }
+    }
+}
+
+impl Router for MeasuredResponse {
+    fn decide(&mut self, ctx: &mut RouteCtx<'_>) -> Route {
+        if self.last_shipped[ctx.site] <= self.last_local[ctx.site] {
+            Route::Central
+        } else {
+            Route::Local
+        }
+    }
+
+    fn on_local_completion(&mut self, site: usize, response: SimDuration) {
+        self.last_local[site] = response.as_secs();
+    }
+
+    fn on_shipped_completion(&mut self, site: usize, response: SimDuration) {
+        self.last_shipped[site] = response.as_secs();
+    }
+}
+
+/// Basic queue-length heuristic (Section 3.2.4): ship iff the central
+/// queue is shorter.
+#[derive(Debug, Clone, Copy)]
+struct QueueLengthHeuristic;
+
+impl Router for QueueLengthHeuristic {
+    fn decide(&mut self, ctx: &mut RouteCtx<'_>) -> Route {
+        if ctx.obs.q_central < ctx.obs.q_local {
+            Route::Central
+        } else {
+            Route::Local
+        }
+    }
+}
+
+/// Tuned utilization-threshold heuristic (Figure 4.4 / 4.7).
+#[derive(Debug, Clone, Copy)]
+struct UtilizationThreshold {
+    threshold: f64,
+}
+
+impl Router for UtilizationThreshold {
+    fn decide(&mut self, ctx: &mut RouteCtx<'_>) -> Route {
+        let (rho_l, rho_c) = heuristic_utilizations(&ctx.obs);
+        if rho_l - rho_c > self.threshold {
+            Route::Central
+        } else {
+            Route::Local
+        }
+    }
+}
+
+/// Section 3.2.1: minimize the incoming transaction's estimated response.
+#[derive(Debug, Clone, Copy)]
+struct MinIncoming {
+    estimator: UtilizationEstimator,
+}
+
+impl Router for MinIncoming {
+    fn decide(&mut self, ctx: &mut RouteCtx<'_>) -> Route {
+        let cases = estimate_route_cases(ctx.params, &ctx.obs, self.estimator);
+        if cases.prefer_ship_incoming() {
+            Route::Central
+        } else {
+            Route::Local
+        }
+    }
+}
+
+/// Section 3.2.2: minimize the estimated average response of all
+/// transactions.
+#[derive(Debug, Clone, Copy)]
+struct MinAverage {
+    estimator: UtilizationEstimator,
+}
+
+impl Router for MinAverage {
+    fn decide(&mut self, ctx: &mut RouteCtx<'_>) -> Route {
+        let cases = estimate_route_cases(ctx.params, &ctx.obs, self.estimator);
+        if cases.prefer_ship_average(&ctx.obs) {
+            Route::Central
+        } else {
+            Route::Local
+        }
+    }
+}
+
+/// Extension: probabilistic min-average routing (see
+/// [`RouterSpec::SmoothedMinAverage`]).
+#[derive(Debug, Clone, Copy)]
+struct SmoothedMinAverage {
+    estimator: UtilizationEstimator,
+    scale: f64,
+}
+
+impl SmoothedMinAverage {
+    fn new(estimator: UtilizationEstimator, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "smoothing scale must be positive and finite, got {scale}"
+        );
+        SmoothedMinAverage { estimator, scale }
+    }
+}
+
+impl Router for SmoothedMinAverage {
+    fn decide(&mut self, ctx: &mut RouteCtx<'_>) -> Route {
+        let cases = estimate_route_cases(ctx.params, &ctx.obs, self.estimator);
+        let advantage = cases.average_advantage_of_shipping(&ctx.obs);
+        let p_ship = 1.0 / (1.0 + (-advantage / self.scale).exp());
+        if ctx.rng.random::<f64>() < p_ship {
+            Route::Central
+        } else {
+            Route::Local
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_sim::RngStreams;
+
+    fn ctx<'a>(params: &'a SystemParams, rng: &'a mut StdRng, obs: Observed) -> RouteCtx<'a> {
+        RouteCtx {
+            now: SimTime::ZERO,
+            site: 0,
+            obs,
+            params,
+            rng,
+        }
+    }
+
+    #[test]
+    fn no_sharing_never_ships() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(1).stream(0);
+        let mut r = RouterSpec::NoSharing.build(10);
+        for _ in 0..50 {
+            let obs = Observed {
+                q_local: 100.0,
+                ..Observed::default()
+            };
+            assert_eq!(r.decide(&mut ctx(&params, &mut rng, obs)), Route::Local);
+        }
+    }
+
+    #[test]
+    fn static_matches_probability() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(2).stream(0);
+        let mut r = RouterSpec::Static { p_ship: 0.3 }.build(10);
+        let n = 20_000;
+        let shipped = (0..n)
+            .filter(|_| {
+                r.decide(&mut ctx(&params, &mut rng, Observed::default())) == Route::Central
+            })
+            .count();
+        let frac = shipped as f64 / f64::from(n);
+        assert!((frac - 0.3).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_ship")]
+    fn static_rejects_bad_probability() {
+        let _ = RouterSpec::Static { p_ship: 1.5 }.build(10);
+    }
+
+    #[test]
+    fn queue_length_compares_queues() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(3).stream(0);
+        let mut r = RouterSpec::QueueLength.build(10);
+        let obs = Observed {
+            q_local: 5.0,
+            q_central: 2.0,
+            ..Observed::default()
+        };
+        assert_eq!(r.decide(&mut ctx(&params, &mut rng, obs)), Route::Central);
+        let obs = Observed {
+            q_local: 2.0,
+            q_central: 2.0,
+            ..Observed::default()
+        };
+        assert_eq!(r.decide(&mut ctx(&params, &mut rng, obs)), Route::Local);
+    }
+
+    #[test]
+    fn threshold_shifts_the_decision() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(4).stream(0);
+        // rho_l = 0.5, rho_c = 0.5 -> difference 0.
+        let obs = Observed {
+            q_local: 1.0,
+            q_central: 1.0,
+            ..Observed::default()
+        };
+        let mut strict = RouterSpec::UtilizationThreshold { threshold: 0.0 }.build(10);
+        assert_eq!(
+            strict.decide(&mut ctx(&params, &mut rng, obs)),
+            Route::Local
+        );
+        let mut eager = RouterSpec::UtilizationThreshold { threshold: -0.2 }.build(10);
+        assert_eq!(
+            eager.decide(&mut ctx(&params, &mut rng, obs)),
+            Route::Central
+        );
+    }
+
+    #[test]
+    fn measured_response_follows_samples() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(5).stream(0);
+        let mut r = RouterSpec::MeasuredResponse.build(2);
+        // Optimistic start: ships first.
+        assert_eq!(
+            r.decide(&mut ctx(&params, &mut rng, Observed::default())),
+            Route::Central
+        );
+        r.on_shipped_completion(0, SimDuration::from_secs(3.0));
+        r.on_local_completion(0, SimDuration::from_secs(1.0));
+        assert_eq!(
+            r.decide(&mut ctx(&params, &mut rng, Observed::default())),
+            Route::Local
+        );
+        r.on_local_completion(0, SimDuration::from_secs(5.0));
+        assert_eq!(
+            r.decide(&mut ctx(&params, &mut rng, Observed::default())),
+            Route::Central
+        );
+    }
+
+    #[test]
+    fn measured_response_is_per_site() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(6).stream(0);
+        let mut r = RouterSpec::MeasuredResponse.build(2);
+        r.on_local_completion(0, SimDuration::from_secs(1.0));
+        r.on_shipped_completion(0, SimDuration::from_secs(9.0));
+        // Site 1 is untouched: still optimistic about shipping.
+        let mut c = ctx(&params, &mut rng, Observed::default());
+        c.site = 1;
+        assert_eq!(r.decide(&mut c), Route::Central);
+    }
+
+    #[test]
+    fn min_incoming_ships_under_local_overload() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(7).stream(0);
+        for est in [
+            UtilizationEstimator::QueueLength,
+            UtilizationEstimator::NumInSystem,
+        ] {
+            let mut r = RouterSpec::MinIncoming { estimator: est }.build(10);
+            let overloaded = Observed {
+                q_local: 15.0,
+                n_local: 18.0,
+                ..Observed::default()
+            };
+            assert_eq!(
+                r.decide(&mut ctx(&params, &mut rng, overloaded)),
+                Route::Central
+            );
+            assert_eq!(
+                r.decide(&mut ctx(&params, &mut rng, Observed::default())),
+                Route::Local
+            );
+        }
+    }
+
+    #[test]
+    fn min_average_runs_and_is_deterministic() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(8).stream(0);
+        let mut r = RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        }
+        .build(10);
+        let obs = Observed {
+            q_local: 6.0,
+            n_local: 8.0,
+            q_central: 1.0,
+            n_central: 5.0,
+            ..Observed::default()
+        };
+        let a = r.decide(&mut ctx(&params, &mut rng, obs));
+        let b = r.decide(&mut ctx(&params, &mut rng, obs));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smoothed_router_is_probabilistic_near_indifference() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(9).stream(0);
+        let mut r = RouterSpec::SmoothedMinAverage {
+            estimator: UtilizationEstimator::QueueLength,
+            scale: 0.2,
+        }
+        .build(10);
+        // A state where local overload clearly favours shipping: nearly
+        // always ships, but not deterministically at modest advantage.
+        let overloaded = Observed {
+            q_local: 12.0,
+            n_local: 14.0,
+            ..Observed::default()
+        };
+        let ships = (0..500)
+            .filter(|_| r.decide(&mut ctx(&params, &mut rng, overloaded)) == Route::Central)
+            .count();
+        assert!(ships > 450, "ships = {ships}");
+        // Zero load favours local (advantage ~ -0.2 s, scale 0.2 =>
+        // p_ship ~ 0.25), but the decision stays probabilistic.
+        let keeps = (0..500)
+            .filter(|_| r.decide(&mut ctx(&params, &mut rng, Observed::default())) == Route::Local)
+            .count();
+        assert!((300..500).contains(&keeps), "keeps = {keeps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing scale")]
+    fn smoothed_router_rejects_bad_scale() {
+        let _ = RouterSpec::SmoothedMinAverage {
+            estimator: UtilizationEstimator::QueueLength,
+            scale: 0.0,
+        }
+        .build(10);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let specs = [
+            RouterSpec::NoSharing,
+            RouterSpec::Static { p_ship: 0.5 },
+            RouterSpec::MeasuredResponse,
+            RouterSpec::QueueLength,
+            RouterSpec::UtilizationThreshold { threshold: -0.2 },
+            RouterSpec::MinIncoming {
+                estimator: UtilizationEstimator::QueueLength,
+            },
+            RouterSpec::MinIncoming {
+                estimator: UtilizationEstimator::NumInSystem,
+            },
+            RouterSpec::MinAverage {
+                estimator: UtilizationEstimator::QueueLength,
+            },
+            RouterSpec::MinAverage {
+                estimator: UtilizationEstimator::NumInSystem,
+            },
+            RouterSpec::SmoothedMinAverage {
+                estimator: UtilizationEstimator::NumInSystem,
+                scale: 0.2,
+            },
+        ];
+        let mut labels: Vec<String> = specs.iter().map(RouterSpec::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), specs.len());
+    }
+}

@@ -1,0 +1,1351 @@
+//! The hybrid distributed–centralized DBMS simulator.
+//!
+//! A single-threaded discrete-event simulation of `N` local sites plus the
+//! central complex, implementing the full Section 2 protocol:
+//!
+//! * local locking at each site, central locking at the central complex,
+//! * commit-time mark-for-abort checks,
+//! * coherence counts and asynchronous update propagation (with optional
+//!   batching) and acknowledgements,
+//! * invalidation of central lock holders by incoming asynchronous updates,
+//! * the authentication phase of central/shipped transactions: coherence
+//!   negative-acks, forcible lock seizure from local holders (marking them
+//!   for abort), commit fan-out, and re-execution on failure,
+//! * deadlock detection with abort-and-rerun,
+//! * CPU scheduling (FCFS, released on I/O, lock waits and communication),
+//!   fixed-delay FIFO links, and delayed central-state snapshots for the
+//!   routing strategies.
+
+use std::collections::HashMap;
+
+use hls_analytic::Observed;
+use hls_lockmgr::{Grant, LockId, LockMode, LockTable, OwnerId, RequestOutcome};
+use hls_net::{Envelope, NodeId, StarNetwork};
+use hls_sim::{EventQueue, Job, MultiServer, RngStreams, SimDuration, SimTime};
+use hls_workload::{ArrivalProcess, TxnClass, TxnGenerator};
+use rand::rngs::StdRng;
+
+use crate::config::{ClassBMode, SystemConfig};
+use crate::error::ConfigError;
+use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::msg::{CentralSnapshot, Msg};
+use crate::router::{RouteCtx, Router, RouterSpec};
+use crate::trace::{Trace, TraceEvent};
+use crate::txn::{Phase, Route, Txn};
+
+/// Where a CPU or lock-table operation takes place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Locale {
+    Site(usize),
+    Central,
+}
+
+/// Work items executed on a CPU.
+#[derive(Debug, Clone)]
+enum JobKind {
+    /// A burst belonging to the transaction's own lifecycle.
+    TxnPhase(u64),
+    /// Processing an authentication request at a local site.
+    AuthProcess {
+        txn: u64,
+        site: usize,
+        locks: Vec<(LockId, LockMode)>,
+    },
+    /// Applying an asynchronous update message at the central complex.
+    ApplyAsync {
+        from: usize,
+        writes: Vec<(LockId, u64)>,
+    },
+    /// Applying a commit message at a local site.
+    ApplyCommit {
+        txn: u64,
+        site: usize,
+        writes: Vec<(LockId, u64)>,
+    },
+}
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrival {
+        site: usize,
+    },
+    CpuDone {
+        loc: Locale,
+        job: u64,
+    },
+    IoDone {
+        txn: u64,
+    },
+    MsgArrive {
+        to: NodeId,
+        msg: Msg,
+        snap: Option<CentralSnapshot>,
+    },
+    FlushAsync {
+        site: usize,
+    },
+    Sample,
+    EndWarmup,
+}
+
+#[derive(Debug)]
+struct SiteState {
+    cpu: MultiServer,
+    locks: LockTable,
+    /// Class A transactions currently running locally at this site.
+    n_txns: usize,
+    latest_central: CentralSnapshot,
+    async_buffer: Vec<(LockId, u64)>,
+    busy_at_warmup: f64,
+    /// Master copy of this site's data: last write stamp per item.
+    store: HashMap<LockId, u64>,
+}
+
+#[derive(Debug)]
+struct CentralState {
+    cpu: MultiServer,
+    locks: LockTable,
+    /// Transactions resident at the central complex.
+    n_txns: usize,
+    busy_at_warmup: f64,
+    /// Replica of every site's data: last write stamp per item.
+    store: HashMap<LockId, u64>,
+}
+
+/// One point of a sampled state time series (see
+/// [`HybridSystem::run_sampled`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePoint {
+    /// Sample time, seconds.
+    pub at: f64,
+    /// Central CPU queue length (including jobs in service).
+    pub q_central: usize,
+    /// Transactions resident at the central complex.
+    pub n_central: usize,
+    /// Mean local CPU queue length across sites.
+    pub q_local_mean: f64,
+    /// Transactions running locally, summed over sites.
+    pub n_local_total: usize,
+}
+
+/// Result of the post-drain replica comparison (see
+/// [`HybridSystem::run_drained`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Items with at least one committed write at a master site.
+    pub items_checked: usize,
+    /// Transactions still in flight after the drain (should be 0).
+    pub in_flight_txns: usize,
+    /// Items whose central-replica stamp differs from the master copy
+    /// (should be empty).
+    pub divergent: Vec<LockId>,
+}
+
+impl ConvergenceReport {
+    /// `true` when the drain completed every transaction and the central
+    /// replica matches every master copy.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.divergent.is_empty() && self.in_flight_txns == 0
+    }
+}
+
+/// The simulator. Construct with [`HybridSystem::new`], execute with
+/// [`HybridSystem::run`].
+///
+/// # Examples
+///
+/// ```
+/// use hls_core::{HybridSystem, RouterSpec, SystemConfig};
+///
+/// let cfg = SystemConfig::paper_default()
+///     .with_total_rate(10.0)
+///     .with_horizon(60.0, 10.0);
+/// let metrics = HybridSystem::new(cfg, RouterSpec::QueueLength)
+///     .expect("valid config")
+///     .run();
+/// assert!(metrics.completions > 0);
+/// ```
+#[derive(Debug)]
+pub struct HybridSystem {
+    cfg: SystemConfig,
+    queue: EventQueue<Ev>,
+    net: StarNetwork,
+    sites: Vec<SiteState>,
+    central: CentralState,
+    txns: HashMap<u64, Txn>,
+    jobs: HashMap<u64, JobKind>,
+    router: Box<dyn Router>,
+    generator: TxnGenerator,
+    arrivals: Vec<ArrivalProcess>,
+    site_rngs: Vec<StdRng>,
+    route_rng: StdRng,
+    next_txn: u64,
+    next_job: u64,
+    next_write: u64,
+    msg_counts: HashMap<&'static str, u64>,
+    metrics: MetricsCollector,
+    end: SimTime,
+    trace: Option<Trace>,
+    samples: Option<(f64, Vec<SamplePoint>)>,
+}
+
+impl HybridSystem {
+    /// Builds a simulator from a configuration and a routing policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the violated constraint for an
+    /// inconsistent configuration.
+    pub fn new(cfg: SystemConfig, router: RouterSpec) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let n = cfg.params.n_sites;
+        let streams = RngStreams::new(cfg.seed);
+        let generator = TxnGenerator::new(cfg.workload_spec())?;
+        let arrivals: Vec<ArrivalProcess> = match &cfg.site_profiles {
+            Some(profiles) => profiles.iter().cloned().map(ArrivalProcess::new).collect(),
+            None => (0..n)
+                .map(|_| ArrivalProcess::new(cfg.arrival_profile.clone()))
+                .collect(),
+        };
+        let sites = (0..n)
+            .map(|_| SiteState {
+                cpu: MultiServer::new(1, cfg.params.local_mips),
+                locks: LockTable::new(),
+                n_txns: 0,
+                latest_central: CentralSnapshot::default(),
+                async_buffer: Vec::new(),
+                busy_at_warmup: 0.0,
+                store: HashMap::new(),
+            })
+            .collect();
+        let central = CentralState {
+            cpu: MultiServer::new(cfg.params.central_servers, cfg.params.central_mips),
+            locks: LockTable::new(),
+            n_txns: 0,
+            busy_at_warmup: 0.0,
+            store: HashMap::new(),
+        };
+        let warmup = SimTime::from_secs(cfg.warmup);
+        let end = SimTime::from_secs(cfg.sim_time);
+        let net = StarNetwork::new(n, SimDuration::from_secs(cfg.params.comm_delay));
+        Ok(HybridSystem {
+            router: router.build(n),
+            generator,
+            arrivals,
+            site_rngs: (0..n).map(|i| streams.stream(i as u64)).collect(),
+            route_rng: streams.stream(1_000_003),
+            queue: EventQueue::new(),
+            net,
+            sites,
+            central,
+            txns: HashMap::new(),
+            jobs: HashMap::new(),
+            next_txn: 1,
+            next_job: 1,
+            next_write: 1,
+            msg_counts: HashMap::new(),
+            metrics: MetricsCollector::new(warmup),
+            end,
+            trace: None,
+            samples: None,
+            cfg,
+        })
+    }
+
+    /// Enables protocol-event tracing (see [`Trace`]); use
+    /// [`HybridSystem::run_traced`] to retrieve the trace.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::new());
+    }
+
+    /// Runs with tracing enabled, returning metrics and the protocol trace.
+    #[must_use]
+    pub fn run_traced(mut self) -> (RunMetrics, Trace) {
+        self.enable_trace();
+        let mut trace_out = Trace::new();
+        let metrics = self.run_internal(Some(&mut trace_out));
+        (metrics, trace_out)
+    }
+
+    fn trace(&mut self, at: SimTime, f: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(at, f());
+        }
+    }
+
+    /// Runs the simulation to the configured horizon and returns the
+    /// metrics measured after warm-up.
+    #[must_use]
+    pub fn run(mut self) -> RunMetrics {
+        self.run_internal(None)
+    }
+
+    /// Runs while sampling system state every `interval` seconds,
+    /// returning the metrics and the time series — used to visualize
+    /// transient behaviour such as routing oscillations on stale state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive and finite.
+    #[must_use]
+    pub fn run_sampled(mut self, interval: f64) -> (RunMetrics, Vec<SamplePoint>) {
+        assert!(
+            interval > 0.0 && interval.is_finite(),
+            "sample interval must be positive and finite, got {interval}"
+        );
+        self.samples = Some((interval, Vec::new()));
+        self.queue
+            .schedule(SimTime::from_secs(interval), Ev::Sample);
+        let metrics = self.run_internal(None);
+        let samples = self.samples.take().map(|(_, v)| v).unwrap_or_default();
+        (metrics, samples)
+    }
+
+    /// Runs to the horizon, then **drains**: arrivals stop but every
+    /// in-flight transaction and protocol message is processed to
+    /// completion, after which the replica stores are compared.
+    ///
+    /// Returns the metrics and a [`ConvergenceReport`] asserting that the
+    /// central replica converged to the master copies — the end-to-end
+    /// correctness property of the asynchronous coherency protocol. Note
+    /// that drained metrics include post-horizon completions; use
+    /// [`HybridSystem::run`] for measurement runs.
+    #[must_use]
+    pub fn run_drained(mut self) -> (RunMetrics, ConvergenceReport) {
+        let metrics = self.run_internal(None);
+        // Process everything left in the pipeline.
+        while let Some((now, ev)) = self.queue.pop() {
+            self.handle(now, ev);
+        }
+        let report = self.convergence_report();
+        (metrics, report)
+    }
+
+    /// Compares the central replica against the master copies item by
+    /// item. Only meaningful once the system is fully drained.
+    fn convergence_report(&self) -> ConvergenceReport {
+        let spec = *self.generator.spec();
+        let mut items_checked = 0;
+        let mut divergent = Vec::new();
+        for (site, state) in self.sites.iter().enumerate() {
+            for (&item, &stamp) in &state.store {
+                debug_assert_eq!(spec.master_of(item), site);
+                items_checked += 1;
+                if self.central.store.get(&item) != Some(&stamp) {
+                    divergent.push(item);
+                }
+            }
+        }
+        // Items written only centrally must exist at their master too.
+        for (&item, &stamp) in &self.central.store {
+            let site = spec.master_of(item);
+            if self.sites[site].store.get(&item) != Some(&stamp) && !divergent.contains(&item) {
+                divergent.push(item);
+            }
+        }
+        divergent.sort_unstable();
+        divergent.dedup();
+        ConvergenceReport {
+            items_checked,
+            in_flight_txns: self.txns.len(),
+            divergent,
+        }
+    }
+
+    fn run_internal(&mut self, trace_out: Option<&mut Trace>) -> RunMetrics {
+        for site in 0..self.cfg.params.n_sites {
+            let first = {
+                let rng = &mut self.site_rngs[site];
+                self.arrivals[site].next_after(rng, SimTime::ZERO)
+            };
+            self.queue.schedule(first, Ev::Arrival { site });
+        }
+        self.queue
+            .schedule(SimTime::from_secs(self.cfg.warmup), Ev::EndWarmup);
+
+        while let Some(t) = self.queue.peek_time() {
+            if t >= self.end {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event");
+            self.handle(now, ev);
+        }
+        if let (Some(out), Some(collected)) = (trace_out, self.trace.take()) {
+            *out = collected;
+        }
+        self.finalize()
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrival { site } => self.on_arrival(now, site),
+            Ev::CpuDone { loc, job } => self.on_cpu_done(now, loc, job),
+            Ev::IoDone { txn } => self.on_io_done(now, txn),
+            Ev::MsgArrive { to, msg, snap } => self.on_msg(now, to, msg, snap),
+            Ev::FlushAsync { site } => self.flush_async(now, site),
+            Ev::Sample => self.on_sample(now),
+            Ev::EndWarmup => self.on_end_warmup(now),
+        }
+    }
+
+    fn on_sample(&mut self, now: SimTime) {
+        let Some((interval, samples)) = self.samples.as_mut() else {
+            return;
+        };
+        let q_local_sum: usize = self.sites.iter().map(|s| s.cpu.queue_len()).sum();
+        let n_local_total: usize = self.sites.iter().map(|s| s.n_txns).sum();
+        samples.push(SamplePoint {
+            at: now.as_secs(),
+            q_central: self.central.cpu.queue_len(),
+            n_central: self.central.n_txns,
+            q_local_mean: q_local_sum as f64 / self.sites.len() as f64,
+            n_local_total,
+        });
+        let next = now + SimDuration::from_secs(*interval);
+        if next < self.end {
+            self.queue.schedule(next, Ev::Sample);
+        }
+    }
+
+    fn on_end_warmup(&mut self, now: SimTime) {
+        for s in &mut self.sites {
+            s.busy_at_warmup = s.cpu.busy_server_seconds(now);
+        }
+        self.central.busy_at_warmup = self.central.cpu.busy_server_seconds(now);
+    }
+
+    fn on_arrival(&mut self, now: SimTime, site: usize) {
+        // Schedule the next arrival at this site.
+        let next = {
+            let rng = &mut self.site_rngs[site];
+            self.arrivals[site].next_after(rng, now)
+        };
+        if next < self.end {
+            self.queue.schedule(next, Ev::Arrival { site });
+        }
+
+        let spec = self.generator.generate(&mut self.site_rngs[site], site);
+        self.metrics.on_arrival(now);
+
+        let route = if spec.class == TxnClass::B {
+            Route::Central
+        } else {
+            let obs = self.observe(site);
+            let mut ctx = RouteCtx {
+                now,
+                site,
+                obs,
+                params: &self.cfg.params,
+                rng: &mut self.route_rng,
+            };
+            let route = self.router.decide(&mut ctx);
+            self.metrics.on_route_class_a(now, route == Route::Central);
+            route
+        };
+
+        let id = self.next_txn;
+        self.next_txn += 1;
+        let class = spec.class;
+        let mut txn = Txn::new(id, spec, route, now);
+        if class == TxnClass::B && self.cfg.class_b_mode == ClassBMode::RemoteCalls {
+            // The transaction stays at the origin: it starts with its setup
+            // I/O rather than terminal-message forwarding.
+            txn.remote_calls = true;
+            txn.phase = Phase::SetupIo;
+        }
+        self.txns.insert(id, txn);
+        self.trace(now, || TraceEvent::Arrival {
+            txn: id,
+            site,
+            class,
+            route,
+        });
+
+        match route {
+            Route::Local => {
+                self.sites[site].n_txns += 1;
+                self.schedule_io(now, id, self.cfg.params.setup_io);
+            }
+            Route::Central if self.txns[&id].remote_calls => {
+                self.schedule_io(now, id, self.cfg.params.setup_io);
+            }
+            Route::Central => {
+                let instr = self.cfg.params.ship_origin_instr + self.cfg.params.ship_msg_instr;
+                self.submit_cpu(now, Locale::Site(site), JobKind::TxnPhase(id), instr);
+            }
+        }
+    }
+
+    /// What a router at `site` can observe right now.
+    fn observe(&self, site: usize) -> Observed {
+        let s = &self.sites[site];
+        let snap = if self.cfg.instantaneous_state {
+            self.central_snapshot()
+        } else {
+            s.latest_central
+        };
+        Observed {
+            q_local: s.cpu.queue_len() as f64,
+            q_central: snap.q_cpu as f64,
+            n_local: s.n_txns as f64,
+            n_central: snap.n_txns as f64,
+            locks_local: s.locks.grants_count() as f64,
+            locks_central: snap.n_locks as f64,
+        }
+    }
+
+    fn central_snapshot(&self) -> CentralSnapshot {
+        CentralSnapshot {
+            q_cpu: self.central.cpu.queue_len(),
+            n_txns: self.central.n_txns,
+            n_locks: self.central.locks.grants_count(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CPU plumbing
+    // ------------------------------------------------------------------
+
+    fn cpu_of(&mut self, loc: Locale) -> &mut MultiServer {
+        match loc {
+            Locale::Site(i) => &mut self.sites[i].cpu,
+            Locale::Central => &mut self.central.cpu,
+        }
+    }
+
+    fn submit_cpu(&mut self, now: SimTime, loc: Locale, kind: JobKind, instr: f64) {
+        let job_id = self.next_job;
+        self.next_job += 1;
+        self.jobs.insert(job_id, kind);
+        if let Some(start) = self.cpu_of(loc).submit(now, Job::new(job_id, instr)) {
+            self.queue.schedule(
+                start.done_at,
+                Ev::CpuDone {
+                    loc,
+                    job: start.job_id,
+                },
+            );
+        }
+    }
+
+    fn on_cpu_done(&mut self, now: SimTime, loc: Locale, job_id: u64) {
+        let (job, next) = self.cpu_of(loc).complete(now, job_id);
+        if let Some(start) = next {
+            self.queue.schedule(
+                start.done_at,
+                Ev::CpuDone {
+                    loc,
+                    job: start.job_id,
+                },
+            );
+        }
+        let kind = self.jobs.remove(&job.id).expect("unknown CPU job");
+        match kind {
+            JobKind::TxnPhase(txn) => self.txn_cpu_done(now, txn, loc),
+            JobKind::AuthProcess { txn, site, locks } => {
+                self.finish_auth_process(now, txn, site, &locks);
+            }
+            JobKind::ApplyAsync { from, writes } => {
+                self.finish_apply_async(now, from, &writes);
+            }
+            JobKind::ApplyCommit { txn, site, writes } => {
+                self.finish_apply_commit(now, txn, site, &writes);
+            }
+        }
+    }
+
+    fn schedule_io(&mut self, now: SimTime, txn: u64, secs: f64) {
+        self.queue
+            .schedule(now + SimDuration::from_secs(secs), Ev::IoDone { txn });
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction lifecycle
+    // ------------------------------------------------------------------
+
+    fn locale_of(&self, txn: &Txn) -> Locale {
+        match txn.route {
+            Route::Local => Locale::Site(txn.spec.origin),
+            Route::Central => Locale::Central,
+        }
+    }
+
+    fn txn_cpu_done(&mut self, now: SimTime, id: u64, loc: Locale) {
+        let phase = self.txns[&id].phase;
+        match phase {
+            Phase::OriginMsgCpu => {
+                let origin = self.txns[&id].spec.origin;
+                debug_assert_eq!(loc, Locale::Site(origin));
+                let remote = self.txns[&id].remote_calls;
+                self.txns.get_mut(&id).expect("txn").phase = Phase::InTransit;
+                let msg = if remote {
+                    Msg::RemoteCallReq { txn: id }
+                } else {
+                    Msg::ShipTxn { txn: id }
+                };
+                self.send(now, NodeId::local(origin as u32), NodeId::CENTRAL, msg);
+            }
+            Phase::InitCpu => {
+                if self.txns[&id].remote_calls && !self.txns[&id].is_rerun() {
+                    self.origin_issue_call(now, id);
+                } else {
+                    self.start_call_cpu(now, id);
+                }
+            }
+            Phase::CallCpu => self.request_current_lock(now, id),
+            Phase::CommitCpu => match self.txns[&id].route {
+                Route::Local => self.finish_local_commit(now, id),
+                Route::Central => self.send_auth_requests(now, id),
+            },
+            other => unreachable!("CPU completion in non-CPU phase {other:?}"),
+        }
+    }
+
+    fn on_io_done(&mut self, now: SimTime, id: u64) {
+        let txn = self.txns.get_mut(&id).expect("I/O done for unknown txn");
+        match txn.phase {
+            Phase::SetupIo => {
+                txn.phase = Phase::InitCpu;
+                let p = &self.cfg.params;
+                let (loc, instr) = match txn.route {
+                    Route::Local => (
+                        Locale::Site(txn.spec.origin),
+                        p.init_instr + p.io_overhead_instr,
+                    ),
+                    // Remote-call transactions initialize at their origin.
+                    Route::Central if txn.remote_calls => (
+                        Locale::Site(txn.spec.origin),
+                        p.init_instr + p.io_overhead_instr,
+                    ),
+                    Route::Central => (
+                        Locale::Central,
+                        (p.init_instr - p.ship_origin_instr) + p.io_overhead_instr,
+                    ),
+                };
+                self.submit_cpu(now, loc, JobKind::TxnPhase(id), instr);
+            }
+            Phase::CallIo => self.advance_call(now, id),
+            other => unreachable!("I/O completion in non-I/O phase {other:?}"),
+        }
+    }
+
+    /// Remote-call mode: the origin spends per-call message handling, then
+    /// sends the next remote function call to the central complex.
+    fn origin_issue_call(&mut self, now: SimTime, id: u64) {
+        let origin = self.txns[&id].spec.origin;
+        self.txns.get_mut(&id).expect("txn").phase = Phase::OriginMsgCpu;
+        self.submit_cpu(
+            now,
+            Locale::Site(origin),
+            JobKind::TxnPhase(id),
+            self.cfg.params.ship_msg_instr,
+        );
+    }
+
+    /// Submits the CPU burst of the current database call.
+    fn start_call_cpu(&mut self, now: SimTime, id: u64) {
+        let (is_rerun, loc) = {
+            let txn = &self.txns[&id];
+            (txn.is_rerun(), self.locale_of(txn))
+        };
+        self.txns.get_mut(&id).expect("txn").phase = Phase::CallCpu;
+        let p = &self.cfg.params;
+        let instr = if is_rerun {
+            p.db_call_instr
+        } else {
+            p.db_call_instr + p.io_overhead_instr
+        };
+        self.submit_cpu(now, loc, JobKind::TxnPhase(id), instr);
+    }
+
+    fn request_current_lock(&mut self, now: SimTime, id: u64) {
+        let (lock, mode, loc) = {
+            let txn = &self.txns[&id];
+            let (lock, mode) = txn.spec.locks[txn.call_idx];
+            (lock, mode, self.locale_of(txn))
+        };
+        let owner = OwnerId(id);
+        let table = match loc {
+            Locale::Site(i) => &mut self.sites[i].locks,
+            Locale::Central => &mut self.central.locks,
+        };
+        match table.request(owner, lock, mode) {
+            RequestOutcome::Granted | RequestOutcome::AlreadyHeld => {
+                self.after_lock_granted(now, id);
+            }
+            RequestOutcome::Queued => {
+                // Mark the requester as waiting first: breaking a cycle may
+                // immediately grant its lock via the victim's releases.
+                let txn = self.txns.get_mut(&id).expect("txn");
+                txn.phase = Phase::LockWait;
+                txn.wait_since = now;
+                self.break_deadlocks(now, id, loc);
+            }
+        }
+    }
+
+    /// Detects and breaks deadlock cycles created by `requester`'s wait,
+    /// aborting victims per the configured policy until no cycle remains
+    /// or the requester itself is the victim.
+    ///
+    /// "In the case of a contention that leads into a deadlock the
+    /// transaction is aborted and all locks held are released."
+    fn break_deadlocks(&mut self, now: SimTime, requester: u64, loc: Locale) {
+        loop {
+            let cycle = {
+                let table = match loc {
+                    Locale::Site(i) => &self.sites[i].locks,
+                    Locale::Central => &self.central.locks,
+                };
+                if table.waiting_for(OwnerId(requester)).is_none() {
+                    return; // granted while breaking a previous cycle
+                }
+                table.deadlock_cycle(OwnerId(requester))
+            };
+            if cycle.is_empty() {
+                return;
+            }
+            let victim = self.select_victim(&cycle, requester, loc);
+            let grants = match loc {
+                Locale::Site(i) => self.sites[i].locks.release_all(OwnerId(victim)),
+                Locale::Central => self.central.locks.release_all(OwnerId(victim)),
+            };
+            let route = match loc {
+                Locale::Site(_) => {
+                    self.metrics.on_abort(now, |a| a.deadlock_local += 1);
+                    Route::Local
+                }
+                Locale::Central => {
+                    self.metrics.on_abort(now, |a| a.deadlock_central += 1);
+                    Route::Central
+                }
+            };
+            self.trace(now, || TraceEvent::DeadlockAbort { txn: victim, route });
+            debug_assert_eq!(
+                self.txns[&victim].phase,
+                Phase::LockWait,
+                "deadlock victim must be blocked"
+            );
+            self.txns
+                .get_mut(&victim)
+                .expect("victim")
+                .begin_rerun(true);
+            self.resume_grants(now, &grants, loc);
+            self.start_call_cpu(now, victim);
+            if victim == requester {
+                return;
+            }
+        }
+    }
+
+    /// Applies the configured victim-selection policy to a cycle.
+    fn select_victim(&self, cycle: &[OwnerId], requester: u64, loc: Locale) -> u64 {
+        match self.cfg.deadlock_victim {
+            crate::config::DeadlockVictim::Requester => requester,
+            crate::config::DeadlockVictim::Youngest => {
+                cycle.iter().map(|o| o.0).max().expect("non-empty cycle")
+            }
+            crate::config::DeadlockVictim::FewestLocks => {
+                let table = match loc {
+                    Locale::Site(i) => &self.sites[i].locks,
+                    Locale::Central => &self.central.locks,
+                };
+                cycle
+                    .iter()
+                    .map(|o| o.0)
+                    .min_by_key(|&o| (table.held_locks(OwnerId(o)).len(), u64::MAX - o))
+                    .expect("non-empty cycle")
+            }
+        }
+    }
+
+    fn after_lock_granted(&mut self, now: SimTime, id: u64) {
+        let txn = self.txns.get_mut(&id).expect("txn");
+        if txn.phase == Phase::LockWait {
+            txn.lock_wait_total += (now - txn.wait_since).as_secs();
+        }
+        if txn.is_rerun() {
+            // Re-runs find all data in memory: no I/O.
+            self.advance_call(now, id);
+        } else {
+            txn.phase = Phase::CallIo;
+            self.schedule_io(now, id, self.cfg.params.io_per_call);
+        }
+    }
+
+    fn advance_call(&mut self, now: SimTime, id: u64) {
+        let (done, pause_remote, origin) = {
+            let txn = self.txns.get_mut(&id).expect("txn");
+            txn.call_idx += 1;
+            (
+                txn.call_idx >= txn.spec.locks.len(),
+                txn.remote_calls && !txn.is_rerun(),
+                txn.spec.origin,
+            )
+        };
+        if done {
+            self.begin_commit(now, id);
+        } else if pause_remote {
+            // Return the function-call result; the origin issues the next
+            // call after another round trip.
+            self.txns.get_mut(&id).expect("txn").phase = Phase::InTransit;
+            self.send(
+                now,
+                NodeId::CENTRAL,
+                NodeId::local(origin as u32),
+                Msg::RemoteCallResp { txn: id },
+            );
+        } else {
+            self.start_call_cpu(now, id);
+        }
+    }
+
+    fn begin_commit(&mut self, now: SimTime, id: u64) {
+        if self.txns[&id].marked_abort {
+            self.abort_and_rerun(now, id);
+            return;
+        }
+        let route = {
+            let txn = self.txns.get_mut(&id).expect("txn");
+            txn.phase = Phase::CommitCpu;
+            txn.route
+        };
+        let loc = self.locale_of(&self.txns[&id]);
+        let p = &self.cfg.params;
+        let instr = match route {
+            // Commit processing: send the asynchronous update message.
+            Route::Local => p.async_update_instr,
+            // Commit processing: send one authentication message per
+            // involved master site.
+            Route::Central => {
+                let sites = self.auth_sites_of(id);
+                let n = sites.len();
+                self.txns.get_mut(&id).expect("txn").auth_sites = sites;
+                p.auth_instr * n as f64
+            }
+        };
+        self.submit_cpu(now, loc, JobKind::TxnPhase(id), instr);
+    }
+
+    /// Distinct master sites of the transaction's locks, in first-reference
+    /// order (deterministic).
+    fn auth_sites_of(&self, id: u64) -> Vec<usize> {
+        let spec = *self.generator.spec();
+        let txn = &self.txns[&id];
+        let mut sites = Vec::new();
+        for &(lock, _) in &txn.spec.locks {
+            let m = spec.master_of(lock);
+            if !sites.contains(&m) {
+                sites.push(m);
+            }
+        }
+        sites
+    }
+
+    /// A transaction found marked for abort (invalidation / authentication
+    /// seizure / failed authentication): re-run, keeping its current locks
+    /// ("locks ... are not released after an abort").
+    fn abort_and_rerun(&mut self, now: SimTime, id: u64) {
+        let route = self.txns[&id].route;
+        match route {
+            Route::Local => self.metrics.on_abort(now, |a| a.local_invalidated += 1),
+            Route::Central => self.metrics.on_abort(now, |a| a.central_invalidated += 1),
+        }
+        self.trace(now, || TraceEvent::InvalidationAbort { txn: id, route });
+        self.txns.get_mut(&id).expect("txn").begin_rerun(false);
+        self.start_call_cpu(now, id);
+    }
+
+    // ------------------------------------------------------------------
+    // Local commit and asynchronous propagation
+    // ------------------------------------------------------------------
+
+    fn finish_local_commit(&mut self, now: SimTime, id: u64) {
+        // The mark may have been set while the commit burst was queued.
+        if self.txns[&id].marked_abort {
+            self.abort_and_rerun(now, id);
+            return;
+        }
+        let site = self.txns[&id].spec.origin;
+        let owner = OwnerId(id);
+
+        let grants = self.sites[site].locks.release_all(owner);
+        self.resume_grants(now, &grants, Locale::Site(site));
+
+        let updated: Vec<LockId> = self.txns[&id].spec.updated_locks().collect();
+        self.trace(now, || TraceEvent::LocalCommit {
+            txn: id,
+            site,
+            updated: updated.clone(),
+        });
+        if !updated.is_empty() {
+            // Apply the writes to the master copy and stamp them for
+            // propagation to the central replica.
+            let mut writes = Vec::with_capacity(updated.len());
+            for &l in &updated {
+                let stamp = self.next_write;
+                self.next_write += 1;
+                self.sites[site].store.insert(l, stamp);
+                self.sites[site].locks.incr_coherence(l);
+                writes.push((l, stamp));
+            }
+            match self.cfg.async_batch_window {
+                None => {
+                    self.trace(now, || TraceEvent::AsyncSent {
+                        site,
+                        locks: writes.iter().map(|&(l, _)| l).collect(),
+                    });
+                    self.send(
+                        now,
+                        NodeId::local(site as u32),
+                        NodeId::CENTRAL,
+                        Msg::AsyncUpdate { from: site, writes },
+                    );
+                }
+                Some(window) => {
+                    let buffer_was_empty = self.sites[site].async_buffer.is_empty();
+                    self.sites[site].async_buffer.extend(writes);
+                    if buffer_was_empty {
+                        self.queue.schedule(
+                            now + SimDuration::from_secs(window),
+                            Ev::FlushAsync { site },
+                        );
+                    }
+                }
+            }
+        }
+
+        self.sites[site].n_txns -= 1;
+        let txn = self.txns.remove(&id).expect("txn");
+        let rt = now - txn.arrival;
+        let attempts = txn.attempts;
+        self.trace(now, || TraceEvent::Completion {
+            txn: id,
+            class: TxnClass::A,
+            route: Route::Local,
+            response: rt,
+            attempts,
+        });
+        self.metrics
+            .on_local_a_done(now, rt, attempts, txn.lock_wait_total);
+        self.router.on_local_completion(site, rt);
+    }
+
+    fn flush_async(&mut self, now: SimTime, site: usize) {
+        let writes = std::mem::take(&mut self.sites[site].async_buffer);
+        if !writes.is_empty() {
+            self.trace(now, || TraceEvent::AsyncSent {
+                site,
+                locks: writes.iter().map(|&(l, _)| l).collect(),
+            });
+            self.send(
+                now,
+                NodeId::local(site as u32),
+                NodeId::CENTRAL,
+                Msg::AsyncUpdate { from: site, writes },
+            );
+        }
+    }
+
+    fn finish_apply_async(&mut self, now: SimTime, from: usize, writes: &[(LockId, u64)]) {
+        // Invalidate central holders of the updated elements and apply the
+        // writes to the central replica.
+        let mut invalidated = Vec::new();
+        for &(lock, stamp) in writes {
+            for (holder, _) in self.central.locks.holders(lock) {
+                if let Some(t) = self.txns.get_mut(&holder.0) {
+                    if !t.marked_abort {
+                        invalidated.push(holder.0);
+                    }
+                    t.marked_abort = true;
+                }
+            }
+            self.central.store.insert(lock, stamp);
+        }
+        self.trace(now, || TraceEvent::AsyncApplied {
+            site: from,
+            locks: writes.iter().map(|&(l, _)| l).collect(),
+            invalidated,
+        });
+        self.send(
+            now,
+            NodeId::CENTRAL,
+            NodeId::local(from as u32),
+            Msg::AsyncAck {
+                locks: writes.iter().map(|&(l, _)| l).collect(),
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Authentication phase
+    // ------------------------------------------------------------------
+
+    fn send_auth_requests(&mut self, now: SimTime, id: u64) {
+        if self.txns[&id].marked_abort {
+            self.abort_and_rerun(now, id);
+            return;
+        }
+        let spec = *self.generator.spec();
+        let (sites, lock_lists): (Vec<usize>, Vec<Vec<(LockId, LockMode)>>) = {
+            let txn = self.txns.get_mut(&id).expect("txn");
+            txn.phase = Phase::AuthWait;
+            txn.auth_pending = txn.auth_sites.len();
+            txn.auth_negative = false;
+            let sites = txn.auth_sites.clone();
+            let lists = sites
+                .iter()
+                .map(|&s| {
+                    txn.spec
+                        .locks
+                        .iter()
+                        .copied()
+                        .filter(|&(l, _)| spec.master_of(l) == s)
+                        .collect()
+                })
+                .collect();
+            (sites, lists)
+        };
+        self.trace(now, || TraceEvent::AuthStarted {
+            txn: id,
+            sites: sites.clone(),
+        });
+        for (site, locks) in sites.into_iter().zip(lock_lists) {
+            self.send(
+                now,
+                NodeId::CENTRAL,
+                NodeId::local(site as u32),
+                Msg::AuthRequest { txn: id, locks },
+            );
+        }
+    }
+
+    fn finish_auth_process(
+        &mut self,
+        now: SimTime,
+        id: u64,
+        site: usize,
+        locks: &[(LockId, LockMode)],
+    ) {
+        // Coherence check: any in-flight asynchronous update on the
+        // requested elements forces a negative acknowledgement.
+        let positive = {
+            let table = &self.sites[site].locks;
+            locks.iter().all(|&(l, _)| table.coherence(l) == 0)
+        };
+        let mut displaced_all = Vec::new();
+        if positive {
+            let owner = OwnerId(id);
+            for &(lock, mode) in locks {
+                let out = self.sites[site].locks.force_acquire(lock, owner, mode);
+                for victim in out.displaced {
+                    if let Some(t) = self.txns.get_mut(&victim.0) {
+                        if !t.marked_abort {
+                            displaced_all.push(victim.0);
+                        }
+                        t.marked_abort = true;
+                    }
+                }
+                self.resume_grants(now, &out.grants, Locale::Site(site));
+            }
+        }
+        self.trace(now, || TraceEvent::AuthProcessed {
+            txn: id,
+            site,
+            positive,
+            displaced: displaced_all.clone(),
+        });
+        self.send(
+            now,
+            NodeId::local(site as u32),
+            NodeId::CENTRAL,
+            Msg::AuthReply { txn: id, positive },
+        );
+    }
+
+    fn on_auth_reply(&mut self, now: SimTime, id: u64, positive: bool) {
+        let resolved = {
+            let txn = self.txns.get_mut(&id).expect("auth reply for unknown txn");
+            debug_assert_eq!(txn.phase, Phase::AuthWait);
+            txn.auth_pending -= 1;
+            if !positive {
+                txn.auth_negative = true;
+            }
+            txn.auth_pending == 0
+        };
+        if resolved {
+            self.resolve_auth(now, id);
+        }
+    }
+
+    fn resolve_auth(&mut self, now: SimTime, id: u64) {
+        let (negative, invalidated, sites) = {
+            let txn = &self.txns[&id];
+            (txn.auth_negative, txn.marked_abort, txn.auth_sites.clone())
+        };
+        if negative || invalidated {
+            // Failed authentication: release any locks seized at the master
+            // sites, then re-execute and repeat the process.
+            for site in &sites {
+                self.send(
+                    now,
+                    NodeId::CENTRAL,
+                    NodeId::local(*site as u32),
+                    Msg::AuthRelease { txn: id },
+                );
+            }
+            if negative && !invalidated {
+                self.metrics.on_abort(now, |a| a.central_neg_ack += 1);
+            } else {
+                self.metrics.on_abort(now, |a| a.central_invalidated += 1);
+            }
+            self.trace(now, || TraceEvent::AuthResolved {
+                txn: id,
+                committed: false,
+            });
+            self.txns.get_mut(&id).expect("txn").begin_rerun(false);
+            self.start_call_cpu(now, id);
+        } else {
+            // Commit: release central locks, fan out commit messages, and
+            // notify the origin.
+            self.trace(now, || TraceEvent::AuthResolved {
+                txn: id,
+                committed: true,
+            });
+            // Apply the transaction's writes to the central replica and
+            // stamp them for the commit fan-out to the master sites.
+            let spec = *self.generator.spec();
+            let updated: Vec<LockId> = self.txns[&id].spec.updated_locks().collect();
+            let mut writes = Vec::with_capacity(updated.len());
+            for &l in &updated {
+                let stamp = self.next_write;
+                self.next_write += 1;
+                self.central.store.insert(l, stamp);
+                writes.push((l, stamp));
+            }
+            let owner = OwnerId(id);
+            let grants = self.central.locks.release_all(owner);
+            self.resume_grants(now, &grants, Locale::Central);
+            self.central.n_txns -= 1;
+            for site in &sites {
+                let site_writes: Vec<(LockId, u64)> = writes
+                    .iter()
+                    .copied()
+                    .filter(|&(l, _)| spec.master_of(l) == *site)
+                    .collect();
+                self.send(
+                    now,
+                    NodeId::CENTRAL,
+                    NodeId::local(*site as u32),
+                    Msg::CommitMsg {
+                        txn: id,
+                        writes: site_writes,
+                    },
+                );
+            }
+            let origin = self.txns[&id].spec.origin;
+            self.send(
+                now,
+                NodeId::CENTRAL,
+                NodeId::local(origin as u32),
+                Msg::Reply { txn: id },
+            );
+        }
+    }
+
+    fn finish_apply_commit(
+        &mut self,
+        now: SimTime,
+        id: u64,
+        site: usize,
+        writes: &[(LockId, u64)],
+    ) {
+        for &(l, stamp) in writes {
+            self.sites[site].store.insert(l, stamp);
+        }
+        let grants = self.sites[site].locks.release_all(OwnerId(id));
+        self.resume_grants(now, &grants, Locale::Site(site));
+    }
+
+    // ------------------------------------------------------------------
+    // Lock grant resumption
+    // ------------------------------------------------------------------
+
+    fn resume_grants(&mut self, now: SimTime, grants: &[Grant], loc: Locale) {
+        for g in grants {
+            let id = g.owner.0;
+            debug_assert!(
+                self.txns.contains_key(&id),
+                "lock granted to unknown transaction"
+            );
+            debug_assert_eq!(
+                self.txns[&id].phase,
+                Phase::LockWait,
+                "grant to non-waiting txn"
+            );
+            debug_assert_eq!(self.locale_of(&self.txns[&id]), loc);
+            self.after_lock_granted(now, id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Messaging
+    // ------------------------------------------------------------------
+
+    fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: Msg) {
+        *self.msg_counts.entry(msg.kind()).or_insert(0) += 1;
+        // Every message from the central complex carries a state snapshot
+        // for the routing strategies.
+        let snap = from.is_central().then(|| self.central_snapshot());
+        let Envelope { deliver_at, .. } = self.net.send(now, from, to, ());
+        self.queue
+            .schedule(deliver_at, Ev::MsgArrive { to, msg, snap });
+    }
+
+    fn on_msg(&mut self, now: SimTime, to: NodeId, msg: Msg, snap: Option<CentralSnapshot>) {
+        if let (false, Some(s)) = (to.is_central(), snap) {
+            self.sites[to.local_index()].latest_central = s;
+        }
+        match msg {
+            Msg::ShipTxn { txn } => {
+                debug_assert!(to.is_central());
+                self.central.n_txns += 1;
+                self.txns.get_mut(&txn).expect("shipped txn").phase = Phase::SetupIo;
+                self.schedule_io(now, txn, self.cfg.params.setup_io);
+            }
+            Msg::AsyncUpdate { from, writes } => {
+                debug_assert!(to.is_central());
+                self.submit_cpu(
+                    now,
+                    Locale::Central,
+                    JobKind::ApplyAsync { from, writes },
+                    self.cfg.params.async_update_instr,
+                );
+            }
+            Msg::AsyncAck { locks } => {
+                let site = to.local_index();
+                for l in locks {
+                    self.sites[site].locks.decr_coherence(l);
+                }
+            }
+            Msg::AuthRequest { txn, locks } => {
+                let site = to.local_index();
+                self.submit_cpu(
+                    now,
+                    Locale::Site(site),
+                    JobKind::AuthProcess { txn, site, locks },
+                    self.cfg.params.auth_instr,
+                );
+            }
+            Msg::AuthReply { txn, positive } => self.on_auth_reply(now, txn, positive),
+            Msg::AuthRelease { txn } => {
+                let site = to.local_index();
+                let grants = self.sites[site].locks.release_all(OwnerId(txn));
+                self.resume_grants(now, &grants, Locale::Site(site));
+            }
+            Msg::CommitMsg { txn, writes } => {
+                let site = to.local_index();
+                self.submit_cpu(
+                    now,
+                    Locale::Site(site),
+                    JobKind::ApplyCommit { txn, site, writes },
+                    self.cfg.params.async_update_instr,
+                );
+            }
+            Msg::RemoteCallReq { txn } => {
+                debug_assert!(to.is_central());
+                {
+                    let t = self
+                        .txns
+                        .get_mut(&txn)
+                        .expect("remote call for unknown txn");
+                    if t.call_idx == 0 && !t.is_rerun() {
+                        self.central.n_txns += 1;
+                    }
+                }
+                self.start_call_cpu(now, txn);
+            }
+            Msg::RemoteCallResp { txn } => {
+                debug_assert!(!to.is_central());
+                self.origin_issue_call(now, txn);
+            }
+            Msg::Reply { txn } => {
+                let site = to.local_index();
+                let t = self.txns.remove(&txn).expect("reply for unknown txn");
+                let rt = now - t.arrival;
+                let (class, attempts) = (t.class(), t.attempts);
+                self.trace(now, || TraceEvent::Completion {
+                    txn,
+                    class,
+                    route: Route::Central,
+                    response: rt,
+                    attempts,
+                });
+                match class {
+                    TxnClass::A => {
+                        self.metrics
+                            .on_shipped_a_done(now, rt, attempts, t.lock_wait_total);
+                        self.router.on_shipped_completion(site, rt);
+                    }
+                    TxnClass::B => {
+                        self.metrics
+                            .on_class_b_done(now, rt, attempts, t.lock_wait_total);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Finalization
+    // ------------------------------------------------------------------
+
+    fn finalize(&self) -> RunMetrics {
+        let window = self.end - SimTime::from_secs(self.cfg.warmup);
+        let rho_local = self
+            .sites
+            .iter()
+            .map(|s| {
+                s.cpu.utilization(
+                    self.end,
+                    SimTime::from_secs(self.cfg.warmup),
+                    s.busy_at_warmup,
+                )
+            })
+            .sum::<f64>()
+            / self.sites.len() as f64;
+        let rho_central = self.central.cpu.utilization(
+            self.end,
+            SimTime::from_secs(self.cfg.warmup),
+            self.central.busy_at_warmup,
+        );
+        let _ = window;
+        let mut by_kind: Vec<(String, u64)> = self
+            .msg_counts
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect();
+        by_kind.sort();
+        let mut m =
+            self.metrics
+                .finalize(self.end, rho_local, rho_central, self.net.messages_sent());
+        m.messages_by_kind = by_kind;
+        m
+    }
+}
+
+/// Convenience wrapper: build and run in one call.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] naming the violated constraint for an
+/// inconsistent configuration.
+pub fn run_simulation(cfg: SystemConfig, router: RouterSpec) -> Result<RunMetrics, ConfigError> {
+    Ok(HybridSystem::new(cfg, router)?.run())
+}

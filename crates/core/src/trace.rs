@@ -1,0 +1,205 @@
+//! Protocol event tracing.
+//!
+//! When enabled, the simulator records every protocol-level event with its
+//! timestamp. Traces serve two purposes: debugging, and the
+//! protocol-invariant test suite (`tests/protocol_trace.rs`), which checks
+//! properties such as per-link FIFO application of asynchronous updates and
+//! commit/abort causality that cannot be observed from aggregate metrics.
+
+use hls_lockmgr::LockId;
+use hls_sim::{SimDuration, SimTime};
+use hls_workload::TxnClass;
+
+use crate::txn::Route;
+
+/// A protocol-level event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A transaction arrived and was routed.
+    Arrival {
+        /// Transaction id.
+        txn: u64,
+        /// Originating site.
+        site: usize,
+        /// Class A or B.
+        class: TxnClass,
+        /// Chosen route.
+        route: Route,
+    },
+    /// A transaction was aborted to break a deadlock (all locks released).
+    DeadlockAbort {
+        /// Victim transaction.
+        txn: u64,
+        /// Where it was running.
+        route: Route,
+    },
+    /// A transaction found itself marked for abort at commit time and
+    /// re-runs (locks retained).
+    InvalidationAbort {
+        /// Victim transaction.
+        txn: u64,
+        /// Where it was running.
+        route: Route,
+    },
+    /// A local class A transaction committed at its site.
+    LocalCommit {
+        /// The committing transaction.
+        txn: u64,
+        /// Its site.
+        site: usize,
+        /// Updated (exclusive) locks whose coherence counts were bumped.
+        updated: Vec<LockId>,
+    },
+    /// An asynchronous update message left a site for the central complex.
+    AsyncSent {
+        /// Originating site.
+        site: usize,
+        /// Lock ids carried (in commit order; batched messages carry
+        /// several transactions' locks).
+        locks: Vec<LockId>,
+    },
+    /// The central complex finished applying an asynchronous update.
+    AsyncApplied {
+        /// Originating site.
+        site: usize,
+        /// Lock ids applied.
+        locks: Vec<LockId>,
+        /// Central transactions invalidated (marked for abort) by it.
+        invalidated: Vec<u64>,
+    },
+    /// A central/shipped transaction began its authentication phase.
+    AuthStarted {
+        /// The authenticating transaction.
+        txn: u64,
+        /// Master sites contacted.
+        sites: Vec<usize>,
+    },
+    /// A master site finished processing an authentication request.
+    AuthProcessed {
+        /// The authenticating transaction.
+        txn: u64,
+        /// The master site.
+        site: usize,
+        /// `false` = coherence-count negative acknowledgement.
+        positive: bool,
+        /// Local holders displaced (marked for abort) by the seizure.
+        displaced: Vec<u64>,
+    },
+    /// The central complex resolved an authentication round.
+    AuthResolved {
+        /// The authenticating transaction.
+        txn: u64,
+        /// `true` = commit fan-out; `false` = re-execution.
+        committed: bool,
+    },
+    /// A completion reply reached the origin site.
+    Completion {
+        /// The completed transaction.
+        txn: u64,
+        /// Class A or B.
+        class: TxnClass,
+        /// Where it ran.
+        route: Route,
+        /// Response time.
+        response: SimDuration,
+        /// Number of re-runs it needed.
+        attempts: u32,
+    },
+}
+
+/// A timestamped protocol trace.
+///
+/// # Examples
+///
+/// ```
+/// use hls_core::{HybridSystem, RouterSpec, SystemConfig, TraceEvent};
+///
+/// let cfg = SystemConfig::paper_default()
+///     .with_total_rate(5.0)
+///     .with_horizon(20.0, 0.0);
+/// let (_, trace) = HybridSystem::new(cfg, RouterSpec::NoSharing)?.run_traced();
+/// let commits = trace
+///     .filter(|_, e| matches!(e, TraceEvent::LocalCommit { .. }).then_some(()))
+///     .count();
+/// assert!(commits > 0);
+/// # Ok::<(), hls_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<(SimTime, TraceEvent)>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        self.events.push((at, event));
+    }
+
+    /// All events in simulation order.
+    #[must_use]
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates events of one kind via a filter-map.
+    pub fn filter<'a, T: 'a>(
+        &'a self,
+        f: impl Fn(SimTime, &'a TraceEvent) -> Option<T> + 'a,
+    ) -> impl Iterator<Item = T> + 'a {
+        self.events.iter().filter_map(move |(t, e)| f(*t, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_in_order() {
+        let mut tr = Trace::new();
+        assert!(tr.is_empty());
+        tr.record(
+            SimTime::from_secs(1.0),
+            TraceEvent::AuthResolved {
+                txn: 1,
+                committed: true,
+            },
+        );
+        tr.record(
+            SimTime::from_secs(2.0),
+            TraceEvent::AuthResolved {
+                txn: 2,
+                committed: false,
+            },
+        );
+        assert_eq!(tr.len(), 2);
+        let committed: Vec<u64> = tr
+            .filter(|_, e| match e {
+                TraceEvent::AuthResolved {
+                    txn,
+                    committed: true,
+                } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(committed, vec![1]);
+    }
+}

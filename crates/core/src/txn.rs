@@ -1,0 +1,194 @@
+//! Transaction state tracked by the simulator.
+
+use hls_sim::SimTime;
+use hls_workload::{TxnClass, TxnSpec};
+use serde::{Deserialize, Serialize};
+
+/// Where a transaction executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Route {
+    /// At its originating local site (class A only).
+    Local,
+    /// At the central complex (class B, or shipped class A).
+    Central,
+}
+
+/// Lifecycle phase of an in-flight transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Shipped transactions: terminal message handling at the origin before
+    /// the forward message is sent.
+    OriginMsgCpu,
+    /// In transit to the central complex.
+    InTransit,
+    /// Initial (setup) I/O; no locks held.
+    SetupIo,
+    /// Initiation CPU burst.
+    InitCpu,
+    /// CPU burst of database call `call_idx`.
+    CallCpu,
+    /// Blocked waiting for the lock of database call `call_idx`.
+    LockWait,
+    /// I/O of database call `call_idx`.
+    CallIo,
+    /// Commit processing burst (asynchronous-update send for local
+    /// transactions; authentication-send for central transactions).
+    CommitCpu,
+    /// Central transactions: waiting for authentication replies.
+    AuthWait,
+}
+
+/// An in-flight transaction.
+#[derive(Debug, Clone)]
+pub struct Txn {
+    /// Unique id (also its lock-owner id and CPU-job id).
+    pub id: u64,
+    /// Immutable workload specification (class, origin, lock references).
+    pub spec: TxnSpec,
+    /// Where it was routed.
+    pub route: Route,
+    /// Arrival time at the origin site.
+    pub arrival: SimTime,
+    /// Current phase.
+    pub phase: Phase,
+    /// Index of the next database call / lock reference.
+    pub call_idx: usize,
+    /// Execution attempt number (0 = first run).
+    pub attempts: u32,
+    /// Set when a committed shipped/central transaction (via the
+    /// authentication phase) or an asynchronous update (at the central
+    /// site) invalidates this transaction; checked at commit time.
+    pub marked_abort: bool,
+    /// Whether the current attempt was caused by a deadlock abort (locks
+    /// were released, so they must be reacquired).
+    pub deadlock_rerun: bool,
+    /// Central transactions: authentication replies still outstanding.
+    pub auth_pending: usize,
+    /// Central transactions: a negative reply was received this round.
+    pub auth_negative: bool,
+    /// Central transactions: the distinct master sites involved in the
+    /// authentication phase.
+    pub auth_sites: Vec<usize>,
+    /// Class B in remote-function-call mode: stays at the origin and
+    /// performs one central round trip per database call.
+    pub remote_calls: bool,
+    /// When the current lock wait began (valid in `Phase::LockWait`).
+    pub wait_since: SimTime,
+    /// Total time spent blocked on locks across all attempts.
+    pub lock_wait_total: f64,
+}
+
+impl Txn {
+    /// Creates a transaction in its initial phase for the given route.
+    #[must_use]
+    pub fn new(id: u64, spec: TxnSpec, route: Route, arrival: SimTime) -> Self {
+        let phase = match route {
+            Route::Local => Phase::SetupIo,
+            Route::Central => Phase::OriginMsgCpu,
+        };
+        Txn {
+            id,
+            spec,
+            route,
+            arrival,
+            phase,
+            call_idx: 0,
+            attempts: 0,
+            marked_abort: false,
+            deadlock_rerun: false,
+            auth_pending: 0,
+            auth_negative: false,
+            auth_sites: Vec::new(),
+            remote_calls: false,
+            wait_since: arrival,
+            lock_wait_total: 0.0,
+        }
+    }
+
+    /// `true` for re-runs (data found in memory: no I/O, no re-initiation).
+    #[must_use]
+    pub fn is_rerun(&self) -> bool {
+        self.attempts > 0
+    }
+
+    /// The transaction's class.
+    #[must_use]
+    pub fn class(&self) -> TxnClass {
+        self.spec.class
+    }
+
+    /// `true` for class A transactions executed at the central complex.
+    #[must_use]
+    pub fn is_shipped_class_a(&self) -> bool {
+        self.spec.class == TxnClass::A && self.route == Route::Central
+    }
+
+    /// Resets per-attempt state for a re-run.
+    pub fn begin_rerun(&mut self, deadlock: bool) {
+        self.attempts += 1;
+        self.call_idx = 0;
+        self.marked_abort = false;
+        self.deadlock_rerun = deadlock;
+        self.auth_pending = 0;
+        self.auth_negative = false;
+        self.phase = Phase::CallCpu;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_lockmgr::{LockId, LockMode};
+
+    fn spec(class: TxnClass) -> TxnSpec {
+        TxnSpec {
+            class,
+            origin: 2,
+            locks: vec![(LockId(5), LockMode::Exclusive)],
+        }
+    }
+
+    #[test]
+    fn local_txn_starts_with_setup_io() {
+        let t = Txn::new(1, spec(TxnClass::A), Route::Local, SimTime::ZERO);
+        assert_eq!(t.phase, Phase::SetupIo);
+        assert!(!t.is_rerun());
+        assert!(!t.is_shipped_class_a());
+    }
+
+    #[test]
+    fn shipped_txn_starts_with_origin_processing() {
+        let t = Txn::new(1, spec(TxnClass::A), Route::Central, SimTime::ZERO);
+        assert_eq!(t.phase, Phase::OriginMsgCpu);
+        assert!(t.is_shipped_class_a());
+        assert_eq!(t.class(), TxnClass::A);
+    }
+
+    #[test]
+    fn class_b_is_not_shipped_class_a() {
+        let t = Txn::new(1, spec(TxnClass::B), Route::Central, SimTime::ZERO);
+        assert!(!t.is_shipped_class_a());
+    }
+
+    #[test]
+    fn lock_wait_accounting_starts_empty() {
+        let t = Txn::new(1, spec(TxnClass::A), Route::Local, SimTime::ZERO);
+        assert_eq!(t.lock_wait_total, 0.0);
+    }
+
+    #[test]
+    fn rerun_resets_attempt_state() {
+        let mut t = Txn::new(1, spec(TxnClass::A), Route::Local, SimTime::ZERO);
+        t.call_idx = 7;
+        t.marked_abort = true;
+        t.auth_pending = 3;
+        t.begin_rerun(true);
+        assert_eq!(t.attempts, 1);
+        assert!(t.is_rerun());
+        assert_eq!(t.call_idx, 0);
+        assert!(!t.marked_abort);
+        assert!(t.deadlock_rerun);
+        assert_eq!(t.auth_pending, 0);
+        assert_eq!(t.phase, Phase::CallCpu);
+    }
+}

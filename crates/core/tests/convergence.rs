@@ -1,0 +1,112 @@
+//! End-to-end replica-convergence tests: after the system drains, the
+//! central replica must hold exactly the same last write for every item as
+//! the item's master site. This is the correctness property the Section 2
+//! protocol (coherence counts, invalidation, authentication) exists to
+//! provide — and a drained run checks it for tens of thousands of
+//! committed writes.
+
+use hls_core::{DeadlockVictim, HybridSystem, RouterSpec, SystemConfig, UtilizationEstimator};
+
+fn drained(cfg: SystemConfig, spec: RouterSpec) {
+    let (metrics, report) = HybridSystem::new(cfg, spec)
+        .expect("valid config")
+        .run_drained();
+    assert!(metrics.completions > 0, "nothing ran");
+    assert_eq!(report.in_flight_txns, 0, "drain left transactions behind");
+    assert!(
+        report.divergent.is_empty(),
+        "replica diverged on {} of {} items: {:?}",
+        report.divergent.len(),
+        report.items_checked,
+        &report.divergent[..report.divergent.len().min(10)]
+    );
+    assert!(report.items_checked > 0, "no writes happened");
+}
+
+fn base(rate: f64) -> SystemConfig {
+    SystemConfig::paper_default()
+        .with_total_rate(rate)
+        .with_horizon(80.0, 10.0)
+        .with_seed(31)
+}
+
+#[test]
+fn converges_with_no_sharing() {
+    drained(base(12.0), RouterSpec::NoSharing);
+}
+
+#[test]
+fn converges_with_heavy_shipping() {
+    drained(base(12.0), RouterSpec::Static { p_ship: 0.8 });
+}
+
+#[test]
+fn converges_with_best_dynamic() {
+    drained(
+        base(16.0),
+        RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    );
+}
+
+#[test]
+fn converges_under_heavy_contention() {
+    // Small lock space: constant invalidations, seizures, negative acks
+    // and deadlocks — the hardest case for coherence.
+    let mut cfg = base(12.0);
+    cfg.params.lockspace = 800.0;
+    drained(cfg, RouterSpec::Static { p_ship: 0.5 });
+}
+
+#[test]
+fn converges_with_batched_async_updates() {
+    let mut cfg = base(12.0);
+    cfg.async_batch_window = Some(0.5);
+    drained(cfg, RouterSpec::Static { p_ship: 0.4 });
+}
+
+#[test]
+fn converges_with_large_delay() {
+    drained(
+        base(12.0).with_comm_delay(0.8),
+        RouterSpec::Static { p_ship: 0.5 },
+    );
+}
+
+#[test]
+fn converges_with_zero_delay() {
+    drained(
+        base(12.0).with_comm_delay(0.0),
+        RouterSpec::Static { p_ship: 0.5 },
+    );
+}
+
+#[test]
+fn converges_with_alternate_deadlock_victims() {
+    for victim in [DeadlockVictim::Youngest, DeadlockVictim::FewestLocks] {
+        let mut cfg = base(10.0);
+        cfg.params.lockspace = 1000.0;
+        cfg.deadlock_victim = victim;
+        drained(cfg, RouterSpec::Static { p_ship: 0.5 });
+    }
+}
+
+#[test]
+fn converges_with_mixed_read_write() {
+    let mut cfg = base(14.0);
+    cfg.write_fraction = 0.4;
+    drained(cfg, RouterSpec::QueueLength);
+}
+
+#[test]
+fn converges_on_small_hot_system() {
+    // 2 sites, tiny lock space, long horizon: maximal protocol churn.
+    let mut cfg = SystemConfig::paper_default()
+        .with_total_rate(6.0)
+        .with_horizon(200.0, 10.0)
+        .with_seed(77);
+    cfg.params.n_sites = 2;
+    cfg.params.lockspace = 300.0;
+    drained(cfg, RouterSpec::Static { p_ship: 0.5 });
+}

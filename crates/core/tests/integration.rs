@@ -1,0 +1,351 @@
+//! End-to-end integration tests of the hybrid system simulator: protocol
+//! behaviour, conservation, determinism, and configuration effects.
+
+use hls_core::{
+    run_simulation, HybridSystem, RateProfile, RouterSpec, SystemConfig, UtilizationEstimator,
+};
+
+fn quick(rate: f64) -> SystemConfig {
+    SystemConfig::paper_default()
+        .with_total_rate(rate)
+        .with_horizon(120.0, 20.0)
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let a = run_simulation(quick(12.0), RouterSpec::QueueLength).unwrap();
+    let b = run_simulation(quick(12.0), RouterSpec::QueueLength).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_simulation(quick(12.0), RouterSpec::QueueLength).unwrap();
+    let b = run_simulation(quick(12.0).with_seed(99), RouterSpec::QueueLength).unwrap();
+    assert_ne!(a.mean_response, b.mean_response);
+    // But they agree statistically.
+    assert!((a.mean_response - b.mean_response).abs() / a.mean_response < 0.3);
+}
+
+#[test]
+fn throughput_matches_offered_load_below_saturation() {
+    let m = run_simulation(quick(10.0), RouterSpec::NoSharing).unwrap();
+    assert!(
+        (m.throughput - 10.0).abs() < 1.0,
+        "throughput = {}",
+        m.throughput
+    );
+    // Completions track arrivals (a few in flight at the boundary).
+    assert!(m.completions as i64 - m.arrivals as i64 <= 50);
+    assert!(m.arrivals as i64 - m.completions as i64 <= 50);
+}
+
+#[test]
+fn no_sharing_never_ships_and_static_one_always_ships() {
+    let none = run_simulation(quick(8.0), RouterSpec::NoSharing).unwrap();
+    assert_eq!(none.shipped_fraction, 0.0);
+    assert_eq!(none.mean_response_shipped_a, None);
+
+    let all = run_simulation(quick(8.0), RouterSpec::Static { p_ship: 1.0 }).unwrap();
+    assert_eq!(all.shipped_fraction, 1.0);
+    assert_eq!(all.mean_response_local_a, None);
+    assert!(all.mean_response_shipped_a.is_some());
+}
+
+#[test]
+fn class_b_always_runs_centrally() {
+    // p_local = 0: every transaction is class B.
+    let mut cfg = quick(8.0);
+    cfg.params.p_local = 0.0;
+    let m = run_simulation(cfg, RouterSpec::NoSharing).unwrap();
+    assert!(m.mean_response_class_b.is_some());
+    assert_eq!(m.mean_response_local_a, None);
+    assert_eq!(m.mean_response_shipped_a, None);
+    assert!(m.rho_central > 0.05);
+}
+
+#[test]
+fn purely_local_workload_has_no_cross_site_aborts() {
+    // p_local = 1 and no shipping: the only aborts possible are local
+    // deadlocks; no transaction ever runs centrally.
+    let mut cfg = quick(10.0);
+    cfg.params.p_local = 1.0;
+    let m = run_simulation(cfg, RouterSpec::NoSharing).unwrap();
+    assert_eq!(m.aborts.local_invalidated, 0);
+    assert_eq!(m.aborts.central_invalidated, 0);
+    assert_eq!(m.aborts.central_neg_ack, 0);
+    assert_eq!(m.aborts.deadlock_central, 0);
+    assert!(m.mean_response_class_b.is_none());
+}
+
+#[test]
+fn read_only_workload_never_aborts() {
+    // All-shared locks: no conflicts, no invalidations, no deadlocks, and
+    // no asynchronous updates to propagate.
+    let mut cfg = quick(12.0);
+    cfg.write_fraction = 0.0;
+    let m = run_simulation(cfg, RouterSpec::Static { p_ship: 0.5 }).unwrap();
+    assert_eq!(m.aborts.total(), 0, "aborts = {:?}", m.aborts);
+    assert_eq!(m.mean_reruns, 0.0);
+}
+
+#[test]
+fn contention_produces_cross_site_aborts() {
+    // Shrink the lock space so local-central collisions are common; the
+    // invalidation/authentication machinery must fire.
+    let mut cfg = quick(12.0);
+    cfg.params.lockspace = 400.0;
+    let m = run_simulation(cfg, RouterSpec::Static { p_ship: 0.5 }).unwrap();
+    assert!(
+        m.aborts.local_invalidated > 0,
+        "no local invalidations: {:?}",
+        m.aborts
+    );
+    assert!(
+        m.aborts.central_invalidated + m.aborts.central_neg_ack > 0,
+        "no central aborts: {:?}",
+        m.aborts
+    );
+    assert!(m.mean_reruns > 0.0);
+}
+
+#[test]
+fn larger_delay_slows_shipped_transactions() {
+    let near = run_simulation(quick(8.0), RouterSpec::Static { p_ship: 1.0 }).unwrap();
+    let far = run_simulation(
+        quick(8.0).with_comm_delay(0.5),
+        RouterSpec::Static { p_ship: 1.0 },
+    )
+    .unwrap();
+    let near_rt = near.mean_response_shipped_a.unwrap();
+    let far_rt = far.mean_response_shipped_a.unwrap();
+    // Four one-way legs: expect roughly 4 * 0.3 s more.
+    assert!(far_rt - near_rt > 0.8, "near {near_rt}, far {far_rt}");
+}
+
+#[test]
+fn local_sites_saturate_without_sharing() {
+    let m = run_simulation(quick(24.0), RouterSpec::NoSharing).unwrap();
+    assert!(m.rho_local > 0.95, "rho_local = {}", m.rho_local);
+    assert!(m.throughput < 22.0);
+    let shared = run_simulation(
+        quick(24.0),
+        RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    )
+    .unwrap();
+    assert!(
+        (shared.throughput - 24.0).abs() < 1.5,
+        "throughput = {}",
+        shared.throughput
+    );
+    assert!(shared.mean_response < m.mean_response / 2.0);
+}
+
+#[test]
+fn async_batching_reduces_message_count() {
+    let mut batched_cfg = quick(12.0);
+    batched_cfg.async_batch_window = Some(0.5);
+    let plain = run_simulation(quick(12.0), RouterSpec::NoSharing).unwrap();
+    let batched = run_simulation(batched_cfg, RouterSpec::NoSharing).unwrap();
+    assert!(
+        batched.messages < plain.messages,
+        "batched {} vs plain {}",
+        batched.messages,
+        plain.messages
+    );
+    // Same work still completes.
+    assert!((batched.throughput - plain.throughput).abs() < 1.0);
+}
+
+#[test]
+fn instantaneous_state_is_at_least_as_good_for_queue_router() {
+    let mut ideal_cfg = quick(20.0);
+    ideal_cfg.instantaneous_state = true;
+    let delayed = run_simulation(quick(20.0), RouterSpec::QueueLength).unwrap();
+    let ideal = run_simulation(ideal_cfg, RouterSpec::QueueLength).unwrap();
+    // Fresh state should not make routing meaningfully worse.
+    assert!(
+        ideal.mean_response < delayed.mean_response * 1.25,
+        "ideal {} vs delayed {}",
+        ideal.mean_response,
+        delayed.mean_response
+    );
+}
+
+#[test]
+fn threshold_router_ships_more_with_lower_threshold() {
+    let strict = run_simulation(
+        quick(14.0),
+        RouterSpec::UtilizationThreshold { threshold: 0.3 },
+    )
+    .unwrap();
+    let eager = run_simulation(
+        quick(14.0),
+        RouterSpec::UtilizationThreshold { threshold: -0.3 },
+    )
+    .unwrap();
+    assert!(
+        eager.shipped_fraction > strict.shipped_fraction,
+        "eager {} vs strict {}",
+        eager.shipped_fraction,
+        strict.shipped_fraction
+    );
+}
+
+#[test]
+fn measured_response_router_adapts() {
+    let m = run_simulation(quick(14.0), RouterSpec::MeasuredResponse).unwrap();
+    // It must sample both options.
+    assert!(m.shipped_fraction > 0.0 && m.shipped_fraction < 1.0);
+    assert!(m.completions > 1000);
+}
+
+#[test]
+fn all_dynamic_routers_beat_no_sharing_past_the_knee() {
+    let base = run_simulation(quick(21.0), RouterSpec::NoSharing).unwrap();
+    for spec in [
+        RouterSpec::QueueLength,
+        RouterSpec::MinIncoming {
+            estimator: UtilizationEstimator::QueueLength,
+        },
+        RouterSpec::MinIncoming {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+        RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::QueueLength,
+        },
+        RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    ] {
+        let m = run_simulation(quick(21.0), spec).unwrap();
+        assert!(
+            m.mean_response < base.mean_response,
+            "{} not better than no-sharing ({} vs {})",
+            spec.label(),
+            m.mean_response,
+            base.mean_response
+        );
+    }
+}
+
+#[test]
+fn time_varying_load_runs() {
+    let mut cfg = quick(10.0);
+    cfg.site_profiles = Some(
+        (0..10)
+            .map(|i| {
+                if i < 5 {
+                    RateProfile::Piecewise(vec![(30.0, 2.0), (30.0, 0.5)])
+                } else {
+                    RateProfile::Constant(1.0)
+                }
+            })
+            .collect(),
+    );
+    let m = run_simulation(
+        cfg,
+        RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    )
+    .unwrap();
+    assert!(m.completions > 500);
+    assert!(m.shipped_fraction > 0.0);
+}
+
+#[test]
+fn single_site_system_works() {
+    let mut cfg = SystemConfig::paper_default()
+        .with_horizon(120.0, 20.0)
+        .with_site_rate(1.0);
+    cfg.params.n_sites = 1;
+    let m = run_simulation(cfg, RouterSpec::QueueLength).unwrap();
+    assert!(m.completions > 50);
+}
+
+#[test]
+fn invalid_config_is_rejected() {
+    let mut cfg = quick(10.0);
+    cfg.params.p_local = 2.0;
+    assert!(HybridSystem::new(cfg, RouterSpec::NoSharing).is_err());
+}
+
+#[test]
+fn zero_delay_network_runs() {
+    let m = run_simulation(
+        quick(10.0).with_comm_delay(0.0),
+        RouterSpec::Static { p_ship: 0.5 },
+    )
+    .unwrap();
+    assert!(m.completions > 900);
+    // Without communication penalty shipped response should be close to
+    // (or better than) local.
+    let shipped = m.mean_response_shipped_a.unwrap();
+    let local = m.mean_response_local_a.unwrap();
+    assert!(shipped < local * 1.2, "shipped {shipped} vs local {local}");
+}
+
+#[test]
+fn p95_and_ci_are_reported() {
+    let m = run_simulation(quick(12.0), RouterSpec::QueueLength).unwrap();
+    let p95 = m.p95_response.unwrap();
+    assert!(p95 >= m.mean_response);
+    let (lo, hi) = m.response_ci95.unwrap();
+    assert!(lo <= m.mean_response && m.mean_response <= hi);
+}
+
+#[test]
+fn sampled_run_produces_time_series() {
+    let cfg = quick(10.0);
+    let (metrics, samples) = HybridSystem::new(cfg, RouterSpec::QueueLength)
+        .unwrap()
+        .run_sampled(5.0);
+    assert!(metrics.completions > 0);
+    // 120 s horizon, 5 s interval, first sample at t=5.
+    assert!(samples.len() >= 22, "samples = {}", samples.len());
+    let mut last = 0.0;
+    for p in &samples {
+        assert!(p.at > last);
+        last = p.at;
+        assert!(p.q_local_mean >= 0.0);
+    }
+    // The system is busy: some sample sees work somewhere.
+    assert!(samples.iter().any(|p| p.q_central + p.n_local_total > 0));
+}
+
+#[test]
+fn lock_wait_metric_tracks_contention() {
+    let calm = run_simulation(quick(8.0), RouterSpec::NoSharing).unwrap();
+    let mut hot_cfg = quick(8.0);
+    hot_cfg.params.lockspace = 1000.0;
+    let hot = run_simulation(hot_cfg, RouterSpec::NoSharing).unwrap();
+    assert!(
+        hot.mean_lock_wait > calm.mean_lock_wait,
+        "hot {} vs calm {}",
+        hot.mean_lock_wait,
+        calm.mean_lock_wait
+    );
+    assert!(calm.mean_lock_wait >= 0.0);
+}
+
+#[test]
+fn message_kind_counts_sum_to_total() {
+    let m = run_simulation(quick(10.0), RouterSpec::Static { p_ship: 0.5 }).unwrap();
+    let sum: u64 = m.messages_by_kind.iter().map(|&(_, c)| c).sum();
+    assert_eq!(sum, m.messages);
+    let kinds: Vec<&str> = m.messages_by_kind.iter().map(|(k, _)| k.as_str()).collect();
+    for expected in [
+        "ship",
+        "async_update",
+        "async_ack",
+        "auth_request",
+        "auth_reply",
+        "commit",
+        "reply",
+    ] {
+        assert!(kinds.contains(&expected), "missing message kind {expected}");
+    }
+}

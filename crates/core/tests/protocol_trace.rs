@@ -1,0 +1,310 @@
+//! Protocol-invariant tests: run the simulator with tracing enabled and
+//! verify properties of the Section 2 protocol that aggregate metrics
+//! cannot show — message causality, FIFO application of asynchronous
+//! updates, authentication bookkeeping, and abort accounting.
+
+use std::collections::{HashMap, HashSet};
+
+use hls_core::{
+    HybridSystem, Route, RouterSpec, SystemConfig, Trace, TraceEvent, UtilizationEstimator,
+};
+use hls_lockmgr::LockId;
+
+fn traced(cfg: SystemConfig, spec: RouterSpec) -> Trace {
+    let (_, trace) = HybridSystem::new(cfg, spec)
+        .expect("valid config")
+        .run_traced();
+    trace
+}
+
+fn contended_cfg() -> SystemConfig {
+    // Small lock space so every cross-site mechanism fires.
+    let mut cfg = SystemConfig::paper_default()
+        .with_total_rate(14.0)
+        .with_horizon(120.0, 0.0)
+        .with_seed(97);
+    cfg.params.lockspace = 1500.0;
+    cfg
+}
+
+#[test]
+fn async_updates_apply_in_fifo_order_per_site() {
+    let trace = traced(contended_cfg(), RouterSpec::Static { p_ship: 0.5 });
+    let mut sent: HashMap<usize, Vec<Vec<LockId>>> = HashMap::new();
+    let mut applied: HashMap<usize, Vec<Vec<LockId>>> = HashMap::new();
+    for (_, e) in trace.events() {
+        match e {
+            TraceEvent::AsyncSent { site, locks } => {
+                sent.entry(*site).or_default().push(locks.clone());
+            }
+            TraceEvent::AsyncApplied { site, locks, .. } => {
+                applied.entry(*site).or_default().push(locks.clone());
+            }
+            _ => {}
+        }
+    }
+    assert!(!sent.is_empty(), "no async updates were sent");
+    for (site, sent_seq) in &sent {
+        let applied_seq = applied.get(site).cloned().unwrap_or_default();
+        // Everything applied was sent, in the same per-site order (the
+        // tail of `sent` may still be in flight at the horizon).
+        assert!(
+            applied_seq.len() <= sent_seq.len(),
+            "site {site}: applied more than sent"
+        );
+        assert_eq!(
+            applied_seq[..],
+            sent_seq[..applied_seq.len()],
+            "site {site}: async updates reordered"
+        );
+    }
+}
+
+#[test]
+fn local_commit_precedes_its_async_send() {
+    let trace = traced(contended_cfg(), RouterSpec::NoSharing);
+    // Without batching, every commit with updates is immediately followed
+    // (same timestamp) by an AsyncSent carrying exactly those locks.
+    let events = trace.events();
+    for (i, (t, e)) in events.iter().enumerate() {
+        if let TraceEvent::LocalCommit { site, updated, .. } = e {
+            if updated.is_empty() {
+                continue;
+            }
+            #[allow(clippy::collapsible_match)]
+            let next = &events[i + 1];
+            assert_eq!(next.0, *t, "async send delayed past the commit instant");
+            match &next.1 {
+                TraceEvent::AsyncSent { site: s, locks } => {
+                    assert_eq!(s, site);
+                    assert_eq!(locks, updated);
+                }
+                other => panic!("expected AsyncSent after commit, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_completion_has_exactly_one_arrival_and_consistent_route() {
+    let trace = traced(contended_cfg(), RouterSpec::QueueLength);
+    let mut arrivals: HashMap<u64, Route> = HashMap::new();
+    let mut completed: HashSet<u64> = HashSet::new();
+    for (_, e) in trace.events() {
+        match e {
+            TraceEvent::Arrival { txn, route, .. } => {
+                assert!(
+                    arrivals.insert(*txn, *route).is_none(),
+                    "duplicate arrival for txn {txn}"
+                );
+            }
+            TraceEvent::Completion { txn, route, .. } => {
+                assert!(completed.insert(*txn), "txn {txn} completed twice");
+                assert_eq!(
+                    arrivals.get(txn),
+                    Some(route),
+                    "txn {txn} completed on a different route than it was given"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(completed.len() > 500);
+    // All completions correspond to arrivals.
+    assert!(completed.iter().all(|t| arrivals.contains_key(t)));
+}
+
+#[test]
+fn auth_commits_only_after_all_sites_processed() {
+    let trace = traced(contended_cfg(), RouterSpec::Static { p_ship: 0.6 });
+    // For each authentication round: AuthStarted -> one AuthProcessed per
+    // site -> AuthResolved; committed only if all processed positively and
+    // no invalidation arrived meanwhile.
+    let mut pending: HashMap<u64, (HashSet<usize>, bool)> = HashMap::new();
+    let mut rounds = 0;
+    for (_, e) in trace.events() {
+        match e {
+            TraceEvent::AuthStarted { txn, sites } => {
+                let set: HashSet<usize> = sites.iter().copied().collect();
+                assert!(!set.is_empty());
+                pending.insert(*txn, (set, true));
+            }
+            TraceEvent::AuthProcessed {
+                txn,
+                site,
+                positive,
+                ..
+            } => {
+                let entry = pending
+                    .get_mut(txn)
+                    .unwrap_or_else(|| panic!("auth processed without start: {txn}"));
+                assert!(
+                    entry.0.remove(site),
+                    "txn {txn}: site {site} processed twice or was not contacted"
+                );
+                entry.1 &= positive;
+            }
+            TraceEvent::AuthResolved { txn, committed } => {
+                let (missing, all_positive) = pending
+                    .remove(txn)
+                    .unwrap_or_else(|| panic!("auth resolved without start: {txn}"));
+                assert!(
+                    missing.is_empty(),
+                    "txn {txn} resolved before all sites replied"
+                );
+                if *committed {
+                    assert!(
+                        all_positive,
+                        "txn {txn} committed despite a negative acknowledgement"
+                    );
+                }
+                rounds += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(rounds > 100, "only {rounds} authentication rounds traced");
+}
+
+#[test]
+fn negative_acks_force_reexecution_and_eventual_commit() {
+    let trace = traced(contended_cfg(), RouterSpec::Static { p_ship: 0.6 });
+    // A transaction whose round failed must start another round or never
+    // complete within the horizon; a committed transaction's LAST round
+    // must be a success.
+    let mut last_round: HashMap<u64, bool> = HashMap::new();
+    let mut failures = 0;
+    for (_, e) in trace.events() {
+        match e {
+            TraceEvent::AuthResolved { txn, committed } => {
+                last_round.insert(*txn, *committed);
+                if !committed {
+                    failures += 1;
+                }
+            }
+            TraceEvent::Completion {
+                txn,
+                route: Route::Central,
+                ..
+            } => {
+                assert_eq!(
+                    last_round.get(txn),
+                    Some(&true),
+                    "txn {txn} completed without a successful authentication"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(failures > 0, "no failed authentications in a contended run");
+}
+
+#[test]
+fn displaced_local_holders_eventually_abort() {
+    let trace = traced(contended_cfg(), RouterSpec::Static { p_ship: 0.6 });
+    let mut displaced: HashSet<u64> = HashSet::new();
+    let mut aborted: HashSet<u64> = HashSet::new();
+    let mut completed_after_displacement = Vec::new();
+    for (_, e) in trace.events() {
+        match e {
+            TraceEvent::AuthProcessed { displaced: d, .. } => {
+                displaced.extend(d.iter().copied());
+            }
+            TraceEvent::InvalidationAbort { txn, .. } | TraceEvent::DeadlockAbort { txn, .. } => {
+                aborted.insert(*txn);
+                displaced.remove(txn);
+            }
+            TraceEvent::Completion { txn, .. } if displaced.contains(txn) => {
+                completed_after_displacement.push(*txn);
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        completed_after_displacement.is_empty(),
+        "displaced transactions committed without aborting: {completed_after_displacement:?}"
+    );
+    assert!(!aborted.is_empty(), "contended run produced no aborts");
+}
+
+#[test]
+fn invalidated_central_transactions_do_not_commit_that_attempt() {
+    let trace = traced(contended_cfg(), RouterSpec::Static { p_ship: 0.6 });
+    // After an AsyncApplied invalidates txn T, T's next AuthResolved must
+    // be a failure (the protocol's final invalidation check).
+    let mut poisoned: HashSet<u64> = HashSet::new();
+    for (_, e) in trace.events() {
+        match e {
+            TraceEvent::AsyncApplied { invalidated, .. } => {
+                poisoned.extend(invalidated.iter().copied());
+            }
+            TraceEvent::AuthResolved { txn, committed } if poisoned.remove(txn) => {
+                assert!(
+                    !committed,
+                    "txn {txn} committed despite invalidation before resolution"
+                );
+            }
+            TraceEvent::InvalidationAbort { txn, .. } => {
+                // Invalidation discovered at commit-check before auth.
+                poisoned.remove(txn);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn attempts_in_completions_match_abort_counts() {
+    let trace = traced(contended_cfg(), RouterSpec::Static { p_ship: 0.5 });
+    let mut aborts_by_txn: HashMap<u64, u32> = HashMap::new();
+    for (_, e) in trace.events() {
+        match e {
+            TraceEvent::DeadlockAbort { txn, .. } | TraceEvent::InvalidationAbort { txn, .. } => {
+                *aborts_by_txn.entry(*txn).or_default() += 1;
+            }
+            TraceEvent::AuthResolved {
+                txn,
+                committed: false,
+            } => {
+                *aborts_by_txn.entry(*txn).or_default() += 1;
+            }
+            TraceEvent::Completion { txn, attempts, .. } => {
+                let aborts = aborts_by_txn.get(txn).copied().unwrap_or(0);
+                assert_eq!(
+                    *attempts, aborts,
+                    "txn {txn}: attempts {attempts} but {aborts} aborts traced"
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn class_b_never_routes_local() {
+    let trace = traced(contended_cfg(), RouterSpec::NoSharing);
+    for (_, e) in trace.events() {
+        if let TraceEvent::Arrival { class, route, .. } = e {
+            if *class == hls_core::TxnClass::B {
+                assert_eq!(*route, Route::Central);
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_is_disabled_by_default_and_deterministic_when_enabled() {
+    let cfg = contended_cfg();
+    let spec = RouterSpec::MinAverage {
+        estimator: UtilizationEstimator::NumInSystem,
+    };
+    // Tracing must not change the simulation outcome.
+    let plain = HybridSystem::new(cfg.clone(), spec).unwrap().run();
+    let (traced_metrics, trace) = HybridSystem::new(cfg.clone(), spec).unwrap().run_traced();
+    assert_eq!(plain, traced_metrics);
+    assert!(!trace.is_empty());
+    let (again, trace2) = HybridSystem::new(cfg, spec).unwrap().run_traced();
+    assert_eq!(traced_metrics, again);
+    assert_eq!(trace.len(), trace2.len());
+    assert_eq!(trace.events(), trace2.events());
+}

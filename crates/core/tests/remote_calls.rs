@@ -1,0 +1,81 @@
+//! Tests of the remote-function-call execution mode for class B
+//! transactions — the alternative the paper flags but does not analyze.
+
+use hls_core::{run_simulation, ClassBMode, HybridSystem, RouterSpec, SystemConfig, TxnClass};
+
+fn cfg(mode: ClassBMode) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default()
+        .with_total_rate(8.0)
+        .with_horizon(120.0, 20.0)
+        .with_seed(61);
+    cfg.class_b_mode = mode;
+    cfg
+}
+
+#[test]
+fn remote_calls_mode_runs_and_completes_class_b() {
+    let m = run_simulation(cfg(ClassBMode::RemoteCalls), RouterSpec::NoSharing).unwrap();
+    assert!(m.completions > 500);
+    assert!(m.mean_response_class_b.is_some());
+    let kinds: Vec<&str> = m.messages_by_kind.iter().map(|(k, _)| k.as_str()).collect();
+    assert!(kinds.contains(&"remote_call_req"));
+    assert!(kinds.contains(&"remote_call_resp"));
+    // One request per database call: far more requests than transactions.
+    let reqs = m
+        .messages_by_kind
+        .iter()
+        .find(|(k, _)| k == "remote_call_req")
+        .map(|&(_, c)| c)
+        .unwrap();
+    assert!(reqs > 5 * m.completions / 4, "reqs = {reqs}");
+}
+
+#[test]
+fn shipping_whole_transactions_beats_remote_calls() {
+    // The paper's motivating claim ([DIAS87]): with ~10 remote calls per
+    // transaction, function shipping is far worse than transaction
+    // shipping.
+    let ship = run_simulation(cfg(ClassBMode::ShipWhole), RouterSpec::NoSharing).unwrap();
+    let remote = run_simulation(cfg(ClassBMode::RemoteCalls), RouterSpec::NoSharing).unwrap();
+    let ship_b = ship.mean_response_class_b.unwrap();
+    let remote_b = remote.mean_response_class_b.unwrap();
+    assert!(
+        remote_b > 2.0 * ship_b,
+        "remote {remote_b} vs ship {ship_b}"
+    );
+}
+
+#[test]
+fn class_a_is_unaffected_by_class_b_mode() {
+    let ship = run_simulation(cfg(ClassBMode::ShipWhole), RouterSpec::NoSharing).unwrap();
+    let remote = run_simulation(cfg(ClassBMode::RemoteCalls), RouterSpec::NoSharing).unwrap();
+    let a1 = ship.mean_response_local_a.unwrap();
+    let a2 = remote.mean_response_local_a.unwrap();
+    // Same workload of class A locally; only indirect interference differs.
+    assert!((a1 - a2).abs() / a1 < 0.25, "a1 {a1} vs a2 {a2}");
+}
+
+#[test]
+fn remote_calls_converge_after_drain() {
+    let (metrics, report) = HybridSystem::new(cfg(ClassBMode::RemoteCalls), RouterSpec::NoSharing)
+        .unwrap()
+        .run_drained();
+    assert!(metrics.completions > 0);
+    assert!(report.converged(), "report = {report:?}");
+}
+
+#[test]
+fn traced_remote_txns_complete_as_class_b() {
+    let (_, trace) = HybridSystem::new(cfg(ClassBMode::RemoteCalls), RouterSpec::NoSharing)
+        .unwrap()
+        .run_traced();
+    let b_completions = trace
+        .filter(|_, e| match e {
+            hls_core::TraceEvent::Completion {
+                class: TxnClass::B, ..
+            } => Some(()),
+            _ => None,
+        })
+        .count();
+    assert!(b_completions > 100, "b_completions = {b_completions}");
+}

@@ -1,0 +1,36 @@
+//! # hls-lockmgr — lock manager for the hybrid DBMS
+//!
+//! Implements the lock machinery described in Section 2 of Ciciani, Dias &
+//! Yu (ICDCS 1988): each lock carries a **concurrency control field**
+//! (share/exclusive holders with a FIFO wait queue) and a **coherence
+//! control field** (a count of asynchronous updates in flight to the central
+//! site). The table also supports the **forcible acquisition** used by the
+//! authentication phase, in which a central or shipped transaction seizes
+//! locks from incompatible local holders, and **deadlock detection** on the
+//! wait-for graph.
+//!
+//! # Examples
+//!
+//! ```
+//! use hls_lockmgr::{LockId, LockMode, LockTable, OwnerId, RequestOutcome};
+//!
+//! let mut table = LockTable::new();
+//! let local_txn = OwnerId(1);
+//! assert_eq!(
+//!     table.request(local_txn, LockId(42), LockMode::Exclusive),
+//!     RequestOutcome::Granted
+//! );
+//! // Commit: release, then mark the update as in flight to the central site.
+//! table.release_all(local_txn);
+//! table.incr_coherence(LockId(42));
+//! assert_eq!(table.coherence(LockId(42)), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod table;
+mod types;
+
+pub use table::{ForceOutcome, Grant, LockTable, RequestOutcome};
+pub use types::{LockId, LockMode, OwnerId};

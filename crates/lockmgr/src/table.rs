@@ -1,0 +1,781 @@
+//! The lock table: concurrency field, coherence field, FIFO wait queues.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::types::{LockId, LockMode, OwnerId};
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// The lock was granted immediately.
+    Granted,
+    /// The requester already holds the lock in a covering mode.
+    AlreadyHeld,
+    /// The request conflicts with a current holder (or an earlier waiter)
+    /// and was queued FIFO.
+    Queued,
+}
+
+/// Result of a forcible acquisition during the authentication phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ForceOutcome {
+    /// Holders displaced by the forced grant; the caller marks these for
+    /// abort, per the paper's authentication rule.
+    pub displaced: Vec<OwnerId>,
+    /// Waiters that became grantable once displaced holders were removed.
+    pub grants: Vec<Grant>,
+}
+
+/// A lock grant produced by a release: `owner` now holds `lock` in `mode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The lock that was granted.
+    pub lock: LockId,
+    /// The transaction the lock was granted to.
+    pub owner: OwnerId,
+    /// The granted mode.
+    pub mode: LockMode,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LockEntry {
+    /// Current holders with their modes. Multiple holders only in share mode.
+    holders: Vec<(OwnerId, LockMode)>,
+    /// FIFO queue of conflicting requests.
+    waiters: VecDeque<(OwnerId, LockMode)>,
+    /// The paper's coherence-control field: the number of asynchronous
+    /// updates to this element that are in flight to the central site.
+    coherence: u32,
+}
+
+impl LockEntry {
+    fn is_empty(&self) -> bool {
+        self.holders.is_empty() && self.waiters.is_empty() && self.coherence == 0
+    }
+
+    fn compatible(&self, mode: LockMode) -> bool {
+        self.holders.iter().all(|&(_, m)| mode.compatible_with(m))
+    }
+}
+
+/// A site's lock table, implementing the two-field locks of Section 2 of the
+/// paper: the *concurrency* field (share/exclusive holders plus a FIFO wait
+/// queue) and the *coherence* field (count of in-flight asynchronous updates
+/// to the central site).
+///
+/// The table additionally supports the forcible acquisition used in the
+/// authentication phase, where a central/shipped transaction seizes locks
+/// from incompatible local holders (which are then marked for abort by the
+/// caller).
+///
+/// # Examples
+///
+/// ```
+/// use hls_lockmgr::{LockId, LockMode, LockTable, OwnerId, RequestOutcome};
+///
+/// let mut table = LockTable::new();
+/// let (a, b, l) = (OwnerId(1), OwnerId(2), LockId(7));
+/// assert_eq!(table.request(a, l, LockMode::Exclusive), RequestOutcome::Granted);
+/// assert_eq!(table.request(b, l, LockMode::Shared), RequestOutcome::Queued);
+/// let grants = table.release_all(a);
+/// assert_eq!(grants.len(), 1);
+/// assert_eq!(grants[0].owner, b);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    entries: HashMap<LockId, LockEntry>,
+    /// Locks held per owner, in acquisition order.
+    held: HashMap<OwnerId, Vec<LockId>>,
+    /// The single lock each blocked owner is waiting for.
+    waiting: HashMap<OwnerId, LockId>,
+    /// Total number of (owner, lock) grants — the `n_lock` observable used
+    /// by the dynamic routing strategies.
+    grants: usize,
+}
+
+impl LockTable {
+    /// Creates an empty lock table.
+    #[must_use]
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Requests `lock` in `mode` on behalf of `owner`.
+    ///
+    /// Incompatible requests are queued FIFO; a queued owner must not issue
+    /// further requests until granted or cancelled.
+    ///
+    /// A shared holder upgrading to exclusive is granted immediately when it
+    /// is the sole holder, and queued otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is already waiting for some lock.
+    pub fn request(&mut self, owner: OwnerId, lock: LockId, mode: LockMode) -> RequestOutcome {
+        assert!(
+            !self.waiting.contains_key(&owner),
+            "{owner} already waits for a lock and cannot issue another request"
+        );
+        let entry = self.entries.entry(lock).or_default();
+
+        if let Some(pos) = entry.holders.iter().position(|&(o, _)| o == owner) {
+            let held_mode = entry.holders[pos].1;
+            if held_mode.covers(mode) {
+                return RequestOutcome::AlreadyHeld;
+            }
+            // Upgrade shared -> exclusive.
+            if entry.holders.len() == 1 {
+                entry.holders[pos].1 = LockMode::Exclusive;
+                return RequestOutcome::Granted;
+            }
+            entry.waiters.push_back((owner, LockMode::Exclusive));
+            self.waiting.insert(owner, lock);
+            return RequestOutcome::Queued;
+        }
+
+        // FIFO fairness: a new request queues behind existing waiters even
+        // if it would be compatible with the current holders.
+        if entry.waiters.is_empty() && entry.compatible(mode) {
+            entry.holders.push((owner, mode));
+            self.held.entry(owner).or_default().push(lock);
+            self.grants += 1;
+            RequestOutcome::Granted
+        } else {
+            entry.waiters.push_back((owner, mode));
+            self.waiting.insert(owner, lock);
+            RequestOutcome::Queued
+        }
+    }
+
+    /// Releases every lock held by `owner` (and cancels any pending wait),
+    /// returning the grants handed to unblocked waiters, in grant order.
+    pub fn release_all(&mut self, owner: OwnerId) -> Vec<Grant> {
+        let mut grants = self.cancel_wait(owner);
+        let locks = self.held.remove(&owner).unwrap_or_default();
+        for lock in locks {
+            self.remove_holder(lock, owner, &mut grants);
+        }
+        grants
+    }
+
+    /// Releases a single lock held by `owner`, returning resulting grants.
+    ///
+    /// Returns an empty vector if `owner` does not hold `lock`.
+    pub fn release_one(&mut self, owner: OwnerId, lock: LockId) -> Vec<Grant> {
+        let Some(locks) = self.held.get_mut(&owner) else {
+            return Vec::new();
+        };
+        let Some(pos) = locks.iter().position(|&l| l == lock) else {
+            return Vec::new();
+        };
+        locks.remove(pos);
+        if locks.is_empty() {
+            self.held.remove(&owner);
+        }
+        let mut grants = Vec::new();
+        self.remove_holder(lock, owner, &mut grants);
+        grants
+    }
+
+    /// Removes `owner` from the wait queue it sits in, if any.
+    /// Returns grants that become possible if `owner` was blocking others
+    /// at the head of a queue.
+    pub fn cancel_wait(&mut self, owner: OwnerId) -> Vec<Grant> {
+        let Some(lock) = self.waiting.remove(&owner) else {
+            return Vec::new();
+        };
+        let entry = self
+            .entries
+            .get_mut(&lock)
+            .expect("waiting on unknown lock");
+        if let Some(pos) = entry.waiters.iter().position(|&(o, _)| o == owner) {
+            entry.waiters.remove(pos);
+        }
+        let mut grants = Vec::new();
+        self.promote_waiters(lock, &mut grants);
+        self.drop_if_empty(lock);
+        grants
+    }
+
+    /// Forcibly grants `lock` to `owner` in `mode`, removing every
+    /// incompatible holder. Used by the authentication phase: "the local
+    /// transactions holding these locks are marked for abort, the
+    /// central/shipped transaction is granted the locks and the locks held
+    /// by the conflicting local transactions are released".
+    ///
+    /// Returns the displaced holders (which the caller must mark for abort)
+    /// plus any waiters that became grantable once the displaced holders
+    /// were removed — e.g. queued share requests after a forced share
+    /// acquisition displaces an exclusive holder.
+    pub fn force_acquire(&mut self, lock: LockId, owner: OwnerId, mode: LockMode) -> ForceOutcome {
+        let entry = self.entries.entry(lock).or_default();
+        let prior_mode = entry
+            .holders
+            .iter()
+            .find(|&&(o, _)| o == owner)
+            .map(|&(_, m)| m);
+        // Re-acquisition keeps the strongest of the old and new modes.
+        let mode = match prior_mode {
+            Some(LockMode::Exclusive) => LockMode::Exclusive,
+            _ => mode,
+        };
+        let mut displaced = Vec::new();
+        let mut keep = Vec::new();
+        for &(o, m) in &entry.holders {
+            if o != owner && !mode.compatible_with(m) {
+                displaced.push(o);
+            } else if o != owner {
+                keep.push((o, m));
+            }
+        }
+        entry.holders = keep;
+        entry.holders.push((owner, mode));
+        for &o in &displaced {
+            let locks = self.held.get_mut(&o).expect("holder has no held set");
+            let pos = locks
+                .iter()
+                .position(|&l| l == lock)
+                .expect("held set desync");
+            locks.remove(pos);
+            if locks.is_empty() {
+                self.held.remove(&o);
+            }
+            self.grants -= 1;
+        }
+        if prior_mode.is_none() {
+            self.held.entry(owner).or_default().push(lock);
+            self.grants += 1;
+        }
+        let mut grants = Vec::new();
+        self.promote_waiters(lock, &mut grants);
+        ForceOutcome { displaced, grants }
+    }
+
+    /// Increments the coherence count of `lock` (an asynchronous update to
+    /// the central site is now in flight).
+    pub fn incr_coherence(&mut self, lock: LockId) {
+        self.entries.entry(lock).or_default().coherence += 1;
+    }
+
+    /// Decrements the coherence count of `lock` (the central site
+    /// acknowledged one asynchronous update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count is already zero — an acknowledgement without a
+    /// matching update indicates a protocol bug.
+    pub fn decr_coherence(&mut self, lock: LockId) {
+        let entry = self
+            .entries
+            .get_mut(&lock)
+            .expect("coherence ack for unknown lock");
+        assert!(entry.coherence > 0, "coherence underflow on {lock}");
+        entry.coherence -= 1;
+        self.drop_if_empty(lock);
+    }
+
+    /// Current coherence count of `lock`.
+    #[must_use]
+    pub fn coherence(&self, lock: LockId) -> u32 {
+        self.entries.get(&lock).map_or(0, |e| e.coherence)
+    }
+
+    /// Current holders of `lock` with their modes.
+    #[must_use]
+    pub fn holders(&self, lock: LockId) -> Vec<(OwnerId, LockMode)> {
+        self.entries
+            .get(&lock)
+            .map_or_else(Vec::new, |e| e.holders.clone())
+    }
+
+    /// Returns `true` if `owner` holds `lock` in a mode covering `mode`.
+    #[must_use]
+    pub fn holds(&self, owner: OwnerId, lock: LockId, mode: LockMode) -> bool {
+        self.entries
+            .get(&lock)
+            .is_some_and(|e| e.holders.iter().any(|&(o, m)| o == owner && m.covers(mode)))
+    }
+
+    /// Locks held by `owner`, in acquisition order.
+    #[must_use]
+    pub fn held_locks(&self, owner: OwnerId) -> Vec<LockId> {
+        self.held.get(&owner).cloned().unwrap_or_default()
+    }
+
+    /// The lock `owner` currently waits for, if any.
+    #[must_use]
+    pub fn waiting_for(&self, owner: OwnerId) -> Option<LockId> {
+        self.waiting.get(&owner).copied()
+    }
+
+    /// Total number of (owner, lock) grants in the table — the `n_lock`
+    /// quantity observed by the dynamic routing strategies.
+    #[must_use]
+    pub fn grants_count(&self) -> usize {
+        self.grants
+    }
+
+    /// Number of transactions blocked in wait queues.
+    #[must_use]
+    pub fn waiter_count(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Detects whether granting the wait of `owner` is impossible because of
+    /// a wait-for cycle through `owner` — i.e. a deadlock involving `owner`.
+    ///
+    /// Edges run from a waiting transaction to every holder of the lock it
+    /// waits for, and to earlier waiters in the same queue (which will hold
+    /// the lock before it).
+    #[must_use]
+    pub fn in_deadlock(&self, owner: OwnerId) -> bool {
+        !self.deadlock_cycle(owner).is_empty()
+    }
+
+    /// Returns the members of a wait-for cycle through `owner` (the victim
+    /// candidates), or an empty vector if `owner` is not deadlocked.
+    ///
+    /// The cycle is found by depth-first search from `owner` along
+    /// blocked-by edges; every returned member is currently waiting (or is
+    /// `owner` itself, which is about to wait).
+    #[must_use]
+    pub fn deadlock_cycle(&self, owner: OwnerId) -> Vec<OwnerId> {
+        // Iterative DFS with an explicit path, so the cycle can be
+        // reconstructed when we reach `owner` again.
+        let mut visited = std::collections::HashSet::new();
+        let mut path: Vec<OwnerId> = Vec::new();
+        // Stack entries: (node, depth in path when pushed).
+        let mut stack: Vec<(OwnerId, usize)> = vec![(owner, 0)];
+        while let Some((o, depth)) = stack.pop() {
+            path.truncate(depth);
+            if o == owner && depth > 0 {
+                return path;
+            }
+            if !visited.insert(o) {
+                continue;
+            }
+            path.push(o);
+            for blocker in self.blockers_of(o) {
+                if blocker == owner && depth + 1 > 0 {
+                    return path;
+                }
+                stack.push((blocker, depth + 1));
+            }
+        }
+        Vec::new()
+    }
+
+    /// Transactions that directly block `o`: the holders of the lock it
+    /// waits for plus earlier waiters in the same queue.
+    fn blockers_of(&self, o: OwnerId) -> Vec<OwnerId> {
+        let Some(&lock) = self.waiting.get(&o) else {
+            return Vec::new();
+        };
+        let Some(entry) = self.entries.get(&lock) else {
+            return Vec::new();
+        };
+        let mut out: Vec<OwnerId> = entry
+            .holders
+            .iter()
+            .map(|&(h, _)| h)
+            .filter(|&h| h != o)
+            .collect();
+        for &(w, _) in &entry.waiters {
+            if w == o {
+                break; // only waiters ahead of o block it
+            }
+            out.push(w);
+        }
+        out
+    }
+
+    fn remove_holder(&mut self, lock: LockId, owner: OwnerId, grants: &mut Vec<Grant>) {
+        let Some(entry) = self.entries.get_mut(&lock) else {
+            return;
+        };
+        let Some(pos) = entry.holders.iter().position(|&(o, _)| o == owner) else {
+            return;
+        };
+        entry.holders.remove(pos);
+        self.grants -= 1;
+        self.promote_waiters(lock, grants);
+        self.drop_if_empty(lock);
+    }
+
+    /// Grants queued waiters FIFO while the head of the queue is compatible
+    /// with the current holders (no overtaking, to avoid starvation).
+    fn promote_waiters(&mut self, lock: LockId, grants: &mut Vec<Grant>) {
+        let entry = self
+            .entries
+            .get_mut(&lock)
+            .expect("promote on unknown lock");
+        while let Some(&(owner, mode)) = entry.waiters.front() {
+            // An upgrade waiter already holds the lock in shared mode; it is
+            // grantable when it is the sole remaining holder.
+            let is_upgrade = entry.holders.iter().any(|&(o, _)| o == owner);
+            let ok = if is_upgrade {
+                entry.holders.len() == 1
+            } else {
+                entry.compatible(mode)
+            };
+            if !ok {
+                break;
+            }
+            entry.waiters.pop_front();
+            if is_upgrade {
+                let h = entry
+                    .holders
+                    .iter_mut()
+                    .find(|(o, _)| *o == owner)
+                    .expect("upgrade holder vanished");
+                h.1 = LockMode::Exclusive;
+            } else {
+                entry.holders.push((owner, mode));
+                self.held.entry(owner).or_default().push(lock);
+                self.grants += 1;
+            }
+            self.waiting.remove(&owner);
+            grants.push(Grant { lock, owner, mode });
+        }
+    }
+
+    fn drop_if_empty(&mut self, lock: LockId) {
+        if self.entries.get(&lock).is_some_and(LockEntry::is_empty) {
+            self.entries.remove(&lock);
+        }
+    }
+
+    /// Checks internal invariants; used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_invariants(&self) {
+        let mut total = 0;
+        for (lock, entry) in &self.entries {
+            // No incompatible co-holders.
+            for (i, &(_, m1)) in entry.holders.iter().enumerate() {
+                for &(_, m2) in &entry.holders[i + 1..] {
+                    assert!(
+                        m1.compatible_with(m2),
+                        "incompatible co-holders on {lock}: {m1} vs {m2}"
+                    );
+                }
+            }
+            // Head waiter (if not an upgrade) must actually be blocked.
+            if let Some(&(w, m)) = entry.waiters.front() {
+                let is_upgrade = entry.holders.iter().any(|&(o, _)| o == w);
+                if is_upgrade {
+                    assert!(
+                        entry.holders.len() > 1,
+                        "grantable upgrade left queued on {lock}"
+                    );
+                } else {
+                    assert!(
+                        !entry.compatible(m),
+                        "grantable waiter left queued on {lock}"
+                    );
+                }
+            }
+            total += entry.holders.len();
+            for &(w, _) in &entry.waiters {
+                assert_eq!(
+                    self.waiting.get(&w),
+                    Some(lock),
+                    "waiter {w} not registered in waiting map"
+                );
+            }
+        }
+        assert_eq!(total, self.grants, "grants counter desync");
+        let held_total: usize = self.held.values().map(Vec::len).sum();
+        assert_eq!(held_total, self.grants, "held map desync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::{Exclusive, Shared};
+
+    fn o(n: u64) -> OwnerId {
+        OwnerId(n)
+    }
+    fn l(n: u32) -> LockId {
+        LockId(n)
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut t = LockTable::new();
+        assert_eq!(t.request(o(1), l(1), Exclusive), RequestOutcome::Granted);
+        assert_eq!(t.request(o(2), l(1), Shared), RequestOutcome::Queued);
+        assert_eq!(t.request(o(3), l(1), Exclusive), RequestOutcome::Queued);
+        assert_eq!(t.grants_count(), 1);
+        assert_eq!(t.waiter_count(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn shared_holders_coexist() {
+        let mut t = LockTable::new();
+        assert_eq!(t.request(o(1), l(1), Shared), RequestOutcome::Granted);
+        assert_eq!(t.request(o(2), l(1), Shared), RequestOutcome::Granted);
+        assert_eq!(t.grants_count(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn fifo_no_overtaking() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Shared);
+        t.request(o(2), l(1), Exclusive); // queued
+                                          // Compatible with holders, but must queue behind the exclusive waiter.
+        assert_eq!(t.request(o(3), l(1), Shared), RequestOutcome::Queued);
+        let grants = t.release_all(o(1));
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, o(2));
+        let grants = t.release_all(o(2));
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, o(3));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn release_grants_batch_of_shared() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        t.request(o(2), l(1), Shared);
+        t.request(o(3), l(1), Shared);
+        let grants = t.release_all(o(1));
+        assert_eq!(grants.len(), 2);
+        assert!(grants.iter().all(|g| g.mode == Shared));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn already_held_is_idempotent() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        assert_eq!(t.request(o(1), l(1), Shared), RequestOutcome::AlreadyHeld);
+        assert_eq!(
+            t.request(o(1), l(1), Exclusive),
+            RequestOutcome::AlreadyHeld
+        );
+        assert_eq!(t.grants_count(), 1);
+    }
+
+    #[test]
+    fn sole_holder_upgrade_is_immediate() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Shared);
+        assert_eq!(t.request(o(1), l(1), Exclusive), RequestOutcome::Granted);
+        assert!(t.holds(o(1), l(1), Exclusive));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn contended_upgrade_waits_for_other_readers() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Shared);
+        t.request(o(2), l(1), Shared);
+        assert_eq!(t.request(o(1), l(1), Exclusive), RequestOutcome::Queued);
+        let grants = t.release_all(o(2));
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, o(1));
+        assert!(t.holds(o(1), l(1), Exclusive));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn release_one_keeps_other_locks() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        t.request(o(1), l(2), Exclusive);
+        t.release_one(o(1), l(1));
+        assert_eq!(t.held_locks(o(1)), vec![l(2)]);
+        assert_eq!(t.grants_count(), 1);
+        assert!(t.release_one(o(1), l(9)).is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn cancel_wait_unblocks_queue() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Shared);
+        t.request(o(2), l(1), Exclusive); // queued
+        t.request(o(3), l(1), Shared); // queued behind 2
+        let grants = t.cancel_wait(o(2));
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, o(3));
+        assert_eq!(t.waiting_for(o(2)), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn force_acquire_displaces_incompatible_holders() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Shared);
+        t.request(o(2), l(1), Shared);
+        let out = t.force_acquire(l(1), o(9), Exclusive);
+        assert_eq!(out.displaced.len(), 2);
+        assert!(t.holds(o(9), l(1), Exclusive));
+        assert_eq!(t.held_locks(o(1)), Vec::<LockId>::new());
+        assert_eq!(t.grants_count(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn force_acquire_shared_keeps_shared_holders() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Shared);
+        let out = t.force_acquire(l(1), o(9), Shared);
+        assert!(out.displaced.is_empty());
+        assert!(out.grants.is_empty());
+        assert!(t.holds(o(1), l(1), Shared));
+        assert!(t.holds(o(9), l(1), Shared));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn force_acquire_on_free_lock() {
+        let mut t = LockTable::new();
+        let out = t.force_acquire(l(5), o(9), Exclusive);
+        assert!(out.displaced.is_empty());
+        assert!(t.holds(o(9), l(5), Exclusive));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn waiters_stay_queued_behind_forced_holder() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        t.request(o(2), l(1), Exclusive);
+        let out = t.force_acquire(l(1), o(9), Exclusive);
+        assert_eq!(out.displaced, vec![o(1)]);
+        assert!(out.grants.is_empty());
+        assert_eq!(t.waiting_for(o(2)), Some(l(1)));
+        let grants = t.release_all(o(9));
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].owner, o(2));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn coherence_counts() {
+        let mut t = LockTable::new();
+        assert_eq!(t.coherence(l(1)), 0);
+        t.incr_coherence(l(1));
+        t.incr_coherence(l(1));
+        assert_eq!(t.coherence(l(1)), 2);
+        t.decr_coherence(l(1));
+        assert_eq!(t.coherence(l(1)), 1);
+        t.decr_coherence(l(1));
+        assert_eq!(t.coherence(l(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence")]
+    fn coherence_underflow_panics() {
+        let mut t = LockTable::new();
+        t.incr_coherence(l(1));
+        t.decr_coherence(l(1));
+        t.decr_coherence(l(1));
+    }
+
+    #[test]
+    fn two_party_deadlock_detected() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        t.request(o(2), l(2), Exclusive);
+        t.request(o(1), l(2), Exclusive); // 1 waits on 2
+        assert!(!t.in_deadlock(o(1)));
+        assert!(t.deadlock_cycle(o(1)).is_empty());
+        t.request(o(2), l(1), Exclusive); // 2 waits on 1 -> cycle
+        assert!(t.in_deadlock(o(2)));
+        assert!(t.in_deadlock(o(1)));
+        let cycle = t.deadlock_cycle(o(2));
+        assert!(
+            cycle.contains(&o(1)) && cycle.contains(&o(2)),
+            "cycle = {cycle:?}"
+        );
+    }
+
+    #[test]
+    fn cycle_members_are_the_deadlock_participants() {
+        // Three-party cycle plus a bystander waiting outside the cycle.
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        t.request(o(2), l(2), Exclusive);
+        t.request(o(3), l(3), Exclusive);
+        t.request(o(9), l(9), Exclusive); // bystander holds l9
+        t.request(o(1), l(2), Exclusive);
+        t.request(o(2), l(3), Exclusive);
+        t.request(o(3), l(1), Exclusive);
+        let cycle = t.deadlock_cycle(o(3));
+        let mut members: Vec<u64> = cycle.iter().map(|m| m.0).collect();
+        members.sort_unstable();
+        assert_eq!(members, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn three_party_deadlock_detected() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        t.request(o(2), l(2), Exclusive);
+        t.request(o(3), l(3), Exclusive);
+        t.request(o(1), l(2), Exclusive);
+        t.request(o(2), l(3), Exclusive);
+        assert!(!t.in_deadlock(o(2)));
+        t.request(o(3), l(1), Exclusive);
+        assert!(t.in_deadlock(o(3)));
+    }
+
+    #[test]
+    fn waiter_on_waiter_edge_counts() {
+        // o2 waits behind o3's earlier wait; o3 waits on o1's lock... build a
+        // cycle through the waiter edge: o1 holds l1; o3 waits l1; o2 waits l1
+        // behind o3; o3 waits only l1 (no cycle); o1 then waits on a lock o2
+        // holds -> cycle o1 -> o2 -> (ahead waiter) o3? No: o2 -> o3 via queue
+        // order, o3 -> o1 via holder, o1 -> o2 via holder. Cycle.
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        t.request(o(2), l(9), Exclusive);
+        t.request(o(3), l(1), Exclusive); // waits on o1
+        t.request(o(2), l(1), Exclusive); // waits behind o3
+        t.request(o(1), l(9), Exclusive); // o1 waits on o2
+        assert!(t.in_deadlock(o(1)));
+        assert!(t.in_deadlock(o(2)));
+    }
+
+    #[test]
+    fn no_deadlock_for_simple_chain() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        t.request(o(2), l(1), Exclusive);
+        t.request(o(3), l(1), Exclusive);
+        assert!(!t.in_deadlock(o(2)));
+        assert!(!t.in_deadlock(o(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already waits")]
+    fn double_wait_panics() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        t.request(o(2), l(1), Exclusive);
+        t.request(o(2), l(2), Exclusive);
+    }
+
+    #[test]
+    fn release_all_cancels_pending_wait() {
+        let mut t = LockTable::new();
+        t.request(o(1), l(1), Exclusive);
+        t.request(o(2), l(2), Exclusive);
+        t.request(o(2), l(1), Exclusive); // o2 waits
+        let grants = t.release_all(o(2)); // abort o2: releases l2, cancels wait
+        assert!(grants.is_empty());
+        assert_eq!(t.waiting_for(o(2)), None);
+        assert_eq!(t.held_locks(o(2)), Vec::<LockId>::new());
+        t.check_invariants();
+    }
+}

@@ -1,0 +1,98 @@
+//! Identifier newtypes and lock modes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a lockable entity (an element of the global lock space).
+///
+/// The paper's simulation uses a global lock space of 32 768 elements split
+/// into one slice per distributed site.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LockId(pub u32);
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Identifier of a lock owner (a transaction).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OwnerId(pub u64);
+
+impl fmt::Display for OwnerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Concurrency-control mode of a lock request, as in the paper's
+/// "concurrency control field (share or exclusive)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Share mode — compatible with other share holders.
+    Shared,
+    /// Exclusive mode — incompatible with every other holder.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Returns `true` if a request in `self` mode may be granted alongside a
+    /// holder in `other` mode.
+    #[must_use]
+    pub fn compatible_with(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+
+    /// Returns `true` if `self` is at least as strong as `other`
+    /// (exclusive covers shared).
+    #[must_use]
+    pub fn covers(self, other: LockMode) -> bool {
+        self == LockMode::Exclusive || other == LockMode::Shared
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Shared => write!(f, "S"),
+            LockMode::Exclusive => write!(f, "X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::{Exclusive, Shared};
+        assert!(Shared.compatible_with(Shared));
+        assert!(!Shared.compatible_with(Exclusive));
+        assert!(!Exclusive.compatible_with(Shared));
+        assert!(!Exclusive.compatible_with(Exclusive));
+    }
+
+    #[test]
+    fn covers_relation() {
+        use LockMode::{Exclusive, Shared};
+        assert!(Exclusive.covers(Shared));
+        assert!(Exclusive.covers(Exclusive));
+        assert!(Shared.covers(Shared));
+        assert!(!Shared.covers(Exclusive));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LockId(3).to_string(), "L3");
+        assert_eq!(OwnerId(9).to_string(), "T9");
+        assert_eq!(LockMode::Shared.to_string(), "S");
+        assert_eq!(LockMode::Exclusive.to_string(), "X");
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the lock table invariants.
+
+use std::collections::HashSet;
+
+use hls_lockmgr::{LockId, LockMode, LockTable, OwnerId, RequestOutcome};
+use proptest::prelude::*;
+
+/// A random operation on the lock table.
+#[derive(Debug, Clone)]
+enum Op {
+    Request {
+        owner: u64,
+        lock: u32,
+        exclusive: bool,
+    },
+    ReleaseAll {
+        owner: u64,
+    },
+    ReleaseOne {
+        owner: u64,
+        lock: u32,
+    },
+    CancelWait {
+        owner: u64,
+    },
+    ForceAcquire {
+        owner: u64,
+        lock: u32,
+        exclusive: bool,
+    },
+    IncrCoherence {
+        lock: u32,
+    },
+    DecrCoherence {
+        lock: u32,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..8u64, 0..16u32, any::<bool>()).prop_map(|(owner, lock, exclusive)| Op::Request {
+            owner,
+            lock,
+            exclusive
+        }),
+        (0..8u64).prop_map(|owner| Op::ReleaseAll { owner }),
+        (0..8u64, 0..16u32).prop_map(|(owner, lock)| Op::ReleaseOne { owner, lock }),
+        (0..8u64).prop_map(|owner| Op::CancelWait { owner }),
+        (8..12u64, 0..16u32, any::<bool>()).prop_map(|(owner, lock, exclusive)| Op::ForceAcquire {
+            owner,
+            lock,
+            exclusive
+        }),
+        (0..16u32).prop_map(|lock| Op::IncrCoherence { lock }),
+        (0..16u32).prop_map(|lock| Op::DecrCoherence { lock }),
+    ]
+}
+
+fn mode(exclusive: bool) -> LockMode {
+    if exclusive {
+        LockMode::Exclusive
+    } else {
+        LockMode::Shared
+    }
+}
+
+proptest! {
+    /// After any sequence of operations the table's internal invariants hold:
+    /// no incompatible co-holders, no grantable waiter stuck in a queue, and
+    /// the grant counters agree with the entry lists.
+    #[test]
+    fn invariants_hold_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut table = LockTable::new();
+        let mut waiting: HashSet<u64> = HashSet::new();
+        let mut coherence: Vec<i64> = vec![0; 16];
+        for op in ops {
+            match op {
+                Op::Request { owner, lock, exclusive } => {
+                    if waiting.contains(&owner) {
+                        continue; // a blocked txn cannot issue requests
+                    }
+                    let out = table.request(OwnerId(owner), LockId(lock), mode(exclusive));
+                    if out == RequestOutcome::Queued {
+                        waiting.insert(owner);
+                    }
+                }
+                Op::ReleaseAll { owner } => {
+                    for g in table.release_all(OwnerId(owner)) {
+                        waiting.remove(&g.owner.0);
+                    }
+                    waiting.remove(&owner);
+                }
+                Op::ReleaseOne { owner, lock } => {
+                    if waiting.contains(&owner) {
+                        continue;
+                    }
+                    for g in table.release_one(OwnerId(owner), LockId(lock)) {
+                        waiting.remove(&g.owner.0);
+                    }
+                }
+                Op::CancelWait { owner } => {
+                    for g in table.cancel_wait(OwnerId(owner)) {
+                        waiting.remove(&g.owner.0);
+                    }
+                    waiting.remove(&owner);
+                }
+                Op::ForceAcquire { owner, lock, exclusive } => {
+                    let out = table.force_acquire(LockId(lock), OwnerId(owner), mode(exclusive));
+                    for g in out.grants {
+                        waiting.remove(&g.owner.0);
+                    }
+                }
+                Op::IncrCoherence { lock } => {
+                    table.incr_coherence(LockId(lock));
+                    coherence[lock as usize] += 1;
+                }
+                Op::DecrCoherence { lock } => {
+                    if coherence[lock as usize] > 0 {
+                        table.decr_coherence(LockId(lock));
+                        coherence[lock as usize] -= 1;
+                    }
+                }
+            }
+            table.check_invariants();
+        }
+        for (i, &c) in coherence.iter().enumerate() {
+            prop_assert_eq!(i64::from(table.coherence(LockId(i as u32))), c);
+        }
+    }
+
+    /// Releasing everything always empties the table of grants.
+    #[test]
+    fn full_release_drains_grants(
+        requests in proptest::collection::vec((0..6u64, 0..8u32, any::<bool>()), 1..50)
+    ) {
+        let mut table = LockTable::new();
+        let mut blocked = HashSet::new();
+        for (owner, lock, exclusive) in requests {
+            if blocked.contains(&owner) {
+                continue;
+            }
+            if table.request(OwnerId(owner), LockId(lock), mode(exclusive))
+                == RequestOutcome::Queued
+            {
+                blocked.insert(owner);
+            }
+        }
+        for owner in 0..6u64 {
+            table.release_all(OwnerId(owner));
+        }
+        prop_assert_eq!(table.grants_count(), 0);
+        prop_assert_eq!(table.waiter_count(), 0);
+        table.check_invariants();
+    }
+
+    /// A deadlock reported by `in_deadlock` always involves an actual cycle:
+    /// releasing every lock of any one participant clears it.
+    #[test]
+    fn deadlock_clears_after_victim_release(
+        requests in proptest::collection::vec((0..5u64, 0..5u32), 2..40)
+    ) {
+        let mut table = LockTable::new();
+        let mut blocked: HashSet<u64> = HashSet::new();
+        for (owner, lock) in requests {
+            if blocked.contains(&owner) {
+                continue;
+            }
+            let out = table.request(OwnerId(owner), LockId(lock), LockMode::Exclusive);
+            if out == RequestOutcome::Queued {
+                blocked.insert(owner);
+                if table.in_deadlock(OwnerId(owner)) {
+                    // Abort the requester: release all its locks and wait.
+                    for g in table.release_all(OwnerId(owner)) {
+                        blocked.remove(&g.owner.0);
+                    }
+                    blocked.remove(&owner);
+                    prop_assert!(!table.in_deadlock(OwnerId(owner)));
+                }
+            }
+            table.check_invariants();
+        }
+    }
+}

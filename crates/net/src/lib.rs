@@ -1,0 +1,291 @@
+//! # hls-net — communications model for the hybrid architecture
+//!
+//! The hybrid system of Ciciani, Dias & Yu (ICDCS 1988) connects `N`
+//! geographically distributed sites to one central computing complex through
+//! long-haul links modelled as **fixed propagation delays with in-order
+//! (FIFO) delivery**. In-order delivery matters: the protocol requires that
+//! asynchronous update messages from a local site are processed at the
+//! central site in the order they were originated.
+//!
+//! This crate provides:
+//!
+//! * [`NodeId`] — endpoints (local sites and the central complex),
+//! * [`StarNetwork`] — per-direction links with configurable delay, FIFO
+//!   enforcement, and traffic counters,
+//! * [`Envelope`] — a delivery record handed back to the caller's event loop.
+//!
+//! The network does not own the event queue: [`StarNetwork::send`] computes
+//! the delivery time and the caller schedules the arrival event, which keeps
+//! the simulator single-threaded and deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use hls_net::{NodeId, StarNetwork};
+//! use hls_sim::{SimDuration, SimTime};
+//!
+//! let mut net = StarNetwork::new(3, SimDuration::from_secs(0.2));
+//! let e = net.send(SimTime::ZERO, NodeId::local(1), NodeId::CENTRAL, "hello");
+//! assert_eq!(e.deliver_at, SimTime::from_secs(0.2));
+//! assert_eq!(net.messages_sent(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use hls_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A network endpoint: one of the distributed sites, or the central complex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The central computing complex.
+    pub const CENTRAL: NodeId = NodeId(u32::MAX);
+
+    /// The `index`-th distributed (local) site.
+    #[must_use]
+    pub fn local(index: u32) -> NodeId {
+        assert!(index != u32::MAX, "local site index reserved for CENTRAL");
+        NodeId(index)
+    }
+
+    /// Returns `true` for the central complex.
+    #[must_use]
+    pub fn is_central(self) -> bool {
+        self == NodeId::CENTRAL
+    }
+
+    /// The site index for a local node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`NodeId::CENTRAL`].
+    #[must_use]
+    pub fn local_index(self) -> usize {
+        assert!(!self.is_central(), "CENTRAL has no local index");
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_central() {
+            write!(f, "central")
+        } else {
+            write!(f, "site{}", self.0)
+        }
+    }
+}
+
+/// A message delivery computed by the network: the caller schedules an
+/// arrival event at `deliver_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope<P> {
+    /// Sender endpoint.
+    pub from: NodeId,
+    /// Receiver endpoint.
+    pub to: NodeId,
+    /// Absolute delivery time (send time + link delay, adjusted to keep
+    /// per-link FIFO order).
+    pub deliver_at: SimTime,
+    /// The message payload.
+    pub payload: P,
+}
+
+/// Star topology: every local site has a full-duplex link to the central
+/// complex. Local sites do not talk to each other directly (matching the
+/// paper's architecture, Figure 2.1).
+///
+/// Each direction of each link delivers in FIFO order. With a constant
+/// delay this holds automatically; the network still enforces it so that
+/// future variable-delay extensions cannot silently reorder protocol
+/// messages.
+#[derive(Debug, Clone)]
+pub struct StarNetwork {
+    n_sites: usize,
+    delay: SimDuration,
+    /// Last scheduled delivery per directed link: `[site][0]` = site->central,
+    /// `[site][1]` = central->site.
+    last_delivery: Vec<[SimTime; 2]>,
+    messages: u64,
+    messages_up: u64,
+    messages_down: u64,
+}
+
+impl StarNetwork {
+    /// Creates a star network of `n_sites` local sites with the given
+    /// one-way link delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sites` is zero.
+    #[must_use]
+    pub fn new(n_sites: usize, delay: SimDuration) -> Self {
+        assert!(n_sites > 0, "a hybrid system needs at least one local site");
+        StarNetwork {
+            n_sites,
+            delay,
+            last_delivery: vec![[SimTime::ZERO; 2]; n_sites],
+            messages: 0,
+            messages_up: 0,
+            messages_down: 0,
+        }
+    }
+
+    /// Number of local sites.
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// One-way link delay.
+    #[must_use]
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Sends `payload` from `from` to `to` at time `now`, returning the
+    /// delivery envelope. Exactly one endpoint must be the central complex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both or neither endpoint is central (local sites have no
+    /// direct links), or if a site index is out of range.
+    pub fn send<P>(&mut self, now: SimTime, from: NodeId, to: NodeId, payload: P) -> Envelope<P> {
+        let (site, dir) = match (from.is_central(), to.is_central()) {
+            (false, true) => (from.local_index(), 0),
+            (true, false) => (to.local_index(), 1),
+            _ => panic!("star topology: exactly one endpoint must be central ({from} -> {to})"),
+        };
+        assert!(site < self.n_sites, "site index {site} out of range");
+        let nominal = now + self.delay;
+        let deliver_at = nominal.max(self.last_delivery[site][dir]);
+        self.last_delivery[site][dir] = deliver_at;
+        self.messages += 1;
+        if dir == 0 {
+            self.messages_up += 1;
+        } else {
+            self.messages_down += 1;
+        }
+        Envelope {
+            from,
+            to,
+            deliver_at,
+            payload,
+        }
+    }
+
+    /// Total messages sent in both directions.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.messages
+    }
+
+    /// Messages sent from local sites to the central complex.
+    #[must_use]
+    pub fn messages_to_central(&self) -> u64 {
+        self.messages_up
+    }
+
+    /// Messages sent from the central complex to local sites.
+    #[must_use]
+    pub fn messages_from_central(&self) -> u64 {
+        self.messages_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+    fn d(secs: f64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn delivery_adds_delay() {
+        let mut net = StarNetwork::new(2, d(0.2));
+        let e = net.send(t(1.0), NodeId::local(0), NodeId::CENTRAL, 42);
+        assert_eq!(e.deliver_at, t(1.2));
+        assert_eq!(e.payload, 42);
+        assert_eq!(e.from, NodeId::local(0));
+        assert_eq!(e.to, NodeId::CENTRAL);
+    }
+
+    #[test]
+    fn fifo_order_per_direction() {
+        let mut net = StarNetwork::new(1, d(0.5));
+        let a = net.send(t(0.0), NodeId::local(0), NodeId::CENTRAL, 'a');
+        let b = net.send(t(0.1), NodeId::local(0), NodeId::CENTRAL, 'b');
+        assert!(a.deliver_at <= b.deliver_at);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut net = StarNetwork::new(1, d(0.5));
+        net.send(t(0.0), NodeId::local(0), NodeId::CENTRAL, ());
+        let down = net.send(t(0.0), NodeId::CENTRAL, NodeId::local(0), ());
+        assert_eq!(down.deliver_at, t(0.5));
+        assert_eq!(net.messages_to_central(), 1);
+        assert_eq!(net.messages_from_central(), 1);
+        assert_eq!(net.messages_sent(), 2);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let mut net = StarNetwork::new(3, d(0.2));
+        net.send(t(0.0), NodeId::local(0), NodeId::CENTRAL, ());
+        let e = net.send(t(0.0), NodeId::local(2), NodeId::CENTRAL, ());
+        assert_eq!(e.deliver_at, t(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one endpoint")]
+    fn local_to_local_is_rejected() {
+        let mut net = StarNetwork::new(2, d(0.1));
+        net.send(t(0.0), NodeId::local(0), NodeId::local(1), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one endpoint")]
+    fn central_to_central_is_rejected() {
+        let mut net = StarNetwork::new(2, d(0.1));
+        net.send(t(0.0), NodeId::CENTRAL, NodeId::CENTRAL, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_site_is_rejected() {
+        let mut net = StarNetwork::new(2, d(0.1));
+        net.send(t(0.0), NodeId::local(7), NodeId::CENTRAL, ());
+    }
+
+    #[test]
+    fn node_id_helpers() {
+        assert!(NodeId::CENTRAL.is_central());
+        assert!(!NodeId::local(0).is_central());
+        assert_eq!(NodeId::local(3).local_index(), 3);
+        assert_eq!(NodeId::local(3).to_string(), "site3");
+        assert_eq!(NodeId::CENTRAL.to_string(), "central");
+    }
+
+    #[test]
+    #[should_panic(expected = "no local index")]
+    fn central_has_no_local_index() {
+        let _ = NodeId::CENTRAL.local_index();
+    }
+
+    #[test]
+    fn zero_delay_network() {
+        let mut net = StarNetwork::new(1, SimDuration::ZERO);
+        let e = net.send(t(3.0), NodeId::local(0), NodeId::CENTRAL, ());
+        assert_eq!(e.deliver_at, t(3.0));
+    }
+}

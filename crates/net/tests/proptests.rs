@@ -1,0 +1,56 @@
+//! Property-based tests for the star network.
+
+use hls_net::{NodeId, StarNetwork};
+use hls_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Deliveries on each directed link are FIFO and never precede
+    /// `send time + delay`, for arbitrary send schedules.
+    #[test]
+    fn links_are_fifo_and_causal(
+        delay_ms in 0u32..1000,
+        sends in proptest::collection::vec((0u32..4, any::<bool>(), 0u32..10_000), 1..200)
+    ) {
+        let delay = SimDuration::from_secs(f64::from(delay_ms) / 1000.0);
+        let mut net = StarNetwork::new(4, delay);
+        let mut last_per_link: std::collections::HashMap<(usize, bool), SimTime> =
+            std::collections::HashMap::new();
+        let mut sends = sends;
+        // Times must be non-decreasing for a causal sender.
+        sends.sort_by_key(|&(_, _, t)| t);
+        for (site, up, t_ms) in sends {
+            let now = SimTime::from_secs(f64::from(t_ms) / 1000.0);
+            let (from, to) = if up {
+                (NodeId::local(site), NodeId::CENTRAL)
+            } else {
+                (NodeId::CENTRAL, NodeId::local(site))
+            };
+            let env = net.send(now, from, to, ());
+            prop_assert!(env.deliver_at >= now + delay);
+            let key = (site as usize, up);
+            if let Some(&prev) = last_per_link.get(&key) {
+                prop_assert!(env.deliver_at >= prev, "FIFO violated");
+            }
+            last_per_link.insert(key, env.deliver_at);
+        }
+    }
+
+    /// Message counters add up.
+    #[test]
+    fn traffic_counters_are_consistent(
+        ups in 0u32..50,
+        downs in 0u32..50,
+    ) {
+        let mut net = StarNetwork::new(2, SimDuration::from_secs(0.1));
+        for _ in 0..ups {
+            net.send(SimTime::ZERO, NodeId::local(0), NodeId::CENTRAL, ());
+        }
+        for _ in 0..downs {
+            net.send(SimTime::ZERO, NodeId::CENTRAL, NodeId::local(1), ());
+        }
+        prop_assert_eq!(net.messages_to_central(), u64::from(ups));
+        prop_assert_eq!(net.messages_from_central(), u64::from(downs));
+        prop_assert_eq!(net.messages_sent(), u64::from(ups + downs));
+    }
+}

@@ -1,0 +1,246 @@
+//! A first-come-first-served multi-server resource.
+//!
+//! Generalizes [`FcfsServer`](crate::FcfsServer) to `k` identical servers
+//! sharing one FIFO queue — an M/G/k-style station. Used to model a central
+//! computing *complex* made of several processors.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::server::{Job, ServiceStart};
+use crate::time::{SimDuration, SimTime};
+
+/// A deterministic FCFS station with `k` identical servers of equal speed
+/// and a single shared queue.
+///
+/// Unlike the single-server variant, several jobs can be in service at
+/// once, so completions are keyed by job id.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::{Job, MultiServer, SimTime};
+///
+/// let mut cpu = MultiServer::new(2, 1.0e6);
+/// let a = cpu.submit(SimTime::ZERO, Job::new(1, 500_000.0)).unwrap();
+/// let b = cpu.submit(SimTime::ZERO, Job::new(2, 250_000.0)).unwrap();
+/// assert!(cpu.submit(SimTime::ZERO, Job::new(3, 100_000.0)).is_none());
+/// assert_eq!(a.done_at, SimTime::from_secs(0.5));
+/// assert_eq!(b.done_at, SimTime::from_secs(0.25));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    servers: usize,
+    speed: f64,
+    waiting: VecDeque<Job>,
+    in_service: HashMap<u64, Job>,
+    busy_server_secs: f64,
+    last_change: SimTime,
+}
+
+impl MultiServer {
+    /// Creates a station with `servers` servers, each processing `speed`
+    /// instructions per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero or `speed` is not positive and finite.
+    #[must_use]
+    pub fn new(servers: usize, speed: f64) -> Self {
+        assert!(servers > 0, "a station needs at least one server");
+        assert!(
+            speed > 0.0 && speed.is_finite(),
+            "server speed must be positive and finite, got {speed}"
+        );
+        MultiServer {
+            servers,
+            speed,
+            waiting: VecDeque::new(),
+            in_service: HashMap::new(),
+            busy_server_secs: 0.0,
+            last_change: SimTime::ZERO,
+        }
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Per-server speed in instructions per second.
+    #[must_use]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    fn advance_clock(&mut self, now: SimTime) {
+        self.busy_server_secs += self.in_service.len() as f64 * (now - self.last_change).as_secs();
+        self.last_change = now;
+    }
+
+    /// Submits a job; returns its [`ServiceStart`] if a server is idle,
+    /// otherwise queues it FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job with the same id is already in service.
+    pub fn submit(&mut self, now: SimTime, job: Job) -> Option<ServiceStart> {
+        self.advance_clock(now);
+        if self.in_service.len() < self.servers {
+            Some(self.begin(now, job))
+        } else {
+            self.waiting.push_back(job);
+            None
+        }
+    }
+
+    fn begin(&mut self, now: SimTime, job: Job) -> ServiceStart {
+        let done_at = now + SimDuration::from_secs(job.work / self.speed);
+        let prev = self.in_service.insert(job.id, job);
+        assert!(prev.is_none(), "job {} already in service", job.id);
+        ServiceStart {
+            job_id: job.id,
+            done_at,
+        }
+    }
+
+    /// Completes the in-service job `job_id` at `now`, starting the next
+    /// queued job (if any) on the freed server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job_id` is not in service.
+    pub fn complete(&mut self, now: SimTime, job_id: u64) -> (Job, Option<ServiceStart>) {
+        self.advance_clock(now);
+        let finished = self
+            .in_service
+            .remove(&job_id)
+            .unwrap_or_else(|| panic!("job {job_id} is not in service"));
+        let next = self.waiting.pop_front().map(|j| self.begin(now, j));
+        (finished, next)
+    }
+
+    /// Jobs present (waiting + in service) — the queue length observed by
+    /// the routing strategies.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len() + self.in_service.len()
+    }
+
+    /// Jobs currently being served.
+    #[must_use]
+    pub fn busy_servers(&self) -> usize {
+        self.in_service.len()
+    }
+
+    /// Accumulated busy-server-seconds up to `now` (for utilization:
+    /// divide by `servers × window`).
+    #[must_use]
+    pub fn busy_server_seconds(&self, now: SimTime) -> f64 {
+        self.busy_server_secs + self.in_service.len() as f64 * (now - self.last_change).as_secs()
+    }
+
+    /// Mean per-server utilization over `[since, now]`, given the
+    /// busy-server-seconds sampled at `since`.
+    #[must_use]
+    pub fn utilization(&self, now: SimTime, since: SimTime, busy_at_since: f64) -> f64 {
+        let window = (now - since).as_secs();
+        if window == 0.0 {
+            return 0.0;
+        }
+        (self.busy_server_seconds(now) - busy_at_since) / (self.servers as f64 * window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn parallel_service_up_to_k() {
+        let mut s = MultiServer::new(2, 1.0);
+        assert!(s.submit(t(0.0), Job::new(1, 2.0)).is_some());
+        assert!(s.submit(t(0.0), Job::new(2, 1.0)).is_some());
+        assert!(s.submit(t(0.0), Job::new(3, 1.0)).is_none());
+        assert_eq!(s.busy_servers(), 2);
+        assert_eq!(s.queue_len(), 3);
+    }
+
+    #[test]
+    fn completion_starts_next_in_fifo_order() {
+        let mut s = MultiServer::new(2, 1.0);
+        s.submit(t(0.0), Job::new(1, 1.0));
+        s.submit(t(0.0), Job::new(2, 2.0));
+        s.submit(t(0.0), Job::new(3, 1.0));
+        s.submit(t(0.0), Job::new(4, 1.0));
+        let (fin, next) = s.complete(t(1.0), 1);
+        assert_eq!(fin.id, 1);
+        assert_eq!(next.unwrap().job_id, 3);
+        let (fin, next) = s.complete(t(2.0), 2);
+        assert_eq!(fin.id, 2);
+        assert_eq!(next.unwrap().job_id, 4);
+    }
+
+    #[test]
+    fn out_of_order_completions_are_allowed() {
+        let mut s = MultiServer::new(2, 1.0);
+        s.submit(t(0.0), Job::new(1, 5.0));
+        let b = s.submit(t(0.0), Job::new(2, 1.0)).unwrap();
+        assert_eq!(b.done_at, t(1.0));
+        // Job 2 finishes before job 1.
+        let (fin, next) = s.complete(t(1.0), 2);
+        assert_eq!(fin.id, 2);
+        assert!(next.is_none());
+        let (fin, _) = s.complete(t(5.0), 1);
+        assert_eq!(fin.id, 1);
+    }
+
+    #[test]
+    fn busy_server_seconds_accumulate() {
+        let mut s = MultiServer::new(2, 1.0);
+        s.submit(t(0.0), Job::new(1, 2.0));
+        s.submit(t(0.0), Job::new(2, 2.0));
+        assert!((s.busy_server_seconds(t(1.0)) - 2.0).abs() < 1e-12);
+        s.complete(t(2.0), 1);
+        s.complete(t(2.0), 2);
+        assert!((s.busy_server_seconds(t(3.0)) - 4.0).abs() < 1e-12);
+        assert!((s.utilization(t(4.0), t(0.0), 0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_server_degenerates_to_fcfs() {
+        let mut s = MultiServer::new(1, 2.0);
+        let a = s.submit(t(0.0), Job::new(1, 4.0)).unwrap();
+        assert_eq!(a.done_at, t(2.0));
+        assert!(s.submit(t(0.0), Job::new(2, 2.0)).is_none());
+        let (_, next) = s.complete(t(2.0), 1);
+        assert_eq!(next.unwrap().done_at, t(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in service")]
+    fn completing_unknown_job_panics() {
+        let mut s = MultiServer::new(1, 1.0);
+        let _ = s.complete(t(0.0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = MultiServer::new(0, 1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = MultiServer::new(3, 5.0e6);
+        assert_eq!(s.servers(), 3);
+        assert_eq!(s.speed(), 5.0e6);
+        assert_eq!(s.busy_servers(), 0);
+        assert_eq!(s.queue_len(), 0);
+    }
+}

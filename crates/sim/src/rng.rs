@@ -1,0 +1,186 @@
+//! Seeded random-number streams for reproducible simulations.
+//!
+//! Each logical purpose (arrivals at site 3, lock-list generation, static
+//! routing coin flips, ...) gets its own independent stream derived from a
+//! single master seed, so adding a consumer of randomness in one part of the
+//! model never perturbs the draws seen by another part.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A factory of independent, reproducible RNG streams.
+///
+/// Streams are derived by mixing the master seed with a caller-supplied
+/// stream label using a SplitMix64 finalizer, so distinct labels give
+/// statistically independent streams and equal `(seed, label)` pairs always
+/// give identical streams.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::RngStreams;
+/// use rand::Rng;
+///
+/// let streams = RngStreams::new(42);
+/// let mut a1 = streams.stream(7);
+/// let mut a2 = streams.stream(7);
+/// assert_eq!(a1.random::<u64>(), a2.random::<u64>());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngStreams {
+    master_seed: u64,
+}
+
+impl RngStreams {
+    /// Creates a stream factory from a master seed.
+    #[must_use]
+    pub fn new(master_seed: u64) -> Self {
+        RngStreams { master_seed }
+    }
+
+    /// Returns the master seed this factory was created with.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Derives the RNG stream for `label`.
+    ///
+    /// Equal labels always yield identical streams; distinct labels yield
+    /// independent streams.
+    #[must_use]
+    pub fn stream(&self, label: u64) -> StdRng {
+        StdRng::seed_from_u64(splitmix64(
+            self.master_seed ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples an exponentially distributed duration with the given rate
+/// (events per second), via inversion.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::{sample_exponential, RngStreams};
+///
+/// let mut rng = RngStreams::new(1).stream(0);
+/// let x = sample_exponential(&mut rng, 2.0);
+/// assert!(x >= 0.0);
+/// ```
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(
+        rate > 0.0 && rate.is_finite(),
+        "exponential rate must be positive and finite, got {rate}"
+    );
+    // random::<f64>() is in [0, 1); 1 - u is in (0, 1], so ln is finite.
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples a uniformly distributed value in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or either bound is not finite.
+pub fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "uniform bounds must be finite with lo < hi, got [{lo}, {hi})"
+    );
+    lo + rng.random::<f64>() * (hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let s = RngStreams::new(123);
+        let xs: Vec<u64> = (0..10).map(|_| 0).collect();
+        let mut a = s.stream(5);
+        let mut b = s.stream(5);
+        for _ in xs {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn distinct_labels_differ() {
+        let s = RngStreams::new(123);
+        let mut a = s.stream(1);
+        let mut b = s.stream(2);
+        let same = (0..16).all(|_| a.random::<u64>() == b.random::<u64>());
+        assert!(!same);
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = RngStreams::new(1).stream(0);
+        let mut b = RngStreams::new(2).stream(0);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+        assert_eq!(RngStreams::new(9).master_seed(), 9);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = RngStreams::new(7).stream(0);
+        let rate = 4.0;
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| sample_exponential(&mut rng, rate)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = RngStreams::new(8).stream(0);
+        for _ in 0..1000 {
+            assert!(sample_exponential(&mut rng, 0.5) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = RngStreams::new(1).stream(0);
+        let _ = sample_exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = RngStreams::new(9).stream(0);
+        for _ in 0..1000 {
+            let x = sample_uniform(&mut rng, 2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_close() {
+        let mut rng = RngStreams::new(10).stream(0);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| sample_uniform(&mut rng, 0.0, 2.0)).sum();
+        assert!((sum / f64::from(n) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_rejects_inverted_bounds() {
+        let mut rng = RngStreams::new(1).stream(0);
+        let _ = sample_uniform(&mut rng, 3.0, 2.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! A first-come-first-served single-server resource (a CPU).
+//!
+//! Transactions submit *bursts* of work (instruction counts); the server
+//! processes them one at a time at a fixed speed (instructions per second).
+//! The caller owns the event loop: [`FcfsServer::submit`] and
+//! [`FcfsServer::complete`] return a [`ServiceStart`] when a new burst enters
+//! service, and the caller schedules the corresponding completion event.
+
+use std::collections::VecDeque;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A burst of work submitted to a server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Caller-assigned identifier (e.g. a transaction id).
+    pub id: u64,
+    /// Amount of work, in instructions.
+    pub work: f64,
+}
+
+impl Job {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is negative or not finite.
+    #[must_use]
+    pub fn new(id: u64, work: f64) -> Self {
+        assert!(
+            work.is_finite() && work >= 0.0,
+            "job work must be finite and non-negative, got {work}"
+        );
+        Job { id, work }
+    }
+}
+
+/// Notification that a job has entered service.
+///
+/// The caller must schedule a completion event at `done_at` and then call
+/// [`FcfsServer::complete`] when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStart {
+    /// The job now in service.
+    pub job_id: u64,
+    /// Absolute time at which the burst finishes.
+    pub done_at: SimTime,
+}
+
+/// A deterministic FCFS single server with a fixed processing speed.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::{FcfsServer, Job, SimTime};
+///
+/// let mut cpu = FcfsServer::new(1_000_000.0); // 1 MIPS
+/// let start = cpu
+///     .submit(SimTime::ZERO, Job::new(1, 500_000.0))
+///     .expect("server was idle");
+/// assert_eq!(start.done_at, SimTime::from_secs(0.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FcfsServer {
+    speed: f64,
+    waiting: VecDeque<Job>,
+    in_service: Option<Job>,
+    busy_accum: f64,
+    busy_since: Option<SimTime>,
+}
+
+impl FcfsServer {
+    /// Creates a server processing `speed` instructions per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(speed: f64) -> Self {
+        assert!(
+            speed > 0.0 && speed.is_finite(),
+            "server speed must be positive and finite, got {speed}"
+        );
+        FcfsServer {
+            speed,
+            waiting: VecDeque::new(),
+            in_service: None,
+            busy_accum: 0.0,
+            busy_since: None,
+        }
+    }
+
+    /// Server speed in instructions per second.
+    #[must_use]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Submits a burst at time `now`. Returns a [`ServiceStart`] if the burst
+    /// enters service immediately (the server was idle), otherwise the burst
+    /// is queued and `None` is returned.
+    pub fn submit(&mut self, now: SimTime, job: Job) -> Option<ServiceStart> {
+        if self.in_service.is_none() {
+            Some(self.begin_service(now, job))
+        } else {
+            self.waiting.push_back(job);
+            None
+        }
+    }
+
+    /// Marks the in-service burst complete at time `now` and starts the next
+    /// queued burst, if any.
+    ///
+    /// Returns the finished job and, when the queue was non-empty, the
+    /// [`ServiceStart`] for the next burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job is in service.
+    pub fn complete(&mut self, now: SimTime) -> (Job, Option<ServiceStart>) {
+        let finished = self
+            .in_service
+            .take()
+            .expect("complete() called on an idle server");
+        if let Some(since) = self.busy_since.take() {
+            self.busy_accum += (now - since).as_secs();
+        }
+        let next = self.waiting.pop_front().map(|j| self.begin_service(now, j));
+        (finished, next)
+    }
+
+    fn begin_service(&mut self, now: SimTime, job: Job) -> ServiceStart {
+        debug_assert!(self.in_service.is_none());
+        let dur = SimDuration::from_secs(job.work / self.speed);
+        self.busy_since = Some(now);
+        let start = ServiceStart {
+            job_id: job.id,
+            done_at: now + dur,
+        };
+        self.in_service = Some(job);
+        start
+    }
+
+    /// Queue length including the in-service job — the quantity the paper's
+    /// routing heuristics observe ("CPU queue length (including any running
+    /// jobs)").
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// Returns `true` if a job is currently in service.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// Removes a job from the waiting queue (not the in-service job).
+    /// Returns `true` if a job with `job_id` was found and removed.
+    pub fn cancel_queued(&mut self, job_id: u64) -> bool {
+        if let Some(pos) = self.waiting.iter().position(|j| j.id == job_id) {
+            self.waiting.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total busy time accumulated up to `now`.
+    #[must_use]
+    pub fn busy_time(&self, now: SimTime) -> SimDuration {
+        let mut total = self.busy_accum;
+        if let Some(since) = self.busy_since {
+            total += (now - since).as_secs();
+        }
+        SimDuration::from_secs(total)
+    }
+
+    /// Utilization over the window `[since, now]`.
+    ///
+    /// This is exact only if `busy_time(since)` was sampled by the caller;
+    /// for convenience it accepts the earlier busy-time sample.
+    #[must_use]
+    pub fn utilization(&self, now: SimTime, since: SimTime, busy_at_since: SimDuration) -> f64 {
+        let window = (now - since).as_secs();
+        if window == 0.0 {
+            return 0.0;
+        }
+        (self.busy_time(now).as_secs() - busy_at_since.as_secs()) / window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = FcfsServer::new(2.0);
+        let start = s.submit(t(1.0), Job::new(1, 4.0)).unwrap();
+        assert_eq!(start.job_id, 1);
+        assert_eq!(start.done_at, t(3.0));
+        assert!(s.is_busy());
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn busy_server_queues_fcfs() {
+        let mut s = FcfsServer::new(1.0);
+        s.submit(t(0.0), Job::new(1, 1.0)).unwrap();
+        assert!(s.submit(t(0.0), Job::new(2, 1.0)).is_none());
+        assert!(s.submit(t(0.5), Job::new(3, 1.0)).is_none());
+        assert_eq!(s.queue_len(), 3);
+
+        let (fin, next) = s.complete(t(1.0));
+        assert_eq!(fin.id, 1);
+        let next = next.unwrap();
+        assert_eq!(next.job_id, 2);
+        assert_eq!(next.done_at, t(2.0));
+
+        let (fin, next) = s.complete(t(2.0));
+        assert_eq!(fin.id, 2);
+        assert_eq!(next.unwrap().job_id, 3);
+
+        let (fin, next) = s.complete(t(3.0));
+        assert_eq!(fin.id, 3);
+        assert!(next.is_none());
+        assert!(!s.is_busy());
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_time_accumulates_across_idle_gaps() {
+        let mut s = FcfsServer::new(1.0);
+        s.submit(t(0.0), Job::new(1, 1.0)).unwrap();
+        s.complete(t(1.0));
+        assert_eq!(s.busy_time(t(5.0)).as_secs(), 1.0);
+        s.submit(t(5.0), Job::new(2, 2.0)).unwrap();
+        assert_eq!(s.busy_time(t(6.0)).as_secs(), 2.0); // 1 done + 1 in progress
+        s.complete(t(7.0));
+        assert_eq!(s.busy_time(t(10.0)).as_secs(), 3.0);
+    }
+
+    #[test]
+    fn utilization_over_window() {
+        let mut s = FcfsServer::new(1.0);
+        let b0 = s.busy_time(t(0.0));
+        s.submit(t(0.0), Job::new(1, 5.0)).unwrap();
+        s.complete(t(5.0));
+        assert!((s.utilization(t(10.0), t(0.0), b0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_job_completes_instantly() {
+        let mut s = FcfsServer::new(1.0);
+        let start = s.submit(t(1.0), Job::new(1, 0.0)).unwrap();
+        assert_eq!(start.done_at, t(1.0));
+    }
+
+    #[test]
+    fn cancel_queued_removes_waiting_job() {
+        let mut s = FcfsServer::new(1.0);
+        s.submit(t(0.0), Job::new(1, 1.0)).unwrap();
+        s.submit(t(0.0), Job::new(2, 1.0));
+        assert!(s.cancel_queued(2));
+        assert!(!s.cancel_queued(2));
+        assert!(!s.cancel_queued(1)); // in service, not cancellable
+        let (_, next) = s.complete(t(1.0));
+        assert!(next.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "idle server")]
+    fn complete_on_idle_panics() {
+        let mut s = FcfsServer::new(1.0);
+        let _ = s.complete(t(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_panics() {
+        let _ = FcfsServer::new(0.0);
+    }
+
+    #[test]
+    fn speed_accessor() {
+        assert_eq!(FcfsServer::new(15e6).speed(), 15e6);
+    }
+}

@@ -1,0 +1,208 @@
+//! Streaming moment accumulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean / variance / min / max over a sequence of observations,
+/// using Welford's numerically stable one-pass algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     acc.record(x);
+/// }
+/// assert_eq!(acc.mean(), 2.5);
+/// assert_eq!(acc.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "observation must be finite, got {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` if no observations were recorded.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; `0.0` with fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Merges another accumulator into this one (parallel-combine rule).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_neutral() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+        assert_eq!(acc.sum(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let acc: Accumulator = xs.iter().copied().collect();
+        assert_eq!(acc.mean(), 5.0);
+        // two-pass unbiased variance = 32/7
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(acc.min(), Some(2.0));
+        assert_eq!(acc.max(), Some(9.0));
+        assert_eq!(acc.sum(), 40.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let mut acc = Accumulator::new();
+        acc.record(3.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.std_dev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let mut acc = Accumulator::new();
+        acc.record(f64::NAN);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.0, 10.0, 20.0];
+        let ys = [5.0, 6.0, -1.0];
+        let mut a: Accumulator = xs.iter().copied().collect();
+        let b: Accumulator = ys.iter().copied().collect();
+        a.merge(&b);
+        let all: Accumulator = xs.iter().chain(ys.iter()).copied().collect();
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: Accumulator = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&Accumulator::new());
+        assert_eq!(a, before);
+
+        let mut empty = Accumulator::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

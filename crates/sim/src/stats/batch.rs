@@ -1,0 +1,187 @@
+//! Batch-means confidence intervals for steady-state output analysis.
+
+use serde::{Deserialize, Serialize};
+
+use super::Accumulator;
+
+/// Batch-means estimator: observations are grouped into fixed-size batches,
+/// and a confidence interval for the steady-state mean is formed from the
+/// batch means, which are approximately independent for large batches.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100);
+/// for i in 0..1000 {
+///     bm.record(f64::from(i % 10));
+/// }
+/// let (lo, hi) = bm.confidence_interval_95().unwrap();
+/// assert!(lo <= 4.5 + 1e-9 && 4.5 - 1e-9 <= hi);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Accumulator,
+    batch_means: Vec<f64>,
+    overall: Accumulator,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current: Accumulator::new(),
+            batch_means: Vec::new(),
+            overall: Accumulator::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.overall.record(x);
+        self.current.record(x);
+        if self.current.count() == self.batch_size {
+            self.batch_means.push(self.current.mean());
+            self.current = Accumulator::new();
+        }
+    }
+
+    /// Overall sample mean of all observations (including a partial batch).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Number of completed batches.
+    #[must_use]
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// 95% confidence interval for the mean from completed batch means, or
+    /// `None` with fewer than two completed batches.
+    #[must_use]
+    pub fn confidence_interval_95(&self) -> Option<(f64, f64)> {
+        let k = self.batch_means.len();
+        if k < 2 {
+            return None;
+        }
+        let acc: Accumulator = self.batch_means.iter().copied().collect();
+        let half = t_critical_95(k - 1) * acc.std_dev() / (k as f64).sqrt();
+        Some((acc.mean() - half, acc.mean() + half))
+    }
+
+    /// Half-width of the 95% confidence interval relative to the mean, or
+    /// `None` when no interval is available or the mean is zero.
+    #[must_use]
+    pub fn relative_half_width(&self) -> Option<f64> {
+        let (lo, hi) = self.confidence_interval_95()?;
+        let mid = (lo + hi) / 2.0;
+        if mid == 0.0 {
+            None
+        } else {
+            Some((hi - lo) / 2.0 / mid.abs())
+        }
+    }
+}
+
+/// Two-sided 95% Student-t critical values; indexed by degrees of freedom.
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_form_as_data_arrives() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..35 {
+            bm.record(f64::from(i));
+        }
+        assert_eq!(bm.batches(), 3);
+        assert_eq!(bm.count(), 35);
+        assert_eq!(bm.mean(), 17.0);
+    }
+
+    #[test]
+    fn interval_requires_two_batches() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..10 {
+            bm.record(f64::from(i));
+        }
+        assert_eq!(bm.confidence_interval_95(), None);
+        for i in 0..10 {
+            bm.record(f64::from(i));
+        }
+        assert!(bm.confidence_interval_95().is_some());
+    }
+
+    #[test]
+    fn interval_covers_true_mean_of_iid_data() {
+        let mut bm = BatchMeans::new(50);
+        // Deterministic "noise" with mean 4.5.
+        for i in 0..2000u32 {
+            bm.record(f64::from(i % 10));
+        }
+        let (lo, hi) = bm.confidence_interval_95().unwrap();
+        assert!(
+            lo <= 4.5 + 1e-9 && 4.5 - 1e-9 <= hi,
+            "interval = ({lo}, {hi})"
+        );
+        assert!(bm.relative_half_width().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn constant_data_has_zero_width_interval() {
+        let mut bm = BatchMeans::new(5);
+        for _ in 0..50 {
+            bm.record(2.0);
+        }
+        let (lo, hi) = bm.confidence_interval_95().unwrap();
+        assert_eq!(lo, 2.0);
+        assert_eq!(hi, 2.0);
+        assert_eq!(bm.relative_half_width(), Some(0.0));
+    }
+
+    #[test]
+    fn t_table_monotone_toward_normal() {
+        assert!(t_critical_95(1) > t_critical_95(5));
+        assert!(t_critical_95(5) > t_critical_95(29));
+        assert_eq!(t_critical_95(100), 1.96);
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_panics() {
+        let _ = BatchMeans::new(0);
+    }
+}

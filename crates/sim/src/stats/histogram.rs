@@ -1,0 +1,187 @@
+//! Fixed-width histogram with quantile queries.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width binned histogram over `[0, bin_width * bins)`, with an
+/// overflow bin for larger observations.
+///
+/// Quantiles are estimated by linear interpolation inside the containing bin,
+/// which is accurate enough for reporting simulation response-time
+/// percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::Histogram;
+///
+/// let mut h = Histogram::new(0.1, 100);
+/// for i in 0..100 {
+///     h.record(f64::from(i) * 0.05);
+/// }
+/// let median = h.quantile(0.5).unwrap();
+/// assert!((median - 2.5).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of width `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is not positive and finite, or `bins` is zero.
+    #[must_use]
+    pub fn new(bin_width: f64, bins: usize) -> Self {
+        assert!(
+            bin_width > 0.0 && bin_width.is_finite(),
+            "bin width must be positive and finite, got {bin_width}"
+        );
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or not finite.
+    pub fn record(&mut self, x: f64) {
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "observation must be finite and non-negative, got {x}"
+        );
+        let idx = (x / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations beyond the last bin.
+    #[must_use]
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Estimates the `q`-quantile (`0.0 <= q <= 1.0`), or `None` if empty or
+    /// the quantile falls in the overflow bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if self.total == 0 {
+            return None;
+        }
+        let target = q * self.total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - cum) / c as f64
+                };
+                return Some((i as f64 + frac.clamp(0.0, 1.0)) * self.bin_width);
+            }
+            cum = next;
+        }
+        None // falls into overflow
+    }
+
+    /// Iterates over `(bin_lower_bound, count)` pairs for non-empty bins.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as f64 * self.bin_width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_bins() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(1.7);
+        h.record(10.0);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.overflow_count(), 1);
+        let bins: Vec<(f64, u64)> = h.iter().collect();
+        assert_eq!(bins, vec![(0.0, 1), (1.0, 2)]);
+    }
+
+    #[test]
+    fn quantile_on_empty_is_none() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_in_overflow_is_none() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(100.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn median_of_uniform_data() {
+        let mut h = Histogram::new(0.01, 1000);
+        for i in 0..1000 {
+            h.record(f64::from(i) * 0.005);
+        }
+        let m = h.quantile(0.5).unwrap();
+        assert!((m - 2.5).abs() < 0.05, "median = {m}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 4.95).abs() < 0.1, "p99 = {p99}");
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn quantile_out_of_range_panics() {
+        let h = Histogram::new(1.0, 2);
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_observation_panics() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(1.0, 0);
+    }
+}

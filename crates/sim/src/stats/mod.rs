@@ -1,0 +1,19 @@
+//! Output-analysis statistics for simulation runs.
+//!
+//! * [`Accumulator`] — streaming mean/variance/min/max over observations
+//!   (Welford's algorithm).
+//! * [`TimeWeighted`] — time-weighted average of a piecewise-constant signal
+//!   (queue lengths, population counts).
+//! * [`Histogram`] — fixed-width binned distribution with quantile queries.
+//! * [`BatchMeans`] — batch-means confidence intervals for steady-state
+//!   estimation.
+
+mod accumulator;
+mod batch;
+mod histogram;
+mod time_weighted;
+
+pub use accumulator::Accumulator;
+pub use batch::BatchMeans;
+pub use histogram::Histogram;
+pub use time_weighted::TimeWeighted;

@@ -1,0 +1,154 @@
+//! Time-weighted averaging of piecewise-constant signals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Time-weighted average of a piecewise-constant signal, such as a queue
+/// length or the number of transactions in a system.
+///
+/// Call [`TimeWeighted::set`] whenever the signal changes; the integral of
+/// the signal over time is accumulated between updates.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::{SimTime, TimeWeighted};
+///
+/// let mut q = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// q.set(SimTime::from_secs(1.0), 2.0); // 0 for 1s
+/// q.set(SimTime::from_secs(3.0), 0.0); // 2 for 2s
+/// assert_eq!(q.average(SimTime::from_secs(4.0)), 1.0); // 4 unit-seconds / 4s
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_change: SimTime,
+    value: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Creates a tracker starting at `start` with initial signal `value`.
+    #[must_use]
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_change: start,
+            value,
+            integral: 0.0,
+            peak: value,
+        }
+    }
+
+    /// Current value of the signal.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Largest value the signal has taken.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Updates the signal to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        self.integral += self.value * (now - self.last_change).as_secs();
+        self.last_change = now;
+        self.value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Adds `delta` to the signal at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Time-weighted average over `[start, now]`; `0.0` for an empty window.
+    #[must_use]
+    pub fn average(&self, now: SimTime) -> f64 {
+        let window = (now - self.start).as_secs();
+        if window == 0.0 {
+            return 0.0;
+        }
+        let integral = self.integral + self.value * (now - self.last_change).as_secs();
+        integral / window
+    }
+
+    /// Discards history before `now`: the average window restarts at `now`
+    /// with the current value. Used to drop the warm-up transient.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.integral += self.value * (now - self.last_change).as_secs();
+        self.integral = 0.0;
+        self.start = now;
+        self.last_change = now;
+        self.peak = self.value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn constant_signal_average_is_value() {
+        let q = TimeWeighted::new(t(0.0), 3.0);
+        assert_eq!(q.average(t(10.0)), 3.0);
+    }
+
+    #[test]
+    fn step_signal_average() {
+        let mut q = TimeWeighted::new(t(0.0), 0.0);
+        q.set(t(2.0), 4.0);
+        // 0 for 2s, 4 for 2s => avg 2
+        assert_eq!(q.average(t(4.0)), 2.0);
+    }
+
+    #[test]
+    fn add_tracks_population() {
+        let mut q = TimeWeighted::new(t(0.0), 0.0);
+        q.add(t(1.0), 1.0);
+        q.add(t(2.0), 1.0);
+        q.add(t(3.0), -2.0);
+        assert_eq!(q.value(), 0.0);
+        assert_eq!(q.peak(), 2.0);
+        // integral = 0*1 + 1*1 + 2*1 + 0*1 = 3 over 4s
+        assert_eq!(q.average(t(4.0)), 0.75);
+    }
+
+    #[test]
+    fn empty_window_average_is_zero() {
+        let q = TimeWeighted::new(t(5.0), 7.0);
+        assert_eq!(q.average(t(5.0)), 0.0);
+    }
+
+    #[test]
+    fn reset_window_drops_history() {
+        let mut q = TimeWeighted::new(t(0.0), 10.0);
+        q.set(t(5.0), 2.0);
+        q.reset_window(t(5.0));
+        assert_eq!(q.average(t(10.0)), 2.0);
+        assert_eq!(q.peak(), 2.0);
+    }
+
+    #[test]
+    fn repeated_set_at_same_time_keeps_last() {
+        let mut q = TimeWeighted::new(t(0.0), 0.0);
+        q.set(t(1.0), 5.0);
+        q.set(t(1.0), 1.0);
+        assert_eq!(q.average(t(2.0)), 0.5);
+        assert_eq!(q.peak(), 5.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Virtual time for the simulation kernel.
+//!
+//! Simulated time is represented by [`SimTime`] (an instant, seconds since the
+//! start of the simulation) and [`SimDuration`] (a span between instants).
+//! Both are thin newtypes over `f64` that maintain the invariant of being
+//! finite and (for durations) non-negative, which gives them a total order.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time, in seconds since the simulation epoch.
+///
+/// `SimTime` is totally ordered; construction panics on non-finite values so
+/// that ordering is never ambiguous inside the event queue.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(1.5);
+/// assert_eq!(t.as_secs(), 1.5);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates an instant from seconds since the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not finite or is negative.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    /// Returns the instant as seconds since the epoch.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[must_use]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration::from_secs(self.0 - earlier.0)
+    }
+
+    /// Returns the later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Invariant: values are finite, so total_cmp agrees with the usual order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+/// A non-negative span of simulated time, in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::SimDuration;
+///
+/// let d = SimDuration::from_secs(0.2) * 2.0;
+/// assert_eq!(d.as_secs(), 0.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimDuration(f64);
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not finite or is negative.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration must be finite and non-negative, got {secs}"
+        );
+        SimDuration(secs)
+    }
+
+    /// Returns the duration in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if this duration is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Eq for SimDuration {}
+
+impl PartialOrd for SimDuration {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimDuration {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Default for SimDuration {
+    fn default() -> Self {
+        SimDuration::ZERO
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::from_secs(1.0) + SimDuration::from_secs(0.5);
+        assert_eq!(t.as_secs(), 1.5);
+    }
+
+    #[test]
+    fn duration_since_computes_span() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(3.5);
+        assert_eq!(b.duration_since(a).as_secs(), 2.5);
+        assert_eq!((b - a).as_secs(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duration_since_earlier_panics() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(3.0);
+        let _ = a.duration_since(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_duration_panics() {
+        let _ = SimDuration::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_secs(2.0);
+        assert_eq!((d * 0.5).as_secs(), 1.0);
+        assert_eq!((d / 4.0).as_secs(), 0.5);
+        assert_eq!((d + d).as_secs(), 4.0);
+        assert!(SimDuration::ZERO.is_zero());
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs(1.25).to_string(), "1.250000s");
+        assert_eq!(SimDuration::from_secs(0.5).to_string(), "0.500000s");
+    }
+}

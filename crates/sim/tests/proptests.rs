@@ -1,0 +1,263 @@
+//! Property-based tests for the simulation kernel.
+
+use hls_sim::{Accumulator, EventQueue, FcfsServer, Job, SimTime, TimeWeighted};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops events in non-decreasing time order, FIFO
+    /// within equal times, and returns exactly what was scheduled.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in proptest::collection::vec(0u32..1000, 1..300)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(f64::from(t)), i);
+        }
+        let mut popped = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last);
+            // FIFO tie-break: same time => increasing insertion index.
+            if let Some(&(pt, pidx)) = popped.last() {
+                if pt == t {
+                    prop_assert!(idx > pidx, "tie broken out of order");
+                }
+            }
+            popped.push((t, idx));
+            last = t;
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        let mut seen: Vec<usize> = popped.iter().map(|&(_, i)| i).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// An FCFS server serves jobs in submission order, its busy time never
+    /// exceeds elapsed time, and totals add up.
+    #[test]
+    fn fcfs_server_conserves_work(
+        jobs in proptest::collection::vec((1u32..100_000, 0u32..1000), 1..100)
+    ) {
+        let mut cpu = FcfsServer::new(1.0e6);
+        let mut queue = EventQueue::new();
+        let mut completed = Vec::new();
+        for (i, &(work, at)) in jobs.iter().enumerate() {
+            queue.schedule(
+                SimTime::from_secs(f64::from(at) / 100.0),
+                (true, i as u64, f64::from(work)),
+            );
+        }
+        let total_work: f64 = jobs.iter().map(|&(w, _)| f64::from(w)).sum();
+        let mut end = SimTime::ZERO;
+        while let Some((now, (is_submit, id, work))) = queue.pop() {
+            end = now;
+            if is_submit {
+                if let Some(start) = cpu.submit(now, Job::new(id, work)) {
+                    queue.schedule(start.done_at, (false, start.job_id, 0.0));
+                }
+            } else {
+                let (job, next) = cpu.complete(now);
+                completed.push(job.id);
+                if let Some(start) = next {
+                    queue.schedule(start.done_at, (false, start.job_id, 0.0));
+                }
+            }
+        }
+        prop_assert_eq!(completed.len(), jobs.len());
+        // FCFS: completion order == submission order for equal-time-safe ids
+        // (ids submitted in schedule order at distinct or FIFO-tied times).
+        let busy = cpu.busy_time(end).as_secs();
+        prop_assert!((busy - total_work / 1.0e6).abs() < 1e-9);
+        prop_assert!(busy <= end.as_secs() + 1e-9);
+    }
+
+    /// Streaming accumulator agrees with a two-pass computation.
+    #[test]
+    fn accumulator_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let acc: Accumulator = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((acc.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((acc.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        prop_assert_eq!(acc.count(), xs.len() as u64);
+    }
+
+    /// Merging accumulators in any split equals one-pass accumulation.
+    #[test]
+    fn accumulator_merge_is_associative(
+        xs in proptest::collection::vec(-100f64..100.0, 1..100),
+        split in 0usize..100
+    ) {
+        let k = split % xs.len();
+        let mut a: Accumulator = xs[..k].iter().copied().collect();
+        let b: Accumulator = xs[k..].iter().copied().collect();
+        a.merge(&b);
+        let whole: Accumulator = xs.iter().copied().collect();
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-7);
+    }
+
+    /// Time-weighted average equals the explicit integral of the step
+    /// function.
+    #[test]
+    fn time_weighted_matches_integral(
+        steps in proptest::collection::vec((1u32..100, -50i32..50), 1..50)
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut t = 0.0;
+        let mut integral = 0.0;
+        let mut value = 0.0;
+        for &(dt, v) in &steps {
+            let dt = f64::from(dt) / 10.0;
+            integral += value * dt;
+            t += dt;
+            value = f64::from(v);
+            tw.set(SimTime::from_secs(t), value);
+        }
+        // Extend one more second at the final value.
+        integral += value;
+        t += 1.0;
+        let avg = tw.average(SimTime::from_secs(t));
+        prop_assert!((avg - integral / t).abs() < 1e-9, "avg {avg} vs {}", integral / t);
+    }
+}
+
+/// Kernel validation: an M/M/1 queue built from the primitives matches the
+/// Pollaczek–Khinchine / M/M/1 mean response time within sampling error.
+#[test]
+fn mm1_queue_matches_theory() {
+    use hls_sim::{sample_exponential, RngStreams, SimDuration};
+
+    let lambda = 0.7; // arrivals per second
+    let mu = 1.0; // service rate
+    let rho: f64 = lambda / mu;
+    let expected = 1.0 / (mu * (1.0 - rho)); // M/M/1 mean response
+
+    let mut q = EventQueue::new();
+    let mut cpu = FcfsServer::new(1.0);
+    let streams = RngStreams::new(2024);
+    let mut arr_rng = streams.stream(0);
+    let mut svc_rng = streams.stream(1);
+
+    #[derive(Debug)]
+    enum Ev {
+        Arrive,
+        Done,
+    }
+
+    let mut starts: std::collections::HashMap<u64, SimTime> = std::collections::HashMap::new();
+    let mut next_id = 0u64;
+    let mut total_rt = 0.0;
+    let mut served = 0u64;
+    let horizon = SimTime::from_secs(40_000.0);
+    q.schedule(
+        SimTime::ZERO + SimDuration::from_secs(sample_exponential(&mut arr_rng, lambda)),
+        Ev::Arrive,
+    );
+    while let Some((now, ev)) = q.pop() {
+        if now > horizon {
+            break;
+        }
+        match ev {
+            Ev::Arrive => {
+                let id = next_id;
+                next_id += 1;
+                starts.insert(id, now);
+                let work = sample_exponential(&mut svc_rng, mu);
+                if let Some(start) = cpu.submit(now, Job::new(id, work)) {
+                    q.schedule(start.done_at, Ev::Done);
+                }
+                q.schedule(
+                    now + SimDuration::from_secs(sample_exponential(&mut arr_rng, lambda)),
+                    Ev::Arrive,
+                );
+            }
+            Ev::Done => {
+                let (job, next) = cpu.complete(now);
+                let rt = (now - starts.remove(&job.id).unwrap()).as_secs();
+                total_rt += rt;
+                served += 1;
+                if let Some(start) = next {
+                    q.schedule(start.done_at, Ev::Done);
+                }
+            }
+        }
+    }
+    let mean = total_rt / served as f64;
+    assert!(
+        (mean - expected).abs() / expected < 0.06,
+        "M/M/1 mean {mean:.3} vs theory {expected:.3}"
+    );
+}
+
+/// Kernel validation: an M/M/2 station from MultiServer matches the
+/// Erlang-C mean response time within sampling error.
+#[test]
+fn mm2_queue_matches_erlang_c() {
+    use hls_sim::{sample_exponential, MultiServer, RngStreams, SimDuration};
+
+    let lambda = 1.4;
+    let mu = 1.0; // per server
+    let k = 2.0;
+    let rho: f64 = lambda / (k * mu);
+    // Erlang C for k = 2: P(wait) = 2 rho^2 / (1 + rho).
+    let p_wait = 2.0 * rho * rho / (1.0 + rho);
+    let expected = 1.0 / mu + p_wait / (k * mu * (1.0 - rho));
+
+    let mut q = EventQueue::new();
+    let mut cpu = MultiServer::new(2, 1.0);
+    let streams = RngStreams::new(77);
+    let mut arr_rng = streams.stream(0);
+    let mut svc_rng = streams.stream(1);
+
+    #[derive(Debug)]
+    enum Ev {
+        Arrive,
+        Done(u64),
+    }
+
+    let mut starts: std::collections::HashMap<u64, SimTime> = std::collections::HashMap::new();
+    let mut next_id = 0u64;
+    let mut total_rt = 0.0;
+    let mut served = 0u64;
+    let horizon = SimTime::from_secs(30_000.0);
+    q.schedule(
+        SimTime::ZERO + SimDuration::from_secs(sample_exponential(&mut arr_rng, lambda)),
+        Ev::Arrive,
+    );
+    while let Some((now, ev)) = q.pop() {
+        if now > horizon {
+            break;
+        }
+        match ev {
+            Ev::Arrive => {
+                let id = next_id;
+                next_id += 1;
+                starts.insert(id, now);
+                let work = sample_exponential(&mut svc_rng, mu);
+                if let Some(start) = cpu.submit(now, Job::new(id, work)) {
+                    q.schedule(start.done_at, Ev::Done(start.job_id));
+                }
+                q.schedule(
+                    now + SimDuration::from_secs(sample_exponential(&mut arr_rng, lambda)),
+                    Ev::Arrive,
+                );
+            }
+            Ev::Done(id) => {
+                let (job, next) = cpu.complete(now, id);
+                total_rt += (now - starts.remove(&job.id).unwrap()).as_secs();
+                served += 1;
+                if let Some(start) = next {
+                    q.schedule(start.done_at, Ev::Done(start.job_id));
+                }
+            }
+        }
+    }
+    let mean = total_rt / served as f64;
+    assert!(
+        (mean - expected).abs() / expected < 0.06,
+        "M/M/2 mean {mean:.3} vs theory {expected:.3}"
+    );
+}

@@ -1,0 +1,200 @@
+//! Arrival processes: homogeneous Poisson and piecewise-constant-rate
+//! (time-varying) Poisson streams.
+
+use hls_sim::{sample_exponential, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-site arrival-rate profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateProfile {
+    /// Homogeneous Poisson arrivals at `rate` transactions per second.
+    Constant(f64),
+    /// Piecewise-constant rate: `(segment_duration_secs, rate)` pairs,
+    /// repeated cyclically. Models the regional load fluctuations that
+    /// motivate the paper (reservation systems, banking).
+    Piecewise(Vec<(f64, f64)>),
+}
+
+impl RateProfile {
+    /// The rate in effect at absolute time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a piecewise profile is empty or has non-positive segment
+    /// durations.
+    #[must_use]
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match self {
+            RateProfile::Constant(r) => *r,
+            RateProfile::Piecewise(segments) => {
+                assert!(!segments.is_empty(), "piecewise profile must be non-empty");
+                let period: f64 = segments.iter().map(|&(d, _)| d).sum();
+                assert!(period > 0.0, "piecewise profile period must be positive");
+                let mut x = t.as_secs() % period;
+                for &(d, r) in segments {
+                    if x < d {
+                        return r;
+                    }
+                    x -= d;
+                }
+                segments.last().expect("non-empty").1
+            }
+        }
+    }
+
+    /// The maximum rate over the whole profile (used for thinning).
+    #[must_use]
+    pub fn max_rate(&self) -> f64 {
+        match self {
+            RateProfile::Constant(r) => *r,
+            RateProfile::Piecewise(segments) => {
+                segments.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+            }
+        }
+    }
+
+    /// Mean rate over one period.
+    #[must_use]
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            RateProfile::Constant(r) => *r,
+            RateProfile::Piecewise(segments) => {
+                let period: f64 = segments.iter().map(|&(d, _)| d).sum();
+                let weighted: f64 = segments.iter().map(|&(d, r)| d * r).sum();
+                if period == 0.0 {
+                    0.0
+                } else {
+                    weighted / period
+                }
+            }
+        }
+    }
+}
+
+/// A Poisson arrival stream with a (possibly time-varying) rate, sampled by
+/// thinning against the profile's maximum rate.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    profile: RateProfile,
+}
+
+impl ArrivalProcess {
+    /// Creates an arrival process from a rate profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maximum rate is not positive and finite.
+    #[must_use]
+    pub fn new(profile: RateProfile) -> Self {
+        let max = profile.max_rate();
+        assert!(
+            max > 0.0 && max.is_finite(),
+            "arrival profile must have a positive finite peak rate, got {max}"
+        );
+        ArrivalProcess { profile }
+    }
+
+    /// The profile driving this process.
+    #[must_use]
+    pub fn profile(&self) -> &RateProfile {
+        &self.profile
+    }
+
+    /// Samples the next arrival instant strictly after `now`.
+    pub fn next_after<R: Rng + ?Sized>(&self, rng: &mut R, now: SimTime) -> SimTime {
+        let max = self.profile.max_rate();
+        let mut t = now;
+        loop {
+            t += SimDuration::from_secs(sample_exponential(rng, max));
+            let accept: f64 = rng.random();
+            if accept * max <= self.profile.rate_at(t) {
+                return t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_sim::RngStreams;
+
+    #[test]
+    fn constant_profile_accessors() {
+        let p = RateProfile::Constant(2.5);
+        assert_eq!(p.rate_at(SimTime::from_secs(10.0)), 2.5);
+        assert_eq!(p.max_rate(), 2.5);
+        assert_eq!(p.mean_rate(), 2.5);
+    }
+
+    #[test]
+    fn piecewise_profile_cycles() {
+        let p = RateProfile::Piecewise(vec![(10.0, 1.0), (10.0, 3.0)]);
+        assert_eq!(p.rate_at(SimTime::from_secs(5.0)), 1.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(15.0)), 3.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(25.0)), 1.0);
+        assert_eq!(p.max_rate(), 3.0);
+        assert_eq!(p.mean_rate(), 2.0);
+    }
+
+    #[test]
+    fn poisson_rate_matches_empirically() {
+        let proc = ArrivalProcess::new(RateProfile::Constant(5.0));
+        let mut rng = RngStreams::new(11).stream(0);
+        let mut t = SimTime::ZERO;
+        let mut n = 0u32;
+        let horizon = SimTime::from_secs(2000.0);
+        loop {
+            t = proc.next_after(&mut rng, t);
+            if t >= horizon {
+                break;
+            }
+            n += 1;
+        }
+        let rate = f64::from(n) / 2000.0;
+        assert!((rate - 5.0).abs() < 0.2, "empirical rate = {rate}");
+    }
+
+    #[test]
+    fn thinned_rate_matches_segments() {
+        let proc = ArrivalProcess::new(RateProfile::Piecewise(vec![(50.0, 2.0), (50.0, 8.0)]));
+        let mut rng = RngStreams::new(12).stream(0);
+        let mut t = SimTime::ZERO;
+        let (mut lo, mut hi) = (0u32, 0u32);
+        let horizon = SimTime::from_secs(3000.0);
+        loop {
+            t = proc.next_after(&mut rng, t);
+            if t >= horizon {
+                break;
+            }
+            if t.as_secs() % 100.0 < 50.0 {
+                lo += 1;
+            } else {
+                hi += 1;
+            }
+        }
+        let lo_rate = f64::from(lo) / 1500.0;
+        let hi_rate = f64::from(hi) / 1500.0;
+        assert!((lo_rate - 2.0).abs() < 0.3, "low-segment rate = {lo_rate}");
+        assert!((hi_rate - 8.0).abs() < 0.5, "high-segment rate = {hi_rate}");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let proc = ArrivalProcess::new(RateProfile::Constant(100.0));
+        let mut rng = RngStreams::new(13).stream(0);
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            let next = proc.next_after(&mut rng, t);
+            assert!(next > t);
+            t = next;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite peak rate")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalProcess::new(RateProfile::Constant(0.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Materialization of transactions from the workload specification.
+
+use hls_lockmgr::{LockId, LockMode};
+use rand::Rng;
+
+use crate::spec::{TxnClass, TxnSpec, WorkloadSpec};
+
+/// Generates transaction specifications according to a [`WorkloadSpec`]:
+/// class A with probability `p_local`, lock references uniform over the
+/// originating site's slice (class A) or the whole lock space (class B),
+/// distinct within a transaction, exclusive with probability
+/// `write_fraction`.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::RngStreams;
+/// use hls_workload::{TxnGenerator, WorkloadSpec};
+///
+/// let generator = TxnGenerator::new(WorkloadSpec::paper_default()).unwrap();
+/// let mut rng = RngStreams::new(1).stream(0);
+/// let txn = generator.generate(&mut rng, 3);
+/// assert_eq!(txn.origin, 3);
+/// assert_eq!(txn.locks.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxnGenerator {
+    spec: WorkloadSpec,
+}
+
+impl TxnGenerator {
+    /// Creates a generator after validating the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an inconsistent spec.
+    pub fn new(spec: WorkloadSpec) -> Result<Self, String> {
+        spec.validate()?;
+        Ok(TxnGenerator { spec })
+    }
+
+    /// The underlying workload specification.
+    #[must_use]
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Generates one transaction originating at `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of range.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, origin: usize) -> TxnSpec {
+        assert!(origin < self.spec.n_sites, "origin {origin} out of range");
+        let class = if rng.random::<f64>() < self.spec.p_local {
+            TxnClass::A
+        } else {
+            TxnClass::B
+        };
+        self.generate_of_class(rng, origin, class)
+    }
+
+    /// Generates one transaction of a specific class at `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of range.
+    pub fn generate_of_class<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        origin: usize,
+        class: TxnClass,
+    ) -> TxnSpec {
+        assert!(origin < self.spec.n_sites, "origin {origin} out of range");
+        let (lo, hi) = match class {
+            // Class A refers only to local data: uniform over the site slice.
+            TxnClass::A => self.spec.slice_of(origin),
+            // Class B refers to global data: uniform over the whole space.
+            TxnClass::B => (0, self.spec.lockspace),
+        };
+        let mut locks = Vec::with_capacity(self.spec.locks_per_txn);
+        while locks.len() < self.spec.locks_per_txn {
+            let id = LockId(rng.random_range(lo..hi));
+            if locks.iter().any(|&(l, _)| l == id) {
+                continue; // lock references within a transaction are distinct
+            }
+            let mode = if rng.random::<f64>() < self.spec.write_fraction {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            locks.push((id, mode));
+        }
+        TxnSpec {
+            class,
+            origin,
+            locks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_sim::RngStreams;
+
+    fn generator() -> TxnGenerator {
+        TxnGenerator::new(WorkloadSpec::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn class_a_locks_stay_in_slice() {
+        let g = generator();
+        let mut rng = RngStreams::new(1).stream(0);
+        for origin in 0..10 {
+            let txn = g.generate_of_class(&mut rng, origin, TxnClass::A);
+            let (lo, hi) = g.spec().slice_of(origin);
+            for &(l, _) in &txn.locks {
+                assert!(
+                    (lo..hi).contains(&l.0),
+                    "lock {l} outside slice of site {origin}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_b_locks_span_whole_space() {
+        let g = generator();
+        let mut rng = RngStreams::new(2).stream(0);
+        let mut sites_touched = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let txn = g.generate_of_class(&mut rng, 0, TxnClass::B);
+            for &(l, _) in &txn.locks {
+                assert!(l.0 < g.spec().lockspace);
+                sites_touched.insert(g.spec().master_of(l));
+            }
+        }
+        assert!(sites_touched.len() >= 9, "class B should touch most slices");
+    }
+
+    #[test]
+    fn locks_within_txn_are_distinct() {
+        let g = generator();
+        let mut rng = RngStreams::new(3).stream(0);
+        for _ in 0..100 {
+            let txn = g.generate(&mut rng, 5);
+            let mut ids: Vec<u32> = txn.locks.iter().map(|&(l, _)| l.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), txn.locks.len());
+        }
+    }
+
+    #[test]
+    fn class_mix_matches_p_local() {
+        let g = generator();
+        let mut rng = RngStreams::new(4).stream(0);
+        let n = 20_000;
+        let a = (0..n)
+            .filter(|_| g.generate(&mut rng, 0).class == TxnClass::A)
+            .count();
+        let frac = a as f64 / f64::from(n);
+        assert!((frac - 0.75).abs() < 0.02, "class A fraction = {frac}");
+    }
+
+    #[test]
+    fn write_fraction_zero_gives_all_shared() {
+        let spec = WorkloadSpec {
+            write_fraction: 0.0,
+            ..WorkloadSpec::paper_default()
+        };
+        let g = TxnGenerator::new(spec).unwrap();
+        let mut rng = RngStreams::new(5).stream(0);
+        let txn = g.generate(&mut rng, 0);
+        assert!(txn.locks.iter().all(|&(_, m)| m == LockMode::Shared));
+        assert_eq!(txn.updated_locks().count(), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = generator();
+        let mut a = RngStreams::new(6).stream(1);
+        let mut b = RngStreams::new(6).stream(1);
+        for origin in 0..10 {
+            assert_eq!(g.generate(&mut a, origin), g.generate(&mut b, origin));
+        }
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let spec = WorkloadSpec {
+            p_local: 2.0,
+            ..WorkloadSpec::paper_default()
+        };
+        assert!(TxnGenerator::new(spec).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_origin_panics() {
+        let g = generator();
+        let mut rng = RngStreams::new(7).stream(0);
+        let _ = g.generate(&mut rng, 10);
+    }
+}

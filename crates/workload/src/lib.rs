@@ -1,0 +1,40 @@
+//! # hls-workload — transaction workload generation
+//!
+//! Generates the transaction streams of Section 4.1 of Ciciani, Dias & Yu
+//! (ICDCS 1988): Poisson arrivals at each distributed site, a class mix of
+//! 75% class A (purely local data) / 25% class B (global data), and lock
+//! references drawn uniformly over the originating site's slice of a 32K
+//! lock space (class A) or over the entire space (class B).
+//!
+//! [`RateProfile::Piecewise`] additionally supports time-varying arrival
+//! rates, modelling the regional load fluctuations (reservation systems,
+//! banking) that motivate the hybrid architecture.
+//!
+//! # Examples
+//!
+//! ```
+//! use hls_sim::{RngStreams, SimTime};
+//! use hls_workload::{ArrivalProcess, RateProfile, TxnGenerator, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::paper_default();
+//! let generator = TxnGenerator::new(spec)?;
+//! let arrivals = ArrivalProcess::new(RateProfile::Constant(2.0));
+//! let mut rng = RngStreams::new(7).stream(0);
+//!
+//! let at = arrivals.next_after(&mut rng, SimTime::ZERO);
+//! let txn = generator.generate(&mut rng, 0);
+//! assert_eq!(txn.locks.len(), 10);
+//! assert!(at > SimTime::ZERO);
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrivals;
+mod generator;
+mod spec;
+
+pub use arrivals::{ArrivalProcess, RateProfile};
+pub use generator::TxnGenerator;
+pub use spec::{TxnClass, TxnSpec, WorkloadSpec};

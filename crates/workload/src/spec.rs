@@ -1,0 +1,236 @@
+//! Transaction specifications and the workload configuration.
+
+use hls_lockmgr::{LockId, LockMode};
+use serde::{Deserialize, Serialize};
+
+/// The paper's two transaction classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxnClass {
+    /// Class A: refers only to data local to its originating site, and may
+    /// therefore run either at the local site or at the central complex.
+    A,
+    /// Class B: requires non-local data and always runs at the central
+    /// complex.
+    B,
+}
+
+impl TxnClass {
+    /// Returns `true` for class A.
+    #[must_use]
+    pub fn is_local_eligible(self) -> bool {
+        self == TxnClass::A
+    }
+}
+
+/// A fully materialized transaction: its class, originating site, and the
+/// exact sequence of lock references it will make (one per database call).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnSpec {
+    /// Transaction class.
+    pub class: TxnClass,
+    /// Index of the originating local site.
+    pub origin: usize,
+    /// Lock references in request order, one per database call.
+    pub locks: Vec<(LockId, LockMode)>,
+}
+
+impl TxnSpec {
+    /// Number of database calls (= lock requests) the transaction makes.
+    #[must_use]
+    pub fn n_calls(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Lock ids updated by this transaction (those requested exclusive).
+    pub fn updated_locks(&self) -> impl Iterator<Item = LockId> + '_ {
+        self.locks
+            .iter()
+            .filter(|&&(_, m)| m == LockMode::Exclusive)
+            .map(|&(l, _)| l)
+    }
+}
+
+/// Static description of the workload offered to the hybrid system,
+/// mirroring Section 4.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of distributed (local) sites. Paper: 10.
+    pub n_sites: usize,
+    /// Size of the global lock space. Paper: 32 768 ("32K elements").
+    pub lockspace: u32,
+    /// Locks (database calls) per transaction. Paper: 10.
+    pub locks_per_txn: usize,
+    /// Probability that a transaction is class A ("probability of local
+    /// transactions"). Paper: 0.75.
+    pub p_local: f64,
+    /// Fraction of lock requests made in exclusive mode. The paper does not
+    /// state a read/write mix and simulates collisions on uniformly drawn
+    /// locks; all-exclusive (1.0) matches that behaviour and is the default.
+    pub write_fraction: f64,
+}
+
+impl WorkloadSpec {
+    /// The paper's base workload (Section 4.1).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        WorkloadSpec {
+            n_sites: 10,
+            lockspace: 32 * 1024,
+            locks_per_txn: 10,
+            p_local: 0.75,
+            write_fraction: 1.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_sites == 0 {
+            return Err("n_sites must be positive".into());
+        }
+        if self.lockspace == 0 {
+            return Err("lockspace must be positive".into());
+        }
+        if self.lockspace as usize / self.n_sites == 0 {
+            return Err("lockspace slice per site must be non-empty".into());
+        }
+        if self.locks_per_txn == 0 {
+            return Err("locks_per_txn must be positive".into());
+        }
+        if self.locks_per_txn > self.lockspace as usize / self.n_sites {
+            return Err("locks_per_txn exceeds a site's slice of the lock space".into());
+        }
+        if !(0.0..=1.0).contains(&self.p_local) {
+            return Err("p_local must be in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err("write_fraction must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+
+    /// The size of each site's slice of the lock space.
+    ///
+    /// Local transactions of site `i` make "lock requests uniformly over one
+    /// tenth of the lock space" for the paper's 10-site system.
+    #[must_use]
+    pub fn slice_size(&self) -> u32 {
+        self.lockspace / self.n_sites as u32
+    }
+
+    /// Lock-id range `[lo, hi)` of site `i`'s slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn slice_of(&self, site: usize) -> (u32, u32) {
+        assert!(site < self.n_sites, "site {site} out of range");
+        let w = self.slice_size();
+        (site as u32 * w, (site as u32 + 1) * w)
+    }
+
+    /// The site whose slice contains `lock` — the *master* site of that
+    /// element, which the authentication phase must contact.
+    #[must_use]
+    pub fn master_of(&self, lock: LockId) -> usize {
+        ((lock.0 / self.slice_size()) as usize).min(self.n_sites - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let w = WorkloadSpec::paper_default();
+        assert!(w.validate().is_ok());
+        assert_eq!(w.slice_size(), 3276);
+        assert_eq!(w.n_sites, 10);
+    }
+
+    #[test]
+    fn slices_partition_contiguously() {
+        let w = WorkloadSpec::paper_default();
+        for site in 0..w.n_sites {
+            let (lo, hi) = w.slice_of(site);
+            assert_eq!(hi - lo, w.slice_size());
+            assert_eq!(w.master_of(LockId(lo)), site);
+            assert_eq!(w.master_of(LockId(hi - 1)), site);
+        }
+    }
+
+    #[test]
+    fn master_of_trailing_remainder_is_last_site() {
+        // 32768 / 10 = 3276 rem 8: the trailing ids map to the last site.
+        let w = WorkloadSpec::paper_default();
+        assert_eq!(w.master_of(LockId(32_767)), 9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let base = WorkloadSpec::paper_default();
+        assert!(WorkloadSpec { n_sites: 0, ..base }.validate().is_err());
+        assert!(WorkloadSpec {
+            lockspace: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(WorkloadSpec {
+            locks_per_txn: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(WorkloadSpec {
+            locks_per_txn: 5000,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(WorkloadSpec {
+            p_local: 1.5,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(WorkloadSpec {
+            write_fraction: -0.1,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(
+            WorkloadSpec {
+                n_sites: 40000,
+                ..base
+            }
+            .validate()
+            .is_err(),
+            "empty slices must be rejected"
+        );
+    }
+
+    #[test]
+    fn txn_spec_accessors() {
+        let spec = TxnSpec {
+            class: TxnClass::A,
+            origin: 2,
+            locks: vec![
+                (LockId(1), LockMode::Exclusive),
+                (LockId(2), LockMode::Shared),
+                (LockId(3), LockMode::Exclusive),
+            ],
+        };
+        assert_eq!(spec.n_calls(), 3);
+        let updated: Vec<LockId> = spec.updated_locks().collect();
+        assert_eq!(updated, vec![LockId(1), LockId(3)]);
+        assert!(TxnClass::A.is_local_eligible());
+        assert!(!TxnClass::B.is_local_eligible());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for workload generation.
+
+use hls_sim::{RngStreams, SimTime};
+use hls_workload::{ArrivalProcess, RateProfile, TxnClass, TxnGenerator, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (2usize..16, 6u32..64, 1usize..6, 0.0f64..=1.0, 0.0f64..=1.0).prop_map(
+        |(n_sites, slice, locks_per_txn, p_local, write_fraction)| WorkloadSpec {
+            n_sites,
+            lockspace: slice * n_sites as u32,
+            locks_per_txn,
+            p_local,
+            write_fraction,
+        },
+    )
+}
+
+proptest! {
+    /// Generated transactions always satisfy the structural workload
+    /// contract: correct lock count, distinct locks, class A confined to
+    /// the origin slice, class B within the lock space.
+    #[test]
+    fn generated_txns_satisfy_contract(spec in arb_spec(), seed in any::<u64>()) {
+        let gen = TxnGenerator::new(spec).expect("arb spec is valid");
+        let mut rng = RngStreams::new(seed).stream(0);
+        for origin in 0..spec.n_sites {
+            let txn = gen.generate(&mut rng, origin);
+            prop_assert_eq!(txn.locks.len(), spec.locks_per_txn);
+            prop_assert_eq!(txn.origin, origin);
+            let mut ids: Vec<u32> = txn.locks.iter().map(|&(l, _)| l.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), spec.locks_per_txn, "duplicate locks");
+            match txn.class {
+                TxnClass::A => {
+                    let (lo, hi) = spec.slice_of(origin);
+                    for &(l, _) in &txn.locks {
+                        prop_assert!((lo..hi).contains(&l.0));
+                    }
+                }
+                TxnClass::B => {
+                    for &(l, _) in &txn.locks {
+                        prop_assert!(l.0 < spec.lockspace);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Degenerate class mixes are honoured exactly.
+    #[test]
+    fn degenerate_class_mixes(spec in arb_spec(), seed in any::<u64>()) {
+        let all_a = WorkloadSpec { p_local: 1.0, ..spec };
+        let gen = TxnGenerator::new(all_a).unwrap();
+        let mut rng = RngStreams::new(seed).stream(1);
+        for _ in 0..20 {
+            prop_assert_eq!(gen.generate(&mut rng, 0).class, TxnClass::A);
+        }
+        let all_b = WorkloadSpec { p_local: 0.0, ..spec };
+        let gen = TxnGenerator::new(all_b).unwrap();
+        for _ in 0..20 {
+            prop_assert_eq!(gen.generate(&mut rng, 0).class, TxnClass::B);
+        }
+    }
+
+    /// `master_of` inverts `slice_of` for every lock a class A transaction
+    /// can reference.
+    #[test]
+    fn master_of_inverts_slices(spec in arb_spec(), seed in any::<u64>()) {
+        let gen = TxnGenerator::new(spec).unwrap();
+        let mut rng = RngStreams::new(seed).stream(2);
+        for origin in 0..spec.n_sites {
+            let txn = gen.generate_of_class(&mut rng, origin, TxnClass::A);
+            for &(l, _) in &txn.locks {
+                prop_assert_eq!(spec.master_of(l), origin);
+            }
+        }
+    }
+
+    /// Piecewise arrival processes produce strictly increasing instants
+    /// whose long-run rate matches the profile mean.
+    #[test]
+    fn piecewise_arrivals_match_mean_rate(
+        r1 in 0.5f64..4.0,
+        r2 in 0.5f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let profile = RateProfile::Piecewise(vec![(20.0, r1), (20.0, r2)]);
+        let mean = profile.mean_rate();
+        let proc = ArrivalProcess::new(profile);
+        let mut rng = RngStreams::new(seed).stream(3);
+        let horizon = 4000.0;
+        let mut t = SimTime::ZERO;
+        let mut n = 0u64;
+        loop {
+            let next = proc.next_after(&mut rng, t);
+            prop_assert!(next > t);
+            if next.as_secs() >= horizon {
+                break;
+            }
+            t = next;
+            n += 1;
+        }
+        let measured = n as f64 / horizon;
+        prop_assert!(
+            (measured - mean).abs() / mean < 0.15,
+            "measured {measured:.3} vs mean {mean:.3}"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Explore the Section 3.1 analytic model from the command line: response
+//! times, utilizations, and abort probabilities as the static shipping
+//! probability sweeps from 0 to 1.
+//!
+//! ```text
+//! cargo run --release --example analytic_explorer -- [total_tps] [comm_delay]
+//! ```
+
+use hls_analytic::{optimal_static_ship, solve_static, SystemParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let total_tps: f64 = args
+        .next()
+        .map(|a| a.parse().expect("total_tps must be a number"))
+        .unwrap_or(20.0);
+    let delay: f64 = args
+        .next()
+        .map(|a| a.parse().expect("comm_delay must be a number"))
+        .unwrap_or(0.2);
+
+    let params = SystemParams {
+        comm_delay: delay,
+        ..SystemParams::paper_default()
+    };
+    let lam_site = total_tps / params.n_sites as f64;
+
+    println!("Analytic model at {total_tps} tps total ({lam_site} tps/site), delay {delay}s\n");
+    println!(
+        "{:>7} {:>9} {:>8} {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "p_ship", "mean RT", "rho_l", "rho_c", "RT local", "RT ship", "P[ab loc]", "P[ab cen]"
+    );
+    for i in 0..=10 {
+        let p = f64::from(i) / 10.0;
+        let sol = solve_static(&params, lam_site, p);
+        if sol.feasible {
+            println!(
+                "{:>7.1} {:>9.3} {:>8.3} {:>8.3} {:>9.3} {:>9.3} {:>10.4} {:>10.4}",
+                p,
+                sol.mean_response,
+                sol.rho_local,
+                sol.rho_central,
+                sol.estimate.r_local,
+                sol.estimate.r_central,
+                sol.estimate.p_abort_local_first,
+                sol.estimate.p_abort_central_first,
+            );
+        } else {
+            // The fixed point diverges past saturation; the component
+            // estimates are meaningless there.
+            println!(
+                "{:>7.1} {:>9} {:>8.3} {:>8.3} {:>9} {:>9} {:>10} {:>10}  (saturated)",
+                p, "inf", sol.rho_local, sol.rho_central, "-", "-", "-", "-",
+            );
+        }
+    }
+
+    let opt = optimal_static_ship(&params, lam_site, 100);
+    println!();
+    if opt.solution.feasible {
+        println!(
+            "Optimal static policy: p_ship = {:.2} (mean RT {:.3}s, rho_l {:.2}, rho_c {:.2})",
+            opt.p_ship,
+            opt.solution.mean_response,
+            opt.solution.rho_local,
+            opt.solution.rho_central,
+        );
+    } else {
+        println!(
+            "No feasible operating point at this rate; least overloaded at p_ship = {:.2}",
+            opt.p_ship
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build the paper's 10-site hybrid system, run three
+//! load-sharing policies at the same load, and compare them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hls_core::{
+    optimal_static_spec, run_simulation, RouterSpec, RunMetrics, SystemConfig, UtilizationEstimator,
+};
+
+fn main() -> Result<(), hls_core::ConfigError> {
+    // The Section 4.1 configuration: 10 local sites at 1 MIPS, a 15-MIPS
+    // central complex, 0.2 s links, 75% class A transactions — offered a
+    // total of 20 transactions/second.
+    let cfg = SystemConfig::paper_default()
+        .with_total_rate(20.0)
+        .with_horizon(300.0, 60.0)
+        .with_seed(7);
+
+    let policies: Vec<(&str, RouterSpec)> = vec![
+        ("no load sharing", RouterSpec::NoSharing),
+        ("optimal static", optimal_static_spec(&cfg)),
+        (
+            "best dynamic (min-average, population)",
+            RouterSpec::MinAverage {
+                estimator: UtilizationEstimator::NumInSystem,
+            },
+        ),
+    ];
+
+    println!(
+        "{:<40} {:>8} {:>9} {:>7} {:>7} {:>7} {:>8}",
+        "policy", "tput", "mean RT", "p95", "ship%", "rho_l", "aborts"
+    );
+    for (name, spec) in policies {
+        let m: RunMetrics = run_simulation(cfg.clone(), spec)?;
+        println!(
+            "{:<40} {:>8.2} {:>8.3}s {:>6.2}s {:>6.1}% {:>7.2} {:>8}",
+            name,
+            m.throughput,
+            m.mean_response,
+            m.p95_response.unwrap_or(f64::NAN),
+            m.shipped_fraction * 100.0,
+            m.rho_local,
+            m.aborts.total(),
+        );
+    }
+
+    println!();
+    println!("Expected shape (paper, Figure 4.1): without load sharing the 1-MIPS");
+    println!("local sites saturate near 20 tps and response time explodes; static");
+    println!("sharing fixes that; the dynamic strategy is better still.");
+    Ok(())
+}

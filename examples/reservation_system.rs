@@ -1,0 +1,67 @@
+//! Reservation system with regional load fluctuations — the workload that
+//! motivates the hybrid architecture (Section 1: "various transaction
+//! processing applications such as reservation systems ... exhibit
+//! regional locality and load fluctuations").
+//!
+//! Five "eastern" regional offices alternate between a busy period and a
+//! quiet period, out of phase with five "western" offices. A static policy
+//! tuned to the average rate cannot follow the swings; dynamic routing
+//! absorbs each hot spot by shipping its overflow to the central complex.
+//!
+//! ```text
+//! cargo run --release --example reservation_system
+//! ```
+
+use hls_core::{run_simulation, RateProfile, RouterSpec, SystemConfig, UtilizationEstimator};
+
+fn main() -> Result<(), hls_core::ConfigError> {
+    // Mean per-site rate 1.5 tps, but swinging 0.6 <-> 2.4 every 60 s.
+    let east = RateProfile::Piecewise(vec![(60.0, 2.4), (60.0, 0.6)]);
+    let west = RateProfile::Piecewise(vec![(60.0, 0.6), (60.0, 2.4)]);
+
+    let mut cfg = SystemConfig::paper_default()
+        .with_horizon(600.0, 120.0)
+        .with_seed(11);
+    cfg.site_profiles = Some(
+        (0..10)
+            .map(|i| if i < 5 { east.clone() } else { west.clone() })
+            .collect(),
+    );
+
+    println!("Regional reservation offices, mean 15 tps total, peaks of 24 tps");
+    println!("(eastern and western offices peak out of phase)\n");
+    println!(
+        "{:<28} {:>8} {:>9} {:>9} {:>7}",
+        "policy", "tput", "mean RT", "p95 RT", "ship%"
+    );
+    for (name, spec) in [
+        ("no load sharing", RouterSpec::NoSharing),
+        // Static tuned for the *average* rate of 1.5 tps/site.
+        (
+            "static for average load",
+            RouterSpec::Static { p_ship: 0.45 },
+        ),
+        ("queue-length heuristic", RouterSpec::QueueLength),
+        (
+            "best dynamic (min-average)",
+            RouterSpec::MinAverage {
+                estimator: UtilizationEstimator::NumInSystem,
+            },
+        ),
+    ] {
+        let m = run_simulation(cfg.clone(), spec)?;
+        println!(
+            "{:<28} {:>8.2} {:>8.3}s {:>8.3}s {:>6.1}%",
+            name,
+            m.throughput,
+            m.mean_response,
+            m.p95_response.unwrap_or(f64::NAN),
+            m.shipped_fraction * 100.0,
+        );
+    }
+
+    println!();
+    println!("The dynamic policies ship from whichever region is currently busy,");
+    println!("so the p95 response stays flat through the regional peaks.");
+    Ok(())
+}

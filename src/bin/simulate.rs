@@ -1,0 +1,198 @@
+//! Run one hybrid-system simulation from the command line.
+//!
+//! ```text
+//! simulate [--rate TPS] [--delay SECS] [--policy NAME] [--sites N]
+//!          [--p-local F] [--lockspace N] [--sim-time SECS] [--warmup SECS]
+//!          [--seed N] [--threshold F] [--p-ship F] [--ideal-state]
+//! ```
+//!
+//! Policies: `none`, `static`, `measured`, `queue`, `threshold`,
+//! `min-incoming-q`, `min-incoming-n`, `min-average-q`, `min-average-n`,
+//! `smoothed`.
+
+use std::process::ExitCode;
+
+use hybrid_load_sharing::core::{
+    optimal_static_spec, run_simulation, RouterSpec, SystemConfig, UtilizationEstimator,
+};
+
+struct Args {
+    rate: f64,
+    delay: f64,
+    policy: String,
+    sites: usize,
+    p_local: f64,
+    lockspace: f64,
+    sim_time: f64,
+    warmup: f64,
+    seed: u64,
+    threshold: f64,
+    p_ship: Option<f64>,
+    ideal_state: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut a = Args {
+            rate: 20.0,
+            delay: 0.2,
+            policy: "min-average-n".into(),
+            sites: 10,
+            p_local: 0.75,
+            lockspace: 32.0 * 1024.0,
+            sim_time: 300.0,
+            warmup: 60.0,
+            seed: 42,
+            threshold: -0.2,
+            p_ship: None,
+            ideal_state: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i].as_str();
+            let mut value = || -> Result<&str, String> {
+                i += 1;
+                argv.get(i)
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{key} requires a value"))
+            };
+            match key {
+                "--rate" => a.rate = parse(value()?)?,
+                "--delay" => a.delay = parse(value()?)?,
+                "--policy" => a.policy = value()?.to_string(),
+                "--sites" => a.sites = parse(value()?)?,
+                "--p-local" => a.p_local = parse(value()?)?,
+                "--lockspace" => a.lockspace = parse(value()?)?,
+                "--sim-time" => a.sim_time = parse(value()?)?,
+                "--warmup" => a.warmup = parse(value()?)?,
+                "--seed" => a.seed = parse(value()?)?,
+                "--threshold" => a.threshold = parse(value()?)?,
+                "--p-ship" => a.p_ship = Some(parse(value()?)?),
+                "--ideal-state" => a.ideal_state = true,
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown argument: {other}")),
+            }
+            i += 1;
+        }
+        Ok(a)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse value: {s}"))
+}
+
+fn usage() {
+    eprintln!(
+        "usage: simulate [--rate TPS] [--delay SECS] [--policy NAME] [--sites N]\n\
+         \x20               [--p-local F] [--lockspace N] [--sim-time SECS] [--warmup SECS]\n\
+         \x20               [--seed N] [--threshold F] [--p-ship F] [--ideal-state]\n\
+         policies: none static measured queue threshold min-incoming-q\n\
+         \x20         min-incoming-n min-average-q min-average-n smoothed"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = SystemConfig::paper_default()
+        .with_total_rate(args.rate)
+        .with_comm_delay(args.delay)
+        .with_horizon(args.sim_time, args.warmup)
+        .with_seed(args.seed);
+    cfg.params.n_sites = args.sites;
+    cfg.params.p_local = args.p_local;
+    cfg.params.lockspace = args.lockspace;
+    cfg.instantaneous_state = args.ideal_state;
+
+    let spec = match args.policy.as_str() {
+        "none" => RouterSpec::NoSharing,
+        "static" => match args.p_ship {
+            Some(p_ship) => RouterSpec::Static { p_ship },
+            None => optimal_static_spec(&cfg),
+        },
+        "measured" => RouterSpec::MeasuredResponse,
+        "queue" => RouterSpec::QueueLength,
+        "threshold" => RouterSpec::UtilizationThreshold {
+            threshold: args.threshold,
+        },
+        "min-incoming-q" => RouterSpec::MinIncoming {
+            estimator: UtilizationEstimator::QueueLength,
+        },
+        "min-incoming-n" => RouterSpec::MinIncoming {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+        "min-average-q" => RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::QueueLength,
+        },
+        "min-average-n" => RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+        "smoothed" => RouterSpec::SmoothedMinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+            scale: 0.2,
+        },
+        other => {
+            eprintln!("unknown policy: {other}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let m = match run_simulation(cfg, spec) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("policy              {}", spec.label());
+    println!("offered rate        {:.2} tps", args.rate);
+    println!("throughput          {:.2} tps", m.throughput);
+    println!("mean response       {:.3} s", m.mean_response);
+    if let Some((lo, hi)) = m.response_ci95 {
+        println!("  95% CI            [{lo:.3}, {hi:.3}] s");
+    }
+    if let Some(p95) = m.p95_response {
+        println!("p95 response        {p95:.3} s");
+    }
+    if let Some(rt) = m.mean_response_local_a {
+        println!("  class A local     {rt:.3} s");
+    }
+    if let Some(rt) = m.mean_response_shipped_a {
+        println!("  class A shipped   {rt:.3} s");
+    }
+    if let Some(rt) = m.mean_response_class_b {
+        println!("  class B           {rt:.3} s");
+    }
+    println!("shipped fraction    {:.1} %", m.shipped_fraction * 100.0);
+    println!("utilization local   {:.3}", m.rho_local);
+    println!("utilization central {:.3}", m.rho_central);
+    println!("mean re-runs        {:.4}", m.mean_reruns);
+    println!("mean lock wait      {:.4} s", m.mean_lock_wait);
+    println!(
+        "aborts              {} (local inval {}, central inval {}, neg-ack {}, deadlock {}/{})",
+        m.aborts.total(),
+        m.aborts.local_invalidated,
+        m.aborts.central_invalidated,
+        m.aborts.central_neg_ack,
+        m.aborts.deadlock_local,
+        m.aborts.deadlock_central,
+    );
+    println!("messages            {}", m.messages);
+    for (kind, count) in &m.messages_by_kind {
+        println!("  {kind:<17} {count}");
+    }
+    ExitCode::SUCCESS
+}

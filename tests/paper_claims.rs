@@ -1,0 +1,189 @@
+//! Workspace-level tests: the paper's headline claims, checked end-to-end
+//! through the public API of the umbrella crate.
+
+use hybrid_load_sharing::analytic::{optimal_static_ship, solve_static, SystemParams};
+use hybrid_load_sharing::core::{
+    optimal_static_spec, run_simulation, RouterSpec, SystemConfig, UtilizationEstimator,
+};
+
+fn cfg(rate: f64) -> SystemConfig {
+    SystemConfig::paper_default()
+        .with_total_rate(rate)
+        .with_horizon(200.0, 40.0)
+        .with_seed(4242)
+}
+
+/// Figure 4.1: "without any load sharing, the local systems quickly become
+/// overloaded ... the maximum transaction rate supportable is limited to
+/// about 20 transactions per second", while static sharing supports ~30.
+#[test]
+fn no_sharing_caps_near_20_tps_static_reaches_30() {
+    let no_sharing = run_simulation(cfg(26.0), RouterSpec::NoSharing).unwrap();
+    assert!(
+        no_sharing.throughput < 22.0,
+        "no-sharing throughput = {}",
+        no_sharing.throughput
+    );
+
+    let c = cfg(28.0);
+    let static_opt = run_simulation(c.clone(), optimal_static_spec(&c)).unwrap();
+    assert!(
+        static_opt.throughput > 26.0,
+        "static throughput = {}",
+        static_opt.throughput
+    );
+}
+
+/// Figure 4.1/4.2 ordering at high load: best dynamic < static < none, and
+/// the min-average schemes beat their min-incoming counterparts.
+#[test]
+fn strategy_ordering_at_high_load() {
+    let c = cfg(24.0);
+    let none = run_simulation(c.clone(), RouterSpec::NoSharing).unwrap();
+    let stat = run_simulation(c.clone(), optimal_static_spec(&c)).unwrap();
+    let best = run_simulation(
+        c.clone(),
+        RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    )
+    .unwrap();
+    assert!(
+        best.mean_response < stat.mean_response,
+        "best {} vs static {}",
+        best.mean_response,
+        stat.mean_response
+    );
+    assert!(
+        stat.mean_response < none.mean_response,
+        "static {} vs none {}",
+        stat.mean_response,
+        none.mean_response
+    );
+}
+
+/// Section 4.2: the min-average schemes "perform better than their
+/// counterparts that attempt to minimize the incoming transaction response
+/// time".
+#[test]
+fn min_average_beats_min_incoming() {
+    let c = cfg(24.0);
+    let avg = run_simulation(
+        c.clone(),
+        RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    )
+    .unwrap();
+    let inc = run_simulation(
+        c,
+        RouterSpec::MinIncoming {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    )
+    .unwrap();
+    assert!(
+        avg.mean_response <= inc.mean_response * 1.05,
+        "avg {} vs incoming {}",
+        avg.mean_response,
+        inc.mean_response
+    );
+}
+
+/// Figure 4.2: the measured-response heuristic (curve A) is the worst
+/// dynamic scheme; it also ships a larger fraction than the others
+/// (Figure 4.3).
+#[test]
+fn measured_response_is_worst_dynamic_and_ships_most() {
+    let c = cfg(22.0);
+    let measured = run_simulation(c.clone(), RouterSpec::MeasuredResponse).unwrap();
+    let best = run_simulation(
+        c.clone(),
+        RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    )
+    .unwrap();
+    assert!(measured.mean_response > best.mean_response);
+    assert!(
+        measured.shipped_fraction > best.shipped_fraction,
+        "measured ships {} vs best {}",
+        measured.shipped_fraction,
+        best.shipped_fraction
+    );
+}
+
+/// Section 4.2 (Figures 4.5-4.7): with a 0.5 s delay the static benefit
+/// shrinks, but dynamic load sharing "continues to offer significant
+/// improvement".
+#[test]
+fn dynamic_still_wins_at_large_delay() {
+    let c = cfg(22.0).with_comm_delay(0.5);
+    let none = run_simulation(c.clone(), RouterSpec::NoSharing).unwrap();
+    let best = run_simulation(
+        c,
+        RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    )
+    .unwrap();
+    assert!(
+        best.mean_response < none.mean_response / 2.0,
+        "best {} vs none {}",
+        best.mean_response,
+        none.mean_response
+    );
+}
+
+/// The analytic model agrees with the simulator at a moderate operating
+/// point (it feeds both the static optimizer and the dynamic routers).
+#[test]
+fn analytic_model_tracks_simulation() {
+    let params = SystemParams::paper_default();
+    for (rate, p_ship) in [(12.0, 0.3), (16.0, 0.5)] {
+        let sol = solve_static(&params, rate / 10.0, p_ship);
+        let m = run_simulation(cfg(rate), RouterSpec::Static { p_ship }).unwrap();
+        assert!(sol.feasible);
+        let ratio = sol.mean_response / m.mean_response;
+        assert!(
+            (0.6..=1.7).contains(&ratio),
+            "model {} vs sim {} at rate {rate}, p {p_ship}",
+            sol.mean_response,
+            m.mean_response
+        );
+    }
+}
+
+/// The static optimizer's shipping probability is sane across rates and
+/// the simulated static policy roughly realizes it.
+#[test]
+fn optimizer_probability_is_realized_in_simulation() {
+    let params = SystemParams::paper_default();
+    let opt = optimal_static_ship(&params, 2.0, 50);
+    let m = run_simulation(cfg(20.0), RouterSpec::Static { p_ship: opt.p_ship }).unwrap();
+    assert!(
+        (m.shipped_fraction - opt.p_ship).abs() < 0.05,
+        "asked {} shipped {}",
+        opt.p_ship,
+        m.shipped_fraction
+    );
+}
+
+/// Umbrella crate re-exports compose.
+#[test]
+fn umbrella_reexports_work() {
+    use hybrid_load_sharing::lockmgr::{LockId, LockMode, LockTable, OwnerId};
+    use hybrid_load_sharing::net::{NodeId, StarNetwork};
+    use hybrid_load_sharing::sim::{SimDuration, SimTime};
+    use hybrid_load_sharing::workload::WorkloadSpec;
+
+    let mut t = LockTable::new();
+    t.request(OwnerId(1), LockId(2), LockMode::Shared);
+    assert_eq!(t.grants_count(), 1);
+
+    let mut net = StarNetwork::new(2, SimDuration::from_secs(0.1));
+    let e = net.send(SimTime::ZERO, NodeId::local(0), NodeId::CENTRAL, ());
+    assert_eq!(e.deliver_at.as_secs(), 0.1);
+
+    assert!(WorkloadSpec::paper_default().validate().is_ok());
+}
