@@ -5,48 +5,19 @@
 //! simulation horizon, so the same code serves quick smoke tests and the
 //! full reproduction.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use hls_analytic::solve_static;
 use hls_core::{
-    optimal_static_spec, replicate, run_simulation, HybridSystem, RouterSpec, RunMetrics,
-    SystemConfig, UtilizationEstimator,
+    optimal_static_spec, run_simulation, HybridSystem, RouterSpec, RunMetrics, SystemConfig,
+    UtilizationEstimator,
 };
-use hls_sim::Accumulator;
 
 use crate::report::{Figure, Series};
 
-/// Maps `f` over `items` on all available cores (simulation points are
-/// independent), preserving order.
+/// Maps `f` over `items` on all available cores via the `hls-core`
+/// experiment engine's worker pool (simulation points are independent),
+/// preserving order.
 fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                results.lock().expect("no panics hold this lock")[i] = Some(r);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("scope joined all workers")
-        .into_iter()
-        .map(|r| r.expect("every index was processed"))
-        .collect()
+    hls_core::parallel_map(0, items, |_, item| f(item))
 }
 
 /// Mean response for reporting: a collapsed run that completed nothing in
@@ -388,16 +359,19 @@ pub fn analytic_check(profile: &Profile) -> Figure {
     let p_ships = [0.0, 0.2, 0.4, 0.6, 0.8];
     for &rate in &[12.0, 20.0] {
         let lam_site = rate / 10.0;
-        let mut model = Vec::new();
-        let mut sim = Vec::new();
-        for &p in &p_ships {
-            let sol = solve_static(&SystemConfig::paper_default().params, lam_site, p);
-            model.push((p, sol.mean_response));
+        let model = p_ships
+            .iter()
+            .map(|&p| {
+                let sol = solve_static(&SystemConfig::paper_default().params, lam_site, p);
+                (p, sol.mean_response)
+            })
+            .collect();
+        let sim = parallel_map(&p_ships, |&p| {
             let cfg = profile.base(0.2).with_total_rate(rate);
             let m =
                 run_simulation(cfg, RouterSpec::Static { p_ship: p }).expect("valid configuration");
-            sim.push((p, m.mean_response));
-        }
+            (p, m.mean_response)
+        });
         fig.push(Series::new(format!("model@{rate:.0}tps"), model));
         fig.push(Series::new(format!("sim@{rate:.0}tps"), sim));
     }
@@ -418,20 +392,27 @@ pub fn ablation_state(profile: &Profile) -> Figure {
         ("best-delayed", best_dynamic()),
         ("queue-delayed", RouterSpec::QueueLength),
     ] {
-        let mut delayed = Vec::new();
-        let mut ideal = Vec::new();
-        for &rate in &profile.rates {
+        let pairs = parallel_map(&profile.rates, |&rate| {
             let cfg = profile.base(0.2).with_total_rate(rate);
-            delayed.push((
-                rate,
-                report_rt(&run_simulation(cfg.clone(), spec).expect("valid")),
-            ));
+            let delayed = report_rt(&run_simulation(cfg.clone(), spec).expect("valid"));
             let mut icfg = cfg;
             icfg.instantaneous_state = true;
-            ideal.push((rate, report_rt(&run_simulation(icfg, spec).expect("valid"))));
-        }
-        fig.push(Series::new(label, delayed));
-        fig.push(Series::new(label.replace("delayed", "ideal"), ideal));
+            let ideal = report_rt(&run_simulation(icfg, spec).expect("valid"));
+            (delayed, ideal)
+        });
+        let rated = |pick: fn(&(f64, f64)) -> f64| -> Vec<(f64, f64)> {
+            profile
+                .rates
+                .iter()
+                .zip(&pairs)
+                .map(|(&rate, p)| (rate, pick(p)))
+                .collect()
+        };
+        fig.push(Series::new(label, rated(|p| p.0)));
+        fig.push(Series::new(
+            label.replace("delayed", "ideal"),
+            rated(|p| p.1),
+        ));
     }
     fig
 }
@@ -451,15 +432,14 @@ pub fn ablation_batch(profile: &Profile) -> Figure {
         ("batch-0.2s", Some(0.2)),
         ("batch-1.0s", Some(1.0)),
     ] {
-        let mut points = Vec::new();
-        for &rate in &profile.rates {
+        let points = parallel_map(&profile.rates, |&rate| {
             let mut cfg = profile.base(0.2).with_total_rate(rate);
             cfg.async_batch_window = window;
             // A static policy keeps routing independent of snapshot traffic,
             // isolating the batching effect.
             let m = run_simulation(cfg, RouterSpec::Static { p_ship: 0.3 }).expect("valid");
-            points.push((rate, m.messages as f64 / m.completions.max(1) as f64));
-        }
+            (rate, m.messages as f64 / m.completions.max(1) as f64)
+        });
         fig.push(Series::new(label, points));
     }
     fig
@@ -475,13 +455,12 @@ pub fn ablation_mips(profile: &Profile) -> Figure {
         "mean response time (s)",
     );
     for mips in [5.0e6, 10.0e6, 15.0e6, 30.0e6] {
-        let mut points = Vec::new();
-        for &rate in &profile.rates {
+        let points = parallel_map(&profile.rates, |&rate| {
             let mut cfg = profile.base(0.2).with_total_rate(rate);
             cfg.params.central_mips = mips;
             let m = run_simulation(cfg, best_dynamic()).expect("valid");
-            points.push((rate, report_rt(&m)));
-        }
+            (rate, report_rt(&m))
+        });
         fig.push(Series::new(format!("central-{}MIPS", mips / 1e6), points));
     }
     fig
@@ -500,13 +479,12 @@ pub fn ablation_sites(profile: &Profile) -> Figure {
         ("best-dynamic", best_dynamic()),
         ("queue-len", RouterSpec::QueueLength),
     ] {
-        let mut points = Vec::new();
-        for n in [4usize, 8, 10, 16, 20] {
+        let points = parallel_map(&[4usize, 8, 10, 16, 20], |&n| {
             let mut cfg = profile.base(0.2).with_site_rate(1.8);
             cfg.params.n_sites = n;
             let m = run_simulation(cfg, spec).expect("valid");
-            points.push((n as f64, report_rt(&m)));
-        }
+            (n as f64, report_rt(&m))
+        });
         fig.push(Series::new(label, points));
     }
     fig
@@ -522,13 +500,12 @@ pub fn ablation_ploc(profile: &Profile) -> Figure {
         "mean response time (s)",
     );
     for p_local in [0.5, 0.75, 0.9] {
-        let mut points = Vec::new();
-        for &rate in &profile.rates {
+        let points = parallel_map(&profile.rates, |&rate| {
             let mut cfg = profile.base(0.2).with_total_rate(rate);
             cfg.params.p_local = p_local;
             let m = run_simulation(cfg, best_dynamic()).expect("valid");
-            points.push((rate, report_rt(&m)));
-        }
+            (rate, report_rt(&m))
+        });
         fig.push(Series::new(format!("p_local={p_local}"), points));
     }
     fig
@@ -585,20 +562,21 @@ pub fn variance_check(profile: &Profile) -> Figure {
         "offered rate (tps)",
         "mean response time (s)",
     );
-    let runs_per_rate: Vec<Vec<RunMetrics>> = parallel_map(&profile.rates, |&rate| {
-        let cfg = profile.base(0.2).with_total_rate(rate);
-        replicate(&cfg, best_dynamic(), 5).expect("valid")
-    });
+    // One engine call: all (rate × seed) cells fan out over the worker
+    // pool together, and the Student-t summaries come from the engine's
+    // statistics layer instead of a hand-rolled t value.
+    let points = hls_core::sweep_rates_ci(&profile.base(0.2), best_dynamic(), &profile.rates, 5, 0)
+        .expect("valid");
     let mut mean_series = Vec::new();
     let mut half_series = Vec::new();
-    for (&rate, runs) in profile.rates.iter().zip(&runs_per_rate) {
-        let acc: Accumulator = runs.iter().map(|m| m.mean_response).collect();
-        // 95% half-width with t(4) = 2.776 for 5 replications.
-        let half = 2.776 * acc.std_dev() / (runs.len() as f64).sqrt();
-        mean_series.push((rate, acc.mean()));
-        half_series.push((rate, half));
+    let mut halves = Vec::new();
+    for p in &points {
+        let half = p.mean_response.half_width_95.unwrap_or(0.0);
+        mean_series.push((p.total_rate, p.mean_response.mean));
+        half_series.push((p.total_rate, half));
+        halves.push(half);
     }
-    fig.push(Series::new("mean-of-5-seeds", mean_series));
+    fig.push(Series::with_errors("mean-of-5-seeds", mean_series, halves));
     fig.push(Series::new("ci95-half-width", half_series));
     fig
 }
@@ -648,14 +626,13 @@ pub fn ablation_servers(profile: &Profile) -> Figure {
         "mean response time (s)",
     );
     for (servers, mips) in [(1usize, 15.0e6), (3, 5.0e6), (5, 3.0e6)] {
-        let mut points = Vec::new();
-        for &rate in &profile.rates {
+        let points = parallel_map(&profile.rates, |&rate| {
             let mut cfg = profile.base(0.2).with_total_rate(rate);
             cfg.params.central_servers = servers;
             cfg.params.central_mips = mips;
             let m = run_simulation(cfg, best_dynamic()).expect("valid");
-            points.push((rate, report_rt(&m)));
-        }
+            (rate, report_rt(&m))
+        });
         fig.push(Series::new(
             format!("{servers}x{}MIPS", mips / 1.0e6),
             points,
@@ -710,13 +687,12 @@ pub fn ablation_lockspace(profile: &Profile) -> Figure {
         ("best-dynamic", best_dynamic()),
         ("queue-len", RouterSpec::QueueLength),
     ] {
-        let mut points = Vec::new();
-        for lockspace in [1024.0, 2048.0, 4096.0, 8192.0, 32768.0] {
+        let points = parallel_map(&[1024.0, 2048.0, 4096.0, 8192.0, 32768.0], |&lockspace| {
             let mut cfg = profile.base(0.2).with_total_rate(20.0);
             cfg.params.lockspace = lockspace;
             let m = run_simulation(cfg, spec).expect("valid");
-            points.push((lockspace, report_rt(&m)));
-        }
+            (lockspace, report_rt(&m))
+        });
         fig.push(Series::new(label, points));
     }
     fig

@@ -9,6 +9,11 @@ pub struct Series {
     pub label: String,
     /// `(x, y)` points in x order.
     pub points: Vec<(f64, f64)>,
+    /// Optional symmetric error half-widths (e.g. 95% confidence
+    /// half-widths from replicated runs), one per point. Rendered as an
+    /// extra `<label>_ci95half` CSV column and as SVG error bars.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub errors: Option<Vec<f64>>,
 }
 
 impl Series {
@@ -18,6 +23,26 @@ impl Series {
         Series {
             label: label.into(),
             points,
+            errors: None,
+        }
+    }
+
+    /// Creates a series with one symmetric error half-width per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors` and `points` have different lengths.
+    #[must_use]
+    pub fn with_errors(
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        errors: Vec<f64>,
+    ) -> Self {
+        assert_eq!(points.len(), errors.len(), "one error half-width per point");
+        Series {
+            label: label.into(),
+            points,
+            errors: Some(errors),
         }
     }
 }
@@ -127,7 +152,9 @@ impl Figure {
         out
     }
 
-    /// Renders the figure as CSV: `x,<label1>,<label2>,...`.
+    /// Renders the figure as CSV: `x,<label1>,<label2>,...`. A series with
+    /// error half-widths gets an extra `<label>_ci95half` column directly
+    /// after its value column.
     #[must_use]
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
@@ -135,22 +162,32 @@ impl Figure {
         let _ = write!(out, "{}", csv_escape(&self.x_label));
         for s in &self.series {
             let _ = write!(out, ",{}", csv_escape(&s.label));
+            if s.errors.is_some() {
+                let _ = write!(out, ",{}", csv_escape(&format!("{}_ci95half", s.label)));
+            }
         }
         let _ = writeln!(out);
         for x in self.x_values() {
             let _ = write!(out, "{x}");
             for s in &self.series {
-                let y = s
-                    .points
-                    .iter()
-                    .find(|&&(px, _)| (px - x).abs() < 1e-9)
-                    .map(|&(_, y)| y);
+                let idx = s.points.iter().position(|&(px, _)| (px - x).abs() < 1e-9);
+                let y = idx.map(|i| s.points[i].1);
                 match y {
                     Some(y) if y.is_finite() => {
                         let _ = write!(out, ",{y}");
                     }
                     _ => {
                         let _ = write!(out, ",");
+                    }
+                }
+                if let Some(errors) = &s.errors {
+                    match idx.map(|i| errors[i]) {
+                        Some(e) if e.is_finite() => {
+                            let _ = write!(out, ",{e}");
+                        }
+                        _ => {
+                            let _ = write!(out, ",");
+                        }
                     }
                 }
             }
@@ -182,7 +219,17 @@ impl Figure {
         let finite: Vec<(f64, f64)> = self
             .series
             .iter()
-            .flat_map(|s| s.points.iter().copied())
+            .flat_map(|s| {
+                let errors = s.errors.as_deref().unwrap_or(&[]);
+                s.points.iter().enumerate().flat_map(move |(i, &(x, y))| {
+                    let e = errors
+                        .get(i)
+                        .copied()
+                        .filter(|e| e.is_finite())
+                        .unwrap_or(0.0);
+                    [(x, y - e), (x, y + e)]
+                })
+            })
             .filter(|&(x, y)| x.is_finite() && y.is_finite())
             .collect();
         let (x_min, x_max) = bounds(finite.iter().map(|&(x, _)| x));
@@ -278,6 +325,28 @@ impl Figure {
                     "<path d=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>",
                     d.trim_end()
                 );
+            }
+            if let Some(errors) = &series.errors {
+                for (&(x, y), &e) in series.points.iter().zip(errors) {
+                    if !(x.is_finite() && y.is_finite() && e.is_finite() && e > 0.0) {
+                        continue;
+                    }
+                    let (cx, top, bot) = (sx(x), sy(y + e), sy(y - e));
+                    let _ = writeln!(
+                        out,
+                        "<line x1=\"{cx:.1}\" y1=\"{top:.1}\" x2=\"{cx:.1}\" y2=\"{bot:.1}\" \
+                         stroke=\"{color}\" stroke-width=\"1.5\"/>"
+                    );
+                    for cy in [top, bot] {
+                        let _ = writeln!(
+                            out,
+                            "<line x1=\"{:.1}\" y1=\"{cy:.1}\" x2=\"{:.1}\" y2=\"{cy:.1}\" \
+                             stroke=\"{color}\" stroke-width=\"1.5\"/>",
+                            cx - 4.0,
+                            cx + 4.0
+                        );
+                    }
+                }
             }
             for &(x, y) in &series.points {
                 if x.is_finite() && y.is_finite() {
@@ -436,6 +505,43 @@ mod tests {
         assert!(svg.contains("<circle"));
         let empty = Figure::new("e", "t", "x", "y").to_svg();
         assert!(empty.starts_with("<svg"));
+    }
+
+    #[test]
+    fn csv_adds_error_column_after_series_with_errors() {
+        let mut f = Figure::new("f", "t", "x", "y");
+        f.push(Series::new("plain", vec![(1.0, 2.0), (2.0, 3.0)]));
+        f.push(Series::with_errors(
+            "ci",
+            vec![(1.0, 5.0), (2.0, 6.0)],
+            vec![0.5, 0.25],
+        ));
+        let csv = f.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "x,plain,ci,ci_ci95half");
+        assert_eq!(lines.next().unwrap(), "1,2,5,0.5");
+        assert_eq!(lines.next().unwrap(), "2,3,6,0.25");
+    }
+
+    #[test]
+    fn svg_draws_error_bars_and_extends_range() {
+        let mut f = Figure::new("f", "t", "x", "y");
+        f.push(Series::with_errors(
+            "ci",
+            vec![(1.0, 10.0), (2.0, 12.0)],
+            vec![2.0, 0.0],
+        ));
+        let svg = f.to_svg();
+        // One vertical bar + two caps for the point with a positive error;
+        // the zero-error point draws nothing extra.
+        assert_eq!(svg.matches("stroke-width=\"1.5\"").count(), 3);
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one error half-width per point")]
+    fn with_errors_rejects_length_mismatch() {
+        let _ = Series::with_errors("s", vec![(1.0, 2.0)], vec![0.1, 0.2]);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Scoped-thread worker pool for embarrassingly parallel experiment runs.
+//!
+//! Simulation points in a sweep or replication grid are independent, so
+//! they fan out across OS threads with no synchronization beyond a shared
+//! work counter. Results land in their grid slot by index, so the output
+//! order — and, because seeds are derived from grid coordinates (see
+//! [`super::seed`]), every result bit — is identical for any thread count.
+//!
+//! Built on `std::thread::scope` only: no new crate dependencies.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used when `jobs == 0`: all available cores.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing `jobs` argument: `0` means [`default_jobs`].
+#[must_use]
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        default_jobs()
+    } else {
+        jobs
+    }
+}
+
+/// Maps `f` over `items` on `jobs` worker threads (`0` = all cores),
+/// preserving input order. `f` receives `(index, item)`; the index is the
+/// item's grid coordinate, available for deterministic seed derivation.
+///
+/// Work is pulled from a shared counter, so threads stay busy even when
+/// item costs vary (e.g. high-load simulation points take far longer than
+/// low-load ones).
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let jobs = resolve_jobs(jobs).min(items.len());
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                slots.lock().expect("no panics hold this lock")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+/// Fallible [`parallel_map`]: runs every item, then returns either all
+/// results in input order or the error with the *smallest input index* —
+/// the same error a serial loop would hit first — so error reporting is
+/// deterministic across thread counts too.
+///
+/// # Errors
+///
+/// Returns the lowest-index error produced by `f`.
+pub fn try_parallel_map<T, R, E, F>(jobs: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let results = parallel_map(jobs, items, f);
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn maps_in_order_for_any_job_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = parallel_map(jobs, &items, |_, &x| x * x);
+            assert_eq!(got, expected, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items: Vec<u64> = (10..30).collect();
+        let got = parallel_map(4, &items, |i, &x| (i, x));
+        for (i, &(gi, gx)) in got.iter().enumerate() {
+            assert_eq!(gi, i);
+            assert_eq!(gx, items[i]);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u64> = parallel_map(8, &[] as &[u64], |_, &x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn all_items_run_exactly_once() {
+        let count = AtomicU64::new(0);
+        let items: Vec<u64> = (0..57).collect();
+        let _ = parallel_map(8, &items, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let items: Vec<u64> = (0..50).collect();
+        for jobs in [1, 2, 8] {
+            let got: Result<Vec<u64>, u64> =
+                try_parallel_map(
+                    jobs,
+                    &items,
+                    |_, &x| {
+                        if x % 7 == 3 {
+                            Err(x)
+                        } else {
+                            Ok(x)
+                        }
+                    },
+                );
+            assert_eq!(got, Err(3), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn try_map_ok_collects_all() {
+        let items: Vec<u64> = (0..20).collect();
+        let got: Result<Vec<u64>, ()> = try_parallel_map(3, &items, |_, &x| Ok(x + 1));
+        assert_eq!(got.unwrap(), (1..21).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn zero_jobs_means_all_cores() {
+        assert_eq!(resolve_jobs(0), default_jobs());
+        assert_eq!(resolve_jobs(3), 3);
+        let items: Vec<u64> = (0..10).collect();
+        let got = parallel_map(0, &items, |_, &x| x);
+        assert_eq!(got, items);
+    }
+}

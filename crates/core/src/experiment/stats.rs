@@ -1,0 +1,140 @@
+//! Across-replication summary statistics: mean, variance, and Student-t
+//! confidence intervals for sweep points and replication sets.
+//!
+//! Reuses the `hls_sim` statistics kernel ([`Accumulator`] for the
+//! moments, [`t_critical_95`] for the critical values) rather than
+//! duplicating the math.
+
+use hls_sim::{t_critical_95, Accumulator};
+use serde::{Deserialize, Serialize};
+
+/// Mean, variance, and 95% Student-t confidence half-width of one metric
+/// across independent replications.
+///
+/// # Examples
+///
+/// ```
+/// use hls_core::MetricSummary;
+///
+/// let s = MetricSummary::from_samples([2.0, 4.0, 6.0]);
+/// assert_eq!(s.n, 3);
+/// assert_eq!(s.mean, 4.0);
+/// // t(2) = 4.303, s.d. = 2 => half-width 4.303 * 2 / sqrt(3)
+/// assert!((s.half_width_95.unwrap() - 4.968).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Number of replications.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// 95% confidence half-width (`t_{0.975, n-1} * s / sqrt(n)`), or
+    /// `None` with fewer than two replications.
+    pub half_width_95: Option<f64>,
+}
+
+impl MetricSummary {
+    /// Summarizes a set of independent samples.
+    #[must_use]
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let acc: Accumulator = samples.into_iter().collect();
+        let n = acc.count();
+        let half =
+            (n >= 2).then(|| t_critical_95(n as usize - 1) * acc.std_dev() / (n as f64).sqrt());
+        MetricSummary {
+            n,
+            mean: acc.mean(),
+            variance: acc.variance(),
+            half_width_95: half,
+        }
+    }
+
+    /// The 95% confidence interval `(lo, hi)`, or `None` with fewer than
+    /// two replications.
+    #[must_use]
+    pub fn ci95(&self) -> Option<(f64, f64)> {
+        self.half_width_95.map(|h| (self.mean - h, self.mean + h))
+    }
+
+    /// Half-width relative to the absolute mean, or `None` when no
+    /// interval is available or the mean is zero.
+    #[must_use]
+    pub fn relative_half_width(&self) -> Option<f64> {
+        let h = self.half_width_95?;
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(h / self.mean.abs())
+        }
+    }
+
+    /// Whether the relative half-width is at or below `target`.
+    ///
+    /// Degenerate cases resolve conservatively useful: a zero half-width
+    /// (identical replications) meets any target; a missing interval
+    /// (fewer than two replications) meets none.
+    #[must_use]
+    pub fn meets_relative_target(&self, target: f64) -> bool {
+        match self.half_width_95 {
+            None => false,
+            Some(h) if h == 0.0 => true,
+            Some(_) => self.relative_half_width().is_some_and(|r| r <= target),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_half_width() {
+        // Samples 2, 4, 6: mean 4, variance 4, s.d. 2; t(2) = 4.303.
+        let s = MetricSummary::from_samples([2.0, 4.0, 6.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 4.0);
+        assert!((s.variance - 4.0).abs() < 1e-12);
+        let expected = 4.303 * 2.0 / 3f64.sqrt();
+        assert!((s.half_width_95.unwrap() - expected).abs() < 1e-9);
+        let (lo, hi) = s.ci95().unwrap();
+        assert!((lo - (4.0 - expected)).abs() < 1e-9);
+        assert!((hi - (4.0 + expected)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_has_no_interval() {
+        let s = MetricSummary::from_samples([3.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.half_width_95, None);
+        assert_eq!(s.ci95(), None);
+        assert_eq!(s.relative_half_width(), None);
+        assert!(!s.meets_relative_target(1.0));
+    }
+
+    #[test]
+    fn identical_samples_meet_any_target() {
+        let s = MetricSummary::from_samples([5.0, 5.0, 5.0]);
+        assert_eq!(s.half_width_95, Some(0.0));
+        assert!(s.meets_relative_target(0.0));
+    }
+
+    #[test]
+    fn zero_mean_never_meets_relative_target() {
+        let s = MetricSummary::from_samples([-1.0, 1.0]);
+        assert_eq!(s.mean, 0.0);
+        assert!(!s.meets_relative_target(10.0));
+    }
+
+    #[test]
+    fn relative_half_width_scales_with_mean() {
+        let tight = MetricSummary::from_samples([99.0, 100.0, 101.0]);
+        let loose = MetricSummary::from_samples([9.0, 10.0, 11.0]);
+        let rt = tight.relative_half_width().unwrap();
+        let rl = loose.relative_half_width().unwrap();
+        assert!((rl / rt - 10.0).abs() < 1e-9, "{rl} vs {rt}");
+        assert!(tight.meets_relative_target(0.05));
+        assert!(!loose.meets_relative_target(0.05));
+    }
+}

@@ -21,7 +21,13 @@
 //! * [`SystemConfig`] — the paper's Section 4.1 configuration with every
 //!   parameter adjustable,
 //! * [`RunMetrics`] — response times, throughput, shipped fraction, abort
-//!   and utilization measurements.
+//!   and utilization measurements,
+//! * the **experiment engine** ([`sweep_rates`], [`replicate`],
+//!   [`replicate_ci`], [`parallel_map`]) — sweeps and seed replications
+//!   fanned across a scoped-thread worker pool with deterministic per-run
+//!   seed derivation ([`derive_seed`]), so results are bit-identical for
+//!   any thread count, plus Student-t confidence summaries
+//!   ([`MetricSummary`]) and CI-targeted auto-replication.
 //!
 //! # Examples
 //!
@@ -59,7 +65,10 @@ mod txn;
 pub use config::{ClassBMode, DeadlockVictim, SystemConfig};
 pub use error::ConfigError;
 pub use experiment::{
-    mean_over, optimal_static_spec, replicate, sweep_rates, sweep_rates_static, SweepPoint,
+    default_jobs, derive_seed, mean_over, optimal_static_spec, parallel_map, replicate,
+    replicate_ci, replicate_jobs, resolve_jobs, splitmix64, strategy_tag, summarize, sweep_rates,
+    sweep_rates_ci, sweep_rates_jobs, sweep_rates_static, sweep_rates_static_jobs,
+    try_parallel_map, CiOptions, CiRun, CiSweepPoint, MetricSummary, SweepPoint, NO_RATE_INDEX,
 };
 pub use metrics::{AbortCounts, MetricsCollector, RunMetrics};
 pub use msg::{CentralSnapshot, Msg};

@@ -75,5 +75,5 @@ pub use event::EventQueue;
 pub use multi_server::MultiServer;
 pub use rng::{sample_exponential, sample_uniform, RngStreams};
 pub use server::{FcfsServer, Job, ServiceStart};
-pub use stats::{Accumulator, BatchMeans, Histogram, TimeWeighted};
+pub use stats::{t_critical_95, Accumulator, BatchMeans, Histogram, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -100,8 +100,14 @@ impl BatchMeans {
     }
 }
 
-/// Two-sided 95% Student-t critical values; indexed by degrees of freedom.
-fn t_critical_95(df: usize) -> f64 {
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+///
+/// Exact table values through 30 degrees of freedom, the normal-limit
+/// 1.96 beyond, and `+inf` at zero degrees of freedom (no interval is
+/// possible from a single observation). Shared by the batch-means
+/// estimator here and the across-replication summaries in `hls-core`.
+#[must_use]
+pub fn t_critical_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
         12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
         2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,

@@ -14,6 +14,6 @@ mod histogram;
 mod time_weighted;
 
 pub use accumulator::Accumulator;
-pub use batch::BatchMeans;
+pub use batch::{t_critical_95, BatchMeans};
 pub use histogram::Histogram;
 pub use time_weighted::TimeWeighted;

@@ -1,0 +1,142 @@
+//! Known-input / known-output tests of the statistics toolkit through the
+//! crate's public API: every expected value below is computed by hand, so
+//! a regression in any estimator shows up as a concrete numeric mismatch.
+
+use hls_sim::{t_critical_95, Accumulator, BatchMeans, Histogram, SimTime, TimeWeighted};
+
+#[test]
+fn accumulator_matches_hand_computed_moments() {
+    // x = [3, 5, 7, 9]: mean 6, deviations ±3, ±1 → m2 = 9+1+1+9 = 20,
+    // unbiased variance 20/3.
+    let acc: Accumulator = [3.0, 5.0, 7.0, 9.0].into_iter().collect();
+    assert_eq!(acc.count(), 4);
+    assert_eq!(acc.mean(), 6.0);
+    assert!((acc.variance() - 20.0 / 3.0).abs() < 1e-12);
+    assert!((acc.std_dev() - (20.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    assert_eq!(acc.min(), Some(3.0));
+    assert_eq!(acc.max(), Some(9.0));
+    assert_eq!(acc.sum(), 24.0);
+}
+
+#[test]
+fn accumulator_parallel_merge_is_exact_for_known_split() {
+    // Split [1..=6] as [1,2] + [3,4,5,6]; merged moments must equal the
+    // sequential ones: mean 3.5, variance 17.5/5 = 3.5.
+    let mut left: Accumulator = [1.0, 2.0].into_iter().collect();
+    let right: Accumulator = [3.0, 4.0, 5.0, 6.0].into_iter().collect();
+    left.merge(&right);
+    assert_eq!(left.count(), 6);
+    assert!((left.mean() - 3.5).abs() < 1e-12);
+    assert!((left.variance() - 3.5).abs() < 1e-12);
+}
+
+#[test]
+fn t_critical_95_reference_values() {
+    // Standard two-sided 95% table: df 1, 2, 4, 10, 30; normal limit past
+    // the table; no interval from a single observation (df 0).
+    assert_eq!(t_critical_95(1), 12.706);
+    assert_eq!(t_critical_95(2), 4.303);
+    assert_eq!(t_critical_95(4), 2.776);
+    assert_eq!(t_critical_95(10), 2.228);
+    assert_eq!(t_critical_95(30), 2.042);
+    assert_eq!(t_critical_95(31), 1.96);
+    assert_eq!(t_critical_95(0), f64::INFINITY);
+}
+
+#[test]
+fn batch_means_half_width_matches_hand_computation() {
+    // [1..=6] in batches of 2 → batch means [1.5, 3.5, 5.5]: mean 3.5,
+    // batch-mean std dev 2, so half = t(2) · 2/√3 = 4.303 · 2/√3.
+    let mut bm = BatchMeans::new(2);
+    for x in 1..=6 {
+        bm.record(f64::from(x));
+    }
+    assert_eq!(bm.batches(), 3);
+    assert_eq!(bm.mean(), 3.5);
+    let (lo, hi) = bm.confidence_interval_95().unwrap();
+    let expected_half = 4.303 * 2.0 / 3.0f64.sqrt();
+    assert!(((hi - lo) / 2.0 - expected_half).abs() < 1e-9);
+    assert!(((lo + hi) / 2.0 - 3.5).abs() < 1e-12);
+    assert!((bm.relative_half_width().unwrap() - expected_half / 3.5).abs() < 1e-9);
+}
+
+#[test]
+fn batch_means_ignores_partial_batch_in_interval() {
+    // Seven observations with batch size 2 leave one straggler: it counts
+    // toward the overall mean but not toward the interval's batch means.
+    let mut bm = BatchMeans::new(2);
+    for x in 1..=7 {
+        bm.record(f64::from(x));
+    }
+    assert_eq!(bm.batches(), 3);
+    assert_eq!(bm.count(), 7);
+    assert_eq!(bm.mean(), 4.0);
+    let (lo, hi) = bm.confidence_interval_95().unwrap();
+    // Interval is still centred on the batch means' mean (3.5), not 4.0.
+    assert!(((lo + hi) / 2.0 - 3.5).abs() < 1e-12);
+}
+
+#[test]
+fn histogram_quantiles_from_known_counts() {
+    // Bins of width 1: one observation in [0,1), three in [1,2), one at
+    // the far end of [4,5). Median falls in the second bin.
+    let mut h = Histogram::new(1.0, 5);
+    for x in [0.5, 1.1, 1.5, 1.9, 4.2] {
+        h.record(x);
+    }
+    assert_eq!(h.count(), 5);
+    assert_eq!(h.overflow_count(), 0);
+    // 0-quantile sits at the lower edge of the first non-empty bin.
+    assert_eq!(h.quantile(0.0), Some(0.0));
+    // Median: target 2.5 of 5; bin [1,2) holds ranks 2..=4, so the
+    // interpolated value is 1 + (2.5 - 1)/3.
+    let median = h.quantile(0.5).unwrap();
+    assert!((median - (1.0 + 1.5 / 3.0)).abs() < 1e-12);
+    // Maximum lands in the last bin.
+    assert!((h.quantile(1.0).unwrap() - 5.0).abs() < 1e-12);
+}
+
+#[test]
+fn histogram_overflow_hides_upper_quantiles_only() {
+    let mut h = Histogram::new(1.0, 2);
+    for x in [0.5, 1.5, 10.0, 11.0] {
+        h.record(x);
+    }
+    assert_eq!(h.overflow_count(), 2);
+    // Lower half is still measurable; the upper half fell off the end.
+    assert!(h.quantile(0.25).is_some());
+    assert_eq!(h.quantile(0.99), None);
+}
+
+#[test]
+fn time_weighted_average_of_step_signal() {
+    // Signal: 0 on [0,1), 3 on [1,3), 1 on [3,5). Integral = 0 + 6 + 2,
+    // so the average over [0,5] is 8/5.
+    let mut q = TimeWeighted::new(SimTime::ZERO, 0.0);
+    q.set(SimTime::from_secs(1.0), 3.0);
+    q.set(SimTime::from_secs(3.0), 1.0);
+    assert_eq!(q.value(), 1.0);
+    assert_eq!(q.peak(), 3.0);
+    assert!((q.average(SimTime::from_secs(5.0)) - 8.0 / 5.0).abs() < 1e-12);
+}
+
+#[test]
+fn time_weighted_add_tracks_queue_deltas() {
+    // Arrivals/departures as ±1 deltas: 1 on [0,2), 2 on [2,4), 1 on
+    // [4,6) → integral 2 + 4 + 2 = 8 over 6 seconds.
+    let mut q = TimeWeighted::new(SimTime::ZERO, 1.0);
+    q.add(SimTime::from_secs(2.0), 1.0);
+    q.add(SimTime::from_secs(4.0), -1.0);
+    assert!((q.average(SimTime::from_secs(6.0)) - 8.0 / 6.0).abs() < 1e-12);
+    assert_eq!(q.peak(), 2.0);
+}
+
+#[test]
+fn time_weighted_window_reset_discards_history() {
+    // After reset at t=2 the earlier high value no longer contributes:
+    // signal is 5 on [2,4), so the windowed average is 5.
+    let mut q = TimeWeighted::new(SimTime::ZERO, 100.0);
+    q.set(SimTime::from_secs(2.0), 5.0);
+    q.reset_window(SimTime::from_secs(2.0));
+    assert!((q.average(SimTime::from_secs(4.0)) - 5.0).abs() < 1e-12);
+}

@@ -4,16 +4,25 @@
 //! simulate [--rate TPS] [--delay SECS] [--policy NAME] [--sites N]
 //!          [--p-local F] [--lockspace N] [--sim-time SECS] [--warmup SECS]
 //!          [--seed N] [--threshold F] [--p-ship F] [--ideal-state]
+//!          [--reps N] [--jobs N] [--ci-target F] [--max-reps N]
 //! ```
 //!
 //! Policies: `none`, `static`, `measured`, `queue`, `threshold`,
 //! `min-incoming-q`, `min-incoming-n`, `min-average-q`, `min-average-n`,
 //! `smoothed`.
+//!
+//! With `--reps N` (or `--ci-target F`) the run is replicated over
+//! deterministically derived seeds — fanned across `--jobs` worker threads
+//! (0 = all cores) — and mean ± 95% confidence half-widths are reported.
+//! `--ci-target 0.05` keeps adding replications (up to `--max-reps`) until
+//! the relative half-width of mean response drops below 5%. Results are
+//! bit-identical for any `--jobs` value.
 
 use std::process::ExitCode;
 
 use hybrid_load_sharing::core::{
-    optimal_static_spec, run_simulation, RouterSpec, SystemConfig, UtilizationEstimator,
+    optimal_static_spec, replicate_ci, replicate_jobs, run_simulation, summarize, CiOptions,
+    MetricSummary, RouterSpec, RunMetrics, SystemConfig, UtilizationEstimator,
 };
 
 struct Args {
@@ -29,6 +38,10 @@ struct Args {
     threshold: f64,
     p_ship: Option<f64>,
     ideal_state: bool,
+    reps: u64,
+    jobs: usize,
+    ci_target: Option<f64>,
+    max_reps: u64,
 }
 
 impl Args {
@@ -46,6 +59,10 @@ impl Args {
             threshold: -0.2,
             p_ship: None,
             ideal_state: false,
+            reps: 1,
+            jobs: 0,
+            ci_target: None,
+            max_reps: 64,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -70,6 +87,10 @@ impl Args {
                 "--threshold" => a.threshold = parse(value()?)?,
                 "--p-ship" => a.p_ship = Some(parse(value()?)?),
                 "--ideal-state" => a.ideal_state = true,
+                "--reps" => a.reps = parse(value()?)?,
+                "--jobs" => a.jobs = parse(value()?)?,
+                "--ci-target" => a.ci_target = Some(parse(value()?)?),
+                "--max-reps" => a.max_reps = parse(value()?)?,
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument: {other}")),
             }
@@ -88,9 +109,77 @@ fn usage() {
         "usage: simulate [--rate TPS] [--delay SECS] [--policy NAME] [--sites N]\n\
          \x20               [--p-local F] [--lockspace N] [--sim-time SECS] [--warmup SECS]\n\
          \x20               [--seed N] [--threshold F] [--p-ship F] [--ideal-state]\n\
+         \x20               [--reps N] [--jobs N] [--ci-target F] [--max-reps N]\n\
          policies: none static measured queue threshold min-incoming-q\n\
-         \x20         min-incoming-n min-average-q min-average-n smoothed"
+         \x20         min-incoming-n min-average-q min-average-n smoothed\n\
+         replication: --reps runs N seed replications in parallel (--jobs\n\
+         \x20         worker threads, 0 = all cores) and reports mean +/- 95% CI;\n\
+         \x20         --ci-target R auto-replicates until the relative CI\n\
+         \x20         half-width of mean response is <= R (cap: --max-reps)"
     );
+}
+
+fn print_summary(name: &str, s: &MetricSummary, unit: &str) {
+    match s.half_width_95 {
+        Some(half) => println!("{name} {:.3} +/- {half:.3} {unit}", s.mean),
+        None => println!("{name} {:.3} {unit}", s.mean),
+    }
+}
+
+fn run_replicated(args: &Args, cfg: &SystemConfig, spec: RouterSpec) -> ExitCode {
+    let outcome = match args.ci_target {
+        Some(rel_target) => replicate_ci(
+            cfg,
+            spec,
+            &CiOptions {
+                jobs: args.jobs,
+                rel_target,
+                min_replications: args.reps.max(3),
+                max_replications: args.max_reps.max(args.reps),
+                batch: 0,
+            },
+        )
+        .map(|ci| (ci.runs, Some(ci.target_met))),
+        None => replicate_jobs(cfg, spec, args.reps, args.jobs).map(|runs| (runs, None)),
+    };
+    let (runs, target_met) = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let response = summarize(&runs, |m: &RunMetrics| m.mean_response);
+    println!("policy              {}", spec.label());
+    println!("offered rate        {:.2} tps", args.rate);
+    println!("replications        {}", runs.len());
+    if let Some(met) = target_met {
+        let rel = response
+            .relative_half_width()
+            .map_or_else(|| "n/a".to_string(), |r| format!("{:.1} %", r * 100.0));
+        println!(
+            "ci target           {} ({rel} achieved)",
+            if met { "met" } else { "NOT met" }
+        );
+    }
+    print_summary("mean response      ", &response, "s");
+    print_summary(
+        "throughput         ",
+        &summarize(&runs, |m: &RunMetrics| m.throughput),
+        "tps",
+    );
+    print_summary(
+        "shipped fraction   ",
+        &summarize(&runs, |m: &RunMetrics| m.shipped_fraction * 100.0),
+        "%",
+    );
+    print_summary(
+        "utilization central",
+        &summarize(&runs, |m: &RunMetrics| m.rho_central),
+        "",
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -148,6 +237,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.reps > 1 || args.ci_target.is_some() {
+        return run_replicated(&args, &cfg, spec);
+    }
 
     let m = match run_simulation(cfg, spec) {
         Ok(m) => m,

@@ -1,9 +1,15 @@
 //! Workspace-level tests: the paper's headline claims, checked end-to-end
 //! through the public API of the umbrella crate.
+//!
+//! Each figure claim is asserted on the **mean over three seed
+//! replications** (fanned across the experiment engine's worker pool)
+//! rather than a single run, so a single unlucky seed cannot flip an
+//! ordering that the paper states about expectations.
 
 use hybrid_load_sharing::analytic::{optimal_static_ship, solve_static, SystemParams};
 use hybrid_load_sharing::core::{
-    optimal_static_spec, run_simulation, RouterSpec, SystemConfig, UtilizationEstimator,
+    mean_over, optimal_static_spec, replicate, run_simulation, RouterSpec, SystemConfig,
+    UtilizationEstimator,
 };
 
 fn cfg(rate: f64) -> SystemConfig {
@@ -13,53 +19,53 @@ fn cfg(rate: f64) -> SystemConfig {
         .with_seed(4242)
 }
 
+/// Mean of `f` over three deterministic seed replications of `(c, spec)`.
+fn mean3(
+    c: &SystemConfig,
+    spec: RouterSpec,
+    f: impl Fn(&hybrid_load_sharing::core::RunMetrics) -> f64,
+) -> f64 {
+    let runs = replicate(c, spec, 3).expect("valid config");
+    mean_over(&runs, f)
+}
+
+fn mean3_response(c: &SystemConfig, spec: RouterSpec) -> f64 {
+    mean3(c, spec, |m| m.mean_response)
+}
+
+const BEST_DYNAMIC: RouterSpec = RouterSpec::MinAverage {
+    estimator: UtilizationEstimator::NumInSystem,
+};
+
 /// Figure 4.1: "without any load sharing, the local systems quickly become
 /// overloaded ... the maximum transaction rate supportable is limited to
 /// about 20 transactions per second", while static sharing supports ~30.
 #[test]
 fn no_sharing_caps_near_20_tps_static_reaches_30() {
-    let no_sharing = run_simulation(cfg(26.0), RouterSpec::NoSharing).unwrap();
-    assert!(
-        no_sharing.throughput < 22.0,
-        "no-sharing throughput = {}",
-        no_sharing.throughput
-    );
+    // Figure 4.1 shows the no-sharing curve diverging just past 20 tps;
+    // 22 leaves ~10% headroom over the paper's asymptote for finite-run
+    // noise in the mean over replications.
+    let no_sharing = mean3(&cfg(26.0), RouterSpec::NoSharing, |m| m.throughput);
+    assert!(no_sharing < 22.0, "no-sharing throughput = {no_sharing}");
 
+    // The static curve in Figure 4.1 is still nearly linear at 28 tps, so
+    // the replicated mean should carry ≥ 26 of the offered 28.
     let c = cfg(28.0);
-    let static_opt = run_simulation(c.clone(), optimal_static_spec(&c)).unwrap();
-    assert!(
-        static_opt.throughput > 26.0,
-        "static throughput = {}",
-        static_opt.throughput
-    );
+    let static_opt = mean3(&c, optimal_static_spec(&c), |m| m.throughput);
+    assert!(static_opt > 26.0, "static throughput = {static_opt}");
 }
 
-/// Figure 4.1/4.2 ordering at high load: best dynamic < static < none, and
-/// the min-average schemes beat their min-incoming counterparts.
+/// Figure 4.1/4.2 ordering at high load: best dynamic < static < none.
 #[test]
 fn strategy_ordering_at_high_load() {
     let c = cfg(24.0);
-    let none = run_simulation(c.clone(), RouterSpec::NoSharing).unwrap();
-    let stat = run_simulation(c.clone(), optimal_static_spec(&c)).unwrap();
-    let best = run_simulation(
-        c.clone(),
-        RouterSpec::MinAverage {
-            estimator: UtilizationEstimator::NumInSystem,
-        },
-    )
-    .unwrap();
-    assert!(
-        best.mean_response < stat.mean_response,
-        "best {} vs static {}",
-        best.mean_response,
-        stat.mean_response
-    );
-    assert!(
-        stat.mean_response < none.mean_response,
-        "static {} vs none {}",
-        stat.mean_response,
-        none.mean_response
-    );
+    let none = mean3_response(&c, RouterSpec::NoSharing);
+    let stat = mean3_response(&c, optimal_static_spec(&c));
+    let best = mean3_response(&c, BEST_DYNAMIC);
+    // At 24 tps Figure 4.1 separates these curves by integer factors, so
+    // the replicated means are compared strictly with no tolerance band.
+    assert!(best < stat, "best {best} vs static {stat}");
+    assert!(stat < none, "static {stat} vs none {none}");
 }
 
 /// Section 4.2: the min-average schemes "perform better than their
@@ -68,26 +74,16 @@ fn strategy_ordering_at_high_load() {
 #[test]
 fn min_average_beats_min_incoming() {
     let c = cfg(24.0);
-    let avg = run_simulation(
-        c.clone(),
-        RouterSpec::MinAverage {
-            estimator: UtilizationEstimator::NumInSystem,
-        },
-    )
-    .unwrap();
-    let inc = run_simulation(
-        c,
+    let avg = mean3_response(&c, BEST_DYNAMIC);
+    let inc = mean3_response(
+        &c,
         RouterSpec::MinIncoming {
             estimator: UtilizationEstimator::NumInSystem,
         },
-    )
-    .unwrap();
-    assert!(
-        avg.mean_response <= inc.mean_response * 1.05,
-        "avg {} vs incoming {}",
-        avg.mean_response,
-        inc.mean_response
     );
+    // Figure 4.2 separates curves C and E only modestly at 24 tps; allow
+    // the replicated means to tie within 5% without failing the claim.
+    assert!(avg <= inc * 1.05, "avg {avg} vs incoming {inc}");
 }
 
 /// Figure 4.2: the measured-response heuristic (curve A) is the worst
@@ -96,20 +92,17 @@ fn min_average_beats_min_incoming() {
 #[test]
 fn measured_response_is_worst_dynamic_and_ships_most() {
     let c = cfg(22.0);
-    let measured = run_simulation(c.clone(), RouterSpec::MeasuredResponse).unwrap();
-    let best = run_simulation(
-        c.clone(),
-        RouterSpec::MinAverage {
-            estimator: UtilizationEstimator::NumInSystem,
-        },
-    )
-    .unwrap();
-    assert!(measured.mean_response > best.mean_response);
+    let measured = mean3_response(&c, RouterSpec::MeasuredResponse);
+    let best = mean3_response(&c, BEST_DYNAMIC);
+    // Figure 4.2 keeps curve A well above curve E at 22 tps — strict
+    // ordering of the means, no tolerance needed.
+    assert!(measured > best, "measured {measured} vs best {best}");
+    // Figure 4.3: curve A ships the largest fraction of any heuristic.
+    let measured_ship = mean3(&c, RouterSpec::MeasuredResponse, |m| m.shipped_fraction);
+    let best_ship = mean3(&c, BEST_DYNAMIC, |m| m.shipped_fraction);
     assert!(
-        measured.shipped_fraction > best.shipped_fraction,
-        "measured ships {} vs best {}",
-        measured.shipped_fraction,
-        best.shipped_fraction
+        measured_ship > best_ship,
+        "measured ships {measured_ship} vs best {best_ship}"
     );
 }
 
@@ -119,20 +112,11 @@ fn measured_response_is_worst_dynamic_and_ships_most() {
 #[test]
 fn dynamic_still_wins_at_large_delay() {
     let c = cfg(22.0).with_comm_delay(0.5);
-    let none = run_simulation(c.clone(), RouterSpec::NoSharing).unwrap();
-    let best = run_simulation(
-        c,
-        RouterSpec::MinAverage {
-            estimator: UtilizationEstimator::NumInSystem,
-        },
-    )
-    .unwrap();
-    assert!(
-        best.mean_response < none.mean_response / 2.0,
-        "best {} vs none {}",
-        best.mean_response,
-        none.mean_response
-    );
+    let none = mean3_response(&c, RouterSpec::NoSharing);
+    let best = mean3_response(&c, BEST_DYNAMIC);
+    // Figure 4.5 shows ≥ 2x response-time improvement surviving the
+    // 0.5 s delay at this rate; require the same factor of the means.
+    assert!(best < none / 2.0, "best {best} vs none {none}");
 }
 
 /// The analytic model agrees with the simulator at a moderate operating
@@ -142,14 +126,17 @@ fn analytic_model_tracks_simulation() {
     let params = SystemParams::paper_default();
     for (rate, p_ship) in [(12.0, 0.3), (16.0, 0.5)] {
         let sol = solve_static(&params, rate / 10.0, p_ship);
-        let m = run_simulation(cfg(rate), RouterSpec::Static { p_ship }).unwrap();
+        let sim = mean3_response(&cfg(rate), RouterSpec::Static { p_ship });
         assert!(sol.feasible);
-        let ratio = sol.mean_response / m.mean_response;
+        // The Section 3.1 open-network model ignores lock contention and
+        // the authentication round-trip, so parity within [0.6, 1.7] is
+        // the supported claim (cf. the Section 4.1 model-validation note),
+        // not point equality.
+        let ratio = sol.mean_response / sim;
         assert!(
             (0.6..=1.7).contains(&ratio),
-            "model {} vs sim {} at rate {rate}, p {p_ship}",
+            "model {} vs sim {sim} at rate {rate}, p {p_ship}",
             sol.mean_response,
-            m.mean_response
         );
     }
 }
@@ -160,13 +147,29 @@ fn analytic_model_tracks_simulation() {
 fn optimizer_probability_is_realized_in_simulation() {
     let params = SystemParams::paper_default();
     let opt = optimal_static_ship(&params, 2.0, 50);
-    let m = run_simulation(cfg(20.0), RouterSpec::Static { p_ship: opt.p_ship }).unwrap();
-    assert!(
-        (m.shipped_fraction - opt.p_ship).abs() < 0.05,
-        "asked {} shipped {}",
-        opt.p_ship,
+    let shipped = mean3(&cfg(20.0), RouterSpec::Static { p_ship: opt.p_ship }, |m| {
         m.shipped_fraction
+    });
+    // Routing is Bernoulli(p_ship) per class A arrival; over three
+    // 200-second runs the realized fraction should sit within ±0.05
+    // (≈ 3 standard errors) of the requested probability.
+    assert!(
+        (shipped - opt.p_ship).abs() < 0.05,
+        "asked {} shipped {shipped}",
+        opt.p_ship,
     );
+}
+
+/// One replication of the engine agrees with a direct `run_simulation`
+/// call at the derived seed — the umbrella crate exposes both paths.
+#[test]
+fn engine_and_direct_call_agree_through_umbrella_crate() {
+    use hybrid_load_sharing::core::{derive_seed, strategy_tag, NO_RATE_INDEX};
+    let c = cfg(18.0);
+    let runs = replicate(&c, BEST_DYNAMIC, 1).unwrap();
+    let seed = derive_seed(c.seed, NO_RATE_INDEX, strategy_tag(&BEST_DYNAMIC), 0);
+    let direct = run_simulation(c.with_seed(seed), BEST_DYNAMIC).unwrap();
+    assert_eq!(runs[0], direct);
 }
 
 /// Umbrella crate re-exports compose.
