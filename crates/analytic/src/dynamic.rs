@@ -14,8 +14,6 @@
 //! correction terms "to take into account the increase in utilization due
 //! to the routing of the new transaction").
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::SystemParams;
 use crate::response::{response_times, ContentionInputs, HoldTimes, ResponseEstimate};
 
@@ -24,7 +22,7 @@ use crate::response::{response_times, ContentionInputs, HoldTimes, ResponseEstim
 /// Local quantities are exact (the router runs at the arriving site); the
 /// central quantities come from the most recent snapshot piggybacked on a
 /// message from the central complex, and may be stale.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Observed {
     /// CPU queue length at the arriving local site, including the job in
     /// service.
@@ -44,7 +42,7 @@ pub struct Observed {
 
 /// Which observable drives the utilization estimate — the two variants of
 /// Sections 3.2.1(a) and 3.2.1(b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UtilizationEstimator {
     /// From the CPU queue length: `ρ = q / (q + 1)` for the state as
     /// observed, with the newcomer added to `q` for the with-routing case.
@@ -56,7 +54,7 @@ pub enum UtilizationEstimator {
 }
 
 /// Response-time estimates for one routing case.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CaseEstimate {
     /// Estimated response time of the incoming transaction under this case
     /// (local response for case 1, shipped response for case 2), at the
@@ -75,7 +73,7 @@ pub struct CaseEstimate {
 }
 
 /// The pair of case estimates a router compares.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RouteEstimates {
     /// Case (1): the incoming transaction is run locally.
     pub run_local: CaseEstimate,

@@ -2,13 +2,11 @@
 //! utilizations, contention/abort probabilities, and response times for a
 //! given shipping probability `p_ship`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::SystemParams;
 use crate::response::{response_times, ContentionInputs, FlowRates, HoldTimes, ResponseEstimate};
 
 /// Converged solution of the static model at one operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StaticSolution {
     /// Per-site arrival rate (transactions/second).
     pub lambda_site: f64,

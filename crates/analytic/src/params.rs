@@ -1,7 +1,5 @@
 //! System parameters shared by the analytic model and the simulator.
 
-use serde::{Deserialize, Serialize};
-
 /// Physical and workload parameters of the hybrid system, following
 /// Sections 3 and 4.1 of the paper.
 ///
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// overhead, I/O latencies, protocol-message pathlengths) are exposed as
 /// parameters with defaults calibrated so that the no-load-sharing knee
 /// lands near the paper's ~20 transactions/second (see DESIGN.md).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemParams {
     /// Number of distributed sites. Paper: 10.
     pub n_sites: usize,

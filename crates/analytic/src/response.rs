@@ -6,8 +6,6 @@
 //! centrally-run (shipped / class B) transactions, including the rerun
 //! expansion caused by local↔central collision aborts.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::SystemParams;
 use crate::residual::{p_local_loses_as_holder, p_local_loses_as_requester};
 
@@ -24,7 +22,7 @@ pub const ABORT_CAP: f64 = 0.95;
 /// "Per database" quantities are per slice of the lock space, following the
 /// paper's assumption that transactions at the central site access the
 /// databases uniformly.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FlowRates {
     /// New class A transactions running at one local site.
     pub local_new_site: f64,
@@ -43,7 +41,7 @@ pub struct FlowRates {
 /// `beta_*` is the first-run lock-holding phase; `gamma_*` the re-run span
 /// (a re-run retains its locks for its entire duration, since "locks ...
 /// are not released after an abort").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HoldTimes {
     /// First-run local lock-holding span.
     pub beta_l: f64,
@@ -75,7 +73,7 @@ impl HoldTimes {
 
 /// Per-lock-request contention probabilities plus the request rates needed
 /// to account for collisions suffered *as a holder*.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ContentionInputs {
     /// Local request hits a lock held by another local transaction (wait).
     pub p_ll: f64,
@@ -141,7 +139,7 @@ impl ContentionInputs {
 /// Response-time estimates (and the abort structure behind them) for the
 /// six transaction kinds of Section 3.1, collapsed to local/central ×
 /// first-run/re-run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResponseEstimate {
     /// First-run response of a class A transaction run locally.
     pub r_local_first: f64,

@@ -1,103 +1,99 @@
-//! Property-based tests for the analytic model: probabilities stay
-//! probabilities, estimates stay finite and positive, and key
-//! monotonicities hold across the parameter space.
+//! Randomized (seeded, deterministic) tests for the analytic model:
+//! probabilities stay probabilities, estimates stay finite and positive,
+//! and key monotonicities hold across the parameter space.
 
 use hls_analytic::{
     estimate_route_cases, p_local_loses_as_holder, p_local_loses_as_requester, solve_static,
     Observed, SystemParams, UtilizationEstimator,
 };
-use proptest::prelude::*;
+use hls_sim::{sample_uniform, SimRng};
 
-fn arb_params() -> impl Strategy<Value = SystemParams> {
-    (
-        2usize..20,
-        0.05f64..0.95,
-        0.0f64..1.0,
-        1usize..30,
-        1.0f64..40.0,
-    )
-        .prop_map(
-            |(n_sites, p_local, comm_delay, locks, central_ratio)| SystemParams {
-                n_sites,
-                p_local,
-                comm_delay,
-                locks_per_txn: locks as f64,
-                central_mips: 1.0e6 * central_ratio,
-                lockspace: (n_sites * locks * 50) as f64,
-                ..SystemParams::paper_default()
-            },
-        )
+fn random_params(rng: &mut SimRng) -> SystemParams {
+    let n_sites = rng.random_range(2..20) as usize;
+    let locks = rng.random_range(1..30) as usize;
+    SystemParams {
+        n_sites,
+        p_local: sample_uniform(rng, 0.05, 0.95),
+        comm_delay: rng.random::<f64>(),
+        locks_per_txn: locks as f64,
+        central_mips: 1.0e6 * sample_uniform(rng, 1.0, 40.0),
+        lockspace: (n_sites * locks * 50) as f64,
+        ..SystemParams::paper_default()
+    }
 }
 
-proptest! {
-    /// Residual-order probabilities are valid probabilities and decrease
-    /// with the authentication delay.
-    #[test]
-    fn residual_probabilities_are_valid(
-        a in 0.0f64..20.0,
-        b in 0.0f64..20.0,
-        d1 in 0.0f64..5.0,
-        extra in 0.0f64..5.0,
-    ) {
-        let d2 = d1 + extra;
+/// Residual-order probabilities are valid probabilities and decrease
+/// with the authentication delay.
+#[test]
+fn residual_probabilities_are_valid() {
+    let mut rng = SimRng::seed_from_u64(0xA0A0);
+    for _ in 0..256 {
+        let a = rng.random::<f64>() * 20.0;
+        let b = rng.random::<f64>() * 20.0;
+        let d1 = rng.random::<f64>() * 5.0;
+        let d2 = d1 + rng.random::<f64>() * 5.0;
         for f in [p_local_loses_as_requester, p_local_loses_as_holder] {
             let p1 = f(a, b, d1);
             let p2 = f(a, b, d2);
-            prop_assert!((0.0..=1.0).contains(&p1));
-            prop_assert!((0.0..=1.0).contains(&p2));
-            prop_assert!(p2 <= p1 + 1e-9, "longer delay raised loss probability");
+            assert!((0.0..=1.0).contains(&p1));
+            assert!((0.0..=1.0).contains(&p2));
+            assert!(p2 <= p1 + 1e-9, "longer delay raised loss probability");
         }
     }
+}
 
-    /// The static model produces finite, internally consistent solutions at
-    /// any operating point that it declares feasible.
-    #[test]
-    fn static_solutions_are_consistent(
-        params in arb_params(),
-        lambda in 0.05f64..4.0,
-        p_ship in 0.0f64..1.0,
-    ) {
+/// The static model produces finite, internally consistent solutions at
+/// any operating point that it declares feasible.
+#[test]
+fn static_solutions_are_consistent() {
+    let mut rng = SimRng::seed_from_u64(0xA0A1);
+    for _ in 0..256 {
+        let params = random_params(&mut rng);
+        let lambda = sample_uniform(&mut rng, 0.05, 4.0);
+        let p_ship = rng.random::<f64>();
         let sol = solve_static(&params, lambda, p_ship);
-        prop_assert!(sol.rho_local >= 0.0);
-        prop_assert!(sol.rho_central >= 0.0);
+        assert!(sol.rho_local >= 0.0);
+        assert!(sol.rho_central >= 0.0);
         for p in [
             sol.estimate.p_abort_local_first,
             sol.estimate.p_abort_local_rerun,
             sol.estimate.p_abort_central_first,
             sol.estimate.p_abort_central_rerun,
         ] {
-            prop_assert!((0.0..=0.95).contains(&p), "abort prob {p} out of range");
+            assert!((0.0..=0.95).contains(&p), "abort prob {p} out of range");
         }
         if sol.feasible {
-            prop_assert!(sol.mean_response.is_finite());
-            prop_assert!(sol.mean_response > 0.0);
+            assert!(sol.mean_response.is_finite());
+            assert!(sol.mean_response > 0.0);
             // Response can never beat the zero-load nominal times.
             let floor = params
                 .nominal_local_response()
                 .min(params.nominal_central_response());
-            prop_assert!(
+            assert!(
                 sol.mean_response >= 0.9 * floor,
                 "mean {} below nominal floor {}",
                 sol.mean_response,
                 floor
             );
         } else {
-            prop_assert!(sol.mean_response.is_infinite());
+            assert!(sol.mean_response.is_infinite());
         }
     }
+}
 
-    /// Feasible mean response is non-decreasing in the arrival rate for a
-    /// fixed policy.
-    #[test]
-    fn response_monotone_in_rate(
-        params in arb_params(),
-        lambda in 0.05f64..1.0,
-        p_ship in 0.0f64..1.0,
-    ) {
+/// Feasible mean response is non-decreasing in the arrival rate for a
+/// fixed policy.
+#[test]
+fn response_monotone_in_rate() {
+    let mut rng = SimRng::seed_from_u64(0xA0A2);
+    for _ in 0..256 {
+        let params = random_params(&mut rng);
+        let lambda = sample_uniform(&mut rng, 0.05, 1.0);
+        let p_ship = rng.random::<f64>();
         let lo = solve_static(&params, lambda, p_ship);
         let hi = solve_static(&params, lambda * 1.5, p_ship);
         if lo.feasible && hi.feasible {
-            prop_assert!(
+            assert!(
                 hi.mean_response >= lo.mean_response - 1e-9,
                 "rate up, response down: {} -> {}",
                 lo.mean_response,
@@ -105,60 +101,65 @@ proptest! {
             );
         }
     }
+}
 
-    /// Dynamic route estimates are finite, positive, and respect the
-    /// utilization corrections for any observation.
-    #[test]
-    fn route_estimates_are_sane(
-        q_local in 0u32..40,
-        q_central in 0u32..40,
-        n_local in 0u32..60,
-        n_central in 0u32..200,
-        locks_local in 0u32..400,
-        locks_central in 0u32..4000,
-    ) {
+/// Dynamic route estimates are finite, positive, and respect the
+/// utilization corrections for any observation.
+#[test]
+fn route_estimates_are_sane() {
+    let mut rng = SimRng::seed_from_u64(0xA0A3);
+    for _ in 0..256 {
         let params = SystemParams::paper_default();
         let obs = Observed {
-            q_local: f64::from(q_local),
-            q_central: f64::from(q_central),
-            n_local: f64::from(n_local),
-            n_central: f64::from(n_central),
-            locks_local: f64::from(locks_local),
-            locks_central: f64::from(locks_central),
+            q_local: f64::from(rng.random_range(0..40)),
+            q_central: f64::from(rng.random_range(0..40)),
+            n_local: f64::from(rng.random_range(0..60)),
+            n_central: f64::from(rng.random_range(0..200)),
+            locks_local: f64::from(rng.random_range(0..400)),
+            locks_central: f64::from(rng.random_range(0..4000)),
         };
-        for est in [UtilizationEstimator::QueueLength, UtilizationEstimator::NumInSystem] {
+        for est in [
+            UtilizationEstimator::QueueLength,
+            UtilizationEstimator::NumInSystem,
+        ] {
             let cases = estimate_route_cases(&params, &obs, est);
             for c in [cases.run_local, cases.ship] {
-                prop_assert!(c.r_incoming.is_finite() && c.r_incoming > 0.0);
-                prop_assert!(c.r_local.is_finite() && c.r_local > 0.0);
-                prop_assert!(c.r_central.is_finite() && c.r_central > 0.0);
-                prop_assert!((0.0..=1.5).contains(&c.rho_local));
-                prop_assert!((0.0..=1.5).contains(&c.rho_central));
+                assert!(c.r_incoming.is_finite() && c.r_incoming > 0.0);
+                assert!(c.r_local.is_finite() && c.r_local > 0.0);
+                assert!(c.r_central.is_finite() && c.r_central > 0.0);
+                assert!((0.0..=1.5).contains(&c.rho_local));
+                assert!((0.0..=1.5).contains(&c.rho_central));
             }
-            prop_assert!(cases.run_local.rho_local >= cases.ship.rho_local);
-            prop_assert!(cases.ship.rho_central >= cases.run_local.rho_central);
+            assert!(cases.run_local.rho_local >= cases.ship.rho_local);
+            assert!(cases.ship.rho_central >= cases.run_local.rho_central);
             // The decision functions never panic.
             let _ = cases.prefer_ship_incoming();
             let _ = cases.prefer_ship_average(&obs);
         }
     }
+}
 
-    /// The shipped-response estimate grows with the communications delay.
-    #[test]
-    fn shipping_estimate_grows_with_delay(
-        q_local in 0u32..20,
-        q_central in 0u32..20,
-        d in 0.0f64..1.0,
-    ) {
-        let near = SystemParams { comm_delay: d, ..SystemParams::paper_default() };
-        let far = SystemParams { comm_delay: d + 0.3, ..SystemParams::paper_default() };
+/// The shipped-response estimate grows with the communications delay.
+#[test]
+fn shipping_estimate_grows_with_delay() {
+    let mut rng = SimRng::seed_from_u64(0xA0A4);
+    for _ in 0..256 {
+        let d = rng.random::<f64>();
+        let near = SystemParams {
+            comm_delay: d,
+            ..SystemParams::paper_default()
+        };
+        let far = SystemParams {
+            comm_delay: d + 0.3,
+            ..SystemParams::paper_default()
+        };
         let obs = Observed {
-            q_local: f64::from(q_local),
-            q_central: f64::from(q_central),
+            q_local: f64::from(rng.random_range(0..20)),
+            q_central: f64::from(rng.random_range(0..20)),
             ..Observed::default()
         };
         let a = estimate_route_cases(&near, &obs, UtilizationEstimator::QueueLength);
         let b = estimate_route_cases(&far, &obs, UtilizationEstimator::QueueLength);
-        prop_assert!(b.ship.r_incoming > a.ship.r_incoming);
+        assert!(b.ship.r_incoming > a.ship.r_incoming);
     }
 }

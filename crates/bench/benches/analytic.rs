@@ -1,28 +1,28 @@
 //! Microbenchmarks of the analytic model — these matter because the
 //! dynamic routers evaluate the model on every class A arrival.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hls_analytic::{
     estimate_route_cases, optimal_static_ship, solve_static, Observed, SystemParams,
     UtilizationEstimator,
 };
+use hls_bench::microbench::bench;
 use std::hint::black_box;
 
-fn bench_solve_static(c: &mut Criterion) {
+fn bench_solve_static() {
     let params = SystemParams::paper_default();
-    c.bench_function("analytic/solve_static", |b| {
-        b.iter(|| black_box(solve_static(&params, black_box(2.0), black_box(0.4))));
+    bench("analytic/solve_static", || {
+        solve_static(&params, black_box(2.0), black_box(0.4))
     });
 }
 
-fn bench_optimizer(c: &mut Criterion) {
+fn bench_optimizer() {
     let params = SystemParams::paper_default();
-    c.bench_function("analytic/optimal_static_ship_grid50", |b| {
-        b.iter(|| black_box(optimal_static_ship(&params, black_box(2.0), 50)));
+    bench("analytic/optimal_static_ship_grid50", || {
+        optimal_static_ship(&params, black_box(2.0), 50)
     });
 }
 
-fn bench_route_estimate(c: &mut Criterion) {
+fn bench_route_estimate() {
     let params = SystemParams::paper_default();
     let obs = Observed {
         q_local: 4.0,
@@ -36,16 +36,14 @@ fn bench_route_estimate(c: &mut Criterion) {
         ("queue", UtilizationEstimator::QueueLength),
         ("num", UtilizationEstimator::NumInSystem),
     ] {
-        c.bench_function(&format!("analytic/route_estimate_{name}"), |b| {
-            b.iter(|| black_box(estimate_route_cases(&params, black_box(&obs), est)));
+        bench(&format!("analytic/route_estimate_{name}"), || {
+            estimate_route_cases(&params, black_box(&obs), est)
         });
     }
 }
 
-criterion_group!(
-    benches,
-    bench_solve_static,
-    bench_optimizer,
-    bench_route_estimate
-);
-criterion_main!(benches);
+fn main() {
+    bench_solve_static();
+    bench_optimizer();
+    bench_route_estimate();
+}

@@ -1,93 +1,81 @@
 //! Microbenchmarks of the discrete-event kernel.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hls_bench::microbench::{bench, bench_with};
 use hls_sim::{Accumulator, EventQueue, FcfsServer, Job, RngStreams, SimDuration, SimTime};
 use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/schedule_pop_1k", |b| {
-        b.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..1000u64 {
-                    // Pseudo-random but deterministic times.
-                    let t = ((i.wrapping_mul(2_654_435_761)) % 10_000) as f64 / 100.0;
-                    q.schedule(SimTime::from_secs(t), i);
-                }
-                // Drain in order.
-                let mut last = SimTime::ZERO;
-                while let Some((t, e)) = q.pop() {
-                    debug_assert!(t >= last);
-                    last = t;
-                    black_box(e);
-                }
-                black_box(last)
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
-
-fn bench_server(c: &mut Criterion) {
-    c.bench_function("fcfs_server/submit_complete_1k", |b| {
-        b.iter_batched(
-            || FcfsServer::new(1.0e6),
-            |mut cpu| {
-                let mut now = SimTime::ZERO;
-                for i in 0..1000u64 {
-                    if let Some(start) = cpu.submit(now, Job::new(i, 30_000.0)) {
-                        now = start.done_at;
-                        let _ = cpu.complete(now);
-                    }
-                }
-                black_box(cpu.busy_time(now))
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
-
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng/exponential_10k", |b| {
-        let mut rng = RngStreams::new(1).stream(0);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..10_000 {
-                acc += hls_sim::sample_exponential(&mut rng, 2.0);
+fn bench_event_queue() {
+    bench_with(
+        "event_queue/schedule_pop_1k",
+        EventQueue::<u64>::new,
+        |mut q| {
+            for i in 0..1000u64 {
+                // Pseudo-random but deterministic times.
+                let t = ((i.wrapping_mul(2_654_435_761)) % 10_000) as f64 / 100.0;
+                q.schedule(SimTime::from_secs(t), i);
             }
-            black_box(acc)
-        });
+            // Drain in order.
+            let mut last = SimTime::ZERO;
+            while let Some((t, e)) = q.pop() {
+                debug_assert!(t >= last);
+                last = t;
+                black_box(e);
+            }
+            last
+        },
+    );
+}
+
+fn bench_server() {
+    bench_with(
+        "fcfs_server/submit_complete_1k",
+        || FcfsServer::new(1.0e6),
+        |mut cpu| {
+            let mut now = SimTime::ZERO;
+            for i in 0..1000u64 {
+                if let Some(start) = cpu.submit(now, Job::new(i, 30_000.0)) {
+                    now = start.done_at;
+                    let _ = cpu.complete(now);
+                }
+            }
+            cpu.busy_time(now)
+        },
+    );
+}
+
+fn bench_rng() {
+    let mut rng = RngStreams::new(1).stream(0);
+    bench("rng/exponential_10k", || {
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            acc += hls_sim::sample_exponential(&mut rng, 2.0);
+        }
+        acc
     });
 }
 
-fn bench_stats(c: &mut Criterion) {
-    c.bench_function("stats/accumulator_10k", |b| {
-        b.iter(|| {
-            let mut acc = Accumulator::new();
-            for i in 0..10_000 {
-                acc.record(f64::from(i % 97));
-            }
-            black_box((acc.mean(), acc.variance()))
-        });
+fn bench_stats() {
+    bench("stats/accumulator_10k", || {
+        let mut acc = Accumulator::new();
+        for i in 0..10_000 {
+            acc.record(f64::from(i % 97));
+        }
+        (acc.mean(), acc.variance())
     });
-    c.bench_function("stats/time_weighted_10k", |b| {
-        b.iter(|| {
-            let mut tw = hls_sim::TimeWeighted::new(SimTime::ZERO, 0.0);
-            let mut t = SimTime::ZERO;
-            for i in 0..10_000 {
-                t += SimDuration::from_secs(0.01);
-                tw.add(t, f64::from(i % 3) - 1.0);
-            }
-            black_box(tw.average(t))
-        });
+    bench("stats/time_weighted_10k", || {
+        let mut tw = hls_sim::TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut t = SimTime::ZERO;
+        for i in 0..10_000 {
+            t += SimDuration::from_secs(0.01);
+            tw.add(t, f64::from(i % 3) - 1.0);
+        }
+        tw.average(t)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_server,
-    bench_rng,
-    bench_stats
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_server();
+    bench_rng();
+    bench_stats();
+}

@@ -1,102 +1,92 @@
 //! Microbenchmarks of the lock manager.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hls_bench::microbench::bench_with;
 use hls_lockmgr::{LockId, LockMode, LockTable, OwnerId};
 use std::hint::black_box;
 
-fn bench_uncontended(c: &mut Criterion) {
-    c.bench_function("locks/request_release_100x10", |b| {
-        b.iter_batched(
-            LockTable::new,
-            |mut table| {
-                for owner in 0..100u64 {
-                    for k in 0..10u32 {
-                        table.request(
-                            OwnerId(owner),
-                            LockId(owner as u32 * 10 + k),
-                            LockMode::Exclusive,
-                        );
-                    }
-                }
-                for owner in 0..100u64 {
-                    black_box(table.release_all(OwnerId(owner)));
-                }
-                black_box(table.grants_count())
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
-
-fn bench_contended(c: &mut Criterion) {
-    c.bench_function("locks/contended_queue_churn", |b| {
-        b.iter_batched(
-            LockTable::new,
-            |mut table| {
-                // 50 owners all competing for 5 hot locks.
-                for owner in 0..50u64 {
+fn bench_uncontended() {
+    bench_with(
+        "locks/request_release_100x10",
+        LockTable::new,
+        |mut table| {
+            for owner in 0..100u64 {
+                for k in 0..10u32 {
                     table.request(
                         OwnerId(owner),
-                        LockId(owner as u32 % 5),
+                        LockId(owner as u32 * 10 + k),
                         LockMode::Exclusive,
                     );
                 }
-                for owner in 0..50u64 {
-                    black_box(table.release_all(OwnerId(owner)));
-                }
-                black_box(table.waiter_count())
-            },
-            BatchSize::SmallInput,
-        );
-    });
+            }
+            for owner in 0..100u64 {
+                black_box(table.release_all(OwnerId(owner)));
+            }
+            table.grants_count()
+        },
+    );
 }
 
-fn bench_deadlock_check(c: &mut Criterion) {
-    c.bench_function("locks/deadlock_check_chain", |b| {
-        b.iter_batched(
-            || {
-                let mut table = LockTable::new();
-                // Build a 30-owner wait chain.
-                for i in 0..30u64 {
-                    table.request(OwnerId(i), LockId(i as u32), LockMode::Exclusive);
-                }
-                for i in 1..30u64 {
-                    table.request(OwnerId(i), LockId(i as u32 - 1), LockMode::Exclusive);
-                }
-                table
-            },
-            |table| black_box(table.in_deadlock(OwnerId(29))),
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_contended() {
+    bench_with(
+        "locks/contended_queue_churn",
+        LockTable::new,
+        |mut table| {
+            // 50 owners all competing for 5 hot locks.
+            for owner in 0..50u64 {
+                table.request(
+                    OwnerId(owner),
+                    LockId(owner as u32 % 5),
+                    LockMode::Exclusive,
+                );
+            }
+            for owner in 0..50u64 {
+                black_box(table.release_all(OwnerId(owner)));
+            }
+            table.waiter_count()
+        },
+    );
 }
 
-fn bench_force_acquire(c: &mut Criterion) {
-    c.bench_function("locks/force_acquire_displace", |b| {
-        b.iter_batched(
-            || {
-                let mut table = LockTable::new();
-                for i in 0..10u64 {
-                    table.request(OwnerId(i), LockId(i as u32), LockMode::Exclusive);
-                }
-                table
-            },
-            |mut table| {
-                for i in 0..10u32 {
-                    black_box(table.force_acquire(LockId(i), OwnerId(1000), LockMode::Exclusive));
-                }
-                table
-            },
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_deadlock_check() {
+    bench_with(
+        "locks/deadlock_check_chain",
+        || {
+            let mut table = LockTable::new();
+            // Build a 30-owner wait chain.
+            for i in 0..30u64 {
+                table.request(OwnerId(i), LockId(i as u32), LockMode::Exclusive);
+            }
+            for i in 1..30u64 {
+                table.request(OwnerId(i), LockId(i as u32 - 1), LockMode::Exclusive);
+            }
+            table
+        },
+        |table| table.in_deadlock(OwnerId(29)),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_uncontended,
-    bench_contended,
-    bench_deadlock_check,
-    bench_force_acquire
-);
-criterion_main!(benches);
+fn bench_force_acquire() {
+    bench_with(
+        "locks/force_acquire_displace",
+        || {
+            let mut table = LockTable::new();
+            for i in 0..10u64 {
+                table.request(OwnerId(i), LockId(i as u32), LockMode::Exclusive);
+            }
+            table
+        },
+        |mut table| {
+            for i in 0..10u32 {
+                black_box(table.force_acquire(LockId(i), OwnerId(1000), LockMode::Exclusive));
+            }
+            table
+        },
+    );
+}
+
+fn main() {
+    bench_uncontended();
+    bench_contended();
+    bench_deadlock_check();
+    bench_force_acquire();
+}

@@ -1,9 +1,8 @@
 //! End-to-end simulator throughput: simulated transactions per wall-clock
 //! second, per routing policy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hls_bench::microbench::bench;
 use hls_core::{run_simulation, RouterSpec, SystemConfig, UtilizationEstimator};
-use std::hint::black_box;
 
 fn short_cfg() -> SystemConfig {
     SystemConfig::paper_default()
@@ -11,9 +10,7 @@ fn short_cfg() -> SystemConfig {
         .with_horizon(40.0, 8.0)
 }
 
-fn bench_routers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation");
-    group.sample_size(10);
+fn bench_routers() {
     for (name, spec) in [
         ("no_sharing", RouterSpec::NoSharing),
         ("static", RouterSpec::Static { p_ship: 0.4 }),
@@ -31,25 +28,21 @@ fn bench_routers(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run_simulation(short_cfg(), spec).expect("valid")));
+        bench(&format!("simulation/{name}"), || {
+            run_simulation(short_cfg(), spec).expect("valid")
         });
     }
-    group.finish();
 }
 
-fn bench_contended(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation_contended");
-    group.sample_size(10);
-    group.bench_function("small_lockspace", |b| {
-        b.iter(|| {
-            let mut cfg = short_cfg();
-            cfg.params.lockspace = 1024.0;
-            black_box(run_simulation(cfg, RouterSpec::Static { p_ship: 0.5 }).expect("valid"))
-        });
+fn bench_contended() {
+    bench("simulation_contended/small_lockspace", || {
+        let mut cfg = short_cfg();
+        cfg.params.lockspace = 1024.0;
+        run_simulation(cfg, RouterSpec::Static { p_ship: 0.5 }).expect("valid")
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_routers, bench_contended);
-criterion_main!(benches);
+fn main() {
+    bench_routers();
+    bench_contended();
+}

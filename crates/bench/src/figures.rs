@@ -7,8 +7,8 @@
 
 use hls_analytic::solve_static;
 use hls_core::{
-    optimal_static_spec, run_simulation, HybridSystem, RouterSpec, RunMetrics, SystemConfig,
-    UtilizationEstimator,
+    optimal_static_spec, run_simulation, FaultSchedule, HybridSystem, RouterSpec, RunMetrics,
+    SystemConfig, UtilizationEstimator,
 };
 
 use crate::report::{Figure, Series};
@@ -515,7 +515,7 @@ pub fn ablation_ploc(profile: &Profile) -> Figure {
 /// for class B — the alternative the paper flags but does not analyze
 /// ("potentially, these transactions could be run at a local site, making
 /// remote function calls to the central site"). Reproduces the intro's
-/// [DIAS87] claim: with ~10 remote calls per transaction, function
+/// \[DIAS87\] claim: with ~10 remote calls per transaction, function
 /// shipping loses badly.
 #[must_use]
 pub fn ablation_remote_calls(profile: &Profile) -> Figure {
@@ -608,6 +608,72 @@ pub fn oscillation_trace(profile: &Profile) -> Figure {
         fig.push(Series::new(
             format!("{label}:q_local"),
             samples.iter().map(|p| (p.at, p.q_local_mean)).collect(),
+        ));
+    }
+    fig
+}
+
+/// Availability (extension): a fault schedule downs site 0 for the middle
+/// third of the measurement window at every offered rate. Without load
+/// sharing the site's class A arrivals are rejected for the duration;
+/// the failure-aware dynamic router ships them to the central replica
+/// instead — the availability argument that motivates the hybrid
+/// architecture. Reports the rejected/failed-over arrival counts and the
+/// downtime-weighted mean response of each scheme.
+#[must_use]
+pub fn availability_outage(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "availability_outage",
+        "Site-0 outage for 1/3 of the window: rejections vs central failover",
+        "offered rate (tps)",
+        "arrivals (count) / response in outage (s)",
+    );
+    let from = profile.warmup + (profile.sim_time - profile.warmup) / 3.0;
+    let to = profile.warmup + 2.0 * (profile.sim_time - profile.warmup) / 3.0;
+    let schemes: [(&str, RouterSpec, bool); 2] = [
+        ("none", RouterSpec::NoSharing, false),
+        ("failover-dynamic", best_dynamic(), true),
+    ];
+    for (label, spec, failure_aware) in schemes {
+        let points = parallel_map(&profile.rates, |&rate| {
+            let mut cfg = profile.base(0.2).with_total_rate(rate);
+            cfg.fault_schedule = FaultSchedule::empty().site_outage(0, from, to);
+            cfg.failure_aware = failure_aware;
+            run_simulation(cfg, spec).expect("valid")
+        });
+        fig.push(Series::new(
+            format!("{label}:rejected-a"),
+            profile
+                .rates
+                .iter()
+                .zip(&points)
+                .map(|(&r, m)| (r, m.availability.rejected_class_a as f64))
+                .collect(),
+        ));
+        fig.push(Series::new(
+            format!("{label}:shipped-failover"),
+            profile
+                .rates
+                .iter()
+                .zip(&points)
+                .map(|(&r, m)| (r, m.availability.failover_shipped as f64))
+                .collect(),
+        ));
+        fig.push(Series::new(
+            format!("{label}:rt-in-outage"),
+            profile
+                .rates
+                .iter()
+                .zip(&points)
+                .map(|(&r, m)| {
+                    (
+                        r,
+                        m.availability
+                            .mean_response_during_outage
+                            .unwrap_or(f64::INFINITY),
+                    )
+                })
+                .collect(),
         ));
     }
     fig

@@ -1,0 +1,88 @@
+//! A minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! The container this repo builds in has no network access, so external
+//! benchmark frameworks are unavailable; this module provides the small
+//! slice of that functionality the microbenchmarks need: warm-up, batched
+//! timing, and a stable one-line report per benchmark.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Times `f` and prints a one-line report.
+///
+/// `f` is run once for warm-up, then repeatedly until at least
+/// `TARGET` (200 ms) of wall-clock time has accumulated; the reported
+/// figure is
+/// the mean time per iteration. The closure's return value is passed
+/// through [`black_box`] so its computation cannot be optimized away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm-up; also forces lazy initialization
+    let mut iters = 0u64;
+    let mut elapsed = Duration::ZERO;
+    let mut batch = 1u64;
+    while elapsed < TARGET {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        elapsed += start.elapsed();
+        iters += batch;
+        batch = batch.saturating_mul(2).min(1 << 20);
+    }
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    println!(
+        "{name:<45} {:>12} /iter ({iters} iters)",
+        format_time(per_iter)
+    );
+}
+
+/// Times `f` over fresh inputs built by `setup`, excluding setup time.
+///
+/// The analogue of "batched" benchmarking: each timed call consumes a new
+/// value from `setup`, so benchmarks may mutate or drop their input.
+pub fn bench_with<S, T>(name: &str, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> T) {
+    black_box(f(setup())); // warm-up
+    let mut iters = 0u64;
+    let mut elapsed = Duration::ZERO;
+    while elapsed < TARGET {
+        let input = setup();
+        let start = Instant::now();
+        black_box(f(input));
+        elapsed += start.elapsed();
+        iters += 1;
+    }
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    println!(
+        "{name:<45} {:>12} /iter ({iters} iters)",
+        format_time(per_iter)
+    );
+}
+
+/// Renders a duration in seconds with an adaptive unit.
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_time_picks_sane_units() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(2.5e-3), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 µs");
+        assert_eq!(format_time(2.5e-9), "2.5 ns");
+    }
+}

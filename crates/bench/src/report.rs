@@ -1,9 +1,7 @@
 //! Figure data structures and rendering.
 
-use serde::{Deserialize, Serialize};
-
 /// One curve of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Curve label (e.g. a routing-policy name).
     pub label: String,
@@ -12,7 +10,6 @@ pub struct Series {
     /// Optional symmetric error half-widths (e.g. 95% confidence
     /// half-widths from replicated runs), one per point. Rendered as an
     /// extra `<label>_ci95half` CSV column and as SVG error bars.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub errors: Option<Vec<f64>>,
 }
 
@@ -60,7 +57,7 @@ impl Series {
 /// assert!(fig.to_csv().starts_with("rate,no-sharing"));
 /// assert!(fig.to_svg().starts_with("<svg"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Identifier matching the paper (e.g. `"fig4_1"`).
     pub id: String,

@@ -1,8 +1,8 @@
 //! Simulation configuration.
 
 use hls_analytic::SystemParams;
+use hls_faults::FaultSchedule;
 use hls_workload::{RateProfile, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// How class B (non-local data) transactions are executed.
 ///
@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// however, we do not analyze this possibility here." [`ClassBMode::RemoteCalls`]
 /// implements that unanalyzed alternative: the transaction stays at its
 /// origin and performs one central round trip per database call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClassBMode {
     /// Ship the whole transaction to the central complex (the paper).
     #[default]
@@ -27,7 +27,7 @@ pub enum ClassBMode {
 /// ("in the case of a contention that leads into a deadlock the
 /// transaction is aborted"); the alternatives are classic DBMS victim
 /// policies provided as extensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DeadlockVictim {
     /// Abort the requester that closed the cycle (the paper's rule).
     #[default]
@@ -54,7 +54,7 @@ pub enum DeadlockVictim {
 /// assert_eq!(cfg.params.n_sites, 10);
 /// cfg.validate().unwrap();
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Physical parameters (sites, MIPS, delays, pathlengths, I/O times).
     pub params: SystemParams,
@@ -85,6 +85,19 @@ pub struct SystemConfig {
     pub deadlock_victim: DeadlockVictim,
     /// Execution mode for class B transactions.
     pub class_b_mode: ClassBMode,
+    /// Deterministic fault-injection schedule. The default (empty) schedule
+    /// leaves the simulation bit-identical to a fault-free build.
+    pub fault_schedule: FaultSchedule,
+    /// When `true`, routing is failure-aware: class A fails over to the
+    /// central complex while its site is down (and runs locally while the
+    /// central complex is unreachable), and class B retries with backoff
+    /// instead of being rejected outright.
+    pub failure_aware: bool,
+    /// Delay before a class B transaction blocked by an unreachable central
+    /// complex is retried, seconds (failure-aware mode only).
+    pub fault_retry_backoff: f64,
+    /// Retries granted to such a transaction before it is rejected.
+    pub fault_max_retries: u32,
 }
 
 impl SystemConfig {
@@ -106,7 +119,19 @@ impl SystemConfig {
             async_batch_window: None,
             deadlock_victim: DeadlockVictim::default(),
             class_b_mode: ClassBMode::default(),
+            fault_schedule: FaultSchedule::empty(),
+            failure_aware: false,
+            fault_retry_backoff: 1.0,
+            fault_max_retries: 3,
         }
+    }
+
+    /// Sets the fault-injection schedule and enables failure-aware routing.
+    #[must_use]
+    pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
+        self.fault_schedule = schedule;
+        self.failure_aware = true;
+        self
     }
 
     /// Sets the per-site arrival rate (transactions/second).
@@ -204,6 +229,12 @@ impl SystemConfig {
                 return Err("async_batch_window must be positive and finite".into());
             }
         }
+        self.fault_schedule
+            .validate(self.params.n_sites)
+            .map_err(|e| format!("fault schedule: {e}"))?;
+        if !(self.fault_retry_backoff > 0.0 && self.fault_retry_backoff.is_finite()) {
+            return Err("fault_retry_backoff must be positive and finite".into());
+        }
         Ok(())
     }
 }
@@ -266,9 +297,24 @@ mod tests {
         let mut c = base.clone();
         c.async_batch_window = Some(0.0);
         assert!(c.validate().is_err());
-        let mut c = base;
+        let mut c = base.clone();
         c.arrival_profile = RateProfile::Constant(0.0);
         assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.fault_schedule = FaultSchedule::empty().site_outage(99, 1.0, 2.0);
+        assert!(c.validate().unwrap_err().contains("fault schedule"));
+        let mut c = base;
+        c.fault_retry_backoff = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_faults_sets_schedule_and_enables_failover() {
+        let cfg = SystemConfig::paper_default()
+            .with_faults(FaultSchedule::empty().site_outage(0, 10.0, 20.0));
+        assert!(cfg.failure_aware);
+        assert_eq!(cfg.fault_schedule.len(), 2);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

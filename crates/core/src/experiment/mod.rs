@@ -23,7 +23,6 @@ pub use seed::{derive_seed, splitmix64, strategy_tag, NO_RATE_INDEX};
 pub use stats::MetricSummary;
 
 use hls_analytic::optimal_static_ship;
-use serde::{Deserialize, Serialize};
 
 use crate::config::SystemConfig;
 use crate::error::ConfigError;
@@ -32,7 +31,7 @@ use crate::router::RouterSpec;
 use crate::system::run_simulation;
 
 /// One point of a throughput sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Total offered arrival rate (transactions/second, summed over sites).
     pub total_rate: f64,
@@ -198,7 +197,7 @@ pub fn summarize(runs: &[RunMetrics], f: impl Fn(&RunMetrics) -> f64) -> MetricS
 }
 
 /// Options for confidence-targeted replication.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CiOptions {
     /// Worker threads; `0` = all cores.
     pub jobs: usize,
@@ -228,7 +227,7 @@ impl Default for CiOptions {
 
 /// Result of [`replicate_ci`]: the replications that were run plus the
 /// across-replication summary of the mean response.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CiRun {
     /// All replication results, in replication order.
     pub runs: Vec<RunMetrics>,
@@ -290,7 +289,7 @@ pub fn replicate_ci(
 
 /// One point of a confidence-reported sweep: every metric of interest
 /// summarized across replications.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CiSweepPoint {
     /// Total offered arrival rate.
     pub total_rate: f64,

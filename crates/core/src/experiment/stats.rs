@@ -6,7 +6,6 @@
 //! duplicating the math.
 
 use hls_sim::{t_critical_95, Accumulator};
-use serde::{Deserialize, Serialize};
 
 /// Mean, variance, and 95% Student-t confidence half-width of one metric
 /// across independent replications.
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// // t(2) = 4.303, s.d. = 2 => half-width 4.303 * 2 / sqrt(3)
 /// assert!((s.half_width_95.unwrap() - 4.968).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricSummary {
     /// Number of replications.
     pub n: u64,
@@ -79,8 +78,7 @@ impl MetricSummary {
     pub fn meets_relative_target(&self, target: f64) -> bool {
         match self.half_width_95 {
             None => false,
-            Some(h) if h == 0.0 => true,
-            Some(_) => self.relative_half_width().is_some_and(|r| r <= target),
+            Some(h) => h == 0.0 || self.relative_half_width().is_some_and(|r| r <= target),
         }
     }
 }

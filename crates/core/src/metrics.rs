@@ -1,10 +1,9 @@
 //! Measurement collection and run-level results.
 
 use hls_sim::{Accumulator, BatchMeans, Histogram, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Abort counters, by victim and cause.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AbortCounts {
     /// Local class A transactions aborted by a committed shipped/central
     /// transaction's authentication phase.
@@ -33,6 +32,42 @@ impl AbortCounts {
     }
 }
 
+/// Availability counters produced by the fault-injection layer.
+///
+/// Every field is exactly zero (and the outage mean absent) when the fault
+/// schedule is empty, so fault-free runs are unchanged by this machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AvailabilityMetrics {
+    /// Class A arrivals turned away because the components they needed
+    /// were down.
+    pub rejected_class_a: u64,
+    /// Class B arrivals turned away (after exhausting retries, if
+    /// failure-aware).
+    pub rejected_class_b: u64,
+    /// Transactions killed by a local-site crash.
+    pub crash_aborts_site: u64,
+    /// Transactions killed by a central-complex crash.
+    pub crash_aborts_central: u64,
+    /// Class A arrivals shipped centrally because their site was down.
+    pub failover_shipped: u64,
+    /// Class A arrivals forced local because the central complex was
+    /// unreachable.
+    pub failover_local: u64,
+    /// Class B retry attempts scheduled while the central complex was
+    /// unreachable.
+    pub retries: u64,
+    /// Messages held in store-and-forward buffers by link/endpoint
+    /// failures (each message counted once per deferral).
+    pub deferred_messages: u64,
+    /// Summed component downtime (site + central outages) overlapping the
+    /// measurement window, seconds.
+    pub downtime_secs: f64,
+    /// Mean response time of transactions whose lifetime overlapped a
+    /// fault window — the downtime-weighted counterpart of
+    /// [`RunMetrics::mean_response`].
+    pub mean_response_during_outage: Option<f64>,
+}
+
 /// In-run metrics collector. Observations before the warm-up boundary are
 /// discarded.
 #[derive(Debug, Clone)]
@@ -43,12 +78,14 @@ pub struct MetricsCollector {
     rt_local_a: Accumulator,
     rt_shipped_a: Accumulator,
     rt_class_b: Accumulator,
+    rt_outage: Accumulator,
     reruns: Accumulator,
     lock_wait: Accumulator,
     arrivals: u64,
     routed_local_a: u64,
     routed_shipped_a: u64,
     pub(crate) aborts: AbortCounts,
+    avail: AvailabilityMetrics,
 }
 
 impl MetricsCollector {
@@ -62,12 +99,14 @@ impl MetricsCollector {
             rt_local_a: Accumulator::new(),
             rt_shipped_a: Accumulator::new(),
             rt_class_b: Accumulator::new(),
+            rt_outage: Accumulator::new(),
             reruns: Accumulator::new(),
             lock_wait: Accumulator::new(),
             arrivals: 0,
             routed_local_a: 0,
             routed_shipped_a: 0,
             aborts: AbortCounts::default(),
+            avail: AvailabilityMetrics::default(),
         }
     }
 
@@ -150,6 +189,22 @@ impl MetricsCollector {
         }
     }
 
+    /// Records an availability event (rejection, crash kill, failover,
+    /// retry, deferral), counted only after warm-up.
+    pub fn on_availability(&mut self, now: SimTime, f: impl FnOnce(&mut AvailabilityMetrics)) {
+        if self.measuring(now) {
+            f(&mut self.avail);
+        }
+    }
+
+    /// Records the response time of a completion whose lifetime overlapped
+    /// a fault window (in addition to its normal per-class recording).
+    pub fn on_outage_response(&mut self, now: SimTime, rt: SimDuration) {
+        if self.measuring(now) {
+            self.rt_outage.record(rt.as_secs());
+        }
+    }
+
     /// Finalizes into run-level metrics over `[warmup, end]`.
     ///
     /// # Panics
@@ -162,11 +217,17 @@ impl MetricsCollector {
         rho_local: f64,
         rho_central: f64,
         messages: u64,
+        downtime_secs: f64,
     ) -> RunMetrics {
         let window = (end - self.warmup).as_secs();
         assert!(window > 0.0, "measurement window is empty");
         let completions = self.rt_all.count();
         let routed_a = self.routed_local_a + self.routed_shipped_a;
+        let availability = AvailabilityMetrics {
+            downtime_secs,
+            mean_response_during_outage: mean_of(&self.rt_outage),
+            ..self.avail
+        };
         RunMetrics {
             window_secs: window,
             arrivals: self.arrivals,
@@ -190,6 +251,7 @@ impl MetricsCollector {
             rho_central,
             messages,
             messages_by_kind: Vec::new(),
+            availability,
         }
     }
 }
@@ -199,7 +261,7 @@ fn mean_of(acc: &Accumulator) -> Option<f64> {
 }
 
 /// Results of one simulation run, measured after warm-up.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Measurement window length, seconds.
     pub window_secs: f64,
@@ -238,6 +300,8 @@ pub struct RunMetrics {
     pub messages: u64,
     /// Message counts by protocol-message kind (sorted by kind name).
     pub messages_by_kind: Vec<(String, u64)>,
+    /// Fault-injection availability counters (all zero without faults).
+    pub availability: AvailabilityMetrics,
 }
 
 #[cfg(test)]
@@ -258,11 +322,14 @@ mod tests {
         m.on_local_a_done(t(5.0), d(1.0), 0, 0.0);
         m.on_route_class_a(t(5.0), true);
         m.on_abort(t(5.0), |a| a.deadlock_local += 1);
-        let r = m.finalize(t(20.0), 0.5, 0.2, 7);
+        m.on_availability(t(5.0), |a| a.rejected_class_b += 1);
+        m.on_outage_response(t(5.0), d(1.0));
+        let r = m.finalize(t(20.0), 0.5, 0.2, 7, 0.0);
         assert_eq!(r.arrivals, 0);
         assert_eq!(r.completions, 0);
         assert_eq!(r.shipped_fraction, 0.0);
         assert_eq!(r.aborts.total(), 0);
+        assert_eq!(r.availability, AvailabilityMetrics::default());
     }
 
     #[test]
@@ -274,7 +341,7 @@ mod tests {
         m.on_route_class_a(t(12.0), true);
         m.on_local_a_done(t(13.0), d(2.0), 0, 0.25);
         m.on_shipped_a_done(t(14.0), d(4.0), 1, 0.75);
-        let r = m.finalize(t(20.0), 0.5, 0.2, 7);
+        let r = m.finalize(t(20.0), 0.5, 0.2, 7, 0.0);
         assert_eq!(r.arrivals, 2);
         assert_eq!(r.completions, 2);
         assert_eq!(r.mean_response, 3.0);
@@ -301,9 +368,27 @@ mod tests {
     }
 
     #[test]
+    fn availability_counters_survive_finalize() {
+        let mut m = MetricsCollector::new(t(10.0));
+        m.on_availability(t(11.0), |a| {
+            a.rejected_class_a += 2;
+            a.crash_aborts_site += 1;
+            a.failover_shipped += 3;
+        });
+        m.on_outage_response(t(12.0), d(4.0));
+        m.on_outage_response(t(13.0), d(6.0));
+        let r = m.finalize(t(20.0), 0.5, 0.2, 7, 2.5);
+        assert_eq!(r.availability.rejected_class_a, 2);
+        assert_eq!(r.availability.crash_aborts_site, 1);
+        assert_eq!(r.availability.failover_shipped, 3);
+        assert_eq!(r.availability.downtime_secs, 2.5);
+        assert_eq!(r.availability.mean_response_during_outage, Some(5.0));
+    }
+
+    #[test]
     #[should_panic(expected = "window")]
     fn empty_window_panics() {
         let m = MetricsCollector::new(t(10.0));
-        let _ = m.finalize(t(10.0), 0.0, 0.0, 0);
+        let _ = m.finalize(t(10.0), 0.0, 0.0, 0, 0.0);
     }
 }

@@ -2,7 +2,6 @@
 //! complex, and the state snapshots piggybacked on them.
 
 use hls_lockmgr::{LockId, LockMode};
-use serde::{Deserialize, Serialize};
 
 /// A snapshot of the central complex's state, piggybacked on every message
 /// it sends to a local site. This is the only channel through which
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// ablation is enabled): "the information of the queue length at the
 /// central site is delayed, and is only updated during authentication of a
 /// centrally running transaction".
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CentralSnapshot {
     /// CPU queue length, including the job in service.
     pub q_cpu: usize,

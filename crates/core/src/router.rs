@@ -10,10 +10,7 @@ use std::fmt;
 use hls_analytic::{
     estimate_route_cases, heuristic_utilizations, Observed, SystemParams, UtilizationEstimator,
 };
-use hls_sim::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use hls_sim::{SimDuration, SimRng, SimTime};
 
 use crate::txn::Route;
 
@@ -30,7 +27,7 @@ pub struct RouteCtx<'a> {
     /// Physical system parameters.
     pub params: &'a SystemParams,
     /// Dedicated routing RNG stream (used by probabilistic policies).
-    pub rng: &'a mut StdRng,
+    pub rng: &'a mut SimRng,
 }
 
 /// A load-sharing routing policy.
@@ -69,7 +66,7 @@ pub trait Router: fmt::Debug {
 /// assert_eq!(spec.label(), "min-average(n)");
 /// let _router = spec.build(10);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RouterSpec {
     /// Run every class A transaction locally (the no-load-sharing
     /// baseline of Figure 4.1).
@@ -342,12 +339,111 @@ impl Router for SmoothedMinAverage {
     }
 }
 
+/// What the failure-aware layer decided for an arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAwareDecision {
+    /// Execute now on the given route.
+    Run(Route),
+    /// The central complex is unreachable; try again after a backoff
+    /// (class B under failure-aware routing).
+    Retry,
+    /// Every component the transaction needs is down — turn it away.
+    Reject,
+}
+
+/// Wraps the configured routing strategy with component-availability
+/// awareness.
+///
+/// With both the local site and the central complex reachable, the wrapper
+/// is transparent: it delegates to the inner strategy, drawing from the
+/// same RNG stream, so fault-free runs are bit-identical with or without
+/// it. During an outage it overrides the strategy:
+///
+/// * class A with its **site down** fails over to the central complex
+///   (when `failover` is enabled; rejected otherwise);
+/// * class A with the **central complex unreachable** runs locally
+///   (without failover the inner strategy still decides, and a `Central`
+///   choice is rejected — modelling a router that is oblivious to
+///   failures);
+/// * class B with the central complex unreachable retries with backoff
+///   (with failover) or is rejected;
+/// * with **both down**, arrivals are rejected.
+#[derive(Debug)]
+pub struct FailureAwareRouter {
+    inner: Box<dyn Router>,
+    failover: bool,
+}
+
+impl FailureAwareRouter {
+    /// Wraps `inner`; `failover` enables the availability overrides.
+    #[must_use]
+    pub fn new(inner: Box<dyn Router>, failover: bool) -> Self {
+        FailureAwareRouter { inner, failover }
+    }
+
+    /// Routes a class A arrival given which components are reachable.
+    pub fn decide_class_a(
+        &mut self,
+        ctx: &mut RouteCtx<'_>,
+        local_ok: bool,
+        central_ok: bool,
+    ) -> FaultAwareDecision {
+        match (local_ok, central_ok) {
+            (true, true) => FaultAwareDecision::Run(self.inner.decide(ctx)),
+            (false, true) => {
+                if self.failover {
+                    FaultAwareDecision::Run(Route::Central)
+                } else {
+                    FaultAwareDecision::Reject
+                }
+            }
+            (true, false) => {
+                if self.failover {
+                    FaultAwareDecision::Run(Route::Local)
+                } else {
+                    // A failure-oblivious strategy still decides (same RNG
+                    // draws as ever); shipping into the outage fails.
+                    match self.inner.decide(ctx) {
+                        Route::Local => FaultAwareDecision::Run(Route::Local),
+                        Route::Central => FaultAwareDecision::Reject,
+                    }
+                }
+            }
+            (false, false) => FaultAwareDecision::Reject,
+        }
+    }
+
+    /// Routes a class B arrival. `ok` is whether every component it needs
+    /// is reachable (the central complex; plus the origin site in
+    /// remote-calls mode); `retries_left` is whether its retry budget
+    /// allows another backoff.
+    pub fn decide_class_b(&mut self, ok: bool, retries_left: bool) -> FaultAwareDecision {
+        if ok {
+            FaultAwareDecision::Run(Route::Central)
+        } else if self.failover && retries_left {
+            FaultAwareDecision::Retry
+        } else {
+            FaultAwareDecision::Reject
+        }
+    }
+
+    /// Forwards a local class A completion to the inner strategy.
+    pub fn on_local_completion(&mut self, site: usize, response: SimDuration) {
+        self.inner.on_local_completion(site, response);
+    }
+
+    /// Forwards a shipped class A completion to the inner strategy.
+    pub fn on_shipped_completion(&mut self, site: usize, response: SimDuration) {
+        self.inner.on_shipped_completion(site, response);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hls_sim::RngStreams;
 
-    fn ctx<'a>(params: &'a SystemParams, rng: &'a mut StdRng, obs: Observed) -> RouteCtx<'a> {
+    fn ctx<'a>(params: &'a SystemParams, rng: &'a mut SimRng, obs: Observed) -> RouteCtx<'a> {
         RouteCtx {
             now: SimTime::ZERO,
             site: 0,
@@ -550,6 +646,101 @@ mod tests {
             scale: 0.0,
         }
         .build(10);
+    }
+
+    #[test]
+    fn failure_aware_is_transparent_when_everything_is_up() {
+        let params = SystemParams::paper_default();
+        let mut rng_a = RngStreams::new(11).stream(0);
+        let mut rng_b = RngStreams::new(11).stream(0);
+        let spec = RouterSpec::Static { p_ship: 0.5 };
+        let mut plain = spec.build(10);
+        let mut wrapped = FailureAwareRouter::new(spec.build(10), true);
+        for _ in 0..200 {
+            let direct = plain.decide(&mut ctx(&params, &mut rng_a, Observed::default()));
+            let via = wrapped.decide_class_a(
+                &mut ctx(&params, &mut rng_b, Observed::default()),
+                true,
+                true,
+            );
+            assert_eq!(via, FaultAwareDecision::Run(direct));
+        }
+    }
+
+    #[test]
+    fn failure_aware_overrides_during_outages() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(12).stream(0);
+        let mut r = FailureAwareRouter::new(RouterSpec::NoSharing.build(10), true);
+        // Site down: class A fails over to the central complex.
+        assert_eq!(
+            r.decide_class_a(
+                &mut ctx(&params, &mut rng, Observed::default()),
+                false,
+                true
+            ),
+            FaultAwareDecision::Run(Route::Central)
+        );
+        // Central down: class A runs locally, class B backs off.
+        assert_eq!(
+            r.decide_class_a(
+                &mut ctx(&params, &mut rng, Observed::default()),
+                true,
+                false
+            ),
+            FaultAwareDecision::Run(Route::Local)
+        );
+        assert_eq!(r.decide_class_b(false, true), FaultAwareDecision::Retry);
+        assert_eq!(r.decide_class_b(false, false), FaultAwareDecision::Reject);
+        assert_eq!(
+            r.decide_class_b(true, true),
+            FaultAwareDecision::Run(Route::Central)
+        );
+        // Both down: nothing can run.
+        assert_eq!(
+            r.decide_class_a(
+                &mut ctx(&params, &mut rng, Observed::default()),
+                false,
+                false
+            ),
+            FaultAwareDecision::Reject
+        );
+    }
+
+    #[test]
+    fn failure_oblivious_wrapper_rejects_instead_of_rerouting() {
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(13).stream(0);
+        let mut r = FailureAwareRouter::new(RouterSpec::Static { p_ship: 1.0 }.build(10), false);
+        // Site down, no failover: rejected outright.
+        assert_eq!(
+            r.decide_class_a(
+                &mut ctx(&params, &mut rng, Observed::default()),
+                false,
+                true
+            ),
+            FaultAwareDecision::Reject
+        );
+        // Central down and the oblivious strategy insists on shipping.
+        assert_eq!(
+            r.decide_class_a(
+                &mut ctx(&params, &mut rng, Observed::default()),
+                true,
+                false
+            ),
+            FaultAwareDecision::Reject
+        );
+        assert_eq!(r.decide_class_b(false, true), FaultAwareDecision::Reject);
+        // A local-preferring strategy still runs locally.
+        let mut local = FailureAwareRouter::new(RouterSpec::NoSharing.build(10), false);
+        assert_eq!(
+            local.decide_class_a(
+                &mut ctx(&params, &mut rng, Observed::default()),
+                true,
+                false
+            ),
+            FaultAwareDecision::Run(Route::Local)
+        );
     }
 
     #[test]

@@ -14,22 +14,26 @@
 //! * deadlock detection with abort-and-rerun,
 //! * CPU scheduling (FCFS, released on I/O, lock waits and communication),
 //!   fixed-delay FIFO links, and delayed central-state snapshots for the
-//!   routing strategies.
+//!   routing strategies,
+//! * deterministic fault injection ([`hls_faults`]): site and central
+//!   crashes (volatile lock tables lost, resident transactions killed,
+//!   durable queues replayed on recovery), link outages with store-and-
+//!   forward deferral, and failure-aware routing overrides.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use hls_analytic::Observed;
+use hls_faults::FaultKind;
 use hls_lockmgr::{Grant, LockId, LockMode, LockTable, OwnerId, RequestOutcome};
 use hls_net::{Envelope, NodeId, StarNetwork};
-use hls_sim::{EventQueue, Job, MultiServer, RngStreams, SimDuration, SimTime};
-use hls_workload::{ArrivalProcess, TxnClass, TxnGenerator};
-use rand::rngs::StdRng;
+use hls_sim::{EventKey, EventQueue, Job, MultiServer, RngStreams, SimDuration, SimRng, SimTime};
+use hls_workload::{ArrivalProcess, TxnClass, TxnGenerator, TxnSpec};
 
 use crate::config::{ClassBMode, SystemConfig};
 use crate::error::ConfigError;
 use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::msg::{CentralSnapshot, Msg};
-use crate::router::{RouteCtx, Router, RouterSpec};
+use crate::router::{FailureAwareRouter, FaultAwareDecision, RouteCtx, RouterSpec};
 use crate::trace::{Trace, TraceEvent};
 use crate::txn::{Phase, Route, Txn};
 
@@ -85,9 +89,27 @@ enum Ev {
     FlushAsync {
         site: usize,
     },
+    /// A scheduled fault transition (site/central/link state change).
+    Fault(FaultKind),
+    /// A class B arrival retrying after the central complex was found
+    /// unreachable (failure-aware mode).
+    RetryShip {
+        spec: TxnSpec,
+        site: usize,
+        arrival: SimTime,
+        attempt: u32,
+    },
+    /// A deadlock victim restarting after its jittered backoff.
+    Rerun {
+        txn: u64,
+    },
     Sample,
     EndWarmup,
 }
+
+/// A message buffered store-and-forward by a link outage, with its
+/// original endpoints and piggybacked central-state snapshot.
+type DeferredSend = (NodeId, NodeId, Msg, Option<CentralSnapshot>);
 
 #[derive(Debug)]
 struct SiteState {
@@ -176,11 +198,11 @@ pub struct HybridSystem {
     central: CentralState,
     txns: HashMap<u64, Txn>,
     jobs: HashMap<u64, JobKind>,
-    router: Box<dyn Router>,
+    router: FailureAwareRouter,
     generator: TxnGenerator,
     arrivals: Vec<ArrivalProcess>,
-    site_rngs: Vec<StdRng>,
-    route_rng: StdRng,
+    site_rngs: Vec<SimRng>,
+    route_rng: SimRng,
     next_txn: u64,
     next_job: u64,
     next_write: u64,
@@ -189,6 +211,26 @@ pub struct HybridSystem {
     end: SimTime,
     trace: Option<Trace>,
     samples: Option<(f64, Vec<SamplePoint>)>,
+    /// Per-site DBMS availability (faults only; all `true` otherwise).
+    site_up: Vec<bool>,
+    /// Central-complex availability.
+    central_up: bool,
+    /// Number of currently open fault windows (marks `during_outage`).
+    active_faults: usize,
+    /// Cancellation keys for the in-service jobs' `CpuDone` events, so a
+    /// crash can drain a CPU without leaving dangling completions.
+    cpu_keys: HashMap<u64, EventKey>,
+    /// Store-and-forward buffers, one per site link, for messages sent
+    /// while the link is down; flushed in order on link recovery.
+    deferred_links: Vec<VecDeque<DeferredSend>>,
+    /// Messages that arrived at a crashed site; replayed in arrival order
+    /// on recovery.
+    deferred_site: Vec<VecDeque<(Msg, Option<CentralSnapshot>)>>,
+    /// Messages that arrived at the crashed central complex.
+    deferred_central: VecDeque<(Msg, Option<CentralSnapshot>)>,
+    /// Asynchronous-update applications interrupted by a central crash;
+    /// resubmitted on recovery (their messages were already consumed).
+    central_replay: Vec<JobKind>,
 }
 
 impl HybridSystem {
@@ -231,7 +273,7 @@ impl HybridSystem {
         let end = SimTime::from_secs(cfg.sim_time);
         let net = StarNetwork::new(n, SimDuration::from_secs(cfg.params.comm_delay));
         Ok(HybridSystem {
-            router: router.build(n),
+            router: FailureAwareRouter::new(router.build(n), cfg.failure_aware),
             generator,
             arrivals,
             site_rngs: (0..n).map(|i| streams.stream(i as u64)).collect(),
@@ -250,6 +292,14 @@ impl HybridSystem {
             end,
             trace: None,
             samples: None,
+            site_up: vec![true; n],
+            central_up: true,
+            active_faults: 0,
+            cpu_keys: HashMap::new(),
+            deferred_links: (0..n).map(|_| VecDeque::new()).collect(),
+            deferred_site: (0..n).map(|_| VecDeque::new()).collect(),
+            deferred_central: VecDeque::new(),
+            central_replay: Vec::new(),
             cfg,
         })
     }
@@ -364,6 +414,13 @@ impl HybridSystem {
         }
         self.queue
             .schedule(SimTime::from_secs(self.cfg.warmup), Ev::EndWarmup);
+        // Fault transitions are ordinary simulation events. An empty
+        // schedule adds nothing to the queue, keeping the run bit-identical
+        // to a fault-free build.
+        for fault in self.cfg.fault_schedule.events().to_vec() {
+            self.queue
+                .schedule(SimTime::from_secs(fault.at), Ev::Fault(fault.kind));
+        }
 
         while let Some(t) = self.queue.peek_time() {
             if t >= self.end {
@@ -389,6 +446,20 @@ impl HybridSystem {
             Ev::IoDone { txn } => self.on_io_done(now, txn),
             Ev::MsgArrive { to, msg, snap } => self.on_msg(now, to, msg, snap),
             Ev::FlushAsync { site } => self.flush_async(now, site),
+            Ev::Fault(kind) => self.on_fault(now, kind),
+            Ev::RetryShip {
+                spec,
+                site,
+                arrival,
+                attempt,
+            } => self.admit(now, site, spec, arrival, attempt),
+            Ev::Rerun { txn } => {
+                // The victim may have been killed by a crash while backing
+                // off.
+                if self.txns.contains_key(&txn) {
+                    self.start_call_cpu(now, txn);
+                }
+            }
             Ev::Sample => self.on_sample(now),
             Ev::EndWarmup => self.on_end_warmup(now),
         }
@@ -432,9 +503,53 @@ impl HybridSystem {
 
         let spec = self.generator.generate(&mut self.site_rngs[site], site);
         self.metrics.on_arrival(now);
+        self.admit(now, site, spec, now, 0);
+    }
+
+    /// Admits a (possibly retried) arrival: decides route / retry / reject
+    /// under the current component availability and dispatches it. With
+    /// everything up this reduces exactly to the fault-free path.
+    fn admit(&mut self, now: SimTime, site: usize, spec: TxnSpec, arrival: SimTime, attempt: u32) {
+        let local_ok = self.site_up[site];
+        let central_ok = self.central_up && self.net.link_is_up(site);
+        let remote_mode = self.cfg.class_b_mode == ClassBMode::RemoteCalls;
 
         let route = if spec.class == TxnClass::B {
-            Route::Central
+            let ok = central_ok && (!remote_mode || local_ok);
+            match self
+                .router
+                .decide_class_b(ok, attempt < self.cfg.fault_max_retries)
+            {
+                FaultAwareDecision::Run(route) => route,
+                FaultAwareDecision::Retry => {
+                    let next_attempt = attempt + 1;
+                    self.metrics.on_availability(now, |a| a.retries += 1);
+                    self.trace(now, || TraceEvent::RetryScheduled {
+                        site,
+                        attempt: next_attempt,
+                    });
+                    let at = now + SimDuration::from_secs(self.cfg.fault_retry_backoff);
+                    self.queue.schedule(
+                        at,
+                        Ev::RetryShip {
+                            spec,
+                            site,
+                            arrival,
+                            attempt: next_attempt,
+                        },
+                    );
+                    return;
+                }
+                FaultAwareDecision::Reject => {
+                    self.metrics
+                        .on_availability(now, |a| a.rejected_class_b += 1);
+                    self.trace(now, || TraceEvent::Rejected {
+                        site,
+                        class: TxnClass::B,
+                    });
+                    return;
+                }
+            }
         } else {
             let obs = self.observe(site);
             let mut ctx = RouteCtx {
@@ -444,16 +559,42 @@ impl HybridSystem {
                 params: &self.cfg.params,
                 rng: &mut self.route_rng,
             };
-            let route = self.router.decide(&mut ctx);
-            self.metrics.on_route_class_a(now, route == Route::Central);
-            route
+            match self.router.decide_class_a(&mut ctx, local_ok, central_ok) {
+                FaultAwareDecision::Run(route) => {
+                    self.metrics.on_route_class_a(now, route == Route::Central);
+                    route
+                }
+                FaultAwareDecision::Retry => unreachable!("class A never retries"),
+                FaultAwareDecision::Reject => {
+                    self.metrics
+                        .on_availability(now, |a| a.rejected_class_a += 1);
+                    self.trace(now, || TraceEvent::Rejected {
+                        site,
+                        class: TxnClass::A,
+                    });
+                    return;
+                }
+            }
         };
+
+        // Failure-aware overrides of the configured strategy.
+        let failover = self.cfg.failure_aware && (!local_ok || !central_ok);
+        if failover {
+            self.metrics.on_availability(now, |a| {
+                if local_ok {
+                    a.failover_local += 1;
+                } else {
+                    a.failover_shipped += 1;
+                }
+            });
+        }
 
         let id = self.next_txn;
         self.next_txn += 1;
         let class = spec.class;
-        let mut txn = Txn::new(id, spec, route, now);
-        if class == TxnClass::B && self.cfg.class_b_mode == ClassBMode::RemoteCalls {
+        let mut txn = Txn::new(id, spec, route, arrival);
+        txn.during_outage = self.active_faults > 0;
+        if class == TxnClass::B && remote_mode {
             // The transaction stays at the origin: it starts with its setup
             // I/O rather than terminal-message forwarding.
             txn.remote_calls = true;
@@ -466,6 +607,9 @@ impl HybridSystem {
             class,
             route,
         });
+        if failover {
+            self.trace(now, || TraceEvent::Failover { txn: id, route });
+        }
 
         match route {
             Route::Local => {
@@ -474,6 +618,17 @@ impl HybridSystem {
             }
             Route::Central if self.txns[&id].remote_calls => {
                 self.schedule_io(now, id, self.cfg.params.setup_io);
+            }
+            Route::Central if !local_ok => {
+                // The site's DBMS is down but its terminal front-end still
+                // forwards: ship without the origin CPU burst.
+                self.txns.get_mut(&id).expect("txn").phase = Phase::InTransit;
+                self.send(
+                    now,
+                    NodeId::local(site as u32),
+                    NodeId::CENTRAL,
+                    Msg::ShipTxn { txn: id },
+                );
             }
             Route::Central => {
                 let instr = self.cfg.params.ship_origin_instr + self.cfg.params.ship_msg_instr;
@@ -524,26 +679,29 @@ impl HybridSystem {
         self.next_job += 1;
         self.jobs.insert(job_id, kind);
         if let Some(start) = self.cpu_of(loc).submit(now, Job::new(job_id, instr)) {
-            self.queue.schedule(
+            let key = self.queue.schedule_keyed(
                 start.done_at,
                 Ev::CpuDone {
                     loc,
                     job: start.job_id,
                 },
             );
+            self.cpu_keys.insert(start.job_id, key);
         }
     }
 
     fn on_cpu_done(&mut self, now: SimTime, loc: Locale, job_id: u64) {
+        self.cpu_keys.remove(&job_id);
         let (job, next) = self.cpu_of(loc).complete(now, job_id);
         if let Some(start) = next {
-            self.queue.schedule(
+            let key = self.queue.schedule_keyed(
                 start.done_at,
                 Ev::CpuDone {
                     loc,
                     job: start.job_id,
                 },
             );
+            self.cpu_keys.insert(start.job_id, key);
         }
         let kind = self.jobs.remove(&job.id).expect("unknown CPU job");
         match kind {
@@ -577,6 +735,11 @@ impl HybridSystem {
     }
 
     fn txn_cpu_done(&mut self, now: SimTime, id: u64, loc: Locale) {
+        // A crash may have killed the transaction while this burst was on a
+        // surviving CPU; the work is wasted.
+        if !self.txns.contains_key(&id) {
+            return;
+        }
         let phase = self.txns[&id].phase;
         match phase {
             Phase::OriginMsgCpu => {
@@ -608,7 +771,10 @@ impl HybridSystem {
     }
 
     fn on_io_done(&mut self, now: SimTime, id: u64) {
-        let txn = self.txns.get_mut(&id).expect("I/O done for unknown txn");
+        // Crash victims' pending I/O completions fire harmlessly.
+        let Some(txn) = self.txns.get_mut(&id) else {
+            return;
+        };
         match txn.phase {
             Phase::SetupIo => {
                 txn.phase = Phase::InitCpu;
@@ -737,7 +903,16 @@ impl HybridSystem {
                 .expect("victim")
                 .begin_rerun(true);
             self.resume_grants(now, &grants, loc);
-            self.start_call_cpu(now, victim);
+            // Restart after a short jittered backoff rather than
+            // immediately: with deterministic service times an immediate
+            // restart can trap a fixed set of conflicting transactions in
+            // a periodic abort/rerun orbit that never commits anything.
+            // The jitter is derived purely from the run seed, the victim
+            // and its attempt count, so runs stay bit-identical for any
+            // thread count.
+            let backoff = self.deadlock_backoff(victim, loc);
+            self.queue
+                .schedule(now + backoff, Ev::Rerun { txn: victim });
             if victim == requester {
                 return;
             }
@@ -763,6 +938,24 @@ impl HybridSystem {
                     .expect("non-empty cycle")
             }
         }
+    }
+
+    /// Deterministic restart delay for a deadlock victim: up to one
+    /// database-call service time at the victim's locale, jittered by a
+    /// hash of `(seed, victim, attempts)` so consecutive reruns of the
+    /// same transaction desynchronize from their conflict partners.
+    fn deadlock_backoff(&self, victim: u64, loc: Locale) -> SimDuration {
+        let p = &self.cfg.params;
+        let mips = match loc {
+            Locale::Site(_) => p.local_mips,
+            Locale::Central => p.central_mips,
+        };
+        let attempts = u64::from(self.txns[&victim].attempts);
+        let h = crate::experiment::splitmix64(
+            self.cfg.seed ^ victim.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (attempts << 32),
+        );
+        let frac = (h % 1024) as f64 / 1024.0;
+        SimDuration::from_secs(p.db_call_instr / mips * frac)
     }
 
     fn after_lock_granted(&mut self, now: SimTime, id: u64) {
@@ -934,10 +1127,18 @@ impl HybridSystem {
         });
         self.metrics
             .on_local_a_done(now, rt, attempts, txn.lock_wait_total);
+        if txn.during_outage {
+            self.metrics.on_outage_response(now, rt);
+        }
         self.router.on_local_completion(site, rt);
     }
 
     fn flush_async(&mut self, now: SimTime, site: usize) {
+        // A crashed site keeps its durable update queue for the catch-up
+        // replay on recovery.
+        if !self.site_up[site] {
+            return;
+        }
         let writes = std::mem::take(&mut self.sites[site].async_buffer);
         if !writes.is_empty() {
             self.trace(now, || TraceEvent::AsyncSent {
@@ -1033,6 +1234,11 @@ impl HybridSystem {
         site: usize,
         locks: &[(LockId, LockMode)],
     ) {
+        // A crash may have killed the requester while this burst was
+        // queued; don't seize locks for the dead.
+        if !self.txns.contains_key(&id) {
+            return;
+        }
         // Coherence check: any in-flight asynchronous update on the
         // requested elements forces a negative acknowledgement.
         let positive = {
@@ -1071,7 +1277,11 @@ impl HybridSystem {
 
     fn on_auth_reply(&mut self, now: SimTime, id: u64, positive: bool) {
         let resolved = {
-            let txn = self.txns.get_mut(&id).expect("auth reply for unknown txn");
+            // The transaction may have been killed by a crash while the
+            // reply was in flight.
+            let Some(txn) = self.txns.get_mut(&id) else {
+                return;
+            };
             debug_assert_eq!(txn.phase, Phase::AuthWait);
             txn.auth_pending -= 1;
             if !positive {
@@ -1133,6 +1343,7 @@ impl HybridSystem {
             let grants = self.central.locks.release_all(owner);
             self.resume_grants(now, &grants, Locale::Central);
             self.central.n_txns -= 1;
+            self.txns.get_mut(&id).expect("txn").in_central_count = false;
             for site in &sites {
                 let site_writes: Vec<(LockId, u64)> = writes
                     .iter()
@@ -1180,10 +1391,12 @@ impl HybridSystem {
     fn resume_grants(&mut self, now: SimTime, grants: &[Grant], loc: Locale) {
         for g in grants {
             let id = g.owner.0;
-            debug_assert!(
-                self.txns.contains_key(&id),
-                "lock granted to unknown transaction"
-            );
+            // A grant can surface for a transaction a crash just killed
+            // (the cascade of its fellow victims' releases); skip it — its
+            // own release follows in the same crash handler.
+            if !self.txns.contains_key(&id) {
+                continue;
+            }
             debug_assert_eq!(
                 self.txns[&id].phase,
                 Phase::LockWait,
@@ -1203,20 +1416,67 @@ impl HybridSystem {
         // Every message from the central complex carries a state snapshot
         // for the routing strategies.
         let snap = from.is_central().then(|| self.central_snapshot());
-        let Envelope { deliver_at, .. } = self.net.send(now, from, to, ());
-        self.queue
-            .schedule(deliver_at, Ev::MsgArrive { to, msg, snap });
+        self.deliver(now, from, to, msg, snap);
+    }
+
+    /// Puts a message on its link, or into the link's store-and-forward
+    /// buffer while the link is down (flushed in order on recovery).
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: Msg,
+        snap: Option<CentralSnapshot>,
+    ) {
+        match self.net.try_send(now, from, to, ()) {
+            Ok(Envelope { deliver_at, .. }) => {
+                self.queue
+                    .schedule(deliver_at, Ev::MsgArrive { to, msg, snap });
+            }
+            Err(()) => {
+                let site = if from.is_central() {
+                    to.local_index()
+                } else {
+                    from.local_index()
+                };
+                self.metrics
+                    .on_availability(now, |a| a.deferred_messages += 1);
+                self.deferred_links[site].push_back((from, to, msg, snap));
+            }
+        }
     }
 
     fn on_msg(&mut self, now: SimTime, to: NodeId, msg: Msg, snap: Option<CentralSnapshot>) {
+        // Messages reaching a crashed node wait, in arrival order, for its
+        // recovery.
+        let destination_up = if to.is_central() {
+            self.central_up
+        } else {
+            self.site_up[to.local_index()]
+        };
+        if !destination_up {
+            self.metrics
+                .on_availability(now, |a| a.deferred_messages += 1);
+            if to.is_central() {
+                self.deferred_central.push_back((msg, snap));
+            } else {
+                self.deferred_site[to.local_index()].push_back((msg, snap));
+            }
+            return;
+        }
         if let (false, Some(s)) = (to.is_central(), snap) {
             self.sites[to.local_index()].latest_central = s;
         }
         match msg {
             Msg::ShipTxn { txn } => {
                 debug_assert!(to.is_central());
+                let Some(t) = self.txns.get_mut(&txn) else {
+                    return;
+                };
+                t.phase = Phase::SetupIo;
+                t.in_central_count = true;
                 self.central.n_txns += 1;
-                self.txns.get_mut(&txn).expect("shipped txn").phase = Phase::SetupIo;
                 self.schedule_io(now, txn, self.cfg.params.setup_io);
             }
             Msg::AsyncUpdate { from, writes } => {
@@ -1231,7 +1491,12 @@ impl HybridSystem {
             Msg::AsyncAck { locks } => {
                 let site = to.local_index();
                 for l in locks {
-                    self.sites[site].locks.decr_coherence(l);
+                    // A crash clears the volatile lock table (and its
+                    // coherence counts); ignore acknowledgements of
+                    // pre-crash updates.
+                    if self.sites[site].locks.coherence(l) > 0 {
+                        self.sites[site].locks.decr_coherence(l);
+                    }
                 }
             }
             Msg::AuthRequest { txn, locks } => {
@@ -1261,11 +1526,11 @@ impl HybridSystem {
             Msg::RemoteCallReq { txn } => {
                 debug_assert!(to.is_central());
                 {
-                    let t = self
-                        .txns
-                        .get_mut(&txn)
-                        .expect("remote call for unknown txn");
+                    let Some(t) = self.txns.get_mut(&txn) else {
+                        return;
+                    };
                     if t.call_idx == 0 && !t.is_rerun() {
+                        t.in_central_count = true;
                         self.central.n_txns += 1;
                     }
                 }
@@ -1273,11 +1538,17 @@ impl HybridSystem {
             }
             Msg::RemoteCallResp { txn } => {
                 debug_assert!(!to.is_central());
-                self.origin_issue_call(now, txn);
+                if self.txns.contains_key(&txn) {
+                    self.origin_issue_call(now, txn);
+                }
             }
             Msg::Reply { txn } => {
                 let site = to.local_index();
-                let t = self.txns.remove(&txn).expect("reply for unknown txn");
+                // The origin's transaction record is gone if a crash killed
+                // it while the reply was in flight.
+                let Some(t) = self.txns.remove(&txn) else {
+                    return;
+                };
                 let rt = now - t.arrival;
                 let (class, attempts) = (t.class(), t.attempts);
                 self.trace(now, || TraceEvent::Completion {
@@ -1298,8 +1569,226 @@ impl HybridSystem {
                             .on_class_b_done(now, rt, attempts, t.lock_wait_total);
                     }
                 }
+                if t.during_outage {
+                    self.metrics.on_outage_response(now, rt);
+                }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn on_fault(&mut self, now: SimTime, kind: FaultKind) {
+        self.trace(now, || TraceEvent::Fault {
+            what: kind.to_string(),
+        });
+        match kind {
+            FaultKind::SiteDown { site } => {
+                self.fault_began();
+                self.site_up[site] = false;
+                self.crash_site(now, site);
+            }
+            FaultKind::SiteUp { site } => {
+                self.fault_ended();
+                self.site_up[site] = true;
+                self.recover_site(now, site);
+            }
+            FaultKind::CentralDown => {
+                self.fault_began();
+                self.central_up = false;
+                self.crash_central(now);
+            }
+            FaultKind::CentralUp => {
+                self.fault_ended();
+                self.central_up = true;
+                self.recover_central(now);
+            }
+            FaultKind::LinkDown { site } => {
+                self.fault_began();
+                self.net.set_link_up(site, false);
+            }
+            FaultKind::LinkUp { site } => {
+                self.fault_ended();
+                self.net.set_link_up(site, true);
+                let queued = std::mem::take(&mut self.deferred_links[site]);
+                for (from, to, msg, snap) in queued {
+                    self.deliver(now, from, to, msg, snap);
+                }
+            }
+            FaultKind::LinkDegraded { site, factor } => {
+                self.fault_began();
+                self.net.set_slow_factor(site, factor);
+            }
+            FaultKind::LinkRestored { site } => {
+                self.fault_ended();
+                self.net.set_slow_factor(site, 1.0);
+            }
+        }
+    }
+
+    /// A fault window opened: everything currently in flight overlaps it.
+    fn fault_began(&mut self) {
+        self.active_faults += 1;
+        for t in self.txns.values_mut() {
+            t.during_outage = true;
+        }
+    }
+
+    fn fault_ended(&mut self) {
+        self.active_faults = self.active_faults.saturating_sub(1);
+    }
+
+    /// A local site's DBMS crashes: the CPU loses its work, the volatile
+    /// lock table (and its coherence counts) is cleared, and every
+    /// transaction anchored at the site is killed. Durable state — the
+    /// master store and the queued asynchronous updates — survives for
+    /// recovery.
+    fn crash_site(&mut self, now: SimTime, s: usize) {
+        // Dispose of the work on the CPU and cancel the completions that
+        // will never happen.
+        let evicted = self.sites[s].cpu.drain(now);
+        let mut failed_auths = Vec::new();
+        for job in evicted {
+            if let Some(key) = self.cpu_keys.remove(&job.id) {
+                self.queue.cancel(key);
+            }
+            match self.jobs.remove(&job.id).expect("drained unknown job") {
+                // Its transaction is killed below.
+                JobKind::TxnPhase(_) => {}
+                // The central complex detects the lost request as a
+                // negative acknowledgement (synthesized after the kills).
+                JobKind::AuthProcess { txn, .. } => failed_auths.push(txn),
+                // The commit is already durable centrally; treat the write
+                // application as redo-logged.
+                JobKind::ApplyCommit { writes, .. } => {
+                    for (l, stamp) in writes {
+                        self.sites[s].store.insert(l, stamp);
+                    }
+                }
+                JobKind::ApplyAsync { .. } => unreachable!("ApplyAsync at a local site"),
+            }
+        }
+        // Kill every transaction anchored at the site: locals, remote-call
+        // transactions from it, and shipped ones still in origin
+        // processing. (Sorted: map iteration order must not leak into
+        // results.)
+        let mut victims: Vec<u64> = self
+            .txns
+            .values()
+            .filter(|t| {
+                t.spec.origin == s
+                    && (t.route == Route::Local || t.remote_calls || t.phase == Phase::OriginMsgCpu)
+            })
+            .map(|t| t.id)
+            .collect();
+        victims.sort_unstable();
+        for id in victims {
+            self.crash_kill(now, id, false);
+        }
+        // The volatile lock table is lost.
+        self.sites[s].locks = LockTable::new();
+        self.sites[s].n_txns = 0;
+        for txn in failed_auths {
+            if self.txns.contains_key(&txn) {
+                self.on_auth_reply(now, txn, false);
+            }
+        }
+    }
+
+    /// A recovered site first replays its durable asynchronous-update
+    /// queue (resynchronizing the central replica), then processes the
+    /// traffic that arrived while it was down, in arrival order.
+    fn recover_site(&mut self, now: SimTime, s: usize) {
+        self.flush_async(now, s);
+        let queued = std::mem::take(&mut self.deferred_site[s]);
+        for (msg, snap) in queued {
+            self.on_msg(now, NodeId::local(s as u32), msg, snap);
+        }
+    }
+
+    /// The central complex crashes: resident transactions are killed (the
+    /// seizures they hold at master sites are released), the central lock
+    /// table is cleared, and interrupted asynchronous-update applications
+    /// are queued durably for replay. Shipped transactions still on the
+    /// wire or at their origin survive — their messages wait for recovery.
+    fn crash_central(&mut self, now: SimTime) {
+        let evicted = self.central.cpu.drain(now);
+        for job in evicted {
+            if let Some(key) = self.cpu_keys.remove(&job.id) {
+                self.queue.cancel(key);
+            }
+            match self.jobs.remove(&job.id).expect("drained unknown job") {
+                JobKind::TxnPhase(_) => {}
+                kind @ JobKind::ApplyAsync { .. } => self.central_replay.push(kind),
+                JobKind::AuthProcess { .. } | JobKind::ApplyCommit { .. } => {
+                    unreachable!("site-side job at the central complex")
+                }
+            }
+        }
+        let mut victims: Vec<u64> = self
+            .txns
+            .values()
+            .filter(|t| t.in_central_count)
+            .map(|t| t.id)
+            .collect();
+        victims.sort_unstable();
+        for id in victims {
+            self.crash_kill(now, id, true);
+        }
+        self.central.locks = LockTable::new();
+        debug_assert_eq!(self.central.n_txns, 0, "central crash left residents");
+    }
+
+    /// Recovery: interrupted update applications restart first (their
+    /// messages were consumed before the crash), then deferred traffic in
+    /// arrival order — preserving per-site FIFO application.
+    fn recover_central(&mut self, now: SimTime) {
+        let replay = std::mem::take(&mut self.central_replay);
+        for kind in replay {
+            self.submit_cpu(
+                now,
+                Locale::Central,
+                kind,
+                self.cfg.params.async_update_instr,
+            );
+        }
+        let queued = std::mem::take(&mut self.deferred_central);
+        for (msg, snap) in queued {
+            self.on_msg(now, NodeId::CENTRAL, msg, snap);
+        }
+    }
+
+    /// Removes a crash victim, releasing whatever it holds in the
+    /// surviving lock tables (crashed tables are cleared wholesale).
+    fn crash_kill(&mut self, now: SimTime, id: u64, central_cause: bool) {
+        let txn = self.txns.remove(&id).expect("crash victim");
+        let owner = OwnerId(id);
+        // Locks seized at master sites during authentication.
+        for &a in &txn.auth_sites {
+            if self.site_up[a] {
+                let grants = self.sites[a].locks.release_all(owner);
+                self.resume_grants(now, &grants, Locale::Site(a));
+            }
+        }
+        // Locks held or awaited at the central complex (if it survives).
+        if self.central_up && txn.route == Route::Central {
+            let grants = self.central.locks.release_all(owner);
+            self.resume_grants(now, &grants, Locale::Central);
+        }
+        if txn.in_central_count {
+            self.central.n_txns -= 1;
+        }
+        let route = txn.route;
+        self.metrics.on_availability(now, |a| {
+            if central_cause {
+                a.crash_aborts_central += 1;
+            } else {
+                a.crash_aborts_site += 1;
+            }
+        });
+        self.trace(now, || TraceEvent::CrashAbort { txn: id, route });
     }
 
     // ------------------------------------------------------------------
@@ -1332,9 +1821,17 @@ impl HybridSystem {
             .map(|(&k, &v)| (k.to_string(), v))
             .collect();
         by_kind.sort();
-        let mut m =
-            self.metrics
-                .finalize(self.end, rho_local, rho_central, self.net.messages_sent());
+        let downtime = self
+            .cfg
+            .fault_schedule
+            .downtime_within(self.cfg.warmup, self.cfg.sim_time);
+        let mut m = self.metrics.finalize(
+            self.end,
+            rho_local,
+            rho_central,
+            self.net.messages_sent(),
+            downtime,
+        );
         m.messages_by_kind = by_kind;
         m
     }

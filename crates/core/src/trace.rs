@@ -92,6 +92,42 @@ pub enum TraceEvent {
         /// `true` = commit fan-out; `false` = re-execution.
         committed: bool,
     },
+    /// A scheduled fault transition fired (site/central/link state change).
+    Fault {
+        /// Human-readable transition, e.g. `site 3 down`.
+        what: String,
+    },
+    /// A transaction was killed by a component crash (not a protocol
+    /// abort: its locks were released and it will not re-run).
+    CrashAbort {
+        /// The killed transaction.
+        txn: u64,
+        /// Where it was running.
+        route: Route,
+    },
+    /// An arrival was turned away because the components it needed were
+    /// down (and failure-aware routing could not help or was disabled).
+    Rejected {
+        /// Originating site.
+        site: usize,
+        /// Class A or B.
+        class: TxnClass,
+    },
+    /// Failure-aware routing overrode the configured strategy.
+    Failover {
+        /// The rerouted transaction.
+        txn: u64,
+        /// Where it was sent instead.
+        route: Route,
+    },
+    /// A class B arrival found the central complex unreachable and was
+    /// scheduled for a later retry (failure-aware mode).
+    RetryScheduled {
+        /// Originating site.
+        site: usize,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
     /// A completion reply reached the origin site.
     Completion {
         /// The completed transaction.

@@ -2,10 +2,9 @@
 
 use hls_sim::SimTime;
 use hls_workload::{TxnClass, TxnSpec};
-use serde::{Deserialize, Serialize};
 
 /// Where a transaction executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Route {
     /// At its originating local site (class A only).
     Local,
@@ -76,6 +75,13 @@ pub struct Txn {
     pub wait_since: SimTime,
     /// Total time spent blocked on locks across all attempts.
     pub lock_wait_total: f64,
+    /// Whether this transaction is counted in the central complex's
+    /// transactions-in-system tally (so a central crash can decrement it
+    /// exactly once).
+    pub in_central_count: bool,
+    /// Set when any scheduled fault window overlapped the transaction's
+    /// lifetime — its response time also feeds the outage-period average.
+    pub during_outage: bool,
 }
 
 impl Txn {
@@ -102,6 +108,8 @@ impl Txn {
             remote_calls: false,
             wait_since: arrival,
             lock_wait_total: 0.0,
+            in_central_count: false,
+            during_outage: false,
         }
     }
 

@@ -13,7 +13,7 @@ use hls_core::{
     derive_seed, replicate_jobs, run_simulation, strategy_tag, sweep_rates_jobs,
     sweep_rates_static_jobs, RouterSpec, SystemConfig, UtilizationEstimator, NO_RATE_INDEX,
 };
-use proptest::prelude::*;
+use hls_sim::SimRng;
 
 /// Every routing policy, including both estimators where they differ.
 fn all_specs() -> Vec<RouterSpec> {
@@ -180,38 +180,53 @@ fn parallel_speedup_on_multicore() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Distinct grid coordinates never collide on a derived seed — the
-    /// property that makes "replication k" and "rate i" statistically
-    /// independent streams.
-    #[test]
-    fn derived_seeds_are_collision_free(
-        base in any::<u64>(),
-        a in (0u64..64, 0u64..16, 0u64..64),
-        b in (0u64..64, 0u64..16, 0u64..64),
-    ) {
-        prop_assume!(a != b);
-        let seed = |(rate, strat, rep): (u64, u64, u64)| derive_seed(base, rate, strat, rep);
-        prop_assert_ne!(seed(a), seed(b));
+/// Distinct grid coordinates never collide on a derived seed — the
+/// property that makes "replication k" and "rate i" statistically
+/// independent streams. Seeded randomized sweep over many bases plus an
+/// exhaustive pass over a full coordinate grid for a handful of bases.
+#[test]
+fn derived_seeds_are_collision_free() {
+    let mut rng = SimRng::seed_from_u64(0xC011_1DE5);
+    for _ in 0..64 {
+        let base = rng.random::<u64>();
+        let mut seen = std::collections::HashMap::new();
+        for rate in 0..16u64 {
+            for strat in 0..8u64 {
+                for rep in 0..16u64 {
+                    let seed = derive_seed(base, rate, strat, rep);
+                    if let Some(prev) = seen.insert(seed, (rate, strat, rep)) {
+                        panic!(
+                            "seed collision under base {base:#x}: \
+                             {prev:?} and {:?} both map to {seed:#x}",
+                            (rate, strat, rep)
+                        );
+                    }
+                }
+            }
+        }
     }
+}
 
-    /// Strategy tags separate every policy the sweep grid can hold,
-    /// including parameterized variants that differ only in their floats.
-    #[test]
-    fn strategy_tags_distinguish_parameterized_specs(
-        p1 in 0.0f64..=1.0,
-        p2 in 0.0f64..=1.0,
-    ) {
-        prop_assume!(p1 != p2);
-        prop_assert_ne!(
+/// Strategy tags separate every policy the sweep grid can hold,
+/// including parameterized variants that differ only in their floats.
+#[test]
+fn strategy_tags_distinguish_parameterized_specs() {
+    let mut rng = SimRng::seed_from_u64(0x7A65);
+    for _ in 0..256 {
+        let p1 = rng.random::<f64>();
+        let p2 = rng.random::<f64>();
+        if p1 == p2 {
+            continue;
+        }
+        assert_ne!(
             strategy_tag(&RouterSpec::Static { p_ship: p1 }),
-            strategy_tag(&RouterSpec::Static { p_ship: p2 })
+            strategy_tag(&RouterSpec::Static { p_ship: p2 }),
+            "Static tags collided for p_ship {p1} vs {p2}"
         );
-        prop_assert_ne!(
+        assert_ne!(
             strategy_tag(&RouterSpec::UtilizationThreshold { threshold: p1 }),
-            strategy_tag(&RouterSpec::UtilizationThreshold { threshold: p2 })
+            strategy_tag(&RouterSpec::UtilizationThreshold { threshold: p2 }),
+            "UtilizationThreshold tags collided for {p1} vs {p2}"
         );
     }
 }

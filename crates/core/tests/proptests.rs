@@ -1,91 +1,104 @@
-//! Property-based tests of the end-to-end simulator: determinism and
-//! conservation laws over randomized configurations.
+//! Randomized (seeded, deterministic) tests of the end-to-end simulator:
+//! determinism and conservation laws over randomized configurations.
 
 use hls_core::{run_simulation, RouterSpec, SystemConfig, UtilizationEstimator};
-use proptest::prelude::*;
+use hls_sim::{sample_uniform, SimRng};
 
-fn arb_router() -> impl Strategy<Value = RouterSpec> {
-    prop_oneof![
-        Just(RouterSpec::NoSharing),
-        (0.0f64..=1.0).prop_map(|p_ship| RouterSpec::Static { p_ship }),
-        Just(RouterSpec::MeasuredResponse),
-        Just(RouterSpec::QueueLength),
-        (-0.3f64..0.3).prop_map(|threshold| RouterSpec::UtilizationThreshold { threshold }),
-        Just(RouterSpec::MinIncoming {
-            estimator: UtilizationEstimator::QueueLength
-        }),
-        Just(RouterSpec::MinAverage {
-            estimator: UtilizationEstimator::NumInSystem
-        }),
-    ]
+fn random_router(rng: &mut SimRng) -> RouterSpec {
+    match rng.random_range(0..7) {
+        0 => RouterSpec::NoSharing,
+        1 => RouterSpec::Static {
+            p_ship: rng.random::<f64>(),
+        },
+        2 => RouterSpec::MeasuredResponse,
+        3 => RouterSpec::QueueLength,
+        4 => RouterSpec::UtilizationThreshold {
+            threshold: sample_uniform(rng, -0.3, 0.3),
+        },
+        5 => RouterSpec::MinIncoming {
+            estimator: UtilizationEstimator::QueueLength,
+        },
+        _ => RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    }
 }
 
-fn arb_config() -> impl Strategy<Value = SystemConfig> {
-    (
-        2usize..6,       // sites (small for speed)
-        0.2f64..1.8,     // per-site rate
-        0.3f64..1.0,     // p_local
-        0.0f64..0.6,     // comm delay
-        0.3f64..1.0,     // write fraction
-        any::<u64>(),    // seed
-        prop::bool::ANY, // instantaneous state
-    )
-        .prop_map(
-            |(n_sites, rate, p_local, delay, write_fraction, seed, instantaneous)| {
-                let mut cfg = SystemConfig::paper_default()
-                    .with_site_rate(rate)
-                    .with_seed(seed)
-                    .with_comm_delay(delay)
-                    .with_horizon(40.0, 8.0);
-                cfg.params.n_sites = n_sites;
-                cfg.params.p_local = p_local;
-                cfg.write_fraction = write_fraction;
-                cfg.instantaneous_state = instantaneous;
-                cfg
-            },
-        )
+fn random_config(rng: &mut SimRng) -> SystemConfig {
+    let n_sites = rng.random_range(2..6) as usize; // small for speed
+    let rate = sample_uniform(rng, 0.2, 1.8);
+    let p_local = sample_uniform(rng, 0.3, 1.0);
+    let delay = sample_uniform(rng, 0.0, 0.6);
+    let write_fraction = sample_uniform(rng, 0.3, 1.0);
+    let seed = rng.random::<u64>();
+    let instantaneous = rng.random_range(0..2) == 0;
+    let mut cfg = SystemConfig::paper_default()
+        .with_site_rate(rate)
+        .with_seed(seed)
+        .with_comm_delay(delay)
+        .with_horizon(40.0, 8.0);
+    cfg.params.n_sites = n_sites;
+    cfg.params.p_local = p_local;
+    cfg.write_fraction = write_fraction;
+    cfg.instantaneous_state = instantaneous;
+    cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any (config, router) pair runs to completion without panicking,
-    /// conserves transactions, and produces sane measurements.
-    #[test]
-    fn simulator_is_total_and_conservative(cfg in arb_config(), router in arb_router()) {
+/// Any (config, router) pair runs to completion without panicking,
+/// conserves transactions, and produces sane measurements.
+#[test]
+fn simulator_is_total_and_conservative() {
+    let mut rng = SimRng::seed_from_u64(0xC0DE_0001);
+    for _ in 0..24 {
+        let cfg = random_config(&mut rng);
+        let router = random_router(&mut rng);
         let m = run_simulation(cfg.clone(), router).expect("valid random config");
         // Conservation: completions can exceed arrivals only by warm-up
         // carry-over, and can lag only by the in-flight population.
         let slack = 40 + (cfg.params.n_sites * 20) as i64;
         let diff = m.completions as i64 - m.arrivals as i64;
-        prop_assert!(diff.abs() <= slack, "arrivals {} completions {}", m.arrivals, m.completions);
-        prop_assert!(m.mean_response >= 0.0);
-        prop_assert!((0.0..=1.0).contains(&m.shipped_fraction));
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&m.rho_local));
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&m.rho_central));
+        assert!(
+            diff.abs() <= slack,
+            "arrivals {} completions {}",
+            m.arrivals,
+            m.completions
+        );
+        assert!(m.mean_response >= 0.0);
+        assert!((0.0..=1.0).contains(&m.shipped_fraction));
+        assert!((0.0..=1.0 + 1e-9).contains(&m.rho_local));
+        assert!((0.0..=1.0 + 1e-9).contains(&m.rho_central));
         if m.completions > 0 {
-            prop_assert!(m.mean_response > 0.0);
+            assert!(m.mean_response > 0.0);
             // Nothing can finish faster than its unexpanded service path.
             let floor = cfg.params.setup_io + cfg.params.io_per_call;
-            prop_assert!(m.mean_response > floor);
+            assert!(m.mean_response > floor);
         }
     }
+}
 
-    /// Bit-identical determinism for every router under random configs.
-    #[test]
-    fn simulator_is_deterministic(cfg in arb_config(), router in arb_router()) {
+/// Bit-identical determinism for every router under random configs.
+#[test]
+fn simulator_is_deterministic() {
+    let mut rng = SimRng::seed_from_u64(0xC0DE_0002);
+    for _ in 0..12 {
+        let cfg = random_config(&mut rng);
+        let router = random_router(&mut rng);
         let a = run_simulation(cfg.clone(), router).expect("valid");
         let b = run_simulation(cfg, router).expect("valid");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Read-only workloads never abort, under any router.
-    #[test]
-    fn read_only_never_aborts(cfg in arb_config(), router in arb_router()) {
-        let mut cfg = cfg;
+/// Read-only workloads never abort, under any router.
+#[test]
+fn read_only_never_aborts() {
+    let mut rng = SimRng::seed_from_u64(0xC0DE_0003);
+    for _ in 0..12 {
+        let mut cfg = random_config(&mut rng);
+        let router = random_router(&mut rng);
         cfg.write_fraction = 0.0;
         let m = run_simulation(cfg, router).expect("valid");
-        prop_assert_eq!(m.aborts.total(), 0);
-        prop_assert_eq!(m.mean_reruns, 0.0);
+        assert_eq!(m.aborts.total(), 0);
+        assert_eq!(m.mean_reruns, 0.0);
     }
 }

@@ -6,7 +6,8 @@
 use std::collections::{HashMap, HashSet};
 
 use hls_core::{
-    HybridSystem, Route, RouterSpec, SystemConfig, Trace, TraceEvent, UtilizationEstimator,
+    replicate_jobs, FaultSchedule, HybridSystem, Route, RouterSpec, SystemConfig, Trace,
+    TraceEvent, TxnClass, UtilizationEstimator,
 };
 use hls_lockmgr::LockId;
 
@@ -244,8 +245,10 @@ fn invalidated_central_transactions_do_not_commit_that_attempt() {
                     "txn {txn} committed despite invalidation before resolution"
                 );
             }
-            TraceEvent::InvalidationAbort { txn, .. } => {
-                // Invalidation discovered at commit-check before auth.
+            TraceEvent::InvalidationAbort { txn, .. } | TraceEvent::DeadlockAbort { txn, .. } => {
+                // The attempt aborted before resolution (invalidation
+                // discovered at commit-check, or the transaction was chosen
+                // as a deadlock victim); either way the rerun starts clean.
                 poisoned.remove(txn);
             }
             _ => {}
@@ -290,6 +293,181 @@ fn class_b_never_routes_local() {
             }
         }
     }
+}
+
+/// `contended_cfg` plus a site 0 outage over [30, 90).
+fn site_outage_cfg(failure_aware: bool) -> SystemConfig {
+    let mut cfg = contended_cfg();
+    cfg.fault_schedule = FaultSchedule::empty().site_outage(0, 30.0, 90.0);
+    cfg.failure_aware = failure_aware;
+    cfg
+}
+
+#[test]
+fn empty_fault_schedule_reproduces_fault_free_metrics_exactly() {
+    for spec in [
+        RouterSpec::NoSharing,
+        RouterSpec::Static { p_ship: 0.5 },
+        RouterSpec::QueueLength,
+        RouterSpec::MinAverage {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+    ] {
+        let plain = HybridSystem::new(contended_cfg(), spec).unwrap().run();
+        let mut cfg = contended_cfg().with_faults(FaultSchedule::empty());
+        assert!(cfg.failure_aware);
+        let faulted = HybridSystem::new(cfg.clone(), spec).unwrap().run();
+        assert_eq!(
+            plain, faulted,
+            "{spec:?}: empty schedule changed the results"
+        );
+        // Even with failure-aware routing disabled again.
+        cfg.failure_aware = false;
+        let oblivious = HybridSystem::new(cfg, spec).unwrap().run();
+        assert_eq!(plain, oblivious);
+    }
+}
+
+#[test]
+fn no_commits_from_a_crashed_site_during_its_outage() {
+    let (metrics, trace) = HybridSystem::new(site_outage_cfg(false), RouterSpec::NoSharing)
+        .unwrap()
+        .run_traced();
+    for (t, e) in trace.events() {
+        if let TraceEvent::LocalCommit { site: 0, .. } = e {
+            let secs = t.as_secs();
+            assert!(
+                !(30.0..90.0).contains(&secs),
+                "site 0 committed locally at t={secs} during its outage"
+            );
+        }
+    }
+    // The crash killed in-flight work and, without failure awareness,
+    // class A arrivals at the dead site were turned away.
+    assert!(metrics.availability.crash_aborts_site > 0);
+    assert!(metrics.availability.rejected_class_a > 0);
+    assert!(metrics.availability.failover_shipped == 0);
+    assert!((metrics.availability.downtime_secs - 60.0).abs() < 1e-9);
+}
+
+#[test]
+fn failure_aware_routing_ships_class_a_around_a_site_outage() {
+    let (metrics, trace) = HybridSystem::new(site_outage_cfg(true), RouterSpec::NoSharing)
+        .unwrap()
+        .run_traced();
+    // Class A arrivals at the downed site were shipped centrally instead
+    // of rejected...
+    assert_eq!(metrics.availability.rejected_class_a, 0);
+    assert!(metrics.availability.failover_shipped > 0);
+    // ...and some of them actually completed: throughput from site 0
+    // stays nonzero through the outage.
+    let mut shipped_in_window: HashSet<u64> = HashSet::new();
+    let mut completed_shipped = 0usize;
+    for (t, e) in trace.events() {
+        match e {
+            TraceEvent::Arrival {
+                txn,
+                site: 0,
+                class: TxnClass::A,
+                route: Route::Central,
+            } if (30.0..90.0).contains(&t.as_secs()) => {
+                shipped_in_window.insert(*txn);
+            }
+            TraceEvent::Completion { txn, .. } if shipped_in_window.contains(txn) => {
+                completed_shipped += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        completed_shipped > 0,
+        "no class A transaction from the downed site completed centrally"
+    );
+    assert!(metrics.availability.mean_response_during_outage.is_some());
+}
+
+#[test]
+fn recovered_site_replays_queued_updates_in_fifo_order() {
+    // Batch asynchronous updates so the crash catches a non-empty durable
+    // queue; recovery must replay it before any deferred traffic.
+    let mut cfg = site_outage_cfg(true);
+    cfg.async_batch_window = Some(5.0);
+    let (_, trace) = HybridSystem::new(cfg, RouterSpec::Static { p_ship: 0.3 })
+        .unwrap()
+        .run_traced();
+    let mut sent: Vec<Vec<LockId>> = Vec::new();
+    let mut applied: Vec<Vec<LockId>> = Vec::new();
+    let mut replayed_after_recovery = false;
+    for (t, e) in trace.events() {
+        match e {
+            TraceEvent::AsyncSent { site: 0, locks } => {
+                let secs = t.as_secs();
+                assert!(
+                    !(30.0..90.0).contains(&secs),
+                    "crashed site sent an update at t={secs}"
+                );
+                if (90.0..91.0).contains(&secs) {
+                    replayed_after_recovery = true;
+                }
+                sent.push(locks.clone());
+            }
+            TraceEvent::AsyncApplied { site: 0, locks, .. } => {
+                applied.push(locks.clone());
+            }
+            _ => {}
+        }
+    }
+    assert!(!sent.is_empty(), "site 0 never sent an async update");
+    assert!(
+        replayed_after_recovery,
+        "recovery did not replay the queued updates"
+    );
+    // Everything applied was sent, in order (the tail may be in flight).
+    assert!(applied.len() <= sent.len());
+    assert_eq!(
+        applied[..],
+        sent[..applied.len()],
+        "async updates reordered across the crash"
+    );
+}
+
+#[test]
+fn serial_and_parallel_replications_agree_under_faults() {
+    let mut cfg = contended_cfg().with_horizon(60.0, 10.0);
+    cfg.fault_schedule = FaultSchedule::empty()
+        .site_outage(0, 15.0, 30.0)
+        .central_outage(35.0, 42.0)
+        .link_outage(3, 20.0, 28.0)
+        .latency_spike(5, 12.0, 50.0, 4.0);
+    cfg.failure_aware = true;
+    let spec = RouterSpec::Static { p_ship: 0.5 };
+    let serial = replicate_jobs(&cfg, spec, 4, 1).unwrap();
+    let parallel = replicate_jobs(&cfg, spec, 4, 4).unwrap();
+    assert_eq!(
+        serial, parallel,
+        "fault schedule broke serial/parallel equivalence"
+    );
+    assert!(serial
+        .iter()
+        .all(|m| m.availability.crash_aborts_site > 0 || m.availability.deferred_messages > 0));
+}
+
+#[test]
+fn drained_run_converges_after_recovered_outages() {
+    let mut cfg = site_outage_cfg(true);
+    cfg.fault_schedule = FaultSchedule::empty()
+        .site_outage(0, 20.0, 40.0)
+        .central_outage(50.0, 65.0)
+        .link_outage(4, 70.0, 85.0);
+    let (_, report) = HybridSystem::new(cfg, RouterSpec::Static { p_ship: 0.4 })
+        .unwrap()
+        .run_drained();
+    assert!(
+        report.converged(),
+        "replicas diverged after crashes: {} in flight, {:?} divergent",
+        report.in_flight_txns,
+        report.divergent
+    );
 }
 
 #[test]

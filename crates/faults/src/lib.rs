@@ -1,0 +1,655 @@
+//! # hls-faults — deterministic fault injection for the hybrid system
+//!
+//! The paper's hybrid architecture (Ciciani, Dias & Yu, ICDCS 1988) couples
+//! `N` local sites to a central complex; its load-sharing argument rests on
+//! every component being up. This crate provides the *availability*
+//! counterpoint: declarative, deterministic schedules of component failures
+//! — site crashes, central-complex outages, per-link failures and latency
+//! spikes — that the simulator injects as first-class events.
+//!
+//! A [`FaultSchedule`] is an ordered list of [`FaultEvent`] transitions.
+//! Schedules are built three ways:
+//!
+//! * programmatically, with window builders such as
+//!   [`FaultSchedule::site_outage`] and [`FaultSchedule::latency_spike`];
+//! * from text, with [`FaultSchedule::parse`] (the `--fault-schedule` file
+//!   format of the `simulate` CLI);
+//! * randomly but reproducibly, with [`FaultSchedule::sample`], which
+//!   derives exponential up/down alternations from a seed.
+//!
+//! Determinism is the design constraint throughout: a schedule is plain
+//! data, two identical schedules injected into identical simulations yield
+//! bit-identical results, and an empty schedule leaves the simulation
+//! untouched.
+//!
+//! # Examples
+//!
+//! ```
+//! use hls_faults::{FaultKind, FaultSchedule};
+//!
+//! let schedule = FaultSchedule::empty()
+//!     .site_outage(0, 100.0, 150.0)
+//!     .central_outage(200.0, 220.0);
+//! schedule.validate(10).unwrap();
+//! assert_eq!(schedule.events().len(), 4);
+//! assert_eq!(schedule.events()[0].kind, FaultKind::SiteDown { site: 0 });
+//! assert_eq!(schedule.downtime_within(0.0, 400.0), 70.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use hls_sim::{sample_exponential, RngStreams};
+
+/// A single component-state transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A local site's DBMS crashes: in-flight transactions at the site
+    /// abort, its volatile lock table is lost, its disk store survives.
+    SiteDown {
+        /// The crashing site.
+        site: usize,
+    },
+    /// The site recovers and replays its durable queue of unsent
+    /// asynchronous updates to resynchronize the central replica.
+    SiteUp {
+        /// The recovering site.
+        site: usize,
+    },
+    /// The central complex crashes: central-resident transactions abort,
+    /// the central lock table is lost, the replica store survives.
+    CentralDown,
+    /// The central complex recovers; deferred messages and interrupted
+    /// asynchronous-update applications are replayed.
+    CentralUp,
+    /// One site's link goes down: messages in either direction are held in
+    /// store-and-forward buffers until it recovers. Downing several links
+    /// at once models a network partition.
+    LinkDown {
+        /// The site whose link fails.
+        site: usize,
+    },
+    /// The link recovers; buffered messages flush in FIFO order.
+    LinkUp {
+        /// The site whose link recovers.
+        site: usize,
+    },
+    /// Start of a latency-spike window: the link's one-way delay is
+    /// multiplied by `factor`.
+    LinkDegraded {
+        /// The affected site.
+        site: usize,
+        /// Latency multiplier (>= 1).
+        factor: f64,
+    },
+    /// End of a latency-spike window: delay returns to nominal.
+    LinkRestored {
+        /// The affected site.
+        site: usize,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::SiteDown { site } => write!(f, "site {site} down"),
+            FaultKind::SiteUp { site } => write!(f, "site {site} up"),
+            FaultKind::CentralDown => write!(f, "central down"),
+            FaultKind::CentralUp => write!(f, "central up"),
+            FaultKind::LinkDown { site } => write!(f, "link {site} down"),
+            FaultKind::LinkUp { site } => write!(f, "link {site} up"),
+            FaultKind::LinkDegraded { site, factor } => {
+                write!(f, "link {site} degraded x{factor}")
+            }
+            FaultKind::LinkRestored { site } => write!(f, "link {site} restored"),
+        }
+    }
+}
+
+/// A timestamped [`FaultKind`] transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulation time of the transition, seconds.
+    pub at: f64,
+    /// What changes.
+    pub kind: FaultKind,
+}
+
+/// Parameters for [`FaultSchedule::sample`]: mean time between failures
+/// and mean time to repair, per component class. A class with
+/// `mtbf <= 0` never fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Mean up-time of each local site, seconds (<= 0 disables).
+    pub site_mtbf: f64,
+    /// Mean repair time of a crashed site, seconds.
+    pub site_mttr: f64,
+    /// Mean up-time of the central complex, seconds (<= 0 disables).
+    pub central_mtbf: f64,
+    /// Mean repair time of the central complex, seconds.
+    pub central_mttr: f64,
+    /// Mean up-time of each site's link, seconds (<= 0 disables).
+    pub link_mtbf: f64,
+    /// Mean repair time of a failed link, seconds.
+    pub link_mttr: f64,
+}
+
+impl Default for FaultProfile {
+    /// Sites fail rarely, links a bit more often, the central complex
+    /// (assumed best-maintained) never — override per experiment.
+    fn default() -> Self {
+        FaultProfile {
+            site_mtbf: 500.0,
+            site_mttr: 30.0,
+            central_mtbf: 0.0,
+            central_mttr: 30.0,
+            link_mtbf: 800.0,
+            link_mttr: 15.0,
+        }
+    }
+}
+
+/// An ordered, deterministic schedule of component faults.
+///
+/// Events are kept sorted by time (stably, so simultaneous events keep
+/// their insertion order). The schedule is inert data — the simulator
+/// injects each event into its event queue at start-up.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// The schedule with no faults (the default; leaves simulations
+    /// bit-identical to a fault-free build).
+    #[must_use]
+    pub fn empty() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// `true` when no faults are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled transitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The transitions, sorted by time.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    fn push(&mut self, at: f64, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+        self.events.sort_by(|a, b| a.at.total_cmp(&b.at));
+    }
+
+    /// Adds a site crash window: down at `from`, recovered at `to`.
+    #[must_use]
+    pub fn site_outage(mut self, site: usize, from: f64, to: f64) -> Self {
+        self.push(from, FaultKind::SiteDown { site });
+        self.push(to, FaultKind::SiteUp { site });
+        self
+    }
+
+    /// Adds a central-complex outage window.
+    #[must_use]
+    pub fn central_outage(mut self, from: f64, to: f64) -> Self {
+        self.push(from, FaultKind::CentralDown);
+        self.push(to, FaultKind::CentralUp);
+        self
+    }
+
+    /// Adds a link-failure window for one site.
+    #[must_use]
+    pub fn link_outage(mut self, site: usize, from: f64, to: f64) -> Self {
+        self.push(from, FaultKind::LinkDown { site });
+        self.push(to, FaultKind::LinkUp { site });
+        self
+    }
+
+    /// Adds a latency-spike window: the site's link delay is multiplied by
+    /// `factor` between `from` and `to`.
+    #[must_use]
+    pub fn latency_spike(mut self, site: usize, from: f64, to: f64, factor: f64) -> Self {
+        self.push(from, FaultKind::LinkDegraded { site, factor });
+        self.push(to, FaultKind::LinkRestored { site });
+        self
+    }
+
+    /// Adds a partition window: every listed site's link fails together —
+    /// the named sites can no longer reach the central complex (and, in a
+    /// star topology, are therefore cut off from everyone).
+    #[must_use]
+    pub fn partition(mut self, sites: &[usize], from: f64, to: f64) -> Self {
+        for &site in sites {
+            self.push(from, FaultKind::LinkDown { site });
+            self.push(to, FaultKind::LinkUp { site });
+        }
+        self
+    }
+
+    /// Parses the text schedule format used by `--fault-schedule` files.
+    ///
+    /// One directive per line; blank lines and `#` comments are ignored:
+    ///
+    /// ```text
+    /// # site crash window:        site <i> down <from> <to>
+    /// site 0 down 100 150
+    /// # central-complex outage:   central down <from> <to>
+    /// central down 200 220
+    /// # link failure:             link <i> down <from> <to>
+    /// link 3 down 50 60
+    /// # latency spike:            link <i> slow <from> <to> x<factor>
+    /// link 2 slow 80 120 x4
+    /// # partition:                partition <i,j,...> <from> <to>
+    /// partition 1,2,5 300 310
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line and what was expected.
+    pub fn parse(text: &str) -> Result<FaultSchedule, String> {
+        let mut schedule = FaultSchedule::empty();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: `{raw}`", lineno + 1);
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            schedule = match fields.as_slice() {
+                ["site", site, "down", from, to] => {
+                    let site = parse_num(site).map_err(|e| err(&e))?;
+                    let (from, to) = parse_window(from, to).map_err(|e| err(&e))?;
+                    schedule.site_outage(site, from, to)
+                }
+                ["central", "down", from, to] => {
+                    let (from, to) = parse_window(from, to).map_err(|e| err(&e))?;
+                    schedule.central_outage(from, to)
+                }
+                ["link", site, "down", from, to] => {
+                    let site = parse_num(site).map_err(|e| err(&e))?;
+                    let (from, to) = parse_window(from, to).map_err(|e| err(&e))?;
+                    schedule.link_outage(site, from, to)
+                }
+                ["link", site, "slow", from, to, factor] => {
+                    let site = parse_num(site).map_err(|e| err(&e))?;
+                    let (from, to) = parse_window(from, to).map_err(|e| err(&e))?;
+                    let factor: f64 =
+                        parse_num(factor.trim_start_matches('x')).map_err(|e| err(&e))?;
+                    schedule.latency_spike(site, from, to, factor)
+                }
+                ["partition", sites, from, to] => {
+                    let sites: Vec<usize> = sites
+                        .split(',')
+                        .map(|s| parse_num(s.trim()))
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| err(&e))?;
+                    let (from, to) = parse_window(from, to).map_err(|e| err(&e))?;
+                    schedule.partition(&sites, from, to)
+                }
+                _ => {
+                    return Err(err(
+                        "expected `site I down FROM TO`, `central down FROM TO`, \
+                         `link I down FROM TO`, `link I slow FROM TO xF`, or \
+                         `partition I,J,... FROM TO`",
+                    ))
+                }
+            };
+        }
+        Ok(schedule)
+    }
+
+    /// Draws a reproducible random schedule over `[0, horizon)`: each
+    /// component alternates exponential up-times (mean `mtbf`) and
+    /// down-times (mean `mttr`) per the [`FaultProfile`], from independent
+    /// seed-derived streams. The same `(seed, horizon, profile)` always
+    /// yields the same schedule.
+    #[must_use]
+    pub fn sample(seed: u64, horizon: f64, n_sites: usize, profile: &FaultProfile) -> Self {
+        let streams = RngStreams::new(seed);
+        // Each component draws from its own labelled stream so adding sites
+        // (or disabling a class) never perturbs another component's windows.
+        let draw_windows = |label: u64, mtbf: f64, mttr: f64| -> Vec<(f64, f64)> {
+            let mut out = Vec::new();
+            if mtbf <= 0.0 {
+                return out;
+            }
+            let mut rng = streams.stream(label);
+            let mut t = sample_exponential(&mut rng, 1.0 / mtbf);
+            while t < horizon {
+                let repair = sample_exponential(&mut rng, 1.0 / mttr.max(f64::MIN_POSITIVE));
+                let up_at = (t + repair).min(horizon);
+                out.push((t, up_at));
+                t = up_at + sample_exponential(&mut rng, 1.0 / mtbf);
+            }
+            out
+        };
+        let mut schedule = FaultSchedule::empty();
+        for site in 0..n_sites {
+            let label = site as u64;
+            for (from, to) in
+                draw_windows(0x5172_0000 + label, profile.site_mtbf, profile.site_mttr)
+            {
+                schedule = schedule.site_outage(site, from, to);
+            }
+            for (from, to) in
+                draw_windows(0x1111_0000 + label, profile.link_mtbf, profile.link_mttr)
+            {
+                schedule = schedule.link_outage(site, from, to);
+            }
+        }
+        for (from, to) in draw_windows(0xCE11_7321, profile.central_mtbf, profile.central_mttr) {
+            schedule = schedule.central_outage(from, to);
+        }
+        schedule
+    }
+
+    /// Validates the schedule against a system of `n_sites` sites: indices
+    /// in range, times finite and non-negative, factors >= 1, and — per
+    /// component — transitions that alternate down/up at increasing times
+    /// (a trailing `down` with no recovery is allowed: the component stays
+    /// down to the horizon).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn validate(&self, n_sites: usize) -> Result<(), String> {
+        // Per-component down state: sites, links (down), links (degraded),
+        // and the central complex.
+        let mut site_down = vec![false; n_sites];
+        let mut link_down = vec![false; n_sites];
+        let mut link_slow = vec![false; n_sites];
+        let mut central_down = false;
+        let check_site = |site: usize| {
+            (site < n_sites)
+                .then_some(site)
+                .ok_or_else(|| format!("site {site} out of range (n_sites = {n_sites})"))
+        };
+        for ev in &self.events {
+            if !ev.at.is_finite() || ev.at < 0.0 {
+                return Err(format!("fault at t={} is not a valid time", ev.at));
+            }
+            match ev.kind {
+                FaultKind::SiteDown { site } => {
+                    let s = check_site(site)?;
+                    if std::mem::replace(&mut site_down[s], true) {
+                        return Err(format!("site {s} crashed twice without recovering"));
+                    }
+                }
+                FaultKind::SiteUp { site } => {
+                    let s = check_site(site)?;
+                    if !std::mem::replace(&mut site_down[s], false) {
+                        return Err(format!("site {s} recovered without being down"));
+                    }
+                }
+                FaultKind::CentralDown => {
+                    if std::mem::replace(&mut central_down, true) {
+                        return Err("central complex crashed twice without recovering".into());
+                    }
+                }
+                FaultKind::CentralUp => {
+                    if !std::mem::replace(&mut central_down, false) {
+                        return Err("central complex recovered without being down".into());
+                    }
+                }
+                FaultKind::LinkDown { site } => {
+                    let s = check_site(site)?;
+                    if std::mem::replace(&mut link_down[s], true) {
+                        return Err(format!("link {s} failed twice without recovering"));
+                    }
+                }
+                FaultKind::LinkUp { site } => {
+                    let s = check_site(site)?;
+                    if !std::mem::replace(&mut link_down[s], false) {
+                        return Err(format!("link {s} recovered without being down"));
+                    }
+                }
+                FaultKind::LinkDegraded { site, factor } => {
+                    let s = check_site(site)?;
+                    if !(factor.is_finite() && factor >= 1.0) {
+                        return Err(format!("link {s} slow factor must be >= 1, got {factor}"));
+                    }
+                    if std::mem::replace(&mut link_slow[s], true) {
+                        return Err(format!("link {s} degraded twice without restoring"));
+                    }
+                }
+                FaultKind::LinkRestored { site } => {
+                    let s = check_site(site)?;
+                    if !std::mem::replace(&mut link_slow[s], false) {
+                        return Err(format!("link {s} restored without being degraded"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total component downtime (site crashes + central outages, not link
+    /// faults) overlapping `[from, to]`, summed across components. A
+    /// trailing outage with no recovery extends to `to`. This is the
+    /// denominator-side quantity behind the availability metrics.
+    #[must_use]
+    pub fn downtime_within(&self, from: f64, to: f64) -> f64 {
+        let mut total = 0.0;
+        let mut open: Vec<(FaultKind, f64)> = Vec::new();
+        let mut close = |open: &mut Vec<(FaultKind, f64)>, key: FaultKind, end: f64| {
+            if let Some(pos) = open.iter().position(|&(k, _)| k == key) {
+                let (_, start) = open.swap_remove(pos);
+                let lo = start.max(from);
+                let hi = end.min(to);
+                if hi > lo {
+                    total += hi - lo;
+                }
+            }
+        };
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::SiteDown { site } => {
+                    open.push((FaultKind::SiteDown { site }, ev.at));
+                }
+                FaultKind::SiteUp { site } => {
+                    close(&mut open, FaultKind::SiteDown { site }, ev.at);
+                }
+                FaultKind::CentralDown => open.push((FaultKind::CentralDown, ev.at)),
+                FaultKind::CentralUp => close(&mut open, FaultKind::CentralDown, ev.at),
+                _ => {}
+            }
+        }
+        for (_, start) in open {
+            let lo = start.max(from);
+            if to > lo {
+                total += to - lo;
+            }
+        }
+        total
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse `{s}`"))
+}
+
+fn parse_window(from: &str, to: &str) -> Result<(f64, f64), String> {
+    let from: f64 = parse_num(from)?;
+    let to: f64 = parse_num(to)?;
+    if !(from.is_finite() && to.is_finite() && from >= 0.0 && to > from) {
+        return Err(format!("window [{from}, {to}] must satisfy 0 <= from < to"));
+    }
+    Ok((from, to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_is_valid_and_inert() {
+        let s = FaultSchedule::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.validate(10).is_ok());
+        assert_eq!(s.downtime_within(0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn builders_sort_events_by_time() {
+        let s = FaultSchedule::empty()
+            .central_outage(200.0, 220.0)
+            .site_outage(0, 100.0, 150.0);
+        let times: Vec<f64> = s.events().iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![100.0, 150.0, 200.0, 220.0]);
+        assert!(s.validate(1).is_ok());
+    }
+
+    #[test]
+    fn parse_round_trips_every_directive() {
+        let text = "\
+# availability scenario
+site 0 down 100 150
+central down 200 220   # mid-run outage
+link 3 down 50 60
+link 2 slow 80 120 x4
+
+partition 1,2 300 310
+";
+        let s = FaultSchedule::parse(text).unwrap();
+        assert!(s.validate(10).is_ok());
+        assert_eq!(
+            s.events().len(),
+            2 + 2 + 2 + 2 + 4,
+            "each window contributes a down and an up event"
+        );
+        assert!(s.events().iter().any(|e| e.kind
+            == FaultKind::LinkDegraded {
+                site: 2,
+                factor: 4.0
+            }
+            && e.at == 80.0));
+        assert!(s
+            .events()
+            .iter()
+            .any(|e| e.kind == FaultKind::LinkDown { site: 1 } && e.at == 300.0));
+    }
+
+    #[test]
+    fn parse_reports_line_and_reason() {
+        let err = FaultSchedule::parse("site 0 down 150 100").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("window"), "{err}");
+        let err = FaultSchedule::parse("sites 0 down 1 2").unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+        let err = FaultSchedule::parse("site x down 1 2").unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_schedules() {
+        let out_of_range = FaultSchedule::empty().site_outage(7, 1.0, 2.0);
+        assert!(out_of_range.validate(3).unwrap_err().contains("range"));
+
+        let mut double_down = FaultSchedule::empty();
+        double_down.push(1.0, FaultKind::SiteDown { site: 0 });
+        double_down.push(2.0, FaultKind::SiteDown { site: 0 });
+        assert!(double_down.validate(1).unwrap_err().contains("twice"));
+
+        let mut up_first = FaultSchedule::empty();
+        up_first.push(1.0, FaultKind::CentralUp);
+        assert!(up_first.validate(1).unwrap_err().contains("without"));
+
+        let bad_factor = FaultSchedule::empty().latency_spike(0, 1.0, 2.0, 0.5);
+        assert!(bad_factor.validate(1).unwrap_err().contains(">= 1"));
+
+        let mut bad_time = FaultSchedule::empty();
+        bad_time.push(f64::NAN, FaultKind::CentralDown);
+        assert!(bad_time.validate(1).is_err());
+    }
+
+    #[test]
+    fn trailing_outage_is_allowed_and_extends_to_horizon() {
+        let mut s = FaultSchedule::empty();
+        s.push(50.0, FaultKind::SiteDown { site: 0 });
+        assert!(s.validate(1).is_ok());
+        assert_eq!(s.downtime_within(0.0, 80.0), 30.0);
+    }
+
+    #[test]
+    fn downtime_sums_components_and_clips_to_window() {
+        let s = FaultSchedule::empty()
+            .site_outage(0, 10.0, 30.0) // 20 s, fully inside
+            .site_outage(1, 90.0, 120.0) // clipped to 10 s
+            .central_outage(0.0, 5.0) // before `from`: clipped to 1 s
+            .link_outage(2, 10.0, 90.0); // links don't count
+        assert_eq!(s.downtime_within(4.0, 100.0), 20.0 + 10.0 + 1.0);
+    }
+
+    #[test]
+    fn sampled_schedules_are_reproducible_and_valid() {
+        let profile = FaultProfile {
+            site_mtbf: 120.0,
+            site_mttr: 10.0,
+            central_mtbf: 300.0,
+            central_mttr: 20.0,
+            link_mtbf: 150.0,
+            link_mttr: 5.0,
+        };
+        let a = FaultSchedule::sample(7, 1000.0, 4, &profile);
+        let b = FaultSchedule::sample(7, 1000.0, 4, &profile);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert!(!a.is_empty(), "1000 s at mtbf 120 should produce faults");
+        a.validate(4).unwrap();
+        let c = FaultSchedule::sample(8, 1000.0, 4, &profile);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn sampled_profile_classes_can_be_disabled() {
+        let profile = FaultProfile {
+            site_mtbf: 0.0,
+            link_mtbf: 0.0,
+            central_mtbf: 50.0,
+            central_mttr: 5.0,
+            ..FaultProfile::default()
+        };
+        let s = FaultSchedule::sample(3, 500.0, 4, &profile);
+        assert!(s
+            .events()
+            .iter()
+            .all(|e| matches!(e.kind, FaultKind::CentralDown | FaultKind::CentralUp)));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn default_profile_disables_central_outages() {
+        let p = FaultProfile::default();
+        assert_eq!(p.central_mtbf, 0.0);
+        let s = FaultSchedule::sample(1, 2000.0, 3, &p);
+        assert!(s
+            .events()
+            .iter()
+            .all(|e| !matches!(e.kind, FaultKind::CentralDown | FaultKind::CentralUp)));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(FaultKind::SiteDown { site: 3 }.to_string(), "site 3 down");
+        assert_eq!(FaultKind::CentralUp.to_string(), "central up");
+        assert_eq!(
+            FaultKind::LinkDegraded {
+                site: 1,
+                factor: 4.0
+            }
+            .to_string(),
+            "link 1 degraded x4"
+        );
+    }
+}

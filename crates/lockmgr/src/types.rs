@@ -2,15 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a lockable entity (an element of the global lock space).
 ///
 /// The paper's simulation uses a global lock space of 32 768 elements split
 /// into one slice per distributed site.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LockId(pub u32);
 
 impl fmt::Display for LockId {
@@ -20,9 +16,7 @@ impl fmt::Display for LockId {
 }
 
 /// Identifier of a lock owner (a transaction).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct OwnerId(pub u64);
 
 impl fmt::Display for OwnerId {
@@ -33,7 +27,7 @@ impl fmt::Display for OwnerId {
 
 /// Concurrency-control mode of a lock request, as in the paper's
 /// "concurrency control field (share or exclusive)".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LockMode {
     /// Share mode — compatible with other share holders.
     Shared,

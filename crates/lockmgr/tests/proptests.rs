@@ -1,9 +1,9 @@
-//! Property-based tests for the lock table invariants.
+//! Randomized (seeded, deterministic) tests for the lock table invariants.
 
 use std::collections::HashSet;
 
 use hls_lockmgr::{LockId, LockMode, LockTable, OwnerId, RequestOutcome};
-use proptest::prelude::*;
+use hls_sim::SimRng;
 
 /// A random operation on the lock table.
 #[derive(Debug, Clone)]
@@ -36,24 +36,35 @@ enum Op {
     },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..8u64, 0..16u32, any::<bool>()).prop_map(|(owner, lock, exclusive)| Op::Request {
-            owner,
-            lock,
-            exclusive
-        }),
-        (0..8u64).prop_map(|owner| Op::ReleaseAll { owner }),
-        (0..8u64, 0..16u32).prop_map(|(owner, lock)| Op::ReleaseOne { owner, lock }),
-        (0..8u64).prop_map(|owner| Op::CancelWait { owner }),
-        (8..12u64, 0..16u32, any::<bool>()).prop_map(|(owner, lock, exclusive)| Op::ForceAcquire {
-            owner,
-            lock,
-            exclusive
-        }),
-        (0..16u32).prop_map(|lock| Op::IncrCoherence { lock }),
-        (0..16u32).prop_map(|lock| Op::DecrCoherence { lock }),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.random_range(0..7) {
+        0 => Op::Request {
+            owner: u64::from(rng.random_range(0..8)),
+            lock: rng.random_range(0..16),
+            exclusive: rng.random_range(0..2) == 0,
+        },
+        1 => Op::ReleaseAll {
+            owner: u64::from(rng.random_range(0..8)),
+        },
+        2 => Op::ReleaseOne {
+            owner: u64::from(rng.random_range(0..8)),
+            lock: rng.random_range(0..16),
+        },
+        3 => Op::CancelWait {
+            owner: u64::from(rng.random_range(0..8)),
+        },
+        4 => Op::ForceAcquire {
+            owner: u64::from(rng.random_range(8..12)),
+            lock: rng.random_range(0..16),
+            exclusive: rng.random_range(0..2) == 0,
+        },
+        5 => Op::IncrCoherence {
+            lock: rng.random_range(0..16),
+        },
+        _ => Op::DecrCoherence {
+            lock: rng.random_range(0..16),
+        },
+    }
 }
 
 fn mode(exclusive: bool) -> LockMode {
@@ -64,18 +75,25 @@ fn mode(exclusive: bool) -> LockMode {
     }
 }
 
-proptest! {
-    /// After any sequence of operations the table's internal invariants hold:
-    /// no incompatible co-holders, no grantable waiter stuck in a queue, and
-    /// the grant counters agree with the entry lists.
-    #[test]
-    fn invariants_hold_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+/// After any sequence of operations the table's internal invariants hold:
+/// no incompatible co-holders, no grantable waiter stuck in a queue, and
+/// the grant counters agree with the entry lists.
+#[test]
+fn invariants_hold_under_random_ops() {
+    let mut rng = SimRng::seed_from_u64(0x10C0);
+    for _ in 0..64 {
+        let n_ops = rng.random_range(1..200) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         let mut table = LockTable::new();
         let mut waiting: HashSet<u64> = HashSet::new();
         let mut coherence: Vec<i64> = vec![0; 16];
         for op in ops {
             match op {
-                Op::Request { owner, lock, exclusive } => {
+                Op::Request {
+                    owner,
+                    lock,
+                    exclusive,
+                } => {
                     if waiting.contains(&owner) {
                         continue; // a blocked txn cannot issue requests
                     }
@@ -104,7 +122,11 @@ proptest! {
                     }
                     waiting.remove(&owner);
                 }
-                Op::ForceAcquire { owner, lock, exclusive } => {
+                Op::ForceAcquire {
+                    owner,
+                    lock,
+                    exclusive,
+                } => {
                     let out = table.force_acquire(LockId(lock), OwnerId(owner), mode(exclusive));
                     for g in out.grants {
                         waiting.remove(&g.owner.0);
@@ -124,15 +146,26 @@ proptest! {
             table.check_invariants();
         }
         for (i, &c) in coherence.iter().enumerate() {
-            prop_assert_eq!(i64::from(table.coherence(LockId(i as u32))), c);
+            assert_eq!(i64::from(table.coherence(LockId(i as u32))), c);
         }
     }
+}
 
-    /// Releasing everything always empties the table of grants.
-    #[test]
-    fn full_release_drains_grants(
-        requests in proptest::collection::vec((0..6u64, 0..8u32, any::<bool>()), 1..50)
-    ) {
+/// Releasing everything always empties the table of grants.
+#[test]
+fn full_release_drains_grants() {
+    let mut rng = SimRng::seed_from_u64(0x10C1);
+    for _ in 0..64 {
+        let n = rng.random_range(1..50) as usize;
+        let requests: Vec<(u64, u32, bool)> = (0..n)
+            .map(|_| {
+                (
+                    u64::from(rng.random_range(0..6)),
+                    rng.random_range(0..8),
+                    rng.random_range(0..2) == 0,
+                )
+            })
+            .collect();
         let mut table = LockTable::new();
         let mut blocked = HashSet::new();
         for (owner, lock, exclusive) in requests {
@@ -148,17 +181,22 @@ proptest! {
         for owner in 0..6u64 {
             table.release_all(OwnerId(owner));
         }
-        prop_assert_eq!(table.grants_count(), 0);
-        prop_assert_eq!(table.waiter_count(), 0);
+        assert_eq!(table.grants_count(), 0);
+        assert_eq!(table.waiter_count(), 0);
         table.check_invariants();
     }
+}
 
-    /// A deadlock reported by `in_deadlock` always involves an actual cycle:
-    /// releasing every lock of any one participant clears it.
-    #[test]
-    fn deadlock_clears_after_victim_release(
-        requests in proptest::collection::vec((0..5u64, 0..5u32), 2..40)
-    ) {
+/// A deadlock reported by `in_deadlock` always involves an actual cycle:
+/// releasing every lock of any one participant clears it.
+#[test]
+fn deadlock_clears_after_victim_release() {
+    let mut rng = SimRng::seed_from_u64(0x10C2);
+    for _ in 0..64 {
+        let n = rng.random_range(2..40) as usize;
+        let requests: Vec<(u64, u32)> = (0..n)
+            .map(|_| (u64::from(rng.random_range(0..5)), rng.random_range(0..5)))
+            .collect();
         let mut table = LockTable::new();
         let mut blocked: HashSet<u64> = HashSet::new();
         for (owner, lock) in requests {
@@ -174,7 +212,7 @@ proptest! {
                         blocked.remove(&g.owner.0);
                     }
                     blocked.remove(&owner);
-                    prop_assert!(!table.in_deadlock(OwnerId(owner)));
+                    assert!(!table.in_deadlock(OwnerId(owner)));
                 }
             }
             table.check_invariants();

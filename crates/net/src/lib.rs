@@ -11,12 +11,44 @@
 //!
 //! * [`NodeId`] — endpoints (local sites and the central complex),
 //! * [`StarNetwork`] — per-direction links with configurable delay, FIFO
-//!   enforcement, and traffic counters,
+//!   enforcement, per-link up/down state, latency-degradation factors, and
+//!   traffic counters,
 //! * [`Envelope`] — a delivery record handed back to the caller's event loop.
 //!
 //! The network does not own the event queue: [`StarNetwork::send`] computes
 //! the delivery time and the caller schedules the arrival event, which keeps
 //! the simulator single-threaded and deterministic.
+//!
+//! # Link failures and degradation
+//!
+//! Each site's link can be taken down ([`StarNetwork::set_link_up`]) or
+//! slowed by a multiplicative latency factor
+//! ([`StarNetwork::set_slow_factor`]) — the hooks used by the `hls-faults`
+//! fault-injection subsystem. [`StarNetwork::try_send`] refuses delivery on
+//! a downed link and hands the payload back so the caller can buffer it
+//! (store-and-forward); [`StarNetwork::send`] panics instead, so callers
+//! that have already checked [`StarNetwork::link_is_up`] keep the
+//! infallible API.
+//!
+//! # Counter semantics
+//!
+//! The counters partition every send *attempt*:
+//!
+//! * [`StarNetwork::messages_sent`] — messages **accepted for delivery**
+//!   (the link was up at send time). Equals
+//!   [`StarNetwork::messages_to_central`] + [`StarNetwork::messages_from_central`].
+//! * [`StarNetwork::messages_dropped`] — attempts refused by
+//!   [`StarNetwork::try_send`] because the link was down. Dropped messages
+//!   are *not* counted in `messages_sent`; a later re-send after recovery
+//!   counts as a fresh attempt.
+//! * [`StarNetwork::messages_delayed`] — the subset of `messages_sent` that
+//!   was transmitted while the link's slow factor exceeded 1 (latency-spike
+//!   windows).
+//!
+//! Total attempts = `messages_sent() + messages_dropped()`. With no fault
+//! schedule all links stay up at factor 1, so `messages_dropped` and
+//! `messages_delayed` are zero and `messages_sent` matches the pre-fault
+//! behaviour exactly.
 //!
 //! # Examples
 //!
@@ -36,10 +68,9 @@
 use std::fmt;
 
 use hls_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A network endpoint: one of the distributed sites, or the central complex.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -111,9 +142,28 @@ pub struct StarNetwork {
     /// Last scheduled delivery per directed link: `[site][0]` = site->central,
     /// `[site][1]` = central->site.
     last_delivery: Vec<[SimTime; 2]>,
+    links: Vec<LinkState>,
     messages: u64,
     messages_up: u64,
     messages_down: u64,
+    dropped: u64,
+    delayed: u64,
+}
+
+/// Failure state of one site's full-duplex link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LinkState {
+    up: bool,
+    slow_factor: f64,
+}
+
+impl Default for LinkState {
+    fn default() -> Self {
+        LinkState {
+            up: true,
+            slow_factor: 1.0,
+        }
+    }
 }
 
 impl StarNetwork {
@@ -130,9 +180,12 @@ impl StarNetwork {
             n_sites,
             delay,
             last_delivery: vec![[SimTime::ZERO; 2]; n_sites],
+            links: vec![LinkState::default(); n_sites],
             messages: 0,
             messages_up: 0,
             messages_down: 0,
+            dropped: 0,
+            delayed: 0,
         }
     }
 
@@ -148,21 +201,61 @@ impl StarNetwork {
         self.delay
     }
 
-    /// Sends `payload` from `from` to `to` at time `now`, returning the
-    /// delivery envelope. Exactly one endpoint must be the central complex.
-    ///
-    /// # Panics
-    ///
-    /// Panics if both or neither endpoint is central (local sites have no
-    /// direct links), or if a site index is out of range.
-    pub fn send<P>(&mut self, now: SimTime, from: NodeId, to: NodeId, payload: P) -> Envelope<P> {
+    /// Resolves a site/direction pair for a transmission, panicking on
+    /// topology violations.
+    fn link_of(&self, from: NodeId, to: NodeId) -> (usize, usize) {
         let (site, dir) = match (from.is_central(), to.is_central()) {
             (false, true) => (from.local_index(), 0),
             (true, false) => (to.local_index(), 1),
             _ => panic!("star topology: exactly one endpoint must be central ({from} -> {to})"),
         };
         assert!(site < self.n_sites, "site index {site} out of range");
-        let nominal = now + self.delay;
+        (site, dir)
+    }
+
+    /// Sends `payload` from `from` to `to` at time `now`, returning the
+    /// delivery envelope. Exactly one endpoint must be the central complex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both or neither endpoint is central (local sites have no
+    /// direct links), if a site index is out of range, or if the link is
+    /// down (use [`StarNetwork::try_send`] to handle failures).
+    pub fn send<P>(&mut self, now: SimTime, from: NodeId, to: NodeId, payload: P) -> Envelope<P> {
+        match self.try_send(now, from, to, payload) {
+            Ok(envelope) => envelope,
+            Err(_) => panic!("send on a downed link ({from} -> {to}); use try_send"),
+        }
+    }
+
+    /// Sends `payload` if the link is up; otherwise counts a drop and hands
+    /// the payload back so the caller can buffer it for store-and-forward
+    /// delivery after recovery.
+    ///
+    /// While the link's slow factor exceeds 1 the one-way latency is
+    /// multiplied by it and the message is counted as delayed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(payload)` when the site's link is down.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same topology violations as [`StarNetwork::send`].
+    pub fn try_send<P>(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        payload: P,
+    ) -> Result<Envelope<P>, P> {
+        let (site, dir) = self.link_of(from, to);
+        let link = self.links[site];
+        if !link.up {
+            self.dropped += 1;
+            return Err(payload);
+        }
+        let nominal = now + self.delay * link.slow_factor;
         let deliver_at = nominal.max(self.last_delivery[site][dir]);
         self.last_delivery[site][dir] = deliver_at;
         self.messages += 1;
@@ -171,30 +264,95 @@ impl StarNetwork {
         } else {
             self.messages_down += 1;
         }
-        Envelope {
+        if link.slow_factor > 1.0 {
+            self.delayed += 1;
+        }
+        Ok(Envelope {
             from,
             to,
             deliver_at,
             payload,
-        }
+        })
     }
 
-    /// Total messages sent in both directions.
+    /// Takes the `site`'s link up or down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn set_link_up(&mut self, site: usize, up: bool) {
+        assert!(site < self.n_sites, "site index {site} out of range");
+        self.links[site].up = up;
+    }
+
+    /// `true` while the `site`'s link is up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn link_is_up(&self, site: usize) -> bool {
+        assert!(site < self.n_sites, "site index {site} out of range");
+        self.links[site].up
+    }
+
+    /// Sets the `site`'s latency multiplier (1.0 = nominal). Used for
+    /// latency-spike / jitter fault windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range or `factor` is not finite and >= 1.
+    pub fn set_slow_factor(&mut self, site: usize, factor: f64) {
+        assert!(site < self.n_sites, "site index {site} out of range");
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "slow factor must be finite and >= 1, got {factor}"
+        );
+        self.links[site].slow_factor = factor;
+    }
+
+    /// The `site`'s current latency multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn slow_factor(&self, site: usize) -> f64 {
+        assert!(site < self.n_sites, "site index {site} out of range");
+        self.links[site].slow_factor
+    }
+
+    /// Messages accepted for delivery in both directions (see the
+    /// crate-level *Counter semantics* section).
     #[must_use]
     pub fn messages_sent(&self) -> u64 {
         self.messages
     }
 
-    /// Messages sent from local sites to the central complex.
+    /// Delivered messages sent from local sites to the central complex.
     #[must_use]
     pub fn messages_to_central(&self) -> u64 {
         self.messages_up
     }
 
-    /// Messages sent from the central complex to local sites.
+    /// Delivered messages sent from the central complex to local sites.
     #[must_use]
     pub fn messages_from_central(&self) -> u64 {
         self.messages_down
+    }
+
+    /// Send attempts refused because the link was down (not included in
+    /// [`StarNetwork::messages_sent`]).
+    #[must_use]
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Delivered messages transmitted while the link's slow factor exceeded
+    /// 1 (a subset of [`StarNetwork::messages_sent`]).
+    #[must_use]
+    pub fn messages_delayed(&self) -> u64 {
+        self.delayed
     }
 }
 
@@ -287,5 +445,58 @@ mod tests {
         let mut net = StarNetwork::new(1, SimDuration::ZERO);
         let e = net.send(t(3.0), NodeId::local(0), NodeId::CENTRAL, ());
         assert_eq!(e.deliver_at, t(3.0));
+    }
+
+    #[test]
+    fn downed_link_returns_payload_and_counts_drop() {
+        let mut net = StarNetwork::new(2, d(0.2));
+        net.set_link_up(0, false);
+        assert!(!net.link_is_up(0));
+        assert!(net.link_is_up(1));
+        let back = net.try_send(t(0.0), NodeId::local(0), NodeId::CENTRAL, 42);
+        assert_eq!(back, Err(42));
+        assert_eq!(net.messages_dropped(), 1);
+        assert_eq!(net.messages_sent(), 0);
+        // The other site's link is unaffected.
+        assert!(net
+            .try_send(t(0.0), NodeId::local(1), NodeId::CENTRAL, 43)
+            .is_ok());
+        assert_eq!(net.messages_sent(), 1);
+        // Recovery restores infallible delivery.
+        net.set_link_up(0, true);
+        let e = net.send(t(1.0), NodeId::CENTRAL, NodeId::local(0), 44);
+        assert_eq!(e.deliver_at, t(1.2));
+        assert_eq!(net.messages_dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "downed link")]
+    fn send_on_downed_link_panics() {
+        let mut net = StarNetwork::new(1, d(0.1));
+        net.set_link_up(0, false);
+        net.send(t(0.0), NodeId::local(0), NodeId::CENTRAL, ());
+    }
+
+    #[test]
+    fn slow_factor_inflates_latency_and_counts_delayed() {
+        let mut net = StarNetwork::new(1, d(0.2));
+        net.set_slow_factor(0, 4.0);
+        assert_eq!(net.slow_factor(0), 4.0);
+        let e = net.send(t(1.0), NodeId::local(0), NodeId::CENTRAL, ());
+        assert_eq!(e.deliver_at, t(1.8));
+        assert_eq!(net.messages_delayed(), 1);
+        // Back to nominal: FIFO still holds against the inflated delivery.
+        net.set_slow_factor(0, 1.0);
+        let e2 = net.send(t(1.0), NodeId::local(0), NodeId::CENTRAL, ());
+        assert_eq!(e2.deliver_at, t(1.8), "FIFO floor from the slow message");
+        assert_eq!(net.messages_delayed(), 1);
+        assert_eq!(net.messages_sent(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "slow factor")]
+    fn slow_factor_below_one_is_rejected() {
+        let mut net = StarNetwork::new(1, d(0.1));
+        net.set_slow_factor(0, 0.5);
     }
 }

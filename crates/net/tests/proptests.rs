@@ -1,22 +1,29 @@
-//! Property-based tests for the star network.
+//! Randomized (seeded, deterministic) tests for the star network.
 
 use hls_net::{NodeId, StarNetwork};
-use hls_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use hls_sim::{SimDuration, SimRng, SimTime};
 
-proptest! {
-    /// Deliveries on each directed link are FIFO and never precede
-    /// `send time + delay`, for arbitrary send schedules.
-    #[test]
-    fn links_are_fifo_and_causal(
-        delay_ms in 0u32..1000,
-        sends in proptest::collection::vec((0u32..4, any::<bool>(), 0u32..10_000), 1..200)
-    ) {
+/// Deliveries on each directed link are FIFO and never precede
+/// `send time + delay`, for arbitrary send schedules.
+#[test]
+fn links_are_fifo_and_causal() {
+    let mut rng = SimRng::seed_from_u64(0xF1F0);
+    for _ in 0..64 {
+        let delay_ms = rng.random_range(0..1000);
         let delay = SimDuration::from_secs(f64::from(delay_ms) / 1000.0);
         let mut net = StarNetwork::new(4, delay);
         let mut last_per_link: std::collections::HashMap<(usize, bool), SimTime> =
             std::collections::HashMap::new();
-        let mut sends = sends;
+        let n = rng.random_range(1..200) as usize;
+        let mut sends: Vec<(u32, bool, u32)> = (0..n)
+            .map(|_| {
+                (
+                    rng.random_range(0..4),
+                    rng.random_range(0..2) == 0,
+                    rng.random_range(0..10_000),
+                )
+            })
+            .collect();
         // Times must be non-decreasing for a causal sender.
         sends.sort_by_key(|&(_, _, t)| t);
         for (site, up, t_ms) in sends {
@@ -27,21 +34,23 @@ proptest! {
                 (NodeId::CENTRAL, NodeId::local(site))
             };
             let env = net.send(now, from, to, ());
-            prop_assert!(env.deliver_at >= now + delay);
+            assert!(env.deliver_at >= now + delay);
             let key = (site as usize, up);
             if let Some(&prev) = last_per_link.get(&key) {
-                prop_assert!(env.deliver_at >= prev, "FIFO violated");
+                assert!(env.deliver_at >= prev, "FIFO violated");
             }
             last_per_link.insert(key, env.deliver_at);
         }
     }
+}
 
-    /// Message counters add up.
-    #[test]
-    fn traffic_counters_are_consistent(
-        ups in 0u32..50,
-        downs in 0u32..50,
-    ) {
+/// Message counters add up.
+#[test]
+fn traffic_counters_are_consistent() {
+    let mut rng = SimRng::seed_from_u64(0xC072);
+    for _ in 0..32 {
+        let ups = rng.random_range(0..50);
+        let downs = rng.random_range(0..50);
         let mut net = StarNetwork::new(2, SimDuration::from_secs(0.1));
         for _ in 0..ups {
             net.send(SimTime::ZERO, NodeId::local(0), NodeId::CENTRAL, ());
@@ -49,8 +58,8 @@ proptest! {
         for _ in 0..downs {
             net.send(SimTime::ZERO, NodeId::CENTRAL, NodeId::local(1), ());
         }
-        prop_assert_eq!(net.messages_to_central(), u64::from(ups));
-        prop_assert_eq!(net.messages_from_central(), u64::from(downs));
-        prop_assert_eq!(net.messages_sent(), u64::from(ups + downs));
+        assert_eq!(net.messages_to_central(), u64::from(ups));
+        assert_eq!(net.messages_from_central(), u64::from(downs));
+        assert_eq!(net.messages_sent(), u64::from(ups + downs));
     }
 }

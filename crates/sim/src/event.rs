@@ -1,15 +1,31 @@
 //! Deterministic event queue for discrete-event simulation.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::SimTime;
+
+/// Handle to a pending event, returned by [`EventQueue::schedule_keyed`]
+/// and consumed by [`EventQueue::cancel`].
+///
+/// Keys are intentionally not `Copy`: a key must be cancelled at most once,
+/// and only while its event is still pending (cancelling a key whose event
+/// has already fired is a logic error the queue cannot detect).
+#[derive(Debug, PartialEq, Eq)]
+pub struct EventKey(u64);
 
 /// A pending event queue ordered by firing time.
 ///
 /// Events scheduled for the same instant fire in the order they were
 /// scheduled (FIFO), which keeps simulations deterministic regardless of the
 /// underlying heap's tie-breaking.
+///
+/// Events scheduled with [`EventQueue::schedule_keyed`] can be revoked with
+/// [`EventQueue::cancel`] — used by the fault-injection layer to discard
+/// work (CPU completions, pending I/O) lost to a crash. Cancellation is
+/// lazy: the entry stays in the heap and is skipped when it surfaces, so
+/// the sequence numbering — and therefore the FIFO order of all other
+/// events — is exactly as if the cancelled event were still present.
 ///
 /// # Examples
 ///
@@ -28,6 +44,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
+    cancelled: HashSet<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -70,6 +87,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            cancelled: HashSet::new(),
         }
     }
 
@@ -87,6 +105,17 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than the current simulated time, which would
     /// violate causality.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        let _ = self.schedule_keyed(at, event);
+    }
+
+    /// Schedules `event` at `at` and returns an [`EventKey`] that can later
+    /// be passed to [`EventQueue::cancel`]. Behaves exactly like
+    /// [`EventQueue::schedule`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulated time.
+    pub fn schedule_keyed(&mut self, at: SimTime, event: E) -> EventKey {
         assert!(
             at >= self.now,
             "cannot schedule event in the past: at={at} now={now}",
@@ -95,11 +124,33 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
+        EventKey(seq)
+    }
+
+    /// Cancels a pending event; it will never be returned by
+    /// [`EventQueue::pop`]. The key must belong to an event that has not
+    /// fired yet (keys are consumed, so double-cancel is impossible).
+    pub fn cancel(&mut self, key: EventKey) {
+        let inserted = self.cancelled.insert(key.0);
+        debug_assert!(inserted, "event {key:?} cancelled twice");
+    }
+
+    /// Drops cancelled entries sitting at the head of the heap so `peek`
+    /// and `pop` only ever see live events.
+    fn purge_cancelled_head(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.remove(&head.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
     }
 
     /// Removes and returns the next event, advancing the clock to its firing
     /// time. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.purge_cancelled_head();
         let entry = self.heap.pop()?;
         self.now = entry.at;
         Some((entry.at, entry.event))
@@ -107,20 +158,21 @@ impl<E> EventQueue<E> {
 
     /// Returns the firing time of the next event without removing it.
     #[must_use]
-    pub fn peek_time(&self) -> Option<SimTime> {
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.purge_cancelled_head();
         self.heap.peek().map(|e| e.at)
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
     /// Returns `true` if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -182,6 +234,60 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), "keep1");
+        let key = q.schedule_keyed(SimTime::from_secs(2.0), "dropped");
+        q.schedule(SimTime::from_secs(3.0), "keep2");
+        assert_eq!(q.len(), 3);
+        q.cancel(key);
+        assert_eq!(q.len(), 2);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["keep1", "keep2"]);
+    }
+
+    #[test]
+    fn cancellation_preserves_fifo_of_survivors() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        let mut keys = Vec::new();
+        for i in 0..10 {
+            keys.push(q.schedule_keyed(t, i));
+        }
+        // Cancel the odd ones; the evens must still fire in FIFO order.
+        for (i, key) in keys.into_iter().enumerate() {
+            if i % 2 == 1 {
+                q.cancel(key);
+            }
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let key = q.schedule_keyed(SimTime::from_secs(1.0), "dropped");
+        q.schedule(SimTime::from_secs(5.0), "live");
+        q.cancel(key);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5.0)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5.0), "live")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancelling_everything_empties_the_queue() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_keyed(SimTime::from_secs(1.0), ());
+        let b = q.schedule_keyed(SimTime::from_secs(2.0), ());
+        q.cancel(a);
+        q.cancel(b);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

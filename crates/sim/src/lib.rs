@@ -71,9 +71,9 @@ mod server;
 mod stats;
 mod time;
 
-pub use event::EventQueue;
+pub use event::{EventKey, EventQueue};
 pub use multi_server::MultiServer;
-pub use rng::{sample_exponential, sample_uniform, RngStreams};
+pub use rng::{sample_exponential, sample_uniform, RngStreams, Sample, SimRng};
 pub use server::{FcfsServer, Job, ServiceStart};
 pub use stats::{t_critical_95, Accumulator, BatchMeans, Histogram, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -121,6 +121,22 @@ impl MultiServer {
         (finished, next)
     }
 
+    /// Empties the station at `now` — a crash: every job, in service or
+    /// waiting, is evicted and returned (in-service jobs sorted by id, then
+    /// the FIFO queue, so the order is deterministic). Busy-server-seconds
+    /// accumulated so far are preserved, so utilization over a window that
+    /// spans the crash stays correct.
+    ///
+    /// The caller is responsible for cancelling any completion events it
+    /// scheduled for the evicted jobs.
+    pub fn drain(&mut self, now: SimTime) -> Vec<Job> {
+        self.advance_clock(now);
+        let mut evicted: Vec<Job> = self.in_service.drain().map(|(_, job)| job).collect();
+        evicted.sort_by_key(|j| j.id);
+        evicted.extend(self.waiting.drain(..));
+        evicted
+    }
+
     /// Jobs present (waiting + in service) — the queue length observed by
     /// the routing strategies.
     #[must_use]
@@ -233,6 +249,25 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_panics() {
         let _ = MultiServer::new(0, 1.0);
+    }
+
+    #[test]
+    fn drain_evicts_everything_deterministically_and_keeps_accounting() {
+        let mut s = MultiServer::new(2, 1.0);
+        s.submit(t(0.0), Job::new(7, 4.0));
+        s.submit(t(0.0), Job::new(3, 4.0));
+        s.submit(t(0.0), Job::new(9, 1.0));
+        s.submit(t(0.0), Job::new(1, 1.0));
+        let evicted = s.drain(t(1.0));
+        // In-service sorted by id first, then the FIFO tail.
+        let ids: Vec<u64> = evicted.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![3, 7, 9, 1]);
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.busy_servers(), 0);
+        // Two servers busy for 1 s before the crash.
+        assert!((s.busy_server_seconds(t(5.0)) - 2.0).abs() < 1e-12);
+        // The station is immediately usable again.
+        assert!(s.submit(t(2.0), Job::new(10, 1.0)).is_some());
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Streaming moment accumulator.
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean / variance / min / max over a sequence of observations,
 /// using Welford's numerically stable one-pass algorithm.
 ///
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(acc.mean(), 2.5);
 /// assert_eq!(acc.count(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Accumulator {
     count: u64,
     mean: f64,

@@ -1,7 +1,5 @@
 //! Batch-means confidence intervals for steady-state output analysis.
 
-use serde::{Deserialize, Serialize};
-
 use super::Accumulator;
 
 /// Batch-means estimator: observations are grouped into fixed-size batches,
@@ -20,7 +18,7 @@ use super::Accumulator;
 /// let (lo, hi) = bm.confidence_interval_95().unwrap();
 /// assert!(lo <= 4.5 + 1e-9 && 4.5 - 1e-9 <= hi);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchMeans {
     batch_size: u64,
     current: Accumulator,

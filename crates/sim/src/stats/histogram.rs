@@ -1,7 +1,5 @@
 //! Fixed-width histogram with quantile queries.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-width binned histogram over `[0, bin_width * bins)`, with an
 /// overflow bin for larger observations.
 ///
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let median = h.quantile(0.5).unwrap();
 /// assert!((median - 2.5).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bin_width: f64,
     counts: Vec<u64>,

@@ -1,7 +1,5 @@
 //! Time-weighted averaging of piecewise-constant signals.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// Time-weighted average of a piecewise-constant signal, such as a queue
@@ -20,7 +18,7 @@ use crate::time::SimTime;
 /// q.set(SimTime::from_secs(3.0), 0.0); // 2 for 2s
 /// assert_eq!(q.average(SimTime::from_secs(4.0)), 1.0); // 4 unit-seconds / 4s
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeWeighted {
     start: SimTime,
     last_change: SimTime,

@@ -8,8 +8,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant in simulated time, in seconds since the simulation epoch.
 ///
 /// `SimTime` is totally ordered; construction panics on non-finite values so
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_secs(), 1.5);
 /// assert!(t > SimTime::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -131,7 +129,7 @@ impl Sub<SimTime> for SimTime {
 /// let d = SimDuration::from_secs(0.2) * 2.0;
 /// assert_eq!(d.as_secs(), 0.4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimDuration(f64);
 
 impl SimDuration {

@@ -1,44 +1,53 @@
-//! Property-based tests for the simulation kernel.
+//! Randomized (seeded, deterministic) tests for the simulation kernel.
+//!
+//! Each test draws its inputs from a fixed-seed [`SimRng`], so the cases
+//! are random in shape but identical on every run — the offline,
+//! dependency-free replacement for a property-testing harness.
 
-use hls_sim::{Accumulator, EventQueue, FcfsServer, Job, SimTime, TimeWeighted};
-use proptest::prelude::*;
+use hls_sim::{Accumulator, EventQueue, FcfsServer, Job, SimRng, SimTime, TimeWeighted};
 
-proptest! {
-    /// The event queue pops events in non-decreasing time order, FIFO
-    /// within equal times, and returns exactly what was scheduled.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(
-        times in proptest::collection::vec(0u32..1000, 1..300)
-    ) {
+/// The event queue pops events in non-decreasing time order, FIFO
+/// within equal times, and returns exactly what was scheduled.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    let mut rng = SimRng::seed_from_u64(0xE0E0);
+    for _ in 0..64 {
+        let n = rng.random_range(1..300) as usize;
+        let times: Vec<u32> = (0..n).map(|_| rng.random_range(0..1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_secs(f64::from(t)), i);
         }
-        let mut popped = Vec::new();
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
         let mut last = SimTime::ZERO;
         while let Some((t, idx)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             // FIFO tie-break: same time => increasing insertion index.
             if let Some(&(pt, pidx)) = popped.last() {
                 if pt == t {
-                    prop_assert!(idx > pidx, "tie broken out of order");
+                    assert!(idx > pidx, "tie broken out of order");
                 }
             }
             popped.push((t, idx));
             last = t;
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         let mut seen: Vec<usize> = popped.iter().map(|&(_, i)| i).collect();
         seen.sort_unstable();
-        prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+        assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
     }
+}
 
-    /// An FCFS server serves jobs in submission order, its busy time never
-    /// exceeds elapsed time, and totals add up.
-    #[test]
-    fn fcfs_server_conserves_work(
-        jobs in proptest::collection::vec((1u32..100_000, 0u32..1000), 1..100)
-    ) {
+/// An FCFS server serves jobs in submission order, its busy time never
+/// exceeds elapsed time, and totals add up.
+#[test]
+fn fcfs_server_conserves_work() {
+    let mut rng = SimRng::seed_from_u64(0xFCF5);
+    for _ in 0..64 {
+        let n = rng.random_range(1..100) as usize;
+        let jobs: Vec<(u32, u32)> = (0..n)
+            .map(|_| (rng.random_range(1..100_000), rng.random_range(0..1000)))
+            .collect();
         let mut cpu = FcfsServer::new(1.0e6);
         let mut queue = EventQueue::new();
         let mut completed = Vec::new();
@@ -64,47 +73,64 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(completed.len(), jobs.len());
-        // FCFS: completion order == submission order for equal-time-safe ids
-        // (ids submitted in schedule order at distinct or FIFO-tied times).
+        assert_eq!(completed.len(), jobs.len());
         let busy = cpu.busy_time(end).as_secs();
-        prop_assert!((busy - total_work / 1.0e6).abs() < 1e-9);
-        prop_assert!(busy <= end.as_secs() + 1e-9);
+        assert!((busy - total_work / 1.0e6).abs() < 1e-9);
+        assert!(busy <= end.as_secs() + 1e-9);
     }
+}
 
-    /// Streaming accumulator agrees with a two-pass computation.
-    #[test]
-    fn accumulator_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+/// Streaming accumulator agrees with a two-pass computation.
+#[test]
+fn accumulator_matches_two_pass() {
+    let mut rng = SimRng::seed_from_u64(0xACC0);
+    for _ in 0..128 {
+        let n = rng.random_range(2..200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| (rng.random::<f64>() - 0.5) * 2e6).collect();
         let acc: Accumulator = xs.iter().copied().collect();
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((acc.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
-        prop_assert!((acc.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
-        prop_assert_eq!(acc.count(), xs.len() as u64);
+        assert!((acc.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        assert!((acc.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        assert_eq!(acc.count(), xs.len() as u64);
     }
+}
 
-    /// Merging accumulators in any split equals one-pass accumulation.
-    #[test]
-    fn accumulator_merge_is_associative(
-        xs in proptest::collection::vec(-100f64..100.0, 1..100),
-        split in 0usize..100
-    ) {
-        let k = split % xs.len();
+/// Merging accumulators in any split equals one-pass accumulation.
+#[test]
+fn accumulator_merge_is_associative() {
+    let mut rng = SimRng::seed_from_u64(0xACC1);
+    for _ in 0..128 {
+        let n = rng.random_range(1..100) as usize;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| (rng.random::<f64>() - 0.5) * 200.0)
+            .collect();
+        let k = rng.random_range(0..100) as usize % xs.len();
         let mut a: Accumulator = xs[..k].iter().copied().collect();
         let b: Accumulator = xs[k..].iter().copied().collect();
         a.merge(&b);
         let whole: Accumulator = xs.iter().copied().collect();
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-7);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-7);
     }
+}
 
-    /// Time-weighted average equals the explicit integral of the step
-    /// function.
-    #[test]
-    fn time_weighted_matches_integral(
-        steps in proptest::collection::vec((1u32..100, -50i32..50), 1..50)
-    ) {
+/// Time-weighted average equals the explicit integral of the step
+/// function.
+#[test]
+fn time_weighted_matches_integral() {
+    let mut rng = SimRng::seed_from_u64(0x1E37);
+    for _ in 0..128 {
+        let n = rng.random_range(1..50) as usize;
+        let steps: Vec<(u32, i32)> = (0..n)
+            .map(|_| {
+                (
+                    rng.random_range(1..100),
+                    rng.random_range(0..100) as i32 - 50,
+                )
+            })
+            .collect();
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         let mut t = 0.0;
         let mut integral = 0.0;
@@ -120,7 +146,11 @@ proptest! {
         integral += value;
         t += 1.0;
         let avg = tw.average(SimTime::from_secs(t));
-        prop_assert!((avg - integral / t).abs() < 1e-9, "avg {avg} vs {}", integral / t);
+        assert!(
+            (avg - integral / t).abs() < 1e-9,
+            "avg {avg} vs {}",
+            integral / t
+        );
     }
 }
 

@@ -1,12 +1,10 @@
 //! Arrival processes: homogeneous Poisson and piecewise-constant-rate
 //! (time-varying) Poisson streams.
 
-use hls_sim::{sample_exponential, SimDuration, SimTime};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use hls_sim::{sample_exponential, SimDuration, SimRng, SimTime};
 
 /// Per-site arrival-rate profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RateProfile {
     /// Homogeneous Poisson arrivals at `rate` transactions per second.
     Constant(f64),
@@ -102,7 +100,7 @@ impl ArrivalProcess {
     }
 
     /// Samples the next arrival instant strictly after `now`.
-    pub fn next_after<R: Rng + ?Sized>(&self, rng: &mut R, now: SimTime) -> SimTime {
+    pub fn next_after(&self, rng: &mut SimRng, now: SimTime) -> SimTime {
         let max = self.profile.max_rate();
         let mut t = now;
         loop {

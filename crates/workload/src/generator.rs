@@ -1,7 +1,7 @@
 //! Materialization of transactions from the workload specification.
 
 use hls_lockmgr::{LockId, LockMode};
-use rand::Rng;
+use hls_sim::SimRng;
 
 use crate::spec::{TxnClass, TxnSpec, WorkloadSpec};
 
@@ -50,7 +50,7 @@ impl TxnGenerator {
     /// # Panics
     ///
     /// Panics if `origin` is out of range.
-    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, origin: usize) -> TxnSpec {
+    pub fn generate(&self, rng: &mut SimRng, origin: usize) -> TxnSpec {
         assert!(origin < self.spec.n_sites, "origin {origin} out of range");
         let class = if rng.random::<f64>() < self.spec.p_local {
             TxnClass::A
@@ -65,12 +65,7 @@ impl TxnGenerator {
     /// # Panics
     ///
     /// Panics if `origin` is out of range.
-    pub fn generate_of_class<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        origin: usize,
-        class: TxnClass,
-    ) -> TxnSpec {
+    pub fn generate_of_class(&self, rng: &mut SimRng, origin: usize, class: TxnClass) -> TxnSpec {
         assert!(origin < self.spec.n_sites, "origin {origin} out of range");
         let (lo, hi) = match class {
             // Class A refers only to local data: uniform over the site slice.

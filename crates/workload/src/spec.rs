@@ -1,10 +1,9 @@
 //! Transaction specifications and the workload configuration.
 
 use hls_lockmgr::{LockId, LockMode};
-use serde::{Deserialize, Serialize};
 
 /// The paper's two transaction classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TxnClass {
     /// Class A: refers only to data local to its originating site, and may
     /// therefore run either at the local site or at the central complex.
@@ -24,7 +23,7 @@ impl TxnClass {
 
 /// A fully materialized transaction: its class, originating site, and the
 /// exact sequence of lock references it will make (one per database call).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxnSpec {
     /// Transaction class.
     pub class: TxnClass,
@@ -52,7 +51,7 @@ impl TxnSpec {
 
 /// Static description of the workload offered to the hybrid system,
 /// mirroring Section 4.1 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// Number of distributed (local) sites. Paper: 10.
     pub n_sites: usize,

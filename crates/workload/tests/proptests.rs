@@ -1,91 +1,112 @@
-//! Property-based tests for workload generation.
+//! Randomized (seeded, deterministic) tests for workload generation.
 
-use hls_sim::{RngStreams, SimTime};
+use hls_sim::{RngStreams, SimRng, SimTime};
 use hls_workload::{ArrivalProcess, RateProfile, TxnClass, TxnGenerator, WorkloadSpec};
-use proptest::prelude::*;
 
-fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (2usize..16, 6u32..64, 1usize..6, 0.0f64..=1.0, 0.0f64..=1.0).prop_map(
-        |(n_sites, slice, locks_per_txn, p_local, write_fraction)| WorkloadSpec {
-            n_sites,
-            lockspace: slice * n_sites as u32,
-            locks_per_txn,
-            p_local,
-            write_fraction,
-        },
-    )
+/// Draws a random-but-valid workload spec from the seeded generator.
+fn random_spec(rng: &mut SimRng) -> WorkloadSpec {
+    let n_sites = rng.random_range(2..16) as usize;
+    let slice = rng.random_range(6..64);
+    WorkloadSpec {
+        n_sites,
+        lockspace: slice * n_sites as u32,
+        locks_per_txn: rng.random_range(1..6) as usize,
+        p_local: rng.random::<f64>(),
+        write_fraction: rng.random::<f64>(),
+    }
 }
 
-proptest! {
-    /// Generated transactions always satisfy the structural workload
-    /// contract: correct lock count, distinct locks, class A confined to
-    /// the origin slice, class B within the lock space.
-    #[test]
-    fn generated_txns_satisfy_contract(spec in arb_spec(), seed in any::<u64>()) {
-        let gen = TxnGenerator::new(spec).expect("arb spec is valid");
+/// Generated transactions always satisfy the structural workload
+/// contract: correct lock count, distinct locks, class A confined to
+/// the origin slice, class B within the lock space.
+#[test]
+fn generated_txns_satisfy_contract() {
+    let mut meta = SimRng::seed_from_u64(0x5EC0);
+    for _ in 0..48 {
+        let spec = random_spec(&mut meta);
+        let seed = meta.random::<u64>();
+        let gen = TxnGenerator::new(spec).expect("random spec is valid");
         let mut rng = RngStreams::new(seed).stream(0);
         for origin in 0..spec.n_sites {
             let txn = gen.generate(&mut rng, origin);
-            prop_assert_eq!(txn.locks.len(), spec.locks_per_txn);
-            prop_assert_eq!(txn.origin, origin);
+            assert_eq!(txn.locks.len(), spec.locks_per_txn);
+            assert_eq!(txn.origin, origin);
             let mut ids: Vec<u32> = txn.locks.iter().map(|&(l, _)| l.0).collect();
             ids.sort_unstable();
             ids.dedup();
-            prop_assert_eq!(ids.len(), spec.locks_per_txn, "duplicate locks");
+            assert_eq!(ids.len(), spec.locks_per_txn, "duplicate locks");
             match txn.class {
                 TxnClass::A => {
                     let (lo, hi) = spec.slice_of(origin);
                     for &(l, _) in &txn.locks {
-                        prop_assert!((lo..hi).contains(&l.0));
+                        assert!((lo..hi).contains(&l.0));
                     }
                 }
                 TxnClass::B => {
                     for &(l, _) in &txn.locks {
-                        prop_assert!(l.0 < spec.lockspace);
+                        assert!(l.0 < spec.lockspace);
                     }
                 }
             }
         }
     }
+}
 
-    /// Degenerate class mixes are honoured exactly.
-    #[test]
-    fn degenerate_class_mixes(spec in arb_spec(), seed in any::<u64>()) {
-        let all_a = WorkloadSpec { p_local: 1.0, ..spec };
+/// Degenerate class mixes are honoured exactly.
+#[test]
+fn degenerate_class_mixes() {
+    let mut meta = SimRng::seed_from_u64(0x5EC1);
+    for _ in 0..48 {
+        let spec = random_spec(&mut meta);
+        let seed = meta.random::<u64>();
+        let all_a = WorkloadSpec {
+            p_local: 1.0,
+            ..spec
+        };
         let gen = TxnGenerator::new(all_a).unwrap();
         let mut rng = RngStreams::new(seed).stream(1);
         for _ in 0..20 {
-            prop_assert_eq!(gen.generate(&mut rng, 0).class, TxnClass::A);
+            assert_eq!(gen.generate(&mut rng, 0).class, TxnClass::A);
         }
-        let all_b = WorkloadSpec { p_local: 0.0, ..spec };
+        let all_b = WorkloadSpec {
+            p_local: 0.0,
+            ..spec
+        };
         let gen = TxnGenerator::new(all_b).unwrap();
         for _ in 0..20 {
-            prop_assert_eq!(gen.generate(&mut rng, 0).class, TxnClass::B);
+            assert_eq!(gen.generate(&mut rng, 0).class, TxnClass::B);
         }
     }
+}
 
-    /// `master_of` inverts `slice_of` for every lock a class A transaction
-    /// can reference.
-    #[test]
-    fn master_of_inverts_slices(spec in arb_spec(), seed in any::<u64>()) {
+/// `master_of` inverts `slice_of` for every lock a class A transaction
+/// can reference.
+#[test]
+fn master_of_inverts_slices() {
+    let mut meta = SimRng::seed_from_u64(0x5EC2);
+    for _ in 0..48 {
+        let spec = random_spec(&mut meta);
+        let seed = meta.random::<u64>();
         let gen = TxnGenerator::new(spec).unwrap();
         let mut rng = RngStreams::new(seed).stream(2);
         for origin in 0..spec.n_sites {
             let txn = gen.generate_of_class(&mut rng, origin, TxnClass::A);
             for &(l, _) in &txn.locks {
-                prop_assert_eq!(spec.master_of(l), origin);
+                assert_eq!(spec.master_of(l), origin);
             }
         }
     }
+}
 
-    /// Piecewise arrival processes produce strictly increasing instants
-    /// whose long-run rate matches the profile mean.
-    #[test]
-    fn piecewise_arrivals_match_mean_rate(
-        r1 in 0.5f64..4.0,
-        r2 in 0.5f64..4.0,
-        seed in any::<u64>(),
-    ) {
+/// Piecewise arrival processes produce strictly increasing instants
+/// whose long-run rate matches the profile mean.
+#[test]
+fn piecewise_arrivals_match_mean_rate() {
+    let mut meta = SimRng::seed_from_u64(0x5EC3);
+    for _ in 0..12 {
+        let r1 = 0.5 + meta.random::<f64>() * 3.5;
+        let r2 = 0.5 + meta.random::<f64>() * 3.5;
+        let seed = meta.random::<u64>();
         let profile = RateProfile::Piecewise(vec![(20.0, r1), (20.0, r2)]);
         let mean = profile.mean_rate();
         let proc = ArrivalProcess::new(profile);
@@ -95,7 +116,7 @@ proptest! {
         let mut n = 0u64;
         loop {
             let next = proc.next_after(&mut rng, t);
-            prop_assert!(next > t);
+            assert!(next > t);
             if next.as_secs() >= horizon {
                 break;
             }
@@ -103,7 +124,7 @@ proptest! {
             n += 1;
         }
         let measured = n as f64 / horizon;
-        prop_assert!(
+        assert!(
             (measured - mean).abs() / mean < 0.15,
             "measured {measured:.3} vs mean {mean:.3}"
         );

@@ -5,6 +5,7 @@
 //!          [--p-local F] [--lockspace N] [--sim-time SECS] [--warmup SECS]
 //!          [--seed N] [--threshold F] [--p-ship F] [--ideal-state]
 //!          [--reps N] [--jobs N] [--ci-target F] [--max-reps N]
+//!          [--fault-schedule FILE] [--failure-aware]
 //! ```
 //!
 //! Policies: `none`, `static`, `measured`, `queue`, `threshold`,
@@ -13,16 +14,22 @@
 //!
 //! With `--reps N` (or `--ci-target F`) the run is replicated over
 //! deterministically derived seeds — fanned across `--jobs` worker threads
-//! (0 = all cores) — and mean ± 95% confidence half-widths are reported.
-//! `--ci-target 0.05` keeps adding replications (up to `--max-reps`) until
-//! the relative half-width of mean response drops below 5%. Results are
-//! bit-identical for any `--jobs` value.
+//! (omit for all cores) — and mean ± 95% confidence half-widths are
+//! reported. `--ci-target 0.05` keeps adding replications (up to
+//! `--max-reps`) until the relative half-width of mean response drops
+//! below 5%. Results are bit-identical for any `--jobs` value.
+//!
+//! `--fault-schedule FILE` injects a deterministic fault schedule (see
+//! [`FaultSchedule::parse`] for the line format); `--failure-aware` wraps
+//! the policy so class A traffic fails over to the central complex when
+//! its site is down. With a non-empty schedule the availability metrics
+//! (downtime, rejections, crash aborts, failovers) are printed too.
 
 use std::process::ExitCode;
 
 use hybrid_load_sharing::core::{
     optimal_static_spec, replicate_ci, replicate_jobs, run_simulation, summarize, CiOptions,
-    MetricSummary, RouterSpec, RunMetrics, SystemConfig, UtilizationEstimator,
+    FaultSchedule, MetricSummary, RouterSpec, RunMetrics, SystemConfig, UtilizationEstimator,
 };
 
 struct Args {
@@ -39,9 +46,11 @@ struct Args {
     p_ship: Option<f64>,
     ideal_state: bool,
     reps: u64,
-    jobs: usize,
+    jobs: Option<usize>,
     ci_target: Option<f64>,
-    max_reps: u64,
+    max_reps: Option<u64>,
+    fault_schedule: Option<String>,
+    failure_aware: bool,
 }
 
 impl Args {
@@ -60,9 +69,11 @@ impl Args {
             p_ship: None,
             ideal_state: false,
             reps: 1,
-            jobs: 0,
+            jobs: None,
             ci_target: None,
-            max_reps: 64,
+            max_reps: None,
+            fault_schedule: None,
+            failure_aware: false,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -88,15 +99,92 @@ impl Args {
                 "--p-ship" => a.p_ship = Some(parse(value()?)?),
                 "--ideal-state" => a.ideal_state = true,
                 "--reps" => a.reps = parse(value()?)?,
-                "--jobs" => a.jobs = parse(value()?)?,
+                "--jobs" => a.jobs = Some(parse(value()?)?),
                 "--ci-target" => a.ci_target = Some(parse(value()?)?),
-                "--max-reps" => a.max_reps = parse(value()?)?,
+                "--max-reps" => a.max_reps = Some(parse(value()?)?),
+                "--fault-schedule" => a.fault_schedule = Some(value()?.to_string()),
+                "--failure-aware" => a.failure_aware = true,
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument: {other}")),
             }
             i += 1;
         }
+        a.validate()?;
         Ok(a)
+    }
+
+    /// Rejects inconsistent flag combinations with errors that say what to
+    /// change, instead of silently falling back to defaults.
+    fn validate(&self) -> Result<(), String> {
+        if self.rate <= 0.0 || self.rate.is_nan() {
+            return Err(format!(
+                "--rate must be a positive offered load in tps (got {})",
+                self.rate
+            ));
+        }
+        if self.delay < 0.0 {
+            return Err(format!(
+                "--delay must be a non-negative communication delay in seconds (got {})",
+                self.delay
+            ));
+        }
+        if self.sim_time <= 0.0 || self.sim_time.is_nan() {
+            return Err(format!(
+                "--sim-time must be a positive measurement window in seconds (got {})",
+                self.sim_time
+            ));
+        }
+        if self.warmup < 0.0 {
+            return Err(format!(
+                "--warmup must be non-negative (got {}); use 0 to measure from the start",
+                self.warmup
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.p_local) {
+            return Err(format!(
+                "--p-local is a probability and must lie in [0, 1] (got {})",
+                self.p_local
+            ));
+        }
+        if let Some(p) = self.p_ship {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "--p-ship is a probability and must lie in [0, 1] (got {p})"
+                ));
+            }
+        }
+        if self.sites == 0 {
+            return Err("--sites must be at least 1".into());
+        }
+        if self.reps == 0 {
+            return Err("--reps must be at least 1; omit it for a single run".into());
+        }
+        if self.jobs == Some(0) {
+            return Err(
+                "--jobs 0 is ambiguous: pass --jobs N with N >= 1 worker threads, \
+                 or omit --jobs to use all cores"
+                    .into(),
+            );
+        }
+        match (self.ci_target, self.max_reps) {
+            (Some(t), _) if !(t > 0.0 && t < 1.0) => Err(format!(
+                "--ci-target is a relative half-width and must lie in (0, 1) (got {t})"
+            )),
+            (Some(_), None) => Err("--ci-target needs --max-reps N to bound auto-replication \
+                 (e.g. --max-reps 64)"
+                .into()),
+            (None, Some(_)) => Err(
+                "--max-reps only bounds --ci-target auto-replication; add --ci-target R \
+                 or use --reps N for a fixed replication count"
+                    .into(),
+            ),
+            (Some(_), Some(max)) if max < self.reps.max(3) => Err(format!(
+                "--max-reps {max} is below the minimum replication count {} \
+                 (max(3, --reps))",
+                self.reps.max(3)
+            )),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -110,12 +198,17 @@ fn usage() {
          \x20               [--p-local F] [--lockspace N] [--sim-time SECS] [--warmup SECS]\n\
          \x20               [--seed N] [--threshold F] [--p-ship F] [--ideal-state]\n\
          \x20               [--reps N] [--jobs N] [--ci-target F] [--max-reps N]\n\
+         \x20               [--fault-schedule FILE] [--failure-aware]\n\
          policies: none static measured queue threshold min-incoming-q\n\
          \x20         min-incoming-n min-average-q min-average-n smoothed\n\
          replication: --reps runs N seed replications in parallel (--jobs\n\
-         \x20         worker threads, 0 = all cores) and reports mean +/- 95% CI;\n\
+         \x20         worker threads, omit for all cores) and reports mean +/- 95% CI;\n\
          \x20         --ci-target R auto-replicates until the relative CI\n\
-         \x20         half-width of mean response is <= R (cap: --max-reps)"
+         \x20         half-width of mean response is <= R (cap: --max-reps)\n\
+         faults: --fault-schedule FILE injects `site I down FROM TO`,\n\
+         \x20         `central down FROM TO`, `link I down FROM TO`,\n\
+         \x20         `link I slow FROM TO xF`, `partition I,J FROM TO` lines;\n\
+         \x20         --failure-aware ships class A around site outages"
     );
 }
 
@@ -127,20 +220,21 @@ fn print_summary(name: &str, s: &MetricSummary, unit: &str) {
 }
 
 fn run_replicated(args: &Args, cfg: &SystemConfig, spec: RouterSpec) -> ExitCode {
+    let jobs = args.jobs.unwrap_or(0);
     let outcome = match args.ci_target {
         Some(rel_target) => replicate_ci(
             cfg,
             spec,
             &CiOptions {
-                jobs: args.jobs,
+                jobs,
                 rel_target,
                 min_replications: args.reps.max(3),
-                max_replications: args.max_reps.max(args.reps),
+                max_replications: args.max_reps.expect("validated").max(args.reps),
                 batch: 0,
             },
         )
         .map(|ci| (ci.runs, Some(ci.target_met))),
-        None => replicate_jobs(cfg, spec, args.reps, args.jobs).map(|runs| (runs, None)),
+        None => replicate_jobs(cfg, spec, args.reps, jobs).map(|runs| (runs, None)),
     };
     let (runs, target_met) = match outcome {
         Ok(r) => r,
@@ -203,6 +297,28 @@ fn main() -> ExitCode {
     cfg.params.p_local = args.p_local;
     cfg.params.lockspace = args.lockspace;
     cfg.instantaneous_state = args.ideal_state;
+    cfg.failure_aware = args.failure_aware;
+    if let Some(path) = &args.fault_schedule {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read fault schedule {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let schedule = match FaultSchedule::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("invalid fault schedule {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = schedule.validate(args.sites) {
+            eprintln!("invalid fault schedule {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        cfg.fault_schedule = schedule;
+    }
 
     let spec = match args.policy.as_str() {
         "none" => RouterSpec::NoSharing,
@@ -242,6 +358,7 @@ fn main() -> ExitCode {
         return run_replicated(&args, &cfg, spec);
     }
 
+    let fault_free = cfg.fault_schedule.is_empty();
     let m = match run_simulation(cfg, spec) {
         Ok(m) => m,
         Err(e) => {
@@ -286,6 +403,27 @@ fn main() -> ExitCode {
     println!("messages            {}", m.messages);
     for (kind, count) in &m.messages_by_kind {
         println!("  {kind:<17} {count}");
+    }
+    if !fault_free {
+        let a = &m.availability;
+        println!("downtime            {:.1} s", a.downtime_secs);
+        println!(
+            "rejected            {} class A, {} class B",
+            a.rejected_class_a, a.rejected_class_b
+        );
+        println!(
+            "crash aborts        {} site, {} central",
+            a.crash_aborts_site, a.crash_aborts_central
+        );
+        println!(
+            "failover            {} shipped, {} kept local, {} retries",
+            a.failover_shipped, a.failover_local, a.retries
+        );
+        println!("deferred messages   {}", a.deferred_messages);
+        match a.mean_response_during_outage {
+            Some(rt) => println!("response in outage  {rt:.3} s"),
+            None => println!("response in outage  n/a (no overlapping completions)"),
+        }
     }
     ExitCode::SUCCESS
 }

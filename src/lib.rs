@@ -1,7 +1,9 @@
 //! Umbrella crate: re-exports the hybrid load-sharing workspace crates.
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub use hls_analytic as analytic;
 pub use hls_core as core;
+pub use hls_faults as faults;
 pub use hls_lockmgr as lockmgr;
 pub use hls_net as net;
 pub use hls_sim as sim;
