@@ -18,8 +18,8 @@ use std::process::ExitCode;
 use hls_bench::{
     ablation_batch, ablation_lockspace, ablation_mips, ablation_ploc, ablation_remote_calls,
     ablation_servers, ablation_sites, ablation_smoothing, ablation_state, analytic_check,
-    availability_outage, fig4_1, fig4_2, fig4_3, fig4_4, fig4_5, fig4_6, fig4_7, oscillation_trace,
-    variance_check, Figure, Profile,
+    availability_mtbf, availability_outage, fig4_1, fig4_2, fig4_3, fig4_4, fig4_5, fig4_6, fig4_7,
+    oscillation_trace, tail_latency, variance_check, Figure, Profile,
 };
 
 type Generator = fn(&Profile) -> Figure;
@@ -45,6 +45,8 @@ const EXPERIMENTS: &[(&str, Generator)] = &[
     ("variance_check", variance_check),
     ("ablation_remote_calls", ablation_remote_calls),
     ("availability_outage", availability_outage),
+    ("availability_mtbf", availability_mtbf),
+    ("tail_latency", tail_latency),
 ];
 
 fn main() -> ExitCode {

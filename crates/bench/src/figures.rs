@@ -7,8 +7,8 @@
 
 use hls_analytic::solve_static;
 use hls_core::{
-    optimal_static_spec, run_simulation, FaultSchedule, HybridSystem, RouterSpec, RunMetrics,
-    SystemConfig, UtilizationEstimator,
+    optimal_static_spec, run_simulation, FaultProfile, FaultSchedule, HybridSystem, LogHistogram,
+    MetricSummary, ObsConfig, RouterSpec, RunMetrics, SystemConfig, UtilizationEstimator,
 };
 
 use crate::report::{Figure, Series};
@@ -736,6 +736,140 @@ pub fn ablation_smoothing(profile: &Profile) -> Figure {
         ),
     ];
     sweep(profile, 0.5, &policies, |rate, _| rate, report_rt, &mut fig);
+    fig
+}
+
+/// Tail latency (extension): p50/p95/p99 response-time quantiles from
+/// the streaming observability histograms, for no sharing vs the best
+/// dynamic strategy. The paper reports means only; the tails show that
+/// load sharing helps the p99 long before the mean saturates.
+#[must_use]
+pub fn tail_latency(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "tail_latency",
+        "Response-time tail (p50/p95/p99 from streaming histograms, d=0.2s)",
+        "offered rate (tps)",
+        "response-time quantile (s)",
+    );
+    for (label, spec) in [
+        ("none", RouterSpec::NoSharing),
+        ("best-dynamic", best_dynamic()),
+    ] {
+        let metrics = parallel_map(&profile.rates, |&rate| {
+            let cfg = profile.base(0.2).with_total_rate(rate).with_obs(ObsConfig {
+                histograms: true,
+                profile: false,
+            });
+            run_simulation(cfg, spec).expect("valid")
+        });
+        // Union of all (class, route, site) response histograms — the
+        // same merge used across replications works across keys.
+        let overall: Vec<Option<LogHistogram>> = metrics
+            .iter()
+            .map(|m| {
+                let obs = m.obs.as_ref()?;
+                let mut merged: Option<LogHistogram> = None;
+                for (_, h) in &obs.response {
+                    match &mut merged {
+                        Some(acc) => acc.merge(h),
+                        None => merged = Some(h.clone()),
+                    }
+                }
+                merged
+            })
+            .collect();
+        for (q_label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let points = profile
+                .rates
+                .iter()
+                .zip(&overall)
+                .map(|(&rate, h)| {
+                    let y = h
+                        .as_ref()
+                        .and_then(|h| h.quantile(q))
+                        .unwrap_or(f64::INFINITY);
+                    (rate, y)
+                })
+                .collect();
+            fig.push(Series::new(format!("{label}:{q_label}"), points));
+        }
+    }
+    fig
+}
+
+/// Availability (extension): sampled site crash/repair processes over a
+/// sweep of the site MTBF (MTTR fixed at 30 s, central and links kept
+/// up). Each point averages five independently sampled fault schedules;
+/// the error bars are 95% Student-t half-widths across the schedules.
+#[must_use]
+pub fn availability_mtbf(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "availability_mtbf",
+        "Sampled site faults: MTBF sweep (MTTR 30s, 5 schedules per point)",
+        "site MTBF (s)",
+        "mean response time (s) / rejected class A (count)",
+    );
+    let mtbfs = [150.0, 300.0, 600.0, 1200.0];
+    const SCHEDULES: u64 = 5;
+    let rate = 18.0;
+    let cells: Vec<(usize, u64)> = (0..mtbfs.len())
+        .flat_map(|mi| (0..SCHEDULES).map(move |s| (mi, s)))
+        .collect();
+    for (label, spec, failure_aware) in [
+        ("none", RouterSpec::NoSharing, false),
+        ("failover-dynamic", best_dynamic(), true),
+    ] {
+        let metrics = parallel_map(&cells, |&(mi, schedule)| {
+            let faults = FaultProfile {
+                site_mtbf: mtbfs[mi],
+                site_mttr: 30.0,
+                central_mtbf: 0.0,
+                central_mttr: 30.0,
+                link_mtbf: 0.0,
+                link_mttr: 15.0,
+            };
+            let mut cfg = profile
+                .base(0.2)
+                .with_total_rate(rate)
+                .with_seed(profile.seed.wrapping_add(schedule.wrapping_mul(7919)));
+            cfg.fault_schedule = FaultSchedule::sample(
+                0x4D7B_0000 + schedule,
+                profile.sim_time,
+                cfg.params.n_sites,
+                &faults,
+            );
+            cfg.failure_aware = failure_aware;
+            run_simulation(cfg, spec).expect("valid")
+        });
+        let summarize = |metric: &dyn Fn(&RunMetrics) -> f64| -> (Vec<(f64, f64)>, Vec<f64>) {
+            let mut points = Vec::new();
+            let mut halves = Vec::new();
+            for (mi, &mtbf) in mtbfs.iter().enumerate() {
+                let samples = cells
+                    .iter()
+                    .zip(&metrics)
+                    .filter(|((ci, _), _)| *ci == mi)
+                    .map(|(_, m)| metric(m));
+                let s = MetricSummary::from_samples(samples);
+                points.push((mtbf, s.mean));
+                halves.push(s.half_width_95.unwrap_or(0.0));
+            }
+            (points, halves)
+        };
+        let (rt_points, rt_halves) = summarize(&report_rt);
+        fig.push(Series::with_errors(
+            format!("{label}:rt"),
+            rt_points,
+            rt_halves,
+        ));
+        let (rej_points, rej_halves) =
+            summarize(&|m: &RunMetrics| m.availability.rejected_class_a as f64);
+        fig.push(Series::with_errors(
+            format!("{label}:rejected-a"),
+            rej_points,
+            rej_halves,
+        ));
+    }
     fig
 }
 

@@ -2,6 +2,7 @@
 
 use hls_analytic::SystemParams;
 use hls_faults::FaultSchedule;
+use hls_obs::ObsConfig;
 use hls_workload::{RateProfile, WorkloadSpec};
 
 /// How class B (non-local data) transactions are executed.
@@ -98,6 +99,15 @@ pub struct SystemConfig {
     pub fault_retry_backoff: f64,
     /// Retries granted to such a transaction before it is rejected.
     pub fault_max_retries: u32,
+    /// Maximum restart backoff delay for a deadlock victim, seconds.
+    /// The victim re-runs after a seed-derived fraction of this window.
+    /// `None` (the default) keeps the historical behaviour of one
+    /// database-call service time at the victim's locale.
+    pub deadlock_backoff_window: Option<f64>,
+    /// Which observability facilities to enable (histograms, profiling).
+    /// The default (everything off) is the zero-overhead configuration;
+    /// enabling them never changes simulated outcomes.
+    pub obs: ObsConfig,
 }
 
 impl SystemConfig {
@@ -123,7 +133,23 @@ impl SystemConfig {
             failure_aware: false,
             fault_retry_backoff: 1.0,
             fault_max_retries: 3,
+            deadlock_backoff_window: None,
+            obs: ObsConfig::default(),
         }
+    }
+
+    /// Sets the maximum deadlock-victim restart backoff window, seconds.
+    #[must_use]
+    pub fn with_deadlock_backoff_window(mut self, window: f64) -> Self {
+        self.deadlock_backoff_window = Some(window);
+        self
+    }
+
+    /// Sets the observability configuration.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Sets the fault-injection schedule and enables failure-aware routing.
@@ -235,6 +261,11 @@ impl SystemConfig {
         if !(self.fault_retry_backoff > 0.0 && self.fault_retry_backoff.is_finite()) {
             return Err("fault_retry_backoff must be positive and finite".into());
         }
+        if let Some(w) = self.deadlock_backoff_window {
+            if !(w >= 0.0 && w.is_finite()) {
+                return Err("deadlock_backoff_window must be non-negative and finite".into());
+            }
+        }
         Ok(())
     }
 }
@@ -303,9 +334,25 @@ mod tests {
         let mut c = base.clone();
         c.fault_schedule = FaultSchedule::empty().site_outage(99, 1.0, 2.0);
         assert!(c.validate().unwrap_err().contains("fault schedule"));
-        let mut c = base;
+        let mut c = base.clone();
         c.fault_retry_backoff = 0.0;
         assert!(c.validate().is_err());
+        let mut c = base;
+        c.deadlock_backoff_window = Some(f64::NAN);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn obs_and_backoff_builders() {
+        let cfg = SystemConfig::paper_default()
+            .with_deadlock_backoff_window(0.25)
+            .with_obs(ObsConfig::full());
+        assert_eq!(cfg.deadlock_backoff_window, Some(0.25));
+        assert!(cfg.obs.histograms && cfg.obs.profile);
+        assert!(cfg.validate().is_ok());
+        // Zero window (immediate restart) is a valid setting.
+        let cfg = SystemConfig::paper_default().with_deadlock_backoff_window(0.0);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

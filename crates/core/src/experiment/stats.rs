@@ -5,6 +5,7 @@
 //! moments, [`t_critical_95`] for the critical values) rather than
 //! duplicating the math.
 
+use hls_obs::LogHistogram;
 use hls_sim::{t_critical_95, Accumulator};
 
 /// Mean, variance, and 95% Student-t confidence half-width of one metric
@@ -46,6 +47,29 @@ impl MetricSummary {
             n,
             mean: acc.mean(),
             variance: acc.variance(),
+            half_width_95: half,
+        }
+    }
+
+    /// Summarizes the values recorded in a streaming histogram.
+    ///
+    /// The histogram tracks its moments exactly (see
+    /// [`LogHistogram::mean`] / [`LogHistogram::variance`]), so this
+    /// yields the same mean, variance, and Student-t interval as
+    /// [`MetricSummary::from_samples`] over the raw values — letting
+    /// merged cross-replication histograms double as summary statistics
+    /// without retaining the samples.
+    #[must_use]
+    pub fn from_histogram(h: &LogHistogram) -> Self {
+        let n = h.count();
+        let half = (n >= 2).then(|| {
+            let df = usize::try_from(n - 1).unwrap_or(usize::MAX);
+            t_critical_95(df) * h.variance().sqrt() / (n as f64).sqrt()
+        });
+        MetricSummary {
+            n,
+            mean: h.mean(),
+            variance: h.variance(),
             half_width_95: half,
         }
     }
@@ -99,6 +123,25 @@ mod tests {
         let (lo, hi) = s.ci95().unwrap();
         assert!((lo - (4.0 - expected)).abs() < 1e-9);
         assert!((hi - (4.0 + expected)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_histogram_matches_from_samples() {
+        let samples = [2.0, 4.0, 6.0, 9.5];
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let via_hist = MetricSummary::from_histogram(&h);
+        let via_samples = MetricSummary::from_samples(samples);
+        assert_eq!(via_hist.n, via_samples.n);
+        assert!((via_hist.mean - via_samples.mean).abs() < 1e-12);
+        assert!((via_hist.variance - via_samples.variance).abs() < 1e-9);
+        let (a, b) = (
+            via_hist.half_width_95.unwrap(),
+            via_samples.half_width_95.unwrap(),
+        );
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
     }
 
     #[test]

@@ -70,14 +70,21 @@ pub use experiment::{
     sweep_rates_ci, sweep_rates_jobs, sweep_rates_static, sweep_rates_static_jobs,
     try_parallel_map, CiOptions, CiRun, CiSweepPoint, MetricSummary, SweepPoint, NO_RATE_INDEX,
 };
-pub use metrics::{AbortCounts, AvailabilityMetrics, MetricsCollector, RunMetrics};
+pub use metrics::{
+    AbortCounts, AvailabilityMetrics, MetricsCollector, ObsReport, ResponseKey, RunMetrics,
+    PHASE_NAMES,
+};
 pub use msg::{CentralSnapshot, Msg};
 pub use router::{FailureAwareRouter, FaultAwareDecision, RouteCtx, Router, RouterSpec};
 pub use system::{run_simulation, ConvergenceReport, HybridSystem, SamplePoint};
 pub use trace::{Trace, TraceEvent};
-pub use txn::{Phase, Route, Txn};
+pub use txn::{Phase, PhaseBreakdown, Route, Txn};
 
 // Re-export the pieces users need alongside the simulator.
 pub use hls_analytic::{Observed, SystemParams, UtilizationEstimator};
 pub use hls_faults::{FaultEvent, FaultKind, FaultProfile, FaultSchedule};
+pub use hls_obs::{
+    HistogramSummary, JsonlSink, LogHistogram, MemorySink, NullSink, ObsConfig, ProfileEntry,
+    ProfileReport, Profiler, TraceSink, TRACE_SCHEMA, TRACE_SCHEMA_VERSION,
+};
 pub use hls_workload::{RateProfile, TxnClass, WorkloadSpec};

@@ -1,6 +1,10 @@
 //! Measurement collection and run-level results.
 
+use hls_obs::{LogHistogram, ProfileReport};
 use hls_sim::{Accumulator, BatchMeans, Histogram, SimDuration, SimTime};
+use hls_workload::TxnClass;
+
+use crate::txn::{PhaseBreakdown, Route};
 
 /// Abort counters, by victim and cause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,6 +72,176 @@ pub struct AvailabilityMetrics {
     pub mean_response_during_outage: Option<f64>,
 }
 
+/// Identifies one response-time histogram: which class the transaction
+/// belonged to, where it ran, and which site it originated at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseKey {
+    /// Transaction class.
+    pub class: TxnClass,
+    /// Where the transaction executed.
+    pub route: Route,
+    /// Originating local site index.
+    pub site: usize,
+}
+
+/// Names of the transaction phases tracked by the per-phase histograms,
+/// in report order. `authentication` is only recorded for
+/// centrally-executed transactions; `restart_backoff` records each
+/// deadlock-victim backoff delay individually (not per completion).
+pub const PHASE_NAMES: [&str; 5] = [
+    "queueing",
+    "execution",
+    "commit",
+    "authentication",
+    "restart_backoff",
+];
+
+/// Response classes per site: local A, shipped A, class B.
+const KINDS_PER_SITE: usize = 3;
+
+fn kind_of(class: TxnClass, route: Route) -> usize {
+    match (class, route) {
+        (TxnClass::A, Route::Local) => 0,
+        (TxnClass::A, Route::Central) => 1,
+        (TxnClass::B, _) => 2,
+    }
+}
+
+fn key_of(kind: usize, site: usize) -> ResponseKey {
+    match kind {
+        0 => ResponseKey {
+            class: TxnClass::A,
+            route: Route::Local,
+            site,
+        },
+        1 => ResponseKey {
+            class: TxnClass::A,
+            route: Route::Central,
+            site,
+        },
+        _ => ResponseKey {
+            class: TxnClass::B,
+            route: Route::Central,
+            site,
+        },
+    }
+}
+
+/// Optional streaming histograms keyed by `(class, route, site)` and by
+/// transaction phase. Allocated once at enable time; recording never
+/// allocates.
+#[derive(Debug, Clone)]
+struct ObsHists {
+    n_sites: usize,
+    /// Indexed `site * KINDS_PER_SITE + kind`.
+    response: Vec<LogHistogram>,
+    /// Indexed by [`PHASE_NAMES`] position.
+    phases: Vec<LogHistogram>,
+}
+
+impl ObsHists {
+    fn new(n_sites: usize) -> Self {
+        ObsHists {
+            n_sites,
+            response: (0..n_sites * KINDS_PER_SITE)
+                .map(|_| LogHistogram::new())
+                .collect(),
+            phases: (0..PHASE_NAMES.len())
+                .map(|_| LogHistogram::new())
+                .collect(),
+        }
+    }
+
+    fn record(&mut self, site: usize, kind: usize, rt: SimDuration, phases: &PhaseBreakdown) {
+        self.response[site * KINDS_PER_SITE + kind].record(rt.as_secs());
+        self.phases[0].record(phases.queueing);
+        self.phases[1].record(phases.execution);
+        self.phases[2].record(phases.commit);
+        if kind != 0 {
+            self.phases[3].record(phases.authentication);
+        }
+    }
+}
+
+/// Observability report attached to [`RunMetrics`] when histograms or
+/// profiling are enabled via `ObsConfig`.
+///
+/// Histograms from independent replications merge exactly (see
+/// [`LogHistogram::merge`]), so replicated experiments can report tail
+/// quantiles over the union of their samples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsReport {
+    /// Non-empty response-time histograms, ordered by site then by
+    /// (local A, shipped A, class B).
+    pub response: Vec<(ResponseKey, LogHistogram)>,
+    /// Non-empty per-phase histograms, in [`PHASE_NAMES`] order.
+    pub phases: Vec<(&'static str, LogHistogram)>,
+    /// Profile table (empty unless profiling was enabled).
+    pub profile: ProfileReport,
+}
+
+impl ObsReport {
+    /// Merges another report into this one: histograms with matching
+    /// keys add elementwise, unmatched keys are appended, and profile
+    /// tables add by row name.
+    pub fn merge(&mut self, other: &ObsReport) {
+        for (key, hist) in &other.response {
+            match self.response.iter_mut().find(|(k, _)| k == key) {
+                Some((_, h)) => h.merge(hist),
+                None => self.response.push((*key, hist.clone())),
+            }
+        }
+        for (name, hist) in &other.phases {
+            match self.phases.iter_mut().find(|(n, _)| n == name) {
+                Some((_, h)) => h.merge(hist),
+                None => self.phases.push((name, hist.clone())),
+            }
+        }
+        self.profile.merge(&other.profile);
+    }
+
+    /// Merges the reports of many runs (skipping runs without one),
+    /// or `None` when no run carried a report.
+    #[must_use]
+    pub fn merged_from_runs<'a>(
+        runs: impl IntoIterator<Item = &'a RunMetrics>,
+    ) -> Option<ObsReport> {
+        let mut out: Option<ObsReport> = None;
+        for r in runs {
+            if let Some(obs) = &r.obs {
+                match &mut out {
+                    Some(acc) => acc.merge(obs),
+                    None => out = Some(obs.clone()),
+                }
+            }
+        }
+        out
+    }
+
+    /// Response histograms aggregated over sites, one per `(class,
+    /// route)` pair present, in (local A, shipped A, class B) order.
+    #[must_use]
+    pub fn response_by_class_route(&self) -> Vec<((TxnClass, Route), LogHistogram)> {
+        let mut out: Vec<((TxnClass, Route), LogHistogram)> = Vec::new();
+        for kind in 0..KINDS_PER_SITE {
+            let key = key_of(kind, 0);
+            let mut merged: Option<LogHistogram> = None;
+            for (k, h) in &self.response {
+                if k.class == key.class && k.route == key.route {
+                    match &mut merged {
+                        Some(m) => m.merge(h),
+                        None => merged = Some(h.clone()),
+                    }
+                }
+            }
+            if let Some(m) = merged {
+                out.push(((key.class, key.route), m));
+            }
+        }
+        out
+    }
+}
+
 /// In-run metrics collector. Observations before the warm-up boundary are
 /// discarded.
 #[derive(Debug, Clone)]
@@ -86,6 +260,7 @@ pub struct MetricsCollector {
     routed_shipped_a: u64,
     pub(crate) aborts: AbortCounts,
     avail: AvailabilityMetrics,
+    obs: Option<ObsHists>,
 }
 
 impl MetricsCollector {
@@ -107,7 +282,15 @@ impl MetricsCollector {
             routed_shipped_a: 0,
             aborts: AbortCounts::default(),
             avail: AvailabilityMetrics::default(),
+            obs: None,
         }
+    }
+
+    /// Enables per-`(class, route, site)` and per-phase response-time
+    /// histograms for a system with `n_sites` local sites. All buckets
+    /// are allocated here; recording never allocates.
+    pub fn enable_histograms(&mut self, n_sites: usize) {
+        self.obs = Some(ObsHists::new(n_sites));
     }
 
     fn measuring(&self, now: SimTime) -> bool {
@@ -132,53 +315,96 @@ impl MetricsCollector {
         }
     }
 
-    fn record_common(&mut self, now: SimTime, rt: SimDuration, attempts: u32, lock_wait: f64) {
+    fn record_common(
+        &mut self,
+        site: usize,
+        kind: usize,
+        rt: SimDuration,
+        attempts: u32,
+        phases: &PhaseBreakdown,
+    ) {
         self.rt_all.record(rt.as_secs());
         self.rt_hist.record(rt.as_secs().min(99.9));
         self.reruns.record(f64::from(attempts));
-        self.lock_wait.record(lock_wait);
-        let _ = now;
+        self.lock_wait.record(phases.queueing);
+        if let Some(obs) = &mut self.obs {
+            obs.record(site, kind, rt, phases);
+        }
     }
 
-    /// Records completion of a locally run class A transaction.
+    /// Records completion of a locally run class A transaction
+    /// originating at `site`.
     pub fn on_local_a_done(
         &mut self,
         now: SimTime,
+        site: usize,
         rt: SimDuration,
         attempts: u32,
-        lock_wait: f64,
+        phases: &PhaseBreakdown,
     ) {
         if self.measuring(now) {
-            self.record_common(now, rt, attempts, lock_wait);
+            self.record_common(
+                site,
+                kind_of(TxnClass::A, Route::Local),
+                rt,
+                attempts,
+                phases,
+            );
             self.rt_local_a.record(rt.as_secs());
         }
     }
 
-    /// Records completion of a shipped class A transaction.
+    /// Records completion of a shipped class A transaction originating
+    /// at `site`.
     pub fn on_shipped_a_done(
         &mut self,
         now: SimTime,
+        site: usize,
         rt: SimDuration,
         attempts: u32,
-        lock_wait: f64,
+        phases: &PhaseBreakdown,
     ) {
         if self.measuring(now) {
-            self.record_common(now, rt, attempts, lock_wait);
+            self.record_common(
+                site,
+                kind_of(TxnClass::A, Route::Central),
+                rt,
+                attempts,
+                phases,
+            );
             self.rt_shipped_a.record(rt.as_secs());
         }
     }
 
-    /// Records completion of a class B transaction.
+    /// Records completion of a class B transaction originating at
+    /// `site`.
     pub fn on_class_b_done(
         &mut self,
         now: SimTime,
+        site: usize,
         rt: SimDuration,
         attempts: u32,
-        lock_wait: f64,
+        phases: &PhaseBreakdown,
     ) {
         if self.measuring(now) {
-            self.record_common(now, rt, attempts, lock_wait);
+            self.record_common(
+                site,
+                kind_of(TxnClass::B, Route::Central),
+                rt,
+                attempts,
+                phases,
+            );
             self.rt_class_b.record(rt.as_secs());
+        }
+    }
+
+    /// Records one deadlock-victim restart backoff delay into the
+    /// restart-backoff phase histogram (when histograms are enabled).
+    pub fn on_backoff(&mut self, now: SimTime, delay: SimDuration) {
+        if self.measuring(now) {
+            if let Some(obs) = &mut self.obs {
+                obs.phases[4].record(delay.as_secs());
+            }
         }
     }
 
@@ -218,6 +444,7 @@ impl MetricsCollector {
         rho_central: f64,
         messages: u64,
         downtime_secs: f64,
+        profile: Option<ProfileReport>,
     ) -> RunMetrics {
         let window = (end - self.warmup).as_secs();
         assert!(window > 0.0, "measurement window is empty");
@@ -227,6 +454,30 @@ impl MetricsCollector {
             downtime_secs,
             mean_response_during_outage: mean_of(&self.rt_outage),
             ..self.avail
+        };
+        let obs = if self.obs.is_some() || profile.is_some() {
+            let mut report = ObsReport {
+                profile: profile.unwrap_or_default(),
+                ..ObsReport::default()
+            };
+            if let Some(hists) = &self.obs {
+                for site in 0..hists.n_sites {
+                    for kind in 0..KINDS_PER_SITE {
+                        let h = &hists.response[site * KINDS_PER_SITE + kind];
+                        if !h.is_empty() {
+                            report.response.push((key_of(kind, site), h.clone()));
+                        }
+                    }
+                }
+                for (name, h) in PHASE_NAMES.iter().zip(&hists.phases) {
+                    if !h.is_empty() {
+                        report.phases.push((name, h.clone()));
+                    }
+                }
+            }
+            Some(report)
+        } else {
+            None
         };
         RunMetrics {
             window_secs: window,
@@ -252,6 +503,7 @@ impl MetricsCollector {
             messages,
             messages_by_kind: Vec::new(),
             availability,
+            obs,
         }
     }
 }
@@ -302,6 +554,11 @@ pub struct RunMetrics {
     pub messages_by_kind: Vec<(String, u64)>,
     /// Fault-injection availability counters (all zero without faults).
     pub availability: AvailabilityMetrics,
+    /// Observability report: response-time and phase histograms plus the
+    /// profile table. `None` unless enabled via `ObsConfig` — and
+    /// excluded by construction from the simulated outcome, so two runs
+    /// differing only in observability agree on every other field.
+    pub obs: Option<ObsReport>,
 }
 
 #[cfg(test)]
@@ -315,21 +572,29 @@ mod tests {
         SimDuration::from_secs(secs)
     }
 
+    fn wait(queueing: f64) -> PhaseBreakdown {
+        PhaseBreakdown {
+            queueing,
+            ..PhaseBreakdown::default()
+        }
+    }
+
     #[test]
     fn warmup_observations_are_discarded() {
         let mut m = MetricsCollector::new(t(10.0));
         m.on_arrival(t(5.0));
-        m.on_local_a_done(t(5.0), d(1.0), 0, 0.0);
+        m.on_local_a_done(t(5.0), 0, d(1.0), 0, &wait(0.0));
         m.on_route_class_a(t(5.0), true);
         m.on_abort(t(5.0), |a| a.deadlock_local += 1);
         m.on_availability(t(5.0), |a| a.rejected_class_b += 1);
         m.on_outage_response(t(5.0), d(1.0));
-        let r = m.finalize(t(20.0), 0.5, 0.2, 7, 0.0);
+        let r = m.finalize(t(20.0), 0.5, 0.2, 7, 0.0, None);
         assert_eq!(r.arrivals, 0);
         assert_eq!(r.completions, 0);
         assert_eq!(r.shipped_fraction, 0.0);
         assert_eq!(r.aborts.total(), 0);
         assert_eq!(r.availability, AvailabilityMetrics::default());
+        assert_eq!(r.obs, None);
     }
 
     #[test]
@@ -339,9 +604,9 @@ mod tests {
         m.on_arrival(t(12.0));
         m.on_route_class_a(t(11.0), false);
         m.on_route_class_a(t(12.0), true);
-        m.on_local_a_done(t(13.0), d(2.0), 0, 0.25);
-        m.on_shipped_a_done(t(14.0), d(4.0), 1, 0.75);
-        let r = m.finalize(t(20.0), 0.5, 0.2, 7, 0.0);
+        m.on_local_a_done(t(13.0), 0, d(2.0), 0, &wait(0.25));
+        m.on_shipped_a_done(t(14.0), 1, d(4.0), 1, &wait(0.75));
+        let r = m.finalize(t(20.0), 0.5, 0.2, 7, 0.0, None);
         assert_eq!(r.arrivals, 2);
         assert_eq!(r.completions, 2);
         assert_eq!(r.mean_response, 3.0);
@@ -377,7 +642,7 @@ mod tests {
         });
         m.on_outage_response(t(12.0), d(4.0));
         m.on_outage_response(t(13.0), d(6.0));
-        let r = m.finalize(t(20.0), 0.5, 0.2, 7, 2.5);
+        let r = m.finalize(t(20.0), 0.5, 0.2, 7, 2.5, None);
         assert_eq!(r.availability.rejected_class_a, 2);
         assert_eq!(r.availability.crash_aborts_site, 1);
         assert_eq!(r.availability.failover_shipped, 3);
@@ -389,6 +654,74 @@ mod tests {
     #[should_panic(expected = "window")]
     fn empty_window_panics() {
         let m = MetricsCollector::new(t(10.0));
-        let _ = m.finalize(t(10.0), 0.0, 0.0, 0, 0.0);
+        let _ = m.finalize(t(10.0), 0.0, 0.0, 0, 0.0, None);
+    }
+
+    #[test]
+    fn histograms_key_by_class_route_site_and_phase() {
+        let mut m = MetricsCollector::new(t(10.0));
+        m.enable_histograms(2);
+        let b = PhaseBreakdown {
+            queueing: 0.5,
+            execution: 1.0,
+            commit: 0.25,
+            authentication: 0.25,
+            restart_backoff: 0.0,
+        };
+        m.on_local_a_done(t(11.0), 0, d(2.0), 0, &wait(0.5));
+        m.on_shipped_a_done(t(12.0), 1, d(2.0), 1, &b);
+        m.on_class_b_done(t(13.0), 1, d(3.0), 0, &b);
+        m.on_backoff(t(14.0), d(0.125));
+        let r = m.finalize(t(20.0), 0.5, 0.2, 0, 0.0, None);
+        let obs = r.obs.expect("histograms enabled");
+        // Three non-empty keys: (A, Local, 0), (A, Central, 1), (B, Central, 1).
+        assert_eq!(obs.response.len(), 3);
+        assert_eq!(
+            obs.response[0].0,
+            ResponseKey {
+                class: TxnClass::A,
+                route: Route::Local,
+                site: 0
+            }
+        );
+        assert!(obs.response.iter().all(|(_, h)| h.count() == 1));
+        // All five phases present: auth recorded for the two central
+        // completions, backoff recorded once from on_backoff.
+        assert_eq!(obs.phases.len(), PHASE_NAMES.len());
+        let phase = |name: &str| {
+            obs.phases
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, h)| h)
+                .unwrap()
+        };
+        assert_eq!(phase("queueing").count(), 3);
+        assert_eq!(phase("authentication").count(), 2);
+        assert_eq!(phase("restart_backoff").count(), 1);
+        assert_eq!(phase("restart_backoff").sum(), 0.125);
+        // Aggregation over sites preserves per-(class, route) counts.
+        let by_cr = obs.response_by_class_route();
+        assert_eq!(by_cr.len(), 3);
+        assert!(by_cr.iter().all(|(_, h)| h.count() == 1));
+    }
+
+    #[test]
+    fn obs_reports_merge_across_runs() {
+        let run = |site: usize| {
+            let mut m = MetricsCollector::new(t(0.0));
+            m.enable_histograms(2);
+            m.on_local_a_done(t(1.0), site, d(1.0 + site as f64), 0, &wait(0.0));
+            m.finalize(t(10.0), 0.0, 0.0, 0, 0.0, None)
+        };
+        let runs = [run(0), run(1), run(0)];
+        let merged = ObsReport::merged_from_runs(runs.iter()).unwrap();
+        assert_eq!(merged.response.len(), 2);
+        let total: u64 = merged.response.iter().map(|(_, h)| h.count()).sum();
+        assert_eq!(total, 3);
+        let by_cr = merged.response_by_class_route();
+        assert_eq!(by_cr.len(), 1);
+        assert_eq!(by_cr[0].1.count(), 3);
+        assert_eq!(by_cr[0].1.min(), Some(1.0));
+        assert_eq!(by_cr[0].1.max(), Some(2.0));
     }
 }

@@ -24,8 +24,9 @@ use std::collections::{HashMap, VecDeque};
 
 use hls_analytic::Observed;
 use hls_faults::FaultKind;
-use hls_lockmgr::{Grant, LockId, LockMode, LockTable, OwnerId, RequestOutcome};
+use hls_lockmgr::{Grant, LockId, LockMode, LockStats, LockTable, OwnerId, RequestOutcome};
 use hls_net::{Envelope, NodeId, StarNetwork};
+use hls_obs::{Profiler, Timer, TraceSink, TOTAL_KEY};
 use hls_sim::{EventKey, EventQueue, Job, MultiServer, RngStreams, SimDuration, SimRng, SimTime};
 use hls_workload::{ArrivalProcess, TxnClass, TxnGenerator, TxnSpec};
 
@@ -110,6 +111,52 @@ enum Ev {
 /// A message buffered store-and-forward by a link outage, with its
 /// original endpoints and piggybacked central-state snapshot.
 type DeferredSend = (NodeId, NodeId, Msg, Option<CentralSnapshot>);
+
+/// Where recorded protocol events go: the legacy in-memory [`Trace`]
+/// (`run_traced`) or a pluggable streaming [`TraceSink`]
+/// (`run_with_sink`, e.g. JSONL to a file).
+#[derive(Debug)]
+enum TraceTarget {
+    Memory(Trace),
+    Sink(Box<dyn TraceSink<TraceEvent> + Send>),
+}
+
+/// Profiler key for a simulation-event kind.
+fn ev_key(ev: &Ev) -> &'static str {
+    match ev {
+        Ev::Arrival { .. } => "ev.arrival",
+        Ev::CpuDone { .. } => "ev.cpu_done",
+        Ev::IoDone { .. } => "ev.io_done",
+        Ev::MsgArrive { .. } => "ev.msg_arrive",
+        Ev::FlushAsync { .. } => "ev.flush_async",
+        Ev::Fault(_) => "ev.fault",
+        Ev::RetryShip { .. } => "ev.retry_ship",
+        Ev::Rerun { .. } => "ev.rerun",
+        Ev::Sample => "ev.sample",
+        Ev::EndWarmup => "ev.end_warmup",
+    }
+}
+
+/// Profiler key for a protocol-trace event kind.
+fn event_key(ev: &TraceEvent) -> &'static str {
+    match ev {
+        TraceEvent::Arrival { .. } => "event.arrival",
+        TraceEvent::DeadlockAbort { .. } => "event.deadlock_abort",
+        TraceEvent::InvalidationAbort { .. } => "event.invalidation_abort",
+        TraceEvent::LocalCommit { .. } => "event.local_commit",
+        TraceEvent::AsyncSent { .. } => "event.async_sent",
+        TraceEvent::AsyncApplied { .. } => "event.async_applied",
+        TraceEvent::AuthStarted { .. } => "event.auth_started",
+        TraceEvent::AuthProcessed { .. } => "event.auth_processed",
+        TraceEvent::AuthResolved { .. } => "event.auth_resolved",
+        TraceEvent::Fault { .. } => "event.fault",
+        TraceEvent::CrashAbort { .. } => "event.crash_abort",
+        TraceEvent::Rejected { .. } => "event.rejected",
+        TraceEvent::Failover { .. } => "event.failover",
+        TraceEvent::RetryScheduled { .. } => "event.retry_scheduled",
+        TraceEvent::Completion { .. } => "event.completion",
+    }
+}
 
 #[derive(Debug)]
 struct SiteState {
@@ -209,7 +256,10 @@ pub struct HybridSystem {
     msg_counts: HashMap<&'static str, u64>,
     metrics: MetricsCollector,
     end: SimTime,
-    trace: Option<Trace>,
+    trace: Option<TraceTarget>,
+    /// Gated self-profiler (host wall-clock only; never reads or
+    /// perturbs simulated time).
+    profiler: Profiler,
     samples: Option<(f64, Vec<SamplePoint>)>,
     /// Per-site DBMS availability (faults only; all `true` otherwise).
     site_up: Vec<bool>,
@@ -251,7 +301,7 @@ impl HybridSystem {
                 .map(|_| ArrivalProcess::new(cfg.arrival_profile.clone()))
                 .collect(),
         };
-        let sites = (0..n)
+        let mut sites: Vec<SiteState> = (0..n)
             .map(|_| SiteState {
                 cpu: MultiServer::new(1, cfg.params.local_mips),
                 locks: LockTable::new(),
@@ -262,14 +312,24 @@ impl HybridSystem {
                 store: HashMap::new(),
             })
             .collect();
-        let central = CentralState {
+        let mut central = CentralState {
             cpu: MultiServer::new(cfg.params.central_servers, cfg.params.central_mips),
             locks: LockTable::new(),
             n_txns: 0,
             busy_at_warmup: 0.0,
             store: HashMap::new(),
         };
+        if cfg.obs.profile {
+            for s in &mut sites {
+                s.locks.set_profiling(true);
+            }
+            central.locks.set_profiling(true);
+        }
         let warmup = SimTime::from_secs(cfg.warmup);
+        let mut metrics = MetricsCollector::new(warmup);
+        if cfg.obs.histograms {
+            metrics.enable_histograms(n);
+        }
         let end = SimTime::from_secs(cfg.sim_time);
         let net = StarNetwork::new(n, SimDuration::from_secs(cfg.params.comm_delay));
         Ok(HybridSystem {
@@ -288,9 +348,10 @@ impl HybridSystem {
             next_job: 1,
             next_write: 1,
             msg_counts: HashMap::new(),
-            metrics: MetricsCollector::new(warmup),
+            metrics,
             end,
             trace: None,
+            profiler: Profiler::new(cfg.obs.profile),
             samples: None,
             site_up: vec![true; n],
             central_up: true,
@@ -307,21 +368,52 @@ impl HybridSystem {
     /// Enables protocol-event tracing (see [`Trace`]); use
     /// [`HybridSystem::run_traced`] to retrieve the trace.
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Trace::new());
+        self.trace = Some(TraceTarget::Memory(Trace::new()));
     }
 
     /// Runs with tracing enabled, returning metrics and the protocol trace.
     #[must_use]
     pub fn run_traced(mut self) -> (RunMetrics, Trace) {
         self.enable_trace();
-        let mut trace_out = Trace::new();
-        let metrics = self.run_internal(Some(&mut trace_out));
-        (metrics, trace_out)
+        let metrics = self.run_internal();
+        let trace = match self.trace.take() {
+            Some(TraceTarget::Memory(t)) => t,
+            _ => Trace::new(),
+        };
+        (metrics, trace)
+    }
+
+    /// Runs with protocol events streamed to `sink` instead of being
+    /// buffered in memory (e.g. a [`hls_obs::JsonlSink`] writing to a
+    /// file). Returns the metrics and the sink; call the sink's
+    /// [`TraceSink::flush`] to surface any deferred I/O error.
+    ///
+    /// Event content and order are identical to [`HybridSystem::run_traced`],
+    /// and the metrics are bit-identical to an untraced [`HybridSystem::run`].
+    #[must_use]
+    pub fn run_with_sink(
+        mut self,
+        sink: Box<dyn TraceSink<TraceEvent> + Send>,
+    ) -> (RunMetrics, Box<dyn TraceSink<TraceEvent> + Send>) {
+        self.trace = Some(TraceTarget::Sink(sink));
+        let metrics = self.run_internal();
+        let sink = match self.trace.take() {
+            Some(TraceTarget::Sink(s)) => s,
+            _ => unreachable!("sink target replaced during run"),
+        };
+        (metrics, sink)
     }
 
     fn trace(&mut self, at: SimTime, f: impl FnOnce() -> TraceEvent) {
-        if let Some(t) = self.trace.as_mut() {
-            t.record(at, f());
+        if self.trace.is_none() && !self.profiler.enabled() {
+            return;
+        }
+        let ev = f();
+        self.profiler.count(event_key(&ev));
+        match self.trace.as_mut() {
+            Some(TraceTarget::Memory(t)) => t.record(at, ev),
+            Some(TraceTarget::Sink(s)) => s.record(at.as_secs(), &ev),
+            None => {}
         }
     }
 
@@ -329,7 +421,7 @@ impl HybridSystem {
     /// metrics measured after warm-up.
     #[must_use]
     pub fn run(mut self) -> RunMetrics {
-        self.run_internal(None)
+        self.run_internal()
     }
 
     /// Runs while sampling system state every `interval` seconds,
@@ -348,7 +440,7 @@ impl HybridSystem {
         self.samples = Some((interval, Vec::new()));
         self.queue
             .schedule(SimTime::from_secs(interval), Ev::Sample);
-        let metrics = self.run_internal(None);
+        let metrics = self.run_internal();
         let samples = self.samples.take().map(|(_, v)| v).unwrap_or_default();
         (metrics, samples)
     }
@@ -364,7 +456,7 @@ impl HybridSystem {
     /// [`HybridSystem::run`] for measurement runs.
     #[must_use]
     pub fn run_drained(mut self) -> (RunMetrics, ConvergenceReport) {
-        let metrics = self.run_internal(None);
+        let metrics = self.run_internal();
         // Process everything left in the pipeline.
         while let Some((now, ev)) = self.queue.pop() {
             self.handle(now, ev);
@@ -404,7 +496,8 @@ impl HybridSystem {
         }
     }
 
-    fn run_internal(&mut self, trace_out: Option<&mut Trace>) -> RunMetrics {
+    fn run_internal(&mut self) -> RunMetrics {
+        let total = Timer::start_if(self.profiler.enabled());
         for site in 0..self.cfg.params.n_sites {
             let first = {
                 let rng = &mut self.site_rngs[site];
@@ -429,9 +522,7 @@ impl HybridSystem {
             let (now, ev) = self.queue.pop().expect("peeked event");
             self.handle(now, ev);
         }
-        if let (Some(out), Some(collected)) = (trace_out, self.trace.take()) {
-            *out = collected;
-        }
+        self.profiler.stop(TOTAL_KEY, total);
         self.finalize()
     }
 
@@ -440,6 +531,13 @@ impl HybridSystem {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
+        let timer = Timer::start_if(self.profiler.enabled());
+        let key = ev_key(&ev);
+        self.dispatch(now, ev);
+        self.profiler.stop(key, timer);
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::Arrival { site } => self.on_arrival(now, site),
             Ev::CpuDone { loc, job } => self.on_cpu_done(now, loc, job),
@@ -516,10 +614,12 @@ impl HybridSystem {
 
         let route = if spec.class == TxnClass::B {
             let ok = central_ok && (!remote_mode || local_ok);
-            match self
+            let timer = Timer::start_if(self.profiler.enabled());
+            let decision = self
                 .router
-                .decide_class_b(ok, attempt < self.cfg.fault_max_retries)
-            {
+                .decide_class_b(ok, attempt < self.cfg.fault_max_retries);
+            self.profiler.stop("router.decide_b", timer);
+            match decision {
                 FaultAwareDecision::Run(route) => route,
                 FaultAwareDecision::Retry => {
                     let next_attempt = attempt + 1;
@@ -551,15 +651,20 @@ impl HybridSystem {
                 }
             }
         } else {
-            let obs = self.observe(site);
-            let mut ctx = RouteCtx {
-                now,
-                site,
-                obs,
-                params: &self.cfg.params,
-                rng: &mut self.route_rng,
+            let timer = Timer::start_if(self.profiler.enabled());
+            let decision = {
+                let obs = self.observe(site);
+                let mut ctx = RouteCtx {
+                    now,
+                    site,
+                    obs,
+                    params: &self.cfg.params,
+                    rng: &mut self.route_rng,
+                };
+                self.router.decide_class_a(&mut ctx, local_ok, central_ok)
             };
-            match self.router.decide_class_a(&mut ctx, local_ok, central_ok) {
+            self.profiler.stop("router.decide_a", timer);
+            match decision {
                 FaultAwareDecision::Run(route) => {
                     self.metrics.on_route_class_a(now, route == Route::Central);
                     route
@@ -864,7 +969,7 @@ impl HybridSystem {
     /// transaction is aborted and all locks held are released."
     fn break_deadlocks(&mut self, now: SimTime, requester: u64, loc: Locale) {
         loop {
-            let cycle = {
+            let (cycle, timer) = {
                 let table = match loc {
                     Locale::Site(i) => &self.sites[i].locks,
                     Locale::Central => &self.central.locks,
@@ -872,8 +977,10 @@ impl HybridSystem {
                 if table.waiting_for(OwnerId(requester)).is_none() {
                     return; // granted while breaking a previous cycle
                 }
-                table.deadlock_cycle(OwnerId(requester))
+                let timer = Timer::start_if(self.profiler.enabled());
+                (table.deadlock_cycle(OwnerId(requester)), timer)
             };
+            self.profiler.stop("lock.deadlock_scan", timer);
             if cycle.is_empty() {
                 return;
             }
@@ -911,6 +1018,8 @@ impl HybridSystem {
             // and its attempt count, so runs stay bit-identical for any
             // thread count.
             let backoff = self.deadlock_backoff(victim, loc);
+            self.txns.get_mut(&victim).expect("victim").backoff_total += backoff.as_secs();
+            self.metrics.on_backoff(now, backoff);
             self.queue
                 .schedule(now + backoff, Ev::Rerun { txn: victim });
             if victim == requester {
@@ -940,22 +1049,26 @@ impl HybridSystem {
         }
     }
 
-    /// Deterministic restart delay for a deadlock victim: up to one
-    /// database-call service time at the victim's locale, jittered by a
+    /// Deterministic restart delay for a deadlock victim: up to
+    /// [`SystemConfig::deadlock_backoff_window`] seconds (default: one
+    /// database-call service time at the victim's locale), jittered by a
     /// hash of `(seed, victim, attempts)` so consecutive reruns of the
     /// same transaction desynchronize from their conflict partners.
     fn deadlock_backoff(&self, victim: u64, loc: Locale) -> SimDuration {
-        let p = &self.cfg.params;
-        let mips = match loc {
-            Locale::Site(_) => p.local_mips,
-            Locale::Central => p.central_mips,
-        };
+        let window = self.cfg.deadlock_backoff_window.unwrap_or_else(|| {
+            let p = &self.cfg.params;
+            let mips = match loc {
+                Locale::Site(_) => p.local_mips,
+                Locale::Central => p.central_mips,
+            };
+            p.db_call_instr / mips
+        });
         let attempts = u64::from(self.txns[&victim].attempts);
         let h = crate::experiment::splitmix64(
             self.cfg.seed ^ victim.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (attempts << 32),
         );
         let frac = (h % 1024) as f64 / 1024.0;
-        SimDuration::from_secs(p.db_call_instr / mips * frac)
+        SimDuration::from_secs(window * frac)
     }
 
     fn after_lock_granted(&mut self, now: SimTime, id: u64) {
@@ -1007,6 +1120,7 @@ impl HybridSystem {
         let route = {
             let txn = self.txns.get_mut(&id).expect("txn");
             txn.phase = Phase::CommitCpu;
+            txn.commit_since = now;
             txn.route
         };
         let loc = self.locale_of(&self.txns[&id]);
@@ -1060,6 +1174,10 @@ impl HybridSystem {
     // ------------------------------------------------------------------
 
     fn finish_local_commit(&mut self, now: SimTime, id: u64) {
+        {
+            let txn = self.txns.get_mut(&id).expect("txn");
+            txn.commit_total += (now - txn.commit_since).as_secs();
+        }
         // The mark may have been set while the commit burst was queued.
         if self.txns[&id].marked_abort {
             self.abort_and_rerun(now, id);
@@ -1118,15 +1236,17 @@ impl HybridSystem {
         let txn = self.txns.remove(&id).expect("txn");
         let rt = now - txn.arrival;
         let attempts = txn.attempts;
+        let breakdown = txn.phase_breakdown(rt.as_secs());
         self.trace(now, || TraceEvent::Completion {
             txn: id,
             class: TxnClass::A,
             route: Route::Local,
             response: rt,
             attempts,
+            breakdown,
         });
         self.metrics
-            .on_local_a_done(now, rt, attempts, txn.lock_wait_total);
+            .on_local_a_done(now, site, rt, attempts, &breakdown);
         if txn.during_outage {
             self.metrics.on_outage_response(now, rt);
         }
@@ -1189,6 +1309,10 @@ impl HybridSystem {
     // ------------------------------------------------------------------
 
     fn send_auth_requests(&mut self, now: SimTime, id: u64) {
+        {
+            let txn = self.txns.get_mut(&id).expect("txn");
+            txn.commit_total += (now - txn.commit_since).as_secs();
+        }
         if self.txns[&id].marked_abort {
             self.abort_and_rerun(now, id);
             return;
@@ -1197,6 +1321,7 @@ impl HybridSystem {
         let (sites, lock_lists): (Vec<usize>, Vec<Vec<(LockId, LockMode)>>) = {
             let txn = self.txns.get_mut(&id).expect("txn");
             txn.phase = Phase::AuthWait;
+            txn.auth_since = now;
             txn.auth_pending = txn.auth_sites.len();
             txn.auth_negative = false;
             let sites = txn.auth_sites.clone();
@@ -1296,7 +1421,8 @@ impl HybridSystem {
 
     fn resolve_auth(&mut self, now: SimTime, id: u64) {
         let (negative, invalidated, sites) = {
-            let txn = &self.txns[&id];
+            let txn = self.txns.get_mut(&id).expect("txn");
+            txn.auth_wait_total += (now - txn.auth_since).as_secs();
             (txn.auth_negative, txn.marked_abort, txn.auth_sites.clone())
         };
         if negative || invalidated {
@@ -1412,11 +1538,13 @@ impl HybridSystem {
     // ------------------------------------------------------------------
 
     fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: Msg) {
+        let timer = Timer::start_if(self.profiler.enabled());
         *self.msg_counts.entry(msg.kind()).or_insert(0) += 1;
         // Every message from the central complex carries a state snapshot
         // for the routing strategies.
         let snap = from.is_central().then(|| self.central_snapshot());
         self.deliver(now, from, to, msg, snap);
+        self.profiler.stop("net.send", timer);
     }
 
     /// Puts a message on its link, or into the link's store-and-forward
@@ -1551,22 +1679,24 @@ impl HybridSystem {
                 };
                 let rt = now - t.arrival;
                 let (class, attempts) = (t.class(), t.attempts);
+                let breakdown = t.phase_breakdown(rt.as_secs());
                 self.trace(now, || TraceEvent::Completion {
                     txn,
                     class,
                     route: Route::Central,
                     response: rt,
                     attempts,
+                    breakdown,
                 });
                 match class {
                     TxnClass::A => {
                         self.metrics
-                            .on_shipped_a_done(now, rt, attempts, t.lock_wait_total);
+                            .on_shipped_a_done(now, site, rt, attempts, &breakdown);
                         self.router.on_shipped_completion(site, rt);
                     }
                     TxnClass::B => {
                         self.metrics
-                            .on_class_b_done(now, rt, attempts, t.lock_wait_total);
+                            .on_class_b_done(now, site, rt, attempts, &breakdown);
                     }
                 }
                 if t.during_outage {
@@ -1687,8 +1817,12 @@ impl HybridSystem {
         for id in victims {
             self.crash_kill(now, id, false);
         }
-        // The volatile lock table is lost.
-        self.sites[s].locks = LockTable::new();
+        // The volatile lock table is lost. Its operation counters are
+        // absorbed into the profiler first so the profile survives the
+        // table replacement.
+        let lost = std::mem::replace(&mut self.sites[s].locks, LockTable::new());
+        self.absorb_lock_stats(lost.stats());
+        self.sites[s].locks.set_profiling(self.profiler.enabled());
         self.sites[s].n_txns = 0;
         for txn in failed_auths {
             if self.txns.contains_key(&txn) {
@@ -1737,7 +1871,9 @@ impl HybridSystem {
         for id in victims {
             self.crash_kill(now, id, true);
         }
-        self.central.locks = LockTable::new();
+        let lost = std::mem::replace(&mut self.central.locks, LockTable::new());
+        self.absorb_lock_stats(lost.stats());
+        self.central.locks.set_profiling(self.profiler.enabled());
         debug_assert_eq!(self.central.n_txns, 0, "central crash left residents");
     }
 
@@ -1795,7 +1931,17 @@ impl HybridSystem {
     // Finalization
     // ------------------------------------------------------------------
 
-    fn finalize(&self) -> RunMetrics {
+    /// Merges a lock table's operation counters into the profiler under
+    /// the `lock.*` keys (no-op when profiling is off).
+    fn absorb_lock_stats(&mut self, stats: &LockStats) {
+        self.profiler.absorb("lock.request", &stats.request);
+        self.profiler.absorb("lock.release_all", &stats.release_all);
+        self.profiler.absorb("lock.release_one", &stats.release_one);
+        self.profiler
+            .absorb("lock.force_acquire", &stats.force_acquire);
+    }
+
+    fn finalize(&mut self) -> RunMetrics {
         let window = self.end - SimTime::from_secs(self.cfg.warmup);
         let rho_local = self
             .sites
@@ -1825,12 +1971,24 @@ impl HybridSystem {
             .cfg
             .fault_schedule
             .downtime_within(self.cfg.warmup, self.cfg.sim_time);
+        let profile = if self.profiler.enabled() {
+            let mut tables: Vec<LockStats> =
+                self.sites.iter().map(|s| s.locks.stats().clone()).collect();
+            tables.push(self.central.locks.stats().clone());
+            for stats in &tables {
+                self.absorb_lock_stats(stats);
+            }
+            Some(self.profiler.report())
+        } else {
+            None
+        };
         let mut m = self.metrics.finalize(
             self.end,
             rho_local,
             rho_central,
             self.net.messages_sent(),
             downtime,
+            profile,
         );
         m.messages_by_kind = by_kind;
         m

@@ -7,10 +7,11 @@
 //! commit/abort causality that cannot be observed from aggregate metrics.
 
 use hls_lockmgr::LockId;
+use hls_obs::{JsonObject, JsonlEvent, TraceSink};
 use hls_sim::{SimDuration, SimTime};
 use hls_workload::TxnClass;
 
-use crate::txn::Route;
+use crate::txn::{PhaseBreakdown, Route};
 
 /// A protocol-level event.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,7 +141,150 @@ pub enum TraceEvent {
         response: SimDuration,
         /// Number of re-runs it needed.
         attempts: u32,
+        /// Per-phase decomposition of the response time.
+        breakdown: PhaseBreakdown,
     },
+}
+
+impl TraceEvent {
+    /// Stable snake_case tag for this event kind, used as the `kind`
+    /// field of the JSONL trace schema and as a profiling key.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Arrival { .. } => "arrival",
+            TraceEvent::DeadlockAbort { .. } => "deadlock_abort",
+            TraceEvent::InvalidationAbort { .. } => "invalidation_abort",
+            TraceEvent::LocalCommit { .. } => "local_commit",
+            TraceEvent::AsyncSent { .. } => "async_sent",
+            TraceEvent::AsyncApplied { .. } => "async_applied",
+            TraceEvent::AuthStarted { .. } => "auth_started",
+            TraceEvent::AuthProcessed { .. } => "auth_processed",
+            TraceEvent::AuthResolved { .. } => "auth_resolved",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::CrashAbort { .. } => "crash_abort",
+            TraceEvent::Rejected { .. } => "rejected",
+            TraceEvent::Failover { .. } => "failover",
+            TraceEvent::RetryScheduled { .. } => "retry_scheduled",
+            TraceEvent::Completion { .. } => "completion",
+        }
+    }
+}
+
+fn route_tag(route: Route) -> &'static str {
+    match route {
+        Route::Local => "local",
+        Route::Central => "central",
+    }
+}
+
+fn class_tag(class: TxnClass) -> &'static str {
+    match class {
+        TxnClass::A => "A",
+        TxnClass::B => "B",
+    }
+}
+
+/// JSONL encoding of the protocol event set (trace schema version 1).
+///
+/// Every line carries `t` (simulated seconds) and `kind` (see
+/// [`TraceEvent::kind`]); the remaining fields mirror the variant's
+/// payload. The event set contains only protocol-level identifiers —
+/// no host paths, credentials, or environment data.
+impl JsonlEvent for TraceEvent {
+    fn kind(&self) -> &'static str {
+        TraceEvent::kind(self)
+    }
+
+    fn encode(&self, obj: &mut JsonObject) {
+        match self {
+            TraceEvent::Arrival {
+                txn,
+                site,
+                class,
+                route,
+            } => {
+                obj.num_u64("txn", *txn);
+                obj.num_usize("site", *site);
+                obj.str("class", class_tag(*class));
+                obj.str("route", route_tag(*route));
+            }
+            TraceEvent::DeadlockAbort { txn, route }
+            | TraceEvent::InvalidationAbort { txn, route }
+            | TraceEvent::CrashAbort { txn, route }
+            | TraceEvent::Failover { txn, route } => {
+                obj.num_u64("txn", *txn);
+                obj.str("route", route_tag(*route));
+            }
+            TraceEvent::LocalCommit { txn, site, updated } => {
+                obj.num_u64("txn", *txn);
+                obj.num_usize("site", *site);
+                obj.arr_u64("updated", updated.iter().map(|l| u64::from(l.0)));
+            }
+            TraceEvent::AsyncSent { site, locks } => {
+                obj.num_usize("site", *site);
+                obj.arr_u64("locks", locks.iter().map(|l| u64::from(l.0)));
+            }
+            TraceEvent::AsyncApplied {
+                site,
+                locks,
+                invalidated,
+            } => {
+                obj.num_usize("site", *site);
+                obj.arr_u64("locks", locks.iter().map(|l| u64::from(l.0)));
+                obj.arr_u64("invalidated", invalidated.iter().copied());
+            }
+            TraceEvent::AuthStarted { txn, sites } => {
+                obj.num_u64("txn", *txn);
+                obj.arr_u64("sites", sites.iter().map(|&s| s as u64));
+            }
+            TraceEvent::AuthProcessed {
+                txn,
+                site,
+                positive,
+                displaced,
+            } => {
+                obj.num_u64("txn", *txn);
+                obj.num_usize("site", *site);
+                obj.bool("positive", *positive);
+                obj.arr_u64("displaced", displaced.iter().copied());
+            }
+            TraceEvent::AuthResolved { txn, committed } => {
+                obj.num_u64("txn", *txn);
+                obj.bool("committed", *committed);
+            }
+            TraceEvent::Fault { what } => {
+                obj.str("what", what);
+            }
+            TraceEvent::Rejected { site, class } => {
+                obj.num_usize("site", *site);
+                obj.str("class", class_tag(*class));
+            }
+            TraceEvent::RetryScheduled { site, attempt } => {
+                obj.num_usize("site", *site);
+                obj.num_u64("attempt", u64::from(*attempt));
+            }
+            TraceEvent::Completion {
+                txn,
+                class,
+                route,
+                response,
+                attempts,
+                breakdown,
+            } => {
+                obj.num_u64("txn", *txn);
+                obj.str("class", class_tag(*class));
+                obj.str("route", route_tag(*route));
+                obj.num_f64("response", response.as_secs());
+                obj.num_u64("attempts", u64::from(*attempts));
+                obj.num_f64("queueing", breakdown.queueing);
+                obj.num_f64("execution", breakdown.execution);
+                obj.num_f64("commit", breakdown.commit);
+                obj.num_f64("authentication", breakdown.authentication);
+                obj.num_f64("restart_backoff", breakdown.restart_backoff);
+            }
+        }
+    }
 }
 
 /// A timestamped protocol trace.
@@ -201,6 +345,14 @@ impl Trace {
         f: impl Fn(SimTime, &'a TraceEvent) -> Option<T> + 'a,
     ) -> impl Iterator<Item = T> + 'a {
         self.events.iter().filter_map(move |(t, e)| f(*t, e))
+    }
+}
+
+/// A [`Trace`] is itself an in-memory [`TraceSink`], so the simulator
+/// streams events through one code path regardless of destination.
+impl TraceSink<TraceEvent> for Trace {
+    fn record(&mut self, at_secs: f64, event: &TraceEvent) {
+        self.record(SimTime::from_secs(at_secs), event.clone());
     }
 }
 

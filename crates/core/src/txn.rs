@@ -37,6 +37,29 @@ pub enum Phase {
     AuthWait,
 }
 
+/// Decomposition of one completed transaction's response time into
+/// protocol phases, in seconds.
+///
+/// The phases are additive: `queueing + execution + commit +
+/// authentication + restart_backoff` equals the response time.
+/// `execution` is the residual (CPU bursts, I/O, and messaging) after
+/// the explicitly tracked phases are subtracted.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseBreakdown {
+    /// Time blocked in lock wait queues, across all attempts.
+    pub queueing: f64,
+    /// CPU, I/O, and messaging time (the residual phase).
+    pub execution: f64,
+    /// Commit processing: the commit CPU burst plus, for local
+    /// transactions, the asynchronous-update send.
+    pub commit: f64,
+    /// Central/shipped transactions: waiting for authentication
+    /// replies from the master sites.
+    pub authentication: f64,
+    /// Deadlock-victim restart backoff delays.
+    pub restart_backoff: f64,
+}
+
 /// An in-flight transaction.
 #[derive(Debug, Clone)]
 pub struct Txn {
@@ -75,6 +98,17 @@ pub struct Txn {
     pub wait_since: SimTime,
     /// Total time spent blocked on locks across all attempts.
     pub lock_wait_total: f64,
+    /// When the current commit burst began (valid in `Phase::CommitCpu`).
+    pub commit_since: SimTime,
+    /// Total time spent in commit processing across all attempts.
+    pub commit_total: f64,
+    /// When the current authentication wait began (valid in
+    /// `Phase::AuthWait`).
+    pub auth_since: SimTime,
+    /// Total time spent waiting for authentication replies.
+    pub auth_wait_total: f64,
+    /// Total deadlock-victim restart backoff delay across all attempts.
+    pub backoff_total: f64,
     /// Whether this transaction is counted in the central complex's
     /// transactions-in-system tally (so a central crash can decrement it
     /// exactly once).
@@ -108,6 +142,11 @@ impl Txn {
             remote_calls: false,
             wait_since: arrival,
             lock_wait_total: 0.0,
+            commit_since: arrival,
+            commit_total: 0.0,
+            auth_since: arrival,
+            auth_wait_total: 0.0,
+            backoff_total: 0.0,
             in_central_count: false,
             during_outage: false,
         }
@@ -129,6 +168,23 @@ impl Txn {
     #[must_use]
     pub fn is_shipped_class_a(&self) -> bool {
         self.spec.class == TxnClass::A && self.route == Route::Central
+    }
+
+    /// Decomposes the response time `response_secs` into protocol
+    /// phases using the per-phase totals accumulated over the
+    /// transaction's lifetime. Execution is the residual, clamped at
+    /// zero against floating-point cancellation.
+    #[must_use]
+    pub fn phase_breakdown(&self, response_secs: f64) -> PhaseBreakdown {
+        let tracked =
+            self.lock_wait_total + self.commit_total + self.auth_wait_total + self.backoff_total;
+        PhaseBreakdown {
+            queueing: self.lock_wait_total,
+            execution: (response_secs - tracked).max(0.0),
+            commit: self.commit_total,
+            authentication: self.auth_wait_total,
+            restart_backoff: self.backoff_total,
+        }
     }
 
     /// Resets per-attempt state for a re-run.

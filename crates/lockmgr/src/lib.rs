@@ -32,5 +32,5 @@
 mod table;
 mod types;
 
-pub use table::{ForceOutcome, Grant, LockTable, RequestOutcome};
+pub use table::{ForceOutcome, Grant, LockStats, LockTable, RequestOutcome};
 pub use types::{LockId, LockMode, OwnerId};

@@ -2,7 +2,28 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use hls_obs::{OpStats, Timer};
+
 use crate::types::{LockId, LockMode, OwnerId};
+
+/// Per-operation profiling counters for one [`LockTable`].
+///
+/// Invocation counts are always maintained (a handful of integer
+/// increments per operation, with no effect on simulated outcomes);
+/// wall-clock nanoseconds accumulate only while profiling is enabled
+/// via [`LockTable::set_profiling`].
+#[derive(Debug, Clone, Default)]
+pub struct LockStats {
+    /// [`LockTable::request`] calls.
+    pub request: OpStats,
+    /// [`LockTable::release_all`] calls.
+    pub release_all: OpStats,
+    /// [`LockTable::release_one`] calls.
+    pub release_one: OpStats,
+    /// [`LockTable::force_acquire`] calls — the authentication-phase
+    /// hot path flagged in the ROADMAP.
+    pub force_acquire: OpStats,
+}
 
 /// Outcome of a lock request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +112,10 @@ pub struct LockTable {
     /// Total number of (owner, lock) grants — the `n_lock` observable used
     /// by the dynamic routing strategies.
     grants: usize,
+    /// Per-operation counters; wall-clock timing gated by `profiling`.
+    stats: LockStats,
+    /// Whether operations also accumulate wall-clock time into `stats`.
+    profiling: bool,
 }
 
 impl LockTable {
@@ -98,6 +123,26 @@ impl LockTable {
     #[must_use]
     pub fn new() -> Self {
         LockTable::default()
+    }
+
+    /// Enables or disables wall-clock timing of lock operations.
+    /// Invocation counts in [`LockTable::stats`] are maintained either
+    /// way; timing only ever reads the host clock, so it cannot affect
+    /// simulated outcomes.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Whether wall-clock timing is enabled.
+    #[must_use]
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// The per-operation counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
     }
 
     /// Requests `lock` in `mode` on behalf of `owner`.
@@ -112,6 +157,13 @@ impl LockTable {
     ///
     /// Panics if `owner` is already waiting for some lock.
     pub fn request(&mut self, owner: OwnerId, lock: LockId, mode: LockMode) -> RequestOutcome {
+        let timer = Timer::start_if(self.profiling);
+        let out = self.request_impl(owner, lock, mode);
+        timer.stop_into(&mut self.stats.request);
+        out
+    }
+
+    fn request_impl(&mut self, owner: OwnerId, lock: LockId, mode: LockMode) -> RequestOutcome {
         assert!(
             !self.waiting.contains_key(&owner),
             "{owner} already waits for a lock and cannot issue another request"
@@ -150,11 +202,13 @@ impl LockTable {
     /// Releases every lock held by `owner` (and cancels any pending wait),
     /// returning the grants handed to unblocked waiters, in grant order.
     pub fn release_all(&mut self, owner: OwnerId) -> Vec<Grant> {
-        let mut grants = self.cancel_wait(owner);
+        let timer = Timer::start_if(self.profiling);
+        let mut grants = self.cancel_wait_impl(owner);
         let locks = self.held.remove(&owner).unwrap_or_default();
         for lock in locks {
             self.remove_holder(lock, owner, &mut grants);
         }
+        timer.stop_into(&mut self.stats.release_all);
         grants
     }
 
@@ -162,6 +216,13 @@ impl LockTable {
     ///
     /// Returns an empty vector if `owner` does not hold `lock`.
     pub fn release_one(&mut self, owner: OwnerId, lock: LockId) -> Vec<Grant> {
+        let timer = Timer::start_if(self.profiling);
+        let out = self.release_one_impl(owner, lock);
+        timer.stop_into(&mut self.stats.release_one);
+        out
+    }
+
+    fn release_one_impl(&mut self, owner: OwnerId, lock: LockId) -> Vec<Grant> {
         let Some(locks) = self.held.get_mut(&owner) else {
             return Vec::new();
         };
@@ -181,6 +242,10 @@ impl LockTable {
     /// Returns grants that become possible if `owner` was blocking others
     /// at the head of a queue.
     pub fn cancel_wait(&mut self, owner: OwnerId) -> Vec<Grant> {
+        self.cancel_wait_impl(owner)
+    }
+
+    fn cancel_wait_impl(&mut self, owner: OwnerId) -> Vec<Grant> {
         let Some(lock) = self.waiting.remove(&owner) else {
             return Vec::new();
         };
@@ -208,6 +273,13 @@ impl LockTable {
     /// were removed — e.g. queued share requests after a forced share
     /// acquisition displaces an exclusive holder.
     pub fn force_acquire(&mut self, lock: LockId, owner: OwnerId, mode: LockMode) -> ForceOutcome {
+        let timer = Timer::start_if(self.profiling);
+        let out = self.force_acquire_impl(lock, owner, mode);
+        timer.stop_into(&mut self.stats.force_acquire);
+        out
+    }
+
+    fn force_acquire_impl(&mut self, lock: LockId, owner: OwnerId, mode: LockMode) -> ForceOutcome {
         let entry = self.entries.entry(lock).or_default();
         let prior_mode = entry
             .holders

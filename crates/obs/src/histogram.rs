@@ -1,0 +1,374 @@
+//! Log-bucket streaming histogram with bounded relative error.
+//!
+//! [`LogHistogram`] is an HDR-style histogram over non-negative `f64`
+//! values (seconds, in this workspace). Buckets grow geometrically by a
+//! fixed factor, so every recorded value is reproduced by its bucket's
+//! geometric midpoint to within ~2% relative error, independent of
+//! magnitude. The bucket layout is a compile-time constant shared by
+//! every instance, which makes histograms from independent replications
+//! mergeable by plain elementwise addition.
+//!
+//! Design constraints:
+//!
+//! - **Zero allocation on record.** All buckets are allocated once in
+//!   [`LogHistogram::new`]; [`LogHistogram::record`] only does an `ln`,
+//!   an index computation, and counter increments.
+//! - **Exact moments.** Count, sum, sum of squares, min, and max are
+//!   tracked exactly, so [`LogHistogram::mean`] and
+//!   [`LogHistogram::variance`] carry no bucketing error — only the
+//!   quantiles are approximate.
+//! - **Mergeable.** [`LogHistogram::merge`] is associative and
+//!   commutative, and merging is equivalent to having recorded the
+//!   union of the samples (bit-identically for the counters; exactly,
+//!   by construction, for the buckets).
+
+/// Geometric growth factor between adjacent bucket boundaries.
+///
+/// The representative value of a bucket is its geometric midpoint, so
+/// the worst-case relative error of a reconstructed value is
+/// `sqrt(GROWTH) - 1` ≈ 1.98%.
+pub const GROWTH: f64 = 1.04;
+
+/// Smallest trackable value in seconds; values below land in the
+/// underflow bucket and are reproduced from the exact minimum.
+pub const MIN_TRACKABLE: f64 = 1e-6;
+
+/// Largest trackable value in seconds; values at or above land in the
+/// overflow bucket and are reproduced from the exact maximum.
+pub const MAX_TRACKABLE: f64 = 1e6;
+
+/// Streaming histogram with geometric (log-spaced) buckets.
+///
+/// # Examples
+///
+/// ```
+/// use hls_obs::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for ms in 1..=1000 {
+///     h.record(ms as f64 / 1000.0);
+/// }
+/// let p50 = h.quantile(0.50).unwrap();
+/// assert!((p50 - 0.5).abs() / 0.5 < 0.02, "p50 = {p50}");
+/// assert_eq!(h.count(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Number of regular buckets covering `[MIN_TRACKABLE, MAX_TRACKABLE)`:
+/// `ceil(ln(MAX/MIN) / ln(GROWTH))`.
+fn bucket_count() -> usize {
+    ((MAX_TRACKABLE / MIN_TRACKABLE).ln() / GROWTH.ln()).ceil() as usize
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram. This is the only allocating call.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; bucket_count()],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one non-negative, finite value. Never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative, NaN, or infinite.
+    pub fn record(&mut self, v: f64) {
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "histogram value must be finite and >= 0, got {v}"
+        );
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v < MIN_TRACKABLE {
+            self.underflow += 1;
+        } else if v >= MAX_TRACKABLE {
+            self.overflow += 1;
+        } else {
+            let idx = ((v / MIN_TRACKABLE).ln() / GROWTH.ln()) as usize;
+            if idx >= self.counts.len() {
+                self.overflow += 1;
+            } else {
+                self.counts[idx] += 1;
+            }
+        }
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (exact moments), or 0.0 with fewer than
+    /// two values. Clamped at zero against floating-point cancellation.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        ((self.sum_sq - self.sum * self.sum / n) / (n - 1.0)).max(0.0)
+    }
+
+    /// Exact minimum recorded value, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum recorded value, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Geometric midpoint of regular bucket `i` — the representative
+    /// value reported for samples that landed there.
+    fn representative(&self, i: usize) -> f64 {
+        MIN_TRACKABLE * ((i as f64 + 0.5) * GROWTH.ln()).exp()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), or `None` when empty.
+    ///
+    /// Uses ceiling-rank semantics: the smallest bucket whose cumulative
+    /// count reaches `q * count`. The result is clamped into the exact
+    /// observed `[min, max]` range, so `quantile(0.0)` is the exact
+    /// minimum and `quantile(1.0)` the exact maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
+        }
+        let target = (q * self.count as f64).max(1.0);
+        let mut cum = self.underflow;
+        if cum as f64 >= target {
+            return Some(self.min);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum as f64 >= target {
+                return Some(self.representative(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges `other` into `self` by elementwise addition.
+    ///
+    /// Associative and commutative; equivalent to recording the union of
+    /// both sample sets.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Count of values below [`MIN_TRACKABLE`].
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of values at or above [`MAX_TRACKABLE`].
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// One-line summary (count, mean, p50/p95/p99, min, max), or `None`
+    /// when empty.
+    #[must_use]
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50)?,
+            p95: self.quantile(0.95)?,
+            p99: self.quantile(0.99)?,
+            min: self.min,
+            max: self.max,
+        })
+    }
+}
+
+/// Point-in-time summary of a [`LogHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Approximate median (~2% relative error).
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_covers_trackable_range() {
+        // The largest representable value just under MAX_TRACKABLE must
+        // index a regular bucket, and MAX_TRACKABLE itself must overflow.
+        let n = bucket_count();
+        let just_under = MAX_TRACKABLE * (1.0 - 1e-12);
+        let idx = ((just_under / MIN_TRACKABLE).ln() / GROWTH.ln()) as usize;
+        assert!(idx < n, "idx {idx} >= {n}");
+        let mut h = LogHistogram::new();
+        h.record(MAX_TRACKABLE);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.summary(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.variance(), 0.0);
+    }
+
+    #[test]
+    fn relative_error_bound_across_magnitudes() {
+        let bound = GROWTH.sqrt() - 1.0 + 1e-9;
+        for exp in -5..=5 {
+            for &m in &[1.0, 1.7, 3.17, 9.9] {
+                let v = m * 10f64.powi(exp);
+                let mut h = LogHistogram::new();
+                // Two distinct values so the clamp cannot make the
+                // quantile exact by itself.
+                h.record(v);
+                h.record(v * 1e3);
+                let p = h.quantile(0.5).unwrap();
+                let rel = (p - v).abs() / v;
+                assert!(rel <= bound, "v={v} p50={p} rel={rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn moments_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [2.0, 4.0, 6.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 12.0);
+        assert_eq!(h.mean(), 4.0);
+        assert!((h.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(h.min(), Some(2.0));
+        assert_eq!(h.max(), Some(6.0));
+    }
+
+    #[test]
+    fn underflow_and_zero_values() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(1e-9);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert_eq!(h.min(), Some(0.0));
+    }
+
+    #[test]
+    fn extreme_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [0.013, 0.5, 2.25, 97.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0.013));
+        assert_eq!(h.quantile(1.0), Some(97.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative() {
+        LogHistogram::new().record(-1.0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Minimal hand-rolled JSON support for the JSONL trace format.
+//!
+//! The workspace is std-only (no serde), so this module provides just
+//! enough JSON: a flat-object writer used by [`crate::JsonlSink`], and a
+//! small recursive-descent parser used by the `trace-analyze` tool.
+//! Numbers are written with Rust's shortest-round-trip `f64` formatting,
+//! so a write/parse cycle reproduces values exactly.
+
+use std::fmt::Write as _;
+
+/// Incremental builder for one flat JSON object (one JSONL line).
+///
+/// # Examples
+///
+/// ```
+/// use hls_obs::JsonObject;
+///
+/// let mut o = JsonObject::new();
+/// o.num_f64("t", 1.5);
+/// o.str("kind", "arrival");
+/// o.num_u64("txn", 7);
+/// assert_eq!(o.finish(), r#"{"t":1.5,"kind":"arrival","txn":7}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        escape_into(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Appends a finite `f64` field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN or infinite (not representable in JSON).
+    pub fn num_f64(&mut self, k: &str, v: f64) {
+        assert!(v.is_finite(), "JSON number must be finite, got {v} for {k}");
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Appends a `u64` field.
+    pub fn num_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Appends a `usize` field.
+    pub fn num_usize(&mut self, k: &str, v: usize) {
+        self.num_u64(k, v as u64);
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Appends an escaped string field.
+    pub fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        escape_into(&mut self.buf, v);
+    }
+
+    /// Appends an array-of-integers field.
+    pub fn arr_u64(&mut self, k: &str, vs: impl IntoIterator<Item = u64>) {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+    }
+
+    /// Closes the object and returns the JSON text (no trailing newline).
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, kept as `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; key order preserved.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Field lookup on an object, `None` otherwise.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, `None` for non-numbers.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64` if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, `None` for non-strings.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, `None` for non-booleans.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (e.g. one JSONL line).
+///
+/// # Errors
+///
+/// Returns a message with a byte offset on malformed input or trailing
+/// garbage.
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let c = *b.get(*pos).ok_or("unterminated string")?;
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let e = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000c}'),
+                    b'u' => {
+                        let hex = b.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos - 1)),
+                }
+            }
+            _ => {
+                // Re-borrow the remaining input as UTF-8 and take one char.
+                let rest = std::str::from_utf8(&b[*pos - 1..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8() - 1;
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let k = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let v = parse_value(b, pos)?;
+        fields.push((k, v));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_parser_round_trip() {
+        let mut o = JsonObject::new();
+        o.num_f64("t", 0.015625);
+        o.str("kind", "fault \"quoted\"\nline");
+        o.num_u64("txn", u64::MAX);
+        o.bool("ok", true);
+        o.arr_u64("sites", [1, 2, 3]);
+        let line = o.finish();
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("t").unwrap().as_f64(), Some(0.015625));
+        assert_eq!(
+            v.get("kind").unwrap().as_str(),
+            Some("fault \"quoted\"\nline")
+        );
+        // u64::MAX is not exactly representable in f64; the writer keeps
+        // integers textually exact, the reader sees the f64 rounding.
+        assert!(v.get("txn").unwrap().as_f64().is_some());
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        match v.get("sites").unwrap() {
+            JsonValue::Arr(items) => {
+                let got: Vec<u64> = items.iter().filter_map(JsonValue::as_u64).collect();
+                assert_eq!(got, vec![1, 2, 3]);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        for v in [0.1, 1.0 / 3.0, 123.456e-5, 9_999_999.25] {
+            let mut o = JsonObject::new();
+            o.num_f64("v", v);
+            let parsed = parse_json(&o.finish()).unwrap();
+            assert_eq!(parsed.get("v").unwrap().as_f64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("\"open").is_err());
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse_json(r#"{"a":[1,{"b":null}],"c":false}"#).unwrap();
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(false));
+        match v.get("a").unwrap() {
+            JsonValue::Arr(items) => {
+                assert_eq!(items[0].as_u64(), Some(1));
+                assert_eq!(items[1].get("b"), Some(&JsonValue::Null));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse_json(r#"{"s":"é\t"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("é\t"));
+    }
+}

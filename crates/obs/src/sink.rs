@@ -1,0 +1,247 @@
+//! Pluggable trace sinks: where simulator trace events go.
+//!
+//! [`TraceSink`] decouples event *production* (the simulator) from
+//! event *storage*. Three implementations ship here:
+//!
+//! - [`NullSink`] — discards everything (tracing disabled).
+//! - [`MemorySink`] — buffers `(time, event)` pairs in memory, for
+//!   tests and protocol-invariant checks.
+//! - [`JsonlSink`] — streams one JSON object per event to any
+//!   [`Write`]r, preceded by a versioned schema header line, so traces
+//!   go to disk instead of growing an unbounded `Vec`.
+//!
+//! The event type is generic: the simulator's `TraceEvent` lives in a
+//! downstream crate and implements [`JsonlEvent`] to describe its JSONL
+//! encoding.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::json::JsonObject;
+
+/// Identifier written in the JSONL header line's `schema` field.
+pub const TRACE_SCHEMA: &str = "hls-trace";
+
+/// Current JSONL trace schema version, written in the header line.
+/// Bump when an event's field set changes incompatibly.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// The JSONL header line (without trailing newline) for the current
+/// schema version.
+#[must_use]
+pub fn jsonl_header() -> String {
+    let mut o = JsonObject::new();
+    o.str("schema", TRACE_SCHEMA);
+    o.num_u64("version", TRACE_SCHEMA_VERSION);
+    o.finish()
+}
+
+/// Destination for a stream of timestamped trace events.
+///
+/// `record` is infallible by design — the simulator hot path must not
+/// branch on I/O results; sinks that can fail buffer the first error
+/// and surface it from [`TraceSink::flush`].
+pub trait TraceSink<E>: fmt::Debug {
+    /// Accepts one event at simulated time `at_secs` (seconds).
+    fn record(&mut self, at_secs: f64, event: &E);
+
+    /// Flushes buffered output, surfacing any deferred write error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered while recording or
+    /// flushing, if any.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Sink that discards every event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl<E> TraceSink<E> for NullSink {
+    fn record(&mut self, _at_secs: f64, _event: &E) {}
+}
+
+/// Sink that buffers `(time, event)` pairs in memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySink<E> {
+    events: Vec<(f64, E)>,
+}
+
+impl<E> Default for MemorySink<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> MemorySink<E> {
+    /// Creates an empty in-memory sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink { events: Vec::new() }
+    }
+
+    /// The buffered `(time_secs, event)` pairs, in record order.
+    #[must_use]
+    pub fn events(&self) -> &[(f64, E)] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the buffered events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<(f64, E)> {
+        self.events
+    }
+}
+
+impl<E: Clone + fmt::Debug> TraceSink<E> for MemorySink<E> {
+    fn record(&mut self, at_secs: f64, event: &E) {
+        self.events.push((at_secs, event.clone()));
+    }
+}
+
+/// An event type that knows its JSONL encoding.
+pub trait JsonlEvent {
+    /// Stable snake_case tag written as the line's `kind` field.
+    fn kind(&self) -> &'static str;
+
+    /// Appends the event's payload fields to `obj` (the sink has
+    /// already written `t` and `kind`).
+    fn encode(&self, obj: &mut JsonObject);
+}
+
+/// Sink that streams events as JSON Lines to any writer.
+///
+/// The first line is a schema header (see [`jsonl_header`]); each
+/// subsequent line is one event object with at least `t` (simulated
+/// seconds) and `kind` fields. Write errors are buffered and returned
+/// from [`TraceSink::flush`], keeping `record` infallible.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + fmt::Debug> {
+    out: W,
+    records: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write + fmt::Debug> JsonlSink<W> {
+    /// Wraps a writer, immediately emitting the schema header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the header.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        writeln!(out, "{}", jsonl_header())?;
+        Ok(JsonlSink {
+            out,
+            records: 0,
+            error: None,
+        })
+    }
+
+    /// Number of event lines successfully written (header excluded).
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Consumes the sink and returns the underlying writer.
+    #[must_use]
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and returns a buffered file sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the file or writing the
+    /// header.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        JsonlSink::new(BufWriter::new(File::create(path)?))
+    }
+}
+
+impl<E: JsonlEvent, W: Write + fmt::Debug> TraceSink<E> for JsonlSink<W> {
+    fn record(&mut self, at_secs: f64, event: &E) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut obj = JsonObject::new();
+        obj.num_f64("t", at_secs);
+        obj.str("kind", event.kind());
+        event.encode(&mut obj);
+        match writeln!(self.out, "{}", obj.finish()) {
+            Ok(()) => self.records += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Ping(u64);
+
+    impl JsonlEvent for Ping {
+        fn kind(&self) -> &'static str {
+            "ping"
+        }
+        fn encode(&self, obj: &mut JsonObject) {
+            obj.num_u64("n", self.0);
+        }
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut s = NullSink;
+        TraceSink::record(&mut s, 1.0, &Ping(1));
+        assert!(TraceSink::<Ping>::flush(&mut s).is_ok());
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let mut s = MemorySink::new();
+        s.record(1.0, &Ping(1));
+        s.record(2.0, &Ping(2));
+        assert_eq!(s.events(), &[(1.0, Ping(1)), (2.0, Ping(2))]);
+        assert_eq!(s.into_events().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_header_then_events() {
+        let mut s = JsonlSink::new(Vec::new()).unwrap();
+        s.record(0.5, &Ping(7));
+        s.record(1.25, &Ping(8));
+        assert_eq!(s.records(), 2);
+        TraceSink::<Ping>::flush(&mut s).unwrap();
+        let text = String::from_utf8(s.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header = parse_json(lines[0]).unwrap();
+        assert_eq!(header.get("schema").unwrap().as_str(), Some(TRACE_SCHEMA));
+        assert_eq!(
+            header.get("version").unwrap().as_u64(),
+            Some(TRACE_SCHEMA_VERSION)
+        );
+        let ev = parse_json(lines[1]).unwrap();
+        assert_eq!(ev.get("t").unwrap().as_f64(), Some(0.5));
+        assert_eq!(ev.get("kind").unwrap().as_str(), Some("ping"));
+        assert_eq!(ev.get("n").unwrap().as_u64(), Some(7));
+    }
+}

@@ -1,0 +1,130 @@
+//! Known-value quantile checks and hand-rolled property tests for
+//! [`LogHistogram`] merge semantics (the workspace is offline, so
+//! randomized properties use the deterministic `hls_sim::SimRng`
+//! instead of a proptest dependency).
+
+use hls_obs::{LogHistogram, GROWTH};
+use hls_sim::{sample_uniform, SimRng};
+
+fn uniform_hist(rng: &mut SimRng, n: usize, lo: f64, hi: f64) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for _ in 0..n {
+        h.record(sample_uniform(rng, lo, hi));
+    }
+    h
+}
+
+#[test]
+fn known_value_quantiles_uniform_grid() {
+    // 1..=10_000 ms: the q-quantile of the grid is ~q * 10 seconds.
+    let mut h = LogHistogram::new();
+    for ms in 1..=10_000u32 {
+        h.record(f64::from(ms) * 1e-3);
+    }
+    let tol = GROWTH.sqrt() - 1.0 + 1e-9;
+    for (q, expect) in [(0.10, 1.0), (0.50, 5.0), (0.95, 9.5), (0.99, 9.9)] {
+        let got = h.quantile(q).unwrap();
+        assert!(
+            (got - expect).abs() / expect <= tol,
+            "q={q}: got {got}, expected ~{expect}"
+        );
+    }
+    assert_eq!(h.quantile(0.0), Some(1e-3));
+    assert_eq!(h.quantile(1.0), Some(10.0));
+}
+
+#[test]
+fn known_value_quantiles_bimodal() {
+    // 90 fast (10 ms) + 10 slow (2 s): p50 fast, p95/p99 slow.
+    let mut h = LogHistogram::new();
+    for _ in 0..90 {
+        h.record(0.010);
+    }
+    for _ in 0..10 {
+        h.record(2.0);
+    }
+    let tol = GROWTH.sqrt() - 1.0 + 1e-9;
+    let p50 = h.quantile(0.50).unwrap();
+    let p95 = h.quantile(0.95).unwrap();
+    let p99 = h.quantile(0.99).unwrap();
+    assert!((p50 - 0.010).abs() / 0.010 <= tol, "p50 = {p50}");
+    assert!((p95 - 2.0).abs() / 2.0 <= tol, "p95 = {p95}");
+    assert!((p99 - 2.0).abs() / 2.0 <= tol, "p99 = {p99}");
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(0x0b5_0000 ^ seed);
+        let a = uniform_hist(&mut rng, 200, 1e-4, 10.0);
+        let b = uniform_hist(&mut rng, 50, 0.5, 500.0);
+        let c = uniform_hist(&mut rng, 120, 1e-7, 1.0);
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "associativity failed at seed {seed}");
+
+        // b + a == a + b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "commutativity failed at seed {seed}");
+    }
+}
+
+#[test]
+fn merge_equals_recording_union() {
+    for seed in 0..16u64 {
+        let mut rng = SimRng::seed_from_u64(0xDEAD_0000 + seed);
+        let samples: Vec<f64> = (0..300)
+            .map(|_| sample_uniform(&mut rng, 1e-5, 1e3))
+            .collect();
+        let (first, second) = samples.split_at(137);
+
+        let mut merged = LogHistogram::new();
+        let mut h2 = LogHistogram::new();
+        for &v in first {
+            merged.record(v);
+        }
+        for &v in second {
+            h2.record(v);
+        }
+        merged.merge(&h2);
+
+        let mut whole = LogHistogram::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        // Bucket counts and min/max match exactly; the summed moments
+        // may differ by f64 addition order, so compare those with a
+        // tolerance through the public API.
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "q={q} seed={seed}");
+        }
+        assert!((merged.mean() - whole.mean()).abs() <= 1e-9 * whole.mean().abs());
+    }
+}
+
+#[test]
+fn merging_empty_is_identity() {
+    let mut rng = SimRng::seed_from_u64(7);
+    let h = uniform_hist(&mut rng, 64, 1e-3, 1e2);
+    let mut merged = h.clone();
+    merged.merge(&LogHistogram::new());
+    assert_eq!(merged, h);
+
+    let mut empty = LogHistogram::new();
+    empty.merge(&h);
+    assert_eq!(empty, h);
+}

@@ -1,0 +1,138 @@
+//! Diurnal load with a site outage: time-varying arrivals plus faults.
+//!
+//! The paper motivates load sharing with "regional workload fluctuations"
+//! (reservation systems, branch banking): sites peak at different hours,
+//! so at any moment some site is hot while the rest idle. This scenario
+//! compresses a day into a 300 s cycle — each of the 10 sites gets a
+//! phase-shifted piecewise arrival profile peaking in its own 60 s slot —
+//! and crashes site 3 across its second peak, the worst possible moment.
+//!
+//! No sharing must reject site 3's class A arrivals for the outage and
+//! eat every other site's peak locally; the failure-aware dynamic router
+//! ships peak overflow and fails site 3's work over to the central
+//! complex. The run ends with the streaming-histogram tail quantiles
+//! (p50/p95/p99) from the observability subsystem, where the difference
+//! is starker than in the means.
+//!
+//! ```text
+//! cargo run --release --example diurnal_faults
+//! ```
+
+use hls_core::{
+    run_simulation, FaultSchedule, LogHistogram, ObsConfig, RateProfile, RouterSpec, RunMetrics,
+    SystemConfig, UtilizationEstimator,
+};
+
+/// One compressed "day": 10 slots of 30 s; each site runs hot (4.0 tps)
+/// for its own two adjacent slots and cold (1.25 tps) otherwise, so every
+/// profile averages the paper's 1.8 tps per site.
+fn diurnal_profiles(n_sites: usize) -> Vec<RateProfile> {
+    const SLOT: f64 = 30.0;
+    const HOT: f64 = 4.0;
+    const COLD: f64 = 1.25;
+    (0..n_sites)
+        .map(|site| {
+            let segments = (0..n_sites)
+                .map(|slot| {
+                    let hot = slot == site || slot == (site + 1) % n_sites;
+                    (SLOT, if hot { HOT } else { COLD })
+                })
+                .collect();
+            RateProfile::Piecewise(segments)
+        })
+        .collect()
+}
+
+fn base_config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default()
+        .with_horizon(600.0, 60.0)
+        .with_seed(31);
+    cfg.site_profiles = Some(diurnal_profiles(cfg.params.n_sites));
+    // Site 3 peaks in slots 3-4 of each cycle ([90, 150) mod 300); the
+    // outage covers its second peak, [390, 450), with repair lag.
+    cfg.fault_schedule = FaultSchedule::empty().site_outage(3, 380.0, 470.0);
+    cfg.obs = ObsConfig {
+        histograms: true,
+        profile: false,
+    };
+    cfg
+}
+
+/// Union of every (class, route, site) response histogram of a run.
+fn overall_response(m: &RunMetrics) -> Option<LogHistogram> {
+    let mut merged: Option<LogHistogram> = None;
+    for (_, h) in &m.obs.as_ref()?.response {
+        match &mut merged {
+            Some(acc) => acc.merge(h),
+            None => merged = Some(h.clone()),
+        }
+    }
+    merged
+}
+
+fn main() -> Result<(), hls_core::ConfigError> {
+    println!("Diurnal peaks (300s cycle, 10 phase-shifted sites) + site-3 outage [380, 470]\n");
+    println!(
+        "{:<24} {:>8} {:>9} {:>7} {:>8} {:>9} {:>10}",
+        "policy", "tput", "mean RT", "ship%", "rej A", "failover", "RT@outage"
+    );
+    let schemes: [(&str, RouterSpec, bool); 3] = [
+        ("no load sharing", RouterSpec::NoSharing, false),
+        ("queue-length heuristic", RouterSpec::QueueLength, true),
+        (
+            "failure-aware min-avg",
+            RouterSpec::MinAverage {
+                estimator: UtilizationEstimator::NumInSystem,
+            },
+            true,
+        ),
+    ];
+    let mut runs = Vec::new();
+    for (name, spec, failure_aware) in schemes {
+        let mut cfg = base_config();
+        cfg.failure_aware = failure_aware;
+        let m = run_simulation(cfg, spec)?;
+        let outage_rt = m
+            .availability
+            .mean_response_during_outage
+            .map_or_else(|| "-".into(), |rt| format!("{rt:.3}s"));
+        println!(
+            "{:<24} {:>8.2} {:>8.3}s {:>6.1}% {:>8} {:>9} {:>10}",
+            name,
+            m.throughput,
+            m.mean_response,
+            m.shipped_fraction * 100.0,
+            m.availability.rejected_class_a,
+            m.availability.failover_shipped,
+            outage_rt,
+        );
+        runs.push((name, m));
+    }
+
+    println!("\nTail quantiles from the streaming histograms:");
+    println!(
+        "{:<24} {:>9} {:>9} {:>9} {:>9}",
+        "policy", "p50", "p95", "p99", "n"
+    );
+    for (name, m) in &runs {
+        if let Some(h) = overall_response(m) {
+            let q = |p: f64| h.quantile(p).unwrap_or(f64::NAN);
+            println!(
+                "{:<24} {:>8.3}s {:>8.3}s {:>8.3}s {:>9}",
+                name,
+                q(0.50),
+                q(0.95),
+                q(0.99),
+                h.count()
+            );
+        }
+    }
+
+    println!();
+    println!("With phase-shifted peaks there is always spare capacity somewhere,");
+    println!("but only the central complex can soak it up: sharing flattens each");
+    println!("site's peak, and failure awareness turns site 3's outage from");
+    println!("rejected arrivals into shipped ones. The p99 gap dwarfs the mean");
+    println!("gap: peaks and the outage punish the tail first.");
+    Ok(())
+}

@@ -6,6 +6,7 @@
 //!          [--seed N] [--threshold F] [--p-ship F] [--ideal-state]
 //!          [--reps N] [--jobs N] [--ci-target F] [--max-reps N]
 //!          [--fault-schedule FILE] [--failure-aware]
+//!          [--obs] [--profile] [--trace-out FILE] [--backoff-window SECS]
 //! ```
 //!
 //! Policies: `none`, `static`, `measured`, `queue`, `threshold`,
@@ -24,12 +25,24 @@
 //! the policy so class A traffic fails over to the central complex when
 //! its site is down. With a non-empty schedule the availability metrics
 //! (downtime, rejections, crash aborts, failovers) are printed too.
+//!
+//! Observability: `--obs` enables streaming response/phase histograms and
+//! prints p50/p95/p99 per (class, route) and per protocol phase (merged
+//! across replications with `--reps`); `--profile` times the simulator's
+//! own hot paths (event loop, lock table, router, messaging) and prints a
+//! wall-clock profile table; `--trace-out FILE` streams every protocol
+//! event as JSON Lines to FILE (single runs only — analyze with
+//! `trace-analyze`). None of these change simulated results: metrics are
+//! bit-identical with and without them. `--backoff-window SECS` caps the
+//! deadlock-victim restart backoff jitter window (default: one database-
+//! call service time).
 
 use std::process::ExitCode;
 
 use hybrid_load_sharing::core::{
     optimal_static_spec, replicate_ci, replicate_jobs, run_simulation, summarize, CiOptions,
-    FaultSchedule, MetricSummary, RouterSpec, RunMetrics, SystemConfig, UtilizationEstimator,
+    FaultSchedule, HybridSystem, JsonlSink, LogHistogram, MetricSummary, ObsConfig, ObsReport,
+    Route, RouterSpec, RunMetrics, SystemConfig, TxnClass, UtilizationEstimator,
 };
 
 struct Args {
@@ -51,6 +64,10 @@ struct Args {
     max_reps: Option<u64>,
     fault_schedule: Option<String>,
     failure_aware: bool,
+    obs: bool,
+    profile: bool,
+    trace_out: Option<String>,
+    backoff_window: Option<f64>,
 }
 
 impl Args {
@@ -74,6 +91,10 @@ impl Args {
             max_reps: None,
             fault_schedule: None,
             failure_aware: false,
+            obs: false,
+            profile: false,
+            trace_out: None,
+            backoff_window: None,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -104,6 +125,10 @@ impl Args {
                 "--max-reps" => a.max_reps = Some(parse(value()?)?),
                 "--fault-schedule" => a.fault_schedule = Some(value()?.to_string()),
                 "--failure-aware" => a.failure_aware = true,
+                "--obs" => a.obs = true,
+                "--profile" => a.profile = true,
+                "--trace-out" => a.trace_out = Some(value()?.to_string()),
+                "--backoff-window" => a.backoff_window = Some(parse(value()?)?),
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument: {other}")),
             }
@@ -159,6 +184,20 @@ impl Args {
         if self.reps == 0 {
             return Err("--reps must be at least 1; omit it for a single run".into());
         }
+        if self.trace_out.is_some() && (self.reps > 1 || self.ci_target.is_some()) {
+            return Err(
+                "--trace-out records one run's event stream; drop --reps/--ci-target, \
+                 or trace the replications one seed at a time"
+                    .into(),
+            );
+        }
+        if let Some(w) = self.backoff_window {
+            if !(w >= 0.0 && w.is_finite()) {
+                return Err(format!(
+                    "--backoff-window must be a non-negative number of seconds (got {w})"
+                ));
+            }
+        }
         if self.jobs == Some(0) {
             return Err(
                 "--jobs 0 is ambiguous: pass --jobs N with N >= 1 worker threads, \
@@ -199,6 +238,7 @@ fn usage() {
          \x20               [--seed N] [--threshold F] [--p-ship F] [--ideal-state]\n\
          \x20               [--reps N] [--jobs N] [--ci-target F] [--max-reps N]\n\
          \x20               [--fault-schedule FILE] [--failure-aware]\n\
+         \x20               [--obs] [--profile] [--trace-out FILE] [--backoff-window SECS]\n\
          policies: none static measured queue threshold min-incoming-q\n\
          \x20         min-incoming-n min-average-q min-average-n smoothed\n\
          replication: --reps runs N seed replications in parallel (--jobs\n\
@@ -208,8 +248,60 @@ fn usage() {
          faults: --fault-schedule FILE injects `site I down FROM TO`,\n\
          \x20         `central down FROM TO`, `link I down FROM TO`,\n\
          \x20         `link I slow FROM TO xF`, `partition I,J FROM TO` lines;\n\
-         \x20         --failure-aware ships class A around site outages"
+         \x20         --failure-aware ships class A around site outages\n\
+         observability: --obs prints response/phase histograms (p50/p95/p99);\n\
+         \x20         --profile prints a simulator self-profile table;\n\
+         \x20         --trace-out FILE streams protocol events as JSON Lines\n\
+         \x20         (single runs only; inspect with trace-analyze);\n\
+         \x20         --backoff-window SECS caps the deadlock restart jitter"
     );
+}
+
+fn class_route_label(class: TxnClass, route: Route) -> &'static str {
+    match (class, route) {
+        (TxnClass::A, Route::Local) => "class A local",
+        (TxnClass::A, Route::Central) => "class A shipped",
+        (TxnClass::B, _) => "class B",
+    }
+}
+
+fn quantile_line(h: &LogHistogram) -> String {
+    let q = |p: f64| h.quantile(p).unwrap_or(f64::NAN);
+    format!(
+        "p50 {:.3}  p95 {:.3}  p99 {:.3} s  (n={})",
+        q(0.50),
+        q(0.95),
+        q(0.99),
+        h.count()
+    )
+}
+
+/// Prints the histogram summaries (and, when present, the self-profile
+/// table) of an [`ObsReport`] — single-run or merged across replications.
+fn print_obs(obs: &ObsReport) {
+    let by_cr = obs.response_by_class_route();
+    if !by_cr.is_empty() {
+        println!("response quantiles");
+        for ((class, route), h) in &by_cr {
+            println!(
+                "  {:<17} {}",
+                class_route_label(*class, *route),
+                quantile_line(h)
+            );
+        }
+    }
+    if !obs.phases.is_empty() {
+        println!("phase histograms");
+        for (name, h) in &obs.phases {
+            println!("  {name:<17} {}  mean {:.4} s", quantile_line(h), h.mean());
+        }
+    }
+    if !obs.profile.is_empty() {
+        println!("self-profile (host wall-clock)");
+        for line in obs.profile.render_table().lines() {
+            println!("  {line}");
+        }
+    }
 }
 
 fn print_summary(name: &str, s: &MetricSummary, unit: &str) {
@@ -273,6 +365,9 @@ fn run_replicated(args: &Args, cfg: &SystemConfig, spec: RouterSpec) -> ExitCode
         &summarize(&runs, |m: &RunMetrics| m.rho_central),
         "",
     );
+    if let Some(obs) = ObsReport::merged_from_runs(&runs) {
+        print_obs(&obs);
+    }
     ExitCode::SUCCESS
 }
 
@@ -298,6 +393,11 @@ fn main() -> ExitCode {
     cfg.params.lockspace = args.lockspace;
     cfg.instantaneous_state = args.ideal_state;
     cfg.failure_aware = args.failure_aware;
+    cfg.obs = ObsConfig {
+        histograms: args.obs,
+        profile: args.profile,
+    };
+    cfg.deadlock_backoff_window = args.backoff_window;
     if let Some(path) = &args.fault_schedule {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -359,11 +459,34 @@ fn main() -> ExitCode {
     }
 
     let fault_free = cfg.fault_schedule.is_empty();
-    let m = match run_simulation(cfg, spec) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("invalid configuration: {e}");
+    let m = if let Some(path) = &args.trace_out {
+        let sink = match JsonlSink::create(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let system = match HybridSystem::new(cfg, spec) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("invalid configuration: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (m, mut sink) = system.run_with_sink(Box::new(sink));
+        if let Err(e) = sink.flush() {
+            eprintln!("cannot write trace file {path}: {e}");
             return ExitCode::FAILURE;
+        }
+        m
+    } else {
+        match run_simulation(cfg, spec) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("invalid configuration: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -424,6 +547,12 @@ fn main() -> ExitCode {
             Some(rt) => println!("response in outage  {rt:.3} s"),
             None => println!("response in outage  n/a (no overlapping completions)"),
         }
+    }
+    if let Some(obs) = &m.obs {
+        print_obs(obs);
+    }
+    if let Some(path) = &args.trace_out {
+        println!("trace written       {path}");
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,327 @@
+//! Analyze a JSONL protocol trace produced by `simulate --trace-out`.
+//!
+//! ```text
+//! trace-analyze FILE [--top N]
+//! ```
+//!
+//! Validates the schema header, then reports:
+//!
+//! * event counts by kind,
+//! * response-time quantiles per (class, route) rebuilt from the
+//!   `completion` lines into streaming histograms,
+//! * the per-phase decomposition (queueing / execution / commit /
+//!   authentication / restart backoff) with each phase's share of the
+//!   total response seconds,
+//! * abort chains: per-transaction sequences of deadlock, invalidation,
+//!   authentication-failure, and crash aborts, their length
+//!   distribution, and the `--top N` longest chains with outcomes.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use hybrid_load_sharing::obs::{
+    parse_json, JsonValue, LogHistogram, TRACE_SCHEMA, TRACE_SCHEMA_VERSION,
+};
+
+/// Response classes, in (class A local, class A shipped, class B) order.
+const CLASS_ROUTE_LABELS: [&str; 3] = ["class A local", "class A shipped", "class B"];
+
+/// Phase fields of a `completion` line, in report order.
+const PHASE_FIELDS: [&str; 5] = [
+    "queueing",
+    "execution",
+    "commit",
+    "authentication",
+    "restart_backoff",
+];
+
+/// How one abort chain ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Completed { attempts: u64 },
+    Killed,
+    InFlight,
+}
+
+#[derive(Debug, Default)]
+struct Analysis {
+    events: u64,
+    by_kind: HashMap<String, u64>,
+    response: Vec<LogHistogram>,
+    phases: Vec<LogHistogram>,
+    phase_totals: [f64; 5],
+    response_total: f64,
+    completions: u64,
+    /// Per-transaction abort-event sequence.
+    chains: HashMap<u64, Vec<&'static str>>,
+    outcomes: HashMap<u64, Outcome>,
+}
+
+impl Analysis {
+    fn new() -> Self {
+        Analysis {
+            response: (0..3).map(|_| LogHistogram::new()).collect(),
+            phases: (0..5).map(|_| LogHistogram::new()).collect(),
+            ..Analysis::default()
+        }
+    }
+}
+
+fn class_route_index(class: Option<&str>, route: Option<&str>) -> Option<usize> {
+    match (class?, route?) {
+        ("A", "local") => Some(0),
+        ("A", "central") => Some(1),
+        ("B", _) => Some(2),
+        _ => None,
+    }
+}
+
+fn field_f64(obj: &JsonValue, key: &str) -> Option<f64> {
+    obj.get(key)?.as_f64()
+}
+
+fn field_u64(obj: &JsonValue, key: &str) -> Option<u64> {
+    obj.get(key)?.as_u64()
+}
+
+fn field_str<'a>(obj: &'a JsonValue, key: &str) -> Option<&'a str> {
+    obj.get(key)?.as_str()
+}
+
+/// Folds one event line into the analysis. Returns a description of the
+/// malformed field when the line cannot be interpreted.
+fn ingest(a: &mut Analysis, obj: &JsonValue) -> Result<(), String> {
+    let kind = field_str(obj, "kind").ok_or("missing `kind` field")?;
+    a.events += 1;
+    *a.by_kind.entry(kind.to_string()).or_insert(0) += 1;
+    let chain_tag = match kind {
+        "deadlock_abort" => Some("deadlock"),
+        "invalidation_abort" => Some("invalidation"),
+        "crash_abort" => Some("crash"),
+        "auth_resolved" if obj.get("committed").and_then(JsonValue::as_bool) == Some(false) => {
+            Some("auth_failed")
+        }
+        _ => None,
+    };
+    if let Some(tag) = chain_tag {
+        let txn = field_u64(obj, "txn").ok_or_else(|| format!("{kind} without `txn`"))?;
+        a.chains.entry(txn).or_default().push(tag);
+        let outcome = if kind == "crash_abort" {
+            Outcome::Killed
+        } else {
+            Outcome::InFlight
+        };
+        a.outcomes.insert(txn, outcome);
+    }
+    if kind == "completion" {
+        let idx = class_route_index(field_str(obj, "class"), field_str(obj, "route"))
+            .ok_or("completion with unknown class/route")?;
+        let response =
+            field_f64(obj, "response").ok_or("completion without a numeric `response`")?;
+        a.response[idx].record(response);
+        a.response_total += response;
+        a.completions += 1;
+        for (i, field) in PHASE_FIELDS.iter().enumerate() {
+            let v = field_f64(obj, field)
+                .ok_or_else(|| format!("completion without a numeric `{field}`"))?;
+            a.phase_totals[i] += v;
+            // Authentication only exists on the central path, and restart
+            // backoff only for deadlock victims: recording the structural
+            // zeros would just dilute those quantiles.
+            let structural_zero = (i == 3 && idx == 0) || (i == 4 && v == 0.0);
+            if !structural_zero {
+                a.phases[i].record(v);
+            }
+        }
+        if let Some(txn) = field_u64(obj, "txn") {
+            if a.chains.contains_key(&txn) {
+                let attempts = field_u64(obj, "attempts").unwrap_or(0);
+                a.outcomes.insert(txn, Outcome::Completed { attempts });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn quantile_line(h: &LogHistogram) -> String {
+    let q = |p: f64| h.quantile(p).unwrap_or(f64::NAN);
+    format!(
+        "p50 {:.3}  p95 {:.3}  p99 {:.3} s  mean {:.3} s  (n={})",
+        q(0.50),
+        q(0.95),
+        q(0.99),
+        h.mean(),
+        h.count()
+    )
+}
+
+fn print_report(a: &Analysis, top: usize) {
+    println!("events              {}", a.events);
+    let mut kinds: Vec<(&String, &u64)> = a.by_kind.iter().collect();
+    kinds.sort_by(|x, y| y.1.cmp(x.1).then(x.0.cmp(y.0)));
+    for (kind, count) in kinds {
+        println!("  {kind:<18} {count}");
+    }
+
+    if a.completions > 0 {
+        println!("response quantiles");
+        for (label, h) in CLASS_ROUTE_LABELS.iter().zip(&a.response) {
+            if !h.is_empty() {
+                println!("  {label:<17} {}", quantile_line(h));
+            }
+        }
+        println!(
+            "phase breakdown     ({} completions, {:.1} response-seconds)",
+            a.completions, a.response_total
+        );
+        for ((field, h), total) in PHASE_FIELDS.iter().zip(&a.phases).zip(a.phase_totals) {
+            let share = if a.response_total > 0.0 {
+                format!("{:>5.1}%", 100.0 * total / a.response_total)
+            } else {
+                "    -".to_string()
+            };
+            if h.is_empty() {
+                println!("  {field:<17} {share}  (no occurrences)");
+            } else {
+                println!("  {field:<17} {share}  {}", quantile_line(h));
+            }
+        }
+    } else {
+        println!("no completion events in trace");
+    }
+
+    if a.chains.is_empty() {
+        println!("abort chains        none");
+        return;
+    }
+    let mut by_len: HashMap<usize, u64> = HashMap::new();
+    for chain in a.chains.values() {
+        *by_len.entry(chain.len()).or_insert(0) += 1;
+    }
+    let mut lens: Vec<(usize, u64)> = by_len.into_iter().collect();
+    lens.sort_unstable();
+    let dist = lens
+        .iter()
+        .map(|(len, n)| format!("{n} x len {len}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("abort chains        {} txns ({dist})", a.chains.len());
+
+    let mut offenders: Vec<(&u64, &Vec<&'static str>)> = a.chains.iter().collect();
+    offenders.sort_by(|x, y| y.1.len().cmp(&x.1.len()).then(x.0.cmp(y.0)));
+    for (txn, chain) in offenders.into_iter().take(top) {
+        let outcome = match a.outcomes.get(txn) {
+            Some(Outcome::Completed { attempts }) => {
+                format!("completed after {attempts} attempts")
+            }
+            Some(Outcome::Killed) => "killed by crash".to_string(),
+            Some(Outcome::InFlight) | None => "still in flight at horizon".to_string(),
+        };
+        println!("  txn {txn:<8} {} -> {outcome}", chain.join(" -> "));
+    }
+}
+
+fn analyze(text: &str) -> Result<Analysis, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace file")?;
+    let header = parse_json(header).map_err(|e| format!("line 1: invalid header: {e}"))?;
+    let schema = header
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("line 1: header has no `schema` field")?;
+    if schema != TRACE_SCHEMA {
+        return Err(format!(
+            "unsupported schema {schema:?} (expected {TRACE_SCHEMA:?})"
+        ));
+    }
+    let version = header
+        .get("version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("line 1: header has no `version` field")?;
+    if version != TRACE_SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported schema version {version} (this tool reads version {TRACE_SCHEMA_VERSION})"
+        ));
+    }
+    let mut a = Analysis::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        ingest(&mut a, &obj).map_err(|e| format!("line {}: {e}", i + 1))?;
+    }
+    Ok(a)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: trace-analyze FILE [--top N]\n\
+         reads a JSON Lines protocol trace written by `simulate --trace-out`\n\
+         and reports event counts, response quantiles per (class, route),\n\
+         the per-phase response decomposition, and abort chains\n\
+         (--top N longest chains shown, default 5)"
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut top = 5usize;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "--top" => {
+                i += 1;
+                top = match argv.get(i).map(|v| v.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        eprintln!("error: --top requires a count");
+                        usage();
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown argument: {flag}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            path if file.is_none() => file = Some(path.to_string()),
+            extra => {
+                eprintln!("error: unexpected argument: {extra}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = file else {
+        eprintln!("error: no trace file given");
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match analyze(&text) {
+        Ok(a) => {
+            println!("trace               {path}");
+            println!("schema              {TRACE_SCHEMA} v{TRACE_SCHEMA_VERSION}");
+            print_report(&a, top);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("invalid trace {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

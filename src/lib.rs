@@ -6,5 +6,6 @@ pub use hls_core as core;
 pub use hls_faults as faults;
 pub use hls_lockmgr as lockmgr;
 pub use hls_net as net;
+pub use hls_obs as obs;
 pub use hls_sim as sim;
 pub use hls_workload as workload;
