@@ -281,6 +281,10 @@ pub struct HybridSystem {
     /// Asynchronous-update applications interrupted by a central crash;
     /// resubmitted on recovery (their messages were already consumed).
     central_replay: Vec<JobKind>,
+    /// When set, every lock table's `check_invariants` runs after each
+    /// event (see [`HybridSystem::run_validated`]). Test-only; off in
+    /// measurement runs.
+    validate_locks: bool,
 }
 
 impl HybridSystem {
@@ -361,6 +365,7 @@ impl HybridSystem {
             deferred_site: (0..n).map(|_| VecDeque::new()).collect(),
             deferred_central: VecDeque::new(),
             central_replay: Vec::new(),
+            validate_locks: false,
             cfg,
         })
     }
@@ -445,6 +450,33 @@ impl HybridSystem {
         (metrics, samples)
     }
 
+    /// Runs to the horizon with **lock-table validation**: after every
+    /// simulation event, each site's and the central complex's
+    /// [`hls_lockmgr::LockTable::check_invariants`] is executed, so any
+    /// corruption of the wait-for graph, the owner index, or the arena
+    /// queues panics at the event that introduced it rather than
+    /// surfacing as skewed metrics. Orders of magnitude slower than
+    /// [`HybridSystem::run`]; meant for tests (notably the fault-schedule
+    /// equivalence run), not measurement.
+    #[must_use]
+    pub fn run_validated(mut self) -> RunMetrics {
+        self.validate_locks = true;
+        self.run_internal()
+    }
+
+    /// Asserts the internal invariants of every lock table in the
+    /// system — all sites plus the central complex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table's indexes disagree with its entries.
+    pub fn check_lock_invariants(&self) {
+        for site in &self.sites {
+            site.locks.check_invariants();
+        }
+        self.central.locks.check_invariants();
+    }
+
     /// Runs to the horizon, then **drains**: arrivals stop but every
     /// in-flight transaction and protocol message is processed to
     /// completion, after which the replica stores are compared.
@@ -521,6 +553,9 @@ impl HybridSystem {
             }
             let (now, ev) = self.queue.pop().expect("peeked event");
             self.handle(now, ev);
+            if self.validate_locks {
+                self.check_lock_invariants();
+            }
         }
         self.profiler.stop(TOTAL_KEY, total);
         self.finalize()
@@ -1043,7 +1078,7 @@ impl HybridSystem {
                 cycle
                     .iter()
                     .map(|o| o.0)
-                    .min_by_key(|&o| (table.held_locks(OwnerId(o)).len(), u64::MAX - o))
+                    .min_by_key(|&o| (table.held_count(OwnerId(o)), u64::MAX - o))
                     .expect("non-empty cycle")
             }
         }
@@ -1937,6 +1972,7 @@ impl HybridSystem {
         self.profiler.absorb("lock.request", &stats.request);
         self.profiler.absorb("lock.release_all", &stats.release_all);
         self.profiler.absorb("lock.release_one", &stats.release_one);
+        self.profiler.absorb("lock.cancel_wait", &stats.cancel_wait);
         self.profiler
             .absorb("lock.force_acquire", &stats.force_acquire);
     }

@@ -12,8 +12,9 @@ use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 use hls_core::{
-    replicate_jobs, run_simulation, HybridSystem, JsonlSink, ObsConfig, RouterSpec, RunMetrics,
-    SystemConfig, TraceEvent, TraceSink, UtilizationEstimator, TRACE_SCHEMA, TRACE_SCHEMA_VERSION,
+    replicate_jobs, run_simulation, FaultSchedule, HybridSystem, JsonlSink, ObsConfig, RouterSpec,
+    RunMetrics, SystemConfig, TraceEvent, TraceSink, UtilizationEstimator, TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
 };
 use hls_obs::{parse_json, JsonValue};
 
@@ -137,6 +138,28 @@ fn backoff_window_knob_bounds_the_recorded_delays() {
         max_of(&wide) > 0.01,
         "wide window never exceeded the narrow one"
     );
+}
+
+/// Fault run under full lock-table validation: a contended workload with
+/// site, central, and link outages hammers every release path (crashes
+/// clear whole tables, victims cancel waits, authentication force-
+/// acquires), while [`HybridSystem::run_validated`] re-checks the
+/// wait-for graph, owner index, and arena queues of every table after
+/// **each** event. Validation itself must be metrics-neutral.
+#[test]
+fn faulted_contended_run_preserves_lock_invariants() {
+    let mut cfg = contended_config().with_horizon(60.0, 10.0);
+    cfg.fault_schedule = FaultSchedule::empty()
+        .site_outage(0, 15.0, 30.0)
+        .central_outage(35.0, 42.0)
+        .link_outage(3, 20.0, 28.0);
+    cfg.failure_aware = true;
+    let spec = RouterSpec::QueueLength;
+    let plain = run_simulation(cfg.clone(), spec).expect("valid");
+    let deadlocks = plain.aborts.deadlock_local + plain.aborts.deadlock_central;
+    assert!(deadlocks > 0, "config failed to provoke deadlocks");
+    let validated = HybridSystem::new(cfg, spec).expect("valid").run_validated();
+    assert_eq!(plain, validated, "invariant checking changed the metrics");
 }
 
 /// A sink that shares its buffer with the test, since `run_with_sink`

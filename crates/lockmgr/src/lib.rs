@@ -6,8 +6,18 @@
 //! control field** (a count of asynchronous updates in flight to the central
 //! site). The table also supports the **forcible acquisition** used by the
 //! authentication phase, in which a central or shipped transaction seizes
-//! locks from incompatible local holders, and **deadlock detection** on the
-//! wait-for graph.
+//! locks from incompatible local holders, and **deadlock detection**.
+//!
+//! The production [`LockTable`] is the *indexed* implementation (ISSUE 4):
+//! it maintains an explicit wait-for graph (each waiter carries its ordered
+//! blocker edges, updated incrementally on grant/enqueue/release), an
+//! owner → held-locks index, and arena-allocated waiter queues addressed by
+//! stable `u32` handles with free-list reuse — so deadlock detection walks
+//! only reachable edges and the release paths never scan the table. The
+//! earlier scan-based semantics are preserved verbatim as
+//! [`model::ReferenceLockTable`], the oracle for the model-based
+//! differential suite in `tests/differential.rs` and the baseline for the
+//! `lock_bench` microbenchmark.
 //!
 //! # Examples
 //!
@@ -29,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod model;
 mod table;
 mod types;
 

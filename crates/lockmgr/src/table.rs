@@ -1,10 +1,101 @@
 //! The lock table: concurrency field, coherence field, FIFO wait queues.
+//!
+//! This is the indexed implementation (ISSUE 4). Three structures are
+//! maintained incrementally so the simulator's hottest operations never
+//! scan the whole table:
+//!
+//! 1. **An explicit wait-for graph.** Every queued waiter carries its
+//!    ordered list of blocking owners (the holders of the lock it waits
+//!    for, then the waiters ahead of it), updated on grant, enqueue,
+//!    release, displacement and cancellation. [`LockTable::deadlock_cycle`]
+//!    walks these pre-built edges instead of re-deriving each node's
+//!    blockers from the raw entry.
+//! 2. **An owner → held-locks index** backing [`LockTable::release_all`],
+//!    [`LockTable::held_locks`] and victim selection, with freed lists
+//!    recycled through a small pool.
+//! 3. **Arena-backed waiter queues.** Wait-queue nodes live in one shared
+//!    `Vec` arena addressed by stable `u32` handles with free-list reuse;
+//!    per-entry `VecDeque` allocation churn is gone, and a waiter's node
+//!    (hence its wait-for edges) is reachable in O(1) from the waiting
+//!    index.
+//!
+//! All maps use a Fibonacci-style multiplicative hasher ([`FxHasher`])
+//! instead of SipHash — the keys are trusted in-simulator integers, not
+//! attacker-controlled input.
+//!
+//! Outcome semantics are locked to the scan-based reference
+//! implementation in [`crate::model`] by the differential suite in
+//! `tests/differential.rs`; every observable — [`RequestOutcome`]s, grant
+//! order, cycle membership, counters — is bit-compatible.
 
-use std::collections::{HashMap, VecDeque};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use hls_obs::{OpStats, Timer};
 
 use crate::types::{LockId, LockMode, OwnerId};
+
+/// A Fibonacci-style multiplicative hasher (the rustc "Fx" recipe) for
+/// the table's integer keys. Roughly an order of magnitude cheaper than
+/// the default SipHash, which matters because every lock operation
+/// performs several map probes.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_ne_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+type FxMap<K, V> = HashMap<K, V, FxBuild>;
+type FxSet<K> = HashSet<K, FxBuild>;
 
 /// Per-operation profiling counters for one [`LockTable`].
 ///
@@ -20,6 +111,8 @@ pub struct LockStats {
     pub release_all: OpStats,
     /// [`LockTable::release_one`] calls.
     pub release_one: OpStats,
+    /// [`LockTable::cancel_wait`] calls (abort-path queue surgery).
+    pub cancel_wait: OpStats,
     /// [`LockTable::force_acquire`] calls — the authentication-phase
     /// hot path flagged in the ROADMAP.
     pub force_acquire: OpStats,
@@ -58,24 +151,196 @@ pub struct Grant {
     pub mode: LockMode,
 }
 
-#[derive(Debug, Clone, Default)]
+/// Sentinel handle: "no node".
+const NIL: u32 = u32::MAX;
+
+/// One queued lock request, living in the table-wide arena. Nodes form a
+/// doubly-linked FIFO per lock entry and carry the waiter's outgoing
+/// wait-for edges.
+#[derive(Debug, Clone)]
+struct WaiterNode {
+    owner: OwnerId,
+    mode: LockMode,
+    lock: LockId,
+    prev: u32,
+    next: u32,
+    /// Outgoing wait-for edges, ordered exactly as the reference model
+    /// derives them: current holders of `lock` (minus `owner`) in holder
+    /// order, then the waiters ahead of this node in queue order. An
+    /// owner that both holds the lock and waits ahead (a queued upgrade)
+    /// appears once per role.
+    blockers: Vec<OwnerId>,
+    /// Length of the holders-section prefix of `blockers`.
+    n_holder: u32,
+}
+
+#[derive(Debug, Clone)]
 struct LockEntry {
     /// Current holders with their modes. Multiple holders only in share mode.
     holders: Vec<(OwnerId, LockMode)>,
-    /// FIFO queue of conflicting requests.
-    waiters: VecDeque<(OwnerId, LockMode)>,
+    /// Head of this entry's FIFO wait queue (arena handle), or [`NIL`].
+    q_head: u32,
+    /// Tail of the wait queue, or [`NIL`].
+    q_tail: u32,
+    /// Number of queued waiters.
+    q_len: u32,
     /// The paper's coherence-control field: the number of asynchronous
     /// updates to this element that are in flight to the central site.
     coherence: u32,
 }
 
+impl Default for LockEntry {
+    fn default() -> Self {
+        LockEntry {
+            holders: Vec::new(),
+            q_head: NIL,
+            q_tail: NIL,
+            q_len: 0,
+            coherence: 0,
+        }
+    }
+}
+
 impl LockEntry {
     fn is_empty(&self) -> bool {
-        self.holders.is_empty() && self.waiters.is_empty() && self.coherence == 0
+        self.holders.is_empty() && self.q_len == 0 && self.coherence == 0
     }
 
     fn compatible(&self, mode: LockMode) -> bool {
         self.holders.iter().all(|&(_, m)| mode.compatible_with(m))
+    }
+}
+
+/// Takes a node from the free list (recycling its edge-list allocation)
+/// or grows the arena.
+fn alloc_node(
+    arena: &mut Vec<WaiterNode>,
+    free: &mut Vec<u32>,
+    owner: OwnerId,
+    lock: LockId,
+    mode: LockMode,
+) -> u32 {
+    if let Some(h) = free.pop() {
+        let node = &mut arena[h as usize];
+        node.owner = owner;
+        node.lock = lock;
+        node.mode = mode;
+        node.prev = NIL;
+        node.next = NIL;
+        node.blockers.clear();
+        node.n_holder = 0;
+        h
+    } else {
+        assert!(arena.len() < NIL as usize, "waiter arena exhausted");
+        arena.push(WaiterNode {
+            owner,
+            mode,
+            lock,
+            prev: NIL,
+            next: NIL,
+            blockers: Vec::new(),
+            n_holder: 0,
+        });
+        (arena.len() - 1) as u32
+    }
+}
+
+/// Unlinks node `h` from `entry`'s queue (does not free it).
+fn unlink(entry: &mut LockEntry, arena: &mut [WaiterNode], h: u32) {
+    let (prev, next) = {
+        let node = &arena[h as usize];
+        (node.prev, node.next)
+    };
+    if prev == NIL {
+        entry.q_head = next;
+    } else {
+        arena[prev as usize].next = next;
+    }
+    if next == NIL {
+        entry.q_tail = prev;
+    } else {
+        arena[next as usize].prev = prev;
+    }
+    entry.q_len -= 1;
+}
+
+/// Removes the holder edge to `removed` from every waiter of `entry`
+/// (except `removed` itself, which never lists itself as a blocker).
+fn remove_holder_edges(entry: &LockEntry, arena: &mut [WaiterNode], removed: OwnerId) {
+    let mut cur = entry.q_head;
+    while cur != NIL {
+        let node = &mut arena[cur as usize];
+        if node.owner != removed {
+            let nh = node.n_holder as usize;
+            let pos = node.blockers[..nh]
+                .iter()
+                .position(|&b| b == removed)
+                .expect("wait-for graph desync: missing holder edge");
+            node.blockers.remove(pos);
+            node.n_holder -= 1;
+        }
+        cur = node.next;
+    }
+}
+
+/// Adds a holder edge to `added` (appended to the holders section, which
+/// mirrors `added` being pushed onto `entry.holders`) for every waiter
+/// except `added` itself.
+fn insert_holder_edges(entry: &LockEntry, arena: &mut [WaiterNode], added: OwnerId) {
+    let mut cur = entry.q_head;
+    while cur != NIL {
+        let node = &mut arena[cur as usize];
+        if node.owner != added {
+            let nh = node.n_holder as usize;
+            node.blockers.insert(nh, added);
+            node.n_holder += 1;
+        }
+        cur = node.next;
+    }
+}
+
+/// Appends `lock` to `owner`'s held-locks list, recycling a pooled list
+/// for first-time holders.
+fn held_insert(
+    held: &mut FxMap<OwnerId, Vec<LockId>>,
+    pool: &mut Vec<Vec<LockId>>,
+    owner: OwnerId,
+    lock: LockId,
+) {
+    held.entry(owner)
+        .or_insert_with(|| pool.pop().unwrap_or_default())
+        .push(lock);
+}
+
+/// Removes `lock` from `owner`'s held-locks list, returning emptied lists
+/// to the pool.
+///
+/// # Panics
+///
+/// Panics if the index disagrees with the entry holders — a table bug.
+fn held_remove(
+    held: &mut FxMap<OwnerId, Vec<LockId>>,
+    pool: &mut Vec<Vec<LockId>>,
+    owner: OwnerId,
+    lock: LockId,
+) {
+    let locks = held.get_mut(&owner).expect("holder has no held set");
+    let pos = locks
+        .iter()
+        .position(|&l| l == lock)
+        .expect("held set desync");
+    locks.remove(pos);
+    if locks.is_empty() {
+        let list = held.remove(&owner).expect("held list vanished");
+        recycle(pool, list);
+    }
+}
+
+/// Bounded pooling of emptied `Vec` allocations.
+fn recycle(pool: &mut Vec<Vec<LockId>>, mut list: Vec<LockId>) {
+    if pool.len() < 1024 && list.capacity() > 0 {
+        list.clear();
+        pool.push(list);
     }
 }
 
@@ -88,6 +353,13 @@ impl LockEntry {
 /// authentication phase, where a central/shipped transaction seizes locks
 /// from incompatible local holders (which are then marked for abort by the
 /// caller).
+///
+/// Internally the table maintains three indexes: the explicit wait-for
+/// graph (per-waiter ordered blocker edges), the owner → held-locks
+/// index, and arena-backed waiter queues addressed by stable `u32`
+/// handles. The scan-based semantics they
+/// replace live on as [`crate::model::ReferenceLockTable`], the
+/// differential-testing oracle.
 ///
 /// # Examples
 ///
@@ -104,11 +376,17 @@ impl LockEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LockTable {
-    entries: HashMap<LockId, LockEntry>,
-    /// Locks held per owner, in acquisition order.
-    held: HashMap<OwnerId, Vec<LockId>>,
-    /// The single lock each blocked owner is waiting for.
-    waiting: HashMap<OwnerId, LockId>,
+    entries: FxMap<LockId, LockEntry>,
+    /// Owner → held-locks index, in acquisition order.
+    held: FxMap<OwnerId, Vec<LockId>>,
+    /// Owner → arena handle of its single queued wait.
+    waiting: FxMap<OwnerId, u32>,
+    /// The waiter-node arena; freed slots are recycled via `free`.
+    arena: Vec<WaiterNode>,
+    /// Free list of arena handles.
+    free: Vec<u32>,
+    /// Pool of emptied held-lock lists awaiting reuse.
+    held_pool: Vec<Vec<LockId>>,
     /// Total number of (owner, lock) grants — the `n_lock` observable used
     /// by the dynamic routing strategies.
     grants: usize,
@@ -116,6 +394,20 @@ pub struct LockTable {
     stats: LockStats,
     /// Whether operations also accumulate wall-clock time into `stats`.
     profiling: bool,
+    /// Reusable DFS buffers for [`LockTable::deadlock_cycle`], so the
+    /// per-block probe the simulator issues allocates nothing. Interior
+    /// mutability keeps the probe `&self`; the scratch never holds state
+    /// across calls.
+    scratch: RefCell<DfsScratch>,
+}
+
+/// Scratch space for the deadlock DFS (see [`LockTable::scratch`]).
+#[derive(Debug, Clone, Default)]
+struct DfsScratch {
+    visited: FxSet<OwnerId>,
+    path: Vec<OwnerId>,
+    /// Stack entries: (node, depth in path when pushed).
+    stack: Vec<(OwnerId, usize)>,
 }
 
 impl LockTable {
@@ -168,7 +460,17 @@ impl LockTable {
             !self.waiting.contains_key(&owner),
             "{owner} already waits for a lock and cannot issue another request"
         );
-        let entry = self.entries.entry(lock).or_default();
+        let LockTable {
+            entries,
+            held,
+            waiting,
+            arena,
+            free,
+            held_pool,
+            grants,
+            ..
+        } = self;
+        let entry = entries.entry(lock).or_default();
 
         if let Some(pos) = entry.holders.iter().position(|&(o, _)| o == owner) {
             let held_mode = entry.holders[pos].1;
@@ -180,21 +482,27 @@ impl LockTable {
                 entry.holders[pos].1 = LockMode::Exclusive;
                 return RequestOutcome::Granted;
             }
-            entry.waiters.push_back((owner, LockMode::Exclusive));
-            self.waiting.insert(owner, lock);
+            enqueue(
+                entry,
+                arena,
+                free,
+                waiting,
+                owner,
+                lock,
+                LockMode::Exclusive,
+            );
             return RequestOutcome::Queued;
         }
 
         // FIFO fairness: a new request queues behind existing waiters even
         // if it would be compatible with the current holders.
-        if entry.waiters.is_empty() && entry.compatible(mode) {
+        if entry.q_len == 0 && entry.compatible(mode) {
             entry.holders.push((owner, mode));
-            self.held.entry(owner).or_default().push(lock);
-            self.grants += 1;
+            held_insert(held, held_pool, owner, lock);
+            *grants += 1;
             RequestOutcome::Granted
         } else {
-            entry.waiters.push_back((owner, mode));
-            self.waiting.insert(owner, lock);
+            enqueue(entry, arena, free, waiting, owner, lock, mode);
             RequestOutcome::Queued
         }
     }
@@ -205,9 +513,10 @@ impl LockTable {
         let timer = Timer::start_if(self.profiling);
         let mut grants = self.cancel_wait_impl(owner);
         let locks = self.held.remove(&owner).unwrap_or_default();
-        for lock in locks {
+        for &lock in &locks {
             self.remove_holder(lock, owner, &mut grants);
         }
+        recycle(&mut self.held_pool, locks);
         timer.stop_into(&mut self.stats.release_all);
         grants
     }
@@ -231,7 +540,8 @@ impl LockTable {
         };
         locks.remove(pos);
         if locks.is_empty() {
-            self.held.remove(&owner);
+            let list = self.held.remove(&owner).expect("held list vanished");
+            recycle(&mut self.held_pool, list);
         }
         let mut grants = Vec::new();
         self.remove_holder(lock, owner, &mut grants);
@@ -242,20 +552,44 @@ impl LockTable {
     /// Returns grants that become possible if `owner` was blocking others
     /// at the head of a queue.
     pub fn cancel_wait(&mut self, owner: OwnerId) -> Vec<Grant> {
-        self.cancel_wait_impl(owner)
+        let timer = Timer::start_if(self.profiling);
+        let out = self.cancel_wait_impl(owner);
+        timer.stop_into(&mut self.stats.cancel_wait);
+        out
     }
 
     fn cancel_wait_impl(&mut self, owner: OwnerId) -> Vec<Grant> {
-        let Some(lock) = self.waiting.remove(&owner) else {
-            return Vec::new();
+        let lock = {
+            let LockTable {
+                entries,
+                waiting,
+                arena,
+                free,
+                ..
+            } = self;
+            let Some(h) = waiting.remove(&owner) else {
+                return Vec::new();
+            };
+            let lock = arena[h as usize].lock;
+            let entry = entries.get_mut(&lock).expect("waiting on unknown lock");
+            // Waiters behind the cancelled node lose their queue edge to
+            // `owner` (a holder edge, if any, survives).
+            let mut cur = arena[h as usize].next;
+            while cur != NIL {
+                let node = &mut arena[cur as usize];
+                let nh = node.n_holder as usize;
+                let pos = node.blockers[nh..]
+                    .iter()
+                    .position(|&b| b == owner)
+                    .expect("wait-for graph desync: missing queue edge")
+                    + nh;
+                node.blockers.remove(pos);
+                cur = node.next;
+            }
+            unlink(entry, arena, h);
+            free.push(h);
+            lock
         };
-        let entry = self
-            .entries
-            .get_mut(&lock)
-            .expect("waiting on unknown lock");
-        if let Some(pos) = entry.waiters.iter().position(|&(o, _)| o == owner) {
-            entry.waiters.remove(pos);
-        }
         let mut grants = Vec::new();
         self.promote_waiters(lock, &mut grants);
         self.drop_if_empty(lock);
@@ -280,44 +614,58 @@ impl LockTable {
     }
 
     fn force_acquire_impl(&mut self, lock: LockId, owner: OwnerId, mode: LockMode) -> ForceOutcome {
-        let entry = self.entries.entry(lock).or_default();
-        let prior_mode = entry
-            .holders
-            .iter()
-            .find(|&&(o, _)| o == owner)
-            .map(|&(_, m)| m);
-        // Re-acquisition keeps the strongest of the old and new modes.
-        let mode = match prior_mode {
-            Some(LockMode::Exclusive) => LockMode::Exclusive,
-            _ => mode,
-        };
-        let mut displaced = Vec::new();
-        let mut keep = Vec::new();
-        for &(o, m) in &entry.holders {
-            if o != owner && !mode.compatible_with(m) {
-                displaced.push(o);
-            } else if o != owner {
-                keep.push((o, m));
-            }
-        }
-        entry.holders = keep;
-        entry.holders.push((owner, mode));
-        for &o in &displaced {
-            let locks = self.held.get_mut(&o).expect("holder has no held set");
-            let pos = locks
+        let displaced = {
+            let LockTable {
+                entries,
+                held,
+                arena,
+                held_pool,
+                grants,
+                ..
+            } = self;
+            let entry = entries.entry(lock).or_default();
+            let prior_mode = entry
+                .holders
                 .iter()
-                .position(|&l| l == lock)
-                .expect("held set desync");
-            locks.remove(pos);
-            if locks.is_empty() {
-                self.held.remove(&o);
+                .find(|&&(o, _)| o == owner)
+                .map(|&(_, m)| m);
+            // Re-acquisition keeps the strongest of the old and new modes.
+            let mode = match prior_mode {
+                Some(LockMode::Exclusive) => LockMode::Exclusive,
+                _ => mode,
+            };
+            let mut displaced = Vec::new();
+            entry.holders.retain(|&(o, m)| {
+                if o == owner {
+                    false // re-appended below, in strongest mode
+                } else if !mode.compatible_with(m) {
+                    displaced.push(o);
+                    false
+                } else {
+                    true
+                }
+            });
+            entry.holders.push((owner, mode));
+            // Wait-for graph: drop edges to the displaced, and move (or
+            // add) `owner`'s holder edge to the end of each waiter's
+            // holders section, mirroring the re-append above.
+            for &d in &displaced {
+                remove_holder_edges(entry, arena, d);
             }
-            self.grants -= 1;
-        }
-        if prior_mode.is_none() {
-            self.held.entry(owner).or_default().push(lock);
-            self.grants += 1;
-        }
+            if prior_mode.is_some() {
+                remove_holder_edges(entry, arena, owner);
+            }
+            insert_holder_edges(entry, arena, owner);
+            for &d in &displaced {
+                held_remove(held, held_pool, d, lock);
+                *grants -= 1;
+            }
+            if prior_mode.is_none() {
+                held_insert(held, held_pool, owner, lock);
+                *grants += 1;
+            }
+            displaced
+        };
         let mut grants = Vec::new();
         self.promote_waiters(lock, &mut grants);
         ForceOutcome { displaced, grants }
@@ -374,10 +722,19 @@ impl LockTable {
         self.held.get(&owner).cloned().unwrap_or_default()
     }
 
+    /// Number of locks held by `owner` — O(1) via the owner index, for
+    /// victim selection (no list clone).
+    #[must_use]
+    pub fn held_count(&self, owner: OwnerId) -> usize {
+        self.held.get(&owner).map_or(0, Vec::len)
+    }
+
     /// The lock `owner` currently waits for, if any.
     #[must_use]
     pub fn waiting_for(&self, owner: OwnerId) -> Option<LockId> {
-        self.waiting.get(&owner).copied()
+        self.waiting
+            .get(&owner)
+            .map(|&h| self.arena[h as usize].lock)
     }
 
     /// Total number of (owner, lock) grants in the table — the `n_lock`
@@ -407,29 +764,43 @@ impl LockTable {
     /// Returns the members of a wait-for cycle through `owner` (the victim
     /// candidates), or an empty vector if `owner` is not deadlocked.
     ///
-    /// The cycle is found by depth-first search from `owner` along
-    /// blocked-by edges; every returned member is currently waiting (or is
-    /// `owner` itself, which is about to wait).
+    /// The cycle is found by depth-first search from `owner` along the
+    /// pre-built wait-for edges; every returned member is currently waiting
+    /// (or is `owner` itself, which is about to wait). The traversal order
+    /// — and therefore the reported cycle — is identical to the reference
+    /// model's, which victim selection depends on.
     #[must_use]
     pub fn deadlock_cycle(&self, owner: OwnerId) -> Vec<OwnerId> {
         // Iterative DFS with an explicit path, so the cycle can be
-        // reconstructed when we reach `owner` again.
-        let mut visited = std::collections::HashSet::new();
-        let mut path: Vec<OwnerId> = Vec::new();
-        // Stack entries: (node, depth in path when pushed).
-        let mut stack: Vec<(OwnerId, usize)> = vec![(owner, 0)];
+        // reconstructed when we reach `owner` again. The buffers are
+        // table-owned scratch: the probe runs after every blocked request
+        // on the simulator's hot path and must not allocate.
+        let mut scratch = self.scratch.borrow_mut();
+        let DfsScratch {
+            visited,
+            path,
+            stack,
+        } = &mut *scratch;
+        visited.clear();
+        path.clear();
+        stack.clear();
+        stack.push((owner, 0));
         while let Some((o, depth)) = stack.pop() {
             path.truncate(depth);
             if o == owner && depth > 0 {
-                return path;
+                return path.clone();
             }
             if !visited.insert(o) {
                 continue;
             }
             path.push(o);
-            for blocker in self.blockers_of(o) {
-                if blocker == owner && depth + 1 > 0 {
-                    return path;
+            let blockers: &[OwnerId] = self
+                .waiting
+                .get(&o)
+                .map_or(&[], |&h| &self.arena[h as usize].blockers);
+            for &blocker in blockers {
+                if blocker == owner {
+                    return path.clone();
                 }
                 stack.push((blocker, depth + 1));
             }
@@ -437,39 +808,19 @@ impl LockTable {
         Vec::new()
     }
 
-    /// Transactions that directly block `o`: the holders of the lock it
-    /// waits for plus earlier waiters in the same queue.
-    fn blockers_of(&self, o: OwnerId) -> Vec<OwnerId> {
-        let Some(&lock) = self.waiting.get(&o) else {
-            return Vec::new();
-        };
-        let Some(entry) = self.entries.get(&lock) else {
-            return Vec::new();
-        };
-        let mut out: Vec<OwnerId> = entry
-            .holders
-            .iter()
-            .map(|&(h, _)| h)
-            .filter(|&h| h != o)
-            .collect();
-        for &(w, _) in &entry.waiters {
-            if w == o {
-                break; // only waiters ahead of o block it
-            }
-            out.push(w);
-        }
-        out
-    }
-
     fn remove_holder(&mut self, lock: LockId, owner: OwnerId, grants: &mut Vec<Grant>) {
-        let Some(entry) = self.entries.get_mut(&lock) else {
-            return;
-        };
-        let Some(pos) = entry.holders.iter().position(|&(o, _)| o == owner) else {
-            return;
-        };
-        entry.holders.remove(pos);
-        self.grants -= 1;
+        {
+            let LockTable { entries, arena, .. } = self;
+            let Some(entry) = entries.get_mut(&lock) else {
+                return;
+            };
+            let Some(pos) = entry.holders.iter().position(|&(o, _)| o == owner) else {
+                return;
+            };
+            entry.holders.remove(pos);
+            self.grants -= 1;
+            remove_holder_edges(entry, arena, owner);
+        }
         self.promote_waiters(lock, grants);
         self.drop_if_empty(lock);
     }
@@ -477,11 +828,26 @@ impl LockTable {
     /// Grants queued waiters FIFO while the head of the queue is compatible
     /// with the current holders (no overtaking, to avoid starvation).
     fn promote_waiters(&mut self, lock: LockId, grants: &mut Vec<Grant>) {
-        let entry = self
-            .entries
-            .get_mut(&lock)
-            .expect("promote on unknown lock");
-        while let Some(&(owner, mode)) = entry.waiters.front() {
+        let LockTable {
+            entries,
+            held,
+            waiting,
+            arena,
+            free,
+            held_pool,
+            grants: grant_count,
+            ..
+        } = self;
+        let entry = entries.get_mut(&lock).expect("promote on unknown lock");
+        loop {
+            let head = entry.q_head;
+            if head == NIL {
+                break;
+            }
+            let (owner, mode) = {
+                let node = &arena[head as usize];
+                (node.owner, node.mode)
+            };
             // An upgrade waiter already holds the lock in shared mode; it is
             // grantable when it is the sole remaining holder.
             let is_upgrade = entry.holders.iter().any(|&(o, _)| o == owner);
@@ -493,7 +859,7 @@ impl LockTable {
             if !ok {
                 break;
             }
-            entry.waiters.pop_front();
+            unlink(entry, arena, head);
             if is_upgrade {
                 let h = entry
                     .holders
@@ -501,12 +867,36 @@ impl LockTable {
                     .find(|(o, _)| *o == owner)
                     .expect("upgrade holder vanished");
                 h.1 = LockMode::Exclusive;
+                // Remaining waiters drop their queue edge to `owner` (it
+                // was first in their queue section); the holder edge stays.
+                let mut cur = entry.q_head;
+                while cur != NIL {
+                    let node = &mut arena[cur as usize];
+                    let nh = node.n_holder as usize;
+                    debug_assert_eq!(node.blockers[nh], owner, "queue-edge order desync");
+                    node.blockers.remove(nh);
+                    cur = node.next;
+                }
             } else {
                 entry.holders.push((owner, mode));
-                self.held.entry(owner).or_default().push(lock);
-                self.grants += 1;
+                held_insert(held, held_pool, owner, lock);
+                *grant_count += 1;
+                // For every remaining waiter, `owner` was the first entry
+                // of its queue section and is now the last holder — the
+                // same position, so only the section boundary moves.
+                let mut cur = entry.q_head;
+                while cur != NIL {
+                    let node = &mut arena[cur as usize];
+                    debug_assert_eq!(
+                        node.blockers[node.n_holder as usize], owner,
+                        "queue-edge order desync"
+                    );
+                    node.n_holder += 1;
+                    cur = node.next;
+                }
             }
-            self.waiting.remove(&owner);
+            waiting.remove(&owner);
+            free.push(head);
             grants.push(Grant { lock, owner, mode });
         }
     }
@@ -517,13 +907,16 @@ impl LockTable {
         }
     }
 
-    /// Checks internal invariants; used by tests.
+    /// Checks internal invariants, including the cross-consistency of all
+    /// three indexes: wait-for edges ↔ waiter queues, owner index ↔ entry
+    /// holders, and arena accounting; used by tests.
     ///
     /// # Panics
     ///
     /// Panics if any invariant is violated.
     pub fn check_invariants(&self) {
         let mut total = 0;
+        let mut queue_total = 0usize;
         for (lock, entry) in &self.entries {
             // No incompatible co-holders.
             for (i, &(_, m1)) in entry.holders.iter().enumerate() {
@@ -534,9 +927,52 @@ impl LockTable {
                     );
                 }
             }
+            // Walk the arena-backed queue: link integrity, registration,
+            // and each waiter's wait-for edges rebuilt from scratch.
+            let mut cur = entry.q_head;
+            let mut prev = NIL;
+            let mut seen = 0u32;
+            let mut ahead: Vec<OwnerId> = Vec::new();
+            while cur != NIL {
+                let node = &self.arena[cur as usize];
+                assert_eq!(node.lock, *lock, "queued node points at wrong lock");
+                assert_eq!(node.prev, prev, "queue prev link broken on {lock}");
+                assert_eq!(
+                    self.waiting.get(&node.owner),
+                    Some(&cur),
+                    "waiter {} not registered in waiting index",
+                    node.owner
+                );
+                let mut expect: Vec<OwnerId> = entry
+                    .holders
+                    .iter()
+                    .map(|&(h, _)| h)
+                    .filter(|&h| h != node.owner)
+                    .collect();
+                let expect_holders = expect.len();
+                expect.extend(ahead.iter().copied());
+                assert_eq!(
+                    node.n_holder as usize, expect_holders,
+                    "holders-section length desync for {} on {lock}",
+                    node.owner
+                );
+                assert_eq!(
+                    node.blockers, expect,
+                    "wait-for edges desync for {} on {lock}",
+                    node.owner
+                );
+                ahead.push(node.owner);
+                seen += 1;
+                prev = cur;
+                cur = node.next;
+            }
+            assert_eq!(entry.q_tail, prev, "queue tail link broken on {lock}");
+            assert_eq!(entry.q_len, seen, "queue length desync on {lock}");
+            queue_total += seen as usize;
             // Head waiter (if not an upgrade) must actually be blocked.
-            if let Some(&(w, m)) = entry.waiters.front() {
-                let is_upgrade = entry.holders.iter().any(|&(o, _)| o == w);
+            if entry.q_head != NIL {
+                let node = &self.arena[entry.q_head as usize];
+                let is_upgrade = entry.holders.iter().any(|&(o, _)| o == node.owner);
                 if is_upgrade {
                     assert!(
                         entry.holders.len() > 1,
@@ -544,26 +980,99 @@ impl LockTable {
                     );
                 } else {
                     assert!(
-                        !entry.compatible(m),
+                        !entry.compatible(node.mode),
                         "grantable waiter left queued on {lock}"
                     );
                 }
             }
             total += entry.holders.len();
-            for &(w, _) in &entry.waiters {
-                assert_eq!(
-                    self.waiting.get(&w),
-                    Some(lock),
-                    "waiter {w} not registered in waiting map"
+            // Every entry holder appears in the owner index.
+            for &(h, _) in &entry.holders {
+                assert!(
+                    self.held.get(&h).is_some_and(|v| v.contains(lock)),
+                    "holder {h} of {lock} missing from owner index"
                 );
             }
+            assert!(!entry.is_empty(), "empty entry for {lock} not dropped");
         }
+        assert_eq!(queue_total, self.waiting.len(), "waiting index desync");
         assert_eq!(total, self.grants, "grants counter desync");
         let held_total: usize = self.held.values().map(Vec::len).sum();
         assert_eq!(held_total, self.grants, "held map desync");
+        // Owner index → entries direction.
+        for (owner, locks) in &self.held {
+            for l in locks {
+                assert!(
+                    self.entries
+                        .get(l)
+                        .is_some_and(|e| e.holders.iter().any(|&(o, _)| o == *owner)),
+                    "owner index lists {l} not held by {owner}"
+                );
+            }
+        }
+        // Arena accounting: every node is queued exactly once or free.
+        assert_eq!(
+            queue_total + self.free.len(),
+            self.arena.len(),
+            "arena leak: {queue_total} queued + {} free != {} nodes",
+            self.free.len(),
+            self.arena.len()
+        );
+        let mut free_seen: FxSet<u32> = FxSet::default();
+        for &f in &self.free {
+            assert!((f as usize) < self.arena.len(), "free handle out of range");
+            assert!(free_seen.insert(f), "duplicate handle on free list");
+            assert!(
+                self.waiting.values().all(|&h| h != f),
+                "freed node still registered as waiting"
+            );
+        }
     }
 }
 
+/// Links a fresh waiter node at the tail of `entry`'s queue, building its
+/// wait-for edges (holders first, then the waiters ahead of it).
+fn enqueue(
+    entry: &mut LockEntry,
+    arena: &mut Vec<WaiterNode>,
+    free: &mut Vec<u32>,
+    waiting: &mut FxMap<OwnerId, u32>,
+    owner: OwnerId,
+    lock: LockId,
+    mode: LockMode,
+) {
+    let h = alloc_node(arena, free, owner, lock, mode);
+    // Build the edge list in a detached buffer (reusing the recycled
+    // node's allocation) so the arena can be read while filling it.
+    let mut blockers = std::mem::take(&mut arena[h as usize].blockers);
+    for &(holder, _) in &entry.holders {
+        if holder != owner {
+            blockers.push(holder);
+        }
+    }
+    let n_holder = blockers.len() as u32;
+    let mut cur = entry.q_head;
+    while cur != NIL {
+        let node = &arena[cur as usize];
+        blockers.push(node.owner);
+        cur = node.next;
+    }
+    {
+        let node = &mut arena[h as usize];
+        node.blockers = blockers;
+        node.n_holder = n_holder;
+        node.prev = entry.q_tail;
+        node.next = NIL;
+    }
+    if entry.q_tail == NIL {
+        entry.q_head = h;
+    } else {
+        arena[entry.q_tail as usize].next = h;
+    }
+    entry.q_tail = h;
+    entry.q_len += 1;
+    waiting.insert(owner, h);
+}
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,176 @@
+//! Known-value deadlock topologies, checked against **both** the indexed
+//! [`LockTable`] and the scan-based [`model::ReferenceLockTable`].
+//!
+//! The differential suite proves the two implementations agree; these
+//! tests pin what that agreed answer *is* for the canonical shapes —
+//! a two-cycle, a three-cycle, two disjoint cycles, and a wait chain
+//! with no cycle — so a future bug cannot slip through by breaking both
+//! tables identically.
+
+use hls_lockmgr::model::ReferenceLockTable;
+use hls_lockmgr::{LockId, LockMode, LockTable, OwnerId, RequestOutcome};
+
+const X: LockMode = LockMode::Exclusive;
+
+/// Drives the same request script through both tables, asserting each
+/// request produces the same outcome, then hands both to `verify`.
+fn both(script: &[(u64, u32)], verify: impl Fn(&dyn Deadlocks)) {
+    let mut dut = LockTable::new();
+    let mut oracle = ReferenceLockTable::new();
+    for &(owner, lock) in script {
+        let a = dut.request(OwnerId(owner), LockId(lock), X);
+        let b = oracle.request(OwnerId(owner), LockId(lock), X);
+        assert_eq!(a, b, "request(T{owner}, L{lock}) outcomes diverged");
+        assert_ne!(
+            a,
+            RequestOutcome::AlreadyHeld,
+            "script bug: duplicate request"
+        );
+    }
+    dut.check_invariants();
+    oracle.check_invariants();
+    verify(&dut);
+    verify(&oracle);
+}
+
+/// The observations these tests need, implemented by both tables.
+trait Deadlocks {
+    fn in_deadlock(&self, owner: OwnerId) -> bool;
+    fn cycle(&self, owner: OwnerId) -> Vec<u64>;
+}
+
+impl Deadlocks for LockTable {
+    fn in_deadlock(&self, owner: OwnerId) -> bool {
+        LockTable::in_deadlock(self, owner)
+    }
+    fn cycle(&self, owner: OwnerId) -> Vec<u64> {
+        let mut c: Vec<u64> = self.deadlock_cycle(owner).iter().map(|o| o.0).collect();
+        c.sort_unstable();
+        c
+    }
+}
+
+impl Deadlocks for ReferenceLockTable {
+    fn in_deadlock(&self, owner: OwnerId) -> bool {
+        ReferenceLockTable::in_deadlock(self, owner)
+    }
+    fn cycle(&self, owner: OwnerId) -> Vec<u64> {
+        let mut c: Vec<u64> = self.deadlock_cycle(owner).iter().map(|o| o.0).collect();
+        c.sort_unstable();
+        c
+    }
+}
+
+#[test]
+fn two_cycle_exact_membership() {
+    // T1 holds L1 and waits for L2; T2 holds L2 and waits for L1.
+    both(&[(1, 1), (2, 2), (1, 2), (2, 1)], |t| {
+        assert!(t.in_deadlock(OwnerId(1)));
+        assert!(t.in_deadlock(OwnerId(2)));
+        assert_eq!(t.cycle(OwnerId(1)), vec![1, 2]);
+        assert_eq!(t.cycle(OwnerId(2)), vec![1, 2]);
+    });
+}
+
+#[test]
+fn three_cycle_exact_membership() {
+    // T1→T2→T3→T1 via locks L1, L2, L3.
+    both(&[(1, 1), (2, 2), (3, 3), (1, 2), (2, 3), (3, 1)], |t| {
+        for owner in 1..=3 {
+            assert!(t.in_deadlock(OwnerId(owner)), "T{owner} should deadlock");
+            assert_eq!(t.cycle(OwnerId(owner)), vec![1, 2, 3]);
+        }
+    });
+}
+
+#[test]
+fn two_disjoint_cycles_do_not_bleed() {
+    // Cycle A: T1↔T2 on L1/L2. Cycle B: T3↔T4 on L3/L4. Each owner's
+    // reported cycle must contain only its own cycle's members.
+    both(
+        &[
+            (1, 1),
+            (2, 2),
+            (3, 3),
+            (4, 4),
+            (1, 2),
+            (2, 1),
+            (3, 4),
+            (4, 3),
+        ],
+        |t| {
+            assert_eq!(t.cycle(OwnerId(1)), vec![1, 2]);
+            assert_eq!(t.cycle(OwnerId(2)), vec![1, 2]);
+            assert_eq!(t.cycle(OwnerId(3)), vec![3, 4]);
+            assert_eq!(t.cycle(OwnerId(4)), vec![3, 4]);
+        },
+    );
+}
+
+#[test]
+fn wait_chain_without_cycle_is_clean() {
+    // T1 holds L1; T2 holds L2, waits for L1; T3 holds L3, waits for L2;
+    // T4 waits for L3. A pure chain — nobody is deadlocked.
+    both(&[(1, 1), (2, 2), (3, 3), (2, 1), (3, 2), (4, 3)], |t| {
+        for owner in 1..=4 {
+            assert!(
+                !t.in_deadlock(OwnerId(owner)),
+                "T{owner} falsely deadlocked"
+            );
+            assert_eq!(t.cycle(OwnerId(owner)), Vec::<u64>::new());
+        }
+    });
+}
+
+#[test]
+fn cycle_through_shared_holders_found() {
+    // T1 and T2 share L1. T1 requests L2 exclusively (held by T3);
+    // T3 requests L1 exclusively — blocked by both shared holders.
+    // T1→T3→{T1,T2}: cycle through the shared grant.
+    let mut dut = LockTable::new();
+    let mut oracle = ReferenceLockTable::new();
+    for t in [&mut dut as &mut dyn Driver, &mut oracle as &mut dyn Driver] {
+        assert_eq!(t.req(1, 1, LockMode::Shared), RequestOutcome::Granted);
+        assert_eq!(t.req(2, 1, LockMode::Shared), RequestOutcome::Granted);
+        assert_eq!(t.req(3, 2, X), RequestOutcome::Granted);
+        assert_eq!(t.req(1, 2, X), RequestOutcome::Queued);
+        assert_eq!(t.req(3, 1, X), RequestOutcome::Queued);
+    }
+    dut.check_invariants();
+    oracle.check_invariants();
+    let a: Vec<u64> = {
+        let mut c: Vec<u64> = dut.deadlock_cycle(OwnerId(1)).iter().map(|o| o.0).collect();
+        c.sort_unstable();
+        c
+    };
+    let b: Vec<u64> = {
+        let mut c: Vec<u64> = oracle
+            .deadlock_cycle(OwnerId(1))
+            .iter()
+            .map(|o| o.0)
+            .collect();
+        c.sort_unstable();
+        c
+    };
+    assert_eq!(a, vec![1, 3]);
+    assert_eq!(b, vec![1, 3]);
+    assert!(!dut.in_deadlock(OwnerId(2)));
+    assert!(!oracle.in_deadlock(OwnerId(2)));
+}
+
+/// Minimal request shim so the shared-holder test can script both tables.
+trait Driver {
+    fn req(&mut self, owner: u64, lock: u32, mode: LockMode) -> RequestOutcome;
+}
+
+impl Driver for LockTable {
+    fn req(&mut self, owner: u64, lock: u32, mode: LockMode) -> RequestOutcome {
+        self.request(OwnerId(owner), LockId(lock), mode)
+    }
+}
+
+impl Driver for ReferenceLockTable {
+    fn req(&mut self, owner: u64, lock: u32, mode: LockMode) -> RequestOutcome {
+        self.request(OwnerId(owner), LockId(lock), mode)
+    }
+}

@@ -1,0 +1,125 @@
+//! Golden-metrics regression suite for the lock-table rewrite.
+//!
+//! The indexed lock table (ISSUE 4) replaces correctness-critical
+//! machinery on the simulator's hottest path, so beyond the differential
+//! suite in `hls-lockmgr` this test pins the *end-to-end* contract: for a
+//! representative grid of figure-set configurations — light and
+//! contention-heavy workloads, every victim-selection policy, and a fault
+//! schedule — [`RunMetrics`] must stay **bit-identical** to the values
+//! recorded on `main` before the rewrite.
+//!
+//! The golden file stores the full `Debug` rendering of each run
+//! (Rust prints shortest-round-trip floats, so the text is exact). To
+//! regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --release --test golden_metrics
+//! ```
+
+use hls_core::{
+    run_simulation, DeadlockVictim, FaultSchedule, RouterSpec, RunMetrics, SystemConfig,
+    UtilizationEstimator,
+};
+
+const GOLDEN_PATH: &str = "tests/golden/run_metrics.txt";
+
+/// The pinned grid: label plus a fully-specified run.
+fn grid() -> Vec<(String, SystemConfig, RouterSpec)> {
+    let base = || {
+        SystemConfig::paper_default()
+            .with_total_rate(18.0)
+            .with_horizon(40.0, 8.0)
+            .with_seed(42)
+    };
+    let contended = |victim: DeadlockVictim| {
+        let mut cfg = SystemConfig::paper_default()
+            .with_total_rate(26.0)
+            .with_horizon(40.0, 5.0)
+            .with_seed(7);
+        // Tightest lockspace the validator allows: near-certain lock
+        // conflicts, so the deadlock machinery actually runs.
+        cfg.params.lockspace = 100.0;
+        cfg.deadlock_victim = victim;
+        cfg
+    };
+    let policies = [
+        ("no-sharing", RouterSpec::NoSharing),
+        ("queue-length", RouterSpec::QueueLength),
+        (
+            "min-average-n",
+            RouterSpec::MinAverage {
+                estimator: UtilizationEstimator::NumInSystem,
+            },
+        ),
+        ("static-0.5", RouterSpec::Static { p_ship: 0.5 }),
+    ];
+    let mut grid = Vec::new();
+    for (name, spec) in &policies {
+        grid.push((format!("light/{name}"), base(), *spec));
+        grid.push((
+            format!("light-r10/{name}"),
+            base().with_total_rate(10.0),
+            *spec,
+        ));
+    }
+    for victim in [
+        DeadlockVictim::Requester,
+        DeadlockVictim::Youngest,
+        DeadlockVictim::FewestLocks,
+    ] {
+        for (name, spec) in &policies[..2] {
+            grid.push((
+                format!("contended-{victim:?}/{name}"),
+                contended(victim),
+                *spec,
+            ));
+        }
+    }
+    // Contention under a fault schedule: crashes clear lock tables and
+    // kill residents, exercising release paths the light grid never hits.
+    let mut faulted = contended(DeadlockVictim::Requester).with_horizon(60.0, 10.0);
+    faulted.fault_schedule = FaultSchedule::empty()
+        .site_outage(0, 15.0, 30.0)
+        .central_outage(35.0, 42.0)
+        .link_outage(3, 20.0, 28.0)
+        .latency_spike(5, 12.0, 50.0, 4.0);
+    faulted.failure_aware = true;
+    grid.push((
+        "faulted/static-0.5".to_string(),
+        faulted,
+        RouterSpec::Static { p_ship: 0.5 },
+    ));
+    grid
+}
+
+fn render(label: &str, m: &RunMetrics) -> String {
+    format!("=== {label}\n{m:#?}\n")
+}
+
+#[test]
+fn run_metrics_are_bit_identical_to_recorded_main() {
+    let mut actual = String::new();
+    for (label, cfg, spec) in grid() {
+        let m = run_simulation(cfg, spec).expect("golden grid config must be valid");
+        actual.push_str(&render(&label, &m));
+    }
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; regenerate with GOLDEN_REGEN=1");
+    if expected != actual {
+        // Point at the first diverging run, not just the first byte.
+        for (exp, act) in expected.split("=== ").zip(actual.split("=== ")) {
+            assert_eq!(
+                exp.lines().next(),
+                act.lines().next(),
+                "golden grid labels drifted"
+            );
+            assert_eq!(exp, act, "RunMetrics diverged from recorded main");
+        }
+        panic!("golden run count changed");
+    }
+}
