@@ -6,7 +6,7 @@
 //!
 //! Experiments: fig4_1 fig4_2 fig4_3 fig4_4 fig4_5 fig4_6 fig4_7
 //! analytic_check ablation_state ablation_batch ablation_mips
-//! ablation_sites ablation_ploc ablation_lockspace.
+//! ablation_sites ablation_ploc ablation_lockspace ablation_backoff.
 //!
 //! Each figure is printed as a text table and written as CSV to the output
 //! directory (default `results/`).
@@ -16,10 +16,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hls_bench::{
-    ablation_batch, ablation_lockspace, ablation_mips, ablation_ploc, ablation_remote_calls,
-    ablation_servers, ablation_sites, ablation_smoothing, ablation_state, analytic_check,
-    availability_mtbf, availability_outage, fig4_1, fig4_2, fig4_3, fig4_4, fig4_5, fig4_6, fig4_7,
-    oscillation_trace, tail_latency, variance_check, Figure, Profile,
+    ablation_backoff, ablation_batch, ablation_lockspace, ablation_mips, ablation_ploc,
+    ablation_remote_calls, ablation_servers, ablation_sites, ablation_smoothing, ablation_state,
+    analytic_check, availability_mtbf, availability_outage, fig4_1, fig4_2, fig4_3, fig4_4, fig4_5,
+    fig4_6, fig4_7, oscillation_trace, tail_latency, variance_check, Figure, Profile,
 };
 
 type Generator = fn(&Profile) -> Figure;
@@ -39,6 +39,7 @@ const EXPERIMENTS: &[(&str, Generator)] = &[
     ("ablation_sites", ablation_sites),
     ("ablation_ploc", ablation_ploc),
     ("ablation_lockspace", ablation_lockspace),
+    ("ablation_backoff", ablation_backoff),
     ("ablation_smoothing", ablation_smoothing),
     ("ablation_servers", ablation_servers),
     ("oscillation_trace", oscillation_trace),

@@ -1,0 +1,228 @@
+//! CLI: end-to-end simulator throughput, indexed event queue vs
+//! reference model.
+//!
+//! ```text
+//! sim_bench [--smoke] [--out PATH]
+//! ```
+//!
+//! Where `lock_bench` isolates the lock table, this benchmark measures
+//! the whole event loop: it runs complete simulations twice per
+//! scenario — once on the production hot path (indexed four-ary
+//! [`hls_sim::EventQueue`], dense transaction/job slabs, array message
+//! counters, pooled per-event vectors) and once on the vendored
+//! pre-overhaul path (`BinaryHeap` + tombstone-set queue, SipHash
+//! `HashMap` state, per-event allocation; selected via
+//! [`HybridSystem::use_reference_hot_path`]) — and reports simulation
+//! events per wall-clock second for each. Both paths make identical
+//! decisions; the run metrics are asserted bit-identical between the
+//! two on every iteration.
+//!
+//! Scenarios:
+//!
+//! * `light` — the paper-default mixed workload at a moderate rate:
+//!   mostly schedule/pop traffic, shallow heaps.
+//! * `contended` — tight lockspace at a high rate over 4× the paper's
+//!   site count, with shipping-heavy routing: lock waits, deadlock
+//!   reruns and authentication fan-out mean many transaction-table
+//!   probes and rebuilt lock/write lists per event, where the old path
+//!   hashed and allocated.
+//! * `faulted` — the contended workload under site/central/link outages:
+//!   crash drains cancel whole batches of in-service completions (true
+//!   O(log n) removal vs tombstones that every later pop re-checks).
+//!
+//! `--smoke` runs each scenario once, briefly (CI wiring check, no JSON
+//! output). The full run writes `BENCH_sim.json` (or `--out PATH`).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hls_core::{FaultSchedule, HybridSystem, RouterSpec, SystemConfig};
+
+fn scenarios(smoke: bool) -> Vec<(&'static str, SystemConfig, RouterSpec)> {
+    let horizon = if smoke { 30.0 } else { 120.0 };
+    let light = SystemConfig::paper_default()
+        .with_total_rate(18.0)
+        .with_horizon(horizon, 8.0)
+        .with_seed(42);
+    // Quadruple the paper's site count (the ISSUE 5 motivation: larger
+    // grids become affordable) with rate scaled to keep sites loaded and
+    // a lockspace tight enough that lock waits and deadlock reruns are
+    // routine. Many transactions stay in flight, so the old path's
+    // SipHash maps are large and cache-hostile.
+    let contended = {
+        let mut cfg = SystemConfig::paper_default()
+            .with_total_rate(88.0)
+            .with_horizon(horizon, 5.0)
+            .with_seed(7);
+        cfg.params.n_sites = 40;
+        cfg.params.lockspace = 800.0;
+        cfg
+    };
+    let faulted = {
+        let mut cfg = contended.clone();
+        // Outages at fixed fractions of the horizon so smoke and full
+        // runs exercise the same transitions.
+        let h = horizon;
+        cfg.fault_schedule = FaultSchedule::empty()
+            .site_outage(0, 0.20 * h, 0.35 * h)
+            .central_outage(0.45 * h, 0.55 * h)
+            .link_outage(3, 0.30 * h, 0.40 * h)
+            .latency_spike(5, 0.15 * h, 0.65 * h, 4.0)
+            .site_outage(2, 0.70 * h, 0.80 * h);
+        cfg.failure_aware = true;
+        cfg
+    };
+    vec![
+        ("light", light, RouterSpec::QueueLength),
+        ("contended", contended, RouterSpec::Static { p_ship: 0.7 }),
+        ("faulted", faulted, RouterSpec::Static { p_ship: 0.5 }),
+    ]
+}
+
+/// One timed full run; returns (events/sec, Debug rendering of the
+/// metrics). Every run of a scenario is identical — same config, same
+/// seed — so the rendering is stable and doubles as the cross-path
+/// equality witness.
+fn one_run(cfg: &SystemConfig, router: RouterSpec, reference: bool) -> (f64, String) {
+    let mut sys = HybridSystem::new(cfg.clone(), router).expect("bench config must be valid");
+    if reference {
+        sys.use_reference_hot_path();
+    }
+    let start = Instant::now();
+    let (metrics, events) = black_box(sys.run_counted());
+    let rate = events as f64 / start.elapsed().as_secs_f64();
+    (rate, format!("{metrics:?}"))
+}
+
+struct Scenario {
+    name: &'static str,
+    reference_events_per_sec: f64,
+    indexed_events_per_sec: f64,
+}
+
+impl Scenario {
+    fn speedup(&self) -> f64 {
+        self.indexed_events_per_sec / self.reference_events_per_sec
+    }
+}
+
+/// Measures both paths **interleaved** (ref, idx, ref, idx, …) so slow
+/// drift in machine load or clock frequency hits both equally, and takes
+/// the best of `iters` runs per path — the standard noise-robust
+/// estimate for identical deterministic work.
+fn measure_pair(
+    name: &'static str,
+    cfg: &SystemConfig,
+    router: RouterSpec,
+    iters: usize,
+) -> Scenario {
+    let mut reference = 0.0f64;
+    let mut indexed = 0.0f64;
+    for it in 0..iters {
+        let (r, m_ref) = one_run(cfg, router, true);
+        let (i, m_idx) = one_run(cfg, router, false);
+        assert_eq!(
+            m_ref, m_idx,
+            "{name}: hot-path implementations must produce identical metrics"
+        );
+        // First pass warms caches and the allocator; don't score it.
+        if it > 0 || iters == 1 {
+            reference = reference.max(r);
+            indexed = indexed.max(i);
+        }
+    }
+    Scenario {
+        name,
+        reference_events_per_sec: reference,
+        indexed_events_per_sec: indexed,
+    }
+}
+
+fn run_all(smoke: bool) -> Vec<Scenario> {
+    let iters = if smoke { 1 } else { 5 };
+    scenarios(smoke)
+        .into_iter()
+        .map(|(name, cfg, router)| {
+            let sc = measure_pair(name, &cfg, router, iters);
+            println!(
+                "{name:<12} reference {:>12.0} ev/s   indexed {:>12.0} ev/s   {:>5.2}x",
+                sc.reference_events_per_sec,
+                sc.indexed_events_per_sec,
+                sc.speedup()
+            );
+            sc
+        })
+        .collect()
+}
+
+fn to_json(scenarios: &[Scenario], smoke: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"hls-bench/sim\",\n  \"version\": 1,\n");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sc) in scenarios.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"reference_events_per_sec\": {:.0}, \"indexed_events_per_sec\": {:.0}, \"speedup\": {:.2}}}",
+            sc.name,
+            sc.reference_events_per_sec,
+            sc.indexed_events_per_sec,
+            sc.speedup()
+        );
+        s.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_sim.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = path.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("sim_bench [--smoke] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let scenarios = run_all(smoke);
+    if smoke {
+        println!("smoke run complete ({} scenarios)", scenarios.len());
+        return ExitCode::SUCCESS;
+    }
+    match std::fs::write(&out, to_json(&scenarios, smoke)) {
+        Ok(()) => {
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -898,6 +898,46 @@ pub fn ablation_lockspace(profile: &Profile) -> Figure {
     fig
 }
 
+/// Livelock/latency trade-off of the deadlock-victim restart backoff
+/// (open ROADMAP item, closed in ISSUE 5): sweeps the
+/// `deadlock_backoff_window` against two lockspace sizes at a contended
+/// rate and reports both mean response time (`rt@…`) and aborts per
+/// commit (`aborts@…`). A zero window restarts victims immediately —
+/// under tight lockspace the same transactions re-collide and the abort
+/// rate climbs (the livelock end) — while a long window trades those
+/// repeat collisions for idle victim latency.
+#[must_use]
+pub fn ablation_backoff(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "ablation_backoff",
+        "Deadlock-victim backoff window vs lock space, rate 20 tps",
+        "backoff window (s)",
+        "mean response time (s) / aborts per commit",
+    );
+    const WINDOWS: [f64; 7] = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0];
+    for lockspace in [400.0, 1024.0] {
+        let points = parallel_map(&WINDOWS, |&window| {
+            let mut cfg = profile
+                .base(0.2)
+                .with_total_rate(20.0)
+                .with_deadlock_backoff_window(window);
+            cfg.params.lockspace = lockspace;
+            let m = run_simulation(cfg, RouterSpec::QueueLength).expect("valid");
+            let aborts = m.aborts.total() as f64 / m.completions.max(1) as f64;
+            (window, report_rt(&m), aborts)
+        });
+        fig.push(Series::new(
+            format!("rt@ls{lockspace}"),
+            points.iter().map(|&(w, rt, _)| (w, rt)).collect(),
+        ));
+        fig.push(Series::new(
+            format!("aborts@ls{lockspace}"),
+            points.iter().map(|&(w, _, a)| (w, a)).collect(),
+        ));
+    }
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod dense;
 mod error;
 mod experiment;
 mod metrics;

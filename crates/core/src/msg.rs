@@ -94,20 +94,45 @@ pub enum Msg {
 }
 
 impl Msg {
+    /// Number of distinct message kinds — the length of the
+    /// [`Msg::kind_index`] space and of [`Msg::KIND_NAMES`].
+    pub const KIND_COUNT: usize = 10;
+
+    /// Kind tags indexed by [`Msg::kind_index`].
+    pub const KIND_NAMES: [&'static str; Self::KIND_COUNT] = [
+        "ship",
+        "async_update",
+        "async_ack",
+        "auth_request",
+        "auth_reply",
+        "auth_release",
+        "commit",
+        "reply",
+        "remote_call_req",
+        "remote_call_resp",
+    ];
+
     /// Short kind tag for traffic accounting.
     #[must_use]
     pub fn kind(&self) -> &'static str {
+        Self::KIND_NAMES[self.kind_index()]
+    }
+
+    /// Dense kind index in `0..KIND_COUNT`, for array-backed per-kind
+    /// counters on the message hot path (no hashing).
+    #[must_use]
+    pub fn kind_index(&self) -> usize {
         match self {
-            Msg::ShipTxn { .. } => "ship",
-            Msg::AsyncUpdate { .. } => "async_update",
-            Msg::AsyncAck { .. } => "async_ack",
-            Msg::AuthRequest { .. } => "auth_request",
-            Msg::AuthReply { .. } => "auth_reply",
-            Msg::AuthRelease { .. } => "auth_release",
-            Msg::CommitMsg { .. } => "commit",
-            Msg::Reply { .. } => "reply",
-            Msg::RemoteCallReq { .. } => "remote_call_req",
-            Msg::RemoteCallResp { .. } => "remote_call_resp",
+            Msg::ShipTxn { .. } => 0,
+            Msg::AsyncUpdate { .. } => 1,
+            Msg::AsyncAck { .. } => 2,
+            Msg::AuthRequest { .. } => 3,
+            Msg::AuthReply { .. } => 4,
+            Msg::AuthRelease { .. } => 5,
+            Msg::CommitMsg { .. } => 6,
+            Msg::Reply { .. } => 7,
+            Msg::RemoteCallReq { .. } => 8,
+            Msg::RemoteCallResp { .. } => 9,
         }
     }
 }
@@ -146,6 +171,42 @@ mod tests {
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn kind_indexes_are_dense_and_name_consistent() {
+        let msgs = [
+            Msg::ShipTxn { txn: 1 },
+            Msg::AsyncUpdate {
+                from: 0,
+                writes: vec![],
+            },
+            Msg::AsyncAck { locks: vec![] },
+            Msg::AuthRequest {
+                txn: 1,
+                locks: vec![],
+            },
+            Msg::AuthReply {
+                txn: 1,
+                positive: true,
+            },
+            Msg::AuthRelease { txn: 1 },
+            Msg::CommitMsg {
+                txn: 1,
+                writes: vec![],
+            },
+            Msg::Reply { txn: 1 },
+            Msg::RemoteCallReq { txn: 1 },
+            Msg::RemoteCallResp { txn: 1 },
+        ];
+        assert_eq!(msgs.len(), Msg::KIND_COUNT);
+        let mut seen = [false; Msg::KIND_COUNT];
+        for m in &msgs {
+            let idx = m.kind_index();
+            assert!(!seen[idx], "duplicate kind_index {idx}");
+            seen[idx] = true;
+            assert_eq!(Msg::KIND_NAMES[idx], m.kind());
+        }
     }
 
     #[test]

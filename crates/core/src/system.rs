@@ -20,17 +20,21 @@
 //!   durable queues replayed on recovery), link outages with store-and-
 //!   forward deferral, and failure-aware routing overrides.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use hls_analytic::Observed;
 use hls_faults::FaultKind;
 use hls_lockmgr::{Grant, LockId, LockMode, LockStats, LockTable, OwnerId, RequestOutcome};
 use hls_net::{Envelope, NodeId, StarNetwork};
 use hls_obs::{Profiler, Timer, TraceSink, TOTAL_KEY};
-use hls_sim::{EventKey, EventQueue, Job, MultiServer, RngStreams, SimDuration, SimRng, SimTime};
+use hls_sim::model::{ReferenceEventKey, ReferenceQueue};
+use hls_sim::{
+    EventKey, EventQueue, FxHashMap, Job, MultiServer, RngStreams, SimDuration, SimRng, SimTime,
+};
 use hls_workload::{ArrivalProcess, TxnClass, TxnGenerator, TxnSpec};
 
 use crate::config::{ClassBMode, SystemConfig};
+use crate::dense::{JobSlab, MsgCounts, TxnTable, VecPool};
 use crate::error::ConfigError;
 use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::msg::{CentralSnapshot, Msg};
@@ -112,6 +116,76 @@ enum Ev {
 /// original endpoints and piggybacked central-state snapshot.
 type DeferredSend = (NodeId, NodeId, Msg, Option<CentralSnapshot>);
 
+/// The simulator's event queue: the indexed four-ary [`EventQueue`] in
+/// production, or the vendored pre-rewrite
+/// [`ReferenceQueue`](hls_sim::model::ReferenceQueue) when a benchmark
+/// wants the old behaviour ([`HybridSystem::use_reference_queue`]). Both
+/// paths pay the same (perfectly predicted) match, so `sim_bench`'s
+/// old-vs-new comparison isolates the queue implementations themselves.
+#[derive(Debug)]
+enum Queue<E> {
+    Indexed(EventQueue<E>),
+    Reference(ReferenceQueue<E>),
+}
+
+/// A cancellation key from whichever queue implementation is active.
+#[derive(Debug)]
+enum CpuKey {
+    Indexed(EventKey),
+    Reference(ReferenceEventKey),
+}
+
+impl<E> Queue<E> {
+    #[inline]
+    fn schedule(&mut self, at: SimTime, ev: E) {
+        match self {
+            Queue::Indexed(q) => q.schedule(at, ev),
+            Queue::Reference(q) => q.schedule(at, ev),
+        }
+    }
+
+    #[inline]
+    fn schedule_keyed(&mut self, at: SimTime, ev: E) -> CpuKey {
+        match self {
+            Queue::Indexed(q) => CpuKey::Indexed(q.schedule_keyed(at, ev)),
+            Queue::Reference(q) => CpuKey::Reference(q.schedule_keyed(at, ev)),
+        }
+    }
+
+    #[inline]
+    fn cancel(&mut self, key: CpuKey) {
+        match (self, key) {
+            (Queue::Indexed(q), CpuKey::Indexed(k)) => q.cancel(k),
+            (Queue::Reference(q), CpuKey::Reference(k)) => q.cancel(k),
+            _ => unreachable!("event key from a different queue implementation"),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            Queue::Indexed(q) => q.pop(),
+            Queue::Reference(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            Queue::Indexed(q) => q.peek_time(),
+            Queue::Reference(q) => q.peek_time(),
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        match self {
+            Queue::Indexed(q) => q.is_empty(),
+            Queue::Reference(q) => q.is_empty(),
+        }
+    }
+}
+
 /// Where recorded protocol events go: the legacy in-memory [`Trace`]
 /// (`run_traced`) or a pluggable streaming [`TraceSink`]
 /// (`run_with_sink`, e.g. JSONL to a file).
@@ -168,7 +242,7 @@ struct SiteState {
     async_buffer: Vec<(LockId, u64)>,
     busy_at_warmup: f64,
     /// Master copy of this site's data: last write stamp per item.
-    store: HashMap<LockId, u64>,
+    store: FxHashMap<LockId, u64>,
 }
 
 #[derive(Debug)]
@@ -179,7 +253,7 @@ struct CentralState {
     n_txns: usize,
     busy_at_warmup: f64,
     /// Replica of every site's data: last write stamp per item.
-    store: HashMap<LockId, u64>,
+    store: FxHashMap<LockId, u64>,
 }
 
 /// One point of a sampled state time series (see
@@ -239,21 +313,25 @@ impl ConvergenceReport {
 #[derive(Debug)]
 pub struct HybridSystem {
     cfg: SystemConfig,
-    queue: EventQueue<Ev>,
+    queue: Queue<Ev>,
     net: StarNetwork,
     sites: Vec<SiteState>,
     central: CentralState,
-    txns: HashMap<u64, Txn>,
-    jobs: HashMap<u64, JobKind>,
+    /// In-flight transactions, stored in a generational slab (dense
+    /// slots; ids resolve through one Fx-hashed index map).
+    txns: TxnTable,
+    /// In-flight CPU jobs: work item plus the pending `CpuDone`
+    /// cancellation key, keyed by self-describing slot-encoded ids.
+    jobs: JobSlab<JobKind, CpuKey>,
     router: FailureAwareRouter,
     generator: TxnGenerator,
     arrivals: Vec<ArrivalProcess>,
     site_rngs: Vec<SimRng>,
     route_rng: SimRng,
     next_txn: u64,
-    next_job: u64,
     next_write: u64,
-    msg_counts: HashMap<&'static str, u64>,
+    /// Per-kind message counters, indexed by [`Msg::kind_index`].
+    msg_counts: MsgCounts,
     metrics: MetricsCollector,
     end: SimTime,
     trace: Option<TraceTarget>,
@@ -267,9 +345,17 @@ pub struct HybridSystem {
     central_up: bool,
     /// Number of currently open fault windows (marks `during_outage`).
     active_faults: usize,
-    /// Cancellation keys for the in-service jobs' `CpuDone` events, so a
-    /// crash can drain a CPU without leaving dangling completions.
-    cpu_keys: HashMap<u64, EventKey>,
+    /// Simulation events processed so far (see
+    /// [`HybridSystem::run_counted`]).
+    events_processed: u64,
+    /// Free lists recycling the per-event vector payloads (auth lock
+    /// lists, write sets, lock-id lists, site lists, victim lists) so
+    /// the steady-state event loop stays off the allocator.
+    pool_locks: VecPool<(LockId, LockMode)>,
+    pool_writes: VecPool<(LockId, u64)>,
+    pool_lockids: VecPool<LockId>,
+    pool_sites: VecPool<usize>,
+    pool_txnids: VecPool<u64>,
     /// Store-and-forward buffers, one per site link, for messages sent
     /// while the link is down; flushed in order on link recovery.
     deferred_links: Vec<VecDeque<DeferredSend>>,
@@ -313,7 +399,7 @@ impl HybridSystem {
                 latest_central: CentralSnapshot::default(),
                 async_buffer: Vec::new(),
                 busy_at_warmup: 0.0,
-                store: HashMap::new(),
+                store: FxHashMap::default(),
             })
             .collect();
         let mut central = CentralState {
@@ -321,7 +407,7 @@ impl HybridSystem {
             locks: LockTable::new(),
             n_txns: 0,
             busy_at_warmup: 0.0,
-            store: HashMap::new(),
+            store: FxHashMap::default(),
         };
         if cfg.obs.profile {
             for s in &mut sites {
@@ -342,16 +428,15 @@ impl HybridSystem {
             arrivals,
             site_rngs: (0..n).map(|i| streams.stream(i as u64)).collect(),
             route_rng: streams.stream(1_000_003),
-            queue: EventQueue::new(),
+            queue: Queue::Indexed(EventQueue::new()),
             net,
             sites,
             central,
-            txns: HashMap::new(),
-            jobs: HashMap::new(),
+            txns: TxnTable::new(),
+            jobs: JobSlab::new(),
             next_txn: 1,
-            next_job: 1,
             next_write: 1,
-            msg_counts: HashMap::new(),
+            msg_counts: MsgCounts::new(),
             metrics,
             end,
             trace: None,
@@ -360,7 +445,12 @@ impl HybridSystem {
             site_up: vec![true; n],
             central_up: true,
             active_faults: 0,
-            cpu_keys: HashMap::new(),
+            events_processed: 0,
+            pool_locks: VecPool::new(),
+            pool_writes: VecPool::new(),
+            pool_lockids: VecPool::new(),
+            pool_sites: VecPool::new(),
+            pool_txnids: VecPool::new(),
             deferred_links: (0..n).map(|_| VecDeque::new()).collect(),
             deferred_site: (0..n).map(|_| VecDeque::new()).collect(),
             deferred_central: VecDeque::new(),
@@ -429,6 +519,43 @@ impl HybridSystem {
         self.run_internal()
     }
 
+    /// Like [`HybridSystem::run`], but also returns the number of events
+    /// the main loop processed — the denominator for events/sec in
+    /// `sim_bench`. The metrics are identical to [`HybridSystem::run`].
+    #[must_use]
+    pub fn run_counted(mut self) -> (RunMetrics, u64) {
+        let metrics = self.run_internal();
+        (metrics, self.events_processed)
+    }
+
+    /// Swaps the entire per-event hot path for the vendored pre-overhaul
+    /// implementations: the `BinaryHeap` + tombstone-set event queue
+    /// (see [`hls_sim::model`]), SipHash transaction/job maps, hashed
+    /// per-kind message counters, and per-event vector allocation
+    /// instead of pooling. `sim_bench` uses this to measure old-vs-new
+    /// whole-run throughput inside one binary. Every decision is
+    /// identical in both modes — metrics stay bit-for-bit the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after events have been scheduled (i.e. once a run
+    /// has started); call it right after construction.
+    pub fn use_reference_hot_path(&mut self) {
+        assert!(
+            self.queue.is_empty(),
+            "use_reference_hot_path must be called before the run starts"
+        );
+        self.queue = Queue::Reference(ReferenceQueue::new());
+        self.txns = TxnTable::reference();
+        self.jobs = JobSlab::reference();
+        self.msg_counts = MsgCounts::reference();
+        self.pool_locks = VecPool::reference();
+        self.pool_writes = VecPool::reference();
+        self.pool_lockids = VecPool::reference();
+        self.pool_sites = VecPool::reference();
+        self.pool_txnids = VecPool::reference();
+    }
+
     /// Runs while sampling system state every `interval` seconds,
     /// returning the metrics and the time series — used to visualize
     /// transient behaviour such as routing oscillations on stale state.
@@ -491,6 +618,7 @@ impl HybridSystem {
         let metrics = self.run_internal();
         // Process everything left in the pipeline.
         while let Some((now, ev)) = self.queue.pop() {
+            self.events_processed += 1;
             self.handle(now, ev);
         }
         let report = self.convergence_report();
@@ -541,8 +669,11 @@ impl HybridSystem {
             .schedule(SimTime::from_secs(self.cfg.warmup), Ev::EndWarmup);
         // Fault transitions are ordinary simulation events. An empty
         // schedule adds nothing to the queue, keeping the run bit-identical
-        // to a fault-free build.
-        for fault in self.cfg.fault_schedule.events().to_vec() {
+        // to a fault-free build. (Indexed, not iterated: `FaultEvent` is
+        // `Copy`, so this schedules without cloning the whole schedule
+        // per replication.)
+        for i in 0..self.cfg.fault_schedule.events().len() {
+            let fault = self.cfg.fault_schedule.events()[i];
             self.queue
                 .schedule(SimTime::from_secs(fault.at), Ev::Fault(fault.kind));
         }
@@ -552,6 +683,7 @@ impl HybridSystem {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked event");
+            self.events_processed += 1;
             self.handle(now, ev);
             if self.validate_locks {
                 self.check_lock_invariants();
@@ -589,7 +721,7 @@ impl HybridSystem {
             Ev::Rerun { txn } => {
                 // The victim may have been killed by a crash while backing
                 // off.
-                if self.txns.contains_key(&txn) {
+                if self.txns.contains(txn) {
                     self.start_call_cpu(now, txn);
                 }
             }
@@ -756,13 +888,13 @@ impl HybridSystem {
                 self.sites[site].n_txns += 1;
                 self.schedule_io(now, id, self.cfg.params.setup_io);
             }
-            Route::Central if self.txns[&id].remote_calls => {
+            Route::Central if self.txns[id].remote_calls => {
                 self.schedule_io(now, id, self.cfg.params.setup_io);
             }
             Route::Central if !local_ok => {
                 // The site's DBMS is down but its terminal front-end still
                 // forwards: ship without the origin CPU burst.
-                self.txns.get_mut(&id).expect("txn").phase = Phase::InTransit;
+                self.txns.get_mut(id).expect("txn").phase = Phase::InTransit;
                 self.send(
                     now,
                     NodeId::local(site as u32),
@@ -815,9 +947,7 @@ impl HybridSystem {
     }
 
     fn submit_cpu(&mut self, now: SimTime, loc: Locale, kind: JobKind, instr: f64) {
-        let job_id = self.next_job;
-        self.next_job += 1;
-        self.jobs.insert(job_id, kind);
+        let job_id = self.jobs.insert(kind);
         if let Some(start) = self.cpu_of(loc).submit(now, Job::new(job_id, instr)) {
             let key = self.queue.schedule_keyed(
                 start.done_at,
@@ -826,12 +956,13 @@ impl HybridSystem {
                     job: start.job_id,
                 },
             );
-            self.cpu_keys.insert(start.job_id, key);
+            self.jobs.set_key(start.job_id, key);
         }
     }
 
     fn on_cpu_done(&mut self, now: SimTime, loc: Locale, job_id: u64) {
-        self.cpu_keys.remove(&job_id);
+        // The firing consumed this completion's cancellation key.
+        let _ = self.jobs.take_key(job_id);
         let (job, next) = self.cpu_of(loc).complete(now, job_id);
         if let Some(start) = next {
             let key = self.queue.schedule_keyed(
@@ -841,19 +972,22 @@ impl HybridSystem {
                     job: start.job_id,
                 },
             );
-            self.cpu_keys.insert(start.job_id, key);
+            self.jobs.set_key(start.job_id, key);
         }
-        let kind = self.jobs.remove(&job.id).expect("unknown CPU job");
+        let kind = self.jobs.remove(job.id).expect("unknown CPU job");
         match kind {
             JobKind::TxnPhase(txn) => self.txn_cpu_done(now, txn, loc),
             JobKind::AuthProcess { txn, site, locks } => {
                 self.finish_auth_process(now, txn, site, &locks);
+                self.pool_locks.put(locks);
             }
             JobKind::ApplyAsync { from, writes } => {
                 self.finish_apply_async(now, from, &writes);
+                self.pool_writes.put(writes);
             }
             JobKind::ApplyCommit { txn, site, writes } => {
                 self.finish_apply_commit(now, txn, site, &writes);
+                self.pool_writes.put(writes);
             }
         }
     }
@@ -877,16 +1011,16 @@ impl HybridSystem {
     fn txn_cpu_done(&mut self, now: SimTime, id: u64, loc: Locale) {
         // A crash may have killed the transaction while this burst was on a
         // surviving CPU; the work is wasted.
-        if !self.txns.contains_key(&id) {
+        if !self.txns.contains(id) {
             return;
         }
-        let phase = self.txns[&id].phase;
+        let phase = self.txns[id].phase;
         match phase {
             Phase::OriginMsgCpu => {
-                let origin = self.txns[&id].spec.origin;
+                let origin = self.txns[id].spec.origin;
                 debug_assert_eq!(loc, Locale::Site(origin));
-                let remote = self.txns[&id].remote_calls;
-                self.txns.get_mut(&id).expect("txn").phase = Phase::InTransit;
+                let remote = self.txns[id].remote_calls;
+                self.txns.get_mut(id).expect("txn").phase = Phase::InTransit;
                 let msg = if remote {
                     Msg::RemoteCallReq { txn: id }
                 } else {
@@ -895,14 +1029,14 @@ impl HybridSystem {
                 self.send(now, NodeId::local(origin as u32), NodeId::CENTRAL, msg);
             }
             Phase::InitCpu => {
-                if self.txns[&id].remote_calls && !self.txns[&id].is_rerun() {
+                if self.txns[id].remote_calls && !self.txns[id].is_rerun() {
                     self.origin_issue_call(now, id);
                 } else {
                     self.start_call_cpu(now, id);
                 }
             }
             Phase::CallCpu => self.request_current_lock(now, id),
-            Phase::CommitCpu => match self.txns[&id].route {
+            Phase::CommitCpu => match self.txns[id].route {
                 Route::Local => self.finish_local_commit(now, id),
                 Route::Central => self.send_auth_requests(now, id),
             },
@@ -912,7 +1046,7 @@ impl HybridSystem {
 
     fn on_io_done(&mut self, now: SimTime, id: u64) {
         // Crash victims' pending I/O completions fire harmlessly.
-        let Some(txn) = self.txns.get_mut(&id) else {
+        let Some(txn) = self.txns.get_mut(id) else {
             return;
         };
         match txn.phase {
@@ -944,8 +1078,8 @@ impl HybridSystem {
     /// Remote-call mode: the origin spends per-call message handling, then
     /// sends the next remote function call to the central complex.
     fn origin_issue_call(&mut self, now: SimTime, id: u64) {
-        let origin = self.txns[&id].spec.origin;
-        self.txns.get_mut(&id).expect("txn").phase = Phase::OriginMsgCpu;
+        let origin = self.txns[id].spec.origin;
+        self.txns.get_mut(id).expect("txn").phase = Phase::OriginMsgCpu;
         self.submit_cpu(
             now,
             Locale::Site(origin),
@@ -957,10 +1091,10 @@ impl HybridSystem {
     /// Submits the CPU burst of the current database call.
     fn start_call_cpu(&mut self, now: SimTime, id: u64) {
         let (is_rerun, loc) = {
-            let txn = &self.txns[&id];
+            let txn = &self.txns[id];
             (txn.is_rerun(), self.locale_of(txn))
         };
-        self.txns.get_mut(&id).expect("txn").phase = Phase::CallCpu;
+        self.txns.get_mut(id).expect("txn").phase = Phase::CallCpu;
         let p = &self.cfg.params;
         let instr = if is_rerun {
             p.db_call_instr
@@ -972,7 +1106,7 @@ impl HybridSystem {
 
     fn request_current_lock(&mut self, now: SimTime, id: u64) {
         let (lock, mode, loc) = {
-            let txn = &self.txns[&id];
+            let txn = &self.txns[id];
             let (lock, mode) = txn.spec.locks[txn.call_idx];
             (lock, mode, self.locale_of(txn))
         };
@@ -988,7 +1122,7 @@ impl HybridSystem {
             RequestOutcome::Queued => {
                 // Mark the requester as waiting first: breaking a cycle may
                 // immediately grant its lock via the victim's releases.
-                let txn = self.txns.get_mut(&id).expect("txn");
+                let txn = self.txns.get_mut(id).expect("txn");
                 txn.phase = Phase::LockWait;
                 txn.wait_since = now;
                 self.break_deadlocks(now, id, loc);
@@ -1036,14 +1170,11 @@ impl HybridSystem {
             };
             self.trace(now, || TraceEvent::DeadlockAbort { txn: victim, route });
             debug_assert_eq!(
-                self.txns[&victim].phase,
+                self.txns[victim].phase,
                 Phase::LockWait,
                 "deadlock victim must be blocked"
             );
-            self.txns
-                .get_mut(&victim)
-                .expect("victim")
-                .begin_rerun(true);
+            self.txns.get_mut(victim).expect("victim").begin_rerun(true);
             self.resume_grants(now, &grants, loc);
             // Restart after a short jittered backoff rather than
             // immediately: with deterministic service times an immediate
@@ -1053,7 +1184,7 @@ impl HybridSystem {
             // and its attempt count, so runs stay bit-identical for any
             // thread count.
             let backoff = self.deadlock_backoff(victim, loc);
-            self.txns.get_mut(&victim).expect("victim").backoff_total += backoff.as_secs();
+            self.txns.get_mut(victim).expect("victim").backoff_total += backoff.as_secs();
             self.metrics.on_backoff(now, backoff);
             self.queue
                 .schedule(now + backoff, Ev::Rerun { txn: victim });
@@ -1098,7 +1229,7 @@ impl HybridSystem {
             };
             p.db_call_instr / mips
         });
-        let attempts = u64::from(self.txns[&victim].attempts);
+        let attempts = u64::from(self.txns[victim].attempts);
         let h = crate::experiment::splitmix64(
             self.cfg.seed ^ victim.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (attempts << 32),
         );
@@ -1107,7 +1238,7 @@ impl HybridSystem {
     }
 
     fn after_lock_granted(&mut self, now: SimTime, id: u64) {
-        let txn = self.txns.get_mut(&id).expect("txn");
+        let txn = self.txns.get_mut(id).expect("txn");
         if txn.phase == Phase::LockWait {
             txn.lock_wait_total += (now - txn.wait_since).as_secs();
         }
@@ -1122,7 +1253,7 @@ impl HybridSystem {
 
     fn advance_call(&mut self, now: SimTime, id: u64) {
         let (done, pause_remote, origin) = {
-            let txn = self.txns.get_mut(&id).expect("txn");
+            let txn = self.txns.get_mut(id).expect("txn");
             txn.call_idx += 1;
             (
                 txn.call_idx >= txn.spec.locks.len(),
@@ -1135,7 +1266,7 @@ impl HybridSystem {
         } else if pause_remote {
             // Return the function-call result; the origin issues the next
             // call after another round trip.
-            self.txns.get_mut(&id).expect("txn").phase = Phase::InTransit;
+            self.txns.get_mut(id).expect("txn").phase = Phase::InTransit;
             self.send(
                 now,
                 NodeId::CENTRAL,
@@ -1148,28 +1279,29 @@ impl HybridSystem {
     }
 
     fn begin_commit(&mut self, now: SimTime, id: u64) {
-        if self.txns[&id].marked_abort {
+        if self.txns[id].marked_abort {
             self.abort_and_rerun(now, id);
             return;
         }
         let route = {
-            let txn = self.txns.get_mut(&id).expect("txn");
+            let txn = self.txns.get_mut(id).expect("txn");
             txn.phase = Phase::CommitCpu;
             txn.commit_since = now;
             txn.route
         };
-        let loc = self.locale_of(&self.txns[&id]);
-        let p = &self.cfg.params;
+        let loc = self.locale_of(&self.txns[id]);
         let instr = match route {
             // Commit processing: send the asynchronous update message.
-            Route::Local => p.async_update_instr,
+            Route::Local => self.cfg.params.async_update_instr,
             // Commit processing: send one authentication message per
             // involved master site.
             Route::Central => {
                 let sites = self.auth_sites_of(id);
                 let n = sites.len();
-                self.txns.get_mut(&id).expect("txn").auth_sites = sites;
-                p.auth_instr * n as f64
+                let old =
+                    std::mem::replace(&mut self.txns.get_mut(id).expect("txn").auth_sites, sites);
+                self.pool_sites.put(old);
+                self.cfg.params.auth_instr * n as f64
             }
         };
         self.submit_cpu(now, loc, JobKind::TxnPhase(id), instr);
@@ -1177,10 +1309,10 @@ impl HybridSystem {
 
     /// Distinct master sites of the transaction's locks, in first-reference
     /// order (deterministic).
-    fn auth_sites_of(&self, id: u64) -> Vec<usize> {
+    fn auth_sites_of(&mut self, id: u64) -> Vec<usize> {
         let spec = *self.generator.spec();
-        let txn = &self.txns[&id];
-        let mut sites = Vec::new();
+        let mut sites = self.pool_sites.take();
+        let txn = &self.txns[id];
         for &(lock, _) in &txn.spec.locks {
             let m = spec.master_of(lock);
             if !sites.contains(&m) {
@@ -1194,13 +1326,13 @@ impl HybridSystem {
     /// seizure / failed authentication): re-run, keeping its current locks
     /// ("locks ... are not released after an abort").
     fn abort_and_rerun(&mut self, now: SimTime, id: u64) {
-        let route = self.txns[&id].route;
+        let route = self.txns[id].route;
         match route {
             Route::Local => self.metrics.on_abort(now, |a| a.local_invalidated += 1),
             Route::Central => self.metrics.on_abort(now, |a| a.central_invalidated += 1),
         }
         self.trace(now, || TraceEvent::InvalidationAbort { txn: id, route });
-        self.txns.get_mut(&id).expect("txn").begin_rerun(false);
+        self.txns.get_mut(id).expect("txn").begin_rerun(false);
         self.start_call_cpu(now, id);
     }
 
@@ -1210,21 +1342,22 @@ impl HybridSystem {
 
     fn finish_local_commit(&mut self, now: SimTime, id: u64) {
         {
-            let txn = self.txns.get_mut(&id).expect("txn");
+            let txn = self.txns.get_mut(id).expect("txn");
             txn.commit_total += (now - txn.commit_since).as_secs();
         }
         // The mark may have been set while the commit burst was queued.
-        if self.txns[&id].marked_abort {
+        if self.txns[id].marked_abort {
             self.abort_and_rerun(now, id);
             return;
         }
-        let site = self.txns[&id].spec.origin;
+        let site = self.txns[id].spec.origin;
         let owner = OwnerId(id);
 
         let grants = self.sites[site].locks.release_all(owner);
         self.resume_grants(now, &grants, Locale::Site(site));
 
-        let updated: Vec<LockId> = self.txns[&id].spec.updated_locks().collect();
+        let mut updated = self.pool_lockids.take();
+        updated.extend(self.txns[id].spec.updated_locks());
         self.trace(now, || TraceEvent::LocalCommit {
             txn: id,
             site,
@@ -1233,7 +1366,7 @@ impl HybridSystem {
         if !updated.is_empty() {
             // Apply the writes to the master copy and stamp them for
             // propagation to the central replica.
-            let mut writes = Vec::with_capacity(updated.len());
+            let mut writes = self.pool_writes.take();
             for &l in &updated {
                 let stamp = self.next_write;
                 self.next_write += 1;
@@ -1256,7 +1389,8 @@ impl HybridSystem {
                 }
                 Some(window) => {
                     let buffer_was_empty = self.sites[site].async_buffer.is_empty();
-                    self.sites[site].async_buffer.extend(writes);
+                    self.sites[site].async_buffer.extend(writes.iter().copied());
+                    self.pool_writes.put(writes);
                     if buffer_was_empty {
                         self.queue.schedule(
                             now + SimDuration::from_secs(window),
@@ -1266,9 +1400,10 @@ impl HybridSystem {
                 }
             }
         }
+        self.pool_lockids.put(updated);
 
         self.sites[site].n_txns -= 1;
-        let txn = self.txns.remove(&id).expect("txn");
+        let txn = self.txns.remove(id).expect("txn");
         let rt = now - txn.arrival;
         let attempts = txn.attempts;
         let breakdown = txn.phase_breakdown(rt.as_secs());
@@ -1312,10 +1447,10 @@ impl HybridSystem {
     fn finish_apply_async(&mut self, now: SimTime, from: usize, writes: &[(LockId, u64)]) {
         // Invalidate central holders of the updated elements and apply the
         // writes to the central replica.
-        let mut invalidated = Vec::new();
+        let mut invalidated = self.pool_txnids.take();
         for &(lock, stamp) in writes {
             for (holder, _) in self.central.locks.holders(lock) {
-                if let Some(t) = self.txns.get_mut(&holder.0) {
+                if let Some(t) = self.txns.get_mut(holder.0) {
                     if !t.marked_abort {
                         invalidated.push(holder.0);
                     }
@@ -1327,15 +1462,16 @@ impl HybridSystem {
         self.trace(now, || TraceEvent::AsyncApplied {
             site: from,
             locks: writes.iter().map(|&(l, _)| l).collect(),
-            invalidated,
+            invalidated: invalidated.clone(),
         });
+        self.pool_txnids.put(invalidated);
+        let mut acks = self.pool_lockids.take();
+        acks.extend(writes.iter().map(|&(l, _)| l));
         self.send(
             now,
             NodeId::CENTRAL,
             NodeId::local(from as u32),
-            Msg::AsyncAck {
-                locks: writes.iter().map(|&(l, _)| l).collect(),
-            },
+            Msg::AsyncAck { locks: acks },
         );
     }
 
@@ -1345,39 +1481,39 @@ impl HybridSystem {
 
     fn send_auth_requests(&mut self, now: SimTime, id: u64) {
         {
-            let txn = self.txns.get_mut(&id).expect("txn");
+            let txn = self.txns.get_mut(id).expect("txn");
             txn.commit_total += (now - txn.commit_since).as_secs();
         }
-        if self.txns[&id].marked_abort {
+        if self.txns[id].marked_abort {
             self.abort_and_rerun(now, id);
             return;
         }
         let spec = *self.generator.spec();
-        let (sites, lock_lists): (Vec<usize>, Vec<Vec<(LockId, LockMode)>>) = {
-            let txn = self.txns.get_mut(&id).expect("txn");
+        let n_sites = {
+            let txn = self.txns.get_mut(id).expect("txn");
             txn.phase = Phase::AuthWait;
             txn.auth_since = now;
             txn.auth_pending = txn.auth_sites.len();
             txn.auth_negative = false;
-            let sites = txn.auth_sites.clone();
-            let lists = sites
-                .iter()
-                .map(|&s| {
-                    txn.spec
-                        .locks
-                        .iter()
-                        .copied()
-                        .filter(|&(l, _)| spec.master_of(l) == s)
-                        .collect()
-                })
-                .collect();
-            (sites, lists)
+            txn.auth_sites.len()
         };
-        self.trace(now, || TraceEvent::AuthStarted {
-            txn: id,
-            sites: sites.clone(),
-        });
-        for (site, locks) in sites.into_iter().zip(lock_lists) {
+        // Clone the site list only when someone is listening (mirrors
+        // `trace`'s own gate).
+        if self.trace.is_some() || self.profiler.enabled() {
+            let sites = self.txns[id].auth_sites.clone();
+            self.trace(now, || TraceEvent::AuthStarted { txn: id, sites });
+        }
+        for i in 0..n_sites {
+            let site = self.txns[id].auth_sites[i];
+            let mut locks = self.pool_locks.take();
+            locks.extend(
+                self.txns[id]
+                    .spec
+                    .locks
+                    .iter()
+                    .copied()
+                    .filter(|&(l, _)| spec.master_of(l) == site),
+            );
             self.send(
                 now,
                 NodeId::CENTRAL,
@@ -1396,7 +1532,7 @@ impl HybridSystem {
     ) {
         // A crash may have killed the requester while this burst was
         // queued; don't seize locks for the dead.
-        if !self.txns.contains_key(&id) {
+        if !self.txns.contains(id) {
             return;
         }
         // Coherence check: any in-flight asynchronous update on the
@@ -1405,13 +1541,13 @@ impl HybridSystem {
             let table = &self.sites[site].locks;
             locks.iter().all(|&(l, _)| table.coherence(l) == 0)
         };
-        let mut displaced_all = Vec::new();
+        let mut displaced_all = self.pool_txnids.take();
         if positive {
             let owner = OwnerId(id);
             for &(lock, mode) in locks {
                 let out = self.sites[site].locks.force_acquire(lock, owner, mode);
                 for victim in out.displaced {
-                    if let Some(t) = self.txns.get_mut(&victim.0) {
+                    if let Some(t) = self.txns.get_mut(victim.0) {
                         if !t.marked_abort {
                             displaced_all.push(victim.0);
                         }
@@ -1433,13 +1569,14 @@ impl HybridSystem {
             NodeId::CENTRAL,
             Msg::AuthReply { txn: id, positive },
         );
+        self.pool_txnids.put(displaced_all);
     }
 
     fn on_auth_reply(&mut self, now: SimTime, id: u64, positive: bool) {
         let resolved = {
             // The transaction may have been killed by a crash while the
             // reply was in flight.
-            let Some(txn) = self.txns.get_mut(&id) else {
+            let Some(txn) = self.txns.get_mut(id) else {
                 return;
             };
             debug_assert_eq!(txn.phase, Phase::AuthWait);
@@ -1455,19 +1592,20 @@ impl HybridSystem {
     }
 
     fn resolve_auth(&mut self, now: SimTime, id: u64) {
-        let (negative, invalidated, sites) = {
-            let txn = self.txns.get_mut(&id).expect("txn");
+        let (negative, invalidated, n_sites) = {
+            let txn = self.txns.get_mut(id).expect("txn");
             txn.auth_wait_total += (now - txn.auth_since).as_secs();
-            (txn.auth_negative, txn.marked_abort, txn.auth_sites.clone())
+            (txn.auth_negative, txn.marked_abort, txn.auth_sites.len())
         };
         if negative || invalidated {
             // Failed authentication: release any locks seized at the master
             // sites, then re-execute and repeat the process.
-            for site in &sites {
+            for i in 0..n_sites {
+                let site = self.txns[id].auth_sites[i];
                 self.send(
                     now,
                     NodeId::CENTRAL,
-                    NodeId::local(*site as u32),
+                    NodeId::local(site as u32),
                     Msg::AuthRelease { txn: id },
                 );
             }
@@ -1480,7 +1618,7 @@ impl HybridSystem {
                 txn: id,
                 committed: false,
             });
-            self.txns.get_mut(&id).expect("txn").begin_rerun(false);
+            self.txns.get_mut(id).expect("txn").begin_rerun(false);
             self.start_call_cpu(now, id);
         } else {
             // Commit: release central locks, fan out commit messages, and
@@ -1492,36 +1630,42 @@ impl HybridSystem {
             // Apply the transaction's writes to the central replica and
             // stamp them for the commit fan-out to the master sites.
             let spec = *self.generator.spec();
-            let updated: Vec<LockId> = self.txns[&id].spec.updated_locks().collect();
-            let mut writes = Vec::with_capacity(updated.len());
+            let mut updated = self.pool_lockids.take();
+            updated.extend(self.txns[id].spec.updated_locks());
+            let mut writes = self.pool_writes.take();
             for &l in &updated {
                 let stamp = self.next_write;
                 self.next_write += 1;
                 self.central.store.insert(l, stamp);
                 writes.push((l, stamp));
             }
+            self.pool_lockids.put(updated);
             let owner = OwnerId(id);
             let grants = self.central.locks.release_all(owner);
             self.resume_grants(now, &grants, Locale::Central);
             self.central.n_txns -= 1;
-            self.txns.get_mut(&id).expect("txn").in_central_count = false;
-            for site in &sites {
-                let site_writes: Vec<(LockId, u64)> = writes
-                    .iter()
-                    .copied()
-                    .filter(|&(l, _)| spec.master_of(l) == *site)
-                    .collect();
+            self.txns.get_mut(id).expect("txn").in_central_count = false;
+            for i in 0..n_sites {
+                let site = self.txns[id].auth_sites[i];
+                let mut site_writes = self.pool_writes.take();
+                site_writes.extend(
+                    writes
+                        .iter()
+                        .copied()
+                        .filter(|&(l, _)| spec.master_of(l) == site),
+                );
                 self.send(
                     now,
                     NodeId::CENTRAL,
-                    NodeId::local(*site as u32),
+                    NodeId::local(site as u32),
                     Msg::CommitMsg {
                         txn: id,
                         writes: site_writes,
                     },
                 );
             }
-            let origin = self.txns[&id].spec.origin;
+            self.pool_writes.put(writes);
+            let origin = self.txns[id].spec.origin;
             self.send(
                 now,
                 NodeId::CENTRAL,
@@ -1555,15 +1699,15 @@ impl HybridSystem {
             // A grant can surface for a transaction a crash just killed
             // (the cascade of its fellow victims' releases); skip it — its
             // own release follows in the same crash handler.
-            if !self.txns.contains_key(&id) {
+            if !self.txns.contains(id) {
                 continue;
             }
             debug_assert_eq!(
-                self.txns[&id].phase,
+                self.txns[id].phase,
                 Phase::LockWait,
                 "grant to non-waiting txn"
             );
-            debug_assert_eq!(self.locale_of(&self.txns[&id]), loc);
+            debug_assert_eq!(self.locale_of(&self.txns[id]), loc);
             self.after_lock_granted(now, id);
         }
     }
@@ -1574,7 +1718,7 @@ impl HybridSystem {
 
     fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: Msg) {
         let timer = Timer::start_if(self.profiler.enabled());
-        *self.msg_counts.entry(msg.kind()).or_insert(0) += 1;
+        self.msg_counts.record(&msg);
         // Every message from the central complex carries a state snapshot
         // for the routing strategies.
         let snap = from.is_central().then(|| self.central_snapshot());
@@ -1634,7 +1778,7 @@ impl HybridSystem {
         match msg {
             Msg::ShipTxn { txn } => {
                 debug_assert!(to.is_central());
-                let Some(t) = self.txns.get_mut(&txn) else {
+                let Some(t) = self.txns.get_mut(txn) else {
                     return;
                 };
                 t.phase = Phase::SetupIo;
@@ -1653,7 +1797,7 @@ impl HybridSystem {
             }
             Msg::AsyncAck { locks } => {
                 let site = to.local_index();
-                for l in locks {
+                for &l in &locks {
                     // A crash clears the volatile lock table (and its
                     // coherence counts); ignore acknowledgements of
                     // pre-crash updates.
@@ -1661,6 +1805,7 @@ impl HybridSystem {
                         self.sites[site].locks.decr_coherence(l);
                     }
                 }
+                self.pool_lockids.put(locks);
             }
             Msg::AuthRequest { txn, locks } => {
                 let site = to.local_index();
@@ -1689,7 +1834,7 @@ impl HybridSystem {
             Msg::RemoteCallReq { txn } => {
                 debug_assert!(to.is_central());
                 {
-                    let Some(t) = self.txns.get_mut(&txn) else {
+                    let Some(t) = self.txns.get_mut(txn) else {
                         return;
                     };
                     if t.call_idx == 0 && !t.is_rerun() {
@@ -1701,7 +1846,7 @@ impl HybridSystem {
             }
             Msg::RemoteCallResp { txn } => {
                 debug_assert!(!to.is_central());
-                if self.txns.contains_key(&txn) {
+                if self.txns.contains(txn) {
                     self.origin_issue_call(now, txn);
                 }
             }
@@ -1709,9 +1854,10 @@ impl HybridSystem {
                 let site = to.local_index();
                 // The origin's transaction record is gone if a crash killed
                 // it while the reply was in flight.
-                let Some(t) = self.txns.remove(&txn) else {
+                let Some(mut t) = self.txns.remove(txn) else {
                     return;
                 };
+                self.pool_sites.put(std::mem::take(&mut t.auth_sites));
                 let rt = now - t.arrival;
                 let (class, attempts) = (t.class(), t.attempts);
                 let breakdown = t.phase_breakdown(rt.as_secs());
@@ -1816,21 +1962,25 @@ impl HybridSystem {
         let evicted = self.sites[s].cpu.drain(now);
         let mut failed_auths = Vec::new();
         for job in evicted {
-            if let Some(key) = self.cpu_keys.remove(&job.id) {
+            if let Some(key) = self.jobs.take_key(job.id) {
                 self.queue.cancel(key);
             }
-            match self.jobs.remove(&job.id).expect("drained unknown job") {
+            match self.jobs.remove(job.id).expect("drained unknown job") {
                 // Its transaction is killed below.
                 JobKind::TxnPhase(_) => {}
                 // The central complex detects the lost request as a
                 // negative acknowledgement (synthesized after the kills).
-                JobKind::AuthProcess { txn, .. } => failed_auths.push(txn),
+                JobKind::AuthProcess { txn, locks, .. } => {
+                    failed_auths.push(txn);
+                    self.pool_locks.put(locks);
+                }
                 // The commit is already durable centrally; treat the write
                 // application as redo-logged.
                 JobKind::ApplyCommit { writes, .. } => {
-                    for (l, stamp) in writes {
+                    for &(l, stamp) in &writes {
                         self.sites[s].store.insert(l, stamp);
                     }
+                    self.pool_writes.put(writes);
                 }
                 JobKind::ApplyAsync { .. } => unreachable!("ApplyAsync at a local site"),
             }
@@ -1860,7 +2010,7 @@ impl HybridSystem {
         self.sites[s].locks.set_profiling(self.profiler.enabled());
         self.sites[s].n_txns = 0;
         for txn in failed_auths {
-            if self.txns.contains_key(&txn) {
+            if self.txns.contains(txn) {
                 self.on_auth_reply(now, txn, false);
             }
         }
@@ -1885,10 +2035,10 @@ impl HybridSystem {
     fn crash_central(&mut self, now: SimTime) {
         let evicted = self.central.cpu.drain(now);
         for job in evicted {
-            if let Some(key) = self.cpu_keys.remove(&job.id) {
+            if let Some(key) = self.jobs.take_key(job.id) {
                 self.queue.cancel(key);
             }
-            match self.jobs.remove(&job.id).expect("drained unknown job") {
+            match self.jobs.remove(job.id).expect("drained unknown job") {
                 JobKind::TxnPhase(_) => {}
                 kind @ JobKind::ApplyAsync { .. } => self.central_replay.push(kind),
                 JobKind::AuthProcess { .. } | JobKind::ApplyCommit { .. } => {
@@ -1934,15 +2084,17 @@ impl HybridSystem {
     /// Removes a crash victim, releasing whatever it holds in the
     /// surviving lock tables (crashed tables are cleared wholesale).
     fn crash_kill(&mut self, now: SimTime, id: u64, central_cause: bool) {
-        let txn = self.txns.remove(&id).expect("crash victim");
+        let mut txn = self.txns.remove(id).expect("crash victim");
         let owner = OwnerId(id);
         // Locks seized at master sites during authentication.
-        for &a in &txn.auth_sites {
+        let auth_sites = std::mem::take(&mut txn.auth_sites);
+        for &a in &auth_sites {
             if self.site_up[a] {
                 let grants = self.sites[a].locks.release_all(owner);
                 self.resume_grants(now, &grants, Locale::Site(a));
             }
         }
+        self.pool_sites.put(auth_sites);
         // Locks held or awaited at the central complex (if it survives).
         if self.central_up && txn.route == Route::Central {
             let grants = self.central.locks.release_all(owner);
@@ -1997,12 +2149,7 @@ impl HybridSystem {
             self.central.busy_at_warmup,
         );
         let _ = window;
-        let mut by_kind: Vec<(String, u64)> = self
-            .msg_counts
-            .iter()
-            .map(|(&k, &v)| (k.to_string(), v))
-            .collect();
-        by_kind.sort();
+        let by_kind = self.msg_counts.sorted();
         let downtime = self
             .cfg
             .fault_schedule

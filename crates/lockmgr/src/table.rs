@@ -19,8 +19,10 @@
 //!    (hence its wait-for edges) is reachable in O(1) from the waiting
 //!    index.
 //!
-//! All maps use a Fibonacci-style multiplicative hasher ([`FxHasher`])
-//! instead of SipHash — the keys are trusted in-simulator integers, not
+//! All maps use a Fibonacci-style multiplicative hasher
+//! ([`hls_sim::FxHasher`], introduced here in ISSUE 4 and lifted into
+//! `hls-sim` by ISSUE 5 so `hls-core` shares the definition) instead of
+//! SipHash — the keys are trusted in-simulator integers, not
 //! attacker-controlled input.
 //!
 //! Outcome semantics are locked to the scan-based reference
@@ -29,73 +31,11 @@
 //! order, cycle membership, counters — is bit-compatible.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
 
 use hls_obs::{OpStats, Timer};
+use hls_sim::{FxHashMap as FxMap, FxHashSet as FxSet};
 
 use crate::types::{LockId, LockMode, OwnerId};
-
-/// A Fibonacci-style multiplicative hasher (the rustc "Fx" recipe) for
-/// the table's integer keys. Roughly an order of magnitude cheaper than
-/// the default SipHash, which matters because every lock operation
-/// performs several map probes.
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
-            let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            self.add(u64::from_ne_bytes(buf));
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, n: u8) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u16(&mut self, n: u16) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.add(n);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.add(n as u64);
-    }
-}
-
-type FxBuild = BuildHasherDefault<FxHasher>;
-type FxMap<K, V> = HashMap<K, V, FxBuild>;
-type FxSet<K> = HashSet<K, FxBuild>;
 
 /// Per-operation profiling counters for one [`LockTable`].
 ///

@@ -6,8 +6,15 @@
 //! (ICDCS 1988):
 //!
 //! * [`SimTime`] / [`SimDuration`] — totally-ordered virtual time,
-//! * [`EventQueue`] — a causality-checked pending-event set with FIFO
-//!   tie-breaking for simultaneous events,
+//! * [`EventQueue`] — a causality-checked pending-event set: an
+//!   index-tracked four-ary min-heap with FIFO tie-breaking for
+//!   simultaneous events and O(log n) *true* cancellation (cancelled
+//!   entries are removed eagerly; stale keys are detected, not silently
+//!   tolerated). The pre-rewrite `BinaryHeap` + tombstone queue survives
+//!   as [`model::ReferenceQueue`], the differential-test oracle,
+//! * [`FxHasher`] — the shared multiplicative hasher for maps keyed by
+//!   trusted, simulator-minted integer ids ([`FxHashMap`],
+//!   [`FxHashSet`]),
 //! * [`RngStreams`] — independent reproducible random streams derived from a
 //!   single master seed,
 //! * [`FcfsServer`] / [`MultiServer`] — fixed-speed FCFS CPU stations
@@ -65,6 +72,8 @@
 #![warn(missing_docs)]
 
 mod event;
+mod hash;
+pub mod model;
 mod multi_server;
 mod rng;
 mod server;
@@ -72,6 +81,7 @@ mod stats;
 mod time;
 
 pub use event::{EventKey, EventQueue};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use multi_server::MultiServer;
 pub use rng::{sample_exponential, sample_uniform, RngStreams, Sample, SimRng};
 pub use server::{FcfsServer, Job, ServiceStart};

@@ -1,0 +1,357 @@
+//! Model-based differential suite: the indexed four-ary [`EventQueue`]
+//! against the `BinaryHeap` + tombstone [`ReferenceQueue`] oracle.
+//!
+//! Thousands of random schedule / `schedule_keyed` / pop / cancel
+//! interleavings (proptest-style: seeded, deterministic, with greedy
+//! shrinking on failure) are replayed through both implementations.
+//! After **every** operation the harness asserts:
+//!
+//! * identical pop results — firing time *and* payload, so FIFO
+//!   tie-breaking of simultaneous events is compared exactly,
+//! * identical `len` / `is_empty` / `peek_time` / `now`,
+//! * the indexed queue's `check_invariants` (heap order, position-index
+//!   consistency, slab/free-list accounting).
+//!
+//! Scheduling times are quantized to a handful of ticks so ties are
+//! common, and cancellation targets are drawn from the live-key set only
+//! (a key is retired when its event pops), so every generated sequence
+//! is valid and shrinking preserves validity.
+//!
+//! Case count: `PROPTEST_CASES` env var (default 1000), each sequence up
+//! to `MAX_OPS` (256) operations. On a mismatch the failing sequence is
+//! greedily shrunk to a locally-minimal reproducer before panicking.
+
+use std::fmt;
+
+use hls_sim::model::{ReferenceEventKey, ReferenceQueue};
+use hls_sim::{EventKey, EventQueue, SimDuration, SimRng, SimTime};
+
+const MAX_OPS: usize = 256;
+const MIN_OPS: usize = 200;
+
+/// Schedule offsets are multiples of this tick over a small range, so a
+/// large fraction of events collide on the same instant and the FIFO
+/// tie-break path is exercised constantly.
+const TICK_SECS: f64 = 0.25;
+const MAX_TICKS: u32 = 8;
+
+/// A random operation on the event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// `schedule(now + ticks * TICK, payload)` — not cancellable.
+    Schedule { ticks: u32 },
+    /// `schedule_keyed(now + ticks * TICK, payload)` — key held for later
+    /// cancellation.
+    ScheduleKeyed { ticks: u32 },
+    /// Pop the next event from both queues and compare it.
+    Pop,
+    /// Cancel the `pick % live`-th held key (skipped when none are held).
+    Cancel { pick: u32 },
+    /// Compare `peek_time` without consuming anything.
+    Peek,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Schedule { ticks } => write!(f, "schedule(+{ticks} ticks)"),
+            Op::ScheduleKeyed { ticks } => write!(f, "schedule_keyed(+{ticks} ticks)"),
+            Op::Pop => write!(f, "pop()"),
+            Op::Cancel { pick } => write!(f, "cancel(held[{pick} % live])"),
+            Op::Peek => write!(f, "peek_time()"),
+        }
+    }
+}
+
+fn random_op(rng: &mut SimRng) -> Op {
+    // Weighted toward scheduling so the heap builds depth, with enough
+    // pops and cancels to keep it churning.
+    match rng.random_range(0..12) {
+        0..=3 => Op::Schedule {
+            ticks: rng.random_range(0..MAX_TICKS),
+        },
+        4..=6 => Op::ScheduleKeyed {
+            ticks: rng.random_range(0..MAX_TICKS),
+        },
+        7..=9 => Op::Pop,
+        10 => Op::Cancel {
+            pick: rng.random_range(0..64),
+        },
+        _ => Op::Peek,
+    }
+}
+
+/// A still-cancellable keyed event: the two keys plus the payload that
+/// identifies it when it pops instead.
+struct HeldKey {
+    dut: EventKey,
+    oracle: ReferenceEventKey,
+    payload: u64,
+}
+
+/// Replays `ops` through both queues, checking equivalence after each
+/// step. Returns `Err(step, reason)` instead of panicking so the
+/// shrinker can probe candidate sequences.
+fn run_differential(ops: &[Op]) -> Result<(), (usize, String)> {
+    let mut dut: EventQueue<u64> = EventQueue::new();
+    let mut oracle: ReferenceQueue<u64> = ReferenceQueue::new();
+    let mut held: Vec<HeldKey> = Vec::new();
+    let mut next_payload: u64 = 0;
+    macro_rules! check {
+        ($step:expr, $cond:expr, $($msg:tt)*) => {
+            if !$cond {
+                return Err(($step, format!($($msg)*)));
+            }
+        };
+    }
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Schedule { ticks } => {
+                let at = dut.now() + SimDuration::from_secs(f64::from(ticks) * TICK_SECS);
+                let payload = next_payload;
+                next_payload += 1;
+                dut.schedule(at, payload);
+                oracle.schedule(at, payload);
+            }
+            Op::ScheduleKeyed { ticks } => {
+                let at = dut.now() + SimDuration::from_secs(f64::from(ticks) * TICK_SECS);
+                let payload = next_payload;
+                next_payload += 1;
+                let dut_key = dut.schedule_keyed(at, payload);
+                let oracle_key = oracle.schedule_keyed(at, payload);
+                held.push(HeldKey {
+                    dut: dut_key,
+                    oracle: oracle_key,
+                    payload,
+                });
+            }
+            Op::Pop => {
+                let a = dut.pop();
+                let b = oracle.pop();
+                check!(step, a == b, "pop: dut {a:?} vs oracle {b:?}");
+                if let Some((_, payload)) = a {
+                    // A popped keyed event retires its key: cancelling it
+                    // later would be a stale-key logic error by contract.
+                    held.retain(|h| h.payload != payload);
+                }
+            }
+            Op::Cancel { pick } => {
+                if held.is_empty() {
+                    continue; // nothing cancellable; keep sequences valid
+                }
+                let h = held.swap_remove(pick as usize % held.len());
+                dut.cancel(h.dut);
+                oracle.cancel(h.oracle);
+            }
+            Op::Peek => {
+                let a = dut.peek_time();
+                let b = oracle.peek_time();
+                check!(step, a == b, "peek_time: dut {a:?} vs oracle {b:?}");
+            }
+        }
+        check!(
+            step,
+            dut.len() == oracle.len(),
+            "len: dut {} vs oracle {}",
+            dut.len(),
+            oracle.len()
+        );
+        check!(
+            step,
+            dut.is_empty() == oracle.is_empty(),
+            "is_empty diverged"
+        );
+        check!(
+            step,
+            dut.now() == oracle.now(),
+            "now: dut {} vs oracle {}",
+            dut.now(),
+            oracle.now()
+        );
+        dut.check_invariants();
+    }
+    // Drain both queues to the end: every surviving event must fire in
+    // the same order with the same timestamp.
+    loop {
+        let a = dut.pop();
+        let b = oracle.pop();
+        if a != b {
+            return Err((ops.len(), format!("drain pop: dut {a:?} vs oracle {b:?}")));
+        }
+        dut.check_invariants();
+        if a.is_none() {
+            return Ok(());
+        }
+    }
+}
+
+/// Greedily shrinks a failing sequence: repeatedly try dropping each op
+/// while the failure persists.
+fn shrink(mut ops: Vec<Op>) -> Vec<Op> {
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < ops.len() {
+            let mut candidate = ops.clone();
+            candidate.remove(i);
+            if run_differential(&candidate).is_err() {
+                ops = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    ops
+}
+
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+fn fail_with_shrunk(case: usize, ops: Vec<Op>, step: usize, reason: &str) -> ! {
+    let minimal = shrink(ops);
+    let listing: Vec<String> = minimal.iter().map(ToString::to_string).collect();
+    let (min_step, min_reason) =
+        run_differential(&minimal).expect_err("shrunk sequence no longer fails");
+    panic!(
+        "case {case}: divergence at step {step}: {reason}\n\
+         shrunk to {} ops (fails at step {min_step}: {min_reason}):\n  {}",
+        minimal.len(),
+        listing.join("\n  ")
+    );
+}
+
+/// The headline test: ≥1000 random sequences × up to 256 ops, identical
+/// pop order / lengths / peeks at every step plus a full drain, shrinking
+/// failures to minimal reproducers.
+#[test]
+fn indexed_queue_matches_reference_model() {
+    let cases = case_count();
+    let mut rng = SimRng::seed_from_u64(0x4A17);
+    for case in 0..cases {
+        let n_ops = MIN_OPS + rng.random_range(0..(MAX_OPS - MIN_OPS + 1) as u32) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
+        if let Err((step, reason)) = run_differential(&ops) {
+            fail_with_shrunk(case, ops, step, &reason);
+        }
+    }
+}
+
+/// A hostile profile for cancellation: every event is keyed and almost
+/// half the ops are cancels, so the heap decays constantly and removals
+/// hit interior positions, the head, and the tail.
+#[test]
+fn cancellation_heavy_differential() {
+    let mut rng = SimRng::seed_from_u64(0xCA9C);
+    for case in 0..200 {
+        let ops: Vec<Op> = (0..MAX_OPS)
+            .map(|_| match rng.random_range(0..8) {
+                0..=3 => Op::ScheduleKeyed {
+                    ticks: rng.random_range(0..MAX_TICKS),
+                },
+                4..=6 => Op::Cancel {
+                    pick: rng.random_range(0..64),
+                },
+                _ => Op::Pop,
+            })
+            .collect();
+        if let Err((step, reason)) = run_differential(&ops) {
+            fail_with_shrunk(case, ops, step, &reason);
+        }
+    }
+}
+
+/// An all-simultaneous profile: every event lands on the same instant,
+/// so correctness is carried entirely by `(time, seq)` FIFO ordering.
+#[test]
+fn simultaneous_tie_differential() {
+    let mut rng = SimRng::seed_from_u64(0x71E5);
+    for case in 0..200 {
+        let ops: Vec<Op> = (0..MAX_OPS)
+            .map(|_| match rng.random_range(0..6) {
+                0..=1 => Op::Schedule { ticks: 0 },
+                2 => Op::ScheduleKeyed { ticks: 0 },
+                3 => Op::Cancel {
+                    pick: rng.random_range(0..64),
+                },
+                _ => Op::Pop,
+            })
+            .collect();
+        if let Err((step, reason)) = run_differential(&ops) {
+            fail_with_shrunk(case, ops, step, &reason);
+        }
+    }
+}
+
+// --- Known-value tests -----------------------------------------------
+
+/// Cancelling the head of a populated queue must promote the next event
+/// by `(time, seq)`, in both implementations.
+#[test]
+fn known_value_cancel_at_head() {
+    let mut q: EventQueue<&str> = EventQueue::new();
+    let t1 = SimTime::from_secs(1.0);
+    let head = q.schedule_keyed(t1, "head");
+    q.schedule(t1, "tie-survivor"); // same instant: FIFO successor
+    q.schedule(SimTime::from_secs(2.0), "later");
+    q.cancel(head);
+    assert_eq!(q.peek_time(), Some(t1));
+    assert_eq!(q.pop(), Some((t1, "tie-survivor")));
+    assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "later")));
+    assert_eq!(q.pop(), None);
+}
+
+/// Cancelling the most recently scheduled (tail) entry must not disturb
+/// anything else — the removal hits the last heap slot exactly.
+#[test]
+fn known_value_cancel_last() {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    for i in 0..10 {
+        q.schedule(SimTime::from_secs(f64::from(i)), i);
+    }
+    let tail = q.schedule_keyed(SimTime::from_secs(100.0), 999);
+    q.cancel(tail);
+    q.check_invariants();
+    let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+    assert_eq!(order, (0..10).collect::<Vec<_>>());
+}
+
+/// A cancelled key's slab slot is reused by later events; re-scheduling
+/// the "same" logical event yields a fresh key that works, and the new
+/// event fires exactly once at its new time.
+#[test]
+fn known_value_rescheduled_key() {
+    let mut q: EventQueue<&str> = EventQueue::new();
+    let first = q.schedule_keyed(SimTime::from_secs(5.0), "v1");
+    q.cancel(first);
+    let second = q.schedule_keyed(SimTime::from_secs(3.0), "v2");
+    assert_eq!(q.len(), 1);
+    assert_eq!(q.pop(), Some((SimTime::from_secs(3.0), "v2")));
+    assert_eq!(q.pop(), None);
+    // `second` fired; its key is now stale by contract. Holding it is
+    // fine — only cancelling it would be a logic error.
+    let _stale = second;
+}
+
+/// Interleaved cancel-then-reschedule churn against the oracle: a fixed,
+/// human-auditable sequence hitting slot reuse under FIFO ties.
+#[test]
+fn known_value_reuse_matches_oracle() {
+    let ops = [
+        Op::ScheduleKeyed { ticks: 2 },
+        Op::ScheduleKeyed { ticks: 2 },
+        Op::Cancel { pick: 0 },
+        Op::ScheduleKeyed { ticks: 2 }, // reuses the freed slot
+        Op::Schedule { ticks: 2 },
+        Op::Pop,
+        Op::Cancel { pick: 0 },
+        Op::Pop,
+        Op::Pop,
+    ];
+    assert_eq!(run_differential(&ops), Ok(()));
+}
