@@ -30,6 +30,24 @@
 //!   crash drains cancel whole batches of in-service completions (true
 //!   O(log n) removal vs tombstones that every later pop re-checks).
 //!
+//! Each scenario is additionally run through the speculative window
+//! executor ([`HybridSystem::run_threads`], `--sim-threads 8`
+//! equivalent): partitioned site replicas execute bounded virtual-time
+//! windows in parallel and the merged metrics are asserted bit-identical
+//! to the serial run. The JSON records the speculative events/sec next
+//! to the serial paths, plus the machine's available parallelism — on a
+//! single-core container the speculative leg cannot beat serial (the
+//! workers timeshare one CPU), so the speedup column is only meaningful
+//! when `available_parallelism >= sim_threads`. The `faulted` scenario
+//! is ineligible for speculation (fault schedules need the serial loop)
+//! and reports `spec_serial: true`.
+//!
+//! * `distributed` — mostly-local traffic over 4× the paper's site
+//!   count: the event load is spread across site partitions instead of
+//!   funneling into the central complex, which is the shape the window
+//!   executor parallelizes (the central partition is the serial
+//!   bottleneck in `contended`, where 70% of transactions ship).
+//!
 //! `--smoke` runs each scenario once, briefly (CI wiring check, no JSON
 //! output). The full run writes `BENCH_sim.json` (or `--out PATH`).
 
@@ -39,6 +57,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use hls_core::{FaultSchedule, HybridSystem, RouterSpec, SystemConfig};
+
+/// Thread count for the speculative leg (the ISSUE's reference point).
+const SIM_THREADS: usize = 8;
 
 fn scenarios(smoke: bool) -> Vec<(&'static str, SystemConfig, RouterSpec)> {
     let horizon = if smoke { 30.0 } else { 120.0 };
@@ -74,9 +95,27 @@ fn scenarios(smoke: bool) -> Vec<(&'static str, SystemConfig, RouterSpec)> {
         cfg.failure_aware = true;
         cfg
     };
+    // Same grid as `contended` but with shipping rare: almost every
+    // transaction runs at its home site, so the 40 site partitions carry
+    // comparable event load and the central partition only sees
+    // coherency/authentication traffic. This is the favourable grain for
+    // the speculative executor.
+    let distributed = {
+        let mut cfg = SystemConfig::paper_default()
+            .with_total_rate(88.0)
+            .with_horizon(horizon, 5.0)
+            .with_seed(11);
+        cfg.params.n_sites = 40;
+        cfg
+    };
     vec![
         ("light", light, RouterSpec::QueueLength),
         ("contended", contended, RouterSpec::Static { p_ship: 0.7 }),
+        (
+            "distributed",
+            distributed,
+            RouterSpec::Static { p_ship: 0.05 },
+        ),
         ("faulted", faulted, RouterSpec::Static { p_ship: 0.5 }),
     ]
 }
@@ -96,23 +135,45 @@ fn one_run(cfg: &SystemConfig, router: RouterSpec, reference: bool) -> (f64, Str
     (rate, format!("{metrics:?}"))
 }
 
+/// One timed run through the speculative window executor. Returns
+/// (events/sec, Debug rendering, fell back to serial). The event count
+/// comes from [`SpecReport`] and matches `run_counted` exactly, so the
+/// rates are directly comparable.
+fn one_run_speculative(cfg: &SystemConfig, router: RouterSpec) -> (f64, String, bool) {
+    let sys = HybridSystem::new(cfg.clone(), router).expect("bench config must be valid");
+    let start = Instant::now();
+    let (metrics, report) = black_box(sys.run_threads_report(SIM_THREADS, None));
+    let rate = report.events as f64 / start.elapsed().as_secs_f64();
+    (rate, format!("{metrics:?}"), report.serial)
+}
+
 struct Scenario {
     name: &'static str,
     reference_events_per_sec: f64,
     indexed_events_per_sec: f64,
+    speculative_events_per_sec: f64,
+    /// The speculative leg fell back to the serial loop (ineligible
+    /// configuration, e.g. a fault schedule).
+    spec_serial: bool,
 }
 
 impl Scenario {
     fn speedup(&self) -> f64 {
         self.indexed_events_per_sec / self.reference_events_per_sec
     }
+
+    /// Speculative executor vs the serial indexed hot path.
+    fn parallel_speedup(&self) -> f64 {
+        self.speculative_events_per_sec / self.indexed_events_per_sec
+    }
 }
 
-/// Measures both paths **interleaved** (ref, idx, ref, idx, …) so slow
-/// drift in machine load or clock frequency hits both equally, and takes
-/// the best of `iters` runs per path — the standard noise-robust
-/// estimate for identical deterministic work.
-fn measure_pair(
+/// Measures all paths **interleaved** (ref, idx, spec, ref, idx, spec, …)
+/// so slow drift in machine load or clock frequency hits each equally,
+/// and takes the best of `iters` runs per path — the standard
+/// noise-robust estimate for identical deterministic work. Every
+/// iteration asserts the three paths produced bit-identical metrics.
+fn measure_scenario(
     name: &'static str,
     cfg: &SystemConfig,
     router: RouterSpec,
@@ -120,23 +181,34 @@ fn measure_pair(
 ) -> Scenario {
     let mut reference = 0.0f64;
     let mut indexed = 0.0f64;
+    let mut speculative = 0.0f64;
+    let mut spec_serial = false;
     for it in 0..iters {
         let (r, m_ref) = one_run(cfg, router, true);
         let (i, m_idx) = one_run(cfg, router, false);
+        let (s, m_spec, serial) = one_run_speculative(cfg, router);
         assert_eq!(
             m_ref, m_idx,
             "{name}: hot-path implementations must produce identical metrics"
         );
+        assert_eq!(
+            m_idx, m_spec,
+            "{name}: speculative executor must produce identical metrics"
+        );
+        spec_serial = serial;
         // First pass warms caches and the allocator; don't score it.
         if it > 0 || iters == 1 {
             reference = reference.max(r);
             indexed = indexed.max(i);
+            speculative = speculative.max(s);
         }
     }
     Scenario {
         name,
         reference_events_per_sec: reference,
         indexed_events_per_sec: indexed,
+        speculative_events_per_sec: speculative,
+        spec_serial,
     }
 }
 
@@ -145,12 +217,15 @@ fn run_all(smoke: bool) -> Vec<Scenario> {
     scenarios(smoke)
         .into_iter()
         .map(|(name, cfg, router)| {
-            let sc = measure_pair(name, &cfg, router, iters);
+            let sc = measure_scenario(name, &cfg, router, iters);
             println!(
-                "{name:<12} reference {:>12.0} ev/s   indexed {:>12.0} ev/s   {:>5.2}x",
+                "{name:<12} reference {:>11.0} ev/s   indexed {:>11.0} ev/s ({:>5.2}x)   spec@{SIM_THREADS} {:>11.0} ev/s ({:>5.2}x{})",
                 sc.reference_events_per_sec,
                 sc.indexed_events_per_sec,
-                sc.speedup()
+                sc.speedup(),
+                sc.speculative_events_per_sec,
+                sc.parallel_speedup(),
+                if sc.spec_serial { ", serial fallback" } else { "" }
             );
             sc
         })
@@ -158,22 +233,28 @@ fn run_all(smoke: bool) -> Vec<Scenario> {
 }
 
 fn to_json(scenarios: &[Scenario], smoke: bool) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, usize::from);
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"hls-bench/sim\",\n  \"version\": 1,\n");
+    s.push_str("{\n  \"schema\": \"hls-bench/sim\",\n  \"version\": 2,\n");
     let _ = writeln!(
         s,
         "  \"mode\": \"{}\",",
         if smoke { "smoke" } else { "full" }
     );
+    let _ = writeln!(s, "  \"sim_threads\": {SIM_THREADS},");
+    let _ = writeln!(s, "  \"available_parallelism\": {cores},");
     s.push_str("  \"scenarios\": [\n");
     for (i, sc) in scenarios.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"name\": \"{}\", \"reference_events_per_sec\": {:.0}, \"indexed_events_per_sec\": {:.0}, \"speedup\": {:.2}}}",
+            "    {{\"name\": \"{}\", \"reference_events_per_sec\": {:.0}, \"indexed_events_per_sec\": {:.0}, \"speedup\": {:.2}, \"speculative_events_per_sec\": {:.0}, \"parallel_speedup\": {:.2}, \"spec_serial\": {}}}",
             sc.name,
             sc.reference_events_per_sec,
             sc.indexed_events_per_sec,
-            sc.speedup()
+            sc.speedup(),
+            sc.speculative_events_per_sec,
+            sc.parallel_speedup(),
+            sc.spec_serial
         );
         s.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
     }

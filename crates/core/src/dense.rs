@@ -48,7 +48,7 @@ use crate::txn::Txn;
 /// only hashed structure is the id → slot index with 12-byte entries,
 /// not whole `Txn`s. `Map` is the pre-overhaul SipHash map, kept for
 /// old-vs-new benchmarking.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum TxnTable {
     Dense {
         slots: Vec<Option<Txn>>,
@@ -185,7 +185,7 @@ impl std::ops::Index<u64> for TxnTable {
 /// which is what the crash-drain sort relies on). `Map` vendors the
 /// pre-overhaul pair of SipHash maps over sequential ids. `K` is the
 /// work-item payload, `Y` the pending completion-event key.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum JobSlab<K, Y> {
     Slab {
         slots: Vec<JobSlot<K, Y>>,
@@ -199,7 +199,7 @@ pub(crate) enum JobSlab<K, Y> {
     },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct JobSlot<K, Y> {
     /// Full composite id of the occupant (stale-id detection).
     id: u64,
@@ -328,7 +328,7 @@ fn slab_index<K, Y>(slots: &[JobSlot<K, Y>], id: u64) -> Option<usize> {
 /// vector (empty, with its old capacity) or a fresh one; `put` clears
 /// and shelves it for reuse. A disabled pool (`reference()`) restores
 /// the pre-overhaul behaviour: every take allocates, every put drops.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct VecPool<T> {
     spare: Vec<Vec<T>>,
     enabled: bool,
@@ -367,7 +367,7 @@ impl<T> VecPool<T> {
 }
 
 /// Per-kind message counters, bumped on every `send`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum MsgCounts {
     /// Fixed array indexed by [`Msg::kind_index`] — no hashing.
     Array([u64; Msg::KIND_COUNT]),
@@ -388,6 +388,21 @@ impl MsgCounts {
         match self {
             MsgCounts::Array(counts) => counts[msg.kind_index()] += 1,
             MsgCounts::Map(m) => *m.entry(msg.kind()).or_insert(0) += 1,
+        }
+    }
+
+    /// Adds another counter set's totals into this one — the speculative
+    /// executor merges each partition worker's counts at finalize (every
+    /// send is recorded by exactly one worker, so the sum matches the
+    /// serial run). The reference representation never runs sharded.
+    pub(crate) fn absorb(&mut self, other: &MsgCounts) {
+        match (self, other) {
+            (MsgCounts::Array(into), MsgCounts::Array(from)) => {
+                for (a, b) in into.iter_mut().zip(from.iter()) {
+                    *a += b;
+                }
+            }
+            _ => panic!("message-count merge requires the dense representation"),
         }
     }
 

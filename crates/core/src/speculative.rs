@@ -1,0 +1,790 @@
+//! Speculative parallel window executor.
+//!
+//! Executes one simulation run across worker threads while producing
+//! **bit-identical** [`RunMetrics`] to the serial event loop for every
+//! thread count. The design exploits the model's communication
+//! structure: every cross-partition interaction travels over the star
+//! network with latency `comm_delay > 0`, so events within a virtual
+//! time window of at most `comm_delay` are causally independent across
+//! partitions — except for one zero-latency edge, which a conflict
+//! oracle detects and repairs by rollback.
+//!
+//! # Partitions and workers
+//!
+//! The event population splits into `n + 1` partitions: one per local
+//! site and one for the central complex. Each partition is executed by
+//! a full [`HybridSystem`] replica (a *worker*) that only ever touches
+//! its own partition's slices — site `i`'s CPU, lock table, RNG stream
+//! and async buffer live exclusively in worker `i`; the central CPU,
+//! lock table and store live in worker `n`. Foreign slices stay
+//! untouched empty shells, which keeps every replica's partition state
+//! bit-identical to the corresponding slice of the serial system.
+//!
+//! Each window, every worker optimistically executes its partition's
+//! events with firing times in `[w0, w1)` where `w1 - w0 <=
+//! comm_delay`. Cross-partition messages are *staged*, not delivered:
+//! a send computes its arrival time on the sender's own link replica
+//! (each worker owns the FIFO floor of the directions it sends on) and
+//! is handed to the target partition at the window barrier. Because
+//! `deliver_at >= now + comm_delay >= w1`, a message can never land in
+//! the window that produced it.
+//!
+//! # The one zero-latency edge, and its oracle
+//!
+//! Section 2's authentication phase forcibly seizes locks at a master
+//! site from local holders and *synchronously* marks displaced
+//! central-resident transactions for abort — a site-partition write
+//! into a central-partition record with no message latency. Workers
+//! log both halves: site workers stage each displacement `(t_d, txn)`,
+//! the central worker logs every commit-path read of an abort mark
+//! `(t_r, txn, value)`. At the barrier a window is in conflict iff
+//! some displacement `(t_d, X)` precedes a central read of `X` that
+//! observed `false` (`t_d < t_r`): the optimistic execution let a
+//! doomed transaction commit. The central worker is then restored from
+//! its pre-window snapshot and re-executed with the displacement marks
+//! injected at their proper virtual times. One re-execution always
+//! suffices — the injected marks reproduce the serial flag state
+//! exactly, and site partitions never read central state at zero
+//! latency. Conflict-free displacements are applied at the barrier
+//! (setting the flag is idempotent, and a record that already migrated
+//! home with its commit reply is as inert here as it is serially).
+//!
+//! Fault-free — the only runs the executor accepts — the oracle is
+//! provably quiet: an authentication seizure can only displace a
+//! central-resident victim if the two transactions' locksets share a
+//! lock id, but a shared id means the *central* lock table serialized
+//! them — the later one cannot finish executing (let alone send its
+//! authentication requests) until the earlier one resolves and
+//! releases its central locks. Both the earlier transaction's commit
+//! fan-out and the later one's authentication request then cross the
+//! same `comm_delay` link to the master site, whose single FIFO CPU
+//! applies the commit (releasing the seizure) strictly before
+//! processing the later authentication. Displacement victims are
+//! therefore always *site-local* transactions — partition-local
+//! events — and `SpecReport::conflicts` stays zero on every honest
+//! run. The rollback path is a safety net against future protocol
+//! changes that break this serialization argument (non-FIFO site
+//! CPUs, per-link delays, crash-orphaned seizures); tests drive it
+//! with a fabricated displacement instead.
+//!
+//! # Bit-identical merge
+//!
+//! Workers journal metric callbacks instead of applying them, and the
+//! indexed queue logs every schedule call. The barrier replays all
+//! window pops in exact serial order: each event carries the global
+//! *serial stamp* of the schedule call that created it (the stamp a
+//! single global queue would have assigned), pops merge k-ways by
+//! `(time, stamp)`, and the replay of each pop assigns fresh stamps to
+//! the schedule calls and staged sends it produced — interleaved in
+//! code order via [`StagedSend::sched_mark`] — exactly as the serial
+//! loop's monotone sequence numbers would. Surviving scheduled events
+//! get their stamp as a queue priority (so later windows pop them in
+//! serial order); journaled metric ops are applied to the driver's
+//! collector in merged order, making the collector's internal state —
+//! batch means, histograms, everything — bit-identical to serial.
+//!
+//! Exact virtual-time ties between partitions (two sites generating an
+//! arrival at the same `f64` instant, or a displacement tying a
+//! central event) would make the serial order unobservable from the
+//! logs; they are measure-zero under continuous sampling, detected
+//! exactly, and answered by re-running the whole simulation serially.
+//!
+//! Arrivals are generated by a driver-side *shadow* that replicates
+//! the serial generator draws (per-site RNG streams are partition-
+//! local, so each worker draws its own arrival times and service
+//! demands identically to serial) to pre-assign globally sequential
+//! transaction ids and, for routing policies that consume random
+//! draws, hand each site the route-RNG state the serial run would see
+//! at that decision.
+//!
+//! Runs that use features the barrier cannot replay (fault schedules,
+//! tracing, profiling, sampling, lock validation, instantaneous
+//! snapshots, or a zero communication delay) take the serial path —
+//! see `HybridSystem::speculative_eligible`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+use std::thread;
+
+use hls_sim::{RngStreams, SimRng, SimTime};
+use hls_workload::{ArrivalProcess, TxnClass, TxnGenerator};
+
+use crate::config::SystemConfig;
+use crate::dense::MsgCounts;
+use crate::error::ConfigError;
+use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::router::RouterSpec;
+use crate::system::{ArrivalFeed, HybridSystem, PopRec, StagedSend, WindowLog};
+
+/// How a speculative run executed — returned by
+/// [`HybridSystem::run_threads_report`] so tests can assert that the
+/// parallel path (and its conflict handling) actually ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecReport {
+    /// Time windows executed by the parallel path.
+    pub windows: u64,
+    /// Windows whose central partition was rolled back and re-executed
+    /// after a cross-partition conflict.
+    pub conflicts: u64,
+    /// Cross-partition displacements staged by site workers (central-
+    /// resident victims of authentication lock seizures) — each one a
+    /// potential conflict.
+    pub displacements: u64,
+    /// Whether the run was executed by the serial loop instead:
+    /// `threads <= 1`, an ineligible configuration, or a measure-zero
+    /// virtual-time tie between partitions.
+    pub serial: bool,
+    /// Events processed, counted exactly as `HybridSystem::run_counted`
+    /// counts them (per-worker warmup markers deduplicated).
+    pub events: u64,
+}
+
+/// Why a speculative attempt could not complete.
+#[derive(Debug)]
+enum SpecAbort {
+    /// An exact virtual-time tie between partitions made the serial
+    /// order unobservable; the run must be redone serially.
+    Tie,
+    /// A cross-partition conflict demanded a central rollback, but this
+    /// attempt ran snapshot-free (the fault-free fast path, where
+    /// displacements are provably absent — see the module docs). The
+    /// run must be redone with per-window snapshots enabled.
+    Rollback,
+}
+
+impl HybridSystem {
+    /// Runs the simulation to completion on `threads` worker threads
+    /// and returns the run's metrics.
+    ///
+    /// The result is **bit-identical** to [`HybridSystem::run`] for
+    /// every `threads` value; `threads <= 1` and configurations the
+    /// speculative executor does not support simply take the serial
+    /// path.
+    #[must_use]
+    pub fn run_threads(self, threads: usize) -> RunMetrics {
+        self.run_threads_report(threads, None).0
+    }
+
+    /// Like [`HybridSystem::run_threads`], additionally returning the
+    /// number of simulation events processed (see
+    /// [`HybridSystem::run_counted`]).
+    #[must_use]
+    pub fn run_counted_threads(self, threads: usize) -> (RunMetrics, u64) {
+        let (m, report) = self.run_threads_report(threads, None);
+        (m, report.events)
+    }
+
+    /// Runs on `threads` worker threads with an optional virtual-time
+    /// window override and reports how the run executed.
+    ///
+    /// `window` is clamped to the eligibility bound `comm_delay`; pass
+    /// `None` for the default (the full `comm_delay`, the fewest
+    /// barriers). Exposed for the equivalence-test battery, which
+    /// randomizes window sizes and asserts conflict windows occur.
+    #[must_use]
+    pub fn run_threads_report(
+        self,
+        threads: usize,
+        window: Option<f64>,
+    ) -> (RunMetrics, SpecReport) {
+        run_speculative(self, threads, window)
+    }
+}
+
+/// Convenience wrapper: build and run on `threads` worker threads.
+/// Bit-identical to [`run_simulation`](crate::run_simulation) for
+/// every thread count.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] naming the violated constraint for an
+/// inconsistent configuration.
+pub fn run_simulation_threads(
+    cfg: SystemConfig,
+    router: RouterSpec,
+    threads: usize,
+) -> Result<RunMetrics, ConfigError> {
+    Ok(HybridSystem::new(cfg, router)?.run_threads(threads))
+}
+
+fn run_speculative(
+    mut sys: HybridSystem,
+    threads: usize,
+    window: Option<f64>,
+) -> (RunMetrics, SpecReport) {
+    if threads <= 1 || !sys.speculative_eligible() {
+        let metrics = sys.run_internal();
+        let report = SpecReport {
+            serial: true,
+            events: sys.events_processed,
+            ..SpecReport::default()
+        };
+        return (metrics, report);
+    }
+    let cfg = sys.cfg.clone();
+    let spec = sys.router_spec;
+    // First attempt runs snapshot-free: fault-free runs provably never
+    // roll back (module docs), so the per-window central clone is pure
+    // insurance and skipping it is the common-case win. If a rollback
+    // is ever demanded, redo the run with snapshots enabled — both
+    // attempts are deterministic, so the retry reproduces the conflict
+    // and repairs it.
+    let attempt = match try_speculative(&cfg, spec, threads, window, false, false) {
+        Err(SpecAbort::Rollback) => try_speculative(&cfg, spec, threads, window, false, true),
+        done => done,
+    };
+    match attempt {
+        Ok(done) => done,
+        Err(_) => {
+            // A measure-zero cross-partition tie: redo the whole run on
+            // the untouched serial system.
+            let metrics = sys.run_internal();
+            let report = SpecReport {
+                serial: true,
+                events: sys.events_processed,
+                ..SpecReport::default()
+            };
+            (metrics, report)
+        }
+    }
+}
+
+fn try_speculative(
+    cfg: &SystemConfig,
+    spec: RouterSpec,
+    threads: usize,
+    window: Option<f64>,
+    inject: bool,
+    snapshots: bool,
+) -> Result<(RunMetrics, SpecReport), SpecAbort> {
+    // Injection fabricates a conflict, so the rollback target must
+    // exist from the start.
+    let snapshots = snapshots || inject;
+    let n = cfg.params.n_sites;
+    let comm = cfg.params.comm_delay;
+    let w = window.unwrap_or(comm).min(comm);
+    assert!(w > 0.0, "speculative window must be positive, got {w}");
+
+    // One full-system replica per partition; index `n` is the central
+    // complex. Every worker runs every window regardless of how the
+    // replicas are spread over threads, so thread-count independence
+    // is structural.
+    let workers: Vec<HybridSystem> = (0..=n)
+        .map(|i| {
+            let mut worker = HybridSystem::new(cfg.clone(), spec)
+                .expect("configuration already validated by the caller's build");
+            worker.shard_init(i == n);
+            worker.shard_schedule_initial((i < n).then_some(i));
+            worker
+        })
+        .collect();
+    let mut shadow = ArrivalShadow::new(cfg);
+    let route_draws = policy_draws(&spec);
+
+    let warmup = SimTime::from_secs(cfg.warmup);
+    let end = SimTime::from_secs(cfg.sim_time);
+    let mut collector = MetricsCollector::new(warmup);
+    if cfg.obs.histograms {
+        collector.enable_histograms(n);
+    }
+
+    // Global serial stamps: the serial loop's initial schedules consume
+    // sequence numbers 0..n (site first-arrivals, then `EndWarmup`).
+    let mut stamp: u64 = n as u64 + 1;
+    let mut report = SpecReport::default();
+    let mut warmup_counted = false;
+    let threads = threads.min(workers.len()).max(2);
+
+    // Workers are owned in contiguous chunks so each window can hand a
+    // whole chunk to its persistent lane by move (a pointer-sized
+    // transfer) instead of respawning OS threads per window. The
+    // central partition carries by far the largest event share (every
+    // shipped transaction plus the coherency/authentication traffic of
+    // every local commit), so it gets a lane to itself — it is the
+    // parallel critical path — and the sites split the remaining
+    // `threads - 1` executors (the driver thread runs chunk 0).
+    let site_chunk_len = n.div_ceil(threads - 1).max(1);
+    let mut chunks: Vec<Vec<HybridSystem>> = Vec::new();
+    {
+        let mut workers = workers;
+        let central_worker = workers.pop().expect("central replica exists");
+        let mut it = workers.into_iter();
+        for _ in 0..n.div_ceil(site_chunk_len) {
+            chunks.push(it.by_ref().take(site_chunk_len).collect());
+        }
+        chunks.push(vec![central_worker]);
+    }
+    let n_chunks = chunks.len();
+    // Flat worker index -> (chunk, offset).
+    let locate: Vec<(usize, usize)> = (0..=n)
+        .map(|i| {
+            if i == n {
+                (n_chunks - 1, 0)
+            } else {
+                (i / site_chunk_len, i % site_chunk_len)
+            }
+        })
+        .collect();
+    let (c_ci, c_co) = locate[n];
+
+    let n_windows = (cfg.sim_time / w).ceil().max(1.0) as u64;
+    thread::scope(|scope| {
+        // One persistent lane per chunk beyond the first; the driver
+        // thread executes chunk 0 itself while the lanes run. A lane
+        // receives (chunk, window end), runs the window, and sends the
+        // chunk back; dropping the senders (any early return) shuts
+        // every lane down.
+        type Lane = (
+            mpsc::Sender<(Vec<HybridSystem>, SimTime)>,
+            mpsc::Receiver<Vec<HybridSystem>>,
+        );
+        let mut lanes: Vec<Lane> = Vec::new();
+        for _ in 1..n_chunks {
+            let (tx_work, rx_work) = mpsc::channel::<(Vec<HybridSystem>, SimTime)>();
+            let (tx_done, rx_done) = mpsc::channel();
+            scope.spawn(move || {
+                while let Ok((mut chunk, until)) = rx_work.recv() {
+                    for worker in &mut chunk {
+                        worker.shard_run_window(until);
+                    }
+                    if tx_done.send(chunk).is_err() {
+                        break;
+                    }
+                }
+            });
+            lanes.push((tx_work, rx_done));
+        }
+
+        for widx in 0..n_windows {
+            let until = SimTime::from_secs(((widx + 1) as f64 * w).min(cfg.sim_time));
+
+            for (site, feed) in shadow.feeds_before(until, route_draws)? {
+                let (ci, co) = locate[site];
+                chunks[ci][co].shard_push_feed(feed);
+            }
+
+            // Pre-window snapshot of the central partition: the
+            // rollback target if this window turns out to conflict.
+            // Snapshot-free attempts (the fault-free fast path) demand
+            // a retry via `SpecAbort::Rollback` instead.
+            let central_snap = snapshots.then(|| chunks[c_ci][c_co].clone());
+
+            for (li, (tx, _)) in lanes.iter().enumerate() {
+                let chunk = std::mem::take(&mut chunks[li + 1]);
+                tx.send((chunk, until)).expect("lane thread alive");
+            }
+            for worker in &mut chunks[0] {
+                worker.shard_run_window(until);
+            }
+            for (li, (_, rx)) in lanes.iter().enumerate() {
+                chunks[li + 1] = rx.recv().expect("lane thread alive");
+            }
+            report.windows += 1;
+
+            let mut logs: Vec<WindowLog> = chunks
+                .iter_mut()
+                .flat_map(|chunk| chunk.iter_mut())
+                .map(HybridSystem::shard_take_window)
+                .collect();
+
+            // Conflict oracle: a same-window displacement the central
+            // partition's commit path should have observed.
+            let mut aborts: Vec<(SimTime, u64)> = logs[..n]
+                .iter()
+                .flat_map(|l| l.aborts.iter().copied())
+                .collect();
+            // Real cross-partition displacements cannot occur fault-free
+            // (see the module docs), so the tests fabricate one just
+            // before the window's first optimistic commit-path read to
+            // drive the rollback machinery.
+            if inject && report.conflicts == 0 && aborts.is_empty() {
+                if let Some(&(t_r, id, _)) = logs[n].reads.iter().find(|r| !r.2) {
+                    let t_d = SimTime::from_secs(t_r.as_secs() - 1e-9);
+                    if t_d < t_r && logs[n].pops.iter().all(|p| p.at != t_d) {
+                        aborts.push((t_d, id));
+                    }
+                }
+            }
+            if !aborts.is_empty() {
+                report.displacements += aborts.len() as u64;
+                aborts.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+                let mut conflict = false;
+                for &(t_d, victim) in &aborts {
+                    for &(t_r, id, marked) in &logs[n].reads {
+                        if id == victim && !marked {
+                            if t_d == t_r {
+                                return Err(SpecAbort::Tie);
+                            }
+                            if t_d < t_r {
+                                conflict = true;
+                            }
+                        }
+                    }
+                }
+                if conflict {
+                    // The injected marks must order unambiguously
+                    // against the central window's events.
+                    if aborts
+                        .iter()
+                        .any(|&(t_d, _)| logs[n].pops.iter().any(|p| p.at == t_d))
+                    {
+                        return Err(SpecAbort::Tie);
+                    }
+                    let Some(snap) = central_snap else {
+                        return Err(SpecAbort::Rollback);
+                    };
+                    report.conflicts += 1;
+                    chunks[c_ci][c_co] = snap;
+                    chunks[c_ci][c_co].shard_inject(&aborts);
+                    chunks[c_ci][c_co].shard_run_window(until);
+                    logs[n] = chunks[c_ci][c_co].shard_take_window();
+                } else {
+                    for &(_, victim) in &aborts {
+                        chunks[c_ci][c_co].shard_apply_abort(victim);
+                    }
+                }
+            }
+
+            merge_window(
+                &mut chunks,
+                &locate,
+                logs,
+                &mut collector,
+                &mut stamp,
+                &mut report.events,
+                &mut warmup_counted,
+            )?;
+        }
+
+        // Finalize exactly as the serial loop does, from the partition
+        // owners' slices (identical sum order: sites 0..n, then
+        // central).
+        let rho_local = (0..n)
+            .map(|i| {
+                let (ci, co) = locate[i];
+                chunks[ci][co].shard_site_utilization(i)
+            })
+            .sum::<f64>()
+            / n as f64;
+        let rho_central = chunks[c_ci][c_co].shard_central_utilization();
+        let workers = || chunks.iter().flat_map(|chunk| chunk.iter());
+        let messages: u64 = workers()
+            .map(|worker| worker.shard_net_counters().messages)
+            .sum();
+        let mut counts = MsgCounts::new();
+        for worker in workers() {
+            counts.absorb(worker.shard_msg_counts());
+        }
+        let downtime = cfg.fault_schedule.downtime_within(cfg.warmup, cfg.sim_time);
+        let mut metrics = collector.finalize(end, rho_local, rho_central, messages, downtime, None);
+        metrics.messages_by_kind = counts.sorted();
+        Ok((metrics, report))
+    })
+}
+
+/// Replays one window's per-worker logs in exact serial order: merges
+/// pops k-ways by `(time, serial stamp)`, assigns fresh stamps to the
+/// schedules and sends each pop produced (interleaved in code order
+/// via `sched_mark`), applies journaled metric ops to the driver's
+/// collector, then delivers the staged cross-partition messages.
+///
+/// Workers arrive in the executor's chunked layout; worker `i` lives at
+/// `chunks[locate[i].0][locate[i].1]`.
+fn merge_window(
+    chunks: &mut [Vec<HybridSystem>],
+    locate: &[(usize, usize)],
+    mut logs: Vec<WindowLog>,
+    collector: &mut MetricsCollector,
+    stamp: &mut u64,
+    events: &mut u64,
+    warmup_counted: &mut bool,
+) -> Result<(), SpecAbort> {
+    let k = logs.len();
+    let mut sends: Vec<Vec<Option<StagedSend>>> = logs
+        .iter_mut()
+        .map(|l| std::mem::take(&mut l.sends).into_iter().map(Some).collect())
+        .collect();
+    let mut pop_i = vec![0usize; k];
+    let mut sched_i = vec![0usize; k];
+    let mut send_i = vec![0usize; k];
+    let mut ops_i = vec![0usize; k];
+    // Window-local (queue sequence -> serial stamp) for events both
+    // scheduled and popped inside this window; events surviving the
+    // window carry their stamp as a queue priority instead. Queue
+    // sequences are contiguous within a window (tracking records every
+    // schedule call; barrier deliveries only consume sequences between
+    // windows), so a dense vector indexed by `seq - base` replaces a
+    // hash map.
+    let bases: Vec<u64> = logs
+        .iter()
+        .map(|l| l.scheds.first().map_or(0, |(_, key)| key.seq()))
+        .collect();
+    let mut stamps: Vec<Vec<u64>> = logs
+        .iter()
+        .map(|l| vec![u64::MAX; l.scheds.len()])
+        .collect();
+    // (worker, send index, serial stamp) — delivered after the replay,
+    // which is safe because every delivery lands at or after the next
+    // window's start.
+    let mut deliveries: Vec<(usize, usize, u64)> = Vec::new();
+
+    // K-way merge driven by a min-heap over each worker's next pop,
+    // keyed by `(time, serial stamp)`: O(log k) per event instead of
+    // scanning every worker's head. A window-local pop's stamp is
+    // resolvable at push time because its creating schedule belongs to
+    // an earlier pop of the same worker, already replayed by then.
+    let resolve = |stamps: &[u64], base: u64, p: &PopRec| -> u64 {
+        if p.pri != u64::MAX {
+            p.pri
+        } else {
+            let s = stamps[(p.seq - base) as usize];
+            debug_assert_ne!(s, u64::MAX, "pop merged before its creating schedule");
+            s
+        }
+    };
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::with_capacity(k);
+    for (wi, log) in logs.iter().enumerate() {
+        if let Some(p) = log.pops.first() {
+            heap.push(Reverse((p.at, resolve(&stamps[wi], bases[wi], p), wi)));
+        }
+    }
+    while let Some(Reverse((at, s, wi))) = heap.pop() {
+        if let Some(&Reverse((at2, s2, wi2))) = heap.peek() {
+            if at2 == at && s2 == s {
+                // Only the warmup marker is deliberately duplicated
+                // across workers; any other exact collision is a
+                // cross-partition tie.
+                if !(logs[wi].pops[pop_i[wi]].dup && logs[wi2].pops[pop_i[wi2]].dup) {
+                    return Err(SpecAbort::Tie);
+                }
+            }
+        }
+        let p = logs[wi].pops[pop_i[wi]];
+        pop_i[wi] += 1;
+
+        if p.dup {
+            debug_assert_eq!(p.sched_end as usize, sched_i[wi]);
+            debug_assert_eq!(p.send_end as usize, send_i[wi]);
+            debug_assert_eq!(p.ops_end as usize, ops_i[wi]);
+            if !*warmup_counted {
+                *warmup_counted = true;
+                *events += 1;
+            }
+        } else {
+            *events += 1;
+
+            let (w_ci, w_co) = locate[wi];
+            while send_i[wi] < p.send_end as usize {
+                let mark = sends[wi][send_i[wi]]
+                    .as_ref()
+                    .expect("send replayed before delivery")
+                    .sched_mark as usize;
+                while sched_i[wi] < mark {
+                    let (_, key) = &logs[wi].scheds[sched_i[wi]];
+                    stamps[wi][(key.seq() - bases[wi]) as usize] = *stamp;
+                    chunks[w_ci][w_co].shard_set_priority(key, *stamp);
+                    *stamp += 1;
+                    sched_i[wi] += 1;
+                }
+                deliveries.push((wi, send_i[wi], *stamp));
+                *stamp += 1;
+                send_i[wi] += 1;
+            }
+            while sched_i[wi] < p.sched_end as usize {
+                let (_, key) = &logs[wi].scheds[sched_i[wi]];
+                stamps[wi][(key.seq() - bases[wi]) as usize] = *stamp;
+                chunks[w_ci][w_co].shard_set_priority(key, *stamp);
+                *stamp += 1;
+                sched_i[wi] += 1;
+            }
+            while ops_i[wi] < p.ops_end as usize {
+                collector.apply(&logs[wi].ops[ops_i[wi]]);
+                ops_i[wi] += 1;
+            }
+        }
+
+        if let Some(np) = logs[wi].pops.get(pop_i[wi]) {
+            heap.push(Reverse((np.at, resolve(&stamps[wi], bases[wi], np), wi)));
+        }
+    }
+
+    for (wi, log) in logs.iter().enumerate() {
+        debug_assert_eq!(pop_i[wi], log.pops.len());
+        debug_assert_eq!(sched_i[wi], log.scheds.len());
+        debug_assert_eq!(send_i[wi], sends[wi].len());
+        debug_assert_eq!(ops_i[wi], log.ops.len());
+    }
+
+    for (wi, si, s) in deliveries {
+        let send = sends[wi][si].take().expect("each send delivered once");
+        let target = if send.to.is_central() {
+            k - 1
+        } else {
+            send.to.local_index()
+        };
+        let (t_ci, t_co) = locate[target];
+        chunks[t_ci][t_co].shard_deliver(send, s);
+    }
+    for worker in chunks.iter_mut().flat_map(|chunk| chunk.iter_mut()) {
+        worker.shard_discard_tracking();
+    }
+    Ok(())
+}
+
+/// Whether a routing policy consumes one route-RNG draw per class A
+/// decision (see `StaticShip::decide` and `SmoothedMinAverage::decide`
+/// — both draw exactly once, unconditionally).
+fn policy_draws(spec: &RouterSpec) -> bool {
+    matches!(
+        spec,
+        RouterSpec::Static { .. } | RouterSpec::SmoothedMinAverage { .. }
+    )
+}
+
+/// Driver-side replica of the serial run's arrival generation.
+///
+/// Per-site RNG streams are partition-local, so each site worker draws
+/// its own arrival times and transaction specs bit-identically to
+/// serial. What no single partition can reproduce is the *global*
+/// arrival interleaving: transaction ids are handed out in global
+/// arrival order, and draw-consuming routing policies advance one
+/// shared RNG across all sites' decisions. The shadow duplicates every
+/// site's draws to recover that interleaving and feeds each worker the
+/// id (and, when needed, the pre-decision route-RNG state) for each of
+/// its arrivals.
+struct ArrivalShadow {
+    rngs: Vec<SimRng>,
+    arrivals: Vec<ArrivalProcess>,
+    generator: TxnGenerator,
+    route_rng: SimRng,
+    /// Next pending arrival time per site (the head of each site's
+    /// arrival process).
+    next: Vec<SimTime>,
+    next_txn: u64,
+    end: SimTime,
+}
+
+impl ArrivalShadow {
+    fn new(cfg: &SystemConfig) -> Self {
+        let n = cfg.params.n_sites;
+        let streams = RngStreams::new(cfg.seed);
+        let generator = TxnGenerator::new(cfg.workload_spec())
+            .expect("workload already validated by the caller's build");
+        let arrivals: Vec<ArrivalProcess> = match &cfg.site_profiles {
+            Some(profiles) => profiles.iter().cloned().map(ArrivalProcess::new).collect(),
+            None => (0..n)
+                .map(|_| ArrivalProcess::new(cfg.arrival_profile.clone()))
+                .collect(),
+        };
+        let mut shadow = ArrivalShadow {
+            rngs: (0..n).map(|i| streams.stream(i as u64)).collect(),
+            arrivals,
+            generator,
+            route_rng: streams.stream(1_000_003),
+            next: vec![SimTime::ZERO; n],
+            next_txn: 1,
+            end: SimTime::from_secs(cfg.sim_time),
+        };
+        for i in 0..n {
+            let rng = &mut shadow.rngs[i];
+            shadow.next[i] = shadow.arrivals[i].next_after(rng, SimTime::ZERO);
+        }
+        shadow
+    }
+
+    /// Enumerates, in global arrival order, every arrival with firing
+    /// time strictly before `until`, assigning ids and (for
+    /// draw-consuming policies) capturing the pre-decision route-RNG
+    /// state for class A transactions.
+    fn feeds_before(
+        &mut self,
+        until: SimTime,
+        route_draws: bool,
+    ) -> Result<Vec<(usize, ArrivalFeed)>, SpecAbort> {
+        let hi = if until < self.end { until } else { self.end };
+        let mut out = Vec::new();
+        loop {
+            let mut best: Option<usize> = None;
+            for (site, &at) in self.next.iter().enumerate() {
+                if at >= hi {
+                    continue;
+                }
+                match best {
+                    None => best = Some(site),
+                    Some(b) => {
+                        if at < self.next[b] {
+                            best = Some(site);
+                        } else if at == self.next[b] {
+                            // Two sites generated an arrival at the
+                            // same instant: the global admission order
+                            // (ids, route draws) is unobservable.
+                            return Err(SpecAbort::Tie);
+                        }
+                    }
+                }
+            }
+            let Some(site) = best else { break };
+            let at = self.next[site];
+            self.next[site] = {
+                let rng = &mut self.rngs[site];
+                self.arrivals[site].next_after(rng, at)
+            };
+            let spec = self.generator.generate(&mut self.rngs[site], site);
+            let id = self.next_txn;
+            self.next_txn += 1;
+            let route_rng = (route_draws && spec.class == TxnClass::A).then(|| {
+                let saved = self.route_rng.clone();
+                let _: f64 = self.route_rng.random();
+                saved
+            });
+            out.push((site, ArrivalFeed { id, route_rng }));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Heavy authentication traffic: two sites, a tight per-site lock
+    /// slice, and 90 % of class A work shipped centrally.
+    fn contended_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::paper_default()
+            .with_total_rate(12.0)
+            .with_horizon(40.0, 5.0)
+            .with_seed(7)
+            .with_comm_delay(0.5);
+        cfg.params.n_sites = 2;
+        cfg.params.lockspace = 100.0;
+        cfg
+    }
+
+    /// Drives the conflict rollback/re-execution machinery with a
+    /// fabricated displacement (real ones are impossible fault-free —
+    /// see the module docs): the central partition must restore its
+    /// pre-window snapshot, re-run with the abort mark injected, and
+    /// the merged run must still complete cleanly.
+    #[test]
+    fn injected_conflict_is_repaired() {
+        let spec = RouterSpec::Static { p_ship: 0.9 };
+        let (clean, clean_rep) = try_speculative(&contended_cfg(), spec, 2, None, false, false)
+            .expect("tie-free seeded run");
+        let (hurt, hurt_rep) = try_speculative(&contended_cfg(), spec, 2, None, true, false)
+            .expect("tie-free seeded run");
+        assert_eq!(hurt_rep.conflicts, 1, "{hurt_rep:?}");
+        assert_eq!(hurt_rep.windows, clean_rep.windows);
+        assert!(hurt.completions > 0);
+        // The re-executed window aborted and re-ran the victim: the
+        // run is sane but no longer the clean history.
+        assert_ne!(hurt_rep.events, clean_rep.events);
+        assert_eq!(clean.completions, contended_cfg_serial().completions);
+    }
+
+    fn contended_cfg_serial() -> RunMetrics {
+        HybridSystem::new(contended_cfg(), RouterSpec::Static { p_ship: 0.9 })
+            .expect("valid config")
+            .run()
+    }
+}

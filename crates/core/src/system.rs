@@ -36,15 +36,17 @@ use hls_workload::{ArrivalProcess, TxnClass, TxnGenerator, TxnSpec};
 use crate::config::{ClassBMode, SystemConfig};
 use crate::dense::{JobSlab, MsgCounts, TxnTable, VecPool};
 use crate::error::ConfigError;
-use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::metrics::{MetricsCollector, MetricsOp, MetricsSink, RunMetrics};
 use crate::msg::{CentralSnapshot, Msg};
 use crate::router::{FailureAwareRouter, FaultAwareDecision, RouteCtx, RouterSpec};
 use crate::trace::{Trace, TraceEvent};
 use crate::txn::{Phase, Route, Txn};
 
-/// Where a CPU or lock-table operation takes place.
+/// Where a CPU or lock-table operation takes place. Doubles as the
+/// partition id of the speculative window executor: each site and the
+/// central complex execute on their own worker replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Locale {
+pub(crate) enum Locale {
     Site(usize),
     Central,
 }
@@ -122,14 +124,14 @@ type DeferredSend = (NodeId, NodeId, Msg, Option<CentralSnapshot>);
 /// wants the old behaviour ([`HybridSystem::use_reference_queue`]). Both
 /// paths pay the same (perfectly predicted) match, so `sim_bench`'s
 /// old-vs-new comparison isolates the queue implementations themselves.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Queue<E> {
     Indexed(EventQueue<E>),
     Reference(ReferenceQueue<E>),
 }
 
 /// A cancellation key from whichever queue implementation is active.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum CpuKey {
     Indexed(EventKey),
     Reference(ReferenceEventKey),
@@ -184,6 +186,19 @@ impl<E> Queue<E> {
             Queue::Reference(q) => q.is_empty(),
         }
     }
+
+    /// The indexed queue, which the speculative executor requires (the
+    /// reference queue has no priorities or schedule tracking; eligibility
+    /// gating sends reference-queue runs down the serial path).
+    #[inline]
+    fn indexed(&mut self) -> &mut EventQueue<E> {
+        match self {
+            Queue::Indexed(q) => q,
+            Queue::Reference(_) => {
+                unreachable!("speculative executor requires the indexed event queue")
+            }
+        }
+    }
 }
 
 /// Where recorded protocol events go: the legacy in-memory [`Trace`]
@@ -193,6 +208,20 @@ impl<E> Queue<E> {
 enum TraceTarget {
     Memory(Trace),
     Sink(Box<dyn TraceSink<TraceEvent> + Send>),
+}
+
+impl Clone for TraceTarget {
+    fn clone(&self) -> Self {
+        match self {
+            TraceTarget::Memory(t) => TraceTarget::Memory(t.clone()),
+            // Snapshots are taken only by the speculative executor, whose
+            // eligibility gate already routes traced runs down the serial
+            // path; a sink here means that gate was bypassed.
+            TraceTarget::Sink(_) => {
+                panic!("a streaming trace sink cannot be cloned into a system snapshot")
+            }
+        }
+    }
 }
 
 /// Profiler key for a simulation-event kind.
@@ -232,7 +261,7 @@ fn event_key(ev: &TraceEvent) -> &'static str {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SiteState {
     cpu: MultiServer,
     locks: LockTable,
@@ -245,7 +274,7 @@ struct SiteState {
     store: FxHashMap<LockId, u64>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CentralState {
     cpu: MultiServer,
     locks: LockTable,
@@ -294,6 +323,99 @@ impl ConvergenceReport {
     }
 }
 
+/// A cross-partition message staged by a speculative worker during a
+/// window, delivered into the target partition's worker at the barrier.
+///
+/// The delivery time was already computed by the sender's own network
+/// replica (each worker owns its partition's link-FIFO floors: site `i`
+/// owns the up direction of link `i`, the central worker owns every down
+/// direction), so the barrier only has to route the envelope.
+#[derive(Debug, Clone)]
+pub(crate) struct StagedSend {
+    pub(crate) to: NodeId,
+    pub(crate) deliver_at: SimTime,
+    pub(crate) msg: Msg,
+    pub(crate) snap: Option<CentralSnapshot>,
+    /// The transaction record migrating with the message: `ShipTxn` and
+    /// `RemoteCallReq` carry it origin → central, `RemoteCallResp` and
+    /// `Reply` carry it back.
+    pub(crate) txn: Option<Txn>,
+    /// The worker's schedule-tracking length at the moment this send was
+    /// staged. The serial run interleaves `MsgArrive` schedules with the
+    /// event's other schedule calls in code order; the barrier replay
+    /// uses this mark to reproduce that interleaving when assigning
+    /// global serial stamps.
+    pub(crate) sched_mark: u32,
+}
+
+/// One processed event in a speculative worker's window, with the range
+/// ends (exclusive) of the schedule / send / metric-op log entries its
+/// handling produced.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PopRec {
+    pub(crate) at: SimTime,
+    /// Tie-break priority the event popped with: its global serial stamp
+    /// if a barrier assigned one, `u64::MAX` for events scheduled within
+    /// the current window (resolved via the creating schedule's stamp).
+    pub(crate) pri: u64,
+    /// The worker-local queue sequence number (correlates the pop with
+    /// the schedule call that created it).
+    pub(crate) seq: u64,
+    /// `EndWarmup` fires once in every worker; the merge counts it once.
+    pub(crate) dup: bool,
+    pub(crate) sched_end: u32,
+    pub(crate) send_end: u32,
+    pub(crate) ops_end: u32,
+}
+
+/// A pre-assigned arrival admission, fed to a site worker by the
+/// driver's arrival shadow: the globally sequential transaction id, and
+/// the route-RNG state to restore before the routing decision for
+/// policies that consume random draws (the serial run interleaves those
+/// draws across all sites in arrival order).
+#[derive(Debug, Clone)]
+pub(crate) struct ArrivalFeed {
+    pub(crate) id: u64,
+    pub(crate) route_rng: Option<SimRng>,
+}
+
+/// Per-worker state of the speculative window executor. Present only on
+/// worker replicas (`HybridSystem::shard_init`); `None` in every serial
+/// run, so the serial hot path pays one predicted branch per hook.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShardCtx {
+    /// Whether this worker owns the central-complex partition.
+    pub(crate) central: bool,
+    /// Pending pre-assigned arrivals for this site worker.
+    pub(crate) feed: VecDeque<ArrivalFeed>,
+    /// Cross-partition messages staged this window.
+    pub(crate) staged_sends: Vec<StagedSend>,
+    /// Site worker: abort marks for central-resident transactions whose
+    /// site locks an authentication seizure displaced this window.
+    pub(crate) staged_aborts: Vec<(SimTime, u64)>,
+    /// Central worker: commit-path reads of transaction abort marks this
+    /// window (`(time, txn, value)`) — the conflict oracle against
+    /// `staged_aborts`.
+    pub(crate) abort_reads: Vec<(SimTime, u64, bool)>,
+    /// The window's pop log.
+    pub(crate) pops: Vec<PopRec>,
+    /// Conflict re-execution only: site-staged abort marks, time-ordered,
+    /// applied to the transaction table as the clock passes each one.
+    pub(crate) inject: VecDeque<(SimTime, u64)>,
+}
+
+/// Everything a speculative worker logged for one window, drained at the
+/// barrier by [`HybridSystem::shard_take_window`].
+#[derive(Debug)]
+pub(crate) struct WindowLog {
+    pub(crate) pops: Vec<PopRec>,
+    pub(crate) scheds: Vec<(SimTime, EventKey)>,
+    pub(crate) sends: Vec<StagedSend>,
+    pub(crate) aborts: Vec<(SimTime, u64)>,
+    pub(crate) reads: Vec<(SimTime, u64, bool)>,
+    pub(crate) ops: Vec<MetricsOp>,
+}
+
 /// The simulator. Construct with [`HybridSystem::new`], execute with
 /// [`HybridSystem::run`].
 ///
@@ -310,9 +432,9 @@ impl ConvergenceReport {
 ///     .run();
 /// assert!(metrics.completions > 0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HybridSystem {
-    cfg: SystemConfig,
+    pub(crate) cfg: SystemConfig,
     queue: Queue<Ev>,
     net: StarNetwork,
     sites: Vec<SiteState>,
@@ -332,7 +454,7 @@ pub struct HybridSystem {
     next_write: u64,
     /// Per-kind message counters, indexed by [`Msg::kind_index`].
     msg_counts: MsgCounts,
-    metrics: MetricsCollector,
+    metrics: MetricsSink,
     end: SimTime,
     trace: Option<TraceTarget>,
     /// Gated self-profiler (host wall-clock only; never reads or
@@ -347,7 +469,7 @@ pub struct HybridSystem {
     active_faults: usize,
     /// Simulation events processed so far (see
     /// [`HybridSystem::run_counted`]).
-    events_processed: u64,
+    pub(crate) events_processed: u64,
     /// Free lists recycling the per-event vector payloads (auth lock
     /// lists, write sets, lock-id lists, site lists, victim lists) so
     /// the steady-state event loop stays off the allocator.
@@ -371,6 +493,12 @@ pub struct HybridSystem {
     /// event (see [`HybridSystem::run_validated`]). Test-only; off in
     /// measurement runs.
     validate_locks: bool,
+    /// The routing policy this system was built with; worker replicas and
+    /// the whole-run serial fallback of the speculative executor rebuild
+    /// from it.
+    pub(crate) router_spec: RouterSpec,
+    /// Speculative-worker state; `None` for every serial run.
+    shard: Option<Box<ShardCtx>>,
 }
 
 impl HybridSystem {
@@ -437,7 +565,7 @@ impl HybridSystem {
             next_txn: 1,
             next_write: 1,
             msg_counts: MsgCounts::new(),
-            metrics,
+            metrics: MetricsSink::Direct(metrics),
             end,
             trace: None,
             profiler: Profiler::new(cfg.obs.profile),
@@ -456,6 +584,8 @@ impl HybridSystem {
             deferred_central: VecDeque::new(),
             central_replay: Vec::new(),
             validate_locks: false,
+            router_spec: router,
+            shard: None,
             cfg,
         })
     }
@@ -656,7 +786,7 @@ impl HybridSystem {
         }
     }
 
-    fn run_internal(&mut self) -> RunMetrics {
+    pub(crate) fn run_internal(&mut self) -> RunMetrics {
         let total = Timer::start_if(self.profiler.enabled());
         for site in 0..self.cfg.params.n_sites {
             let first = {
@@ -779,6 +909,24 @@ impl HybridSystem {
         let central_ok = self.central_up && self.net.link_is_up(site);
         let remote_mode = self.cfg.class_b_mode == ClassBMode::RemoteCalls;
 
+        // Speculative workers: the driver's arrival shadow pre-assigns
+        // ids in global arrival order and, for draw-consuming policies,
+        // hands over the route-RNG state the serial run would see — both
+        // interleave across all sites, which no single partition can
+        // reproduce on its own.
+        let shard_id = if let Some(shard) = &mut self.shard {
+            let f = shard
+                .feed
+                .pop_front()
+                .expect("speculative arrival feed exhausted");
+            if let Some(rng) = f.route_rng {
+                self.route_rng = rng;
+            }
+            Some(f.id)
+        } else {
+            None
+        };
+
         let route = if spec.class == TxnClass::B {
             let ok = central_ok && (!remote_mode || local_ok);
             let timer = Timer::start_if(self.profiler.enabled());
@@ -861,8 +1009,14 @@ impl HybridSystem {
             });
         }
 
-        let id = self.next_txn;
-        self.next_txn += 1;
+        let id = match shard_id {
+            Some(id) => id,
+            None => {
+                let id = self.next_txn;
+                self.next_txn += 1;
+                id
+            }
+        };
         let class = spec.class;
         let mut txn = Txn::new(id, spec, route, arrival);
         txn.during_outage = self.active_faults > 0;
@@ -1279,7 +1433,9 @@ impl HybridSystem {
     }
 
     fn begin_commit(&mut self, now: SimTime, id: u64) {
-        if self.txns[id].marked_abort {
+        let marked = self.txns[id].marked_abort;
+        self.shard_note_abort_read(now, id, marked);
+        if marked {
             self.abort_and_rerun(now, id);
             return;
         }
@@ -1484,7 +1640,9 @@ impl HybridSystem {
             let txn = self.txns.get_mut(id).expect("txn");
             txn.commit_total += (now - txn.commit_since).as_secs();
         }
-        if self.txns[id].marked_abort {
+        let marked = self.txns[id].marked_abort;
+        self.shard_note_abort_read(now, id, marked);
+        if marked {
             self.abort_and_rerun(now, id);
             return;
         }
@@ -1531,8 +1689,12 @@ impl HybridSystem {
         locks: &[(LockId, LockMode)],
     ) {
         // A crash may have killed the requester while this burst was
-        // queued; don't seize locks for the dead.
-        if !self.txns.contains(id) {
+        // queued; don't seize locks for the dead. (A speculative site
+        // worker never holds the central-resident requester's record,
+        // but fault-free it is alive by construction: the requester can
+        // only resolve — and disappear — once every auth reply is in,
+        // and this site's reply has not been sent yet.)
+        if self.shard.is_none() && !self.txns.contains(id) {
             return;
         }
         // Coherence check: any in-flight asynchronous update on the
@@ -1552,6 +1714,15 @@ impl HybridSystem {
                             displaced_all.push(victim.0);
                         }
                         t.marked_abort = true;
+                    } else if let Some(shard) = self.shard.as_mut() {
+                        // A central-resident victim (an earlier auth
+                        // seizure at this site): its record lives in the
+                        // central worker. Stage the abort mark — the
+                        // barrier applies it there and checks it against
+                        // the central worker's optimistic commit-path
+                        // reads, rolling the central window back on a
+                        // same-window race.
+                        shard.staged_aborts.push((now, victim.0));
                     }
                 }
                 self.resume_grants(now, &out.grants, Locale::Site(site));
@@ -1597,6 +1768,7 @@ impl HybridSystem {
             txn.auth_wait_total += (now - txn.auth_since).as_secs();
             (txn.auth_negative, txn.marked_abort, txn.auth_sites.len())
         };
+        self.shard_note_abort_read(now, id, invalidated);
         if negative || invalidated {
             // Failed authentication: release any locks seized at the master
             // sites, then re-execute and repeat the process.
@@ -1738,8 +1910,37 @@ impl HybridSystem {
     ) {
         match self.net.try_send(now, from, to, ()) {
             Ok(Envelope { deliver_at, .. }) => {
-                self.queue
-                    .schedule(deliver_at, Ev::MsgArrive { to, msg, snap });
+                if let Some(shard) = self.shard.as_mut() {
+                    // Speculative window: stage the message for barrier
+                    // delivery into the target partition's worker. With a
+                    // migrating message kind the transaction record
+                    // travels too — the sender is done with it (the
+                    // serial code sets `Phase::InTransit` or drops the
+                    // record before sending).
+                    let txn = match &msg {
+                        Msg::ShipTxn { txn }
+                        | Msg::RemoteCallReq { txn }
+                        | Msg::RemoteCallResp { txn }
+                        | Msg::Reply { txn } => Some(
+                            self.txns
+                                .remove(*txn)
+                                .expect("migrating transaction record"),
+                        ),
+                        _ => None,
+                    };
+                    let sched_mark = self.queue.indexed().tracked_len() as u32;
+                    shard.staged_sends.push(StagedSend {
+                        to,
+                        deliver_at,
+                        msg,
+                        snap,
+                        txn,
+                        sched_mark,
+                    });
+                } else {
+                    self.queue
+                        .schedule(deliver_at, Ev::MsgArrive { to, msg, snap });
+                }
             }
             Err(()) => {
                 let site = if from.is_central() {
@@ -2112,6 +2313,236 @@ impl HybridSystem {
             }
         });
         self.trace(now, || TraceEvent::CrashAbort { txn: id, route });
+    }
+
+    // ------------------------------------------------------------------
+    // Speculative-executor plumbing (see `crate::speculative`)
+    // ------------------------------------------------------------------
+
+    /// Central speculative worker: log a commit-path read of a
+    /// transaction's abort mark, so the barrier can detect a same-window
+    /// seizure at a master site that the optimistic execution missed.
+    /// No-op outside the central worker.
+    fn shard_note_abort_read(&mut self, now: SimTime, id: u64, marked: bool) {
+        if let Some(shard) = self.shard.as_mut() {
+            if shard.central {
+                shard.abort_reads.push((now, id, marked));
+            }
+        }
+    }
+
+    /// Whether this run is eligible for the speculative window executor:
+    /// fault-free, untraced, unprofiled, unsampled, unvalidated, on the
+    /// indexed queue, with delayed central snapshots and a positive
+    /// communication delay (the conservative window bound). Ineligible
+    /// runs take the serial path and are bit-identical by construction.
+    pub(crate) fn speculative_eligible(&self) -> bool {
+        self.cfg.fault_schedule.events().is_empty()
+            && self.trace.is_none()
+            && !self.profiler.enabled()
+            && self.samples.is_none()
+            && !self.validate_locks
+            && !self.cfg.instantaneous_state
+            && self.cfg.params.comm_delay > 0.0
+            && matches!(self.queue, Queue::Indexed(_))
+            && self.queue.is_empty()
+    }
+
+    /// Converts this freshly built system into a speculative worker for
+    /// one partition: metrics are journaled for barrier replay, and every
+    /// schedule call is tracked so the barrier can stamp new events with
+    /// their global serial order.
+    pub(crate) fn shard_init(&mut self, central: bool) {
+        assert!(
+            self.queue.is_empty() && self.shard.is_none(),
+            "shard_init on a started or already-sharded system"
+        );
+        self.metrics = MetricsSink::Journal(Vec::new());
+        self.queue.indexed().set_tracking(true);
+        self.shard = Some(Box::new(ShardCtx {
+            central,
+            ..ShardCtx::default()
+        }));
+    }
+
+    /// Schedules this worker's partition-local initial events with their
+    /// global serial stamps: the serial loop schedules site `i`'s first
+    /// arrival with sequence `i` and `EndWarmup` with sequence `n`.
+    /// `EndWarmup` is scheduled in *every* worker (each needs its own
+    /// busy-at-warmup snapshot); the barrier merge counts it once.
+    pub(crate) fn shard_schedule_initial(&mut self, site: Option<usize>) {
+        let n = self.cfg.params.n_sites;
+        if let Some(site) = site {
+            let first = {
+                let rng = &mut self.site_rngs[site];
+                self.arrivals[site].next_after(rng, SimTime::ZERO)
+            };
+            let q = self.queue.indexed();
+            let key = q.schedule_keyed(first, Ev::Arrival { site });
+            q.set_priority(&key, site as u64);
+        }
+        let q = self.queue.indexed();
+        let key = q.schedule_keyed(SimTime::from_secs(self.cfg.warmup), Ev::EndWarmup);
+        q.set_priority(&key, n as u64);
+        // Initial scheduling belongs to no window's log.
+        let _ = q.take_tracked();
+    }
+
+    /// Queues one pre-assigned arrival admission (driver's shadow).
+    pub(crate) fn shard_push_feed(&mut self, feed: ArrivalFeed) {
+        self.shard
+            .as_mut()
+            .expect("shard worker")
+            .feed
+            .push_back(feed);
+    }
+
+    /// Runs this worker's events strictly before `until` (clamped to the
+    /// horizon), recording the pop log. Injected abort marks (conflict
+    /// re-execution) are applied to the transaction table as the clock
+    /// passes them; any remainder is applied when the window closes.
+    pub(crate) fn shard_run_window(&mut self, until: SimTime) {
+        let until = if until < self.end { until } else { self.end };
+        while let Some(t) = self.queue.peek_time() {
+            if t >= until {
+                break;
+            }
+            loop {
+                let shard = self.shard.as_mut().expect("shard worker");
+                // Strict `<`: an exact time tie between a site's seizure
+                // and a central event forces the whole-run serial
+                // fallback upstream, so the order here never matters.
+                match shard.inject.front() {
+                    Some(&(at, victim)) if at < t => {
+                        shard.inject.pop_front();
+                        if let Some(tx) = self.txns.get_mut(victim) {
+                            tx.marked_abort = true;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let (now, pri, seq, ev) = self.queue.indexed().pop_entry().expect("peeked event");
+            self.events_processed += 1;
+            let dup = matches!(ev, Ev::EndWarmup);
+            self.handle(now, ev);
+            let sched_end = self.queue.indexed().tracked_len() as u32;
+            let ops_end = self.metrics.ops_len() as u32;
+            let shard = self.shard.as_mut().expect("shard worker");
+            shard.pops.push(PopRec {
+                at: now,
+                pri,
+                seq,
+                dup,
+                sched_end,
+                send_end: shard.staged_sends.len() as u32,
+                ops_end,
+            });
+        }
+        loop {
+            let shard = self.shard.as_mut().expect("shard worker");
+            let Some((_, victim)) = shard.inject.pop_front() else {
+                break;
+            };
+            if let Some(tx) = self.txns.get_mut(victim) {
+                tx.marked_abort = true;
+            }
+        }
+    }
+
+    /// Drains the window's logs at the barrier.
+    pub(crate) fn shard_take_window(&mut self) -> WindowLog {
+        let scheds = self.queue.indexed().take_tracked();
+        let ops = self.metrics.take_ops();
+        let shard = self.shard.as_mut().expect("shard worker");
+        WindowLog {
+            pops: std::mem::take(&mut shard.pops),
+            scheds,
+            sends: std::mem::take(&mut shard.staged_sends),
+            aborts: std::mem::take(&mut shard.staged_aborts),
+            reads: std::mem::take(&mut shard.abort_reads),
+            ops,
+        }
+    }
+
+    /// Stamps a still-pending event with its global serial order (barrier
+    /// replay); `false` if the event already fired within its window.
+    pub(crate) fn shard_set_priority(&mut self, key: &EventKey, pri: u64) -> bool {
+        self.queue.indexed().set_priority(key, pri)
+    }
+
+    /// Delivers a staged cross-partition message into this worker's
+    /// queue with its serial stamp, inserting any migrating transaction
+    /// record first.
+    pub(crate) fn shard_deliver(&mut self, send: StagedSend, stamp: u64) {
+        if let Some(txn) = send.txn {
+            self.txns.insert(txn.id, txn);
+        }
+        let q = self.queue.indexed();
+        let key = q.schedule_keyed(
+            send.deliver_at,
+            Ev::MsgArrive {
+                to: send.to,
+                msg: send.msg,
+                snap: send.snap,
+            },
+        );
+        q.set_priority(&key, stamp);
+    }
+
+    /// Discards schedule-tracking entries produced by barrier deliveries
+    /// so the next window's log starts clean.
+    pub(crate) fn shard_discard_tracking(&mut self) {
+        let _ = self.queue.indexed().take_tracked();
+    }
+
+    /// Applies a site-staged abort mark at the barrier (no-conflict
+    /// case). The record may already have migrated home with its commit
+    /// `Reply`, in which case the mark is inert — exactly as it is in
+    /// the serial run, where the flag is set on a committed record that
+    /// nobody reads again.
+    pub(crate) fn shard_apply_abort(&mut self, victim: u64) {
+        if let Some(t) = self.txns.get_mut(victim) {
+            t.marked_abort = true;
+        }
+    }
+
+    /// Queues time-ordered abort marks for injection during a conflict
+    /// re-execution of the central window.
+    pub(crate) fn shard_inject(&mut self, aborts: &[(SimTime, u64)]) {
+        let shard = self.shard.as_mut().expect("shard worker");
+        debug_assert!(shard.inject.is_empty(), "injection into a dirty window");
+        shard.inject.extend(aborts.iter().copied());
+    }
+
+    /// Post-warmup utilization of site `i`'s CPU — valid only on the
+    /// worker that owns partition `i`.
+    pub(crate) fn shard_site_utilization(&self, i: usize) -> f64 {
+        self.sites[i].cpu.utilization(
+            self.end,
+            SimTime::from_secs(self.cfg.warmup),
+            self.sites[i].busy_at_warmup,
+        )
+    }
+
+    /// Post-warmup utilization of the central CPU complex — valid only
+    /// on the central worker.
+    pub(crate) fn shard_central_utilization(&self) -> f64 {
+        self.central.cpu.utilization(
+            self.end,
+            SimTime::from_secs(self.cfg.warmup),
+            self.central.busy_at_warmup,
+        )
+    }
+
+    /// This worker's network counters (its partition's sends).
+    pub(crate) fn shard_net_counters(&self) -> hls_net::NetCounters {
+        self.net.counters()
+    }
+
+    /// This worker's per-kind message counts (its partition's sends).
+    pub(crate) fn shard_msg_counts(&self) -> &MsgCounts {
+        &self.msg_counts
     }
 
     // ------------------------------------------------------------------

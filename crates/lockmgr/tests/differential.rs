@@ -384,3 +384,100 @@ fn shrinker_produces_failing_minimal_sequence() {
     ];
     assert!(run_differential(&ops).is_ok());
 }
+
+// ----------------------------------------------------------------------
+// Regression-corpus replay
+// ----------------------------------------------------------------------
+
+/// Parses one proptest-regressions entry body — the `[...]` op list from
+/// a `# shrinks to ops = [...]` comment — into differential ops. The
+/// corpus uses `proptests.rs`'s named-field format, e.g.
+/// `ForceAcquire { owner: 8, lock: 3, exclusive: false }`.
+fn parse_corpus_ops(body: &str) -> Vec<Op> {
+    fn field<T: std::str::FromStr>(fields: &str, name: &str) -> T
+    where
+        T::Err: fmt::Debug,
+    {
+        let at = fields
+            .find(name)
+            .unwrap_or_else(|| panic!("corpus op is missing field `{name}`: {fields}"));
+        let rest = fields[at + name.len()..]
+            .trim_start_matches([':', ' '])
+            .split([',', ' ', '}'])
+            .next()
+            .expect("field value");
+        rest.parse()
+            .unwrap_or_else(|e| panic!("corpus field `{name}` = {rest:?}: {e:?}"))
+    }
+    fn mode_of(fields: &str) -> LockMode {
+        if field::<bool>(fields, "exclusive") {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        }
+    }
+    body.split_inclusive('}')
+        .map(str::trim)
+        .map(|s| s.trim_start_matches(','))
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|item| {
+            let name = item.split([' ', '{']).next().expect("variant name");
+            let fields = &item[name.len()..];
+            match name {
+                "Request" => Op::Request(
+                    field(fields, "owner"),
+                    field(fields, "lock"),
+                    mode_of(fields),
+                ),
+                "ReleaseAll" => Op::ReleaseAll(field(fields, "owner")),
+                "ReleaseOne" => Op::ReleaseOne(field(fields, "owner"), field(fields, "lock")),
+                "CancelWait" => Op::CancelWait(field(fields, "owner")),
+                "ForceAcquire" => Op::ForceAcquire(
+                    field(fields, "owner"),
+                    field(fields, "lock"),
+                    mode_of(fields),
+                ),
+                "IncrCoherence" => Op::IncrCoherence(field(fields, "lock")),
+                "DecrCoherence" => Op::DecrCoherence(field(fields, "lock")),
+                other => panic!("unknown corpus op variant: {other}"),
+            }
+        })
+        .collect()
+}
+
+/// Extracts every `# shrinks to ops = [...]` body from a
+/// proptest-regressions file.
+fn corpus_entries(corpus: &str) -> Vec<Vec<Op>> {
+    corpus
+        .lines()
+        .filter_map(|line| line.split("shrinks to ops = [").nth(1))
+        .map(|rest| {
+            let body = rest.rsplit_once(']').map_or(rest, |(body, _)| body);
+            parse_corpus_ops(body)
+        })
+        .collect()
+}
+
+/// Every shrunk reproducer proptest has ever saved replays clean through
+/// the full differential check — the corpus is a permanent regression
+/// suite, not just a seed hint for the generator.
+#[test]
+fn regression_corpus_replays_clean() {
+    let corpus = include_str!("proptests.proptest-regressions");
+    let entries = corpus_entries(corpus);
+    assert!(
+        !entries.is_empty(),
+        "corpus exists but parsed to zero entries — format drift?"
+    );
+    for (i, ops) in entries.iter().enumerate() {
+        assert!(!ops.is_empty(), "corpus entry {i} parsed to zero ops");
+        if let Err((step, reason)) = run_differential(ops) {
+            let listing: Vec<String> = ops.iter().map(ToString::to_string).collect();
+            panic!(
+                "corpus entry {i} diverges at step {step}: {reason}\n  {}",
+                listing.join("\n  ")
+            );
+        }
+    }
+}

@@ -80,7 +80,7 @@ mod server;
 mod stats;
 mod time;
 
-pub use event::{EventKey, EventQueue};
+pub use event::{EventKey, EventQueue, StaleKeyError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use multi_server::MultiServer;
 pub use rng::{sample_exponential, sample_uniform, RngStreams, Sample, SimRng};

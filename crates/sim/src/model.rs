@@ -28,7 +28,9 @@ use crate::time::SimTime;
 /// once, and only while its event is still pending (cancelling a key
 /// whose event has already fired is a logic error this queue cannot
 /// detect — the indexed queue can, and panics in debug builds).
-#[derive(Debug, PartialEq, Eq)]
+/// `Clone` exists only so enclosing key enums stay cloneable for queue
+/// snapshots; a cloned key carries the same single-cancel discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReferenceEventKey(u64);
 
 /// The scan-era event queue: `BinaryHeap` ordered by `(time, seq)` with

@@ -355,3 +355,96 @@ fn known_value_reuse_matches_oracle() {
     ];
     assert_eq!(run_differential(&ops), Ok(()));
 }
+
+// ----------------------------------------------------------------------
+// Regression-corpus replay
+// ----------------------------------------------------------------------
+
+/// Parses one corpus entry body — the `[...]` op list from a
+/// `# shrinks to ops = [...]` comment — using this file's named-field
+/// `Debug` format, e.g. `ScheduleKeyed { ticks: 2 }` or `Pop`.
+fn parse_corpus_ops(body: &str) -> Vec<Op> {
+    fn field(fields: &str, name: &str) -> u32 {
+        let at = fields
+            .find(name)
+            .unwrap_or_else(|| panic!("corpus op is missing field `{name}`: {fields}"));
+        let rest = fields[at + name.len()..]
+            .trim_start_matches([':', ' '])
+            .split([',', ' ', '}'])
+            .next()
+            .expect("field value");
+        rest.parse()
+            .unwrap_or_else(|e| panic!("corpus field `{name}` = {rest:?}: {e}"))
+    }
+    body.split(',')
+        .scan(0usize, |depth, piece| {
+            // Re-join pieces split inside braces: `Cancel { pick: 0 }`
+            // contains no comma, but future multi-field ops might.
+            let open = piece.matches('{').count();
+            let close = piece.matches('}').count();
+            let was_inside = *depth > 0;
+            *depth = (*depth + open).saturating_sub(close);
+            Some((was_inside, piece))
+        })
+        .fold(Vec::<String>::new(), |mut acc, (was_inside, piece)| {
+            if was_inside {
+                let last = acc.last_mut().expect("continuation without a start");
+                last.push(',');
+                last.push_str(piece);
+            } else {
+                acc.push(piece.to_string());
+            }
+            acc
+        })
+        .iter()
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty())
+        .map(|item| {
+            let name = item.split([' ', '{']).next().expect("variant name");
+            let fields = &item[name.len()..];
+            match name {
+                "Schedule" => Op::Schedule {
+                    ticks: field(fields, "ticks"),
+                },
+                "ScheduleKeyed" => Op::ScheduleKeyed {
+                    ticks: field(fields, "ticks"),
+                },
+                "Pop" => Op::Pop,
+                "Cancel" => Op::Cancel {
+                    pick: field(fields, "pick"),
+                },
+                "Peek" => Op::Peek,
+                other => panic!("unknown corpus op variant: {other}"),
+            }
+        })
+        .collect()
+}
+
+/// Every saved reproducer replays clean through the full differential
+/// check (including the end-of-sequence drain) — the corpus is a
+/// permanent regression suite covering the queue's delicate paths:
+/// FIFO tie-breaking, head/interior cancellation, pop-retired keys and
+/// empty-queue pops.
+#[test]
+fn regression_corpus_replays_clean() {
+    let corpus = include_str!("queue_differential.proptest-regressions");
+    let entries: Vec<Vec<Op>> = corpus
+        .lines()
+        .filter_map(|line| line.split("shrinks to ops = [").nth(1))
+        .map(|rest| parse_corpus_ops(rest.rsplit_once(']').map_or(rest, |(body, _)| body)))
+        .collect();
+    assert!(
+        !entries.is_empty(),
+        "corpus exists but parsed to zero entries — format drift?"
+    );
+    for (i, ops) in entries.iter().enumerate() {
+        assert!(!ops.is_empty(), "corpus entry {i} parsed to zero ops");
+        if let Err((step, reason)) = run_differential(ops) {
+            let listing: Vec<String> = ops.iter().map(ToString::to_string).collect();
+            panic!(
+                "corpus entry {i} diverges at step {step}: {reason}\n  {}",
+                listing.join("\n  ")
+            );
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! simulate [--rate TPS] [--delay SECS] [--policy NAME] [--sites N]
 //!          [--p-local F] [--lockspace N] [--sim-time SECS] [--warmup SECS]
 //!          [--seed N] [--threshold F] [--p-ship F] [--ideal-state]
-//!          [--reps N] [--jobs N] [--ci-target F] [--max-reps N]
+//!          [--reps N] [--jobs N] [--sim-threads N] [--ci-target F] [--max-reps N]
 //!          [--fault-schedule FILE] [--failure-aware]
 //!          [--obs] [--profile] [--trace-out FILE] [--backoff-window SECS]
 //! ```
@@ -19,6 +19,14 @@
 //! reported. `--ci-target 0.05` keeps adding replications (up to
 //! `--max-reps`) until the relative half-width of mean response drops
 //! below 5%. Results are bit-identical for any `--jobs` value.
+//!
+//! `--sim-threads N` executes each simulation run itself on `N` worker
+//! threads via the speculative window executor — bit-identical metrics
+//! for every `N`, so it is purely a wall-clock knob. It composes with
+//! `--reps`/`--jobs`: `--jobs` fans replications across cores,
+//! `--sim-threads` parallelizes inside each run (configurations the
+//! executor does not support — fault schedules, tracing, profiling —
+//! quietly take the serial path).
 //!
 //! `--fault-schedule FILE` injects a deterministic fault schedule (see
 //! [`FaultSchedule::parse`] for the line format); `--failure-aware` wraps
@@ -40,9 +48,10 @@
 use std::process::ExitCode;
 
 use hybrid_load_sharing::core::{
-    optimal_static_spec, replicate_ci, replicate_jobs, run_simulation, summarize, CiOptions,
-    FaultSchedule, HybridSystem, JsonlSink, LogHistogram, MetricSummary, ObsConfig, ObsReport,
-    Route, RouterSpec, RunMetrics, SystemConfig, TxnClass, UtilizationEstimator,
+    optimal_static_spec, replicate_ci, replicate_jobs, replicate_jobs_threads,
+    run_simulation_threads, summarize, CiOptions, FaultSchedule, HybridSystem, JsonlSink,
+    LogHistogram, MetricSummary, ObsConfig, ObsReport, Route, RouterSpec, RunMetrics, SystemConfig,
+    TxnClass, UtilizationEstimator,
 };
 
 struct Args {
@@ -60,6 +69,7 @@ struct Args {
     ideal_state: bool,
     reps: u64,
     jobs: Option<usize>,
+    sim_threads: usize,
     ci_target: Option<f64>,
     max_reps: Option<u64>,
     fault_schedule: Option<String>,
@@ -87,6 +97,7 @@ impl Args {
             ideal_state: false,
             reps: 1,
             jobs: None,
+            sim_threads: 1,
             ci_target: None,
             max_reps: None,
             fault_schedule: None,
@@ -121,6 +132,7 @@ impl Args {
                 "--ideal-state" => a.ideal_state = true,
                 "--reps" => a.reps = parse(value()?)?,
                 "--jobs" => a.jobs = Some(parse(value()?)?),
+                "--sim-threads" => a.sim_threads = parse(value()?)?,
                 "--ci-target" => a.ci_target = Some(parse(value()?)?),
                 "--max-reps" => a.max_reps = Some(parse(value()?)?),
                 "--fault-schedule" => a.fault_schedule = Some(value()?.to_string()),
@@ -198,6 +210,13 @@ impl Args {
                 ));
             }
         }
+        if self.sim_threads == 0 {
+            return Err(
+                "--sim-threads 0 is ambiguous: pass --sim-threads N with N >= 1 \
+                 worker threads (1 = the serial event loop)"
+                    .into(),
+            );
+        }
         if self.jobs == Some(0) {
             return Err(
                 "--jobs 0 is ambiguous: pass --jobs N with N >= 1 worker threads, \
@@ -236,7 +255,7 @@ fn usage() {
         "usage: simulate [--rate TPS] [--delay SECS] [--policy NAME] [--sites N]\n\
          \x20               [--p-local F] [--lockspace N] [--sim-time SECS] [--warmup SECS]\n\
          \x20               [--seed N] [--threshold F] [--p-ship F] [--ideal-state]\n\
-         \x20               [--reps N] [--jobs N] [--ci-target F] [--max-reps N]\n\
+         \x20               [--reps N] [--jobs N] [--sim-threads N] [--ci-target F] [--max-reps N]\n\
          \x20               [--fault-schedule FILE] [--failure-aware]\n\
          \x20               [--obs] [--profile] [--trace-out FILE] [--backoff-window SECS]\n\
          policies: none static measured queue threshold min-incoming-q\n\
@@ -244,7 +263,9 @@ fn usage() {
          replication: --reps runs N seed replications in parallel (--jobs\n\
          \x20         worker threads, omit for all cores) and reports mean +/- 95% CI;\n\
          \x20         --ci-target R auto-replicates until the relative CI\n\
-         \x20         half-width of mean response is <= R (cap: --max-reps)\n\
+         \x20         half-width of mean response is <= R (cap: --max-reps);\n\
+         \x20         --sim-threads N runs each simulation on N threads\n\
+         \x20         (bit-identical for every N; composes with --jobs)\n\
          faults: --fault-schedule FILE injects `site I down FROM TO`,\n\
          \x20         `central down FROM TO`, `link I down FROM TO`,\n\
          \x20         `link I slow FROM TO xF`, `partition I,J FROM TO` lines;\n\
@@ -326,6 +347,10 @@ fn run_replicated(args: &Args, cfg: &SystemConfig, spec: RouterSpec) -> ExitCode
             },
         )
         .map(|ci| (ci.runs, Some(ci.target_met))),
+        None if args.sim_threads > 1 => {
+            replicate_jobs_threads(cfg, spec, args.reps, jobs, args.sim_threads)
+                .map(|runs| (runs, None))
+        }
         None => replicate_jobs(cfg, spec, args.reps, jobs).map(|runs| (runs, None)),
     };
     let (runs, target_met) = match outcome {
@@ -481,7 +506,7 @@ fn main() -> ExitCode {
         }
         m
     } else {
-        match run_simulation(cfg, spec) {
+        match run_simulation_threads(cfg, spec, args.sim_threads) {
             Ok(m) => m,
             Err(e) => {
                 eprintln!("invalid configuration: {e}");
