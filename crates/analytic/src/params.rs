@@ -44,6 +44,11 @@ pub struct SystemParams {
     pub async_update_instr: f64,
     /// Pathlength to process one authentication message at a site.
     pub auth_instr: f64,
+    /// Pathlength to process one cross-shard coordination message (lock
+    /// request/response, delegated authentication, commit application) at
+    /// a central shard. Only exercised when the central complex is sharded
+    /// (`K > 1`); calibrated to the authentication pathlength.
+    pub shard_op_instr: f64,
     /// Pathlength at the origin site to forward a transaction to the
     /// central complex and deliver its reply.
     pub ship_msg_instr: f64,
@@ -76,6 +81,7 @@ impl SystemParams {
             io_overhead_instr: 20_000.0,
             async_update_instr: 10_000.0,
             auth_instr: 10_000.0,
+            shard_op_instr: 10_000.0,
             ship_msg_instr: 20_000.0,
             ship_origin_instr: 50_000.0,
             setup_io: 0.05,
@@ -116,6 +122,7 @@ impl SystemParams {
             ("io_overhead_instr", self.io_overhead_instr),
             ("async_update_instr", self.async_update_instr),
             ("auth_instr", self.auth_instr),
+            ("shard_op_instr", self.shard_op_instr),
             ("ship_msg_instr", self.ship_msg_instr),
             ("ship_origin_instr", self.ship_origin_instr),
             ("setup_io", self.setup_io),

@@ -6,7 +6,8 @@
 //!
 //! Experiments: fig4_1 fig4_2 fig4_3 fig4_4 fig4_5 fig4_6 fig4_7
 //! analytic_check ablation_state ablation_batch ablation_mips
-//! ablation_sites ablation_ploc ablation_lockspace ablation_backoff.
+//! ablation_sites ablation_ploc ablation_lockspace ablation_backoff
+//! scale_frontier.
 //!
 //! Each figure is printed as a text table and written as CSV to the output
 //! directory (default `results/`).
@@ -19,7 +20,8 @@ use hls_bench::{
     ablation_backoff, ablation_batch, ablation_lockspace, ablation_mips, ablation_ploc,
     ablation_remote_calls, ablation_servers, ablation_sites, ablation_smoothing, ablation_state,
     analytic_check, availability_mtbf, availability_outage, fig4_1, fig4_2, fig4_3, fig4_4, fig4_5,
-    fig4_6, fig4_7, oscillation_trace, tail_latency, variance_check, Figure, Profile,
+    fig4_6, fig4_7, oscillation_trace, scale_frontier, tail_latency, variance_check, Figure,
+    Profile,
 };
 
 type Generator = fn(&Profile) -> Figure;
@@ -48,6 +50,7 @@ const EXPERIMENTS: &[(&str, Generator)] = &[
     ("availability_outage", availability_outage),
     ("availability_mtbf", availability_mtbf),
     ("tail_latency", tail_latency),
+    ("scale_frontier", scale_frontier),
 ];
 
 fn main() -> ExitCode {

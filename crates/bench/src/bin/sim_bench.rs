@@ -137,7 +137,7 @@ fn one_run(cfg: &SystemConfig, router: RouterSpec, reference: bool) -> (f64, Str
 
 /// One timed run through the speculative window executor. Returns
 /// (events/sec, Debug rendering, fell back to serial). The event count
-/// comes from [`SpecReport`] and matches `run_counted` exactly, so the
+/// comes from `SpecReport` and matches `run_counted` exactly, so the
 /// rates are directly comparable.
 fn one_run_speculative(cfg: &SystemConfig, router: RouterSpec) -> (f64, String, bool) {
     let sys = HybridSystem::new(cfg.clone(), router).expect("bench config must be valid");

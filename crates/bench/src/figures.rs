@@ -938,6 +938,44 @@ pub fn ablation_backoff(profile: &Profile) -> Figure {
     fig
 }
 
+/// Extension (ISSUE 7): the sharded central complex's response-time
+/// frontier at 4× the paper's site count. Three topologies at the same
+/// total central capacity (60 MIPS): one "fat" central node, the same
+/// MIPS split across 4 shards (each replicating a quarter of the
+/// partitions, with cross-shard coordination on the wire), and no load
+/// sharing at all. The spread shows what the sharding overhead costs and
+/// when a partitioned complex still beats leaving the sites on their own.
+#[must_use]
+pub fn scale_frontier(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "scale_frontier",
+        "Sharded vs monolithic central complex, 40 sites, 60 total central MIPS",
+        "offered rate (tps)",
+        "mean response time (s)",
+    );
+    const N: usize = 40;
+    let variants: [(&str, usize, f64, RouterSpec); 3] = [
+        ("no-sharing", 1, 60.0e6, RouterSpec::NoSharing),
+        ("fat-central", 1, 60.0e6, RouterSpec::QueueLength),
+        ("sharded-4x15", 4, 15.0e6, RouterSpec::QueueLength),
+    ];
+    for (label, shards, mips, spec) in variants {
+        let points = parallel_map(&profile.rates, |&rate| {
+            let mut cfg = profile.base(0.2);
+            cfg.params.n_sites = N;
+            cfg.params.lockspace *= (N / 10) as f64;
+            cfg.params.central_mips = mips;
+            let cfg = cfg
+                .with_total_rate(rate * (N / 10) as f64)
+                .with_shards(shards);
+            let m = run_simulation(cfg, spec).expect("valid");
+            (rate * (N / 10) as f64, report_rt(&m))
+        });
+        fig.push(Series::new(label, points));
+    }
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,6 +3,7 @@
 use hls_analytic::SystemParams;
 use hls_faults::FaultSchedule;
 use hls_obs::ObsConfig;
+use hls_shard::ShardSpec;
 use hls_workload::{RateProfile, WorkloadSpec};
 
 /// How class B (non-local data) transactions are executed.
@@ -108,6 +109,19 @@ pub struct SystemConfig {
     /// The default (everything off) is the zero-overhead configuration;
     /// enabling them never changes simulated outcomes.
     pub obs: ObsConfig,
+    /// How the central complex is sharded. The default
+    /// ([`ShardSpec::Single`]) is one central node, bit-identical to the
+    /// unsharded system; `Even { k }` splits the sites' partitions across
+    /// `k` central nodes. The spec is resolved against `params.n_sites` at
+    /// system construction, so editing the site count never leaves a stale
+    /// map behind.
+    pub shards: ShardSpec,
+    /// When `true`, [`RunMetrics`](crate::RunMetrics) carries a
+    /// [`ScaleReport`](crate::ScaleReport) (peak in-flight transactions,
+    /// state-bytes and bytes/txn estimates, cross-shard traffic). Off by
+    /// default so existing goldens and equivalence harnesses see an
+    /// unchanged metrics rendering.
+    pub scale_metrics: bool,
 }
 
 impl SystemConfig {
@@ -135,7 +149,21 @@ impl SystemConfig {
             fault_max_retries: 3,
             deadlock_backoff_window: None,
             obs: ObsConfig::default(),
+            shards: ShardSpec::Single,
+            scale_metrics: false,
         }
+    }
+
+    /// Shards the central complex into `k` even contiguous shards
+    /// (`k = 1` restores the single-central default).
+    #[must_use]
+    pub fn with_shards(mut self, k: usize) -> Self {
+        self.shards = if k == 1 {
+            ShardSpec::Single
+        } else {
+            ShardSpec::Even { k }
+        };
+        self
     }
 
     /// Sets the maximum deadlock-victim restart backoff window, seconds.
@@ -266,6 +294,12 @@ impl SystemConfig {
                 return Err("deadlock_backoff_window must be non-negative and finite".into());
             }
         }
+        // The shard spec must partition the site set exactly — overlaps,
+        // gaps, empty shards, and shard counts exceeding the site count are
+        // all rejected here with the hls-shard error text.
+        self.shards
+            .resolve(self.params.n_sites)
+            .map_err(|e| format!("shard map: {e}"))?;
         Ok(())
     }
 }
@@ -376,6 +410,59 @@ mod tests {
             SystemConfig::paper_default().deadlock_victim,
             DeadlockVictim::Requester
         );
+    }
+
+    #[test]
+    fn shard_builder_and_default() {
+        let base = SystemConfig::paper_default();
+        assert_eq!(base.shards, ShardSpec::Single);
+        assert!(!base.scale_metrics);
+        assert_eq!(base.clone().with_shards(1).shards, ShardSpec::Single);
+        let cfg = base.with_shards(4);
+        assert_eq!(cfg.shards, ShardSpec::Even { k: 4 });
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_non_partitioning_shard_maps() {
+        let base = SystemConfig::paper_default(); // 10 sites
+
+        // Overlap: site 4 claimed by shards 0 and 1.
+        let mut c = base.clone();
+        c.shards = ShardSpec::Explicit(vec![(0, 5), (4, 10)]);
+        let err = c.validate().unwrap_err();
+        assert!(err.starts_with("shard map:"), "{err}");
+        assert!(err.contains("overlap"), "{err}");
+
+        // Gap: site 4 belongs to no shard.
+        let mut c = base.clone();
+        c.shards = ShardSpec::Explicit(vec![(0, 4), (5, 10)]);
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("gap"), "{err}");
+        assert!(err.contains("[4, 5)"), "{err}");
+
+        // Truncated coverage: sites 8 and 9 unhomed.
+        let mut c = base.clone();
+        c.shards = ShardSpec::Explicit(vec![(0, 8)]);
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("gap") && err.contains("[8, 10)"), "{err}");
+
+        // More shards than sites.
+        let mut c = base.clone();
+        c.shards = ShardSpec::Even { k: 11 };
+        let err = c.validate().unwrap_err();
+        assert!(
+            err.contains("every shard must home at least one site"),
+            "{err}"
+        );
+
+        // The spec is resolved against the *current* site count: shrinking
+        // the topology after choosing K invalidates the config rather than
+        // silently carrying a stale map.
+        let mut c = base.with_shards(8);
+        assert!(c.validate().is_ok());
+        c.params.n_sites = 4;
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -146,6 +146,22 @@ impl TxnTable {
         }
     }
 
+    /// Estimated resident bytes of the table's backing storage (slot
+    /// arrays at capacity plus the id index), for the topology-scaling
+    /// memory report. An estimate — hash-map overhead is approximated at
+    /// 1.5× the entry payload.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<Option<Txn>>();
+        match self {
+            TxnTable::Dense { slots, free, by_id } => {
+                slots.capacity() * entry
+                    + free.capacity() * std::mem::size_of::<u32>()
+                    + by_id.len() * 18
+            }
+            TxnTable::Map(m) => m.len() * (entry + 12),
+        }
+    }
+
     /// Iterates over in-flight transactions in storage order (slot order
     /// for `Dense`, hash order for `Map`). Deterministic for a given
     /// event history, but *not* id order — callers that let iteration
@@ -293,6 +309,18 @@ impl<K, Y> JobSlab<K, Y> {
                 slots[idx].key.take()
             }
             JobSlab::Map { keys, .. } => keys.remove(&id),
+        }
+    }
+
+    /// Estimated resident bytes of the slab's backing storage, for the
+    /// topology-scaling memory report.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<JobSlot<K, Y>>();
+        match self {
+            JobSlab::Slab { slots, free, .. } => {
+                slots.capacity() * entry + free.capacity() * std::mem::size_of::<u32>()
+            }
+            JobSlab::Map { kinds, keys, .. } => kinds.len() * (entry + 12) + keys.len() * 24,
         }
     }
 

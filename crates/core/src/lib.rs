@@ -75,7 +75,7 @@ pub use experiment::{
 };
 pub use metrics::{
     AbortCounts, AvailabilityMetrics, MetricsCollector, ObsReport, ResponseKey, RunMetrics,
-    PHASE_NAMES,
+    ScaleReport, PHASE_NAMES,
 };
 pub use msg::{CentralSnapshot, Msg};
 pub use router::{FailureAwareRouter, FaultAwareDecision, RouteCtx, Router, RouterSpec};
@@ -91,4 +91,5 @@ pub use hls_obs::{
     HistogramSummary, JsonlSink, LogHistogram, MemorySink, NullSink, ObsConfig, ProfileEntry,
     ProfileReport, Profiler, TraceSink, TRACE_SCHEMA, TRACE_SCHEMA_VERSION,
 };
+pub use hls_shard::{ShardMap, ShardSpec};
 pub use hls_workload::{RateProfile, TxnClass, WorkloadSpec};

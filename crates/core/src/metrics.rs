@@ -1,5 +1,7 @@
 //! Measurement collection and run-level results.
 
+use std::fmt;
+
 use hls_obs::{LogHistogram, ProfileReport};
 use hls_sim::{Accumulator, BatchMeans, Histogram, SimDuration, SimTime};
 use hls_workload::TxnClass;
@@ -533,6 +535,7 @@ impl MetricsCollector {
             messages_by_kind: Vec::new(),
             availability,
             obs,
+            scale: None,
         }
     }
 }
@@ -780,8 +783,37 @@ fn mean_of(acc: &Accumulator) -> Option<f64> {
     (acc.count() > 0).then(|| acc.mean())
 }
 
-/// Results of one simulation run, measured after warm-up.
+/// Topology-scaling measurements attached to [`RunMetrics`] when
+/// `SystemConfig::scale_metrics` is enabled.
+///
+/// The bytes figures are estimates computed from the dense hot-structure
+/// capacities (transaction slab, job slab, per-replica stores and lock
+/// tables) at run end — the resident simulator state, not the process
+/// RSS.
 #[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Number of distributed sites simulated.
+    pub n_sites: usize,
+    /// Number of central shards (1 = the classic single complex).
+    pub n_shards: usize,
+    /// Peak simultaneous in-flight transactions over the whole run.
+    pub peak_in_flight: u64,
+    /// Estimated resident simulator state at run end, bytes.
+    pub state_bytes: u64,
+    /// `state_bytes` divided by the peak in-flight population — the
+    /// marginal memory cost of one more concurrent transaction.
+    pub bytes_per_txn: f64,
+    /// Messages carried by the shard interconnect (0 when `n_shards` = 1).
+    pub cross_shard_messages: u64,
+    /// Cross-shard lock requests denied under the no-wait rule (each
+    /// denial aborts and reruns the requester).
+    pub cross_shard_denials: u64,
+    /// Cross-shard lock requests granted by a foreign shard.
+    pub remote_lock_grants: u64,
+}
+
+/// Results of one simulation run, measured after warm-up.
+#[derive(Clone, PartialEq)]
 pub struct RunMetrics {
     /// Measurement window length, seconds.
     pub window_secs: f64,
@@ -827,6 +859,44 @@ pub struct RunMetrics {
     /// excluded by construction from the simulated outcome, so two runs
     /// differing only in observability agree on every other field.
     pub obs: Option<ObsReport>,
+    /// Topology-scaling report. `None` unless
+    /// `SystemConfig::scale_metrics` is set; like `obs`, it is excluded by
+    /// construction from the simulated outcome.
+    pub scale: Option<ScaleReport>,
+}
+
+// Hand-written so the rendering with `scale: None` is byte-identical to
+// the pre-sharding derived output: the golden-metrics harness pins the
+// full `{:#?}` text of RunMetrics, and the `scale` field only appears in
+// it when a run opted into scale_metrics.
+impl fmt::Debug for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("RunMetrics");
+        s.field("window_secs", &self.window_secs)
+            .field("arrivals", &self.arrivals)
+            .field("completions", &self.completions)
+            .field("throughput", &self.throughput)
+            .field("mean_response", &self.mean_response)
+            .field("response_ci95", &self.response_ci95)
+            .field("p95_response", &self.p95_response)
+            .field("mean_response_local_a", &self.mean_response_local_a)
+            .field("mean_response_shipped_a", &self.mean_response_shipped_a)
+            .field("mean_response_class_b", &self.mean_response_class_b)
+            .field("shipped_fraction", &self.shipped_fraction)
+            .field("mean_reruns", &self.mean_reruns)
+            .field("mean_lock_wait", &self.mean_lock_wait)
+            .field("aborts", &self.aborts)
+            .field("rho_local", &self.rho_local)
+            .field("rho_central", &self.rho_central)
+            .field("messages", &self.messages)
+            .field("messages_by_kind", &self.messages_by_kind)
+            .field("availability", &self.availability)
+            .field("obs", &self.obs);
+        if self.scale.is_some() {
+            s.field("scale", &self.scale);
+        }
+        s.finish()
+    }
 }
 
 #[cfg(test)]
@@ -1008,6 +1078,34 @@ mod tests {
         assert_eq!(a.arrivals, 1);
         assert_eq!(a.aborts.deadlock_central, 1);
         assert_eq!(a.availability.retries, 2);
+    }
+
+    #[test]
+    fn scale_report_is_invisible_until_populated() {
+        // The golden harness pins the full Debug text, so `scale: None`
+        // must leave the rendering exactly as it was before sharding.
+        let mut m = MetricsCollector::new(t(0.0));
+        m.on_arrival(t(1.0));
+        let mut r = m.finalize(t(10.0), 0.1, 0.1, 0, 0.0, None);
+        assert_eq!(r.scale, None);
+        let before = format!("{r:#?}");
+        assert!(!before.contains("scale"), "{before}");
+        assert!(before.trim_end().ends_with('}'));
+        r.scale = Some(ScaleReport {
+            n_sites: 100,
+            n_shards: 4,
+            peak_in_flight: 250,
+            state_bytes: 1 << 20,
+            bytes_per_txn: 4194.3,
+            cross_shard_messages: 12,
+            cross_shard_denials: 1,
+            remote_lock_grants: 9,
+        });
+        let after = format!("{r:#?}");
+        assert!(after.contains("scale: Some("), "{after}");
+        assert!(after.contains("n_shards: 4"), "{after}");
+        // Everything before the scale field is unchanged.
+        assert!(after.starts_with(before.trim_end_matches(['}', '\n', ' '])));
     }
 
     #[test]

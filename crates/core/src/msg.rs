@@ -91,12 +91,82 @@ pub enum Msg {
         /// The calling transaction.
         txn: u64,
     },
+    /// Cross-shard lock request (sharded central complex): the resident
+    /// shard of a centrally executing transaction asks the shard owning a
+    /// lock to grant it. Phase one of the two-phase cross-shard exchange.
+    ShardLockReq {
+        /// The requesting central transaction.
+        txn: u64,
+        /// The lock, owned by the destination shard.
+        lock: LockId,
+        /// Requested mode.
+        mode: LockMode,
+        /// The requester's resident (home) shard — where the response
+        /// goes.
+        home: u32,
+    },
+    /// Cross-shard lock response: granted, or denied under the no-wait
+    /// rule (the requester aborts and reruns — cross-shard waits are never
+    /// queued, so no deadlock cycle can span shards).
+    ShardLockResp {
+        /// The requesting central transaction.
+        txn: u64,
+        /// The answered lock.
+        lock: LockId,
+        /// `true` when granted.
+        granted: bool,
+    },
+    /// Delegated authentication (phase two): the resident shard asks a
+    /// foreign shard to run the authentication exchange with the master
+    /// sites it homes.
+    ShardAuthReq {
+        /// The authenticating central transaction.
+        txn: u64,
+        /// The transaction's resident (home) shard — where the aggregated
+        /// verdict goes.
+        home: u32,
+        /// Locks mastered at sites homed by the destination shard.
+        locks: Vec<(LockId, LockMode)>,
+    },
+    /// A foreign shard's aggregated authentication verdict over the sites
+    /// it polled on behalf of `txn`.
+    ShardAuthReply {
+        /// The authenticating central transaction.
+        txn: u64,
+        /// `true` when every polled site answered positively.
+        positive: bool,
+    },
+    /// Successful commit, delegated: the foreign shard applies the writes
+    /// it replicates, releases `txn`'s grants in its lock table, and fans
+    /// the commit out to its own sites.
+    ShardCommit {
+        /// The committing central transaction.
+        txn: u64,
+        /// Locks mastered at sites homed by the destination shard (the
+        /// shard recomputes the site fan-out from these).
+        locks: Vec<(LockId, LockMode)>,
+        /// Updated items replicated by the destination shard, with stamps.
+        writes: Vec<(LockId, u64)>,
+    },
+    /// Failed authentication, delegated: the foreign shard forwards the
+    /// release to the sites it polled. Execution-phase grants are kept
+    /// (the transaction reruns its authentication, not its execution).
+    ShardAuthAbort {
+        /// The central transaction whose authentication failed.
+        txn: u64,
+    },
+    /// Abort/rerun cleanup: release every grant `txn` holds in the
+    /// destination shard's lock table.
+    ShardRelease {
+        /// The aborting central transaction.
+        txn: u64,
+    },
 }
 
 impl Msg {
     /// Number of distinct message kinds — the length of the
     /// [`Msg::kind_index`] space and of [`Msg::KIND_NAMES`].
-    pub const KIND_COUNT: usize = 10;
+    pub const KIND_COUNT: usize = 17;
 
     /// Kind tags indexed by [`Msg::kind_index`].
     pub const KIND_NAMES: [&'static str; Self::KIND_COUNT] = [
@@ -110,6 +180,13 @@ impl Msg {
         "reply",
         "remote_call_req",
         "remote_call_resp",
+        "shard_lock_req",
+        "shard_lock_resp",
+        "shard_auth_req",
+        "shard_auth_reply",
+        "shard_commit",
+        "shard_auth_abort",
+        "shard_release",
     ];
 
     /// Short kind tag for traffic accounting.
@@ -133,6 +210,13 @@ impl Msg {
             Msg::Reply { .. } => 7,
             Msg::RemoteCallReq { .. } => 8,
             Msg::RemoteCallResp { .. } => 9,
+            Msg::ShardLockReq { .. } => 10,
+            Msg::ShardLockResp { .. } => 11,
+            Msg::ShardAuthReq { .. } => 12,
+            Msg::ShardAuthReply { .. } => 13,
+            Msg::ShardCommit { .. } => 14,
+            Msg::ShardAuthAbort { .. } => 15,
+            Msg::ShardRelease { .. } => 16,
         }
     }
 }
@@ -141,9 +225,9 @@ impl Msg {
 mod tests {
     use super::*;
 
-    #[test]
-    fn kinds_are_distinct() {
-        let msgs = [
+    /// One message of every kind, in `kind_index` order.
+    fn all_kinds() -> Vec<Msg> {
+        vec![
             Msg::ShipTxn { txn: 1 },
             Msg::AsyncUpdate {
                 from: 0,
@@ -166,7 +250,39 @@ mod tests {
             Msg::Reply { txn: 1 },
             Msg::RemoteCallReq { txn: 1 },
             Msg::RemoteCallResp { txn: 1 },
-        ];
+            Msg::ShardLockReq {
+                txn: 1,
+                lock: LockId(0),
+                mode: LockMode::Exclusive,
+                home: 0,
+            },
+            Msg::ShardLockResp {
+                txn: 1,
+                lock: LockId(0),
+                granted: true,
+            },
+            Msg::ShardAuthReq {
+                txn: 1,
+                home: 0,
+                locks: vec![],
+            },
+            Msg::ShardAuthReply {
+                txn: 1,
+                positive: true,
+            },
+            Msg::ShardCommit {
+                txn: 1,
+                locks: vec![],
+                writes: vec![],
+            },
+            Msg::ShardAuthAbort { txn: 1 },
+            Msg::ShardRelease { txn: 1 },
+        ]
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let msgs = all_kinds();
         let mut kinds: Vec<&str> = msgs.iter().map(Msg::kind).collect();
         kinds.sort_unstable();
         kinds.dedup();
@@ -175,30 +291,7 @@ mod tests {
 
     #[test]
     fn kind_indexes_are_dense_and_name_consistent() {
-        let msgs = [
-            Msg::ShipTxn { txn: 1 },
-            Msg::AsyncUpdate {
-                from: 0,
-                writes: vec![],
-            },
-            Msg::AsyncAck { locks: vec![] },
-            Msg::AuthRequest {
-                txn: 1,
-                locks: vec![],
-            },
-            Msg::AuthReply {
-                txn: 1,
-                positive: true,
-            },
-            Msg::AuthRelease { txn: 1 },
-            Msg::CommitMsg {
-                txn: 1,
-                writes: vec![],
-            },
-            Msg::Reply { txn: 1 },
-            Msg::RemoteCallReq { txn: 1 },
-            Msg::RemoteCallResp { txn: 1 },
-        ];
+        let msgs = all_kinds();
         assert_eq!(msgs.len(), Msg::KIND_COUNT);
         let mut seen = [false; Msg::KIND_COUNT];
         for m in &msgs {

@@ -33,10 +33,12 @@ use hls_sim::{
 };
 use hls_workload::{ArrivalProcess, TxnClass, TxnGenerator, TxnSpec};
 
+use hls_shard::ShardMap;
+
 use crate::config::{ClassBMode, SystemConfig};
 use crate::dense::{JobSlab, MsgCounts, TxnTable, VecPool};
 use crate::error::ConfigError;
-use crate::metrics::{MetricsCollector, MetricsOp, MetricsSink, RunMetrics};
+use crate::metrics::{MetricsCollector, MetricsOp, MetricsSink, RunMetrics, ScaleReport};
 use crate::msg::{CentralSnapshot, Msg};
 use crate::router::{FailureAwareRouter, FaultAwareDecision, RouteCtx, RouterSpec};
 use crate::trace::{Trace, TraceEvent};
@@ -48,7 +50,8 @@ use crate::txn::{Phase, Route, Txn};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Locale {
     Site(usize),
-    Central,
+    /// Central shard `k` (`0` is the whole complex when unsharded).
+    Central(usize),
 }
 
 /// Work items executed on a CPU.
@@ -71,6 +74,30 @@ enum JobKind {
     ApplyCommit {
         txn: u64,
         site: usize,
+        writes: Vec<(LockId, u64)>,
+    },
+    /// Sharded central complex: processing a cross-shard lock request at
+    /// the shard owning the lock (`home` is the requester's resident
+    /// shard, where the response goes).
+    ShardLock {
+        txn: u64,
+        lock: LockId,
+        mode: LockMode,
+        home: u32,
+    },
+    /// Sharded central complex: a foreign shard fanning a delegated
+    /// authentication request out to the master sites it homes.
+    ShardAuthFanout {
+        txn: u64,
+        home: u32,
+        locks: Vec<(LockId, LockMode)>,
+    },
+    /// Sharded central complex: a foreign shard applying a delegated
+    /// commit — writes to its replica, lock releases, and the commit
+    /// fan-out to its own sites.
+    ShardCommitApply {
+        txn: u64,
+        locks: Vec<(LockId, LockMode)>,
         writes: Vec<(LockId, u64)>,
     },
 }
@@ -274,15 +301,39 @@ struct SiteState {
     store: FxHashMap<LockId, u64>,
 }
 
+/// A delegated authentication in progress at a foreign shard: the shard
+/// polls the master sites it homes on behalf of a transaction resident
+/// elsewhere, aggregates their replies, and reports one verdict back.
+#[derive(Debug, Clone)]
+struct ForeignAuth {
+    /// Site replies still outstanding.
+    pending: usize,
+    /// A negative reply was received this round.
+    negative: bool,
+    /// The transaction's resident shard (verdict destination).
+    home: u32,
+    /// The distinct master sites polled, in first-reference order —
+    /// drives the eventual `AuthRelease` / `CommitMsg` fan-out.
+    sites: Vec<usize>,
+}
+
+/// One shard of the central complex. The classic single-complex system
+/// is the `K = 1` special case: one shard replicating every site's
+/// partitions, with no cross-shard traffic ever generated.
 #[derive(Debug, Clone)]
 struct CentralState {
     cpu: MultiServer,
     locks: LockTable,
-    /// Transactions resident at the central complex.
+    /// Transactions resident at this shard.
     n_txns: usize,
     busy_at_warmup: f64,
-    /// Replica of every site's data: last write stamp per item.
+    /// Replica of the data mastered by the sites this shard homes: last
+    /// write stamp per item.
     store: FxHashMap<LockId, u64>,
+    /// Delegated authentications this shard is running for transactions
+    /// resident at other shards (always empty when `K = 1`). Keyed
+    /// access only — never iterated, so determinism is unaffected.
+    foreign_auth: FxHashMap<u64, ForeignAuth>,
 }
 
 /// One point of a sampled state time series (see
@@ -438,7 +489,13 @@ pub struct HybridSystem {
     queue: Queue<Ev>,
     net: StarNetwork,
     sites: Vec<SiteState>,
-    central: CentralState,
+    /// The central complex, as `K >= 1` shards. Index 0 is the whole
+    /// complex in the classic unsharded configuration.
+    centrals: Vec<CentralState>,
+    /// Site → home-shard map (the hierarchical router's first hop).
+    shard_map: ShardMap,
+    /// Number of central shards (`shard_map.n_shards()`, cached).
+    n_shards: usize,
     /// In-flight transactions, stored in a generational slab (dense
     /// slots; ids resolve through one Fx-hashed index map).
     txns: TxnTable,
@@ -484,11 +541,19 @@ pub struct HybridSystem {
     /// Messages that arrived at a crashed site; replayed in arrival order
     /// on recovery.
     deferred_site: Vec<VecDeque<(Msg, Option<CentralSnapshot>)>>,
-    /// Messages that arrived at the crashed central complex.
-    deferred_central: VecDeque<(Msg, Option<CentralSnapshot>)>,
-    /// Asynchronous-update applications interrupted by a central crash;
-    /// resubmitted on recovery (their messages were already consumed).
-    central_replay: Vec<JobKind>,
+    /// Messages that arrived at the crashed central complex (a central
+    /// crash takes down every shard), with their destination shard.
+    deferred_central: VecDeque<(NodeId, Msg, Option<CentralSnapshot>)>,
+    /// Asynchronous-update and delegated-commit applications interrupted
+    /// by a central crash; resubmitted at their shard on recovery (their
+    /// messages were already consumed).
+    central_replay: Vec<(usize, JobKind)>,
+    /// Cross-shard lock requests denied under the no-wait rule.
+    cross_denials: u64,
+    /// Cross-shard lock requests granted by a foreign shard.
+    remote_grant_count: u64,
+    /// Peak simultaneous in-flight transactions (scaling report).
+    peak_txns: usize,
     /// When set, every lock table's `check_invariants` runs after each
     /// event (see [`HybridSystem::run_validated`]). Test-only; off in
     /// measurement runs.
@@ -530,18 +595,28 @@ impl HybridSystem {
                 store: FxHashMap::default(),
             })
             .collect();
-        let mut central = CentralState {
-            cpu: MultiServer::new(cfg.params.central_servers, cfg.params.central_mips),
-            locks: LockTable::new(),
-            n_txns: 0,
-            busy_at_warmup: 0.0,
-            store: FxHashMap::default(),
-        };
+        let shard_map = cfg
+            .shards
+            .resolve(n)
+            .expect("shard spec validated with the config");
+        let n_shards = shard_map.n_shards();
+        let mut centrals: Vec<CentralState> = (0..n_shards)
+            .map(|_| CentralState {
+                cpu: MultiServer::new(cfg.params.central_servers, cfg.params.central_mips),
+                locks: LockTable::new(),
+                n_txns: 0,
+                busy_at_warmup: 0.0,
+                store: FxHashMap::default(),
+                foreign_auth: FxHashMap::default(),
+            })
+            .collect();
         if cfg.obs.profile {
             for s in &mut sites {
                 s.locks.set_profiling(true);
             }
-            central.locks.set_profiling(true);
+            for c in &mut centrals {
+                c.locks.set_profiling(true);
+            }
         }
         let warmup = SimTime::from_secs(cfg.warmup);
         let mut metrics = MetricsCollector::new(warmup);
@@ -549,7 +624,11 @@ impl HybridSystem {
             metrics.enable_histograms(n);
         }
         let end = SimTime::from_secs(cfg.sim_time);
-        let net = StarNetwork::new(n, SimDuration::from_secs(cfg.params.comm_delay));
+        let mut net =
+            StarNetwork::new_sharded(n, n_shards, SimDuration::from_secs(cfg.params.comm_delay));
+        if n_shards > 1 {
+            net.set_home_shards((0..n).map(|i| shard_map.home_of(i)).collect());
+        }
         Ok(HybridSystem {
             router: FailureAwareRouter::new(router.build(n), cfg.failure_aware),
             generator,
@@ -559,7 +638,9 @@ impl HybridSystem {
             queue: Queue::Indexed(EventQueue::new()),
             net,
             sites,
-            central,
+            centrals,
+            shard_map,
+            n_shards,
             txns: TxnTable::new(),
             jobs: JobSlab::new(),
             next_txn: 1,
@@ -583,6 +664,9 @@ impl HybridSystem {
             deferred_site: (0..n).map(|_| VecDeque::new()).collect(),
             deferred_central: VecDeque::new(),
             central_replay: Vec::new(),
+            cross_denials: 0,
+            remote_grant_count: 0,
+            peak_txns: 0,
             validate_locks: false,
             router_spec: router,
             shard: None,
@@ -731,7 +815,9 @@ impl HybridSystem {
         for site in &self.sites {
             site.locks.check_invariants();
         }
-        self.central.locks.check_invariants();
+        for central in &self.centrals {
+            central.locks.check_invariants();
+        }
     }
 
     /// Runs to the horizon, then **drains**: arrivals stop but every
@@ -762,19 +848,22 @@ impl HybridSystem {
         let mut items_checked = 0;
         let mut divergent = Vec::new();
         for (site, state) in self.sites.iter().enumerate() {
+            let replica = &self.centrals[self.shard_map.home_of(site) as usize].store;
             for (&item, &stamp) in &state.store {
                 debug_assert_eq!(spec.master_of(item), site);
                 items_checked += 1;
-                if self.central.store.get(&item) != Some(&stamp) {
+                if replica.get(&item) != Some(&stamp) {
                     divergent.push(item);
                 }
             }
         }
         // Items written only centrally must exist at their master too.
-        for (&item, &stamp) in &self.central.store {
-            let site = spec.master_of(item);
-            if self.sites[site].store.get(&item) != Some(&stamp) && !divergent.contains(&item) {
-                divergent.push(item);
+        for central in &self.centrals {
+            for (&item, &stamp) in &central.store {
+                let site = spec.master_of(item);
+                if self.sites[site].store.get(&item) != Some(&stamp) && !divergent.contains(&item) {
+                    divergent.push(item);
+                }
             }
         }
         divergent.sort_unstable();
@@ -868,8 +957,8 @@ impl HybridSystem {
         let n_local_total: usize = self.sites.iter().map(|s| s.n_txns).sum();
         samples.push(SamplePoint {
             at: now.as_secs(),
-            q_central: self.central.cpu.queue_len(),
-            n_central: self.central.n_txns,
+            q_central: self.centrals.iter().map(|c| c.cpu.queue_len()).sum(),
+            n_central: self.centrals.iter().map(|c| c.n_txns).sum(),
             q_local_mean: q_local_sum as f64 / self.sites.len() as f64,
             n_local_total,
         });
@@ -883,7 +972,9 @@ impl HybridSystem {
         for s in &mut self.sites {
             s.busy_at_warmup = s.cpu.busy_server_seconds(now);
         }
-        self.central.busy_at_warmup = self.central.cpu.busy_server_seconds(now);
+        for c in &mut self.centrals {
+            c.busy_at_warmup = c.cpu.busy_server_seconds(now);
+        }
     }
 
     fn on_arrival(&mut self, now: SimTime, site: usize) {
@@ -1027,6 +1118,9 @@ impl HybridSystem {
             txn.phase = Phase::SetupIo;
         }
         self.txns.insert(id, txn);
+        if self.txns.len() > self.peak_txns {
+            self.peak_txns = self.txns.len();
+        }
         self.trace(now, || TraceEvent::Arrival {
             txn: id,
             site,
@@ -1049,10 +1143,11 @@ impl HybridSystem {
                 // The site's DBMS is down but its terminal front-end still
                 // forwards: ship without the origin CPU burst.
                 self.txns.get_mut(id).expect("txn").phase = Phase::InTransit;
+                let dest = self.shard_node(site);
                 self.send(
                     now,
                     NodeId::local(site as u32),
-                    NodeId::CENTRAL,
+                    dest,
                     Msg::ShipTxn { txn: id },
                 );
             }
@@ -1067,7 +1162,7 @@ impl HybridSystem {
     fn observe(&self, site: usize) -> Observed {
         let s = &self.sites[site];
         let snap = if self.cfg.instantaneous_state {
-            self.central_snapshot()
+            self.central_snapshot(self.shard_map.home_of(site) as usize)
         } else {
             s.latest_central
         };
@@ -1081,12 +1176,27 @@ impl HybridSystem {
         }
     }
 
-    fn central_snapshot(&self) -> CentralSnapshot {
+    /// State snapshot of central shard `k`, piggybacked on its messages
+    /// to the sites it homes.
+    fn central_snapshot(&self, k: usize) -> CentralSnapshot {
         CentralSnapshot {
-            q_cpu: self.central.cpu.queue_len(),
-            n_txns: self.central.n_txns,
-            n_locks: self.central.locks.grants_count(),
+            q_cpu: self.centrals[k].cpu.queue_len(),
+            n_txns: self.centrals[k].n_txns,
+            n_locks: self.centrals[k].locks.grants_count(),
         }
+    }
+
+    /// The central shard homing `site` — the only central node its link
+    /// reaches. Shard 0 (== [`NodeId::CENTRAL`]) for every site when the
+    /// complex is unsharded, so `K = 1` traffic is byte-identical to the
+    /// classic system.
+    fn shard_node(&self, site: usize) -> NodeId {
+        NodeId::shard(self.shard_map.home_of(site))
+    }
+
+    /// The shard a central transaction resides at: its origin's home.
+    fn home_shard_of(&self, id: u64) -> usize {
+        self.shard_map.home_of(self.txns[id].spec.origin) as usize
     }
 
     // ------------------------------------------------------------------
@@ -1096,7 +1206,7 @@ impl HybridSystem {
     fn cpu_of(&mut self, loc: Locale) -> &mut MultiServer {
         match loc {
             Locale::Site(i) => &mut self.sites[i].cpu,
-            Locale::Central => &mut self.central.cpu,
+            Locale::Central(k) => &mut self.centrals[k].cpu,
         }
     }
 
@@ -1136,11 +1246,40 @@ impl HybridSystem {
                 self.pool_locks.put(locks);
             }
             JobKind::ApplyAsync { from, writes } => {
-                self.finish_apply_async(now, from, &writes);
+                let Locale::Central(j) = loc else {
+                    unreachable!("ApplyAsync at a local site")
+                };
+                self.finish_apply_async(now, j, from, &writes);
                 self.pool_writes.put(writes);
             }
             JobKind::ApplyCommit { txn, site, writes } => {
                 self.finish_apply_commit(now, txn, site, &writes);
+                self.pool_writes.put(writes);
+            }
+            JobKind::ShardLock {
+                txn,
+                lock,
+                mode,
+                home,
+            } => {
+                let Locale::Central(j) = loc else {
+                    unreachable!("ShardLock at a local site")
+                };
+                self.finish_shard_lock(now, j, txn, lock, mode, home);
+            }
+            JobKind::ShardAuthFanout { txn, home, locks } => {
+                let Locale::Central(j) = loc else {
+                    unreachable!("ShardAuthFanout at a local site")
+                };
+                self.finish_shard_auth_fanout(now, j, txn, home, &locks);
+                self.pool_locks.put(locks);
+            }
+            JobKind::ShardCommitApply { txn, locks, writes } => {
+                let Locale::Central(j) = loc else {
+                    unreachable!("ShardCommitApply at a local site")
+                };
+                self.finish_shard_commit_apply(now, j, txn, &locks, &writes);
+                self.pool_locks.put(locks);
                 self.pool_writes.put(writes);
             }
         }
@@ -1158,7 +1297,7 @@ impl HybridSystem {
     fn locale_of(&self, txn: &Txn) -> Locale {
         match txn.route {
             Route::Local => Locale::Site(txn.spec.origin),
-            Route::Central => Locale::Central,
+            Route::Central => Locale::Central(self.shard_map.home_of(txn.spec.origin) as usize),
         }
     }
 
@@ -1180,7 +1319,8 @@ impl HybridSystem {
                 } else {
                     Msg::ShipTxn { txn: id }
                 };
-                self.send(now, NodeId::local(origin as u32), NodeId::CENTRAL, msg);
+                let dest = self.shard_node(origin);
+                self.send(now, NodeId::local(origin as u32), dest, msg);
             }
             Phase::InitCpu => {
                 if self.txns[id].remote_calls && !self.txns[id].is_rerun() {
@@ -1218,7 +1358,7 @@ impl HybridSystem {
                         p.init_instr + p.io_overhead_instr,
                     ),
                     Route::Central => (
-                        Locale::Central,
+                        Locale::Central(self.shard_map.home_of(txn.spec.origin) as usize),
                         (p.init_instr - p.ship_origin_instr) + p.io_overhead_instr,
                     ),
                 };
@@ -1264,10 +1404,34 @@ impl HybridSystem {
             let (lock, mode) = txn.spec.locks[txn.call_idx];
             (lock, mode, self.locale_of(txn))
         };
+        if let Locale::Central(k) = loc {
+            let j = self.shard_map.home_of_lock(self.generator.spec(), lock) as usize;
+            if j != k {
+                // The lock is owned by a foreign shard: phase one of the
+                // cross-shard exchange. The requester blocks for the round
+                // trip; the owner answers grant-or-deny (no-wait), so no
+                // deadlock cycle can span shards.
+                let txn = self.txns.get_mut(id).expect("txn");
+                txn.phase = Phase::LockWait;
+                txn.wait_since = now;
+                self.send(
+                    now,
+                    NodeId::shard(k as u32),
+                    NodeId::shard(j as u32),
+                    Msg::ShardLockReq {
+                        txn: id,
+                        lock,
+                        mode,
+                        home: k as u32,
+                    },
+                );
+                return;
+            }
+        }
         let owner = OwnerId(id);
         let table = match loc {
             Locale::Site(i) => &mut self.sites[i].locks,
-            Locale::Central => &mut self.central.locks,
+            Locale::Central(k) => &mut self.centrals[k].locks,
         };
         match table.request(owner, lock, mode) {
             RequestOutcome::Granted | RequestOutcome::AlreadyHeld => {
@@ -1295,7 +1459,7 @@ impl HybridSystem {
             let (cycle, timer) = {
                 let table = match loc {
                     Locale::Site(i) => &self.sites[i].locks,
-                    Locale::Central => &self.central.locks,
+                    Locale::Central(k) => &self.centrals[k].locks,
                 };
                 if table.waiting_for(OwnerId(requester)).is_none() {
                     return; // granted while breaking a previous cycle
@@ -1310,14 +1474,14 @@ impl HybridSystem {
             let victim = self.select_victim(&cycle, requester, loc);
             let grants = match loc {
                 Locale::Site(i) => self.sites[i].locks.release_all(OwnerId(victim)),
-                Locale::Central => self.central.locks.release_all(OwnerId(victim)),
+                Locale::Central(k) => self.centrals[k].locks.release_all(OwnerId(victim)),
             };
             let route = match loc {
                 Locale::Site(_) => {
                     self.metrics.on_abort(now, |a| a.deadlock_local += 1);
                     Route::Local
                 }
-                Locale::Central => {
+                Locale::Central(_) => {
                     self.metrics.on_abort(now, |a| a.deadlock_central += 1);
                     Route::Central
                 }
@@ -1329,6 +1493,9 @@ impl HybridSystem {
                 "deadlock victim must be blocked"
             );
             self.txns.get_mut(victim).expect("victim").begin_rerun(true);
+            if let Locale::Central(k) = loc {
+                self.release_remote_grants(now, victim, k);
+            }
             self.resume_grants(now, &grants, loc);
             // Restart after a short jittered backoff rather than
             // immediately: with deterministic service times an immediate
@@ -1348,6 +1515,22 @@ impl HybridSystem {
         }
     }
 
+    /// Releases every cross-shard grant a rerunning central transaction
+    /// holds: one `ShardRelease` from its resident shard `k` to each
+    /// foreign shard recorded in `remote_shards`. No-op (no sends) when
+    /// the complex is a single shard.
+    fn release_remote_grants(&mut self, now: SimTime, id: u64, k: usize) {
+        let shards = std::mem::take(&mut self.txns.get_mut(id).expect("txn").remote_shards);
+        for j in shards {
+            self.send(
+                now,
+                NodeId::shard(k as u32),
+                NodeId::shard(j),
+                Msg::ShardRelease { txn: id },
+            );
+        }
+    }
+
     /// Applies the configured victim-selection policy to a cycle.
     fn select_victim(&self, cycle: &[OwnerId], requester: u64, loc: Locale) -> u64 {
         match self.cfg.deadlock_victim {
@@ -1358,7 +1541,7 @@ impl HybridSystem {
             crate::config::DeadlockVictim::FewestLocks => {
                 let table = match loc {
                     Locale::Site(i) => &self.sites[i].locks,
-                    Locale::Central => &self.central.locks,
+                    Locale::Central(k) => &self.centrals[k].locks,
                 };
                 cycle
                     .iter()
@@ -1379,7 +1562,7 @@ impl HybridSystem {
             let p = &self.cfg.params;
             let mips = match loc {
                 Locale::Site(_) => p.local_mips,
-                Locale::Central => p.central_mips,
+                Locale::Central(_) => p.central_mips,
             };
             p.db_call_instr / mips
         });
@@ -1421,9 +1604,10 @@ impl HybridSystem {
             // Return the function-call result; the origin issues the next
             // call after another round trip.
             self.txns.get_mut(id).expect("txn").phase = Phase::InTransit;
+            let from = self.shard_node(origin);
             self.send(
                 now,
-                NodeId::CENTRAL,
+                from,
                 NodeId::local(origin as u32),
                 Msg::RemoteCallResp { txn: id },
             );
@@ -1536,10 +1720,11 @@ impl HybridSystem {
                         site,
                         locks: writes.iter().map(|&(l, _)| l).collect(),
                     });
+                    let dest = self.shard_node(site);
                     self.send(
                         now,
                         NodeId::local(site as u32),
-                        NodeId::CENTRAL,
+                        dest,
                         Msg::AsyncUpdate { from: site, writes },
                     );
                 }
@@ -1591,21 +1776,28 @@ impl HybridSystem {
                 site,
                 locks: writes.iter().map(|&(l, _)| l).collect(),
             });
+            let dest = self.shard_node(site);
             self.send(
                 now,
                 NodeId::local(site as u32),
-                NodeId::CENTRAL,
+                dest,
                 Msg::AsyncUpdate { from: site, writes },
             );
         }
     }
 
-    fn finish_apply_async(&mut self, now: SimTime, from: usize, writes: &[(LockId, u64)]) {
+    fn finish_apply_async(
+        &mut self,
+        now: SimTime,
+        j: usize,
+        from: usize,
+        writes: &[(LockId, u64)],
+    ) {
         // Invalidate central holders of the updated elements and apply the
-        // writes to the central replica.
+        // writes to the site's home-shard replica.
         let mut invalidated = self.pool_txnids.take();
         for &(lock, stamp) in writes {
-            for (holder, _) in self.central.locks.holders(lock) {
+            for (holder, _) in self.centrals[j].locks.holders(lock) {
                 if let Some(t) = self.txns.get_mut(holder.0) {
                     if !t.marked_abort {
                         invalidated.push(holder.0);
@@ -1613,7 +1805,7 @@ impl HybridSystem {
                     t.marked_abort = true;
                 }
             }
-            self.central.store.insert(lock, stamp);
+            self.centrals[j].store.insert(lock, stamp);
         }
         self.trace(now, || TraceEvent::AsyncApplied {
             site: from,
@@ -1625,7 +1817,7 @@ impl HybridSystem {
         acks.extend(writes.iter().map(|&(l, _)| l));
         self.send(
             now,
-            NodeId::CENTRAL,
+            NodeId::shard(j as u32),
             NodeId::local(from as u32),
             Msg::AsyncAck { locks: acks },
         );
@@ -1647,13 +1839,30 @@ impl HybridSystem {
             return;
         }
         let spec = *self.generator.spec();
-        let n_sites = {
+        let k = self.home_shard_of(id);
+        // Partition the authentication fan-out: sites homed by the
+        // resident shard are polled directly; each foreign shard is asked
+        // once, via a delegated `ShardAuthReq` covering every site it
+        // homes. One reply is expected per direct site and per foreign
+        // shard. With a single shard the partition is trivial (all
+        // direct) and the fan-out matches the unsharded protocol exactly.
+        let (n_sites, foreign) = {
+            let mut own = 0usize;
+            let mut foreign: Vec<u32> = Vec::new();
+            for &site in &self.txns[id].auth_sites {
+                let h = self.shard_map.home_of(site);
+                if h as usize == k {
+                    own += 1;
+                } else if !foreign.contains(&h) {
+                    foreign.push(h);
+                }
+            }
             let txn = self.txns.get_mut(id).expect("txn");
             txn.phase = Phase::AuthWait;
             txn.auth_since = now;
-            txn.auth_pending = txn.auth_sites.len();
+            txn.auth_pending = own + foreign.len();
             txn.auth_negative = false;
-            txn.auth_sites.len()
+            (txn.auth_sites.len(), foreign)
         };
         // Clone the site list only when someone is listening (mirrors
         // `trace`'s own gate).
@@ -1663,6 +1872,9 @@ impl HybridSystem {
         }
         for i in 0..n_sites {
             let site = self.txns[id].auth_sites[i];
+            if self.shard_map.home_of(site) as usize != k {
+                continue;
+            }
             let mut locks = self.pool_locks.take();
             locks.extend(
                 self.txns[id]
@@ -1674,9 +1886,30 @@ impl HybridSystem {
             );
             self.send(
                 now,
-                NodeId::CENTRAL,
+                NodeId::shard(k as u32),
                 NodeId::local(site as u32),
                 Msg::AuthRequest { txn: id, locks },
+            );
+        }
+        for j in foreign {
+            let mut locks = self.pool_locks.take();
+            locks.extend(
+                self.txns[id]
+                    .spec
+                    .locks
+                    .iter()
+                    .copied()
+                    .filter(|&(l, _)| self.shard_map.home_of(spec.master_of(l)) == j),
+            );
+            self.send(
+                now,
+                NodeId::shard(k as u32),
+                NodeId::shard(j),
+                Msg::ShardAuthReq {
+                    txn: id,
+                    home: k as u32,
+                    locks,
+                },
             );
         }
     }
@@ -1734,10 +1967,11 @@ impl HybridSystem {
             positive,
             displaced: displaced_all.clone(),
         });
+        let dest = self.shard_node(site);
         self.send(
             now,
             NodeId::local(site as u32),
-            NodeId::CENTRAL,
+            dest,
             Msg::AuthReply { txn: id, positive },
         );
         self.pool_txnids.put(displaced_all);
@@ -1771,15 +2005,28 @@ impl HybridSystem {
         self.shard_note_abort_read(now, id, invalidated);
         if negative || invalidated {
             // Failed authentication: release any locks seized at the master
-            // sites, then re-execute and repeat the process.
+            // sites, then re-execute and repeat the process. Sites homed by
+            // a foreign shard are released through that shard's delegation
+            // record (one `ShardAuthAbort` per foreign shard).
+            let k = self.home_shard_of(id);
+            let from = NodeId::shard(k as u32);
+            let mut foreign: Vec<u32> = Vec::new();
             for i in 0..n_sites {
                 let site = self.txns[id].auth_sites[i];
-                self.send(
-                    now,
-                    NodeId::CENTRAL,
-                    NodeId::local(site as u32),
-                    Msg::AuthRelease { txn: id },
-                );
+                let h = self.shard_map.home_of(site);
+                if h as usize == k {
+                    self.send(
+                        now,
+                        from,
+                        NodeId::local(site as u32),
+                        Msg::AuthRelease { txn: id },
+                    );
+                } else if !foreign.contains(&h) {
+                    foreign.push(h);
+                }
+            }
+            for j in foreign {
+                self.send(now, from, NodeId::shard(j), Msg::ShardAuthAbort { txn: id });
             }
             if negative && !invalidated {
                 self.metrics.on_abort(now, |a| a.central_neg_ack += 1);
@@ -1799,26 +2046,46 @@ impl HybridSystem {
                 txn: id,
                 committed: true,
             });
-            // Apply the transaction's writes to the central replica and
-            // stamp them for the commit fan-out to the master sites.
+            // Apply the transaction's writes to the replica partitions the
+            // resident shard homes and stamp them for the commit fan-out to
+            // the master sites; foreign-shard partitions are applied by
+            // their home shard on `ShardCommit`.
             let spec = *self.generator.spec();
+            let k = self.home_shard_of(id);
+            let from = NodeId::shard(k as u32);
             let mut updated = self.pool_lockids.take();
             updated.extend(self.txns[id].spec.updated_locks());
             let mut writes = self.pool_writes.take();
             for &l in &updated {
                 let stamp = self.next_write;
                 self.next_write += 1;
-                self.central.store.insert(l, stamp);
+                if self.shard_map.home_of_lock(&spec, l) as usize == k {
+                    self.centrals[k].store.insert(l, stamp);
+                }
                 writes.push((l, stamp));
             }
             self.pool_lockids.put(updated);
             let owner = OwnerId(id);
-            let grants = self.central.locks.release_all(owner);
-            self.resume_grants(now, &grants, Locale::Central);
-            self.central.n_txns -= 1;
-            self.txns.get_mut(id).expect("txn").in_central_count = false;
+            let grants = self.centrals[k].locks.release_all(owner);
+            self.resume_grants(now, &grants, Locale::Central(k));
+            self.centrals[k].n_txns -= 1;
+            {
+                let txn = self.txns.get_mut(id).expect("txn");
+                txn.in_central_count = false;
+                // The `ShardCommit` fan-out below releases the grants held
+                // at foreign shards.
+                txn.remote_shards.clear();
+            }
+            let mut foreign: Vec<u32> = Vec::new();
             for i in 0..n_sites {
                 let site = self.txns[id].auth_sites[i];
+                let h = self.shard_map.home_of(site);
+                if h as usize != k {
+                    if !foreign.contains(&h) {
+                        foreign.push(h);
+                    }
+                    continue;
+                }
                 let mut site_writes = self.pool_writes.take();
                 site_writes.extend(
                     writes
@@ -1828,7 +2095,7 @@ impl HybridSystem {
                 );
                 self.send(
                     now,
-                    NodeId::CENTRAL,
+                    from,
                     NodeId::local(site as u32),
                     Msg::CommitMsg {
                         txn: id,
@@ -1836,11 +2103,39 @@ impl HybridSystem {
                     },
                 );
             }
+            for j in foreign {
+                let mut locks = self.pool_locks.take();
+                locks.extend(
+                    self.txns[id]
+                        .spec
+                        .locks
+                        .iter()
+                        .copied()
+                        .filter(|&(l, _)| self.shard_map.home_of(spec.master_of(l)) == j),
+                );
+                let mut shard_writes = self.pool_writes.take();
+                shard_writes.extend(
+                    writes
+                        .iter()
+                        .copied()
+                        .filter(|&(l, _)| self.shard_map.home_of(spec.master_of(l)) == j),
+                );
+                self.send(
+                    now,
+                    from,
+                    NodeId::shard(j),
+                    Msg::ShardCommit {
+                        txn: id,
+                        locks,
+                        writes: shard_writes,
+                    },
+                );
+            }
             self.pool_writes.put(writes);
             let origin = self.txns[id].spec.origin;
             self.send(
                 now,
-                NodeId::CENTRAL,
+                from,
                 NodeId::local(origin as u32),
                 Msg::Reply { txn: id },
             );
@@ -1859,6 +2154,222 @@ impl HybridSystem {
         }
         let grants = self.sites[site].locks.release_all(OwnerId(id));
         self.resume_grants(now, &grants, Locale::Site(site));
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-shard coordination (sharded central complex)
+    // ------------------------------------------------------------------
+
+    /// CPU burst done at foreign shard `j`: answer a cross-shard lock
+    /// request grant-or-deny. Cross-shard requests never park in a
+    /// foreign wait queue (the no-wait rule) — a parked foreign waiter
+    /// could close a deadlock cycle invisible to the per-shard detector.
+    fn finish_shard_lock(
+        &mut self,
+        now: SimTime,
+        j: usize,
+        id: u64,
+        lock: LockId,
+        mode: LockMode,
+        home: u32,
+    ) {
+        // The requester may have been killed by a crash while this burst
+        // was queued; its cleanup already released any grants it held here.
+        if !self.txns.contains(id) {
+            return;
+        }
+        let owner = OwnerId(id);
+        let granted = match self.centrals[j].locks.request(owner, lock, mode) {
+            RequestOutcome::Granted | RequestOutcome::AlreadyHeld => true,
+            RequestOutcome::Queued => {
+                let grants = self.centrals[j].locks.cancel_wait(owner);
+                self.resume_grants(now, &grants, Locale::Central(j));
+                false
+            }
+        };
+        self.send(
+            now,
+            NodeId::shard(j as u32),
+            NodeId::shard(home),
+            Msg::ShardLockResp {
+                txn: id,
+                lock,
+                granted,
+            },
+        );
+    }
+
+    /// Cross-shard lock response arriving back at the requester's resident
+    /// shard `k`. A denial aborts and reruns the requester exactly like a
+    /// deadlock victim (the no-wait rule turns would-be cross-shard waits
+    /// into restarts).
+    fn on_shard_lock_resp(&mut self, now: SimTime, k: usize, id: u64, lock: LockId, granted: bool) {
+        let Some(txn) = self.txns.get_mut(id) else {
+            return; // killed by a crash while the response was in flight
+        };
+        if granted {
+            self.remote_grant_count += 1;
+            let j = self.shard_map.home_of_lock(self.generator.spec(), lock);
+            if !txn.remote_shards.contains(&j) {
+                txn.remote_shards.push(j);
+            }
+            self.after_lock_granted(now, id);
+            return;
+        }
+        debug_assert_eq!(txn.phase, Phase::LockWait, "denied txn must be blocked");
+        self.cross_denials += 1;
+        let grants = self.centrals[k].locks.release_all(OwnerId(id));
+        self.metrics.on_abort(now, |a| a.deadlock_central += 1);
+        self.trace(now, || TraceEvent::DeadlockAbort {
+            txn: id,
+            route: Route::Central,
+        });
+        self.txns.get_mut(id).expect("txn").begin_rerun(true);
+        self.release_remote_grants(now, id, k);
+        self.resume_grants(now, &grants, Locale::Central(k));
+        let backoff = self.deadlock_backoff(id, Locale::Central(k));
+        self.txns.get_mut(id).expect("txn").backoff_total += backoff.as_secs();
+        self.metrics.on_backoff(now, backoff);
+        self.queue.schedule(now + backoff, Ev::Rerun { txn: id });
+    }
+
+    /// An `AuthReply` landing at shard `s`: either the aggregation step of
+    /// a delegation this shard runs for a foreign resident, or a direct
+    /// reply to one of this shard's own residents.
+    fn shard_auth_reply(&mut self, now: SimTime, s: usize, id: u64, positive: bool) {
+        if let Some(entry) = self.centrals[s].foreign_auth.get_mut(&id) {
+            entry.pending -= 1;
+            if !positive {
+                entry.negative = true;
+            }
+            if entry.pending == 0 {
+                let (home, verdict) = (entry.home, !entry.negative);
+                // Keep the entry: its site list drives the later
+                // `ShardCommit` / `ShardAuthAbort` fan-out.
+                self.send(
+                    now,
+                    NodeId::shard(s as u32),
+                    NodeId::shard(home),
+                    Msg::ShardAuthReply {
+                        txn: id,
+                        positive: verdict,
+                    },
+                );
+            }
+            return;
+        }
+        self.on_auth_reply(now, id, positive);
+    }
+
+    /// CPU burst done at foreign shard `j`: run the delegated
+    /// authentication exchange with the master sites this shard homes,
+    /// recording a [`ForeignAuth`] entry to aggregate their replies.
+    fn finish_shard_auth_fanout(
+        &mut self,
+        now: SimTime,
+        j: usize,
+        id: u64,
+        home: u32,
+        locks: &[(LockId, LockMode)],
+    ) {
+        // A crash may have killed the requester while this burst was
+        // queued; its cleanup also removed any delegation entry — don't
+        // recreate one for the dead.
+        if !self.txns.contains(id) {
+            return;
+        }
+        let spec = *self.generator.spec();
+        let mut sites = self.pool_sites.take();
+        for &(l, _) in locks {
+            let m = spec.master_of(l);
+            if !sites.contains(&m) {
+                sites.push(m);
+            }
+        }
+        let n_sites = sites.len();
+        let prev = self.centrals[j].foreign_auth.insert(
+            id,
+            ForeignAuth {
+                pending: n_sites,
+                negative: false,
+                home,
+                sites,
+            },
+        );
+        debug_assert!(prev.is_none(), "duplicate delegation for txn {id}");
+        if let Some(p) = prev {
+            self.pool_sites.put(p.sites);
+        }
+        for i in 0..n_sites {
+            let site = self.centrals[j].foreign_auth[&id].sites[i];
+            let mut site_locks = self.pool_locks.take();
+            site_locks.extend(
+                locks
+                    .iter()
+                    .copied()
+                    .filter(|&(l, _)| spec.master_of(l) == site),
+            );
+            self.send(
+                now,
+                NodeId::shard(j as u32),
+                NodeId::local(site as u32),
+                Msg::AuthRequest {
+                    txn: id,
+                    locks: site_locks,
+                },
+            );
+        }
+    }
+
+    /// CPU burst done at foreign shard `j`: apply a delegated commit —
+    /// write the replica partitions this shard homes, release the
+    /// committer's grants, and fan the commit out to the master sites.
+    fn finish_shard_commit_apply(
+        &mut self,
+        now: SimTime,
+        j: usize,
+        id: u64,
+        locks: &[(LockId, LockMode)],
+        writes: &[(LockId, u64)],
+    ) {
+        let spec = *self.generator.spec();
+        for &(l, stamp) in writes {
+            self.centrals[j].store.insert(l, stamp);
+        }
+        let grants = self.centrals[j].locks.release_all(OwnerId(id));
+        self.resume_grants(now, &grants, Locale::Central(j));
+        if let Some(entry) = self.centrals[j].foreign_auth.remove(&id) {
+            self.pool_sites.put(entry.sites);
+        }
+        // Recompute the site fan-out from the lock list rather than the
+        // delegation entry — a central crash clears the entries, but the
+        // locks travel with the message.
+        let mut sites = self.pool_sites.take();
+        for &(l, _) in locks {
+            let m = spec.master_of(l);
+            if !sites.contains(&m) {
+                sites.push(m);
+            }
+        }
+        for &site in &sites {
+            let mut site_writes = self.pool_writes.take();
+            site_writes.extend(
+                writes
+                    .iter()
+                    .copied()
+                    .filter(|&(l, _)| spec.master_of(l) == site),
+            );
+            self.send(
+                now,
+                NodeId::shard(j as u32),
+                NodeId::local(site as u32),
+                Msg::CommitMsg {
+                    txn: id,
+                    writes: site_writes,
+                },
+            );
+        }
+        self.pool_sites.put(sites);
     }
 
     // ------------------------------------------------------------------
@@ -1891,9 +2402,10 @@ impl HybridSystem {
     fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: Msg) {
         let timer = Timer::start_if(self.profiler.enabled());
         self.msg_counts.record(&msg);
-        // Every message from the central complex carries a state snapshot
-        // for the routing strategies.
-        let snap = from.is_central().then(|| self.central_snapshot());
+        // Every message from the central complex to a local site carries a
+        // state snapshot (of the sending shard) for the routing strategies.
+        let snap = (from.is_central() && !to.is_central())
+            .then(|| self.central_snapshot(from.shard_index()));
         self.deliver(now, from, to, msg, snap);
         self.profiler.stop("net.send", timer);
     }
@@ -1967,7 +2479,7 @@ impl HybridSystem {
             self.metrics
                 .on_availability(now, |a| a.deferred_messages += 1);
             if to.is_central() {
-                self.deferred_central.push_back((msg, snap));
+                self.deferred_central.push_back((to, msg, snap));
             } else {
                 self.deferred_site[to.local_index()].push_back((msg, snap));
             }
@@ -1984,14 +2496,14 @@ impl HybridSystem {
                 };
                 t.phase = Phase::SetupIo;
                 t.in_central_count = true;
-                self.central.n_txns += 1;
+                self.centrals[to.shard_index()].n_txns += 1;
                 self.schedule_io(now, txn, self.cfg.params.setup_io);
             }
             Msg::AsyncUpdate { from, writes } => {
                 debug_assert!(to.is_central());
                 self.submit_cpu(
                     now,
-                    Locale::Central,
+                    Locale::Central(to.shard_index()),
                     JobKind::ApplyAsync { from, writes },
                     self.cfg.params.async_update_instr,
                 );
@@ -2017,7 +2529,10 @@ impl HybridSystem {
                     self.cfg.params.auth_instr,
                 );
             }
-            Msg::AuthReply { txn, positive } => self.on_auth_reply(now, txn, positive),
+            Msg::AuthReply { txn, positive } => {
+                debug_assert!(to.is_central());
+                self.shard_auth_reply(now, to.shard_index(), txn, positive);
+            }
             Msg::AuthRelease { txn } => {
                 let site = to.local_index();
                 let grants = self.sites[site].locks.release_all(OwnerId(txn));
@@ -2040,7 +2555,7 @@ impl HybridSystem {
                     };
                     if t.call_idx == 0 && !t.is_rerun() {
                         t.in_central_count = true;
-                        self.central.n_txns += 1;
+                        self.centrals[to.shard_index()].n_txns += 1;
                     }
                 }
                 self.start_call_cpu(now, txn);
@@ -2084,6 +2599,73 @@ impl HybridSystem {
                 if t.during_outage {
                     self.metrics.on_outage_response(now, rt);
                 }
+            }
+            Msg::ShardLockReq {
+                txn,
+                lock,
+                mode,
+                home,
+            } => {
+                debug_assert!(to.is_central());
+                self.submit_cpu(
+                    now,
+                    Locale::Central(to.shard_index()),
+                    JobKind::ShardLock {
+                        txn,
+                        lock,
+                        mode,
+                        home,
+                    },
+                    self.cfg.params.shard_op_instr,
+                );
+            }
+            Msg::ShardLockResp { txn, lock, granted } => {
+                debug_assert!(to.is_central());
+                self.on_shard_lock_resp(now, to.shard_index(), txn, lock, granted);
+            }
+            Msg::ShardAuthReq { txn, home, locks } => {
+                debug_assert!(to.is_central());
+                self.submit_cpu(
+                    now,
+                    Locale::Central(to.shard_index()),
+                    JobKind::ShardAuthFanout { txn, home, locks },
+                    self.cfg.params.shard_op_instr,
+                );
+            }
+            Msg::ShardAuthReply { txn, positive } => {
+                debug_assert!(to.is_central());
+                self.on_auth_reply(now, txn, positive);
+            }
+            Msg::ShardCommit { txn, locks, writes } => {
+                debug_assert!(to.is_central());
+                self.submit_cpu(
+                    now,
+                    Locale::Central(to.shard_index()),
+                    JobKind::ShardCommitApply { txn, locks, writes },
+                    self.cfg.params.shard_op_instr,
+                );
+            }
+            Msg::ShardAuthAbort { txn } => {
+                debug_assert!(to.is_central());
+                let s = to.shard_index();
+                if let Some(entry) = self.centrals[s].foreign_auth.remove(&txn) {
+                    for i in 0..entry.sites.len() {
+                        let site = entry.sites[i];
+                        self.send(
+                            now,
+                            NodeId::shard(s as u32),
+                            NodeId::local(site as u32),
+                            Msg::AuthRelease { txn },
+                        );
+                    }
+                    self.pool_sites.put(entry.sites);
+                }
+            }
+            Msg::ShardRelease { txn } => {
+                debug_assert!(to.is_central());
+                let s = to.shard_index();
+                let grants = self.centrals[s].locks.release_all(OwnerId(txn));
+                self.resume_grants(now, &grants, Locale::Central(s));
             }
         }
     }
@@ -2183,7 +2765,12 @@ impl HybridSystem {
                     }
                     self.pool_writes.put(writes);
                 }
-                JobKind::ApplyAsync { .. } => unreachable!("ApplyAsync at a local site"),
+                JobKind::ApplyAsync { .. }
+                | JobKind::ShardLock { .. }
+                | JobKind::ShardAuthFanout { .. }
+                | JobKind::ShardCommitApply { .. } => {
+                    unreachable!("central-side job at a local site")
+                }
             }
         }
         // Kill every transaction anchored at the site: locals, remote-call
@@ -2210,9 +2797,10 @@ impl HybridSystem {
         self.absorb_lock_stats(lost.stats());
         self.sites[s].locks.set_profiling(self.profiler.enabled());
         self.sites[s].n_txns = 0;
+        let h = self.shard_map.home_of(s) as usize;
         for txn in failed_auths {
-            if self.txns.contains(txn) {
-                self.on_auth_reply(now, txn, false);
+            if self.txns.contains(txn) || self.centrals[h].foreign_auth.contains_key(&txn) {
+                self.shard_auth_reply(now, h, txn, false);
             }
         }
     }
@@ -2234,16 +2822,26 @@ impl HybridSystem {
     /// are queued durably for replay. Shipped transactions still on the
     /// wire or at their origin survive — their messages wait for recovery.
     fn crash_central(&mut self, now: SimTime) {
-        let evicted = self.central.cpu.drain(now);
-        for job in evicted {
-            if let Some(key) = self.jobs.take_key(job.id) {
-                self.queue.cancel(key);
-            }
-            match self.jobs.remove(job.id).expect("drained unknown job") {
-                JobKind::TxnPhase(_) => {}
-                kind @ JobKind::ApplyAsync { .. } => self.central_replay.push(kind),
-                JobKind::AuthProcess { .. } | JobKind::ApplyCommit { .. } => {
-                    unreachable!("site-side job at the central complex")
+        for k in 0..self.n_shards {
+            let evicted = self.centrals[k].cpu.drain(now);
+            for job in evicted {
+                if let Some(key) = self.jobs.take_key(job.id) {
+                    self.queue.cancel(key);
+                }
+                match self.jobs.remove(job.id).expect("drained unknown job") {
+                    JobKind::TxnPhase(_) => {}
+                    // Update applications are redo-logged durably; replayed
+                    // on recovery.
+                    kind @ (JobKind::ApplyAsync { .. } | JobKind::ShardCommitApply { .. }) => {
+                        self.central_replay.push((k, kind));
+                    }
+                    // In-flight cross-shard coordination dies with the
+                    // complex; the requesters are killed below.
+                    JobKind::ShardLock { .. } => {}
+                    JobKind::ShardAuthFanout { locks, .. } => self.pool_locks.put(locks),
+                    JobKind::AuthProcess { .. } | JobKind::ApplyCommit { .. } => {
+                        unreachable!("site-side job at the central complex")
+                    }
                 }
             }
         }
@@ -2257,10 +2855,15 @@ impl HybridSystem {
         for id in victims {
             self.crash_kill(now, id, true);
         }
-        let lost = std::mem::replace(&mut self.central.locks, LockTable::new());
-        self.absorb_lock_stats(lost.stats());
-        self.central.locks.set_profiling(self.profiler.enabled());
-        debug_assert_eq!(self.central.n_txns, 0, "central crash left residents");
+        for k in 0..self.n_shards {
+            let lost = std::mem::replace(&mut self.centrals[k].locks, LockTable::new());
+            self.absorb_lock_stats(lost.stats());
+            self.centrals[k]
+                .locks
+                .set_profiling(self.profiler.enabled());
+            self.centrals[k].foreign_auth.clear();
+            debug_assert_eq!(self.centrals[k].n_txns, 0, "central crash left residents");
+        }
     }
 
     /// Recovery: interrupted update applications restart first (their
@@ -2268,17 +2871,17 @@ impl HybridSystem {
     /// arrival order — preserving per-site FIFO application.
     fn recover_central(&mut self, now: SimTime) {
         let replay = std::mem::take(&mut self.central_replay);
-        for kind in replay {
-            self.submit_cpu(
-                now,
-                Locale::Central,
-                kind,
-                self.cfg.params.async_update_instr,
-            );
+        for (k, kind) in replay {
+            let instr = match &kind {
+                JobKind::ApplyAsync { .. } => self.cfg.params.async_update_instr,
+                JobKind::ShardCommitApply { .. } => self.cfg.params.shard_op_instr,
+                _ => unreachable!("non-replayable job in the replay log"),
+            };
+            self.submit_cpu(now, Locale::Central(k), kind, instr);
         }
         let queued = std::mem::take(&mut self.deferred_central);
-        for (msg, snap) in queued {
-            self.on_msg(now, NodeId::CENTRAL, msg, snap);
+        for (to, msg, snap) in queued {
+            self.on_msg(now, to, msg, snap);
         }
     }
 
@@ -2296,13 +2899,27 @@ impl HybridSystem {
             }
         }
         self.pool_sites.put(auth_sites);
-        // Locks held or awaited at the central complex (if it survives).
+        // Locks held or awaited at the central complex (if it survives),
+        // including cross-shard grants at foreign shards.
         if self.central_up && txn.route == Route::Central {
-            let grants = self.central.locks.release_all(owner);
-            self.resume_grants(now, &grants, Locale::Central);
+            let k = self.shard_map.home_of(txn.spec.origin) as usize;
+            let grants = self.centrals[k].locks.release_all(owner);
+            self.resume_grants(now, &grants, Locale::Central(k));
+            for j in std::mem::take(&mut txn.remote_shards) {
+                let grants = self.centrals[j as usize].locks.release_all(owner);
+                self.resume_grants(now, &grants, Locale::Central(j as usize));
+            }
         }
         if txn.in_central_count {
-            self.central.n_txns -= 1;
+            self.centrals[self.shard_map.home_of(txn.spec.origin) as usize].n_txns -= 1;
+        }
+        // Drop any delegation records still tracking this transaction.
+        if self.n_shards > 1 {
+            for k in 0..self.n_shards {
+                if let Some(entry) = self.centrals[k].foreign_auth.remove(&id) {
+                    self.pool_sites.put(entry.sites);
+                }
+            }
         }
         let route = txn.route;
         self.metrics.on_availability(now, |a| {
@@ -2337,7 +2954,9 @@ impl HybridSystem {
     /// communication delay (the conservative window bound). Ineligible
     /// runs take the serial path and are bit-identical by construction.
     pub(crate) fn speculative_eligible(&self) -> bool {
-        self.cfg.fault_schedule.events().is_empty()
+        self.n_shards == 1
+            && !self.cfg.scale_metrics
+            && self.cfg.fault_schedule.events().is_empty()
             && self.trace.is_none()
             && !self.profiler.enabled()
             && self.samples.is_none()
@@ -2528,10 +3147,10 @@ impl HybridSystem {
     /// Post-warmup utilization of the central CPU complex — valid only
     /// on the central worker.
     pub(crate) fn shard_central_utilization(&self) -> f64 {
-        self.central.cpu.utilization(
+        self.centrals[0].cpu.utilization(
             self.end,
             SimTime::from_secs(self.cfg.warmup),
-            self.central.busy_at_warmup,
+            self.centrals[0].busy_at_warmup,
         )
     }
 
@@ -2574,11 +3193,18 @@ impl HybridSystem {
             })
             .sum::<f64>()
             / self.sites.len() as f64;
-        let rho_central = self.central.cpu.utilization(
-            self.end,
-            SimTime::from_secs(self.cfg.warmup),
-            self.central.busy_at_warmup,
-        );
+        let rho_central = self
+            .centrals
+            .iter()
+            .map(|c| {
+                c.cpu.utilization(
+                    self.end,
+                    SimTime::from_secs(self.cfg.warmup),
+                    c.busy_at_warmup,
+                )
+            })
+            .sum::<f64>()
+            / self.centrals.len() as f64;
         let _ = window;
         let by_kind = self.msg_counts.sorted();
         let downtime = self
@@ -2588,7 +3214,7 @@ impl HybridSystem {
         let profile = if self.profiler.enabled() {
             let mut tables: Vec<LockStats> =
                 self.sites.iter().map(|s| s.locks.stats().clone()).collect();
-            tables.push(self.central.locks.stats().clone());
+            tables.extend(self.centrals.iter().map(|c| c.locks.stats().clone()));
             for stats in &tables {
                 self.absorb_lock_stats(stats);
             }
@@ -2605,7 +3231,41 @@ impl HybridSystem {
             profile,
         );
         m.messages_by_kind = by_kind;
+        if self.cfg.scale_metrics {
+            let state_bytes = self.state_bytes();
+            let peak = self.peak_txns as u64;
+            m.scale = Some(ScaleReport {
+                n_sites: self.cfg.params.n_sites,
+                n_shards: self.n_shards,
+                peak_in_flight: peak,
+                state_bytes,
+                bytes_per_txn: state_bytes as f64 / peak.max(1) as f64,
+                cross_shard_messages: self.net.messages_cross_shard(),
+                cross_shard_denials: self.cross_denials,
+                remote_lock_grants: self.remote_grant_count,
+            });
+        }
         m
+    }
+
+    /// Estimated resident state footprint: transaction records, CPU job
+    /// slots, and per-node replica stores, update buffers, and lock
+    /// grants. Entry sizes are fixed estimates (a map entry's key, value,
+    /// and bucket overhead), so the figure is comparable across backends
+    /// and shard counts rather than allocator-exact.
+    fn state_bytes(&self) -> u64 {
+        const STORE_ENTRY: usize = 24;
+        const GRANT_ENTRY: usize = 48;
+        let mut total = self.txns.approx_bytes() + self.jobs.approx_bytes();
+        for s in &self.sites {
+            total += s.store.len() * STORE_ENTRY
+                + s.async_buffer.capacity() * std::mem::size_of::<(LockId, u64)>()
+                + s.locks.grants_count() * GRANT_ENTRY;
+        }
+        for c in &self.centrals {
+            total += c.store.len() * STORE_ENTRY + c.locks.grants_count() * GRANT_ENTRY;
+        }
+        total as u64
     }
 }
 

@@ -91,6 +91,11 @@ pub struct Txn {
     /// Central transactions: the distinct master sites involved in the
     /// authentication phase.
     pub auth_sites: Vec<usize>,
+    /// Sharded central complex only: foreign shards that currently hold
+    /// lock grants for this transaction (always empty when the complex is
+    /// a single shard). Cleared when the grants are released via
+    /// `ShardCommit` or `ShardRelease`.
+    pub remote_shards: Vec<u32>,
     /// Class B in remote-function-call mode: stays at the origin and
     /// performs one central round trip per database call.
     pub remote_calls: bool,
@@ -139,6 +144,7 @@ impl Txn {
             auth_pending: 0,
             auth_negative: false,
             auth_sites: Vec::new(),
+            remote_shards: Vec::new(),
             remote_calls: false,
             wait_since: arrival,
             lock_wait_total: 0.0,

@@ -188,8 +188,11 @@ impl FaultSchedule {
     }
 
     fn push(&mut self, at: f64, kind: FaultKind) {
-        self.events.push(FaultEvent { at, kind });
-        self.events.sort_by(|a, b| a.at.total_cmp(&b.at));
+        // Binary-search insertion after all events at <= `at`: the same
+        // final position a stable sort of append-then-sort would produce,
+        // without re-sorting the whole schedule on every window.
+        let idx = self.events.partition_point(|e| e.at.total_cmp(&at).is_le());
+        self.events.insert(idx, FaultEvent { at, kind });
     }
 
     /// Adds a site crash window: down at `from`, recovered at `to`.
@@ -334,24 +337,53 @@ impl FaultSchedule {
             }
             out
         };
-        let mut schedule = FaultSchedule::empty();
+        // Collect every transition first and sort once at the end. The
+        // per-window builders re-insert into an always-sorted vector, which
+        // is O(E^2) over the whole schedule — fine for hand-written
+        // scenarios, quadratic pain at N = 1,000 sites. A single stable
+        // sort of the append order produces the identical final order
+        // (equal times keep insertion order: down before up, site windows
+        // before link windows, lower sites first).
+        let mut events = Vec::new();
         for site in 0..n_sites {
             let label = site as u64;
             for (from, to) in
                 draw_windows(0x5172_0000 + label, profile.site_mtbf, profile.site_mttr)
             {
-                schedule = schedule.site_outage(site, from, to);
+                events.push(FaultEvent {
+                    at: from,
+                    kind: FaultKind::SiteDown { site },
+                });
+                events.push(FaultEvent {
+                    at: to,
+                    kind: FaultKind::SiteUp { site },
+                });
             }
             for (from, to) in
                 draw_windows(0x1111_0000 + label, profile.link_mtbf, profile.link_mttr)
             {
-                schedule = schedule.link_outage(site, from, to);
+                events.push(FaultEvent {
+                    at: from,
+                    kind: FaultKind::LinkDown { site },
+                });
+                events.push(FaultEvent {
+                    at: to,
+                    kind: FaultKind::LinkUp { site },
+                });
             }
         }
         for (from, to) in draw_windows(0xCE11_7321, profile.central_mtbf, profile.central_mttr) {
-            schedule = schedule.central_outage(from, to);
+            events.push(FaultEvent {
+                at: from,
+                kind: FaultKind::CentralDown,
+            });
+            events.push(FaultEvent {
+                at: to,
+                kind: FaultKind::CentralUp,
+            });
         }
-        schedule
+        events.sort_by(|a, b| a.at.total_cmp(&b.at));
+        FaultSchedule { events }
     }
 
     /// Validates the schedule against a system of `n_sites` sites: indices
@@ -609,6 +641,51 @@ partition 1,2 300 310
         a.validate(4).unwrap();
         let c = FaultSchedule::sample(8, 1000.0, 4, &profile);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn sampling_scales_to_a_thousand_sites() {
+        // N = 1,000 sites over a long horizon: sampling and validation
+        // must stay O(E log E)-sane (the old per-push re-sort made this
+        // quadratic) and remain deterministic and ordered.
+        let profile = FaultProfile {
+            site_mtbf: 300.0,
+            site_mttr: 20.0,
+            central_mtbf: 1000.0,
+            central_mttr: 30.0,
+            link_mtbf: 400.0,
+            link_mttr: 10.0,
+        };
+        let a = FaultSchedule::sample(42, 2000.0, 1000, &profile);
+        let b = FaultSchedule::sample(42, 2000.0, 1000, &profile);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert!(
+            a.len() > 5_000,
+            "expected thousands of transitions, got {}",
+            a.len()
+        );
+        a.validate(1000).unwrap();
+        assert!(
+            a.events()
+                .windows(2)
+                .all(|w| w[0].at.total_cmp(&w[1].at).is_le()),
+            "events must be sorted by time"
+        );
+        // Growing the site count must not perturb earlier sites' windows.
+        let small = FaultSchedule::sample(42, 2000.0, 10, &profile);
+        let site0 = |s: &FaultSchedule| -> Vec<FaultEvent> {
+            s.events()
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        FaultKind::SiteDown { site: 0 } | FaultKind::SiteUp { site: 0 }
+                    )
+                })
+                .copied()
+                .collect()
+        };
+        assert_eq!(site0(&a), site0(&small));
     }
 
     #[test]

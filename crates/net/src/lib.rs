@@ -36,7 +36,8 @@
 //!
 //! * [`StarNetwork::messages_sent`] — messages **accepted for delivery**
 //!   (the link was up at send time). Equals
-//!   [`StarNetwork::messages_to_central`] + [`StarNetwork::messages_from_central`].
+//!   [`StarNetwork::messages_to_central`] + [`StarNetwork::messages_from_central`]
+//!   + [`StarNetwork::messages_cross_shard`].
 //! * [`StarNetwork::messages_dropped`] — attempts refused by
 //!   [`StarNetwork::try_send`] because the link was down. Dropped messages
 //!   are *not* counted in `messages_sent`; a later re-send after recovery
@@ -69,43 +70,82 @@ use std::fmt;
 
 use hls_sim::{SimDuration, SimTime};
 
-/// A network endpoint: one of the distributed sites, or the central complex.
+/// Maximum number of central shards a network can address. Shard ids are
+/// carved out of the top of the `u32` space, so site indices must stay
+/// below `u32::MAX - MAX_SHARDS`.
+pub const MAX_SHARDS: u32 = 4096;
+
+/// First `u32` value reserved for shard endpoints.
+const SHARD_BASE: u32 = u32::MAX - (MAX_SHARDS - 1);
+
+/// A network endpoint: one of the distributed sites, or a node of the
+/// central complex.
+///
+/// The central complex may be *sharded* into up to [`MAX_SHARDS`] nodes;
+/// shard 0 is the classic single central complex ([`NodeId::CENTRAL`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
 
 impl NodeId {
-    /// The central computing complex.
+    /// The central computing complex (shard 0 of a sharded complex).
     pub const CENTRAL: NodeId = NodeId(u32::MAX);
 
     /// The `index`-th distributed (local) site.
     #[must_use]
     pub fn local(index: u32) -> NodeId {
-        assert!(index != u32::MAX, "local site index reserved for CENTRAL");
+        assert!(
+            index < SHARD_BASE,
+            "local site index reserved for central shards"
+        );
         NodeId(index)
     }
 
-    /// Returns `true` for the central complex.
+    /// The `k`-th central shard. `shard(0)` is [`NodeId::CENTRAL`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= MAX_SHARDS`.
+    #[must_use]
+    pub fn shard(k: u32) -> NodeId {
+        assert!(k < MAX_SHARDS, "shard index {k} >= MAX_SHARDS");
+        NodeId(u32::MAX - k)
+    }
+
+    /// Returns `true` for any node of the central complex (any shard).
     #[must_use]
     pub fn is_central(self) -> bool {
-        self == NodeId::CENTRAL
+        self.0 >= SHARD_BASE
     }
 
     /// The site index for a local node.
     ///
     /// # Panics
     ///
-    /// Panics when called on [`NodeId::CENTRAL`].
+    /// Panics when called on a central shard.
     #[must_use]
     pub fn local_index(self) -> usize {
         assert!(!self.is_central(), "CENTRAL has no local index");
         self.0 as usize
     }
+
+    /// The shard index for a central node (0 for [`NodeId::CENTRAL`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a local site.
+    #[must_use]
+    pub fn shard_index(self) -> usize {
+        assert!(self.is_central(), "local sites have no shard index");
+        (u32::MAX - self.0) as usize
+    }
 }
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_central() {
+        if self == &NodeId::CENTRAL {
             write!(f, "central")
+        } else if self.is_central() {
+            write!(f, "shard{}", self.shard_index())
         } else {
             write!(f, "site{}", self.0)
         }
@@ -137,12 +177,16 @@ pub struct Envelope<P> {
 /// partition).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetCounters {
-    /// Messages accepted for delivery (both directions).
+    /// Messages accepted for delivery (site links, both directions, plus
+    /// the shard interconnect).
     pub messages: u64,
     /// Accepted messages from local sites to the central complex.
     pub messages_up: u64,
     /// Accepted messages from the central complex to local sites.
     pub messages_down: u64,
+    /// Accepted messages between central shards (zero when the complex is
+    /// a single node).
+    pub cross: u64,
     /// Send attempts refused because the link was down.
     pub dropped: u64,
     /// Accepted messages transmitted while the link was slowed.
@@ -167,6 +211,7 @@ impl NetCounters {
             messages: sub(self.messages, earlier.messages),
             messages_up: sub(self.messages_up, earlier.messages_up),
             messages_down: sub(self.messages_down, earlier.messages_down),
+            cross: sub(self.cross, earlier.cross),
             dropped: sub(self.dropped, earlier.dropped),
             delayed: sub(self.delayed, earlier.delayed),
         }
@@ -237,14 +282,23 @@ impl<P> SendBuffer<P> {
 #[derive(Debug, Clone)]
 pub struct StarNetwork {
     n_sites: usize,
+    n_shards: usize,
     delay: SimDuration,
     /// Last scheduled delivery per directed link: `[site][0]` = site->central,
     /// `[site][1]` = central->site.
     last_delivery: Vec<[SimTime; 2]>,
+    /// FIFO floors of the shard interconnect, flattened `[from * n_shards +
+    /// to]`. Empty while `n_shards == 1` (no interconnect exists).
+    cross_last_delivery: Vec<SimTime>,
+    /// Home shard per site, when the caller registered a shard map: each
+    /// site's one link terminates at its home shard, and sends are checked
+    /// against it.
+    home_shards: Vec<u32>,
     links: Vec<LinkState>,
     messages: u64,
     messages_up: u64,
     messages_down: u64,
+    cross: u64,
     dropped: u64,
     delayed: u64,
 }
@@ -274,18 +328,61 @@ impl StarNetwork {
     /// Panics if `n_sites` is zero.
     #[must_use]
     pub fn new(n_sites: usize, delay: SimDuration) -> Self {
+        StarNetwork::new_sharded(n_sites, 1, delay)
+    }
+
+    /// Creates a star-of-stars network: `n_sites` local sites, each linked
+    /// to its home shard of a `n_shards`-node central complex, plus a
+    /// full-mesh shard interconnect with the same one-way delay. With
+    /// `n_shards == 1` this is exactly [`StarNetwork::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sites` or `n_shards` is zero, or `n_shards` exceeds
+    /// [`MAX_SHARDS`].
+    #[must_use]
+    pub fn new_sharded(n_sites: usize, n_shards: usize, delay: SimDuration) -> Self {
         assert!(n_sites > 0, "a hybrid system needs at least one local site");
+        assert!(
+            n_shards > 0 && n_shards <= MAX_SHARDS as usize,
+            "n_shards must be in 1..={MAX_SHARDS}, got {n_shards}"
+        );
         StarNetwork {
             n_sites,
+            n_shards,
             delay,
             last_delivery: vec![[SimTime::ZERO; 2]; n_sites],
+            cross_last_delivery: if n_shards > 1 {
+                vec![SimTime::ZERO; n_shards * n_shards]
+            } else {
+                Vec::new()
+            },
+            home_shards: Vec::new(),
             links: vec![LinkState::default(); n_sites],
             messages: 0,
             messages_up: 0,
             messages_down: 0,
+            cross: 0,
             dropped: 0,
             delayed: 0,
         }
+    }
+
+    /// Registers each site's home shard. Once set, every site-link send is
+    /// checked against the map: a site only ever exchanges messages with
+    /// its home shard (the hierarchical-routing invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's length differs from `n_sites` or any entry is
+    /// not a valid shard index.
+    pub fn set_home_shards(&mut self, homes: Vec<u32>) {
+        assert_eq!(homes.len(), self.n_sites, "one home shard per site");
+        assert!(
+            homes.iter().all(|&h| (h as usize) < self.n_shards),
+            "home shard out of range"
+        );
+        self.home_shards = homes;
     }
 
     /// Number of local sites.
@@ -294,21 +391,35 @@ impl StarNetwork {
         self.n_sites
     }
 
+    /// Number of central shards (1 = the classic single complex).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
     /// One-way link delay.
     #[must_use]
     pub fn delay(&self) -> SimDuration {
         self.delay
     }
 
-    /// Resolves a site/direction pair for a transmission, panicking on
-    /// topology violations.
+    /// Resolves a site/direction pair for a site-link transmission,
+    /// panicking on topology violations.
     fn link_of(&self, from: NodeId, to: NodeId) -> (usize, usize) {
-        let (site, dir) = match (from.is_central(), to.is_central()) {
-            (false, true) => (from.local_index(), 0),
-            (true, false) => (to.local_index(), 1),
+        let (site, dir, shard) = match (from.is_central(), to.is_central()) {
+            (false, true) => (from.local_index(), 0, to.shard_index()),
+            (true, false) => (to.local_index(), 1, from.shard_index()),
             _ => panic!("star topology: exactly one endpoint must be central ({from} -> {to})"),
         };
         assert!(site < self.n_sites, "site index {site} out of range");
+        assert!(shard < self.n_shards, "shard index {shard} out of range");
+        if !self.home_shards.is_empty() {
+            assert!(
+                self.home_shards[site] as usize == shard,
+                "site {site} may only talk to its home shard {} (got shard {shard})",
+                self.home_shards[site],
+            );
+        }
         (site, dir)
     }
 
@@ -348,6 +459,9 @@ impl StarNetwork {
         to: NodeId,
         payload: P,
     ) -> Result<Envelope<P>, P> {
+        if from.is_central() && to.is_central() {
+            return Ok(self.send_cross_shard(now, from, to, payload));
+        }
         let (site, dir) = self.link_of(from, to);
         let link = self.links[site];
         if !link.up {
@@ -372,6 +486,42 @@ impl StarNetwork {
             deliver_at,
             payload,
         })
+    }
+
+    /// Sends over the shard interconnect: both endpoints are central
+    /// shards. Interconnect links are always up (the complex shares a
+    /// machine room; availability is modelled at the complex level by the
+    /// fault layer) and are not subject to site-link slow factors, but each
+    /// directed shard pair keeps its own FIFO floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either shard index is out of range, or on a self-send.
+    fn send_cross_shard<P>(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        payload: P,
+    ) -> Envelope<P> {
+        let (f, t) = (from.shard_index(), to.shard_index());
+        assert!(
+            f < self.n_shards && t < self.n_shards,
+            "shard index out of range ({from} -> {to}, n_shards = {})",
+            self.n_shards
+        );
+        assert!(f != t, "cross-shard send requires distinct shards ({from})");
+        let slot = f * self.n_shards + t;
+        let deliver_at = (now + self.delay).max(self.cross_last_delivery[slot]);
+        self.cross_last_delivery[slot] = deliver_at;
+        self.messages += 1;
+        self.cross += 1;
+        Envelope {
+            from,
+            to,
+            deliver_at,
+            payload,
+        }
     }
 
     /// Takes the `site`'s link up or down.
@@ -440,6 +590,13 @@ impl StarNetwork {
         self.messages_down
     }
 
+    /// Delivered messages between central shards (always zero for an
+    /// unsharded complex).
+    #[must_use]
+    pub fn messages_cross_shard(&self) -> u64 {
+        self.cross
+    }
+
     /// Send attempts refused because the link was down (not included in
     /// [`StarNetwork::messages_sent`]).
     #[must_use]
@@ -461,6 +618,7 @@ impl StarNetwork {
             messages: self.messages,
             messages_up: self.messages_up,
             messages_down: self.messages_down,
+            cross: self.cross,
             dropped: self.dropped,
             delayed: self.delayed,
         }
@@ -472,6 +630,7 @@ impl StarNetwork {
         self.messages += delta.messages;
         self.messages_up += delta.messages_up;
         self.messages_down += delta.messages_down;
+        self.cross += delta.cross;
         self.dropped += delta.dropped;
         self.delayed += delta.delayed;
     }
@@ -533,10 +692,68 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exactly one endpoint")]
-    fn central_to_central_is_rejected() {
+    #[should_panic(expected = "distinct shards")]
+    fn central_self_send_is_rejected() {
         let mut net = StarNetwork::new(2, d(0.1));
         net.send(t(0.0), NodeId::CENTRAL, NodeId::CENTRAL, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_shard_send_requires_enough_shards() {
+        // An unsharded network has no interconnect.
+        let mut net = StarNetwork::new(2, d(0.1));
+        net.send(t(0.0), NodeId::shard(1), NodeId::CENTRAL, ());
+    }
+
+    #[test]
+    fn shard_node_ids() {
+        assert_eq!(NodeId::shard(0), NodeId::CENTRAL);
+        assert!(NodeId::shard(3).is_central());
+        assert_eq!(NodeId::shard(3).shard_index(), 3);
+        assert_eq!(NodeId::CENTRAL.shard_index(), 0);
+        assert_eq!(NodeId::shard(3).to_string(), "shard3");
+        assert_eq!(NodeId::shard(0).to_string(), "central");
+        assert!(!NodeId::local(7).is_central());
+    }
+
+    #[test]
+    #[should_panic(expected = "no shard index")]
+    fn sites_have_no_shard_index() {
+        let _ = NodeId::local(2).shard_index();
+    }
+
+    #[test]
+    fn cross_shard_links_are_fifo_per_directed_pair() {
+        let mut net = StarNetwork::new_sharded(2, 4, d(0.2));
+        assert_eq!(net.n_shards(), 4);
+        let a = net.send(t(0.0), NodeId::shard(1), NodeId::shard(2), 'a');
+        let b = net.send(t(0.1), NodeId::shard(1), NodeId::shard(2), 'b');
+        assert_eq!(a.deliver_at, t(0.2));
+        assert!(a.deliver_at <= b.deliver_at);
+        // The opposite direction and other pairs keep their own floors.
+        let c = net.send(t(0.0), NodeId::shard(2), NodeId::shard(1), 'c');
+        assert_eq!(c.deliver_at, t(0.2));
+        assert_eq!(net.messages_cross_shard(), 3);
+        assert_eq!(net.messages_sent(), 3);
+        assert_eq!(net.messages_to_central(), 0);
+    }
+
+    #[test]
+    fn site_links_terminate_at_the_home_shard() {
+        let mut net = StarNetwork::new_sharded(4, 2, d(0.2));
+        net.set_home_shards(vec![0, 0, 1, 1]);
+        let e = net.send(t(0.0), NodeId::local(2), NodeId::shard(1), ());
+        assert_eq!(e.deliver_at, t(0.2));
+        assert_eq!(net.messages_to_central(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "home shard")]
+    fn send_to_a_foreign_shard_is_rejected() {
+        let mut net = StarNetwork::new_sharded(4, 2, d(0.2));
+        net.set_home_shards(vec![0, 0, 1, 1]);
+        net.send(t(0.0), NodeId::local(2), NodeId::CENTRAL, ());
     }
 
     #[test]
@@ -636,6 +853,7 @@ mod tests {
                 messages: 1,
                 messages_up: 0,
                 messages_down: 1,
+                cross: 0,
                 dropped: 1,
                 delayed: 0,
             }

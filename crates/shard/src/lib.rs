@@ -1,0 +1,387 @@
+//! # hls-shard — sharding the central complex
+//!
+//! The paper's hybrid architecture (Ciciani, Dias & Yu, ICDCS 1988) backs
+//! `N` distributed sites with **one** central complex replicating every
+//! site's partition. That single node is the scalability wall: at
+//! N = 1,000+ sites its CPU, lock table, and update fan-in all grow with
+//! `N`. This crate provides the topology-level answer — a central complex
+//! *sharded* into `K` nodes, each replicating a **contiguous subset of
+//! sites' partitions** — plus the hierarchical router that decides, for
+//! any site or lock, which shard is responsible:
+//!
+//! * [`ShardMap`] — a validated contiguous partition of the site set into
+//!   `K` shard ranges, with O(1) `site -> home shard` lookup,
+//! * [`ShardSpec`] — the configuration-level description (`Single`,
+//!   `Even { k }`, or explicit ranges), resolved against the actual site
+//!   count at system construction,
+//! * the **hierarchical router**: a site belongs to its home shard
+//!   ([`ShardMap::home_of`]); a lock belongs to the shard that replicates
+//!   its master site's partition ([`ShardMap::home_of_lock`], composing
+//!   [`WorkloadSpec::master_of`]). Every (site, lock) pair resolves to
+//!   exactly one shard, deterministically — pure arithmetic, no state.
+//!
+//! `K = 1` degenerates to the paper's architecture: one shard homes every
+//! site and owns the whole lock space, and the simulator's behaviour is
+//! bit-identical to the unsharded build.
+//!
+//! # Examples
+//!
+//! ```
+//! use hls_shard::{ShardMap, ShardSpec};
+//! use hls_workload::WorkloadSpec;
+//!
+//! let map = ShardSpec::Even { k: 4 }.resolve(10).unwrap();
+//! assert_eq!(map.n_shards(), 4);
+//! assert_eq!(map.home_of(0), 0);
+//! assert_eq!(map.home_of(9), 3);
+//!
+//! let spec = WorkloadSpec::paper_default();
+//! let lock = hls_lockmgr::LockId(0);
+//! assert_eq!(map.home_of_lock(&spec, lock), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hls_lockmgr::LockId;
+use hls_workload::WorkloadSpec;
+
+/// A validated partition of `n_sites` sites into `K` contiguous shard
+/// ranges: shard `k` replicates the partitions of sites
+/// `bounds[k] .. bounds[k + 1]`.
+///
+/// Contiguity is a deliberate restriction (mirroring the paper's
+/// contiguous lock-space slices per site): it makes the home-shard lookup
+/// a table index, keeps each shard's replica a dense range of the global
+/// store, and lets the asynchronous-update fan-in of a shard scale with
+/// its own site count rather than `N`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `K + 1` range boundaries: `bounds[0] == 0`,
+    /// `bounds[K] == n_sites`, strictly increasing.
+    bounds: Vec<usize>,
+    /// O(1) lookup table: `home[site]` is the owning shard.
+    home: Vec<u32>,
+}
+
+impl ShardMap {
+    /// The degenerate single-shard map: shard 0 homes every site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sites` is zero.
+    #[must_use]
+    pub fn single(n_sites: usize) -> ShardMap {
+        ShardMap::even(n_sites, 1).expect("a single shard always partitions the sites")
+    }
+
+    /// A balanced contiguous partition into `k` shards: shard sizes differ
+    /// by at most one, earlier shards take the extra site.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `k` is zero or exceeds `n_sites` (an empty
+    /// shard would replicate nothing and home nobody).
+    pub fn even(n_sites: usize, k: usize) -> Result<ShardMap, String> {
+        if n_sites == 0 {
+            return Err("shard map needs at least one site".into());
+        }
+        if k == 0 {
+            return Err("shard map needs at least one shard".into());
+        }
+        if k > n_sites {
+            return Err(format!(
+                "cannot split {n_sites} sites into {k} shards: every shard must home at least one site"
+            ));
+        }
+        let (base, extra) = (n_sites / k, n_sites % k);
+        let mut bounds = Vec::with_capacity(k + 1);
+        let mut at = 0;
+        bounds.push(at);
+        for shard in 0..k {
+            at += base + usize::from(shard < extra);
+            bounds.push(at);
+        }
+        Ok(ShardMap::from_bounds(bounds))
+    }
+
+    /// Builds a map from explicit half-open ranges `(from, to)`, one per
+    /// shard in shard order, validating that they exactly partition
+    /// `0..n_sites`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violation: an empty or reversed
+    /// range, a gap between consecutive ranges, an overlap, or coverage
+    /// that does not start at site 0 / end at `n_sites`.
+    pub fn from_ranges(n_sites: usize, ranges: &[(usize, usize)]) -> Result<ShardMap, String> {
+        if n_sites == 0 {
+            return Err("shard map needs at least one site".into());
+        }
+        if ranges.is_empty() {
+            return Err("shard map needs at least one shard".into());
+        }
+        let mut bounds = Vec::with_capacity(ranges.len() + 1);
+        let mut expect = 0usize;
+        for (k, &(from, to)) in ranges.iter().enumerate() {
+            if to <= from {
+                return Err(format!(
+                    "shard {k} range [{from}, {to}) is empty or reversed"
+                ));
+            }
+            if from > expect {
+                return Err(format!(
+                    "shard map has a gap: sites [{expect}, {from}) belong to no shard \
+                     (shard {k} starts at {from})"
+                ));
+            }
+            if from < expect {
+                return Err(format!(
+                    "shard map overlaps: site {from} already belongs to shard {}, \
+                     but shard {k} claims [{from}, {to})",
+                    k - 1
+                ));
+            }
+            bounds.push(from);
+            expect = to;
+        }
+        if expect != n_sites {
+            return Err(if expect < n_sites {
+                format!("shard map has a gap: sites [{expect}, {n_sites}) belong to no shard")
+            } else {
+                format!(
+                    "shard map overflows the site set: last range ends at {expect}, \
+                     but there are only {n_sites} sites"
+                )
+            });
+        }
+        bounds.push(n_sites);
+        Ok(ShardMap::from_bounds(bounds))
+    }
+
+    /// Builds the lookup table from validated bounds.
+    fn from_bounds(bounds: Vec<usize>) -> ShardMap {
+        let n_sites = *bounds.last().expect("bounds are non-empty");
+        let mut home = vec![0u32; n_sites];
+        for k in 0..bounds.len() - 1 {
+            for h in &mut home[bounds[k]..bounds[k + 1]] {
+                *h = u32::try_from(k).expect("shard count fits in u32");
+            }
+        }
+        ShardMap { bounds, home }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Number of sites partitioned by this map.
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        self.home.len()
+    }
+
+    /// The home shard of `site` — the shard replicating its partition and
+    /// terminating its one network link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn home_of(&self, site: usize) -> u32 {
+        self.home[site]
+    }
+
+    /// The sites homed by shard `k`, as a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn sites_of(&self, k: usize) -> std::ops::Range<usize> {
+        self.bounds[k]..self.bounds[k + 1]
+    }
+
+    /// The hierarchical router's second level: the shard that owns `lock`,
+    /// i.e. the home shard of the lock's master site under `spec`'s
+    /// contiguous lock-space slicing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` describes a different site count than this map.
+    #[must_use]
+    pub fn home_of_lock(&self, spec: &WorkloadSpec, lock: LockId) -> u32 {
+        debug_assert_eq!(
+            spec.n_sites,
+            self.n_sites(),
+            "shard map and workload spec disagree on the site count"
+        );
+        self.home_of(spec.master_of(lock))
+    }
+
+    /// Per-shard site counts, in shard order (useful for sizing replicas).
+    #[must_use]
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        (0..self.n_shards())
+            .map(|k| self.sites_of(k).len())
+            .collect()
+    }
+}
+
+/// Configuration-level description of how to shard the central complex.
+///
+/// Resolution against the concrete site count happens at system
+/// construction ([`ShardSpec::resolve`]), so a config whose `n_sites` is
+/// edited after the spec is chosen cannot carry a stale map.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ShardSpec {
+    /// One central complex — the paper's architecture, and the default.
+    /// Bit-identical to builds that predate sharding.
+    #[default]
+    Single,
+    /// `k` shards, sites split contiguously and as evenly as possible.
+    Even {
+        /// Number of shards.
+        k: usize,
+    },
+    /// Explicit half-open site ranges, one per shard in shard order. Must
+    /// exactly partition the site set (validated at resolution).
+    Explicit(Vec<(usize, usize)>),
+}
+
+impl ShardSpec {
+    /// Resolves the spec into a validated [`ShardMap`] for `n_sites`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the spec cannot partition `n_sites` sites
+    /// (zero or too many shards, or explicit ranges with a gap/overlap).
+    pub fn resolve(&self, n_sites: usize) -> Result<ShardMap, String> {
+        match self {
+            ShardSpec::Single => ShardMap::even(n_sites, 1),
+            ShardSpec::Even { k } => ShardMap::even(n_sites, *k),
+            ShardSpec::Explicit(ranges) => ShardMap::from_ranges(n_sites, ranges),
+        }
+    }
+
+    /// Number of shards this spec asks for (before validation).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        match self {
+            ShardSpec::Single => 1,
+            ShardSpec::Even { k } => *k,
+            ShardSpec::Explicit(ranges) => ranges.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_homes_every_site_at_shard_zero() {
+        let map = ShardMap::single(10);
+        assert_eq!(map.n_shards(), 1);
+        assert_eq!(map.n_sites(), 10);
+        assert!((0..10).all(|s| map.home_of(s) == 0));
+        assert_eq!(map.sites_of(0), 0..10);
+    }
+
+    #[test]
+    fn even_splits_are_contiguous_and_balanced() {
+        let map = ShardMap::even(10, 4).unwrap();
+        assert_eq!(map.shard_sizes(), vec![3, 3, 2, 2]);
+        assert_eq!(map.home_of(0), 0);
+        assert_eq!(map.home_of(2), 0);
+        assert_eq!(map.home_of(3), 1);
+        assert_eq!(map.home_of(9), 3);
+        // Every site lands in exactly the range of its home shard.
+        for site in 0..10 {
+            let k = map.home_of(site) as usize;
+            assert!(map.sites_of(k).contains(&site));
+            for other in (0..4).filter(|&o| o != k) {
+                assert!(!map.sites_of(other).contains(&site));
+            }
+        }
+    }
+
+    #[test]
+    fn even_rejects_degenerate_shard_counts() {
+        assert!(ShardMap::even(10, 0).unwrap_err().contains("at least one"));
+        assert!(ShardMap::even(0, 1)
+            .unwrap_err()
+            .contains("at least one site"));
+        let err = ShardMap::even(4, 5).unwrap_err();
+        assert!(
+            err.contains("every shard must home at least one site"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn explicit_ranges_round_trip() {
+        let map = ShardMap::from_ranges(10, &[(0, 4), (4, 7), (7, 10)]).unwrap();
+        assert_eq!(map.shard_sizes(), vec![4, 3, 3]);
+        assert_eq!(map.home_of(6), 1);
+        assert_eq!(
+            map,
+            ShardSpec::Explicit(vec![(0, 4), (4, 7), (7, 10)])
+                .resolve(10)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn explicit_ranges_reject_gaps_overlaps_and_bad_coverage() {
+        let gap = ShardMap::from_ranges(10, &[(0, 4), (5, 10)]).unwrap_err();
+        assert!(gap.contains("gap"), "{gap}");
+        assert!(gap.contains("[4, 5)"), "{gap}");
+
+        let overlap = ShardMap::from_ranges(10, &[(0, 5), (4, 10)]).unwrap_err();
+        assert!(overlap.contains("overlap"), "{overlap}");
+
+        let short = ShardMap::from_ranges(10, &[(0, 4), (4, 8)]).unwrap_err();
+        assert!(short.contains("gap"), "{short}");
+        assert!(short.contains("[8, 10)"), "{short}");
+
+        let long = ShardMap::from_ranges(10, &[(0, 4), (4, 12)]).unwrap_err();
+        assert!(long.contains("only 10 sites"), "{long}");
+
+        let empty = ShardMap::from_ranges(10, &[(0, 0), (0, 10)]).unwrap_err();
+        assert!(empty.contains("empty"), "{empty}");
+
+        let unsorted = ShardMap::from_ranges(10, &[(4, 10), (0, 4)]).unwrap_err();
+        assert!(unsorted.contains("gap"), "{unsorted}");
+    }
+
+    #[test]
+    fn spec_resolution_defers_to_the_actual_site_count() {
+        assert_eq!(ShardSpec::default(), ShardSpec::Single);
+        assert_eq!(ShardSpec::Single.resolve(7).unwrap(), ShardMap::single(7));
+        assert_eq!(ShardSpec::Even { k: 2 }.n_shards(), 2);
+        // The same spec resolves against whatever n_sites the config has
+        // *now* — no stale bound map.
+        let spec = ShardSpec::Even { k: 2 };
+        assert_eq!(spec.resolve(10).unwrap().shard_sizes(), vec![5, 5]);
+        assert_eq!(spec.resolve(11).unwrap().shard_sizes(), vec![6, 5]);
+        assert!(spec.resolve(1).is_err());
+    }
+
+    #[test]
+    fn lock_router_follows_the_master_site() {
+        let spec = WorkloadSpec {
+            n_sites: 10,
+            lockspace: 1000,
+            ..WorkloadSpec::paper_default()
+        };
+        let map = ShardMap::even(10, 4).unwrap();
+        // Slice size 100: lock 0 -> site 0 -> shard 0; lock 950 -> site 9
+        // -> shard 3; lock 350 -> site 3 -> shard 1.
+        assert_eq!(map.home_of_lock(&spec, LockId(0)), 0);
+        assert_eq!(map.home_of_lock(&spec, LockId(950)), 3);
+        assert_eq!(map.home_of_lock(&spec, LockId(350)), 1);
+    }
+}

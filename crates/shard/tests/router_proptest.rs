@@ -1,0 +1,149 @@
+//! Property tests for the hierarchical router.
+//!
+//! The contract under test (ISSUE 7, satellite 2): **every (site,
+//! lock-space) pair resolves to exactly one home shard, deterministically**
+//! — across random topologies and seeds, across independently constructed
+//! maps, and across threads (the resolution is pure arithmetic, so
+//! `cargo test --jobs N` and concurrent lookups cannot perturb it).
+//!
+//! Hand-rolled harness in the repo's house style (no crates.io): seeds
+//! drive [`hls_sim::SimRng`], `PROPTEST_CASES` (default 200) controls the
+//! number of random topologies.
+
+use hls_lockmgr::LockId;
+use hls_shard::{ShardMap, ShardSpec};
+use hls_sim::SimRng;
+use hls_workload::WorkloadSpec;
+
+fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Draws a random topology: site count up to 1,200 (past the N = 1,000
+/// target), shard count up to min(n, 16), lock space at least one lock
+/// per site.
+fn draw_topology(rng: &mut SimRng) -> (usize, usize, u32) {
+    let n_sites = rng.random_range(1..1200) as usize + 1;
+    let k = rng.random_range(0..(n_sites.min(16) as u32)) as usize + 1;
+    let lockspace = n_sites as u32 * (1 + rng.random_range(0..64));
+    (n_sites, k, lockspace)
+}
+
+#[test]
+fn every_site_and_lock_resolves_to_exactly_one_shard() {
+    for case in 0..cases() {
+        let mut rng = SimRng::seed_from_u64(0x51AB_D000 + case);
+        let (n_sites, k, lockspace) = draw_topology(&mut rng);
+        let map = ShardMap::even(n_sites, k)
+            .unwrap_or_else(|e| panic!("case {case}: even({n_sites}, {k}) must partition: {e}"));
+        assert_eq!(map.n_shards(), k);
+        assert_eq!(map.n_sites(), n_sites);
+
+        // Exactly-one-shard for sites: membership in precisely one range,
+        // and that range is home_of's answer.
+        let mut covered = 0usize;
+        for shard in 0..k {
+            let range = map.sites_of(shard);
+            covered += range.len();
+            assert!(
+                !range.is_empty(),
+                "case {case}: shard {shard} homes no site"
+            );
+            for site in range.clone() {
+                assert_eq!(
+                    map.home_of(site) as usize,
+                    shard,
+                    "case {case}: site {site} in range of shard {shard}"
+                );
+            }
+        }
+        assert_eq!(
+            covered, n_sites,
+            "case {case}: ranges must partition the sites"
+        );
+
+        // Exactly-one-shard for locks: the owner is the master site's home,
+        // for a random sample of the lock space (plus the boundaries).
+        let spec = WorkloadSpec {
+            n_sites,
+            lockspace,
+            ..WorkloadSpec::paper_default()
+        };
+        let mut probes = vec![LockId(0), LockId(lockspace - 1)];
+        for _ in 0..64 {
+            probes.push(LockId(rng.random_range(0..lockspace)));
+        }
+        for lock in probes {
+            let owner = map.home_of_lock(&spec, lock);
+            let master = spec.master_of(lock);
+            assert!(
+                map.sites_of(owner as usize).contains(&master),
+                "case {case}: lock {lock:?} (master {master}) owned by shard {owner}"
+            );
+        }
+    }
+}
+
+#[test]
+fn resolution_is_deterministic_across_constructions_and_threads() {
+    for case in 0..cases().min(50) {
+        let mut rng = SimRng::seed_from_u64(0xDE7E_0000 + case);
+        let (n_sites, k, lockspace) = draw_topology(&mut rng);
+        let spec = WorkloadSpec {
+            n_sites,
+            lockspace,
+            ..WorkloadSpec::paper_default()
+        };
+
+        // Two independent constructions (and the ShardSpec route) agree.
+        let a = ShardMap::even(n_sites, k).unwrap();
+        let b = ShardSpec::Even { k }.resolve(n_sites).unwrap();
+        assert_eq!(a, b, "case {case}");
+        let ranges: Vec<(usize, usize)> = (0..k)
+            .map(|s| (a.sites_of(s).start, a.sites_of(s).end))
+            .collect();
+        let c = ShardMap::from_ranges(n_sites, &ranges).unwrap();
+        assert_eq!(a, c, "case {case}: explicit ranges round-trip");
+
+        // Concurrent lookups from several threads see the same mapping —
+        // resolution is pure, so `--jobs`-style parallelism is inert.
+        let serial: Vec<u32> = (0..lockspace)
+            .step_by(1.max(lockspace as usize / 256))
+            .map(|l| a.home_of_lock(&spec, LockId(l)))
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..lockspace)
+                            .step_by(1.max(lockspace as usize / 256))
+                            .map(|l| a.home_of_lock(&spec, LockId(l)))
+                            .collect::<Vec<u32>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), serial, "case {case}");
+            }
+        });
+    }
+}
+
+#[test]
+fn single_shard_owns_everything() {
+    // The K = 1 degenerate case backing the golden-equivalence lock:
+    // shard 0 is the home of every site and every lock.
+    for &n_sites in &[1usize, 2, 10, 100, 1000] {
+        let map = ShardMap::single(n_sites);
+        let spec = WorkloadSpec {
+            n_sites,
+            lockspace: 4096,
+            ..WorkloadSpec::paper_default()
+        };
+        assert!((0..n_sites).all(|s| map.home_of(s) == 0));
+        assert!((0..4096).all(|l| map.home_of_lock(&spec, LockId(l)) == 0));
+    }
+}
