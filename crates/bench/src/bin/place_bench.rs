@@ -1,0 +1,332 @@
+//! CLI: adaptive data placement under workload drift.
+//!
+//! ```text
+//! place_bench [--smoke] [--out PATH]
+//! ```
+//!
+//! Where `scale_bench` measures how the topology grows, this benchmark
+//! measures how the system *adapts*: every combination of drift model
+//! (hot-partition rotation at two dwell times, diurnal locality swing,
+//! stationary Zipf skew) and placement policy (static map, threshold
+//! controller, epoch controller) runs at the paper's operating point,
+//! and the JSON records mean response, throughput, the live and
+//! counterfactual class-B admission rates, and the migration counters
+//! (planned / completed / aborted, bytes moved, parked admissions).
+//!
+//! Two guards run before the grid:
+//!
+//! * **Inertness** — a threshold controller over the *stationary* paper
+//!   workload must plan zero migrations and leave every non-placement
+//!   metric bit-identical to the plain system (the golden-equivalence
+//!   contract, re-asserted at bench scale).
+//! * **Adaptation pays** — under full hot-partition drift the threshold
+//!   controller must beat the static map on mean response and on the
+//!   class-B admission rate.
+//!
+//! `--smoke` shortens every horizon (CI wiring check, no JSON output).
+//! The full run writes `BENCH_place.json` (or `--out PATH`).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hls_core::{
+    run_simulation, DriftSpec, HybridSystem, PlacementConfig, RouterSpec, SystemConfig,
+};
+
+/// Offered load: the paper's high operating point, where the central
+/// complex cannot absorb the whole offered load on its own. Below ~20
+/// tps shipping everything centrally is simply fine (the complex is
+/// provisioned for it), and no placement decision can show up in the
+/// response time; up here a drift that turns the workload all-class-B
+/// saturates the complex, and restoring locality is worth real seconds.
+const RATE: f64 = 24.0;
+
+fn horizon(smoke: bool) -> (f64, f64) {
+    if smoke {
+        (40.0, 5.0)
+    } else {
+        (160.0, 20.0)
+    }
+}
+
+/// Drift scenarios. The hot dwells stay several controller intervals
+/// (5 s) long even in smoke mode — a dwell at or under the planning
+/// interval rotates the working set faster than any controller can
+/// follow, which is a valid stress but a useless CI guard.
+fn drifts(smoke: bool) -> Vec<(&'static str, DriftSpec)> {
+    let (fast, slow, period) = if smoke {
+        (15.0, 25.0, 40.0)
+    } else {
+        (20.0, 60.0, 120.0)
+    };
+    vec![
+        // hot_frac = 1.0: the working set moves wholesale. A partial
+        // follow leaves most transactions straddling two slices, which
+        // no single-home placement can make class A — real drift, but a
+        // poor yardstick for the controller.
+        (
+            "hot-fast",
+            DriftSpec::HotMigration {
+                dwell: fast,
+                hot_frac: 1.0,
+            },
+        ),
+        (
+            "hot-slow",
+            DriftSpec::HotMigration {
+                dwell: slow,
+                hot_frac: 1.0,
+            },
+        ),
+        (
+            "diurnal",
+            DriftSpec::Diurnal {
+                period,
+                amplitude: 0.25,
+            },
+        ),
+        ("zipf", DriftSpec::Zipf { theta: 0.9 }),
+    ]
+}
+
+fn policies() -> Vec<(&'static str, PlacementConfig)> {
+    vec![
+        ("static", PlacementConfig::default()),
+        ("threshold", PlacementConfig::threshold_default()),
+        ("epoch", PlacementConfig::epoch_default()),
+    ]
+}
+
+fn cell_cfg(drift: DriftSpec, placement: PlacementConfig, smoke: bool) -> SystemConfig {
+    let (sim_time, warmup) = horizon(smoke);
+    SystemConfig::paper_default()
+        .with_total_rate(RATE)
+        .with_horizon(sim_time, warmup)
+        .with_seed(1988)
+        .with_placement(placement)
+        .with_drift(drift)
+}
+
+struct Cell {
+    drift: &'static str,
+    policy: &'static str,
+    events_per_sec: f64,
+    completions: u64,
+    mean_response: f64,
+    throughput: f64,
+    class_b_rate: f64,
+    class_b_rate_static: f64,
+    epoch: u64,
+    migrations_completed: u64,
+    migrations_planned: u64,
+    migrations_aborted: u64,
+    bytes_moved: u64,
+    parked_admissions: u64,
+}
+
+fn run_cell(
+    drift_name: &'static str,
+    drift: DriftSpec,
+    policy_name: &'static str,
+    placement: PlacementConfig,
+    smoke: bool,
+) -> Cell {
+    let cfg = cell_cfg(drift, placement, smoke);
+    let sys = HybridSystem::new(cfg, RouterSpec::QueueLength).expect("valid");
+    let start = Instant::now();
+    let (m, events) = black_box(sys.run_counted());
+    let events_per_sec = events as f64 / start.elapsed().as_secs_f64();
+    assert!(m.completions > 0, "{drift_name}/{policy_name}: nothing ran");
+    let p = m
+        .placement
+        .expect("drifting configs always build a placement report");
+    Cell {
+        drift: drift_name,
+        policy: policy_name,
+        events_per_sec,
+        completions: m.completions,
+        mean_response: m.mean_response,
+        throughput: m.throughput,
+        class_b_rate: p.class_b_rate,
+        class_b_rate_static: p.class_b_rate_static,
+        epoch: p.epoch,
+        migrations_completed: p.migrations_completed,
+        migrations_planned: p.migrations_planned,
+        migrations_aborted: p.migrations_aborted,
+        bytes_moved: p.bytes_moved,
+        parked_admissions: p.parked_admissions,
+    }
+}
+
+/// Guard: an adaptive controller watching the stationary paper workload
+/// must not act, and must not perturb the simulation it observes.
+fn assert_inert_without_drift(smoke: bool) {
+    let (sim_time, warmup) = horizon(smoke);
+    let base = SystemConfig::paper_default()
+        .with_total_rate(RATE)
+        .with_horizon(sim_time.min(40.0), warmup.min(8.0))
+        .with_seed(42);
+    let plain = run_simulation(base.clone(), RouterSpec::QueueLength).expect("valid");
+    let mut watched = run_simulation(
+        base.with_placement(PlacementConfig::threshold_default()),
+        RouterSpec::QueueLength,
+    )
+    .expect("valid");
+    let report = watched.placement.take().expect("adaptive policy reports");
+    assert_eq!(
+        report.migrations_planned, 0,
+        "stationary workload must not migrate"
+    );
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{watched:?}"),
+        "an inert controller perturbed the simulation"
+    );
+    println!(
+        "inertness ok ({} completions, 0 migrations)",
+        watched.completions
+    );
+}
+
+fn run_grid(smoke: bool) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (dn, d) in drifts(smoke) {
+        for (pn, p) in policies() {
+            let c = run_cell(dn, d, pn, p, smoke);
+            println!(
+                "{:<9} {:<10} rt {:>6.3}s   {:>6} done   B {:>5.1}% (static {:>5.1}%)   {:>3} migrations   {:>6} parked",
+                c.drift,
+                c.policy,
+                c.mean_response,
+                c.completions,
+                c.class_b_rate * 100.0,
+                c.class_b_rate_static * 100.0,
+                c.migrations_completed,
+                c.parked_admissions,
+            );
+            cells.push(c);
+        }
+    }
+    cells
+}
+
+/// Guard: under sustained hot-partition drift the controller must beat
+/// the static map on the class-B rate, and (full horizons only — smoke
+/// windows are too short for the migration cost to amortize) on mean
+/// response.
+fn assert_adaptation_pays(cells: &[Cell], smoke: bool) {
+    let get = |drift: &str, policy: &str| {
+        cells
+            .iter()
+            .find(|c| c.drift == drift && c.policy == policy)
+            .expect("grid covers all combinations")
+    };
+    let mut won = false;
+    for drift in ["hot-fast", "hot-slow"] {
+        let s = get(drift, "static");
+        let t = get(drift, "threshold");
+        assert!(
+            t.migrations_completed > 0,
+            "{drift}: threshold controller never migrated"
+        );
+        assert!(
+            t.class_b_rate < s.class_b_rate,
+            "{drift}: adaptation did not reduce class B ({} vs {})",
+            t.class_b_rate,
+            s.class_b_rate
+        );
+        if t.mean_response < s.mean_response {
+            won = true;
+        }
+    }
+    assert!(
+        smoke || won,
+        "threshold adaptation beat static response under no hot-drift scenario"
+    );
+    println!("adaptation ok (threshold beats static under hot drift)");
+}
+
+fn to_json(cells: &[Cell], smoke: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"hls-bench/place\",\n  \"version\": 1,\n");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"rate\": {RATE},");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"drift\": \"{}\", \"policy\": \"{}\", \"events_per_sec\": {:.0}, \"completions\": {}, \"mean_response\": {:.6}, \"throughput\": {:.3}, \"class_b_rate\": {:.6}, \"class_b_rate_static\": {:.6}, \"epoch\": {}, \"migrations_completed\": {}, \"migrations_planned\": {}, \"migrations_aborted\": {}, \"bytes_moved\": {}, \"parked_admissions\": {}}}",
+            c.drift,
+            c.policy,
+            c.events_per_sec,
+            c.completions,
+            c.mean_response,
+            c.throughput,
+            c.class_b_rate,
+            c.class_b_rate_static,
+            c.epoch,
+            c.migrations_completed,
+            c.migrations_planned,
+            c.migrations_aborted,
+            c.bytes_moved,
+            c.parked_admissions,
+        );
+        s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_place.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = path.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("place_bench [--smoke] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    assert_inert_without_drift(smoke);
+    let cells = run_grid(smoke);
+    assert_adaptation_pays(&cells, smoke);
+    if smoke {
+        println!("smoke run complete ({} cells)", cells.len());
+        return ExitCode::SUCCESS;
+    }
+    match std::fs::write(&out, to_json(&cells, smoke)) {
+        Ok(()) => {
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

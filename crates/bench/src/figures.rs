@@ -7,8 +7,9 @@
 
 use hls_analytic::solve_static;
 use hls_core::{
-    optimal_static_spec, run_simulation, FaultProfile, FaultSchedule, HybridSystem, LogHistogram,
-    MetricSummary, ObsConfig, RouterSpec, RunMetrics, SystemConfig, UtilizationEstimator,
+    optimal_static_spec, run_simulation, DriftSpec, FaultProfile, FaultSchedule, HybridSystem,
+    LogHistogram, MetricSummary, ObsConfig, PlacementConfig, RouterSpec, RunMetrics, SystemConfig,
+    UtilizationEstimator,
 };
 
 use crate::report::{Figure, Series};
@@ -970,6 +971,54 @@ pub fn scale_frontier(profile: &Profile) -> Figure {
                 .with_shards(shards);
             let m = run_simulation(cfg, spec).expect("valid");
             (rate * (N / 10) as f64, report_rt(&m))
+        });
+        fig.push(Series::new(label, points));
+    }
+    fig
+}
+
+/// Static vs adaptive placement under hot-partition drift: mean response
+/// across the offered-load sweep while every site's working set rotates
+/// wholesale through the slices. Under a static map each rotation turns
+/// the whole workload class B — fine while the central complex has the
+/// headroom to run everything, ruinous once it saturates. The threshold
+/// controller migrates the partitions after their followers, holding the
+/// system near its stationary (no-drift) curve.
+#[must_use]
+pub fn placement_drift(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "placement_drift",
+        "Adaptive vs static placement under wholesale hot-partition drift",
+        "total offered rate (tps)",
+        "mean response time (s)",
+    );
+    // Dwell long enough for the controller (5 s planning interval) to
+    // re-home a rotation's 20 partitions at 4 concurrent copies per
+    // tick, short enough for several rotations per run.
+    let dwell = (profile.sim_time / 6.0).clamp(15.0, 60.0);
+    let drift = DriftSpec::HotMigration {
+        dwell,
+        hot_frac: 1.0,
+    };
+    let variants: [(&str, Option<(DriftSpec, PlacementConfig)>); 3] = [
+        ("no drift", None),
+        (
+            "drift, static map",
+            Some((drift, PlacementConfig::default())),
+        ),
+        (
+            "drift, threshold controller",
+            Some((drift, PlacementConfig::threshold_default())),
+        ),
+    ];
+    for (label, variant) in variants {
+        let points = parallel_map(&profile.rates, |&rate| {
+            let mut cfg = profile.base(0.2).with_total_rate(rate);
+            if let Some((drift, placement)) = &variant {
+                cfg = cfg.with_placement(*placement).with_drift(*drift);
+            }
+            let m = run_simulation(cfg, best_dynamic()).expect("valid");
+            (rate, report_rt(&m))
         });
         fig.push(Series::new(label, points));
     }

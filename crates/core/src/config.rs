@@ -3,8 +3,9 @@
 use hls_analytic::SystemParams;
 use hls_faults::FaultSchedule;
 use hls_obs::ObsConfig;
+use hls_placement::{PartitionGeometry, PlacementConfig};
 use hls_shard::ShardSpec;
-use hls_workload::{RateProfile, WorkloadSpec};
+use hls_workload::{DriftSpec, RateProfile, WorkloadSpec};
 
 /// How class B (non-local data) transactions are executed.
 ///
@@ -122,6 +123,20 @@ pub struct SystemConfig {
     /// default so existing goldens and equivalence harnesses see an
     /// unchanged metrics rendering.
     pub scale_metrics: bool,
+    /// Data-placement controller configuration. The default
+    /// ([`PlacementPolicy::Static`] with no drift) keeps the paper's
+    /// frozen partition-to-site assignment and is bit-identical to a
+    /// build without the placement subsystem; `Threshold`/`Epoch`
+    /// policies re-home partitions online, reclassifying transactions
+    /// A↔B at admission.
+    pub placement: PlacementConfig,
+    /// Optional workload locality drift (see [`DriftSpec`]). `None`
+    /// keeps the paper's stationary workload. Any drift activates the
+    /// placement runtime (admission-time classification and
+    /// [`PlacementReport`](crate::PlacementReport) accounting) even
+    /// under the `Static` policy, so static-vs-adaptive comparisons
+    /// share one code path.
+    pub drift: Option<DriftSpec>,
 }
 
 impl SystemConfig {
@@ -151,7 +166,31 @@ impl SystemConfig {
             obs: ObsConfig::default(),
             shards: ShardSpec::Single,
             scale_metrics: false,
+            placement: PlacementConfig::default(),
+            drift: None,
         }
+    }
+
+    /// Sets the placement-controller configuration.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementConfig) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the workload locality drift model.
+    #[must_use]
+    pub fn with_drift(mut self, drift: DriftSpec) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Whether this configuration activates the placement runtime:
+    /// either the placement policy can migrate partitions, or workload
+    /// drift forces admission-time classification.
+    #[must_use]
+    pub fn placement_active(&self) -> bool {
+        self.placement.is_adaptive() || self.drift.is_some()
     }
 
     /// Shards the central complex into `k` even contiguous shards
@@ -297,9 +336,36 @@ impl SystemConfig {
         // The shard spec must partition the site set exactly — overlaps,
         // gaps, empty shards, and shard counts exceeding the site count are
         // all rejected here with the hls-shard error text.
-        self.shards
+        let n_shards = self
+            .shards
             .resolve(self.params.n_sites)
-            .map_err(|e| format!("shard map: {e}"))?;
+            .map_err(|e| format!("shard map: {e}"))?
+            .n_shards();
+        self.placement
+            .validate()
+            .map_err(|e| format!("placement: {e}"))?;
+        if let Some(d) = &self.drift {
+            d.validate().map_err(|e| format!("drift: {e}"))?;
+        }
+        // Partition geometry must be constructible for the configured
+        // site count and lock space even when the policy is Static,
+        // so that flipping the policy never changes validity.
+        PartitionGeometry::new(
+            self.params.n_sites,
+            self.params.lockspace as u32,
+            self.placement.parts_per_site,
+        )
+        .map_err(|e| format!("placement: {e}"))?;
+        // The placement runtime is single-complex machinery: migrations
+        // move store entries through one central complex, and the
+        // sharded router has no epoch protocol. Reject the combination
+        // rather than silently mis-routing.
+        if self.placement_active() && n_shards > 1 {
+            return Err(format!(
+                "adaptive placement and workload drift require a single central \
+                 complex (shard map resolves to {n_shards} shards)"
+            ));
+        }
         Ok(())
     }
 }
@@ -313,6 +379,7 @@ impl Default for SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hls_placement::PlacementPolicy;
 
     #[test]
     fn paper_default_validates() {
@@ -463,6 +530,72 @@ mod tests {
         assert!(c.validate().is_ok());
         c.params.n_sites = 4;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn placement_builders_and_default() {
+        let base = SystemConfig::paper_default();
+        assert_eq!(base.placement, PlacementConfig::default());
+        assert_eq!(base.placement.policy, PlacementPolicy::Static);
+        assert!(base.drift.is_none());
+        assert!(!base.placement_active());
+
+        let adaptive = base
+            .clone()
+            .with_placement(PlacementConfig::threshold_default());
+        assert!(adaptive.placement.is_adaptive());
+        assert!(adaptive.placement_active());
+        assert!(adaptive.validate().is_ok());
+
+        // Drift alone also activates the placement runtime, even with a
+        // Static policy (classification must follow the drifted stream).
+        let drifted = base.with_drift(DriftSpec::Zipf { theta: 0.9 });
+        assert_eq!(drifted.placement.policy, PlacementPolicy::Static);
+        assert!(drifted.placement_active());
+        assert!(drifted.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_placement_configs() {
+        let base = SystemConfig::paper_default();
+
+        let mut c = base.clone();
+        c.placement.interval = 0.0;
+        let err = c.validate().unwrap_err();
+        assert!(err.starts_with("placement:"), "{err}");
+
+        let mut c = base.clone();
+        c.placement.policy = PlacementPolicy::Threshold { remote_frac: 1.5 };
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.drift = Some(DriftSpec::HotMigration {
+            dwell: -1.0,
+            hot_frac: 0.9,
+        });
+        let err = c.validate().unwrap_err();
+        assert!(err.starts_with("drift:"), "{err}");
+
+        // Geometry must be constructible even under the Static policy:
+        // more sub-partitions than the per-site lock slice can hold.
+        let mut c = base.clone();
+        c.placement.parts_per_site = 40_000;
+        let err = c.validate().unwrap_err();
+        assert!(err.starts_with("placement:"), "{err}");
+
+        // Adaptive placement (or drift) is single-complex machinery.
+        let c = base
+            .clone()
+            .with_shards(2)
+            .with_placement(PlacementConfig::threshold_default());
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("single central complex"), "{err}");
+        let c = base.with_shards(2).with_drift(DriftSpec::Diurnal {
+            period: 120.0,
+            amplitude: 0.2,
+        });
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("single central complex"), "{err}");
     }
 
     #[test]

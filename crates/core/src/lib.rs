@@ -74,8 +74,8 @@ pub use experiment::{
     SweepPoint, NO_RATE_INDEX,
 };
 pub use metrics::{
-    AbortCounts, AvailabilityMetrics, MetricsCollector, ObsReport, ResponseKey, RunMetrics,
-    ScaleReport, PHASE_NAMES,
+    AbortCounts, AvailabilityMetrics, MetricsCollector, ObsReport, PlacementReport, ResponseKey,
+    RunMetrics, ScaleReport, PHASE_NAMES,
 };
 pub use msg::{CentralSnapshot, Msg};
 pub use router::{FailureAwareRouter, FaultAwareDecision, RouteCtx, Router, RouterSpec};
@@ -91,5 +91,10 @@ pub use hls_obs::{
     HistogramSummary, JsonlSink, LogHistogram, MemorySink, NullSink, ObsConfig, ProfileEntry,
     ProfileReport, Profiler, TraceSink, TRACE_SCHEMA, TRACE_SCHEMA_VERSION,
 };
+pub use hls_placement::{
+    Migration, PartitionGeometry, PlacementConfig, PlacementMap, PlacementPolicy,
+};
 pub use hls_shard::{ShardMap, ShardSpec};
-pub use hls_workload::{RateProfile, TxnClass, WorkloadSpec};
+pub use hls_workload::{
+    DriftModel, DriftSpec, RateProfile, TxnClass, WorkloadSpec, ZipfDistribution,
+};

@@ -536,6 +536,7 @@ impl MetricsCollector {
             availability,
             obs,
             scale: None,
+            placement: None,
         }
     }
 }
@@ -812,6 +813,43 @@ pub struct ScaleReport {
     pub remote_lock_grants: u64,
 }
 
+/// Adaptive-placement measurements attached to [`RunMetrics`] when the
+/// placement runtime is active (an adaptive `PlacementPolicy`, or any
+/// workload drift).
+///
+/// The class-B rates compare admission-time classification under the
+/// **live** placement map against the counterfactual epoch-0 (static)
+/// map over the same post-warmup admission stream, so
+/// `class_b_rate_static − class_b_rate` is exactly the class-B traffic
+/// the migrations recovered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementReport {
+    /// Placement policy label (`"static"`, `"threshold"`, `"epoch"`).
+    pub policy: String,
+    /// Final placement-map epoch (0 = the map never moved).
+    pub epoch: u64,
+    /// Migrations started by the planner.
+    pub migrations_planned: u64,
+    /// Migrations that reached atomic switchover.
+    pub migrations_completed: u64,
+    /// Migrations aborted by site or central failures.
+    pub migrations_aborted: u64,
+    /// Bulk-copy bytes moved by completed and in-flight migrations.
+    pub bytes_moved: u64,
+    /// Transactions parked while their partition was draining.
+    pub parked_admissions: u64,
+    /// Post-warmup admissions classified class A under the live map.
+    pub class_a_admitted: u64,
+    /// Post-warmup admissions classified class B under the live map.
+    pub class_b_admitted: u64,
+    /// Fraction of post-warmup admissions that were class B under the
+    /// live placement map.
+    pub class_b_rate: f64,
+    /// Fraction of the same admissions that would have been class B
+    /// under the frozen epoch-0 map.
+    pub class_b_rate_static: f64,
+}
+
 /// Results of one simulation run, measured after warm-up.
 #[derive(Clone, PartialEq)]
 pub struct RunMetrics {
@@ -863,6 +901,11 @@ pub struct RunMetrics {
     /// `SystemConfig::scale_metrics` is set; like `obs`, it is excluded by
     /// construction from the simulated outcome.
     pub scale: Option<ScaleReport>,
+    /// Adaptive-placement report. `None` unless the placement runtime
+    /// was active (adaptive policy or workload drift) — the default
+    /// static configuration renders without it, keeping the golden
+    /// text stable.
+    pub placement: Option<PlacementReport>,
 }
 
 // Hand-written so the rendering with `scale: None` is byte-identical to
@@ -894,6 +937,9 @@ impl fmt::Debug for RunMetrics {
             .field("obs", &self.obs);
         if self.scale.is_some() {
             s.field("scale", &self.scale);
+        }
+        if self.placement.is_some() {
+            s.field("placement", &self.placement);
         }
         s.finish()
     }
@@ -1105,6 +1151,35 @@ mod tests {
         assert!(after.contains("scale: Some("), "{after}");
         assert!(after.contains("n_shards: 4"), "{after}");
         // Everything before the scale field is unchanged.
+        assert!(after.starts_with(before.trim_end_matches(['}', '\n', ' '])));
+    }
+
+    #[test]
+    fn placement_report_is_invisible_until_populated() {
+        // Same contract as `scale`: the golden harness pins the full
+        // Debug text, so `placement: None` must not render at all.
+        let mut m = MetricsCollector::new(t(0.0));
+        m.on_arrival(t(1.0));
+        let mut r = m.finalize(t(10.0), 0.1, 0.1, 0, 0.0, None);
+        assert_eq!(r.placement, None);
+        let before = format!("{r:#?}");
+        assert!(!before.contains("placement"), "{before}");
+        r.placement = Some(PlacementReport {
+            policy: "threshold".into(),
+            epoch: 3,
+            migrations_planned: 4,
+            migrations_completed: 3,
+            migrations_aborted: 1,
+            bytes_moved: 1 << 18,
+            parked_admissions: 7,
+            class_a_admitted: 900,
+            class_b_admitted: 100,
+            class_b_rate: 0.1,
+            class_b_rate_static: 0.25,
+        });
+        let after = format!("{r:#?}");
+        assert!(after.contains("placement: Some("), "{after}");
+        assert!(after.contains("migrations_completed: 3"), "{after}");
         assert!(after.starts_with(before.trim_end_matches(['}', '\n', ' '])));
     }
 

@@ -31,14 +31,19 @@ use hls_sim::model::{ReferenceEventKey, ReferenceQueue};
 use hls_sim::{
     EventKey, EventQueue, FxHashMap, Job, MultiServer, RngStreams, SimDuration, SimRng, SimTime,
 };
-use hls_workload::{ArrivalProcess, TxnClass, TxnGenerator, TxnSpec};
+use hls_workload::{ArrivalProcess, DriftModel, TxnClass, TxnGenerator, TxnSpec};
 
+use hls_placement::{
+    plan, Migration, PartitionGeometry, PlacementMap, PlacementPolicy, PlacementStats,
+};
 use hls_shard::ShardMap;
 
 use crate::config::{ClassBMode, SystemConfig};
 use crate::dense::{JobSlab, MsgCounts, TxnTable, VecPool};
 use crate::error::ConfigError;
-use crate::metrics::{MetricsCollector, MetricsOp, MetricsSink, RunMetrics, ScaleReport};
+use crate::metrics::{
+    MetricsCollector, MetricsOp, MetricsSink, PlacementReport, RunMetrics, ScaleReport,
+};
 use crate::msg::{CentralSnapshot, Msg};
 use crate::router::{FailureAwareRouter, FaultAwareDecision, RouteCtx, RouterSpec};
 use crate::trace::{Trace, TraceEvent};
@@ -136,6 +141,17 @@ enum Ev {
     /// A deadlock victim restarting after its jittered backoff.
     Rerun {
         txn: u64,
+    },
+    /// Periodic placement-controller activation: decay the access
+    /// statistics, plan migrations, start their bulk copies. Scheduled
+    /// only under an adaptive placement policy.
+    PlacementTick,
+    /// A migration's bulk copy finished; the partition enters the
+    /// draining phase. `mig` guards against events from an aborted
+    /// predecessor migration of the same partition.
+    PlacementCopyDone {
+        partition: u32,
+        mig: u64,
     },
     Sample,
     EndWarmup,
@@ -262,6 +278,8 @@ fn ev_key(ev: &Ev) -> &'static str {
         Ev::Fault(_) => "ev.fault",
         Ev::RetryShip { .. } => "ev.retry_ship",
         Ev::Rerun { .. } => "ev.rerun",
+        Ev::PlacementTick => "ev.placement_tick",
+        Ev::PlacementCopyDone { .. } => "ev.placement_copy_done",
         Ev::Sample => "ev.sample",
         Ev::EndWarmup => "ev.end_warmup",
     }
@@ -467,6 +485,96 @@ pub(crate) struct WindowLog {
     pub(crate) ops: Vec<MetricsOp>,
 }
 
+/// Phase of an in-flight partition migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MigrationPhase {
+    /// Bulk copy on the wire; the source stays master and keeps
+    /// absorbing writes (the delta is subsumed at switchover).
+    Copying,
+    /// Copy landed; new arrivals touching the partition park while the
+    /// in-flight population drains, then the home switches atomically.
+    Draining,
+}
+
+/// One in-flight partition migration.
+#[derive(Debug, Clone)]
+struct ActiveMigration {
+    /// Monotonic migration id; stale `PlacementCopyDone` events from an
+    /// aborted predecessor carry an older id and are ignored.
+    id: u64,
+    from: usize,
+    to: usize,
+    phase: MigrationPhase,
+    /// Admissions parked during the drain, re-admitted (with their
+    /// original arrival stamps) at switchover or abort:
+    /// `(site, spec, arrival, attempt)`.
+    parked: Vec<(usize, TxnSpec, SimTime, u32)>,
+}
+
+/// Runtime state of the adaptive-placement subsystem. Boxed behind an
+/// `Option` on [`HybridSystem`]: `None` (the static policy with no
+/// workload drift) leaves every legacy code path untouched, keeping
+/// such runs bit-identical to a build without placement at all.
+#[derive(Debug, Clone)]
+struct PlacementRt {
+    /// The live partition→home-site map (epoch-versioned).
+    map: PlacementMap,
+    /// The frozen epoch-0 map, for the counterfactual static class-B
+    /// rate in [`PlacementReport`].
+    initial: PlacementMap,
+    /// Per-partition remote-access counters feeding the planner.
+    stats: PlacementStats,
+    /// Workload locality drift, when configured.
+    drift: Option<DriftModel>,
+    /// In-flight migrations by partition.
+    active: FxHashMap<u32, ActiveMigration>,
+    /// Monotonic migration-id source.
+    mig_seq: u64,
+    /// Per-partition count of in-flight transactions touching it.
+    live_parts: Vec<u32>,
+    /// Per-partition count of commit-message write applications still
+    /// in flight from the central complex to the partition's home.
+    pending_parts: Vec<u32>,
+    /// Scratch list of distinct partitions (reused per admission).
+    scratch: Vec<u32>,
+    migrations_planned: u64,
+    migrations_completed: u64,
+    migrations_aborted: u64,
+    bytes_moved: u64,
+    parked_admissions: u64,
+    class_a_admitted: u64,
+    class_b_admitted: u64,
+    class_b_static: u64,
+}
+
+impl PlacementRt {
+    /// Collects the distinct partitions of a lock set into the scratch
+    /// list (first-touch order; lock sets are ~10 entries, so the
+    /// linear dedup beats hashing).
+    fn scratch_partitions(&mut self, locks: &[(LockId, LockMode)]) {
+        self.scratch.clear();
+        let geo = *self.map.geometry();
+        for &(l, _) in locks {
+            let p = geo.partition_of(l);
+            if !self.scratch.contains(&p) {
+                self.scratch.push(p);
+            }
+        }
+    }
+
+    /// Same as [`PlacementRt::scratch_partitions`] for a write set.
+    fn scratch_writes(&mut self, writes: &[(LockId, u64)]) {
+        self.scratch.clear();
+        let geo = *self.map.geometry();
+        for &(l, _) in writes {
+            let p = geo.partition_of(l);
+            if !self.scratch.contains(&p) {
+                self.scratch.push(p);
+            }
+        }
+    }
+}
+
 /// The simulator. Construct with [`HybridSystem::new`], execute with
 /// [`HybridSystem::run`].
 ///
@@ -564,6 +672,9 @@ pub struct HybridSystem {
     pub(crate) router_spec: RouterSpec,
     /// Speculative-worker state; `None` for every serial run.
     shard: Option<Box<ShardCtx>>,
+    /// Adaptive-placement runtime; `None` under the static policy with
+    /// no workload drift (the legacy configuration).
+    placement: Option<Box<PlacementRt>>,
 }
 
 impl HybridSystem {
@@ -623,6 +734,39 @@ impl HybridSystem {
         if cfg.obs.histograms {
             metrics.enable_histograms(n);
         }
+        let placement = if cfg.placement_active() {
+            let geo = PartitionGeometry::new(
+                n,
+                cfg.params.lockspace as u32,
+                cfg.placement.parts_per_site,
+            )?;
+            let map = PlacementMap::new_static(geo);
+            let drift = match cfg.drift {
+                Some(spec) => Some(DriftModel::new(spec, cfg.workload_spec())?),
+                None => None,
+            };
+            Some(Box::new(PlacementRt {
+                initial: map.clone(),
+                stats: PlacementStats::new(&geo),
+                map,
+                drift,
+                active: FxHashMap::default(),
+                mig_seq: 0,
+                live_parts: vec![0; geo.n_partitions()],
+                pending_parts: vec![0; geo.n_partitions()],
+                scratch: Vec::new(),
+                migrations_planned: 0,
+                migrations_completed: 0,
+                migrations_aborted: 0,
+                bytes_moved: 0,
+                parked_admissions: 0,
+                class_a_admitted: 0,
+                class_b_admitted: 0,
+                class_b_static: 0,
+            }))
+        } else {
+            None
+        };
         let end = SimTime::from_secs(cfg.sim_time);
         let mut net =
             StarNetwork::new_sharded(n, n_shards, SimDuration::from_secs(cfg.params.comm_delay));
@@ -670,6 +814,7 @@ impl HybridSystem {
             validate_locks: false,
             router_spec: router,
             shard: None,
+            placement,
             cfg,
         })
     }
@@ -844,13 +989,12 @@ impl HybridSystem {
     /// Compares the central replica against the master copies item by
     /// item. Only meaningful once the system is fully drained.
     fn convergence_report(&self) -> ConvergenceReport {
-        let spec = *self.generator.spec();
         let mut items_checked = 0;
         let mut divergent = Vec::new();
         for (site, state) in self.sites.iter().enumerate() {
             let replica = &self.centrals[self.shard_map.home_of(site) as usize].store;
             for (&item, &stamp) in &state.store {
-                debug_assert_eq!(spec.master_of(item), site);
+                debug_assert_eq!(self.master_site(item), site);
                 items_checked += 1;
                 if replica.get(&item) != Some(&stamp) {
                     divergent.push(item);
@@ -860,7 +1004,7 @@ impl HybridSystem {
         // Items written only centrally must exist at their master too.
         for central in &self.centrals {
             for (&item, &stamp) in &central.store {
-                let site = spec.master_of(item);
+                let site = self.master_site(item);
                 if self.sites[site].store.get(&item) != Some(&stamp) && !divergent.contains(&item) {
                     divergent.push(item);
                 }
@@ -886,6 +1030,15 @@ impl HybridSystem {
         }
         self.queue
             .schedule(SimTime::from_secs(self.cfg.warmup), Ev::EndWarmup);
+        // The controller only wakes under an adaptive policy; a
+        // drift-only runtime (static policy) never migrates, it just
+        // classifies and counts.
+        if self.placement.is_some() && self.cfg.placement.is_adaptive() {
+            self.queue.schedule(
+                SimTime::from_secs(self.cfg.placement.interval),
+                Ev::PlacementTick,
+            );
+        }
         // Fault transitions are ordinary simulation events. An empty
         // schedule adds nothing to the queue, keeping the run bit-identical
         // to a fault-free build. (Indexed, not iterated: `FaultEvent` is
@@ -944,6 +1097,10 @@ impl HybridSystem {
                     self.start_call_cpu(now, txn);
                 }
             }
+            Ev::PlacementTick => self.on_placement_tick(now),
+            Ev::PlacementCopyDone { partition, mig } => {
+                self.on_placement_copy_done(now, partition, mig);
+            }
             Ev::Sample => self.on_sample(now),
             Ev::EndWarmup => self.on_end_warmup(now),
         }
@@ -987,7 +1144,15 @@ impl HybridSystem {
             self.queue.schedule(next, Ev::Arrival { site });
         }
 
-        let spec = self.generator.generate(&mut self.site_rngs[site], site);
+        // Under workload drift the placement runtime's model draws the
+        // transaction instead of the stationary generator.
+        let spec = {
+            let rng = &mut self.site_rngs[site];
+            match self.placement.as_ref().and_then(|p| p.drift.as_ref()) {
+                Some(model) => model.generate(rng, site, now.as_secs()),
+                None => self.generator.generate(rng, site),
+            }
+        };
         self.metrics.on_arrival(now);
         self.admit(now, site, spec, now, 0);
     }
@@ -995,7 +1160,50 @@ impl HybridSystem {
     /// Admits a (possibly retried) arrival: decides route / retry / reject
     /// under the current component availability and dispatches it. With
     /// everything up this reduces exactly to the fault-free path.
-    fn admit(&mut self, now: SimTime, site: usize, spec: TxnSpec, arrival: SimTime, attempt: u32) {
+    fn admit(
+        &mut self,
+        now: SimTime,
+        site: usize,
+        mut spec: TxnSpec,
+        arrival: SimTime,
+        attempt: u32,
+    ) {
+        if let Some(p) = self.placement.as_mut() {
+            // Park admissions touching a draining partition: the
+            // switchover needs the in-flight population on the partition
+            // to reach zero, and these would keep it alive. They are
+            // re-admitted (original arrival stamp, so the parked delay
+            // shows up in their response time) when the migration
+            // switches or aborts.
+            let geo = *p.map.geometry();
+            let draining = spec
+                .locks
+                .iter()
+                .map(|&(l, _)| geo.partition_of(l))
+                .find(|part| {
+                    matches!(
+                        p.active.get(part),
+                        Some(m) if m.phase == MigrationPhase::Draining
+                    )
+                });
+            if let Some(part) = draining {
+                p.parked_admissions += 1;
+                p.active
+                    .get_mut(&part)
+                    .expect("draining partition has a migration")
+                    .parked
+                    .push((site, spec, arrival, attempt));
+                return;
+            }
+            // Online A↔B reclassification: the class follows the *live*
+            // placement map, so a migrated hot partition turns its
+            // followers' remote transactions back into class A.
+            spec.class = if spec.locks.iter().all(|&(l, _)| p.map.master_of(l) == site) {
+                TxnClass::A
+            } else {
+                TxnClass::B
+            };
+        }
         let local_ok = self.site_up[site];
         let central_ok = self.central_up && self.net.link_is_up(site);
         let remote_mode = self.cfg.class_b_mode == ClassBMode::RemoteCalls;
@@ -1109,6 +1317,34 @@ impl HybridSystem {
             }
         };
         let class = spec.class;
+        if let Some(p) = self.placement.as_mut() {
+            let measuring = now >= SimTime::from_secs(self.cfg.warmup);
+            // Remote-access statistics for the planner and the live
+            // in-flight counters gating switchover.
+            p.scratch_partitions(&spec.locks);
+            let geo = *p.map.geometry();
+            for i in 0..p.scratch.len() {
+                let part = p.scratch[i];
+                p.live_parts[part as usize] += 1;
+            }
+            for &(l, _) in &spec.locks {
+                p.stats.record(geo.partition_of(l), site);
+            }
+            if measuring {
+                match class {
+                    TxnClass::A => p.class_a_admitted += 1,
+                    TxnClass::B => p.class_b_admitted += 1,
+                }
+                // Counterfactual class under the frozen epoch-0 map.
+                if !spec
+                    .locks
+                    .iter()
+                    .all(|&(l, _)| p.initial.master_of(l) == site)
+                {
+                    p.class_b_static += 1;
+                }
+            }
+        }
         let mut txn = Txn::new(id, spec, route, arrival);
         txn.during_outage = self.active_faults > 0;
         if class == TxnClass::B && remote_mode {
@@ -1647,14 +1883,24 @@ impl HybridSystem {
         self.submit_cpu(now, loc, JobKind::TxnPhase(id), instr);
     }
 
+    /// The master (home) site of a lock: the live placement map when the
+    /// placement runtime is active, the paper's frozen slice partition
+    /// otherwise.
+    #[inline]
+    fn master_site(&self, l: LockId) -> usize {
+        match &self.placement {
+            Some(p) => p.map.master_of(l),
+            None => self.generator.spec().master_of(l),
+        }
+    }
+
     /// Distinct master sites of the transaction's locks, in first-reference
     /// order (deterministic).
     fn auth_sites_of(&mut self, id: u64) -> Vec<usize> {
-        let spec = *self.generator.spec();
         let mut sites = self.pool_sites.take();
         let txn = &self.txns[id];
         for &(lock, _) in &txn.spec.locks {
-            let m = spec.master_of(lock);
+            let m = self.master_site(lock);
             if !sites.contains(&m) {
                 sites.push(m);
             }
@@ -1762,6 +2008,7 @@ impl HybridSystem {
             self.metrics.on_outage_response(now, rt);
         }
         self.router.on_local_completion(site, rt);
+        self.placement_release_txn(now, &txn.spec.locks);
     }
 
     fn flush_async(&mut self, now: SimTime, site: usize) {
@@ -1805,7 +2052,16 @@ impl HybridSystem {
                     t.marked_abort = true;
                 }
             }
-            self.centrals[j].store.insert(lock, stamp);
+            if self.placement.is_some() {
+                // After a switchover the coherence count protecting this
+                // update lives at the *old* home, so a pre-migration
+                // update can race a newer post-migration central write —
+                // stamp-wins keeps the replica from regressing.
+                let e = self.centrals[j].store.entry(lock).or_insert(stamp);
+                *e = (*e).max(stamp);
+            } else {
+                self.centrals[j].store.insert(lock, stamp);
+            }
         }
         self.trace(now, || TraceEvent::AsyncApplied {
             site: from,
@@ -1882,7 +2138,7 @@ impl HybridSystem {
                     .locks
                     .iter()
                     .copied()
-                    .filter(|&(l, _)| spec.master_of(l) == site),
+                    .filter(|&(l, _)| self.master_site(l) == site),
             );
             self.send(
                 now,
@@ -2091,8 +2347,9 @@ impl HybridSystem {
                     writes
                         .iter()
                         .copied()
-                        .filter(|&(l, _)| spec.master_of(l) == site),
+                        .filter(|&(l, _)| self.master_site(l) == site),
                 );
+                self.placement_commit_pending(&site_writes);
                 self.send(
                     now,
                     from,
@@ -2154,6 +2411,248 @@ impl HybridSystem {
         }
         let grants = self.sites[site].locks.release_all(OwnerId(id));
         self.resume_grants(now, &grants, Locale::Site(site));
+        self.placement_commit_applied(now, writes);
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive data placement (no-ops when `self.placement` is `None`)
+    // ------------------------------------------------------------------
+
+    /// Placement bookkeeping for a transaction leaving the system:
+    /// decrement the live counters of the partitions it touched and try
+    /// the switchover of any draining migration those counters gated.
+    fn placement_release_txn(&mut self, now: SimTime, locks: &[(LockId, LockMode)]) {
+        let Some(p) = self.placement.as_mut() else {
+            return;
+        };
+        p.scratch_partitions(locks);
+        for i in 0..p.scratch.len() {
+            let part = p.scratch[i] as usize;
+            p.live_parts[part] -= 1;
+        }
+        if p.active.is_empty() {
+            return;
+        }
+        let parts = p.scratch.clone();
+        for part in parts {
+            self.try_switchover(now, part);
+        }
+    }
+
+    /// A commit message carrying writes was sent towards a master site:
+    /// its partitions gain an in-flight application, blocking their
+    /// switchover until [`HybridSystem::placement_commit_applied`].
+    fn placement_commit_pending(&mut self, writes: &[(LockId, u64)]) {
+        if writes.is_empty() {
+            return;
+        }
+        let Some(p) = self.placement.as_mut() else {
+            return;
+        };
+        p.scratch_writes(writes);
+        for i in 0..p.scratch.len() {
+            let part = p.scratch[i] as usize;
+            p.pending_parts[part] += 1;
+        }
+    }
+
+    /// The write set of a commit message reached the master store (the
+    /// normal application burst, or the redo-logged crash path).
+    fn placement_commit_applied(&mut self, now: SimTime, writes: &[(LockId, u64)]) {
+        if writes.is_empty() {
+            return;
+        }
+        let Some(p) = self.placement.as_mut() else {
+            return;
+        };
+        p.scratch_writes(writes);
+        for i in 0..p.scratch.len() {
+            let part = p.scratch[i] as usize;
+            p.pending_parts[part] -= 1;
+        }
+        if p.active.is_empty() {
+            return;
+        }
+        let parts = p.scratch.clone();
+        for part in parts {
+            self.try_switchover(now, part);
+        }
+    }
+
+    /// Controller activation: decay the remote-access statistics, plan
+    /// migrations under the cost model, and start their bulk copies.
+    fn on_placement_tick(&mut self, now: SimTime) {
+        if self.placement.is_none() {
+            return;
+        }
+        let next = now + SimDuration::from_secs(self.cfg.placement.interval);
+        if next < self.end {
+            self.queue.schedule(next, Ev::PlacementTick);
+        }
+        // The controller runs at the central complex; while it is down,
+        // skip the round (statistics keep accumulating).
+        if !self.central_up {
+            return;
+        }
+        let geo = *self.placement.as_ref().expect("checked").map.geometry();
+        // Per-partition master-copy counts — each migration's bulk size.
+        let mut items = vec![0u64; geo.n_partitions()];
+        for site in &self.sites {
+            for &item in site.store.keys() {
+                items[geo.partition_of(item) as usize] += 1;
+            }
+        }
+        let plans = {
+            let p = self.placement.as_mut().expect("checked");
+            let mut migrating = vec![false; geo.n_partitions()];
+            for &part in p.active.keys() {
+                migrating[part as usize] = true;
+            }
+            let plans = plan(&self.cfg.placement, &p.map, &p.stats, &items, &migrating);
+            p.stats.decay();
+            plans
+        };
+        for m in plans {
+            // Never start a copy into or out of a crashed site.
+            if !self.site_up[m.from as usize] || !self.site_up[m.to as usize] {
+                continue;
+            }
+            let bytes = items[m.partition as usize] * self.cfg.placement.item_bytes;
+            let secs = bytes as f64 / self.cfg.placement.bandwidth;
+            let mig = {
+                let p = self.placement.as_mut().expect("checked");
+                let id = p.mig_seq;
+                p.mig_seq += 1;
+                p.migrations_planned += 1;
+                p.bytes_moved += bytes;
+                p.active.insert(
+                    m.partition,
+                    ActiveMigration {
+                        id,
+                        from: m.from as usize,
+                        to: m.to as usize,
+                        phase: MigrationPhase::Copying,
+                        parked: Vec::new(),
+                    },
+                );
+                id
+            };
+            self.queue.schedule(
+                now + SimDuration::from_secs(secs),
+                Ev::PlacementCopyDone {
+                    partition: m.partition,
+                    mig,
+                },
+            );
+        }
+    }
+
+    /// A migration's bulk copy landed: enter the draining phase and
+    /// switch over immediately if the partition is already quiescent.
+    fn on_placement_copy_done(&mut self, now: SimTime, partition: u32, mig: u64) {
+        {
+            let Some(p) = self.placement.as_mut() else {
+                return;
+            };
+            let Some(m) = p.active.get_mut(&partition) else {
+                return; // aborted by a crash while the copy was in flight
+            };
+            if m.id != mig {
+                return; // stale completion of an aborted predecessor
+            }
+            m.phase = MigrationPhase::Draining;
+        }
+        self.try_switchover(now, partition);
+    }
+
+    /// Atomic switchover: once a draining partition has no live
+    /// transactions and no in-flight commit applications, move its
+    /// master copies to the new home, bump the map epoch, and re-admit
+    /// the parked arrivals (now classified under the new map).
+    fn try_switchover(&mut self, now: SimTime, partition: u32) {
+        let ready = {
+            let Some(p) = self.placement.as_ref() else {
+                return;
+            };
+            matches!(
+                p.active.get(&partition),
+                Some(m) if m.phase == MigrationPhase::Draining
+            ) && p.live_parts[partition as usize] == 0
+                && p.pending_parts[partition as usize] == 0
+        };
+        if !ready {
+            return;
+        }
+        let (from, to, parked, geo) = {
+            let p = self.placement.as_mut().expect("checked");
+            let m = p.active.remove(&partition).expect("checked");
+            (m.from, m.to, m.parked, *p.map.geometry())
+        };
+        // Move the master copies. Entry order is map-iteration order, but
+        // the moved set is a set — the resulting stores are identical
+        // regardless; stamp-wins guards the (unreachable in practice)
+        // case of a leftover entry at the target.
+        let moved: Vec<(LockId, u64)> = self.sites[from]
+            .store
+            .iter()
+            .filter(|&(&item, _)| geo.partition_of(item) == partition)
+            .map(|(&item, &stamp)| (item, stamp))
+            .collect();
+        for (item, stamp) in moved {
+            self.sites[from].store.remove(&item);
+            self.sites[to]
+                .store
+                .entry(item)
+                .and_modify(|e| *e = (*e).max(stamp))
+                .or_insert(stamp);
+        }
+        {
+            let p = self.placement.as_mut().expect("checked");
+            p.map.apply(&Migration {
+                partition,
+                from: from as u32,
+                to: to as u32,
+            });
+            p.stats.clear_partition(partition);
+            p.migrations_completed += 1;
+        }
+        for (site, spec, arrival, attempt) in parked {
+            self.admit(now, site, spec, arrival, attempt);
+        }
+    }
+
+    /// Aborts in-flight migrations selected by `pred` — a site crash
+    /// kills those copying from or to the site; a central crash kills
+    /// all of them (the copy and the switchover are coordinated
+    /// centrally). The copy is discarded, the map keeps its epoch, and
+    /// parked admissions are released under the unchanged map.
+    fn abort_migrations(&mut self, now: SimTime, mut pred: impl FnMut(&ActiveMigration) -> bool) {
+        if self.placement.is_none() {
+            return;
+        }
+        let aborted: Vec<ActiveMigration> = {
+            let p = self.placement.as_mut().expect("checked");
+            let mut parts: Vec<u32> = p
+                .active
+                .iter()
+                .filter(|&(_, m)| pred(m))
+                .map(|(&part, _)| part)
+                .collect();
+            // Map iteration order must not leak into admission order.
+            parts.sort_unstable();
+            parts
+                .into_iter()
+                .map(|part| {
+                    p.migrations_aborted += 1;
+                    p.active.remove(&part).expect("selected above")
+                })
+                .collect()
+        };
+        for m in aborted {
+            for (site, spec, arrival, attempt) in m.parked {
+                self.admit(now, site, spec, arrival, attempt);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -2599,6 +3098,7 @@ impl HybridSystem {
                 if t.during_outage {
                     self.metrics.on_outage_response(now, rt);
                 }
+                self.placement_release_txn(now, &t.spec.locks);
             }
             Msg::ShardLockReq {
                 txn,
@@ -2740,6 +3240,10 @@ impl HybridSystem {
     /// master store and the queued asynchronous updates — survives for
     /// recovery.
     fn crash_site(&mut self, now: SimTime, s: usize) {
+        // Abort migrations touching the site *before* the kills below
+        // drain its partitions' live counters — a half-copied partition
+        // must never switch over off the back of a crash.
+        self.abort_migrations(now, |m| m.from == s || m.to == s);
         // Dispose of the work on the CPU and cancel the completions that
         // will never happen.
         let evicted = self.sites[s].cpu.drain(now);
@@ -2763,6 +3267,7 @@ impl HybridSystem {
                     for &(l, stamp) in &writes {
                         self.sites[s].store.insert(l, stamp);
                     }
+                    self.placement_commit_applied(now, &writes);
                     self.pool_writes.put(writes);
                 }
                 JobKind::ApplyAsync { .. }
@@ -2822,6 +3327,9 @@ impl HybridSystem {
     /// are queued durably for replay. Shipped transactions still on the
     /// wire or at their origin survive — their messages wait for recovery.
     fn crash_central(&mut self, now: SimTime) {
+        // The controller coordinates every copy and switchover through
+        // the central complex: all in-flight migrations die with it.
+        self.abort_migrations(now, |_| true);
         for k in 0..self.n_shards {
             let evicted = self.centrals[k].cpu.drain(now);
             for job in evicted {
@@ -2930,6 +3438,7 @@ impl HybridSystem {
             }
         });
         self.trace(now, || TraceEvent::CrashAbort { txn: id, route });
+        self.placement_release_txn(now, &txn.spec.locks);
     }
 
     // ------------------------------------------------------------------
@@ -2963,6 +3472,7 @@ impl HybridSystem {
             && !self.validate_locks
             && !self.cfg.instantaneous_state
             && self.cfg.params.comm_delay > 0.0
+            && self.placement.is_none()
             && matches!(self.queue, Queue::Indexed(_))
             && self.queue.is_empty()
     }
@@ -3243,6 +3753,34 @@ impl HybridSystem {
                 cross_shard_messages: self.net.messages_cross_shard(),
                 cross_shard_denials: self.cross_denials,
                 remote_lock_grants: self.remote_grant_count,
+            });
+        }
+        if let Some(p) = self.placement.as_ref() {
+            let total = p.class_a_admitted + p.class_b_admitted;
+            let rate = |n: u64| {
+                if total > 0 {
+                    n as f64 / total as f64
+                } else {
+                    0.0
+                }
+            };
+            m.placement = Some(PlacementReport {
+                policy: match self.cfg.placement.policy {
+                    PlacementPolicy::Static => "static",
+                    PlacementPolicy::Threshold { .. } => "threshold",
+                    PlacementPolicy::Epoch => "epoch",
+                }
+                .to_string(),
+                epoch: p.map.epoch(),
+                migrations_planned: p.migrations_planned,
+                migrations_completed: p.migrations_completed,
+                migrations_aborted: p.migrations_aborted,
+                bytes_moved: p.bytes_moved,
+                parked_admissions: p.parked_admissions,
+                class_a_admitted: p.class_a_admitted,
+                class_b_admitted: p.class_b_admitted,
+                class_b_rate: rate(p.class_b_admitted),
+                class_b_rate_static: rate(p.class_b_static),
             });
         }
         m

@@ -1,0 +1,469 @@
+//! Workload locality drift: deterministic, seed-derived shifts in
+//! *where* a site's transactions reference data over simulated time.
+//!
+//! The paper's workload is stationary — site `i` draws its local
+//! references from slice `i`, forever, so a transaction's class (A =
+//! local, B = non-local) never changes. These models break that
+//! stationarity three ways:
+//!
+//! * [`DriftSpec::HotMigration`] — the data each site treats as "its"
+//!   working set rotates through the slices over time (dwell windows),
+//!   modelling hot partitions migrating between sites; under a static
+//!   placement every rotation turns former class A traffic into
+//!   class B.
+//! * [`DriftSpec::Diurnal`] — each site's local/global mix swings
+//!   sinusoidally with a per-site phase shift, the diurnal idiom of
+//!   `examples/diurnal_faults.rs` applied to locality instead of rate.
+//! * [`DriftSpec::Zipf`] — stationary Zipf-skewed lock references
+//!   (via [`ZipfDistribution`]), concentrating contention on the head
+//!   of each range.
+//!
+//! All randomness flows through the caller's [`SimRng`] stream, so runs
+//! remain bit-deterministic in the run seed and replication harnesses
+//! hold unchanged.
+
+use hls_lockmgr::{LockId, LockMode};
+use hls_sim::SimRng;
+
+use crate::spec::{TxnClass, TxnSpec, WorkloadSpec};
+use crate::zipf::ZipfDistribution;
+
+/// A workload locality drift model (parsed from `--drift` specs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftSpec {
+    /// Hot working sets migrate between sites: in dwell window
+    /// `w = floor(t / dwell)` each site's local-intent references are
+    /// redirected, with probability `hot_frac` per reference, from its
+    /// own slice to the slice `w mod n_sites` positions ahead.
+    /// Window 0 is the paper's stationary workload.
+    HotMigration {
+        /// Seconds a shift persists before rotating one slice further.
+        dwell: f64,
+        /// Probability a local-intent reference follows the shift.
+        hot_frac: f64,
+    },
+    /// Per-site sinusoidal local/global mix: site `s`'s probability of
+    /// a local-intent transaction is
+    /// `clamp(p_local + amplitude * sin(2π (t/period + s/n)))`.
+    Diurnal {
+        /// Seconds per full cycle.
+        period: f64,
+        /// Peak deviation of the local fraction.
+        amplitude: f64,
+    },
+    /// Stationary Zipf(θ) skew over lock references: class A draws
+    /// ranks over the origin slice, class B over the whole space, both
+    /// skewed toward the head of the range.
+    Zipf {
+        /// Skew parameter θ (0 = uniform).
+        theta: f64,
+    },
+}
+
+impl DriftSpec {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            DriftSpec::HotMigration { dwell, hot_frac } => {
+                if !(dwell > 0.0 && dwell.is_finite()) {
+                    return Err(format!(
+                        "drift hot: dwell must be a positive number of seconds (got {dwell})"
+                    ));
+                }
+                if !(0.0..=1.0).contains(&hot_frac) {
+                    return Err(format!(
+                        "drift hot: hot_frac is a probability and must lie in [0, 1] \
+                         (got {hot_frac})"
+                    ));
+                }
+            }
+            DriftSpec::Diurnal { period, amplitude } => {
+                if !(period > 0.0 && period.is_finite()) {
+                    return Err(format!(
+                        "drift diurnal: period must be a positive number of seconds \
+                         (got {period})"
+                    ));
+                }
+                if !(0.0..=1.0).contains(&amplitude) {
+                    return Err(format!(
+                        "drift diurnal: amplitude must lie in [0, 1] (got {amplitude})"
+                    ));
+                }
+            }
+            DriftSpec::Zipf { theta } => {
+                if !(theta >= 0.0 && theta.is_finite()) {
+                    return Err(format!(
+                        "drift zipf: theta must be a non-negative finite number (got {theta})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a CLI drift spec: `hot[:DWELL[:FRAC]]`,
+    /// `diurnal[:PERIOD[:AMP]]`, or `zipf[:THETA]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut fields = s.split(':');
+        let kind = fields.next().unwrap_or("");
+        let mut num = |name: &str, default: f64| -> Result<f64, String> {
+            match fields.next() {
+                None | Some("") => Ok(default),
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("drift {kind}: cannot parse {name}: {v}")),
+            }
+        };
+        let spec = match kind {
+            "hot" => DriftSpec::HotMigration {
+                dwell: num("dwell", 30.0)?,
+                hot_frac: num("hot_frac", 0.9)?,
+            },
+            "diurnal" => DriftSpec::Diurnal {
+                period: num("period", 120.0)?,
+                amplitude: num("amplitude", 0.2)?,
+            },
+            "zipf" => DriftSpec::Zipf {
+                theta: num("theta", 0.9)?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown drift model: {other:?} (expected hot[:DWELL[:FRAC]], \
+                     diurnal[:PERIOD[:AMP]], or zipf[:THETA])"
+                ))
+            }
+        };
+        if let Some(extra) = fields.next() {
+            return Err(format!("drift {kind}: unexpected trailing field: {extra}"));
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// A drift model bound to a workload: precomputes the Zipf tables and
+/// generates time-dependent transactions.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::RngStreams;
+/// use hls_workload::{DriftModel, DriftSpec, WorkloadSpec};
+///
+/// let spec = DriftSpec::parse("hot:30:1.0")?;
+/// let model = DriftModel::new(spec, WorkloadSpec::paper_default())?;
+/// let mut rng = RngStreams::new(7).stream(0);
+/// // In window 0 the workload is stationary; by t = 45 s every
+/// // local-intent reference has rotated one slice ahead.
+/// let txn = model.generate(&mut rng, 0, 45.0);
+/// assert_eq!(txn.origin, 0);
+/// assert_eq!(txn.locks.len(), 10);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftModel {
+    spec: DriftSpec,
+    wl: WorkloadSpec,
+    zipf_slice: Option<ZipfDistribution>,
+    zipf_global: Option<ZipfDistribution>,
+}
+
+impl DriftModel {
+    /// Binds `spec` to a (validated) workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an inconsistent spec or
+    /// workload.
+    pub fn new(spec: DriftSpec, wl: WorkloadSpec) -> Result<Self, String> {
+        spec.validate()?;
+        wl.validate()?;
+        let (zipf_slice, zipf_global) = match spec {
+            DriftSpec::Zipf { theta } => (
+                Some(ZipfDistribution::new(wl.slice_size() as usize, theta)?),
+                Some(ZipfDistribution::new(wl.lockspace as usize, theta)?),
+            ),
+            _ => (None, None),
+        };
+        Ok(DriftModel {
+            spec,
+            wl,
+            zipf_slice,
+            zipf_global,
+        })
+    }
+
+    /// The drift specification this model was built from.
+    #[must_use]
+    pub fn spec(&self) -> DriftSpec {
+        self.spec
+    }
+
+    /// The slice-shift in effect at time `t` under
+    /// [`DriftSpec::HotMigration`] (0 for the other models).
+    #[must_use]
+    pub fn shift_at(&self, t: f64) -> usize {
+        match self.spec {
+            DriftSpec::HotMigration { dwell, .. } => {
+                (((t / dwell).floor().max(0.0) as u64) % self.wl.n_sites as u64) as usize
+            }
+            _ => 0,
+        }
+    }
+
+    /// Generates one transaction originating at `origin` at simulated
+    /// time `t`. The returned class is derived from the drawn locks
+    /// (A iff every reference masters at `origin` under the *static*
+    /// assignment); an adaptive placement layer reclassifies against
+    /// its own map at admission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of range.
+    #[must_use]
+    pub fn generate(&self, rng: &mut SimRng, origin: usize, t: f64) -> TxnSpec {
+        assert!(origin < self.wl.n_sites, "origin {origin} out of range");
+        let wl = &self.wl;
+        let local_intent_p = match self.spec {
+            DriftSpec::Diurnal { period, amplitude } => {
+                let phase = t / period + origin as f64 / wl.n_sites as f64;
+                (wl.p_local + amplitude * (std::f64::consts::TAU * phase).sin()).clamp(0.0, 1.0)
+            }
+            _ => wl.p_local,
+        };
+        let local_intent = rng.random::<f64>() < local_intent_p;
+        let mut locks: Vec<(LockId, LockMode)> = Vec::with_capacity(wl.locks_per_txn);
+        while locks.len() < wl.locks_per_txn {
+            let id = self.draw_lock(rng, origin, t, local_intent);
+            if locks.iter().any(|&(l, _)| l == id) {
+                continue; // lock references within a transaction are distinct
+            }
+            let mode = if rng.random::<f64>() < wl.write_fraction {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            locks.push((id, mode));
+        }
+        let class = if locks.iter().all(|&(l, _)| wl.master_of(l) == origin) {
+            TxnClass::A
+        } else {
+            TxnClass::B
+        };
+        TxnSpec {
+            class,
+            origin,
+            locks,
+        }
+    }
+
+    fn draw_lock(&self, rng: &mut SimRng, origin: usize, t: f64, local_intent: bool) -> LockId {
+        let wl = &self.wl;
+        match self.spec {
+            DriftSpec::HotMigration { hot_frac, .. } => {
+                if local_intent {
+                    let target = if rng.random::<f64>() < hot_frac {
+                        (origin + self.shift_at(t)) % wl.n_sites
+                    } else {
+                        origin
+                    };
+                    let (lo, hi) = wl.slice_of(target);
+                    LockId(rng.random_range(lo..hi))
+                } else {
+                    LockId(rng.random_range(0..wl.lockspace))
+                }
+            }
+            DriftSpec::Diurnal { .. } => {
+                let (lo, hi) = if local_intent {
+                    wl.slice_of(origin)
+                } else {
+                    (0, wl.lockspace)
+                };
+                LockId(rng.random_range(lo..hi))
+            }
+            DriftSpec::Zipf { .. } => {
+                if local_intent {
+                    let zipf = self.zipf_slice.as_ref().expect("built for zipf");
+                    let (lo, _) = wl.slice_of(origin);
+                    LockId(lo + zipf.sample(rng) as u32)
+                } else {
+                    let zipf = self.zipf_global.as_ref().expect("built for zipf");
+                    LockId(zipf.sample(rng) as u32)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_sim::RngStreams;
+
+    fn model(s: &str) -> DriftModel {
+        DriftModel::new(DriftSpec::parse(s).unwrap(), WorkloadSpec::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn parse_accepts_defaults_and_fields() {
+        assert_eq!(
+            DriftSpec::parse("hot").unwrap(),
+            DriftSpec::HotMigration {
+                dwell: 30.0,
+                hot_frac: 0.9
+            }
+        );
+        assert_eq!(
+            DriftSpec::parse("hot:12:0.5").unwrap(),
+            DriftSpec::HotMigration {
+                dwell: 12.0,
+                hot_frac: 0.5
+            }
+        );
+        assert_eq!(
+            DriftSpec::parse("diurnal:200:0.3").unwrap(),
+            DriftSpec::Diurnal {
+                period: 200.0,
+                amplitude: 0.3
+            }
+        );
+        assert_eq!(
+            DriftSpec::parse("zipf:1.1").unwrap(),
+            DriftSpec::Zipf { theta: 1.1 }
+        );
+        assert!(DriftSpec::parse("").is_err());
+        assert!(DriftSpec::parse("melt").is_err());
+        assert!(DriftSpec::parse("hot:abc").is_err());
+        assert!(DriftSpec::parse("hot:10:0.5:9").is_err());
+        assert!(DriftSpec::parse("hot:-4").is_err());
+        assert!(DriftSpec::parse("diurnal:120:1.5").is_err());
+        assert!(DriftSpec::parse("zipf:-1").is_err());
+    }
+
+    #[test]
+    fn hot_migration_rotates_the_working_set() {
+        let m = model("hot:30:1.0");
+        let wl = WorkloadSpec::paper_default();
+        assert_eq!(m.shift_at(0.0), 0);
+        assert_eq!(m.shift_at(29.9), 0);
+        assert_eq!(m.shift_at(30.0), 1);
+        assert_eq!(m.shift_at(95.0), 3);
+        // Window 0: local-intent references stay in the origin slice.
+        let mut rng = RngStreams::new(5).stream(0);
+        let mut saw_a = false;
+        for _ in 0..50 {
+            let txn = m.generate(&mut rng, 2, 1.0);
+            if txn.class == TxnClass::A {
+                saw_a = true;
+                let (lo, hi) = wl.slice_of(2);
+                assert!(txn.locks.iter().all(|&(l, _)| (lo..hi).contains(&l.0)));
+            }
+        }
+        assert!(saw_a, "p_local = 0.75 must produce class A in window 0");
+        // Window 1: every former class A reference lands one slice
+        // ahead, so nothing masters at the origin any more, and the
+        // local-intent transactions (p_local of them) land wholesale in
+        // the next slice.
+        let (lo, hi) = wl.slice_of(3);
+        let mut wholesale = 0;
+        for _ in 0..50 {
+            let txn = m.generate(&mut rng, 2, 31.0);
+            assert_eq!(txn.class, TxnClass::B, "shifted locality cannot be class A");
+            if txn.locks.iter().all(|&(l, _)| (lo..hi).contains(&l.0)) {
+                wholesale += 1;
+            }
+        }
+        assert!(
+            wholesale > 25,
+            "~75% of transactions should move wholesale to slice 3, saw {wholesale}/50"
+        );
+    }
+
+    #[test]
+    fn diurnal_mix_swings_with_phase() {
+        let m = model("diurnal:120:0.25");
+        let mut rng = RngStreams::new(8).stream(0);
+        let frac_a = |t: f64, rng: &mut _| {
+            let n = 2000;
+            (0..n)
+                .filter(|_| m.generate(rng, 0, t).class == TxnClass::A)
+                .count() as f64
+                / f64::from(n)
+        };
+        // Site 0's peak is at t = period/4 (sin = 1), trough at 3/4.
+        let peak = frac_a(30.0, &mut rng);
+        let trough = frac_a(90.0, &mut rng);
+        assert!(
+            peak > 0.9 && trough < 0.6,
+            "peak {peak} / trough {trough} should straddle p_local = 0.75"
+        );
+    }
+
+    #[test]
+    fn zipf_drift_skews_toward_slice_heads() {
+        let m = model("zipf:1.0");
+        let wl = WorkloadSpec::paper_default();
+        let mut rng = RngStreams::new(9).stream(0);
+        let mut head = 0usize;
+        let mut total = 0usize;
+        for _ in 0..300 {
+            let txn = m.generate(&mut rng, 4, 10.0);
+            for &(l, _) in &txn.locks {
+                assert!(l.0 < wl.lockspace);
+                if txn.class == TxnClass::A {
+                    let (lo, _) = wl.slice_of(4);
+                    if l.0 - lo < wl.slice_size() / 10 {
+                        head += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        // Uniform would put 10% in the first tenth of the slice; Zipf(1)
+        // concentrates far more.
+        assert!(
+            head as f64 > 0.4 * total as f64,
+            "zipf head mass too small: {head}/{total}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for spec in ["hot:20:0.8", "diurnal:60:0.2", "zipf:0.9"] {
+            let m = model(spec);
+            let mut a = RngStreams::new(3).stream(1);
+            let mut b = RngStreams::new(3).stream(1);
+            for i in 0..20 {
+                let t = i as f64 * 7.5;
+                assert_eq!(
+                    m.generate(&mut a, i % 10, t),
+                    m.generate(&mut b, i % 10, t),
+                    "{spec} at t = {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locks_stay_distinct_under_all_models() {
+        for spec in ["hot:20:1.0", "diurnal:60:0.3", "zipf:1.3"] {
+            let m = model(spec);
+            let mut rng = RngStreams::new(12).stream(0);
+            for i in 0..60 {
+                let txn = m.generate(&mut rng, i % 10, i as f64);
+                let mut ids: Vec<u32> = txn.locks.iter().map(|&(l, _)| l.0).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), txn.locks.len(), "{spec}");
+            }
+        }
+    }
+}

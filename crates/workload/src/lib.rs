@@ -32,9 +32,13 @@
 #![warn(missing_docs)]
 
 mod arrivals;
+mod drift;
 mod generator;
 mod spec;
+mod zipf;
 
 pub use arrivals::{ArrivalProcess, RateProfile};
+pub use drift::{DriftModel, DriftSpec};
 pub use generator::TxnGenerator;
 pub use spec::{TxnClass, TxnSpec, WorkloadSpec};
+pub use zipf::ZipfDistribution;

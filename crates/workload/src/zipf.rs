@@ -1,0 +1,174 @@
+//! Zipf-skewed rank sampling, reusable independently of the drift
+//! models.
+
+use hls_sim::SimRng;
+
+/// A Zipf(θ) distribution over ranks `0..n`: rank `i` has probability
+/// proportional to `1 / (i + 1)^θ`. θ = 0 is uniform; the classic
+/// web/TPC skew is θ ≈ 0.8–1.0.
+///
+/// The CDF is precomputed at construction, so sampling is a binary
+/// search — O(log n) per draw with no floating-point accumulation at
+/// sample time, keeping draws bit-deterministic for a given rng stream.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::RngStreams;
+/// use hls_workload::ZipfDistribution;
+///
+/// let zipf = ZipfDistribution::new(1000, 0.9)?;
+/// let mut rng = RngStreams::new(7).stream(0);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// // Rank 0 is by far the most likely single rank.
+/// assert!(zipf.prob(0) > zipf.prob(1));
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfDistribution {
+    theta: f64,
+    cdf: Vec<f64>,
+}
+
+impl ZipfDistribution {
+    /// Builds the distribution over `n` ranks with skew `theta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `n` is zero or `theta` is negative or
+    /// non-finite.
+    pub fn new(n: usize, theta: f64) -> Result<Self, String> {
+        if n == 0 {
+            return Err("zipf: rank count must be positive".into());
+        }
+        if !(theta >= 0.0 && theta.is_finite()) {
+            return Err(format!(
+                "zipf: skew theta must be a non-negative finite number (got {theta})"
+            ));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Ok(ZipfDistribution { theta, cdf })
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The skew parameter θ.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Exact probability of rank `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn prob(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws one rank in `0..n`.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u: f64 = rng.random();
+        // First rank whose CDF weakly exceeds u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_sim::RngStreams;
+
+    #[test]
+    fn known_values_for_theta_one() {
+        // n = 4, θ = 1: H = 1 + 1/2 + 1/3 + 1/4 = 25/12, so
+        // p = (12/25, 6/25, 4/25, 3/25).
+        let z = ZipfDistribution::new(4, 1.0).unwrap();
+        let expected = [12.0 / 25.0, 6.0 / 25.0, 4.0 / 25.0, 3.0 / 25.0];
+        for (i, &e) in expected.iter().enumerate() {
+            assert!(
+                (z.prob(i) - e).abs() < 1e-12,
+                "rank {i}: got {}, want {e}",
+                z.prob(i)
+            );
+        }
+        let total: f64 = (0..4).map(|i| z.prob(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_values_for_theta_half() {
+        // n = 3, θ = 0.5: weights (1, 1/√2, 1/√3).
+        let z = ZipfDistribution::new(3, 0.5).unwrap();
+        let w = [1.0, 1.0 / 2.0_f64.sqrt(), 1.0 / 3.0_f64.sqrt()];
+        let norm: f64 = w.iter().sum();
+        for (i, &wi) in w.iter().enumerate() {
+            assert!((z.prob(i) - wi / norm).abs() < 1e-12, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = ZipfDistribution::new(8, 0.0).unwrap();
+        for i in 0..8 {
+            assert!((z.prob(i) - 0.125).abs() < 1e-12, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_the_analytic_head_probability() {
+        let z = ZipfDistribution::new(100, 0.9).unwrap();
+        let mut rng = RngStreams::new(11).stream(0);
+        let n = 40_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) == 0).count();
+        let got = head as f64 / f64::from(n);
+        assert!(
+            (got - z.prob(0)).abs() < 0.01,
+            "head frequency {got} vs analytic {}",
+            z.prob(0)
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let z = ZipfDistribution::new(57, 1.2).unwrap();
+        let draw = |seed: u64| {
+            let mut rng = RngStreams::new(seed).stream(3);
+            (0..500).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        let a = draw(9);
+        assert_eq!(a, draw(9));
+        assert!(a.iter().all(|&r| r < 57));
+        assert_ne!(a, draw(10), "different seeds should differ");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(ZipfDistribution::new(0, 1.0).is_err());
+        assert!(ZipfDistribution::new(4, -0.1).is_err());
+        assert!(ZipfDistribution::new(4, f64::NAN).is_err());
+    }
+}

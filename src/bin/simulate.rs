@@ -7,6 +7,7 @@
 //!          [--reps N] [--jobs N] [--sim-threads N] [--ci-target F] [--max-reps N]
 //!          [--fault-schedule FILE] [--failure-aware]
 //!          [--obs] [--profile] [--trace-out FILE] [--backoff-window SECS]
+//!          [--placement POLICY] [--drift SPEC]
 //! ```
 //!
 //! Policies: `none`, `static`, `measured`, `queue`, `threshold`,
@@ -44,16 +45,26 @@
 //! bit-identical with and without them. `--backoff-window SECS` caps the
 //! deadlock-victim restart backoff jitter window (default: one database-
 //! call service time).
+//!
+//! Adaptive placement: `--placement static|threshold[:FRAC]|epoch` turns
+//! on the online placement controller (partitions migrate to the site
+//! that dominates their accesses; transactions are reclassified A↔B
+//! against the live map); `--drift hot[:DWELL[:FRAC]]`,
+//! `--drift diurnal[:PERIOD[:AMP]]`, or `--drift zipf[:THETA]` makes the
+//! workload's locality shift over simulated time so there is something
+//! to adapt to. Both run on the serial event loop (`--sim-threads` must
+//! stay 1; `--jobs` replication still composes).
 
 use std::process::ExitCode;
 
 use hybrid_load_sharing::core::{
     optimal_static_spec, replicate_ci, replicate_jobs, replicate_jobs_threads,
-    run_simulation_threads, summarize, CiOptions, FaultSchedule, HybridSystem, JsonlSink,
-    LogHistogram, MetricSummary, ObsConfig, ObsReport, Route, RouterSpec, RunMetrics, SystemConfig,
-    TxnClass, UtilizationEstimator,
+    run_simulation_threads, summarize, CiOptions, DriftSpec, FaultSchedule, HybridSystem,
+    JsonlSink, LogHistogram, MetricSummary, ObsConfig, ObsReport, PlacementConfig, PlacementPolicy,
+    Route, RouterSpec, RunMetrics, SystemConfig, TxnClass, UtilizationEstimator,
 };
 
+#[derive(Debug)]
 struct Args {
     rate: f64,
     delay: f64,
@@ -78,10 +89,17 @@ struct Args {
     profile: bool,
     trace_out: Option<String>,
     backoff_window: Option<f64>,
+    placement: Option<String>,
+    drift: Option<String>,
 }
 
 impl Args {
     fn parse() -> Result<Args, String> {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Args::parse_from(&argv)
+    }
+
+    fn parse_from(argv: &[String]) -> Result<Args, String> {
         let mut a = Args {
             rate: 20.0,
             delay: 0.2,
@@ -106,8 +124,9 @@ impl Args {
             profile: false,
             trace_out: None,
             backoff_window: None,
+            placement: None,
+            drift: None,
         };
-        let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
             let key = argv[i].as_str();
@@ -141,6 +160,8 @@ impl Args {
                 "--profile" => a.profile = true,
                 "--trace-out" => a.trace_out = Some(value()?.to_string()),
                 "--backoff-window" => a.backoff_window = Some(parse(value()?)?),
+                "--placement" => a.placement = Some(value()?.to_string()),
+                "--drift" => a.drift = Some(value()?.to_string()),
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument: {other}")),
             }
@@ -224,6 +245,21 @@ impl Args {
                     .into(),
             );
         }
+        // Parse errors surface here so a bad spec fails before any run.
+        let placement = self.placement_config()?;
+        if let Some(d) = &self.drift {
+            DriftSpec::parse(d)?;
+        }
+        if self.sim_threads > 1
+            && (self.drift.is_some() || placement.is_some_and(|p| p.is_adaptive()))
+        {
+            return Err(
+                "adaptive placement and workload drift run on the serial event loop \
+                 (migrations are global state the speculative executor cannot window); \
+                 drop --sim-threads, or use --jobs to parallelize replications instead"
+                    .into(),
+            );
+        }
         match (self.ci_target, self.max_reps) {
             (Some(t), _) if !(t > 0.0 && t < 1.0) => Err(format!(
                 "--ci-target is a relative half-width and must lie in (0, 1) (got {t})"
@@ -250,6 +286,47 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("cannot parse value: {s}"))
 }
 
+impl Args {
+    /// Resolves `--placement static | threshold[:FRAC] | epoch` into a
+    /// [`PlacementConfig`].
+    fn placement_config(&self) -> Result<Option<PlacementConfig>, String> {
+        let Some(s) = &self.placement else {
+            return Ok(None);
+        };
+        let (kind, field) = match s.split_once(':') {
+            Some((k, f)) => (k, Some(f)),
+            None => (s.as_str(), None),
+        };
+        let cfg = match kind {
+            "static" => PlacementConfig::default(),
+            "threshold" => {
+                let mut cfg = PlacementConfig::threshold_default();
+                if let Some(f) = field {
+                    let frac: f64 = f.parse().map_err(|_| {
+                        format!("--placement threshold: cannot parse fraction: {f}")
+                    })?;
+                    cfg.policy = PlacementPolicy::Threshold { remote_frac: frac };
+                }
+                cfg
+            }
+            "epoch" => PlacementConfig::epoch_default(),
+            other => {
+                return Err(format!(
+                    "unknown placement policy: {other:?} \
+                     (expected static, threshold[:FRAC], or epoch)"
+                ))
+            }
+        };
+        if kind != "threshold" {
+            if let Some(extra) = field {
+                return Err(format!("--placement {kind}: unexpected field: {extra}"));
+            }
+        }
+        cfg.validate().map_err(|e| format!("--placement: {e}"))?;
+        Ok(Some(cfg))
+    }
+}
+
 fn usage() {
     eprintln!(
         "usage: simulate [--rate TPS] [--delay SECS] [--policy NAME] [--sites N]\n\
@@ -258,6 +335,7 @@ fn usage() {
          \x20               [--reps N] [--jobs N] [--sim-threads N] [--ci-target F] [--max-reps N]\n\
          \x20               [--fault-schedule FILE] [--failure-aware]\n\
          \x20               [--obs] [--profile] [--trace-out FILE] [--backoff-window SECS]\n\
+         \x20               [--placement POLICY] [--drift SPEC]\n\
          policies: none static measured queue threshold min-incoming-q\n\
          \x20         min-incoming-n min-average-q min-average-n smoothed\n\
          replication: --reps runs N seed replications in parallel (--jobs\n\
@@ -274,7 +352,11 @@ fn usage() {
          \x20         --profile prints a simulator self-profile table;\n\
          \x20         --trace-out FILE streams protocol events as JSON Lines\n\
          \x20         (single runs only; inspect with trace-analyze);\n\
-         \x20         --backoff-window SECS caps the deadlock restart jitter"
+         \x20         --backoff-window SECS caps the deadlock restart jitter\n\
+         placement: --placement static|threshold[:FRAC]|epoch runs the online\n\
+         \x20         placement controller; --drift hot[:DWELL[:FRAC]] |\n\
+         \x20         diurnal[:PERIOD[:AMP]] | zipf[:THETA] shifts workload\n\
+         \x20         locality over time (serial event loop only)"
     );
 }
 
@@ -423,6 +505,12 @@ fn main() -> ExitCode {
         profile: args.profile,
     };
     cfg.deadlock_backoff_window = args.backoff_window;
+    if let Some(p) = args.placement_config().expect("validated at parse") {
+        cfg = cfg.with_placement(p);
+    }
+    if let Some(d) = &args.drift {
+        cfg = cfg.with_drift(DriftSpec::parse(d).expect("validated at parse"));
+    }
     if let Some(path) = &args.fault_schedule {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -573,6 +661,19 @@ fn main() -> ExitCode {
             None => println!("response in outage  n/a (no overlapping completions)"),
         }
     }
+    if let Some(p) = &m.placement {
+        println!("placement           {} (epoch {})", p.policy, p.epoch);
+        println!(
+            "migrations          {} completed / {} planned / {} aborted ({} bytes moved)",
+            p.migrations_completed, p.migrations_planned, p.migrations_aborted, p.bytes_moved
+        );
+        println!(
+            "class B rate        {:.1} % (static map would see {:.1} %), {} parked",
+            p.class_b_rate * 100.0,
+            p.class_b_rate_static * 100.0,
+            p.parked_admissions
+        );
+    }
     if let Some(obs) = &m.obs {
         print_obs(obs);
     }
@@ -580,4 +681,77 @@ fn main() -> ExitCode {
         println!("trace written       {path}");
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_args(args: &[&str]) -> Result<Args, String> {
+        let argv: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        Args::parse_from(&argv)
+    }
+
+    #[test]
+    fn placement_specs_parse() {
+        let a = parse_args(&["--placement", "threshold"]).expect("valid");
+        let p = a.placement_config().expect("valid").expect("present");
+        assert!(p.is_adaptive());
+        let a = parse_args(&["--placement", "threshold:0.7"]).expect("valid");
+        let p = a.placement_config().expect("valid").expect("present");
+        assert_eq!(p.policy, PlacementPolicy::Threshold { remote_frac: 0.7 });
+        let a = parse_args(&["--placement", "epoch"]).expect("valid");
+        assert!(a
+            .placement_config()
+            .expect("valid")
+            .expect("present")
+            .is_adaptive());
+        let a = parse_args(&["--placement", "static"]).expect("valid");
+        assert!(!a
+            .placement_config()
+            .expect("valid")
+            .expect("present")
+            .is_adaptive());
+        assert!(parse_args(&["--drift", "hot:15:0.8"]).is_ok());
+    }
+
+    #[test]
+    fn bad_placement_specs_are_rejected_at_parse() {
+        for argv in [
+            &["--placement", "magnetic"][..],
+            &["--placement", "threshold:nope"],
+            &["--placement", "threshold:1.5"],
+            &["--placement", "epoch:3"],
+            &["--placement"],
+            &["--drift", "melt"],
+            &["--drift", "hot:-2"],
+            &["--drift"],
+        ] {
+            assert!(parse_args(argv).is_err(), "accepted {argv:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_runs_reject_speculative_threads() {
+        for argv in [
+            &["--placement", "threshold", "--sim-threads", "4"][..],
+            &["--placement", "epoch", "--sim-threads", "2"],
+            &["--drift", "hot", "--sim-threads", "4"],
+            &[
+                "--placement",
+                "static",
+                "--drift",
+                "diurnal",
+                "--sim-threads",
+                "2",
+            ],
+        ] {
+            let e = parse_args(argv).expect_err("must reject");
+            assert!(e.contains("serial event loop"), "unhelpful error: {e}");
+        }
+        // A static policy with no drift never migrates: the speculative
+        // executor stays valid, as do replication workers for everyone.
+        assert!(parse_args(&["--placement", "static", "--sim-threads", "4"]).is_ok());
+        assert!(parse_args(&["--placement", "threshold", "--jobs", "8"]).is_ok());
+    }
 }
