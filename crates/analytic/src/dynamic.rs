@@ -22,7 +22,7 @@ use crate::response::{response_times, ContentionInputs, HoldTimes, ResponseEstim
 /// Local quantities are exact (the router runs at the arriving site); the
 /// central quantities come from the most recent snapshot piggybacked on a
 /// message from the central complex, and may be stale.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Observed {
     /// CPU queue length at the arriving local site, including the job in
     /// service.
@@ -38,6 +38,32 @@ pub struct Observed {
     pub locks_local: f64,
     /// Lock grants at the central lock table.
     pub locks_central: f64,
+    /// CPU speed of the arriving site relative to the nominal
+    /// `local_mips` (1.0 on a homogeneous topology). A 2-MIPS site in a
+    /// 1-MIPS system observes `local_speed = 2.0` and the same queue
+    /// implies half the utilization.
+    pub local_speed: f64,
+    /// CPU speed of the site's central shard relative to the nominal
+    /// `central_mips` (1.0 on a homogeneous topology).
+    pub central_speed: f64,
+}
+
+impl Default for Observed {
+    /// An empty system on nominal hardware: all counts zero, both
+    /// speeds 1.0 (a zero default speed would mean an infinitely slow
+    /// machine and break every `..Observed::default()` call site).
+    fn default() -> Self {
+        Observed {
+            q_local: 0.0,
+            q_central: 0.0,
+            n_local: 0.0,
+            n_central: 0.0,
+            locks_local: 0.0,
+            locks_central: 0.0,
+            local_speed: 1.0,
+            central_speed: 1.0,
+        }
+    }
 }
 
 /// Which observable drives the utilization estimate — the two variants of
@@ -127,6 +153,22 @@ fn rho_from_queue(q: f64) -> f64 {
     }
 }
 
+/// Normalizes a queue-implied utilization by the observing node's CPU
+/// speed: a server `s`× faster drains the same queue `s`× sooner, so
+/// the pressure it signals is `ρ / s`.
+///
+/// `speed == 1.0` is an exact pass-through (`x / 1.0 == x` in IEEE 754),
+/// preserving bit-identity on homogeneous topologies; heterogeneous
+/// speeds clamp into `[0, 0.999)` so a slow node cannot push the
+/// response-time equations past saturation.
+fn normalize_rho(rho: f64, speed: f64) -> f64 {
+    if speed == 1.0 {
+        rho
+    } else {
+        (rho / speed).clamp(0.0, 0.999)
+    }
+}
+
 /// Inverts `n = ρ · R(ρ) / S` with `R(ρ) = A + S / (1 − ρ)` (non-CPU time
 /// `A`, CPU demand `S`) for `ρ`, so that a population count that includes
 /// transactions in I/O and lock wait maps to a CPU utilization.
@@ -163,12 +205,18 @@ fn utilizations(
 ) -> (f64, f64) {
     match estimator {
         UtilizationEstimator::QueueLength => (
-            rho_from_queue(obs.q_local + extra_local),
-            rho_from_queue(obs.q_central + extra_central),
+            normalize_rho(rho_from_queue(obs.q_local + extra_local), obs.local_speed),
+            normalize_rho(
+                rho_from_queue(obs.q_central + extra_central),
+                obs.central_speed,
+            ),
         ),
         UtilizationEstimator::NumInSystem => {
-            let cpu_l = params.exec_instr() / params.local_mips;
-            let cpu_c = params.central_exec_instr() / params.central_mips;
+            // The observing node's true service rate: nominal MIPS
+            // scaled by its relative speed (exact at speed 1.0, since
+            // `x * 1.0 == x`).
+            let cpu_l = params.exec_instr() / (params.local_mips * obs.local_speed);
+            let cpu_c = params.central_exec_instr() / (params.central_mips * obs.central_speed);
             let non_cpu_l = params.total_io();
             let non_cpu_c = central_residence(params) - cpu_c;
             (
@@ -266,10 +314,14 @@ pub fn estimate_route_cases(
 
 /// The utilization estimate used by the tuned queue-length heuristic of
 /// Section 3.2.4 / Figure 4.4: current utilizations **excluding** the new
-/// transaction; ship when `ρ_local − ρ_central > threshold`.
+/// transaction, normalized by each node's CPU speed; ship when
+/// `ρ_local − ρ_central > threshold`.
 #[must_use]
 pub fn heuristic_utilizations(obs: &Observed) -> (f64, f64) {
-    (rho_from_queue(obs.q_local), rho_from_queue(obs.q_central))
+    (
+        normalize_rho(rho_from_queue(obs.q_local), obs.local_speed),
+        normalize_rho(rho_from_queue(obs.q_central), obs.central_speed),
+    )
 }
 
 #[cfg(test)]
@@ -461,6 +513,109 @@ mod tests {
         assert_eq!(rho_from_population(0.0, cpu, non_cpu), 0.0);
         // Degenerate: no non-CPU time.
         assert!((rho_from_population(1.0, cpu, 0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_speed_site_reports_half_the_utilization() {
+        // The issue's known value: a 2-MIPS site at the same queue
+        // length reports exactly half the utilization of a 1-MIPS site.
+        let slow = Observed {
+            q_local: 3.0,
+            q_central: 3.0,
+            ..Observed::default()
+        };
+        let fast = Observed {
+            local_speed: 2.0,
+            ..slow
+        };
+        let (rho_slow, rc_slow) = heuristic_utilizations(&slow);
+        let (rho_fast, rc_fast) = heuristic_utilizations(&fast);
+        assert!((rho_slow - 0.75).abs() < 1e-12);
+        assert_eq!(rho_fast, rho_slow / 2.0);
+        // Central speed untouched: the central estimate is unchanged.
+        assert_eq!(rc_slow, rc_fast);
+        // Fast central shard halves the central estimate symmetrically.
+        let fast_central = Observed {
+            central_speed: 2.0,
+            ..slow
+        };
+        let (_, rc) = heuristic_utilizations(&fast_central);
+        assert_eq!(rc, rc_slow / 2.0);
+    }
+
+    #[test]
+    fn unit_speed_is_an_exact_passthrough() {
+        // Bit-identity contract: a homogeneous Observed (speeds 1.0)
+        // must produce exactly the same estimates as before the speed
+        // fields existed, for both estimators.
+        let obs = Observed {
+            q_local: 5.0,
+            q_central: 2.0,
+            n_local: 7.0,
+            n_central: 3.0,
+            ..Observed::default()
+        };
+        assert_eq!(obs.local_speed, 1.0);
+        assert_eq!(obs.central_speed, 1.0);
+        let p = params();
+        for est in [
+            UtilizationEstimator::QueueLength,
+            UtilizationEstimator::NumInSystem,
+        ] {
+            let (rl, rc) = utilizations(&p, &obs, est, 0.0, 0.0);
+            // Recompute the pre-speed formulas by hand.
+            let (el, ec) = match est {
+                UtilizationEstimator::QueueLength => {
+                    (rho_from_queue(obs.q_local), rho_from_queue(obs.q_central))
+                }
+                UtilizationEstimator::NumInSystem => {
+                    let cpu_l = p.exec_instr() / p.local_mips;
+                    let cpu_c = p.central_exec_instr() / p.central_mips;
+                    (
+                        rho_from_population(obs.n_local, cpu_l, p.total_io()),
+                        rho_from_population(obs.n_central, cpu_c, central_residence(&p) - cpu_c),
+                    )
+                }
+            };
+            assert_eq!((rl, rc), (el, ec), "{est:?} drifted at unit speed");
+        }
+    }
+
+    #[test]
+    fn fast_site_discourages_shipping_in_population_estimator() {
+        // Same population, faster local CPU: the local case gets
+        // cheaper, so a fast site should be at least as reluctant to
+        // ship as a nominal one.
+        let p = params();
+        let nominal = Observed {
+            n_local: 8.0,
+            q_local: 6.0,
+            ..Observed::default()
+        };
+        let fast = Observed {
+            local_speed: 4.0,
+            ..nominal
+        };
+        let base = estimate_route_cases(&p, &nominal, UtilizationEstimator::NumInSystem);
+        let quick = estimate_route_cases(&p, &fast, UtilizationEstimator::NumInSystem);
+        assert!(quick.run_local.rho_local < base.run_local.rho_local);
+        assert!(quick.run_local.r_incoming < base.run_local.r_incoming);
+    }
+
+    #[test]
+    fn slow_site_saturates_but_stays_finite() {
+        // A half-speed site under a deep queue clamps at 0.999 rather
+        // than blowing past saturation.
+        let obs = Observed {
+            q_local: 500.0,
+            local_speed: 0.5,
+            ..Observed::default()
+        };
+        let (rl, _) = heuristic_utilizations(&obs);
+        assert_eq!(rl, 0.999);
+        let cases = estimate_route_cases(&params(), &obs, UtilizationEstimator::QueueLength);
+        assert!(cases.run_local.r_incoming.is_finite());
+        assert!(cases.prefer_ship_incoming());
     }
 
     #[test]

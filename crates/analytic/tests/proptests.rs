@@ -117,6 +117,9 @@ fn route_estimates_are_sane() {
             n_central: f64::from(rng.random_range(0..200)),
             locks_local: f64::from(rng.random_range(0..400)),
             locks_central: f64::from(rng.random_range(0..4000)),
+            // Speeds span slow (1/2x) through fast (4x) hardware.
+            local_speed: f64::from(rng.random_range(1..9)) / 2.0,
+            central_speed: f64::from(rng.random_range(1..9)) / 2.0,
         };
         for est in [
             UtilizationEstimator::QueueLength,

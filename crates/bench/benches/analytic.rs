@@ -31,6 +31,8 @@ fn bench_route_estimate() {
         n_central: 20.0,
         locks_local: 40.0,
         locks_central: 180.0,
+        local_speed: 1.0,
+        central_speed: 1.0,
     };
     for (name, est) in [
         ("queue", UtilizationEstimator::QueueLength),

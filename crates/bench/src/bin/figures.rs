@@ -7,7 +7,7 @@
 //! Experiments: fig4_1 fig4_2 fig4_3 fig4_4 fig4_5 fig4_6 fig4_7
 //! analytic_check ablation_state ablation_batch ablation_mips
 //! ablation_sites ablation_ploc ablation_lockspace ablation_backoff
-//! scale_frontier placement_drift.
+//! scale_frontier placement_drift islands_frontier.
 //!
 //! Each figure is printed as a text table and written as CSV to the output
 //! directory (default `results/`).
@@ -20,8 +20,8 @@ use hls_bench::{
     ablation_backoff, ablation_batch, ablation_lockspace, ablation_mips, ablation_ploc,
     ablation_remote_calls, ablation_servers, ablation_sites, ablation_smoothing, ablation_state,
     analytic_check, availability_mtbf, availability_outage, fig4_1, fig4_2, fig4_3, fig4_4, fig4_5,
-    fig4_6, fig4_7, oscillation_trace, placement_drift, scale_frontier, tail_latency,
-    variance_check, Figure, Profile,
+    fig4_6, fig4_7, islands_frontier, oscillation_trace, placement_drift, scale_frontier,
+    tail_latency, variance_check, Figure, Profile,
 };
 
 type Generator = fn(&Profile) -> Figure;
@@ -52,6 +52,7 @@ const EXPERIMENTS: &[(&str, Generator)] = &[
     ("tail_latency", tail_latency),
     ("scale_frontier", scale_frontier),
     ("placement_drift", placement_drift),
+    ("islands_frontier", islands_frontier),
 ];
 
 fn main() -> ExitCode {

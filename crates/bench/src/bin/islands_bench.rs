@@ -1,0 +1,325 @@
+//! CLI: heterogeneous hardware-islands topologies.
+//!
+//! ```text
+//! islands_bench [--smoke] [--out PATH]
+//! ```
+//!
+//! Where `place_bench` measures how the system adapts to workload drift,
+//! this benchmark measures how routing copes with *hardware asymmetry*:
+//! the sites are grouped into islands with cheap intra-island links and
+//! an expensive hop to the central complex, and every combination of
+//! island count, inter-island delay, and central-complex speed runs both
+//! a uniform router (min-average pricing every ship at the nominal
+//! `comm_delay`) and the island-aware router (pricing each ship at the
+//! arriving site's actual link delay). The JSON records mean response,
+//! throughput, shipped fraction, and central utilization per cell.
+//!
+//! Two guards run before the grid:
+//!
+//! * **Homogeneity** — an explicit one-island spec with every site at
+//!   the nominal MIPS must leave the simulation bit-identical to the
+//!   plain configuration (the golden-equivalence contract, re-asserted
+//!   at bench scale).
+//! * **Asymmetry pays** — at the highest inter-island delay the
+//!   island-aware router must beat the uniform router on mean response:
+//!   the uniform estimator prices remote-island ships at the nominal
+//!   delay and over-ships.
+//!
+//! `--smoke` shortens every horizon (CI wiring check, no JSON output).
+//! The full run writes `BENCH_islands.json` (or `--out PATH`).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hls_analytic::UtilizationEstimator;
+use hls_core::{run_simulation, HybridSystem, IslandSpec, RouterSpec, SystemConfig};
+
+/// Offered load: high enough that the central complex is a contended
+/// resource and a bad shipping decision costs real response time, low
+/// enough that the asymmetric cells stay stable.
+const RATE: f64 = 20.0;
+
+/// Cheap intra-island link delay (seconds, one way). The nominal
+/// `comm_delay` stays at the paper's 0.2 s, so the uniform estimator is
+/// wrong in *both* directions: it over-prices ships from the central
+/// island and under-prices ships from remote islands.
+const INTRA_DELAY: f64 = 0.05;
+
+/// CPU speed of sites in remote islands (instructions/second). The
+/// hardware-islands premise: sites far from the central complex carry
+/// beefier local CPUs, so for them staying local is genuinely
+/// competitive with shipping — *if* the router prices the inter-island
+/// hop honestly. Sites in the central island keep the paper's 1 MIPS.
+const REMOTE_MIPS: f64 = 4.0e6;
+
+fn horizon(smoke: bool) -> (f64, f64) {
+    if smoke {
+        (40.0, 5.0)
+    } else {
+        (120.0, 20.0)
+    }
+}
+
+fn inter_delays(smoke: bool) -> Vec<f64> {
+    if smoke {
+        vec![0.2, 1.0]
+    } else {
+        vec![0.2, 0.5, 1.0]
+    }
+}
+
+/// Central-complex speeds in instructions/second: the paper's nominal
+/// 15 MIPS and a doubled complex that makes shipping more attractive —
+/// and a wrong ship decision correspondingly more tempting.
+const CENTRAL_MIPS: [f64; 2] = [15.0e6, 30.0e6];
+
+const ISLAND_COUNTS: [usize; 2] = [2, 4];
+
+fn routers() -> Vec<(&'static str, RouterSpec)> {
+    vec![
+        (
+            "uniform",
+            RouterSpec::MinAverage {
+                estimator: UtilizationEstimator::NumInSystem,
+            },
+        ),
+        (
+            "island-aware",
+            RouterSpec::IslandAware {
+                estimator: UtilizationEstimator::NumInSystem,
+            },
+        ),
+    ]
+}
+
+fn cell_cfg(islands: usize, inter: f64, central_mips: f64, smoke: bool) -> SystemConfig {
+    let (sim_time, warmup) = horizon(smoke);
+    let cfg = SystemConfig::paper_default()
+        .with_total_rate(RATE)
+        .with_horizon(sim_time, warmup)
+        .with_seed(1988)
+        .with_central_shard_mips(vec![central_mips]);
+    let n = cfg.params.n_sites;
+    let nominal = cfg.params.local_mips;
+    let spec = IslandSpec::contiguous(n, islands, 0, INTRA_DELAY, inter);
+    let mips: Vec<f64> = (0..n)
+        .map(|i| {
+            if spec.island_of(i) == spec.central_island() {
+                nominal
+            } else {
+                REMOTE_MIPS
+            }
+        })
+        .collect();
+    cfg.with_islands(spec).with_site_mips(mips)
+}
+
+struct Cell {
+    islands: usize,
+    inter_delay: f64,
+    central_mips: f64,
+    router: &'static str,
+    events_per_sec: f64,
+    completions: u64,
+    mean_response: f64,
+    throughput: f64,
+    shipped_fraction: f64,
+    rho_central: f64,
+}
+
+fn run_cell(
+    islands: usize,
+    inter: f64,
+    central_mips: f64,
+    router_name: &'static str,
+    spec: RouterSpec,
+    smoke: bool,
+) -> Cell {
+    let cfg = cell_cfg(islands, inter, central_mips, smoke);
+    let sys = HybridSystem::new(cfg, spec).expect("valid");
+    let start = Instant::now();
+    let (m, events) = black_box(sys.run_counted());
+    let events_per_sec = events as f64 / start.elapsed().as_secs_f64();
+    assert!(
+        m.completions > 0,
+        "{islands} islands/{router_name}: nothing ran"
+    );
+    Cell {
+        islands,
+        inter_delay: inter,
+        central_mips,
+        router: router_name,
+        events_per_sec,
+        completions: m.completions,
+        mean_response: m.mean_response,
+        throughput: m.throughput,
+        shipped_fraction: m.shipped_fraction,
+        rho_central: m.rho_central,
+    }
+}
+
+/// Guard: an explicit homogeneous island spec (one island, both delays
+/// at the nominal `comm_delay`, every site at the nominal MIPS) must be
+/// bit-identical to the plain configuration it restates.
+fn assert_homogeneous_is_inert(smoke: bool) {
+    let (sim_time, warmup) = horizon(smoke);
+    let base = SystemConfig::paper_default()
+        .with_total_rate(RATE)
+        .with_horizon(sim_time.min(40.0), warmup.min(8.0))
+        .with_seed(42);
+    let n = base.params.n_sites;
+    let comm = base.params.comm_delay;
+    let local = base.params.local_mips;
+    let spec = RouterSpec::MinAverage {
+        estimator: UtilizationEstimator::NumInSystem,
+    };
+    let plain = run_simulation(base.clone(), spec).expect("valid");
+    let islanded = run_simulation(
+        base.with_islands(IslandSpec::contiguous(n, 1, 0, comm, comm))
+            .with_site_mips(vec![local; n]),
+        spec,
+    )
+    .expect("valid");
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{islanded:?}"),
+        "a homogeneous island spec perturbed the simulation"
+    );
+    println!("homogeneity ok ({} completions)", islanded.completions);
+}
+
+fn run_grid(smoke: bool) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for islands in ISLAND_COUNTS {
+        for &inter in &inter_delays(smoke) {
+            for central_mips in CENTRAL_MIPS {
+                for (rn, spec) in routers() {
+                    let c = run_cell(islands, inter, central_mips, rn, spec, smoke);
+                    println!(
+                        "{} islands  inter {:>4.2}s  central {:>4.1} MIPS  {:<12} rt {:>6.3}s   shipped {:>5.1}%   rho_c {:>5.3}",
+                        c.islands,
+                        c.inter_delay,
+                        c.central_mips / 1.0e6,
+                        c.router,
+                        c.mean_response,
+                        c.shipped_fraction * 100.0,
+                        c.rho_central,
+                    );
+                    cells.push(c);
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Guard: at the highest inter-island delay the island-aware router
+/// must beat the uniform router on mean response, aggregated over the
+/// island-count x central-speed cells (individual cells may tie when
+/// both routers make the same calls).
+fn assert_asymmetry_pays(cells: &[Cell], smoke: bool) {
+    let max_inter = cells
+        .iter()
+        .map(|c| c.inter_delay)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mean_rt = |router: &str| {
+        let sel: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.inter_delay == max_inter && c.router == router)
+            .map(|c| c.mean_response)
+            .collect();
+        assert!(!sel.is_empty(), "grid covers {router} at max inter delay");
+        sel.iter().sum::<f64>() / sel.len() as f64
+    };
+    let uniform = mean_rt("uniform");
+    let aware = mean_rt("island-aware");
+    assert!(
+        smoke || aware < uniform,
+        "island-aware ({aware:.3}s) did not beat uniform ({uniform:.3}s) at inter delay {max_inter}"
+    );
+    println!(
+        "asymmetry ok (island-aware {aware:.3}s vs uniform {uniform:.3}s at inter {max_inter}s)"
+    );
+}
+
+fn to_json(cells: &[Cell], smoke: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"hls-bench/islands\",\n  \"version\": 1,\n");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"rate\": {RATE},");
+    let _ = writeln!(s, "  \"intra_delay\": {INTRA_DELAY},");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"islands\": {}, \"inter_delay\": {}, \"central_mips\": {:.0}, \"router\": \"{}\", \"events_per_sec\": {:.0}, \"completions\": {}, \"mean_response\": {:.6}, \"throughput\": {:.3}, \"shipped_fraction\": {:.6}, \"rho_central\": {:.6}}}",
+            c.islands,
+            c.inter_delay,
+            c.central_mips,
+            c.router,
+            c.events_per_sec,
+            c.completions,
+            c.mean_response,
+            c.throughput,
+            c.shipped_fraction,
+            c.rho_central,
+        );
+        s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_islands.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = path.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("islands_bench [--smoke] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    assert_homogeneous_is_inert(smoke);
+    let cells = run_grid(smoke);
+    assert_asymmetry_pays(&cells, smoke);
+    if smoke {
+        println!("smoke run complete ({} cells)", cells.len());
+        return ExitCode::SUCCESS;
+    }
+    match std::fs::write(&out, to_json(&cells, smoke)) {
+        Ok(()) => {
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,8 +8,8 @@
 use hls_analytic::solve_static;
 use hls_core::{
     optimal_static_spec, run_simulation, DriftSpec, FaultProfile, FaultSchedule, HybridSystem,
-    LogHistogram, MetricSummary, ObsConfig, PlacementConfig, RouterSpec, RunMetrics, SystemConfig,
-    UtilizationEstimator,
+    IslandSpec, LogHistogram, MetricSummary, ObsConfig, PlacementConfig, RouterSpec, RunMetrics,
+    SystemConfig, UtilizationEstimator,
 };
 
 use crate::report::{Figure, Series};
@@ -1019,6 +1019,65 @@ pub fn placement_drift(profile: &Profile) -> Figure {
             }
             let m = run_simulation(cfg, best_dynamic()).expect("valid");
             (rate, report_rt(&m))
+        });
+        fig.push(Series::new(label, points));
+    }
+    fig
+}
+
+/// Extension (ISSUE 9): uniform vs island-aware routing as the
+/// inter-island link delay grows. Two hardware islands at 20 tps: the
+/// central complex sits in island 0 (paper-speed sites, cheap 0.05 s
+/// links), island 1 is remote but carries 4 MIPS local CPUs. The
+/// uniform min-average router prices every ship at the nominal 0.2 s
+/// `comm_delay`, so as the real inter-island delay grows it keeps
+/// shipping the remote island's work and pays the hop both ways; the
+/// island-aware router prices each site's actual link delay and leaves
+/// the remote island on its fast local hardware. No-sharing bounds the
+/// frontier from the never-ship side.
+#[must_use]
+pub fn islands_frontier(profile: &Profile) -> Figure {
+    let mut fig = Figure::new(
+        "islands_frontier",
+        "Uniform vs island-aware routing over inter-island delay, 2 islands, 20 tps",
+        "inter-island one-way delay (s)",
+        "mean response time (s)",
+    );
+    const INTRA: f64 = 0.05;
+    const REMOTE_MIPS: f64 = 4.0e6;
+    let inters: Vec<f64> = if profile.rates.len() < Profile::full().rates.len() {
+        vec![0.2, 0.6, 1.0]
+    } else {
+        vec![0.05, 0.2, 0.4, 0.6, 0.8, 1.0, 1.5]
+    };
+    let variants: [(&str, RouterSpec); 3] = [
+        ("no-sharing", RouterSpec::NoSharing),
+        ("uniform min-average", best_dynamic()),
+        (
+            "island-aware",
+            RouterSpec::IslandAware {
+                estimator: UtilizationEstimator::NumInSystem,
+            },
+        ),
+    ];
+    for (label, spec) in variants {
+        let points = parallel_map(&inters, |&inter| {
+            let cfg = profile.base(0.2).with_total_rate(20.0);
+            let n = cfg.params.n_sites;
+            let nominal = cfg.params.local_mips;
+            let islands = IslandSpec::contiguous(n, 2, 0, INTRA, inter);
+            let mips: Vec<f64> = (0..n)
+                .map(|i| {
+                    if islands.island_of(i) == islands.central_island() {
+                        nominal
+                    } else {
+                        REMOTE_MIPS
+                    }
+                })
+                .collect();
+            let cfg = cfg.with_islands(islands).with_site_mips(mips);
+            let m = run_simulation(cfg, spec).expect("valid");
+            (inter, report_rt(&m))
         });
         fig.push(Series::new(label, points));
     }

@@ -25,7 +25,7 @@ pub use figures::{
     ablation_backoff, ablation_batch, ablation_lockspace, ablation_mips, ablation_ploc,
     ablation_remote_calls, ablation_servers, ablation_sites, ablation_smoothing, ablation_state,
     analytic_check, availability_mtbf, availability_outage, fig4_1, fig4_2, fig4_3, fig4_4, fig4_5,
-    fig4_6, fig4_7, oscillation_trace, placement_drift, scale_frontier, tail_latency,
-    variance_check, Profile,
+    fig4_6, fig4_7, islands_frontier, oscillation_trace, placement_drift, scale_frontier,
+    tail_latency, variance_check, Profile,
 };
 pub use report::{Figure, Series};

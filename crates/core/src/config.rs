@@ -2,6 +2,7 @@
 
 use hls_analytic::SystemParams;
 use hls_faults::FaultSchedule;
+use hls_net::{DelayMatrix, IslandSpec};
 use hls_obs::ObsConfig;
 use hls_placement::{PartitionGeometry, PlacementConfig};
 use hls_shard::ShardSpec;
@@ -137,6 +138,26 @@ pub struct SystemConfig {
     /// under the `Static` policy, so static-vs-adaptive comparisons
     /// share one code path.
     pub drift: Option<DriftSpec>,
+    /// Per-site CPU speeds in instructions/second (length must equal
+    /// `params.n_sites`). `None` keeps every site at the nominal
+    /// `params.local_mips`; a vector of all-`local_mips` values is
+    /// bit-identical to `None` (the homogeneity contract).
+    pub site_mips: Option<Vec<f64>>,
+    /// Per-central-shard CPU speeds in instructions/second (length must
+    /// equal the resolved shard count). `None` keeps every shard at the
+    /// nominal `params.central_mips`.
+    pub central_shard_mips: Option<Vec<f64>>,
+    /// Hardware-island topology: groups sites into islands with a cheap
+    /// intra-island delay and an expensive inter-island delay, and
+    /// places the central complex in one island (see [`IslandSpec`]).
+    /// Lowers to per-site link delays at system construction. `None`
+    /// keeps the uniform `params.comm_delay` star; a one-island spec
+    /// whose delay equals `comm_delay` is bit-identical to `None`.
+    pub islands: Option<IslandSpec>,
+    /// Explicit per-link delay matrix over `n_sites + 1` nodes (see
+    /// [`DelayMatrix`]) for shapes no island grouping expresses.
+    /// Mutually exclusive with [`SystemConfig::islands`].
+    pub link_delays: Option<DelayMatrix>,
 }
 
 impl SystemConfig {
@@ -168,6 +189,115 @@ impl SystemConfig {
             scale_metrics: false,
             placement: PlacementConfig::default(),
             drift: None,
+            site_mips: None,
+            central_shard_mips: None,
+            islands: None,
+            link_delays: None,
+        }
+    }
+
+    /// Sets the hardware-island topology.
+    #[must_use]
+    pub fn with_islands(mut self, islands: IslandSpec) -> Self {
+        self.islands = Some(islands);
+        self
+    }
+
+    /// Sets an explicit per-link delay matrix.
+    #[must_use]
+    pub fn with_link_delays(mut self, matrix: DelayMatrix) -> Self {
+        self.link_delays = Some(matrix);
+        self
+    }
+
+    /// Sets per-site CPU speeds (instructions/second, one per site).
+    #[must_use]
+    pub fn with_site_mips(mut self, mips: Vec<f64>) -> Self {
+        self.site_mips = Some(mips);
+        self
+    }
+
+    /// Sets per-central-shard CPU speeds (instructions/second, one per
+    /// shard).
+    #[must_use]
+    pub fn with_central_shard_mips(mut self, mips: Vec<f64>) -> Self {
+        self.central_shard_mips = Some(mips);
+        self
+    }
+
+    /// CPU speed of `site` in instructions/second: its `site_mips`
+    /// entry, or the nominal `params.local_mips`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured `site_mips` vector is shorter than
+    /// `site + 1` (rejected by [`SystemConfig::validate`]).
+    #[must_use]
+    pub fn site_mips_of(&self, site: usize) -> f64 {
+        match &self.site_mips {
+            Some(v) => v[site],
+            None => self.params.local_mips,
+        }
+    }
+
+    /// CPU speed of central shard `k` in instructions/second: its
+    /// `central_shard_mips` entry, or the nominal `params.central_mips`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured `central_shard_mips` vector is shorter
+    /// than `k + 1` (rejected by [`SystemConfig::validate`]).
+    #[must_use]
+    pub fn central_mips_of(&self, k: usize) -> f64 {
+        match &self.central_shard_mips {
+            Some(v) => v[k],
+            None => self.params.central_mips,
+        }
+    }
+
+    /// The per-site one-way site↔central link delays implied by the
+    /// topology, or `None` for the legacy uniform star (every link at
+    /// `params.comm_delay`).
+    #[must_use]
+    pub fn site_link_delays(&self) -> Option<Vec<f64>> {
+        if let Some(spec) = &self.islands {
+            return Some(spec.site_central_delays());
+        }
+        self.link_delays
+            .as_ref()
+            .map(DelayMatrix::site_central_delays)
+    }
+
+    /// Whether every site↔central link has the same one-way delay
+    /// (trivially true with no topology configured). The speculative
+    /// window executor requires this: its window bound is the smallest
+    /// link delay, which only bounds *every* cross-partition latency
+    /// when the links agree.
+    #[must_use]
+    pub fn uniform_link_delays(&self) -> bool {
+        match self.site_link_delays() {
+            None => true,
+            Some(d) => d.iter().all(|&x| x == d[0]),
+        }
+    }
+
+    /// The smallest one-way site↔central link delay in the topology
+    /// (`params.comm_delay` for the uniform star).
+    #[must_use]
+    pub fn min_link_delay(&self) -> f64 {
+        match self.site_link_delays() {
+            None => self.params.comm_delay,
+            Some(d) => d.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// The largest one-way site↔central link delay in the topology
+    /// (`params.comm_delay` for the uniform star).
+    #[must_use]
+    pub fn max_link_delay(&self) -> f64 {
+        match self.site_link_delays() {
+            None => self.params.comm_delay,
+            Some(d) => d.iter().copied().fold(0.0, f64::max),
         }
     }
 
@@ -365,6 +495,56 @@ impl SystemConfig {
                 "adaptive placement and workload drift require a single central \
                  complex (shard map resolves to {n_shards} shards)"
             ));
+        }
+        if let Some(mips) = &self.site_mips {
+            if mips.len() != self.params.n_sites {
+                return Err(format!(
+                    "site_mips has {} entries for {} sites",
+                    mips.len(),
+                    self.params.n_sites
+                ));
+            }
+            if let Some(bad) = mips.iter().find(|m| !(m.is_finite() && **m > 0.0)) {
+                return Err(format!(
+                    "site_mips entries must be positive and finite, got {bad}"
+                ));
+            }
+        }
+        if let Some(mips) = &self.central_shard_mips {
+            if mips.len() != n_shards {
+                return Err(format!(
+                    "central_shard_mips has {} entries for {n_shards} shards",
+                    mips.len()
+                ));
+            }
+            if let Some(bad) = mips.iter().find(|m| !(m.is_finite() && **m > 0.0)) {
+                return Err(format!(
+                    "central_shard_mips entries must be positive and finite, got {bad}"
+                ));
+            }
+        }
+        if self.islands.is_some() && self.link_delays.is_some() {
+            return Err("islands and link_delays are mutually exclusive; pick one topology".into());
+        }
+        if let Some(spec) = &self.islands {
+            spec.validate().map_err(|e| format!("islands: {e}"))?;
+            if spec.n_sites() != self.params.n_sites {
+                return Err(format!(
+                    "islands: spec covers {} sites, config has {}",
+                    spec.n_sites(),
+                    self.params.n_sites
+                ));
+            }
+        }
+        if let Some(m) = &self.link_delays {
+            m.validate().map_err(|e| format!("link_delays: {e}"))?;
+            if m.n_sites() != self.params.n_sites {
+                return Err(format!(
+                    "link_delays: matrix covers {} sites, config has {}",
+                    m.n_sites(),
+                    self.params.n_sites
+                ));
+            }
         }
         Ok(())
     }
@@ -596,6 +776,84 @@ mod tests {
         });
         let err = c.validate().unwrap_err();
         assert!(err.contains("single central complex"), "{err}");
+    }
+
+    #[test]
+    fn topology_builders_and_helpers() {
+        let base = SystemConfig::paper_default(); // 10 sites, comm 0.2
+        assert!(base.site_link_delays().is_none());
+        assert!(base.uniform_link_delays());
+        assert_eq!(base.min_link_delay(), 0.2);
+        assert_eq!(base.max_link_delay(), 0.2);
+        assert_eq!(base.site_mips_of(3), base.params.local_mips);
+        assert_eq!(base.central_mips_of(0), base.params.central_mips);
+
+        let cfg = base
+            .clone()
+            .with_islands(IslandSpec::contiguous(10, 2, 0, 0.05, 0.5))
+            .with_site_mips(vec![2.0e6; 10]);
+        assert!(cfg.validate().is_ok());
+        assert!(!cfg.uniform_link_delays());
+        assert_eq!(cfg.min_link_delay(), 0.05);
+        assert_eq!(cfg.max_link_delay(), 0.5);
+        let d = cfg.site_link_delays().expect("islands imply delays");
+        assert_eq!(d[0], 0.05); // island 0 hosts the central complex
+        assert_eq!(d[9], 0.5);
+        assert_eq!(cfg.site_mips_of(0), 2.0e6);
+
+        // A homogeneous island spec resolves to uniform delays.
+        let cfg = base
+            .clone()
+            .with_islands(IslandSpec::contiguous(10, 1, 0, 0.2, 0.2));
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.uniform_link_delays());
+        assert_eq!(cfg.site_link_delays(), Some(vec![0.2; 10]));
+
+        // Explicit matrices feed the same helpers.
+        let cfg = base.with_link_delays(DelayMatrix::uniform(10, 0.3));
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.site_link_delays(), Some(vec![0.3; 10]));
+        assert_eq!(cfg.max_link_delay(), 0.3);
+    }
+
+    #[test]
+    fn validation_rejects_bad_topologies() {
+        let base = SystemConfig::paper_default(); // 10 sites
+
+        let mut c = base.clone();
+        c.site_mips = Some(vec![1.0e6; 3]);
+        assert!(c.validate().unwrap_err().contains("site_mips"));
+        let mut c = base.clone();
+        c.site_mips = Some(vec![0.0; 10]);
+        assert!(c.validate().unwrap_err().contains("positive"));
+        let mut c = base.clone();
+        c.central_shard_mips = Some(vec![15.0e6, 15.0e6]);
+        assert!(c.validate().unwrap_err().contains("central_shard_mips"));
+        let c = base
+            .clone()
+            .with_shards(2)
+            .with_central_shard_mips(vec![15.0e6, 30.0e6]);
+        assert!(c.validate().is_ok());
+
+        // Island spec site count must match the config.
+        let c = base
+            .clone()
+            .with_islands(IslandSpec::contiguous(4, 2, 0, 0.05, 0.5));
+        assert!(c.validate().unwrap_err().contains("covers 4 sites"));
+        // Invalid specs carry the islands: prefix.
+        let c = base
+            .clone()
+            .with_islands(IslandSpec::contiguous(10, 2, 0, 0.5, 0.05));
+        assert!(c.validate().unwrap_err().starts_with("islands:"));
+        // Matrix and islands are mutually exclusive.
+        let c = base
+            .clone()
+            .with_islands(IslandSpec::contiguous(10, 2, 0, 0.05, 0.5))
+            .with_link_delays(DelayMatrix::uniform(10, 0.2));
+        assert!(c.validate().unwrap_err().contains("mutually exclusive"));
+        // Matrix shape must match the site count.
+        let c = base.with_link_delays(DelayMatrix::uniform(4, 0.2));
+        assert!(c.validate().unwrap_err().contains("link_delays"));
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub fn strategy_tag(spec: &RouterSpec) -> u64 {
         RouterSpec::MinIncoming { estimator } => (6, est(estimator), 0),
         RouterSpec::MinAverage { estimator } => (7, est(estimator), 0),
         RouterSpec::SmoothedMinAverage { estimator, scale } => (8, est(estimator), scale.to_bits()),
+        RouterSpec::IslandAware { estimator } => (9, est(estimator), 0),
     };
     mix(mix(mix(0, discr), a), b)
 }

@@ -78,7 +78,9 @@ pub use metrics::{
     RunMetrics, ScaleReport, PHASE_NAMES,
 };
 pub use msg::{CentralSnapshot, Msg};
-pub use router::{FailureAwareRouter, FaultAwareDecision, RouteCtx, Router, RouterSpec};
+pub use router::{
+    FailureAwareRouter, FaultAwareDecision, IslandAwareRouter, RouteCtx, Router, RouterSpec,
+};
 pub use speculative::{run_simulation_threads, SpecReport};
 pub use system::{run_simulation, ConvergenceReport, HybridSystem, SamplePoint};
 pub use trace::{Trace, TraceEvent};
@@ -87,6 +89,7 @@ pub use txn::{Phase, PhaseBreakdown, Route, Txn};
 // Re-export the pieces users need alongside the simulator.
 pub use hls_analytic::{Observed, SystemParams, UtilizationEstimator};
 pub use hls_faults::{FaultEvent, FaultKind, FaultProfile, FaultSchedule};
+pub use hls_net::{DelayMatrix, IslandSpec};
 pub use hls_obs::{
     HistogramSummary, JsonlSink, LogHistogram, MemorySink, NullSink, ObsConfig, ProfileEntry,
     ProfileReport, Profiler, TraceSink, TRACE_SCHEMA, TRACE_SCHEMA_VERSION,

@@ -135,12 +135,35 @@ pub enum RouterSpec {
         /// shipping probability reaches ~73%; smaller = more decisive.
         scale: f64,
     },
+    /// Extension for hardware-islands topologies: the min-average
+    /// criterion priced with the arriving site's *actual* link delay
+    /// instead of the nominal uniform `comm_delay`. Sites sharing the
+    /// central complex's island see the cheap intra-island delay and
+    /// ship readily; sites in remote islands see the inter-island
+    /// premium on all four message legs and prefer to run locally —
+    /// intra-island capacity is used before the premium is paid. On a
+    /// uniform topology this is exactly [`RouterSpec::MinAverage`].
+    IslandAware {
+        /// Utilization estimator variant (a) or (b).
+        estimator: UtilizationEstimator,
+    },
 }
 
 impl RouterSpec {
-    /// Instantiates the live router for `n_sites` local sites.
+    /// Instantiates the live router for `n_sites` local sites on a
+    /// uniform topology (every link at the nominal `comm_delay`).
     #[must_use]
     pub fn build(&self, n_sites: usize) -> Box<dyn Router> {
+        self.build_topo(n_sites, &[])
+    }
+
+    /// Instantiates the live router for `n_sites` local sites with the
+    /// topology's per-site one-way link delays (seconds). An empty
+    /// slice means the uniform topology. Only topology-aware policies
+    /// consult the delays; every other policy builds identically to
+    /// [`RouterSpec::build`].
+    #[must_use]
+    pub fn build_topo(&self, n_sites: usize, site_delays: &[f64]) -> Box<dyn Router> {
         match *self {
             RouterSpec::NoSharing => Box::new(NoSharing),
             RouterSpec::Static { p_ship } => Box::new(StaticShip::new(p_ship)),
@@ -153,6 +176,9 @@ impl RouterSpec {
             RouterSpec::MinAverage { estimator } => Box::new(MinAverage { estimator }),
             RouterSpec::SmoothedMinAverage { estimator, scale } => {
                 Box::new(SmoothedMinAverage::new(estimator, scale))
+            }
+            RouterSpec::IslandAware { estimator } => {
+                Box::new(IslandAwareRouter::new(estimator, site_delays.to_vec()))
             }
         }
     }
@@ -179,6 +205,10 @@ impl RouterSpec {
             RouterSpec::SmoothedMinAverage { estimator, scale } => match estimator {
                 UtilizationEstimator::QueueLength => format!("smoothed(q,{scale})"),
                 UtilizationEstimator::NumInSystem => format!("smoothed(n,{scale})"),
+            },
+            RouterSpec::IslandAware { estimator } => match estimator {
+                UtilizationEstimator::QueueLength => "island-aware(q)".into(),
+                UtilizationEstimator::NumInSystem => "island-aware(n)".into(),
             },
         }
     }
@@ -316,6 +346,58 @@ struct MinAverage {
 impl Router for MinAverage {
     fn decide(&mut self, ctx: &mut RouteCtx<'_>) -> Route {
         let cases = estimate_route_cases(ctx.params, &ctx.obs, self.estimator);
+        if cases.prefer_ship_average(&ctx.obs) {
+            Route::Central
+        } else {
+            Route::Local
+        }
+    }
+}
+
+/// Island-aware routing (see [`RouterSpec::IslandAware`]): min-average
+/// with the ship/run-local trade priced at the arriving site's actual
+/// link delay.
+///
+/// The four per-transaction message legs (ship, result, plus the commit
+/// round trip) all traverse the arriving site's link, so substituting
+/// its true delay into [`SystemParams::comm_delay`] before estimation
+/// prices the inter-island premium exactly where it is paid. With no
+/// delays registered (or a uniform vector) the substitution is the
+/// nominal value and the router reduces to plain min-average.
+#[derive(Debug, Clone)]
+pub struct IslandAwareRouter {
+    estimator: UtilizationEstimator,
+    /// Per-site one-way link delay, seconds; empty = uniform topology.
+    site_delays: Vec<f64>,
+}
+
+impl IslandAwareRouter {
+    /// Builds the router from the estimator variant and the topology's
+    /// per-site one-way link delays (empty for a uniform topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any delay is negative or non-finite.
+    #[must_use]
+    pub fn new(estimator: UtilizationEstimator, site_delays: Vec<f64>) -> Self {
+        assert!(
+            site_delays.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "site delays must be finite and >= 0"
+        );
+        IslandAwareRouter {
+            estimator,
+            site_delays,
+        }
+    }
+}
+
+impl Router for IslandAwareRouter {
+    fn decide(&mut self, ctx: &mut RouteCtx<'_>) -> Route {
+        let mut params = *ctx.params;
+        if let Some(&d) = self.site_delays.get(ctx.site) {
+            params.comm_delay = d;
+        }
+        let cases = estimate_route_cases(&params, &ctx.obs, self.estimator);
         if cases.prefer_ship_average(&ctx.obs) {
             Route::Central
         } else {
@@ -475,6 +557,138 @@ mod tests {
             obs,
             params,
             rng,
+        }
+    }
+
+    fn ctx_at<'a>(
+        params: &'a SystemParams,
+        rng: &'a mut SimRng,
+        site: usize,
+        obs: Observed,
+    ) -> RouteCtx<'a> {
+        RouteCtx {
+            now: SimTime::ZERO,
+            site,
+            obs,
+            params,
+            rng,
+        }
+    }
+
+    #[test]
+    fn island_aware_reduces_to_min_average_on_uniform_topology() {
+        let params = SystemParams::paper_default();
+        let est = UtilizationEstimator::NumInSystem;
+        let mut rng = RngStreams::new(4).stream(0);
+        let mut plain = RouterSpec::MinAverage { estimator: est }.build(10);
+        // Both the no-delays build and a uniform vector at the nominal
+        // delay must agree with min-average everywhere.
+        let mut bare = RouterSpec::IslandAware { estimator: est }.build(10);
+        let mut uniform =
+            RouterSpec::IslandAware { estimator: est }.build_topo(10, &[params.comm_delay; 10]);
+        for q in 0..30 {
+            let obs = Observed {
+                q_local: f64::from(q),
+                n_local: f64::from(q) + 1.0,
+                q_central: 3.0,
+                n_central: 8.0,
+                ..Observed::default()
+            };
+            let want = plain.decide(&mut ctx(&params, &mut rng, obs));
+            assert_eq!(bare.decide(&mut ctx(&params, &mut rng, obs)), want);
+            assert_eq!(uniform.decide(&mut ctx(&params, &mut rng, obs)), want);
+        }
+    }
+
+    #[test]
+    fn island_aware_pays_the_premium_only_intra_island() {
+        // Two sites, same observed load: site 0 shares the central
+        // island (cheap 0.05 s link), site 1 is across the island
+        // boundary (2 s link). The documented choice: the intra-island
+        // site ships its overload, the remote site eats it locally
+        // rather than paying four 2-second legs.
+        let params = SystemParams::paper_default();
+        let est = UtilizationEstimator::QueueLength;
+        let mut rng = RngStreams::new(5).stream(0);
+        let mut r = RouterSpec::IslandAware { estimator: est }.build_topo(2, &[0.05, 2.0]);
+        let obs = Observed {
+            q_local: 6.0,
+            n_local: 7.0,
+            ..Observed::default()
+        };
+        assert_eq!(
+            r.decide(&mut ctx_at(&params, &mut rng, 0, obs)),
+            Route::Central,
+            "intra-island site should use the cheap link"
+        );
+        assert_eq!(
+            r.decide(&mut ctx_at(&params, &mut rng, 1, obs)),
+            Route::Local,
+            "remote site should not pay the inter-island premium"
+        );
+    }
+
+    #[test]
+    fn threshold_router_keeps_the_fast_site_local() {
+        // Known value: q_local = 4 (rho 0.8), q_central = 2 (rho 2/3).
+        // On nominal hardware the local site looks busier and the
+        // transaction ships; at double speed its normalized utilization
+        // halves to 0.4 and the same queue stays local.
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(6).stream(0);
+        let mut r = RouterSpec::UtilizationThreshold { threshold: 0.0 }.build(10);
+        let nominal = Observed {
+            q_local: 4.0,
+            q_central: 2.0,
+            ..Observed::default()
+        };
+        assert_eq!(
+            r.decide(&mut ctx(&params, &mut rng, nominal)),
+            Route::Central
+        );
+        let fast = Observed {
+            local_speed: 2.0,
+            ..nominal
+        };
+        assert_eq!(r.decide(&mut ctx(&params, &mut rng, fast)), Route::Local);
+    }
+
+    #[test]
+    fn min_average_routers_respect_site_speed() {
+        // A queue that ships on nominal hardware is kept local once the
+        // site is fast enough to drain it, for both min-criteria.
+        let params = SystemParams::paper_default();
+        let mut rng = RngStreams::new(7).stream(0);
+        let nominal = Observed {
+            q_local: 9.0,
+            n_local: 10.0,
+            ..Observed::default()
+        };
+        let fast = Observed {
+            local_speed: 8.0,
+            ..nominal
+        };
+        for spec in [
+            RouterSpec::MinAverage {
+                estimator: UtilizationEstimator::QueueLength,
+            },
+            RouterSpec::MinIncoming {
+                estimator: UtilizationEstimator::QueueLength,
+            },
+        ] {
+            let mut r = spec.build(10);
+            assert_eq!(
+                r.decide(&mut ctx(&params, &mut rng, nominal)),
+                Route::Central,
+                "{} kept an overloaded nominal site local",
+                spec.label()
+            );
+            assert_eq!(
+                r.decide(&mut ctx(&params, &mut rng, fast)),
+                Route::Local,
+                "{} shipped from a fast site",
+                spec.label()
+            );
         }
     }
 

@@ -262,7 +262,11 @@ fn try_speculative(
     // exist from the start.
     let snapshots = snapshots || inject;
     let n = cfg.params.n_sites;
-    let comm = cfg.params.comm_delay;
+    // The window bound is the smallest one-way link delay: nothing can
+    // cross partitions faster than that. Eligibility requires uniform
+    // delays, so this equals every link's actual delay (and equals
+    // `params.comm_delay` on the legacy uniform star).
+    let comm = cfg.min_link_delay();
     let w = window.unwrap_or(comm).min(comm);
     assert!(w > 0.0, "speculative window must be positive, got {w}");
 

@@ -670,6 +670,11 @@ pub struct HybridSystem {
     /// the whole-run serial fallback of the speculative executor rebuild
     /// from it.
     pub(crate) router_spec: RouterSpec,
+    /// Per-site CPU speed relative to `params.local_mips` (all 1.0 on
+    /// homogeneous hardware); reported to routers via [`Observed`].
+    site_speed: Vec<f64>,
+    /// Per-central-shard CPU speed relative to `params.central_mips`.
+    central_speed: Vec<f64>,
     /// Speculative-worker state; `None` for every serial run.
     shard: Option<Box<ShardCtx>>,
     /// Adaptive-placement runtime; `None` under the static policy with
@@ -696,8 +701,8 @@ impl HybridSystem {
                 .collect(),
         };
         let mut sites: Vec<SiteState> = (0..n)
-            .map(|_| SiteState {
-                cpu: MultiServer::new(1, cfg.params.local_mips),
+            .map(|i| SiteState {
+                cpu: MultiServer::new(1, cfg.site_mips_of(i)),
                 locks: LockTable::new(),
                 n_txns: 0,
                 latest_central: CentralSnapshot::default(),
@@ -712,8 +717,8 @@ impl HybridSystem {
             .expect("shard spec validated with the config");
         let n_shards = shard_map.n_shards();
         let mut centrals: Vec<CentralState> = (0..n_shards)
-            .map(|_| CentralState {
-                cpu: MultiServer::new(cfg.params.central_servers, cfg.params.central_mips),
+            .map(|k| CentralState {
+                cpu: MultiServer::new(cfg.params.central_servers, cfg.central_mips_of(k)),
                 locks: LockTable::new(),
                 n_txns: 0,
                 busy_at_warmup: 0.0,
@@ -773,8 +778,27 @@ impl HybridSystem {
         if n_shards > 1 {
             net.set_home_shards((0..n).map(|i| shard_map.home_of(i)).collect());
         }
+        // Heterogeneous topologies override each site's link delay; the
+        // uniform star skips the call entirely, so its delivery-time
+        // arithmetic is untouched (the homogeneity contract).
+        let site_delays = cfg
+            .site_link_delays()
+            .unwrap_or_else(|| vec![cfg.params.comm_delay; n]);
+        if cfg.islands.is_some() || cfg.link_delays.is_some() {
+            net.set_site_delays(&site_delays);
+        }
+        // Relative CPU speeds fed to the routers' utilization
+        // estimators; exactly 1.0 on nominal hardware.
+        let site_speed: Vec<f64> = (0..n)
+            .map(|i| cfg.site_mips_of(i) / cfg.params.local_mips)
+            .collect();
+        let central_speed: Vec<f64> = (0..n_shards)
+            .map(|k| cfg.central_mips_of(k) / cfg.params.central_mips)
+            .collect();
         Ok(HybridSystem {
-            router: FailureAwareRouter::new(router.build(n), cfg.failure_aware),
+            router: FailureAwareRouter::new(router.build_topo(n, &site_delays), cfg.failure_aware),
+            site_speed,
+            central_speed,
             generator,
             arrivals,
             site_rngs: (0..n).map(|i| streams.stream(i as u64)).collect(),
@@ -1409,6 +1433,8 @@ impl HybridSystem {
             n_central: snap.n_txns as f64,
             locks_local: s.locks.grants_count() as f64,
             locks_central: snap.n_locks as f64,
+            local_speed: self.site_speed[site],
+            central_speed: self.central_speed[self.shard_map.home_of(site) as usize],
         }
     }
 
@@ -1796,9 +1822,11 @@ impl HybridSystem {
     fn deadlock_backoff(&self, victim: u64, loc: Locale) -> SimDuration {
         let window = self.cfg.deadlock_backoff_window.unwrap_or_else(|| {
             let p = &self.cfg.params;
+            // The victim's actual locale speed (== the nominal MIPS on
+            // homogeneous hardware, keeping the legacy arithmetic).
             let mips = match loc {
-                Locale::Site(_) => p.local_mips,
-                Locale::Central(_) => p.central_mips,
+                Locale::Site(s) => self.cfg.site_mips_of(s),
+                Locale::Central(k) => self.cfg.central_mips_of(k),
             };
             p.db_call_instr / mips
         });
@@ -3460,8 +3488,11 @@ impl HybridSystem {
     /// Whether this run is eligible for the speculative window executor:
     /// fault-free, untraced, unprofiled, unsampled, unvalidated, on the
     /// indexed queue, with delayed central snapshots and a positive
-    /// communication delay (the conservative window bound). Ineligible
-    /// runs take the serial path and are bit-identical by construction.
+    /// *uniform* communication delay (the conservative window bound — a
+    /// heterogeneous delay matrix would let a fast link deliver inside
+    /// another partition's window, so non-uniform topologies fall back
+    /// to the serial path). Ineligible runs take the serial path and
+    /// are bit-identical by construction.
     pub(crate) fn speculative_eligible(&self) -> bool {
         self.n_shards == 1
             && !self.cfg.scale_metrics
@@ -3471,7 +3502,8 @@ impl HybridSystem {
             && self.samples.is_none()
             && !self.validate_locks
             && !self.cfg.instantaneous_state
-            && self.cfg.params.comm_delay > 0.0
+            && self.cfg.uniform_link_delays()
+            && self.cfg.min_link_delay() > 0.0
             && self.placement.is_none()
             && matches!(self.queue, Queue::Indexed(_))
             && self.queue.is_empty()

@@ -1,0 +1,519 @@
+//! Hardware-islands topology: non-uniform link delays between sites and
+//! the central complex.
+//!
+//! The 1988 paper models every site as an identical box behind an
+//! identical long-haul link. Modern deployments are *islands*: groups of
+//! co-located machines (a rack, a NUMA domain, a region) with cheap
+//! communication inside a group and an order-of-magnitude premium across
+//! groups (Porobic et al., *OLTP on Hardware Islands*). This module
+//! captures that shape without touching the FIFO/star mechanics:
+//!
+//! * [`IslandSpec`] — a partition of the sites into islands, with an
+//!   intra-island delay, an inter-island delay, and the island that
+//!   hosts the central complex.
+//! * [`DelayMatrix`] — the general form: a symmetric per-link one-way
+//!   delay matrix over the `n_sites + 1` nodes (the last row/column is
+//!   the central complex). Island specs lower to delay matrices; an
+//!   explicit matrix supports shapes no island grouping can express.
+//!
+//! The star topology only ever transmits on site↔central links, so the
+//! site-to-site entries of a [`DelayMatrix`] are carried for validation
+//! (symmetry, non-negativity) and future mesh work, but only the
+//! site↔central column drives the simulation.
+//!
+//! **Homogeneity contract**: a spec with one island, or with
+//! `intra_delay == inter_delay`, lowers to a uniform matrix whose
+//! site↔central delays are all exactly equal — and a [`StarNetwork`]
+//! (see [`StarNetwork::set_site_delays`]) fed those delays computes
+//! bit-identical delivery times to the legacy uniform-delay path.
+//!
+//! [`StarNetwork`]: crate::StarNetwork
+//! [`StarNetwork::set_site_delays`]: crate::StarNetwork::set_site_delays
+
+use std::fmt;
+
+/// A partition of the local sites into hardware islands.
+///
+/// Communication between two nodes in the same island costs
+/// `intra_delay` (one-way); between different islands it costs
+/// `inter_delay`. The central complex lives in `central_island`, so
+/// sites in that island reach it cheaply while every other site pays
+/// the inter-island premium on each message leg.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslandSpec {
+    /// `assignment[site]` is the island hosting that site.
+    assignment: Vec<u32>,
+    /// Number of islands; every island must own at least one site.
+    n_islands: usize,
+    /// The island that hosts the central complex.
+    central_island: u32,
+    /// One-way delay (seconds) between nodes in the same island.
+    intra_delay: f64,
+    /// One-way delay (seconds) between nodes in different islands.
+    inter_delay: f64,
+}
+
+impl IslandSpec {
+    /// Builds a spec with `n_islands` contiguous, near-even blocks of
+    /// sites: island `g` owns sites `[g * ceil(n/k), ...)` in order,
+    /// mirroring the `Even` shard layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sites` or `n_islands` is zero, or if there are more
+    /// islands than sites (an empty island cannot exist).
+    #[must_use]
+    pub fn contiguous(
+        n_sites: usize,
+        n_islands: usize,
+        central_island: u32,
+        intra_delay: f64,
+        inter_delay: f64,
+    ) -> IslandSpec {
+        assert!(n_sites > 0, "island spec needs at least one site");
+        assert!(
+            n_islands > 0 && n_islands <= n_sites,
+            "n_islands must be in 1..={n_sites}, got {n_islands}"
+        );
+        // Balanced contiguous blocks: island `s * k / n` puts site `s`
+        // in a block of floor(n/k) or ceil(n/k) sites — every island is
+        // non-empty for any k <= n (fixed-size ceil blocks can starve
+        // the trailing islands, e.g. 5 sites into 4 islands).
+        let assignment = (0..n_sites)
+            .map(|s| (s * n_islands / n_sites) as u32)
+            .collect();
+        IslandSpec {
+            assignment,
+            n_islands,
+            central_island,
+            intra_delay,
+            inter_delay,
+        }
+    }
+
+    /// Builds a spec from an explicit site→island assignment.
+    /// `n_islands` is one more than the largest island index used.
+    #[must_use]
+    pub fn explicit(
+        assignment: Vec<u32>,
+        central_island: u32,
+        intra_delay: f64,
+        inter_delay: f64,
+    ) -> IslandSpec {
+        let n_islands = assignment
+            .iter()
+            .map(|&g| g as usize + 1)
+            .max()
+            .unwrap_or(1);
+        IslandSpec {
+            assignment,
+            n_islands,
+            central_island,
+            intra_delay,
+            inter_delay,
+        }
+    }
+
+    /// Checks the spec: at least one site, every island index in range,
+    /// every island non-empty (the assignment covers all of
+    /// `0..n_islands`), the central island in range, both delays finite
+    /// and non-negative, and `intra_delay <= inter_delay` (an island
+    /// whose interior is *slower* than its exterior is not an island).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.assignment.is_empty() {
+            return Err("island spec needs at least one site".into());
+        }
+        if self.n_islands == 0 {
+            return Err("island spec needs at least one island".into());
+        }
+        let mut seen = vec![false; self.n_islands];
+        for (site, &g) in self.assignment.iter().enumerate() {
+            let Some(slot) = seen.get_mut(g as usize) else {
+                return Err(format!(
+                    "site {site} assigned to island {g}, but only {} islands exist",
+                    self.n_islands
+                ));
+            };
+            *slot = true;
+        }
+        if let Some(empty) = seen.iter().position(|&s| !s) {
+            return Err(format!("island {empty} owns no sites"));
+        }
+        if self.central_island as usize >= self.n_islands {
+            return Err(format!(
+                "central island {} out of range (n_islands = {})",
+                self.central_island, self.n_islands
+            ));
+        }
+        for (name, d) in [("intra", self.intra_delay), ("inter", self.inter_delay)] {
+            if !d.is_finite() || d < 0.0 {
+                return Err(format!(
+                    "{name}-island delay must be finite and >= 0, got {d}"
+                ));
+            }
+        }
+        if self.intra_delay > self.inter_delay {
+            return Err(format!(
+                "intra-island delay {} exceeds inter-island delay {}",
+                self.intra_delay, self.inter_delay
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of sites covered by the spec.
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of islands.
+    #[must_use]
+    pub fn n_islands(&self) -> usize {
+        self.n_islands
+    }
+
+    /// The island hosting the central complex.
+    #[must_use]
+    pub fn central_island(&self) -> u32 {
+        self.central_island
+    }
+
+    /// One-way intra-island delay in seconds.
+    #[must_use]
+    pub fn intra_delay(&self) -> f64 {
+        self.intra_delay
+    }
+
+    /// One-way inter-island delay in seconds.
+    #[must_use]
+    pub fn inter_delay(&self) -> f64 {
+        self.inter_delay
+    }
+
+    /// The island a site belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn island_of(&self, site: usize) -> u32 {
+        self.assignment[site]
+    }
+
+    /// Whether the spec is indistinguishable from a uniform topology:
+    /// one island, or equal intra/inter delays.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.n_islands == 1 || self.intra_delay == self.inter_delay
+    }
+
+    /// The one-way site↔central delay for each site: `intra_delay` for
+    /// sites sharing the central island, `inter_delay` otherwise.
+    #[must_use]
+    pub fn site_central_delays(&self) -> Vec<f64> {
+        self.assignment
+            .iter()
+            .map(|&g| {
+                if g == self.central_island {
+                    self.intra_delay
+                } else {
+                    self.inter_delay
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for IslandSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} islands over {} sites (central in {}, intra {}s, inter {}s)",
+            self.n_islands,
+            self.assignment.len(),
+            self.central_island,
+            self.intra_delay,
+            self.inter_delay
+        )
+    }
+}
+
+/// A symmetric one-way delay matrix over `n_sites + 1` nodes.
+///
+/// Node `i < n_sites` is local site `i`; node `n_sites` is the central
+/// complex. Entries are one-way propagation delays in seconds. The
+/// diagonal is zero (a node reaches itself instantly) and the matrix is
+/// symmetric (links are full-duplex with equal delay each way).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayMatrix {
+    n_sites: usize,
+    /// Flattened `(n_sites + 1) x (n_sites + 1)`, row-major.
+    d: Vec<f64>,
+}
+
+impl DelayMatrix {
+    /// A uniform matrix: every distinct pair of nodes is `delay` apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sites` is zero.
+    #[must_use]
+    pub fn uniform(n_sites: usize, delay: f64) -> DelayMatrix {
+        assert!(n_sites > 0, "delay matrix needs at least one site");
+        let n = n_sites + 1;
+        let mut d = vec![delay; n * n];
+        for i in 0..n {
+            d[i * n + i] = 0.0;
+        }
+        DelayMatrix { n_sites, d }
+    }
+
+    /// Lowers an island spec to its delay matrix: `intra_delay` between
+    /// nodes in the same island, `inter_delay` across islands, with the
+    /// central node placed in `spec.central_island()`.
+    #[must_use]
+    pub fn from_islands(spec: &IslandSpec) -> DelayMatrix {
+        let n_sites = spec.n_sites();
+        let n = n_sites + 1;
+        let island = |node: usize| {
+            if node == n_sites {
+                spec.central_island()
+            } else {
+                spec.island_of(node)
+            }
+        };
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    d[i * n + j] = if island(i) == island(j) {
+                        spec.intra_delay()
+                    } else {
+                        spec.inter_delay()
+                    };
+                }
+            }
+        }
+        DelayMatrix { n_sites, d }
+    }
+
+    /// Builds a matrix from explicit rows (row `n_sites` is the central
+    /// node). Use [`DelayMatrix::validate`] afterwards; this constructor
+    /// only checks the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not form a square `(k + 1) x (k + 1)`
+    /// matrix with `k >= 1`.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f64>]) -> DelayMatrix {
+        let n = rows.len();
+        assert!(n >= 2, "delay matrix needs at least one site plus central");
+        assert!(
+            rows.iter().all(|r| r.len() == n),
+            "delay matrix must be square ({n} rows)"
+        );
+        DelayMatrix {
+            n_sites: n - 1,
+            d: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Checks the matrix: every entry finite and non-negative, zero
+    /// diagonal, and symmetric.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_sites + 1;
+        for i in 0..n {
+            for j in 0..n {
+                let v = self.d[i * n + j];
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "link delay [{i}][{j}] must be finite and >= 0, got {v}"
+                    ));
+                }
+                if i == j && v != 0.0 {
+                    return Err(format!("link delay [{i}][{i}] must be 0, got {v}"));
+                }
+                if self.d[j * n + i] != v {
+                    return Err(format!(
+                        "delay matrix must be symmetric: [{i}][{j}] = {v} but [{j}][{i}] = {}",
+                        self.d[j * n + i]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of local sites (the matrix spans `n_sites + 1` nodes).
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// One-way delay between nodes `i` and `j` (node `n_sites` is the
+    /// central complex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index exceeds `n_sites`.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let n = self.n_sites + 1;
+        assert!(i < n && j < n, "node index out of range");
+        self.d[i * n + j]
+    }
+
+    /// One-way delay between a site and the central complex.
+    #[must_use]
+    pub fn site_central(&self, site: usize) -> f64 {
+        self.get(site, self.n_sites)
+    }
+
+    /// The site↔central delay of every site, in site order.
+    #[must_use]
+    pub fn site_central_delays(&self) -> Vec<f64> {
+        (0..self.n_sites).map(|s| self.site_central(s)).collect()
+    }
+
+    /// Largest site↔central delay.
+    #[must_use]
+    pub fn max_site_central(&self) -> f64 {
+        (0..self.n_sites)
+            .map(|s| self.site_central(s))
+            .fold(0.0, f64::max)
+    }
+
+    /// Smallest site↔central delay.
+    #[must_use]
+    pub fn min_site_central(&self) -> f64 {
+        (0..self.n_sites)
+            .map(|s| self.site_central(s))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether every site↔central delay is exactly equal (the uniform
+    /// star the legacy path models).
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        let first = self.site_central(0);
+        (1..self.n_sites).all(|s| self.site_central(s) == first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_blocks_cover_all_sites() {
+        let spec = IslandSpec::contiguous(10, 3, 0, 0.05, 0.5);
+        spec.validate().expect("valid spec");
+        assert_eq!(spec.n_islands(), 3);
+        // Balanced blocks of 4, 3, 3 — never an empty trailing island.
+        let groups: Vec<u32> = (0..10).map(|s| spec.island_of(s)).collect();
+        assert_eq!(groups, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        // The case fixed-size ceil blocks get wrong: 5 sites, 4 islands.
+        let tight = IslandSpec::contiguous(5, 4, 0, 0.05, 0.5);
+        tight.validate().expect("every island must own a site");
+    }
+
+    #[test]
+    fn single_island_is_uniform() {
+        let spec = IslandSpec::contiguous(4, 1, 0, 0.2, 0.2);
+        assert!(spec.is_uniform());
+        assert_eq!(spec.site_central_delays(), vec![0.2; 4]);
+        let m = DelayMatrix::from_islands(&spec);
+        assert!(m.is_uniform());
+        assert_eq!(m, DelayMatrix::uniform(4, 0.2));
+    }
+
+    #[test]
+    fn central_placement_splits_the_delays() {
+        let spec = IslandSpec::contiguous(4, 2, 1, 0.05, 0.5);
+        spec.validate().expect("valid spec");
+        // Sites 0-1 in island 0, sites 2-3 in island 1 with the central.
+        assert_eq!(spec.site_central_delays(), vec![0.5, 0.5, 0.05, 0.05]);
+        let m = DelayMatrix::from_islands(&spec);
+        assert_eq!(m.site_central(0), 0.5);
+        assert_eq!(m.site_central(3), 0.05);
+        assert_eq!(m.get(0, 1), 0.05); // intra-island site pair
+        assert_eq!(m.get(1, 2), 0.5); // cross-island site pair
+        assert_eq!(m.max_site_central(), 0.5);
+        assert_eq!(m.min_site_central(), 0.05);
+        assert!(!m.is_uniform());
+        m.validate().expect("lowered matrix is always valid");
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        // Island index out of range.
+        let spec = IslandSpec {
+            assignment: vec![0, 5],
+            n_islands: 2,
+            central_island: 0,
+            intra_delay: 0.1,
+            inter_delay: 0.2,
+        };
+        assert!(spec.validate().is_err());
+        // Empty island.
+        let spec = IslandSpec {
+            assignment: vec![0, 0],
+            n_islands: 2,
+            central_island: 0,
+            intra_delay: 0.1,
+            inter_delay: 0.2,
+        };
+        assert!(spec.validate().unwrap_err().contains("owns no sites"));
+        // Central island out of range.
+        let spec = IslandSpec::explicit(vec![0, 1], 7, 0.1, 0.2);
+        assert!(spec.validate().unwrap_err().contains("central island"));
+        // Intra > inter.
+        let spec = IslandSpec::contiguous(4, 2, 0, 0.5, 0.1);
+        assert!(spec.validate().unwrap_err().contains("exceeds"));
+        // Negative / non-finite delays.
+        assert!(IslandSpec::contiguous(4, 2, 0, -0.1, 0.2)
+            .validate()
+            .is_err());
+        assert!(IslandSpec::contiguous(4, 2, 0, 0.1, f64::NAN)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn matrix_validation_rejects_asymmetry_and_bad_entries() {
+        let mut m = DelayMatrix::uniform(2, 0.2);
+        m.validate().expect("uniform is valid");
+        m.d[1] = 0.3; // [0][1] != [1][0]
+        assert!(m.validate().unwrap_err().contains("symmetric"));
+        let mut m = DelayMatrix::uniform(2, 0.2);
+        m.d[0] = 0.1; // non-zero diagonal
+        assert!(m.validate().unwrap_err().contains("must be 0"));
+        let mut m = DelayMatrix::uniform(2, 0.2);
+        m.d[1] = -1.0;
+        m.d[3] = -1.0;
+        assert!(m.validate().unwrap_err().contains(">= 0"));
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let rows = vec![
+            vec![0.0, 0.5, 0.2],
+            vec![0.5, 0.0, 0.3],
+            vec![0.2, 0.3, 0.0],
+        ];
+        let m = DelayMatrix::from_rows(&rows);
+        m.validate().expect("valid");
+        assert_eq!(m.n_sites(), 2);
+        assert_eq!(m.site_central_delays(), vec![0.2, 0.3]);
+    }
+}

@@ -66,7 +66,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod islands;
+
 use std::fmt;
+
+pub use islands::{DelayMatrix, IslandSpec};
 
 use hls_sim::{SimDuration, SimTime};
 
@@ -284,6 +288,12 @@ pub struct StarNetwork {
     n_sites: usize,
     n_shards: usize,
     delay: SimDuration,
+    /// Per-site one-way link delay. Initialized to `delay` everywhere; a
+    /// heterogeneous topology overrides it via
+    /// [`StarNetwork::set_site_delays`]. The uniform default makes the
+    /// legacy path's arithmetic bit-identical: `site_delays[s]` *is*
+    /// `delay` for every site.
+    site_delays: Vec<SimDuration>,
     /// Last scheduled delivery per directed link: `[site][0]` = site->central,
     /// `[site][1]` = central->site.
     last_delivery: Vec<[SimTime; 2]>,
@@ -351,6 +361,7 @@ impl StarNetwork {
             n_sites,
             n_shards,
             delay,
+            site_delays: vec![delay; n_sites],
             last_delivery: vec![[SimTime::ZERO; 2]; n_sites],
             cross_last_delivery: if n_shards > 1 {
                 vec![SimTime::ZERO; n_shards * n_shards]
@@ -397,10 +408,45 @@ impl StarNetwork {
         self.n_shards
     }
 
-    /// One-way link delay.
+    /// One-way link delay (the nominal/uniform value; see
+    /// [`StarNetwork::site_delay`] for a specific site's link).
     #[must_use]
     pub fn delay(&self) -> SimDuration {
         self.delay
+    }
+
+    /// One-way link delay of `site`'s link to its home shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn site_delay(&self, site: usize) -> SimDuration {
+        self.site_delays[site]
+    }
+
+    /// Overrides each site's one-way link delay (seconds), turning the
+    /// uniform star into a heterogeneous topology. Cross-shard
+    /// interconnect delays are unaffected (the complex shares a machine
+    /// room regardless of where the sites live).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from `n_sites` or any delay
+    /// is negative or non-finite.
+    pub fn set_site_delays(&mut self, delays: &[f64]) {
+        assert_eq!(delays.len(), self.n_sites, "one delay per site");
+        assert!(
+            delays.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "site delays must be finite and >= 0"
+        );
+        self.site_delays = delays.iter().map(|&d| SimDuration::from_secs(d)).collect();
+    }
+
+    /// Whether every site link has the same one-way delay.
+    #[must_use]
+    pub fn uniform_delays(&self) -> bool {
+        self.site_delays.iter().all(|&d| d == self.site_delays[0])
     }
 
     /// Resolves a site/direction pair for a site-link transmission,
@@ -468,7 +514,7 @@ impl StarNetwork {
             self.dropped += 1;
             return Err(payload);
         }
-        let nominal = now + self.delay * link.slow_factor;
+        let nominal = now + self.site_delays[site] * link.slow_factor;
         let deliver_at = nominal.max(self.last_delivery[site][dir]);
         self.last_delivery[site][dir] = deliver_at;
         self.messages += 1;

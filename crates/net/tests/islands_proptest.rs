@@ -1,0 +1,191 @@
+//! Randomized (seeded, deterministic) tests for the hardware-islands
+//! topology model: island specs always cover the sites, delay matrices
+//! stay symmetric and causal, validation rejects malformed inputs, and a
+//! homogeneous island spec is indistinguishable from the legacy uniform
+//! network.
+
+use hls_net::{DelayMatrix, IslandSpec, NodeId, StarNetwork};
+use hls_sim::{sample_uniform, SimDuration, SimRng, SimTime};
+
+fn random_spec(rng: &mut SimRng) -> IslandSpec {
+    let n_sites = rng.random_range(1..40) as usize;
+    let k = rng.random_range(1..n_sites as u32 + 1) as usize;
+    let central = rng.random_range(0..k as u32);
+    let intra = sample_uniform(rng, 0.0, 0.5);
+    let inter = intra + sample_uniform(rng, 0.0, 2.0);
+    IslandSpec::contiguous(n_sites, k, central, intra, inter)
+}
+
+/// Every contiguous spec validates, covers all its sites with non-empty
+/// islands, and reports per-site central delays that are `intra` inside
+/// the central island and `inter` outside it.
+#[test]
+fn contiguous_specs_cover_and_price_correctly() {
+    let mut rng = SimRng::seed_from_u64(0x15_1A_4D_01);
+    for _ in 0..256 {
+        let spec = random_spec(&mut rng);
+        spec.validate().expect("contiguous specs are always valid");
+        let mut seen = vec![false; spec.n_islands()];
+        for site in 0..spec.n_sites() {
+            let island = spec.island_of(site);
+            assert!((island as usize) < spec.n_islands(), "island out of range");
+            seen[island as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "an island ended up empty");
+        let delays = spec.site_central_delays();
+        assert_eq!(delays.len(), spec.n_sites());
+        for (site, &d) in delays.iter().enumerate() {
+            let expect = if spec.island_of(site) == spec.central_island() {
+                spec.intra_delay()
+            } else {
+                spec.inter_delay()
+            };
+            assert_eq!(d, expect, "site {site} mispriced");
+        }
+    }
+}
+
+/// Matrices generated from island specs are valid: symmetric,
+/// non-negative, finite, zero diagonal, and every entry is one of
+/// {0, intra, inter} with intra <= inter.
+#[test]
+fn island_matrices_are_symmetric_and_bounded() {
+    let mut rng = SimRng::seed_from_u64(0x15_1A_4D_02);
+    for _ in 0..256 {
+        let spec = random_spec(&mut rng);
+        let m = DelayMatrix::from_islands(&spec);
+        m.validate().expect("island matrices are always valid");
+        let n = spec.n_sites() + 1;
+        for i in 0..n {
+            assert_eq!(m.get(i, i), 0.0, "diagonal must be zero");
+            for j in 0..n {
+                let d = m.get(i, j);
+                assert_eq!(d, m.get(j, i), "asymmetric at ({i}, {j})");
+                assert!(d.is_finite() && d >= 0.0);
+                assert!(
+                    d == 0.0 || d == spec.intra_delay() || d == spec.inter_delay(),
+                    "({i}, {j}) = {d} is neither intra nor inter"
+                );
+            }
+        }
+        assert!(m.min_site_central() <= m.max_site_central());
+        assert!(m.max_site_central() <= spec.inter_delay());
+    }
+}
+
+/// Malformed inputs are rejected, never silently accepted: an intra
+/// delay above inter, negative or non-finite delays, an assignment that
+/// skips an island, a central island out of range, and asymmetric or
+/// non-zero-diagonal matrices.
+#[test]
+fn validation_rejects_malformed_topologies() {
+    let intra_above_inter = IslandSpec::explicit(vec![0, 0, 1, 1], 0, 0.5, 0.1);
+    assert!(intra_above_inter.validate().is_err());
+    let negative = IslandSpec::explicit(vec![0, 0, 1, 1], 0, -0.1, 0.5);
+    assert!(negative.validate().is_err());
+    let non_finite = IslandSpec::explicit(vec![0, 0, 1, 1], 0, 0.1, f64::INFINITY);
+    assert!(non_finite.validate().is_err());
+    // Island 1 has no sites: the assignment names islands {0, 2}.
+    let gap = IslandSpec::explicit(vec![0, 0, 2, 2], 0, 0.1, 0.5);
+    assert!(gap.validate().is_err(), "empty island accepted");
+    let central_oob = IslandSpec::explicit(vec![0, 0, 1, 1], 7, 0.1, 0.5);
+    assert!(central_oob.validate().is_err());
+
+    let asymmetric = DelayMatrix::from_rows(&[
+        vec![0.0, 0.1, 0.4],
+        vec![0.2, 0.0, 0.4],
+        vec![0.4, 0.4, 0.0],
+    ]);
+    assert!(asymmetric.validate().is_err());
+    let dirty_diagonal = DelayMatrix::from_rows(&[
+        vec![0.3, 0.1, 0.4],
+        vec![0.1, 0.0, 0.4],
+        vec![0.4, 0.4, 0.0],
+    ]);
+    assert!(dirty_diagonal.validate().is_err());
+    let negative_entry = DelayMatrix::from_rows(&[
+        vec![0.0, -0.1, 0.4],
+        vec![-0.1, 0.0, 0.4],
+        vec![0.4, 0.4, 0.0],
+    ]);
+    assert!(negative_entry.validate().is_err());
+}
+
+/// A one-island spec (or intra == inter) is uniform, and its matrix
+/// equals the legacy uniform matrix entry for entry.
+#[test]
+fn homogeneous_specs_reduce_to_uniform_matrices() {
+    let mut rng = SimRng::seed_from_u64(0x15_1A_4D_03);
+    for _ in 0..128 {
+        let n_sites = rng.random_range(2..30) as usize;
+        let d = f64::from(rng.random_range(1..100)) / 100.0;
+        let one_island = IslandSpec::contiguous(n_sites, 1, 0, d, d);
+        assert!(one_island.is_uniform());
+        let equal_delays = IslandSpec::contiguous(
+            n_sites,
+            rng.random_range(1..n_sites as u32 + 1) as usize,
+            0,
+            d,
+            d,
+        );
+        assert!(equal_delays.is_uniform(), "intra == inter must be uniform");
+        let uniform = DelayMatrix::uniform(n_sites, d);
+        for m in [
+            DelayMatrix::from_islands(&one_island),
+            DelayMatrix::from_islands(&equal_delays),
+        ] {
+            assert!(m.is_uniform());
+            for i in 0..=n_sites {
+                for j in 0..=n_sites {
+                    assert_eq!(m.get(i, j), uniform.get(i, j));
+                }
+            }
+        }
+    }
+}
+
+/// Network-level agreement: a star network whose per-site delays were
+/// explicitly set from a homogeneous island spec delivers every message
+/// at exactly the time the legacy uniform network does.
+#[test]
+fn homogeneous_site_delays_match_legacy_uniform_network() {
+    let mut rng = SimRng::seed_from_u64(0x15_1A_4D_04);
+    for _ in 0..64 {
+        let n_sites = rng.random_range(2..12) as usize;
+        let d = f64::from(rng.random_range(1..500)) / 1000.0;
+        let mut legacy = StarNetwork::new(n_sites, SimDuration::from_secs(d));
+        let mut islanded = StarNetwork::new(n_sites, SimDuration::from_secs(d));
+        let spec = IslandSpec::contiguous(n_sites, 1, 0, d, d);
+        islanded.set_site_delays(&spec.site_central_delays());
+        assert!(islanded.uniform_delays());
+        for _ in 0..100 {
+            let site = rng.random_range(0..n_sites as u32);
+            let now = SimTime::from_secs(f64::from(rng.random_range(0..10_000)) / 100.0);
+            let (from, to) = if rng.random_range(0..2) == 0 {
+                (NodeId::local(site), NodeId::CENTRAL)
+            } else {
+                (NodeId::CENTRAL, NodeId::local(site))
+            };
+            let a = legacy.send(now, from, to, ());
+            let b = islanded.send(now, from, to, ());
+            assert_eq!(a.deliver_at, b.deliver_at, "delivery times diverged");
+        }
+    }
+}
+
+/// Asymmetric delays actually take effect on the wire, and compose with
+/// per-link slow factors the same way the uniform delay does.
+#[test]
+fn asymmetric_site_delays_take_effect() {
+    let spec = IslandSpec::contiguous(4, 2, 0, 0.1, 0.9);
+    let mut net = StarNetwork::new(4, SimDuration::from_secs(0.2));
+    net.set_site_delays(&spec.site_central_delays());
+    assert!(!net.uniform_delays());
+    let near = net.send(SimTime::ZERO, NodeId::local(0), NodeId::CENTRAL, ());
+    let far = net.send(SimTime::ZERO, NodeId::local(3), NodeId::CENTRAL, ());
+    assert_eq!(near.deliver_at, SimTime::from_secs(0.1));
+    assert_eq!(far.deliver_at, SimTime::from_secs(0.9));
+    net.set_slow_factor(3, 4.0);
+    let slowed = net.send(SimTime::ZERO, NodeId::local(3), NodeId::CENTRAL, ());
+    assert_eq!(slowed.deliver_at, SimTime::from_secs(3.6));
+}

@@ -8,11 +8,12 @@
 //!          [--fault-schedule FILE] [--failure-aware]
 //!          [--obs] [--profile] [--trace-out FILE] [--backoff-window SECS]
 //!          [--placement POLICY] [--drift SPEC]
+//!          [--islands SPEC] [--site-mips LIST] [--link-matrix ROWS]
 //! ```
 //!
 //! Policies: `none`, `static`, `measured`, `queue`, `threshold`,
 //! `min-incoming-q`, `min-incoming-n`, `min-average-q`, `min-average-n`,
-//! `smoothed`.
+//! `smoothed`, `island-aware`, `island-aware-q`.
 //!
 //! With `--reps N` (or `--ci-target F`) the run is replicated over
 //! deterministically derived seeds — fanned across `--jobs` worker threads
@@ -54,14 +55,29 @@
 //! workload's locality shift over simulated time so there is something
 //! to adapt to. Both run on the serial event loop (`--sim-threads` must
 //! stay 1; `--jobs` replication still composes).
+//!
+//! Heterogeneous topologies: `--islands K[:INTRA:INTER[:CENTRAL]]`
+//! splits the sites into `K` contiguous hardware islands with cheap
+//! intra-island links and an `INTER` delay to the central complex
+//! (placed in island `CENTRAL`, default 0); a bare `K` reuses `--delay`
+//! for both, which is a homogeneity check rather than a real topology.
+//! `--site-mips LIST` sets per-site CPU speeds in MIPS (a single value
+//! broadcasts to every site). `--link-matrix R0;R1;...` gives fully
+//! explicit symmetric per-link delays over `--sites + 1` nodes (last
+//! node the central complex) for shapes islands cannot express; it is
+//! mutually exclusive with `--islands`. The `island-aware` policies
+//! price shipping with the arriving site's actual link delay instead of
+//! the nominal `--delay`. Non-uniform link delays quietly take the
+//! serial path under `--sim-threads`.
 
 use std::process::ExitCode;
 
 use hybrid_load_sharing::core::{
     optimal_static_spec, replicate_ci, replicate_jobs, replicate_jobs_threads,
-    run_simulation_threads, summarize, CiOptions, DriftSpec, FaultSchedule, HybridSystem,
-    JsonlSink, LogHistogram, MetricSummary, ObsConfig, ObsReport, PlacementConfig, PlacementPolicy,
-    Route, RouterSpec, RunMetrics, SystemConfig, TxnClass, UtilizationEstimator,
+    run_simulation_threads, summarize, CiOptions, DelayMatrix, DriftSpec, FaultSchedule,
+    HybridSystem, IslandSpec, JsonlSink, LogHistogram, MetricSummary, ObsConfig, ObsReport,
+    PlacementConfig, PlacementPolicy, Route, RouterSpec, RunMetrics, SystemConfig, TxnClass,
+    UtilizationEstimator,
 };
 
 #[derive(Debug)]
@@ -91,6 +107,9 @@ struct Args {
     backoff_window: Option<f64>,
     placement: Option<String>,
     drift: Option<String>,
+    islands: Option<String>,
+    site_mips: Option<String>,
+    link_matrix: Option<String>,
 }
 
 impl Args {
@@ -126,6 +145,9 @@ impl Args {
             backoff_window: None,
             placement: None,
             drift: None,
+            islands: None,
+            site_mips: None,
+            link_matrix: None,
         };
         let mut i = 0;
         while i < argv.len() {
@@ -162,6 +184,9 @@ impl Args {
                 "--backoff-window" => a.backoff_window = Some(parse(value()?)?),
                 "--placement" => a.placement = Some(value()?.to_string()),
                 "--drift" => a.drift = Some(value()?.to_string()),
+                "--islands" => a.islands = Some(value()?.to_string()),
+                "--site-mips" => a.site_mips = Some(value()?.to_string()),
+                "--link-matrix" => a.link_matrix = Some(value()?.to_string()),
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument: {other}")),
             }
@@ -250,6 +275,16 @@ impl Args {
         if let Some(d) = &self.drift {
             DriftSpec::parse(d)?;
         }
+        if self.islands.is_some() && self.link_matrix.is_some() {
+            return Err(
+                "--islands and --link-matrix both describe the topology; pick one \
+                 (use --link-matrix for shapes island groupings cannot express)"
+                    .into(),
+            );
+        }
+        self.island_spec()?;
+        self.link_matrix_spec()?;
+        self.site_mips_vec()?;
         if self.sim_threads > 1
             && (self.drift.is_some() || placement.is_some_and(|p| p.is_adaptive()))
         {
@@ -325,6 +360,122 @@ impl Args {
         cfg.validate().map_err(|e| format!("--placement: {e}"))?;
         Ok(Some(cfg))
     }
+
+    /// Resolves `--islands K[:INTRA:INTER[:CENTRAL]]` into an
+    /// [`IslandSpec`] over `--sites` contiguous blocks. A bare `K`
+    /// defaults both delays to `--delay` (a homogeneity check, not a
+    /// topology); `CENTRAL` defaults to island 0.
+    fn island_spec(&self) -> Result<Option<IslandSpec>, String> {
+        let Some(s) = &self.islands else {
+            return Ok(None);
+        };
+        let parts: Vec<&str> = s.split(':').collect();
+        let k: usize = parts[0]
+            .parse()
+            .map_err(|_| format!("--islands: cannot parse island count: {}", parts[0]))?;
+        if k == 0 || k > self.sites {
+            return Err(format!(
+                "--islands: island count must be in 1..={} (got {k}); every island \
+                 needs at least one of the {} sites",
+                self.sites, self.sites
+            ));
+        }
+        let (intra, inter, central): (f64, f64, u32) = match parts.len() {
+            1 => (self.delay, self.delay, 0),
+            3 | 4 => {
+                let intra = parse(parts[1])
+                    .map_err(|_| format!("--islands: cannot parse intra delay: {}", parts[1]))?;
+                let inter = parse(parts[2])
+                    .map_err(|_| format!("--islands: cannot parse inter delay: {}", parts[2]))?;
+                let central = if parts.len() == 4 {
+                    parse(parts[3]).map_err(|_| {
+                        format!("--islands: cannot parse central island: {}", parts[3])
+                    })?
+                } else {
+                    0
+                };
+                (intra, inter, central)
+            }
+            _ => {
+                return Err(
+                    "--islands expects K, K:INTRA:INTER, or K:INTRA:INTER:CENTRAL \
+                     (e.g. 4:0.05:0.5:0)"
+                        .into(),
+                )
+            }
+        };
+        if (central as usize) >= k {
+            return Err(format!(
+                "--islands: central island {central} out of range (K = {k})"
+            ));
+        }
+        let spec = IslandSpec::contiguous(self.sites, k, central, intra, inter);
+        spec.validate().map_err(|e| format!("--islands: {e}"))?;
+        Ok(Some(spec))
+    }
+
+    /// Resolves `--link-matrix R0;R1;...` (rows of comma-separated
+    /// one-way delays in seconds, `--sites + 1` nodes, last row/column
+    /// the central complex) into a [`DelayMatrix`].
+    fn link_matrix_spec(&self) -> Result<Option<DelayMatrix>, String> {
+        let Some(s) = &self.link_matrix else {
+            return Ok(None);
+        };
+        let n = self.sites + 1;
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for (i, row) in s.split(';').enumerate() {
+            let entries: Result<Vec<f64>, String> = row
+                .split(',')
+                .map(|e| {
+                    e.trim()
+                        .parse()
+                        .map_err(|_| format!("--link-matrix: cannot parse entry {e:?} in row {i}"))
+                })
+                .collect();
+            rows.push(entries?);
+        }
+        if rows.len() != n || rows.iter().any(|r| r.len() != n) {
+            return Err(format!(
+                "--link-matrix must be {n}x{n} for {} sites plus the central node \
+                 (rows separated by ';', entries by ',')",
+                self.sites
+            ));
+        }
+        let m = DelayMatrix::from_rows(&rows);
+        m.validate().map_err(|e| format!("--link-matrix: {e}"))?;
+        Ok(Some(m))
+    }
+
+    /// Resolves `--site-mips LIST` (comma-separated MIPS; one value
+    /// broadcasts to every site) into per-site instructions/second.
+    fn site_mips_vec(&self) -> Result<Option<Vec<f64>>, String> {
+        let Some(s) = &self.site_mips else {
+            return Ok(None);
+        };
+        let vals: Result<Vec<f64>, String> = s
+            .split(',')
+            .map(|e| {
+                e.trim()
+                    .parse()
+                    .map_err(|_| format!("--site-mips: cannot parse MIPS value: {e}"))
+            })
+            .collect();
+        let vals = vals?;
+        if let Some(bad) = vals.iter().find(|v| !(v.is_finite() && **v > 0.0)) {
+            return Err(format!(
+                "--site-mips values must be positive and finite (got {bad})"
+            ));
+        }
+        let mips: Vec<f64> = vals.iter().map(|v| v * 1.0e6).collect();
+        match mips.len() {
+            1 => Ok(Some(vec![mips[0]; self.sites])),
+            l if l == self.sites => Ok(Some(mips)),
+            l => Err(format!(
+                "--site-mips needs 1 value (broadcast) or exactly {} (one per site), got {l}",
+                self.sites
+            )),
+        }
+    }
 }
 
 fn usage() {
@@ -336,8 +487,10 @@ fn usage() {
          \x20               [--fault-schedule FILE] [--failure-aware]\n\
          \x20               [--obs] [--profile] [--trace-out FILE] [--backoff-window SECS]\n\
          \x20               [--placement POLICY] [--drift SPEC]\n\
+         \x20               [--islands SPEC] [--site-mips LIST] [--link-matrix ROWS]\n\
          policies: none static measured queue threshold min-incoming-q\n\
          \x20         min-incoming-n min-average-q min-average-n smoothed\n\
+         \x20         island-aware island-aware-q\n\
          replication: --reps runs N seed replications in parallel (--jobs\n\
          \x20         worker threads, omit for all cores) and reports mean +/- 95% CI;\n\
          \x20         --ci-target R auto-replicates until the relative CI\n\
@@ -356,7 +509,15 @@ fn usage() {
          placement: --placement static|threshold[:FRAC]|epoch runs the online\n\
          \x20         placement controller; --drift hot[:DWELL[:FRAC]] |\n\
          \x20         diurnal[:PERIOD[:AMP]] | zipf[:THETA] shifts workload\n\
-         \x20         locality over time (serial event loop only)"
+         \x20         locality over time (serial event loop only)\n\
+         topology: --islands K[:INTRA:INTER[:CENTRAL]] groups sites into K\n\
+         \x20         hardware islands (cheap intra-island links, INTER to the\n\
+         \x20         central complex placed in island CENTRAL; bare K uses\n\
+         \x20         --delay for both); --site-mips LIST sets per-site speeds\n\
+         \x20         in MIPS (one value broadcasts); --link-matrix R0;R1;...\n\
+         \x20         gives explicit per-link delays ((sites+1)^2 entries, last\n\
+         \x20         node central; mutually exclusive with --islands);\n\
+         \x20         non-uniform delays run on the serial event loop"
     );
 }
 
@@ -511,6 +672,15 @@ fn main() -> ExitCode {
     if let Some(d) = &args.drift {
         cfg = cfg.with_drift(DriftSpec::parse(d).expect("validated at parse"));
     }
+    if let Some(spec) = args.island_spec().expect("validated at parse") {
+        cfg = cfg.with_islands(spec);
+    }
+    if let Some(m) = args.link_matrix_spec().expect("validated at parse") {
+        cfg = cfg.with_link_delays(m);
+    }
+    if let Some(mips) = args.site_mips_vec().expect("validated at parse") {
+        cfg = cfg.with_site_mips(mips);
+    }
     if let Some(path) = &args.fault_schedule {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -559,6 +729,12 @@ fn main() -> ExitCode {
         "smoothed" => RouterSpec::SmoothedMinAverage {
             estimator: UtilizationEstimator::NumInSystem,
             scale: 0.2,
+        },
+        "island-aware" => RouterSpec::IslandAware {
+            estimator: UtilizationEstimator::NumInSystem,
+        },
+        "island-aware-q" => RouterSpec::IslandAware {
+            estimator: UtilizationEstimator::QueueLength,
         },
         other => {
             eprintln!("unknown policy: {other}");
@@ -753,5 +929,81 @@ mod tests {
         // executor stays valid, as do replication workers for everyone.
         assert!(parse_args(&["--placement", "static", "--sim-threads", "4"]).is_ok());
         assert!(parse_args(&["--placement", "threshold", "--jobs", "8"]).is_ok());
+    }
+
+    #[test]
+    fn island_specs_parse() {
+        // Bare K: both delays default to --delay.
+        let a = parse_args(&["--islands", "2", "--delay", "0.3"]).expect("valid");
+        let s = a.island_spec().expect("valid").expect("present");
+        assert_eq!(s.n_islands(), 2);
+        assert_eq!(s.intra_delay(), 0.3);
+        assert_eq!(s.inter_delay(), 0.3);
+        assert_eq!(s.central_island(), 0);
+
+        let a = parse_args(&["--islands", "4:0.05:0.5", "--sites", "8"]).expect("valid");
+        let s = a.island_spec().expect("valid").expect("present");
+        assert_eq!((s.n_islands(), s.n_sites()), (4, 8));
+        assert_eq!((s.intra_delay(), s.inter_delay()), (0.05, 0.5));
+
+        let a = parse_args(&["--islands", "3:0.1:0.9:2", "--sites", "9"]).expect("valid");
+        assert_eq!(
+            a.island_spec()
+                .expect("valid")
+                .expect("present")
+                .central_island(),
+            2
+        );
+    }
+
+    #[test]
+    fn site_mips_parse_and_broadcast() {
+        // One value broadcasts to every site (in MIPS -> instr/s).
+        let a = parse_args(&["--site-mips", "2.5", "--sites", "4"]).expect("valid");
+        let v = a.site_mips_vec().expect("valid").expect("present");
+        assert_eq!(v, vec![2.5e6; 4]);
+        let a = parse_args(&["--site-mips", "1,2,3,4", "--sites", "4"]).expect("valid");
+        let v = a.site_mips_vec().expect("valid").expect("present");
+        assert_eq!(v, vec![1.0e6, 2.0e6, 3.0e6, 4.0e6]);
+    }
+
+    #[test]
+    fn link_matrix_parses_explicit_rows() {
+        // 2 sites + central = 3x3 symmetric matrix, zero diagonal.
+        let a = parse_args(&[
+            "--sites",
+            "2",
+            "--link-matrix",
+            "0,0.1,0.4;0.1,0,0.4;0.4,0.4,0",
+        ])
+        .expect("valid");
+        let m = a.link_matrix_spec().expect("valid").expect("present");
+        assert_eq!(m.site_central_delays(), vec![0.4, 0.4]);
+        assert_eq!(m.get(0, 1), 0.1);
+    }
+
+    #[test]
+    fn bad_topology_specs_are_rejected_at_parse() {
+        for argv in [
+            &["--islands", "0"][..],                       // no empty partition
+            &["--islands", "11"],                          // more islands than sites
+            &["--islands", "2:0.5"],                       // wrong arity
+            &["--islands", "2:0.5:0.1"],                   // intra > inter
+            &["--islands", "2:0.1:0.5:7"],                 // central island out of range
+            &["--islands", "two"],                         // not a number
+            &["--site-mips", "0"],                         // non-positive speed
+            &["--site-mips", "1,2,3"],                     // wrong count for 10 sites
+            &["--site-mips", "fast"],                      // not a number
+            &["--sites", "2", "--link-matrix", "0,1;1,0"], // wrong shape
+            &[
+                "--sites",
+                "2",
+                "--link-matrix",
+                "0,0.1,0.4;0.2,0,0.4;0.4,0.4,0", // asymmetric
+            ],
+            &["--islands", "2", "--sites", "2", "--link-matrix", "0,1;1,0"], // exclusive
+        ] {
+            assert!(parse_args(argv).is_err(), "accepted {argv:?}");
+        }
     }
 }
